@@ -1,0 +1,201 @@
+// Command fairmc runs the fair stateless model checker on one of the
+// built-in model programs.
+//
+// Usage:
+//
+//	fairmc -list
+//	fairmc -prog wsq-bug2-lockfree-steal [-cb 2] [-fair=true]
+//	       [-maxsteps 5000] [-depthbound 0] [-randomtail]
+//	       [-maxexec 0] [-timelimit 60s] [-trace] [-seed 1]
+//
+// Exit status: 0 when the check finds nothing, 1 when a safety
+// violation, deadlock or divergence is found, 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fairmc"
+	"fairmc/internal/trace"
+	"fairmc/progs"
+)
+
+func main() {
+	var (
+		list       = flag.Bool("list", false, "list the built-in programs and exit")
+		prog       = flag.String("prog", "", "program to check (see -list)")
+		fair       = flag.Bool("fair", true, "use the fair scheduler (Algorithm 1)")
+		fairK      = flag.Int("fairk", 1, "process every k-th yield (the paper's parameterization)")
+		cb         = flag.Int("cb", -1, "preemption bound; -1 = unbounded DFS")
+		depthBound = flag.Int("depthbound", 0, "stop branching after this many steps (unfair searches)")
+		randomTail = flag.Bool("randomtail", false, "finish depth-bounded executions with random scheduling")
+		maxSteps   = flag.Int64("maxsteps", 100000, "per-execution step bound (divergence detector)")
+		maxExec    = flag.Int64("maxexec", 0, "execution budget; 0 = unbounded")
+		timeLimit  = flag.Duration("timelimit", 0, "wall-clock budget; 0 = unbounded")
+		seed       = flag.Uint64("seed", 1, "seed for random tails and random walks")
+		printTrace = flag.Bool("trace", false, "print the repro trace of any finding")
+		saveFile   = flag.String("save", "", "write the finding's schedule to this file")
+		replayFile = flag.String("replay", "", "replay a saved schedule file instead of searching")
+		randomWalk = flag.Bool("random", false, "random-walk search instead of systematic DFS (needs -maxexec or -timelimit)")
+		pct        = flag.Bool("pct", false, "probabilistic concurrency testing (needs -maxexec or -timelimit)")
+		pctDepth   = flag.Int("pctdepth", 3, "PCT target bug depth d")
+		sleepSets  = flag.Bool("sleepsets", false, "sleep-set partial-order reduction (unfair searches only)")
+		dpor       = flag.Bool("dpor", false, "dynamic partial-order reduction (unfair, terminating programs only)")
+		raceDetect = flag.Bool("race", false, "attach the happens-before race detector")
+		iterative  = flag.Int("iterative", -1, "iterative context bounding up to this preemption budget")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range progs.All() {
+			bug := ""
+			if p.ExpectBug != "" {
+				bug = " [expect: " + p.ExpectBug + "]"
+			}
+			fmt.Printf("%-32s %s%s\n", p.Name, p.Description, bug)
+		}
+		return
+	}
+	p, ok := progs.Lookup(*prog)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown program %q (use -list)\n", *prog)
+		os.Exit(2)
+	}
+
+	opts := fairmc.Options{
+		Fair:          *fair,
+		FairK:         *fairK,
+		ContextBound:  *cb,
+		DepthBound:    *depthBound,
+		RandomTail:    *randomTail,
+		RandomWalk:    *randomWalk,
+		PCT:           *pct,
+		PCTDepth:      *pctDepth,
+		SleepSets:     *sleepSets,
+		DPOR:          *dpor,
+		MaxSteps:      *maxSteps,
+		MaxExecutions: *maxExec,
+		TimeLimit:     *timeLimit,
+		Seed:          *seed,
+	}
+
+	if *replayFile != "" {
+		data, err := os.ReadFile(*replayFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		meta, sched, err := trace.Unmarshal(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		opts.Fair = meta.Fair
+		if meta.FairK > 0 {
+			opts.FairK = meta.FairK
+		}
+		if meta.MaxSteps > 0 {
+			opts.MaxSteps = meta.MaxSteps
+		}
+		r := fairmc.Replay(p.Body, sched, opts)
+		fmt.Printf("replayed %s: outcome %s (expected %s)\n", *replayFile, r.Outcome, meta.Outcome)
+		if *printTrace {
+			fmt.Print(r.FormatTrace())
+		}
+		if r.Outcome != fairmc.Terminated {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *iterative >= 0 {
+		reports := fairmc.CheckIterative(p.Body, *iterative, opts)
+		fmt.Printf("program:     %s\n", p.Name)
+		for _, br := range reports {
+			status := "clean"
+			switch {
+			case br.FirstBug != nil:
+				status = "FOUND " + br.FirstBug.Outcome.String()
+			case br.Divergence != nil:
+				status = "FOUND divergence"
+			case !br.Exhausted:
+				status = "incomplete"
+			}
+			fmt.Printf("cb=%d: %d executions, %s (%.2fs)\n",
+				br.Bound, br.Executions, status, br.Elapsed.Seconds())
+		}
+		last := reports[len(reports)-1]
+		if last.FirstBug != nil || last.Divergence != nil {
+			os.Exit(1)
+		}
+		return
+	}
+
+	start := time.Now()
+	var res *fairmc.Result
+	if *raceDetect {
+		res = fairmc.CheckRaces(p.Body, opts)
+	} else {
+		res = fairmc.Check(p.Body, opts)
+	}
+	fmt.Printf("program:     %s\n", p.Name)
+	fmt.Printf("executions:  %d (%.2fs, max depth %d)\n",
+		res.Executions, time.Since(start).Seconds(), res.MaxDepth)
+	for _, r := range res.Races {
+		fmt.Printf("RACE: %s\n", r)
+	}
+	save := func(r *fairmc.ExecResult) {
+		if *saveFile == "" {
+			return
+		}
+		data, err := trace.Marshal(trace.Meta{
+			Program:  p.Name,
+			Fair:     opts.Fair,
+			FairK:    opts.FairK,
+			MaxSteps: opts.MaxSteps,
+			Outcome:  r.Outcome.String(),
+		}, r.Schedule)
+		if err == nil {
+			err = os.WriteFile(*saveFile, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "saving schedule: %v\n", err)
+			return
+		}
+		fmt.Printf("schedule saved to %s\n", *saveFile)
+	}
+	switch {
+	case res.FirstBug != nil:
+		fmt.Printf("FOUND %s at execution %d:\n", res.FirstBug.Outcome, res.FirstBugExecution)
+		if res.FirstBug.Violation != nil {
+			fmt.Printf("  %s\n", res.FirstBug.Violation)
+		}
+		for _, b := range res.FirstBug.Blocked {
+			fmt.Printf("  blocked: thread %d (%s) at %s\n", b.Tid, b.Name, b.Op)
+		}
+		if *printTrace {
+			fmt.Print(res.FirstBug.FormatTrace())
+		}
+		save(res.FirstBug)
+		os.Exit(1)
+	case res.Divergence != nil:
+		fmt.Printf("FOUND divergence at execution %d (after %d steps)\n",
+			res.DivergenceExecution, res.Divergence.Steps)
+		fmt.Printf("classification: %s\n", res.Liveness)
+		if *printTrace {
+			fmt.Print(res.Divergence.FormatTrace())
+		}
+		save(res.Divergence)
+		os.Exit(1)
+	case len(res.Races) > 0:
+		fmt.Printf("FOUND %d race(s)\n", len(res.Races))
+		os.Exit(1)
+	case res.Exhausted:
+		fmt.Println("OK: schedule tree exhausted, no findings")
+	default:
+		fmt.Println("no findings within budget (search incomplete)")
+	}
+}

@@ -1,0 +1,127 @@
+// Package conc is the concurrency API that model programs are written
+// against. It plays the role of the Win32/.NET synchronization API
+// that CHESS intercepts: every operation on these types is a
+// scheduling point controlled by the checker, so a program written
+// with conc has no uncontrolled nondeterminism and any execution can
+// be replayed from its schedule.
+//
+// A model program is a function func(*conc.T) run as the main thread;
+// it spawns further threads with T.Go and shares state exclusively
+// through the objects created by the New* constructors. Plain Go
+// variables may be used only for thread-local state.
+//
+// The fairness-relevant API is deliberately faithful to the paper:
+// T.Yield and T.Sleep are yielding transitions (the good-samaritan
+// signal), as is every *Timeout operation ("every synchronization
+// operation with a finite timeout", §4). Blocking operations such as
+// Mutex.Lock disable the thread instead of spinning, so they never
+// trip the fair scheduler.
+package conc
+
+import (
+	"fairmc/internal/engine"
+	"fairmc/internal/syncmodel"
+)
+
+// T is the per-thread handle passed to every thread body. See
+// engine.T for the core methods: ID, Name, Go, Yield, Sleep, Choose,
+// Label, Assert, Failf.
+type T = engine.T
+
+// Handle refers to a spawned thread; Handle.Join blocks until it
+// exits.
+type Handle = engine.Handle
+
+// Mutex is a non-reentrant lock with Lock / TryLock / LockTimeout /
+// Unlock. TryLock is the paper's TryAcquire; LockTimeout additionally
+// yields.
+type Mutex = syncmodel.Mutex
+
+// RWMutex is a reader/writer lock.
+type RWMutex = syncmodel.RWMutex
+
+// Semaphore is a counting semaphore.
+type Semaphore = syncmodel.Semaphore
+
+// Cond is a condition variable bound to a Mutex.
+type Cond = syncmodel.Cond
+
+// Event is a Win32-style (manual- or auto-reset) event.
+type Event = syncmodel.Event
+
+// WaitGroup counts outstanding work.
+type WaitGroup = syncmodel.WaitGroup
+
+// Channel is a bounded FIFO channel of int64 values (capacity zero
+// gives rendezvous semantics).
+type Channel = syncmodel.Channel
+
+// IntVar is a shared integer with volatile load/store and interlocked
+// read-modify-write operations.
+type IntVar = syncmodel.IntVar
+
+// IntArray is a fixed-size shared array of integers.
+type IntArray = syncmodel.IntArray
+
+// AnyVar is a shared variable holding an arbitrary (deterministically
+// printable) value.
+type AnyVar = syncmodel.AnyVar
+
+// NewMutex creates a mutex named for diagnostics and fingerprints.
+func NewMutex(t *T, name string) *Mutex { return syncmodel.NewMutex(t, name) }
+
+// NewRWMutex creates a reader/writer lock.
+func NewRWMutex(t *T, name string) *RWMutex { return syncmodel.NewRWMutex(t, name) }
+
+// NewSemaphore creates a counting semaphore with an initial count and
+// an optional maximum (0 = unbounded).
+func NewSemaphore(t *T, name string, initial, max int64) *Semaphore {
+	return syncmodel.NewSemaphore(t, name, initial, max)
+}
+
+// NewCond creates a condition variable bound to m.
+func NewCond(t *T, name string, m *Mutex) *Cond { return syncmodel.NewCond(t, name, m) }
+
+// NewEvent creates an event; manual selects manual-reset semantics.
+func NewEvent(t *T, name string, manual, signaled bool) *Event {
+	return syncmodel.NewEvent(t, name, manual, signaled)
+}
+
+// NewWaitGroup creates a wait group with an initial count.
+func NewWaitGroup(t *T, name string, initial int64) *WaitGroup {
+	return syncmodel.NewWaitGroup(t, name, initial)
+}
+
+// NewChannel creates a bounded channel (capacity >= 0).
+func NewChannel(t *T, name string, capacity int) *Channel {
+	return syncmodel.NewChannel(t, name, capacity)
+}
+
+// NewIntVar creates a shared integer variable.
+func NewIntVar(t *T, name string, initial int64) *IntVar {
+	return syncmodel.NewIntVar(t, name, initial)
+}
+
+// NewIntArray creates a zero-initialized shared integer array.
+func NewIntArray(t *T, name string, n int) *IntArray {
+	return syncmodel.NewIntArray(t, name, n)
+}
+
+// NewAnyVar creates a shared variable holding initial.
+func NewAnyVar(t *T, name string, initial any) *AnyVar {
+	return syncmodel.NewAnyVar(t, name, initial)
+}
+
+// Once is a one-time initialization gate with blocking semantics.
+type Once = syncmodel.Once
+
+// Barrier is a reusable blocking rendezvous for a fixed party count.
+type Barrier = syncmodel.Barrier
+
+// NewOnce creates a one-time initialization gate.
+func NewOnce(t *T, name string) *Once { return syncmodel.NewOnce(t, name) }
+
+// NewBarrier creates a reusable barrier for parties threads.
+func NewBarrier(t *T, name string, parties int64) *Barrier {
+	return syncmodel.NewBarrier(t, name, parties)
+}

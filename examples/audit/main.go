@@ -1,0 +1,71 @@
+// Audit: combine iterative context bounding with the happens-before
+// race detector to grade how broken a piece of code is.
+//
+// The subject is a statistics aggregator with two flaws of different
+// severity: a benign-looking unsynchronized flag (a data race that
+// happens to be harmless here) and a lost-update on the aggregate
+// (an actual wrong answer, needing one preemption to show). The
+// race detector flags both unsynchronized accesses on every run;
+// iterative bounding reports the minimal preemption count that turns
+// the second flaw into a failed assertion.
+//
+// Run with: go run ./examples/audit
+package main
+
+import (
+	"fmt"
+
+	"fairmc"
+	"fairmc/conc"
+)
+
+func aggregator(t *conc.T) {
+	total := conc.NewIntVar(t, "total", 0)
+	started := conc.NewIntVar(t, "started", 0) // unsynchronized flag
+	wg := conc.NewWaitGroup(t, "wg", 2)
+	for i := 0; i < 2; i++ {
+		sample := int64(10 * (i + 1))
+		t.Go("sampler", func(t *conc.T) {
+			started.Store(t, 1) // racy write, benign
+			v := total.Load(t)  // lost-update race, not benign
+			total.Store(t, v+sample)
+			wg.Done(t)
+		})
+	}
+	wg.Wait(t)
+	t.Assert(total.Load(t) == 30, "all samples aggregated")
+}
+
+func main() {
+	fmt.Println("== iterative context bounding ==")
+	reports := fairmc.CheckIterative(aggregator, 4, fairmc.Defaults())
+	for _, br := range reports {
+		verdict := "clean"
+		if br.FirstBug != nil {
+			verdict = "FOUND " + br.FirstBug.Outcome.String()
+		}
+		fmt.Printf("  cb=%d: %6d executions, %s\n", br.Bound, br.Executions, verdict)
+	}
+	last := reports[len(reports)-1]
+	if last.FirstBug != nil {
+		fmt.Printf("minimal counterexample needs %d preemption(s):\n", last.Bound)
+		fmt.Printf("  %s\n", last.FirstBug.Violation)
+	}
+
+	fmt.Println("\n== happens-before race audit ==")
+	res := fairmc.CheckRaces(aggregator, fairmc.Options{
+		Fair:                   true,
+		ContextBound:           1,
+		MaxSteps:               10000,
+		ContinueAfterViolation: true, // keep searching to collect races
+	})
+	if len(res.Races) == 0 {
+		fmt.Println("no races (unexpected)")
+		return
+	}
+	for _, r := range res.Races {
+		fmt.Printf("  %s\n", r)
+	}
+	fmt.Println("\nnote: the 'started' race never fails an assertion — only the")
+	fmt.Println("race detector sees it; the 'total' race is also a wrong answer.")
+}

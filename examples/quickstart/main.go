@@ -1,0 +1,69 @@
+// Quickstart: write a small concurrent program against the conc API,
+// check it, read the counterexample, fix the bug, and check again.
+//
+// The program is a bank account with a racy withdraw: two clients each
+// check the balance and then withdraw, without holding a lock across
+// the check-then-act. The checker finds the interleaving where both
+// checks pass and the account goes negative.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"fairmc"
+	"fairmc/conc"
+)
+
+// account builds the program; locked selects the fixed version.
+func account(locked bool) func(*conc.T) {
+	return func(t *conc.T) {
+		balance := conc.NewIntVar(t, "balance", 100)
+		mu := conc.NewMutex(t, "mu")
+		wg := conc.NewWaitGroup(t, "wg", 2)
+		withdraw := func(t *conc.T, amount int64) {
+			if locked {
+				mu.Lock(t)
+				defer mu.Unlock(t)
+			}
+			if balance.Load(t) >= amount {
+				b := balance.Load(t)
+				balance.Store(t, b-amount)
+			}
+		}
+		for i := 0; i < 2; i++ {
+			t.Go("client", func(t *conc.T) {
+				withdraw(t, 80)
+				wg.Done(t)
+			})
+		}
+		wg.Wait(t)
+		t.Assert(balance.Load(t) >= 0, "balance must never go negative")
+	}
+}
+
+func main() {
+	fmt.Println("== checking the racy version ==")
+	res := fairmc.Check(account(false), fairmc.Defaults())
+	if res.FirstBug == nil {
+		fmt.Println("unexpected: no bug found")
+		return
+	}
+	fmt.Printf("found a %s after %d executions:\n",
+		res.FirstBug.Outcome, res.FirstBugExecution)
+	fmt.Printf("  %s\n", res.FirstBug.Violation)
+	fmt.Println("\ncounterexample, one column per thread (yields marked *):")
+	fmt.Print(res.FirstBug.FormatColumns(16))
+
+	fmt.Println("\n== checking the locked version ==")
+	res = fairmc.Check(account(true), fairmc.Defaults())
+	switch {
+	case !res.Ok():
+		fmt.Println("unexpected: still buggy")
+	case res.Exhausted:
+		fmt.Printf("OK: all %d interleavings explored, no violations\n", res.Executions)
+	default:
+		fmt.Printf("no violation within budget (%d executions)\n", res.Executions)
+	}
+}

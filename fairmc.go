@@ -1,0 +1,256 @@
+// Package fairmc is a fair stateless model checker for multithreaded
+// model programs, reproducing Musuvathi & Qadeer, "Fair Stateless
+// Model Checking" (PLDI 2008) — the fairness algorithm of the CHESS
+// model checker.
+//
+// A stateless model checker runs a concurrent test over and over,
+// steering the thread schedule so that every run takes a different
+// interleaving, without ever capturing program states. Plain stateless
+// search cannot handle nonterminating programs: unrolling the cycles
+// in the state space swamps the search, and livelocks are invisible.
+// fairmc explores instead with a *fair demonic scheduler* (Algorithm 1
+// of the paper): threads that yield while others are starved lose
+// priority, so unfair cycles are pruned after at most two unrollings,
+// while every yield-free execution — and therefore every state
+// reachable without yields — is still explored.
+//
+// # Writing a model program
+//
+// Programs are written against the conc package:
+//
+//	func prog(t *conc.T) {
+//		x := conc.NewIntVar(t, "x", 0)
+//		h := t.Go("worker", func(t *conc.T) { x.Store(t, 1) })
+//		for x.Load(t) != 1 { // spin…
+//			t.Yield() // …but be a good samaritan
+//		}
+//		h.Join(t)
+//	}
+//
+// # Checking
+//
+//	res := fairmc.Check(prog, fairmc.Defaults())
+//	switch {
+//	case res.FirstBug != nil:        // safety violation or deadlock
+//	case res.Liveness != nil:        // livelock or GS violation
+//	}
+//
+// The four outcomes of the paper's semi-algorithm map to the result
+// as: (1) safety violation -> FirstBug; (2) good-samaritan violation
+// and (3) fair nontermination -> Divergence plus the Liveness
+// classification; (4) clean termination -> Exhausted with no findings.
+package fairmc
+
+import (
+	"fairmc/conc"
+	"fairmc/internal/engine"
+	"fairmc/internal/liveness"
+	"fairmc/internal/race"
+	"fairmc/internal/search"
+)
+
+// Options configures a check; see the field documentation in
+// internal/search. Use Defaults as a starting point.
+type Options = search.Options
+
+// Report is the summary statistics of a search.
+type Report = search.Report
+
+// ExecResult is the result of one execution, including its schedule
+// and (for repro runs) a full trace.
+type ExecResult = engine.Result
+
+// LivenessReport classifies a divergence as a good-samaritan
+// violation or a fair nontermination (livelock).
+type LivenessReport = liveness.Report
+
+// Outcome values of an individual execution.
+const (
+	Terminated = engine.Terminated
+	Deadlock   = engine.Deadlock
+	Violation  = engine.Violation
+	Diverged   = engine.Diverged
+	Aborted    = engine.Aborted
+)
+
+// Kind values of a liveness classification.
+const (
+	GoodSamaritanViolation = liveness.GoodSamaritanViolation
+	FairNontermination     = liveness.FairNontermination
+)
+
+// Defaults returns the recommended options: fair scheduling, full DFS
+// (no preemption bound), and a generous per-execution step bound that
+// serves as the divergence detector.
+func Defaults() Options {
+	return Options{
+		Fair:         true,
+		ContextBound: -1,
+		MaxSteps:     100000,
+	}
+}
+
+// Race is one unsynchronized access pair found by the happens-before
+// detector.
+type Race = race.Race
+
+// Result is the outcome of a Check: the search report plus, when a
+// divergence was found, its liveness classification.
+type Result struct {
+	*Report
+	// Liveness is non-nil when the search found a diverging fair
+	// execution; it says whether the divergence is a good-samaritan
+	// violation or a livelock.
+	Liveness *LivenessReport
+	// Races holds the unsynchronized access pairs found when the
+	// check ran with CheckRaces.
+	Races []Race
+}
+
+// Ok reports that the check finished without findings: no safety
+// violation, no deadlock, no divergence, no race.
+func (r *Result) Ok() bool {
+	return r.FirstBug == nil && r.Divergence == nil && len(r.Races) == 0
+}
+
+// Check explores prog under opts and classifies any divergence.
+func Check(prog func(*conc.T), opts Options) *Result {
+	rep := search.Explore(prog, opts)
+	res := &Result{Report: rep}
+	if rep.Divergence != nil {
+		res.Liveness = liveness.Classify(rep.Divergence, liveness.Options{})
+	}
+	return res
+}
+
+// CheckRaces is Check with the happens-before race detector attached:
+// accesses to shared variables that are unordered by synchronization
+// are reported even on executions where nothing misbehaves. Composes
+// with any monitor already set in opts.
+func CheckRaces(prog func(*conc.T), opts Options) *Result {
+	d := race.NewDetector()
+	if opts.Monitor != nil {
+		opts.Monitor = engine.MultiMonitor{opts.Monitor, d}
+	} else {
+		opts.Monitor = d
+	}
+	res := Check(prog, opts)
+	res.Races = d.Races()
+	return res
+}
+
+// BoundReport is one step of an iterative context-bounded search.
+type BoundReport struct {
+	// Bound is the preemption budget of this iteration.
+	Bound int
+	// Report is the search report at this bound.
+	*Report
+}
+
+// CheckIterative runs iterative context bounding (Musuvathi & Qadeer,
+// PLDI 2007): the search is repeated with preemption budgets
+// 0, 1, …, maxBound, so bugs are found with the *smallest* number of
+// preemptions that exposes them — the most debuggable counterexample.
+// Iteration stops at the first budget that finds something.
+func CheckIterative(prog func(*conc.T), maxBound int, opts Options) []BoundReport {
+	var out []BoundReport
+	for b := 0; b <= maxBound; b++ {
+		opts.ContextBound = b
+		rep := search.Explore(prog, opts)
+		out = append(out, BoundReport{Bound: b, Report: rep})
+		if rep.FirstBug != nil || rep.Divergence != nil {
+			break
+		}
+	}
+	return out
+}
+
+// Replay re-executes prog along a previously recorded schedule with
+// full trace recording, reproducing a bug found by Check.
+func Replay(prog func(*conc.T), schedule []engine.Alt, opts Options) *ExecResult {
+	return engine.Run(prog, &engine.ReplayChooser{Schedule: schedule, Strict: true},
+		engine.Config{
+			Fair:        opts.Fair,
+			FairK:       opts.FairK,
+			MaxSteps:    opts.MaxSteps,
+			RecordTrace: true,
+		})
+}
+
+// RunOnce executes prog once under the fair scheduler with a
+// run-to-completion policy — the quickest way to smoke-test a model
+// program before a full check.
+func RunOnce(prog func(*conc.T), opts Options) *ExecResult {
+	return engine.Run(prog, engine.RunToCompletionChooser{}, engine.Config{
+		Fair:        opts.Fair,
+		FairK:       opts.FairK,
+		MaxSteps:    opts.MaxSteps,
+		RecordTrace: true,
+	})
+}
+
+// Engine is the running execution a Pred's Eval observes (rarely
+// needed directly: predicates usually close over model objects and
+// read them with Peek).
+type Engine = engine.Engine
+
+// Pred is a named predicate over the model state, sampled after every
+// transition; use object Peek accessors inside Eval.
+type Pred = liveness.Pred
+
+// Property is a conjunction of GF ("infinitely often") and FG
+// ("eventually always") predicates — the liveness fragment of the
+// paper's §6 future-work item.
+type Property = liveness.Property
+
+// PropertyReport is the verdict of a property check on a diverging
+// execution's tail.
+type PropertyReport = liveness.PropertyReport
+
+// PropertyResult couples a Check result with the property verdict.
+type PropertyResult struct {
+	*Result
+	// Property is the verdict for the diverging execution, or nil if
+	// no divergence was found (liveness verdicts only apply to
+	// diverging executions).
+	Property *PropertyReport
+}
+
+// lazyPropertyMonitor defers monitor construction to the first step of
+// each execution, when the program has created the objects the
+// predicates reference, and rebuilds it per execution.
+type lazyPropertyMonitor struct {
+	build  func() Property
+	window int
+	inner  *liveness.PropertyMonitor
+}
+
+func (l *lazyPropertyMonitor) AfterInit(e *engine.Engine) { l.inner = nil }
+func (l *lazyPropertyMonitor) AfterStep(e *engine.Engine) {
+	if l.inner == nil {
+		l.inner = liveness.NewPropertyMonitor(l.build(), l.window)
+		l.inner.AfterInit(e)
+	}
+	l.inner.AfterStep(e)
+}
+
+// CheckProperty explores prog and evaluates the liveness property on
+// the first diverging execution's tail. Because model objects are
+// created inside the program, build runs once per execution, after the
+// program's first transition; have prog publish object references
+// (e.g. into captured pointers) that build closes over. window is the
+// number of tail samples evaluated (0 = 256).
+func CheckProperty(prog func(*conc.T), build func() Property, window int, opts Options) *PropertyResult {
+	mon := &lazyPropertyMonitor{build: build, window: window}
+	if opts.Monitor != nil {
+		opts.Monitor = engine.MultiMonitor{opts.Monitor, mon}
+	} else {
+		opts.Monitor = mon
+	}
+	res := Check(prog, opts)
+	out := &PropertyResult{Result: res}
+	if res.Divergence != nil && mon.inner != nil {
+		out.Property = mon.inner.Report(res.Divergence)
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module fairmc
+
+go 1.22

@@ -1,0 +1,254 @@
+// Package core implements the fair demonic scheduler of Musuvathi &
+// Qadeer, "Fair Stateless Model Checking" (PLDI 2008), Algorithm 1.
+//
+// The scheduler maintains, along the execution being explored:
+//
+//   - a priority relation P ⊆ Tid × Tid: if (t, u) ∈ P then t may be
+//     scheduled in a state only when u is disabled in that state;
+//   - for every thread t, three window sets describing the execution
+//     since the last yield of t:
+//     S(t) — threads scheduled since the last yield of t,
+//     E(t) — threads continuously enabled since the last yield of t,
+//     D(t) — threads disabled by a transition of t since the last yield.
+//
+// At every scheduling point the set of schedulable threads is
+//
+//	T = ES \ pre(P, ES),  pre(P, X) = {x | ∃y. (x,y) ∈ P ∧ y ∈ X}
+//
+// and when a thread t takes a yielding transition, the algorithm adds
+// the edges {t} × H with H = (E(t) ∪ D(t)) \ S(t), deprioritizing the
+// yielder below every thread it starved or disabled during the window.
+//
+// The implementation preserves the paper's theorems:
+//
+//	Thm 1: every infinite execution generated satisfies GS ⇒ SF.
+//	Thm 3: P stays acyclic, so T = ∅ iff ES = ∅ (no false deadlocks).
+//	Thm 4: an unfair cycle is unrolled at most twice.
+//	Thm 5: all yield-free executions survive (P empty without yields).
+//
+// The state is recomputed deterministically during stateless replay;
+// it is cheap: a handful of bitset operations per step.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fairmc/internal/tidset"
+)
+
+// Fair is the scheduler state threaded along one execution. The zero
+// value is not usable; call NewFair. Fair is not safe for concurrent
+// use; the engine runs strictly single-threaded.
+type Fair struct {
+	// p[t] is the successor set of t in P: u ∈ p[t] iff (t, u) ∈ P,
+	// meaning t may run only when u is disabled.
+	p []tidset.Set
+	e []tidset.Set // E(t)
+	d []tidset.Set // D(t)
+	s []tidset.Set // S(t)
+
+	// yieldSeen[t] counts yielding transitions of t, for the k-th
+	// yield parameterization at the end of §3 of the paper: window
+	// boundaries are processed only at every k-th yield.
+	yieldSeen []int
+	k         int
+
+	universe tidset.Set // all thread ids ever created
+}
+
+// NewFair returns a fair scheduler state for an execution starting
+// with nthreads threads (ids 0..nthreads-1). k selects the k-th-yield
+// parameterization; k = 1 is Algorithm 1 exactly. k < 1 panics.
+func NewFair(nthreads, k int) *Fair {
+	if k < 1 {
+		panic(fmt.Sprintf("core: yield parameter k = %d, want >= 1", k))
+	}
+	f := &Fair{k: k}
+	for i := 0; i < nthreads; i++ {
+		f.AddThread(tidset.Tid(i))
+	}
+	return f
+}
+
+// AddThread registers a new thread t. Per the paper's initialization
+// convention (init.E(u) = ∅, init.D(u) = Tid, init.S(u) = Tid), the
+// window sets are seeded so that the first yield of t adds no edges:
+// the first window of a thread begins only after its first yield.
+//
+// Dynamic thread creation extends the paper's fixed-Tid model: the new
+// thread is also inserted into S(u) and D(u) of every existing thread
+// u, which keeps the "first window is inert" property for windows that
+// were already open when t was created. This weakens, never
+// strengthens, the edges added at the enclosing yields, so the
+// fairness guarantee (Theorem 1) and the no-false-deadlock guarantee
+// (Theorem 3) are preserved.
+func (f *Fair) AddThread(t tidset.Tid) {
+	if int(t) != len(f.p) {
+		panic(fmt.Sprintf("core: AddThread(%d), want next id %d", t, len(f.p)))
+	}
+	f.universe.Add(t)
+	for u := range f.p {
+		f.s[u].Add(t)
+		f.d[u].Add(t)
+	}
+	f.p = append(f.p, tidset.Set{})
+	f.e = append(f.e, tidset.Set{})
+	f.d = append(f.d, f.universe.Clone())
+	f.s = append(f.s, f.universe.Clone())
+	f.yieldSeen = append(f.yieldSeen, 0)
+}
+
+// NumThreads returns the number of threads registered so far.
+func (f *Fair) NumThreads() int { return len(f.p) }
+
+// Schedulable returns T = ES \ pre(P, ES): the enabled threads not
+// priority-blocked by another enabled thread. By Theorem 3 the result
+// is empty iff es is empty.
+func (f *Fair) Schedulable(es tidset.Set) tidset.Set {
+	t := es.Clone()
+	es.ForEach(func(x tidset.Tid) {
+		if int(x) < len(f.p) && !f.p[x].Intersect(es).Empty() {
+			t.Remove(x)
+		}
+	})
+	return t
+}
+
+// Blocked reports whether thread t, although enabled, is excluded from
+// scheduling by a priority edge to a currently enabled thread. The
+// context-bounded search uses this to avoid counting fairness-forced
+// context switches as preemptions (paper §4).
+func (f *Fair) Blocked(t tidset.Tid, es tidset.Set) bool {
+	return int(t) < len(f.p) && !f.p[t].Intersect(es).Empty()
+}
+
+// OnStep applies one iteration of Algorithm 1's update (lines 13–29)
+// after thread t executed a transition. wasYield must be the value of
+// yield(t) in the pre-state (the transition just executed was a
+// yielding one); esBefore and esAfter are the enabled sets of the pre-
+// and post-state.
+func (f *Fair) OnStep(t tidset.Tid, wasYield bool, esBefore, esAfter tidset.Set) {
+	if int(t) >= len(f.p) {
+		panic(fmt.Sprintf("core: OnStep for unknown thread %d", t))
+	}
+	// Line 13: next.P := curr.P \ (Tid × {t}) — drop edges with sink t,
+	// decreasing the relative priority of the just-scheduled thread.
+	for u := range f.p {
+		f.p[u].Remove(t)
+	}
+	// Lines 14–22: window bookkeeping.
+	disabledNow := esBefore.Minus(esAfter)
+	for u := range f.p {
+		f.e[u].IntersectWith(esAfter)
+		f.s[u].Add(t)
+	}
+	f.d[t].UnionWith(disabledNow)
+
+	// Lines 23–29: close the window of t on a yielding transition.
+	if !wasYield {
+		return
+	}
+	f.yieldSeen[t]++
+	if f.yieldSeen[t]%f.k != 0 {
+		return // k-th yield parameterization: skip this boundary
+	}
+	h := f.e[t].Union(f.d[t]).Minus(f.s[t])
+	// t ∈ S(t) always holds here (line 21 added t), so H never
+	// contains t and P stays irreflexive and acyclic (Theorem 3).
+	f.p[t].UnionWith(h)
+	f.e[t] = esAfter.Clone()
+	f.d[t] = tidset.Set{}
+	f.s[t] = tidset.Set{}
+}
+
+// Priority reports whether the edge (t, u) is currently in P.
+func (f *Fair) Priority(t, u tidset.Tid) bool {
+	return int(t) < len(f.p) && f.p[t].Contains(u)
+}
+
+// PrioritySuccessors returns a copy of {u | (t, u) ∈ P}.
+func (f *Fair) PrioritySuccessors(t tidset.Tid) tidset.Set {
+	if int(t) >= len(f.p) {
+		return tidset.Set{}
+	}
+	return f.p[t].Clone()
+}
+
+// Edges returns every edge of P in deterministic order.
+func (f *Fair) Edges() [][2]tidset.Tid {
+	var out [][2]tidset.Tid
+	for t := range f.p {
+		f.p[t].ForEach(func(u tidset.Tid) {
+			out = append(out, [2]tidset.Tid{tidset.Tid(t), u})
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// WindowE returns a copy of E(t) (threads continuously enabled since
+// the last yield of t).
+func (f *Fair) WindowE(t tidset.Tid) tidset.Set { return f.e[t].Clone() }
+
+// WindowD returns a copy of D(t) (threads disabled by t since its last
+// yield).
+func (f *Fair) WindowD(t tidset.Tid) tidset.Set { return f.d[t].Clone() }
+
+// WindowS returns a copy of S(t) (threads scheduled since the last
+// yield of t).
+func (f *Fair) WindowS(t tidset.Tid) tidset.Set { return f.s[t].Clone() }
+
+// YieldCount returns the number of yielding transitions taken by t.
+func (f *Fair) YieldCount(t tidset.Tid) int { return f.yieldSeen[t] }
+
+// Acyclic reports whether P, viewed as a directed graph, is acyclic.
+// Theorem 3 proves this is an invariant; it is exported for tests and
+// for the engine's internal self-checks.
+func (f *Fair) Acyclic() bool {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]int, len(f.p))
+	var visit func(int) bool
+	visit = func(v int) bool {
+		color[v] = grey
+		ok := true
+		f.p[v].ForEach(func(u tidset.Tid) {
+			switch color[u] {
+			case grey:
+				ok = false
+			case white:
+				if !visit(int(u)) {
+					ok = false
+				}
+			}
+		})
+		color[v] = black
+		return ok
+	}
+	for v := range f.p {
+		if color[v] == white && !visit(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the priority relation and window sets for debugging.
+func (f *Fair) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "P=%v", f.Edges())
+	for t := range f.p {
+		fmt.Fprintf(&b, " S(%d)=%v D(%d)=%v E(%d)=%v", t, f.s[t], t, f.d[t], t, f.e[t])
+	}
+	return b.String()
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"fairmc/internal/tidset"
+)
+
+// refFair is a deliberately naive transcription of Algorithm 1's
+// pseudocode using map-based sets, for differential testing against
+// the bitset implementation. Lines refer to the paper's listing.
+type refFair struct {
+	p map[[2]int]bool // (t, u) ∈ P
+	e []map[int]bool
+	d []map[int]bool
+	s []map[int]bool
+	n int
+}
+
+func newRefFair(n int) *refFair {
+	r := &refFair{p: map[[2]int]bool{}}
+	for i := 0; i < n; i++ {
+		r.addThread()
+	}
+	return r
+}
+
+func (r *refFair) addThread() {
+	// init.E(u) := {}; init.D(u) := Tid; init.S(u) := Tid — with the
+	// dynamic-creation convention: the newcomer also joins every
+	// existing thread's S and D.
+	id := r.n
+	r.n++
+	for u := 0; u < id; u++ {
+		r.s[u][id] = true
+		r.d[u][id] = true
+	}
+	e, d, s := map[int]bool{}, map[int]bool{}, map[int]bool{}
+	for v := 0; v <= id; v++ {
+		d[v] = true
+		s[v] = true
+	}
+	r.e = append(r.e, e)
+	r.d = append(r.d, d)
+	r.s = append(r.s, s)
+}
+
+// schedulable computes T := ES \ pre(P, ES)   (line 7).
+func (r *refFair) schedulable(es map[int]bool) map[int]bool {
+	t := map[int]bool{}
+	for x := range es {
+		blocked := false
+		for y := range es {
+			if r.p[[2]int{x, y}] {
+				blocked = true
+				break
+			}
+		}
+		if !blocked {
+			t[x] = true
+		}
+	}
+	return t
+}
+
+// onStep applies lines 13–29 for scheduled thread t.
+func (r *refFair) onStep(t int, wasYield bool, esBefore, esAfter map[int]bool) {
+	// Line 13: next.P := curr.P \ (Tid × {t}).
+	for edge := range r.p {
+		if edge[1] == t {
+			delete(r.p, edge)
+		}
+	}
+	// Lines 14–22.
+	for u := 0; u < r.n; u++ {
+		for v := range r.e[u] {
+			if !esAfter[v] {
+				delete(r.e[u], v)
+			}
+		}
+		r.s[u][t] = true
+	}
+	for v := range esBefore {
+		if !esAfter[v] {
+			r.d[t][v] = true
+		}
+	}
+	// Lines 23–29.
+	if !wasYield {
+		return
+	}
+	for v := 0; v < r.n; v++ {
+		if (r.e[t][v] || r.d[t][v]) && !r.s[t][v] {
+			r.p[[2]int{t, v}] = true
+		}
+	}
+	r.e[t] = map[int]bool{}
+	for v := range esAfter {
+		r.e[t][v] = true
+	}
+	r.d[t] = map[int]bool{}
+	r.s[t] = map[int]bool{}
+}
+
+func setOf(m map[int]bool) tidset.Set {
+	var s tidset.Set
+	for v, ok := range m {
+		if ok {
+			s.Add(tidset.Tid(v))
+		}
+	}
+	return s
+}
+
+// TestDifferentialAgainstReference drives the production Fair and the
+// naive transcription with the same random schedules (including
+// dynamic thread creation) and demands identical schedulable sets and
+// priority edges at every step.
+func TestDifferentialAgainstReference(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(3)
+		fair := NewFair(n, 1)
+		ref := newRefFair(n)
+
+		es := map[int]bool{}
+		for i := 0; i < n; i++ {
+			es[i] = true
+		}
+
+		for step := 0; step < 250; step++ {
+			// Occasionally create a thread (exercises the dynamic
+			// convention).
+			if n < 6 && r.Intn(25) == 0 {
+				fair.AddThread(tidset.Tid(n))
+				ref.addThread()
+				es[n] = true
+				n++
+			}
+			wantT := ref.schedulable(es)
+			gotT := fair.Schedulable(setOf(es))
+			if !gotT.Equal(setOf(wantT)) {
+				t.Fatalf("seed %d step %d: schedulable %v != reference %v\nimpl: %v",
+					seed, step, gotT, setOf(wantT), fair)
+			}
+			if len(wantT) == 0 {
+				// Everything disabled: re-enable someone and continue.
+				es[r.Intn(n)] = true
+				continue
+			}
+			// Choose a random schedulable thread.
+			var cands []int
+			for v := range wantT {
+				cands = append(cands, v)
+			}
+			// Deterministic order for rand.
+			for i := 1; i < len(cands); i++ {
+				for j := i; j > 0 && cands[j] < cands[j-1]; j-- {
+					cands[j], cands[j-1] = cands[j-1], cands[j]
+				}
+			}
+			tid := cands[r.Intn(len(cands))]
+			wasYield := r.Intn(3) == 0
+			esAfter := map[int]bool{}
+			for v := 0; v < n; v++ {
+				if r.Intn(4) > 0 {
+					esAfter[v] = true
+				}
+			}
+			ref.onStep(tid, wasYield, es, esAfter)
+			fair.OnStep(tidset.Tid(tid), wasYield, setOf(es), setOf(esAfter))
+			es = esAfter
+
+			// Compare the full priority relation.
+			for x := 0; x < n; x++ {
+				for y := 0; y < n; y++ {
+					want := ref.p[[2]int{x, y}]
+					got := fair.Priority(tidset.Tid(x), tidset.Tid(y))
+					if want != got {
+						t.Fatalf("seed %d step %d: edge (%d,%d) impl=%v ref=%v",
+							seed, step, x, y, got, want)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package engine
+
+import "fairmc/internal/tidset"
+
+// FirstChooser always picks the first candidate: the lowest thread id
+// with the lowest choice value. Useful as a default continuation
+// policy and in tests.
+type FirstChooser struct{}
+
+// Choose implements Chooser.
+func (FirstChooser) Choose(ctx *ChooseContext) (Alt, bool) {
+	return ctx.Cands[0], true
+}
+
+// RunToCompletionChooser keeps running the previously scheduled thread
+// for as long as it is a candidate, otherwise switches to the first
+// candidate. This emulates a non-preemptive scheduler and is the
+// cheapest way to obtain one representative execution.
+type RunToCompletionChooser struct{}
+
+// Choose implements Chooser.
+func (RunToCompletionChooser) Choose(ctx *ChooseContext) (Alt, bool) {
+	if ctx.PrevTid != tidset.None {
+		for _, a := range ctx.Cands {
+			if a.Tid == ctx.PrevTid {
+				return a, true
+			}
+		}
+	}
+	return ctx.Cands[0], true
+}
+
+// ReplayMode selects what a ReplayChooser does when its schedule runs
+// out.
+type ReplayMode int8
+
+const (
+	// ReplayThenAbort ends the execution when the schedule is
+	// exhausted (outcome Aborted).
+	ReplayThenAbort ReplayMode = iota
+	// ReplayThenFirst continues with FirstChooser after the prefix.
+	ReplayThenFirst
+	// ReplayThenRun continues with RunToCompletionChooser.
+	ReplayThenRun
+)
+
+// ReplayChooser replays a recorded schedule. Replay is the foundation
+// of stateless search: an execution is identified by its schedule and
+// can be reproduced at will.
+type ReplayChooser struct {
+	Schedule []Alt
+	Mode     ReplayMode
+	// Strict makes replay panic if a scheduled alternative is not
+	// among the candidates (schedule/program mismatch); otherwise the
+	// chooser falls back to its exhaustion mode.
+	Strict bool
+	pos    int
+}
+
+// Choose implements Chooser.
+func (r *ReplayChooser) Choose(ctx *ChooseContext) (Alt, bool) {
+	if r.pos < len(r.Schedule) {
+		want := r.Schedule[r.pos]
+		r.pos++
+		for _, a := range ctx.Cands {
+			if a == want {
+				return a, true
+			}
+		}
+		if r.Strict {
+			panic("engine: replay divergence: " + want.String() + " not schedulable")
+		}
+	}
+	switch r.Mode {
+	case ReplayThenFirst:
+		return FirstChooser{}.Choose(ctx)
+	case ReplayThenRun:
+		return RunToCompletionChooser{}.Choose(ctx)
+	default:
+		return Alt{}, false
+	}
+}
+
+// FuncChooser adapts a function to the Chooser interface.
+type FuncChooser func(ctx *ChooseContext) (Alt, bool)
+
+// Choose implements Chooser.
+func (f FuncChooser) Choose(ctx *ChooseContext) (Alt, bool) { return f(ctx) }

@@ -1,0 +1,546 @@
+package engine
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sort"
+
+	"fairmc/internal/core"
+	"fairmc/internal/tidset"
+)
+
+// Chooser resolves the nondeterminism at each scheduling point: which
+// schedulable thread runs next and, for data-choice operations, which
+// alternative it takes. Search strategies implement Chooser.
+type Chooser interface {
+	// Choose picks one of ctx.Cands. Returning ok = false aborts the
+	// execution (outcome Aborted); the search uses this to prune.
+	Choose(ctx *ChooseContext) (alt Alt, ok bool)
+}
+
+// ChooseContext is the information available to a Chooser at one
+// scheduling point.
+type ChooseContext struct {
+	// Step is the 0-based index of the decision being made.
+	Step int
+	// Cands are the available alternatives in deterministic order
+	// (ascending thread id, then choice value). Never empty.
+	Cands []Alt
+	// PrevTid is the thread scheduled at the previous step, or
+	// tidset.None at the first step.
+	PrevTid tidset.Tid
+	// PrevEnabled reports whether the previous thread is enabled now.
+	// Switching away from an enabled previous thread is a preemption…
+	PrevEnabled bool
+	// PrevFairBlocked: …unless the fair scheduler priority-blocked it,
+	// in which case the forced switch is not counted against a
+	// context bound (paper §4).
+	PrevFairBlocked bool
+	// PrevYielded reports whether the previous transition was a
+	// yield; switching after a voluntary yield is not a preemption.
+	PrevYielded bool
+	// Engine gives monitors and strategies read access to the state.
+	Engine *Engine
+}
+
+// PrevInCands reports whether the previously scheduled thread is among
+// the candidates (i.e. the execution can continue without a context
+// switch).
+func (c *ChooseContext) PrevInCands() bool {
+	for _, a := range c.Cands {
+		if a.Tid == c.PrevTid {
+			return true
+		}
+	}
+	return false
+}
+
+// IsPreemption reports whether choosing alt at this point constitutes
+// a preemption in the CHESS sense: a forced context switch away from a
+// thread that could have continued. Fairness-forced switches and
+// switches after voluntary yields are not preemptions.
+func (c *ChooseContext) IsPreemption(alt Alt) bool {
+	return c.PrevTid != tidset.None &&
+		alt.Tid != c.PrevTid &&
+		c.PrevEnabled &&
+		!c.PrevFairBlocked &&
+		!c.PrevYielded
+}
+
+// Monitor observes an execution as the engine drives it. AfterInit
+// fires once before the first step; AfterStep fires after every step.
+type Monitor interface {
+	AfterInit(e *Engine)
+	AfterStep(e *Engine)
+}
+
+// Config controls one execution.
+type Config struct {
+	// Fair enables the fair scheduler (Algorithm 1). Without it the
+	// schedulable set is simply the enabled set.
+	Fair bool
+	// FairK is the k-th-yield parameterization (§3); 0 means 1.
+	FairK int
+	// MaxSteps is the execution depth cap; an execution exceeding it
+	// ends with outcome Diverged. 0 means DefaultMaxSteps.
+	MaxSteps int64
+	// RecordTrace captures a full per-step trace in the Result.
+	RecordTrace bool
+	// Monitor, if non-nil, observes the execution.
+	Monitor Monitor
+	// CheckInvariants enables internal self-checks (P acyclicity and
+	// the Theorem 3 equivalence) at every step. Used by tests.
+	CheckInvariants bool
+}
+
+// DefaultMaxSteps bounds executions when Config.MaxSteps is zero. The
+// paper asks the user for a bound "orders of magnitude greater than
+// the maximum number of steps the user expects".
+const DefaultMaxSteps = 1 << 20
+
+type eventKind int8
+
+const (
+	evParked eventKind = iota
+	evExited
+)
+
+type event struct {
+	kind eventKind
+	th   *thread
+}
+
+// Engine drives one execution of a model program. Create one per
+// execution with Run; an Engine must not be reused.
+type Engine struct {
+	cfg      Config
+	chooser  Chooser
+	fair     *core.Fair
+	threads  []*thread
+	objects  []Object
+	objMeta  []ObjMeta
+	ready    chan event
+	aborting bool
+
+	violation *ViolationInfo
+	stepCount int64
+	yieldCnt  int64
+	schedule  []Alt
+	trace     []Step
+
+	prevTid     tidset.Tid
+	prevYielded bool
+	lastEnabled tidset.Set // enabled set after the last step
+	lastInfo    OpInfo     // OpInfo of the last executed transition
+}
+
+// Run executes the program whose main thread runs body, resolving all
+// nondeterminism through chooser, and returns the execution's Result.
+func Run(body func(*T), chooser Chooser, cfg Config) *Result {
+	if cfg.FairK <= 0 {
+		cfg.FairK = 1
+	}
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = DefaultMaxSteps
+	}
+	e := &Engine{
+		cfg:     cfg,
+		chooser: chooser,
+		ready:   make(chan event, 1),
+		prevTid: tidset.None,
+	}
+	if cfg.Fair {
+		e.fair = core.NewFair(0, cfg.FairK)
+	}
+	e.newThread("main", body, nil)
+	outcome := e.loop()
+	// Build the result before abort unwinds the surviving threads:
+	// deadlock reporting needs their pending operations.
+	r := e.result(outcome)
+	e.abort()
+	return r
+}
+
+// newThread allocates a thread record in embryo state. parent is nil
+// for the main thread.
+func (e *Engine) newThread(name string, body func(*T), parent *thread) *thread {
+	th := &thread{
+		id:     tidset.Tid(len(e.threads)),
+		name:   name,
+		body:   body,
+		status: statusEmbryo,
+		resume: make(chan struct{}, 1),
+		parent: tidset.None,
+		armed:  parent == nil, // the main thread starts immediately
+	}
+	th.pending = startOp{th: th}
+	if parent != nil {
+		th.parent = parent.id
+		th.spawnSeq = parent.childCount
+		parent.childCount++
+	}
+	e.threads = append(e.threads, th)
+	if e.fair != nil {
+		e.fair.AddThread(th.id)
+	}
+	return th
+}
+
+// enabledSet computes ES over live threads by querying pending ops.
+func (e *Engine) enabledSet() tidset.Set {
+	es := tidset.New(len(e.threads))
+	for _, th := range e.threads {
+		if th.status == statusExited {
+			continue
+		}
+		if th.pending.Enabled() {
+			es.Add(th.id)
+		}
+	}
+	return es
+}
+
+// liveCount returns the number of threads not yet exited.
+func (e *Engine) liveCount() int {
+	n := 0
+	for _, th := range e.threads {
+		if th.status != statusExited {
+			n++
+		}
+	}
+	return n
+}
+
+// loop is the scheduler: Algorithm 1's main loop with the Choose made
+// explicit through the Chooser.
+func (e *Engine) loop() Outcome {
+	if e.cfg.Monitor != nil {
+		e.cfg.Monitor.AfterInit(e)
+	}
+	for {
+		if e.violation != nil {
+			return Violation
+		}
+		if e.liveCount() == 0 {
+			return Terminated
+		}
+		if e.stepCount >= e.cfg.MaxSteps {
+			return Diverged
+		}
+		es := e.enabledSet()
+		var schedulable tidset.Set
+		if e.fair != nil {
+			schedulable = e.fair.Schedulable(es)
+			if e.cfg.CheckInvariants {
+				if !e.fair.Acyclic() {
+					panic("engine: priority relation P is cyclic (Theorem 3 violated)")
+				}
+				if schedulable.Empty() != es.Empty() {
+					panic("engine: T empty but ES nonempty (Theorem 3 violated)")
+				}
+			}
+		} else {
+			schedulable = es
+		}
+		if schedulable.Empty() {
+			return Deadlock
+		}
+		cands := e.candidates(schedulable)
+		ctx := &ChooseContext{
+			Step:        int(e.stepCount),
+			Cands:       cands,
+			PrevTid:     e.prevTid,
+			PrevYielded: e.prevYielded,
+			Engine:      e,
+		}
+		if e.prevTid != tidset.None {
+			ctx.PrevEnabled = es.Contains(e.prevTid)
+			if e.fair != nil {
+				ctx.PrevFairBlocked = ctx.PrevEnabled && e.fair.Blocked(e.prevTid, es)
+			}
+		}
+		alt, ok := e.chooser.Choose(ctx)
+		if !ok {
+			return Aborted
+		}
+		if err := validateAlt(alt, cands); err != nil {
+			panic(fmt.Sprintf("engine: chooser returned invalid alternative: %v", err))
+		}
+		wasYield := e.executeStep(alt)
+		// Record the step before the violation check so that the
+		// schedule always includes the violating transition and a
+		// replay reproduces the violation.
+		esAfter := e.enabledSet()
+		e.schedule = append(e.schedule, alt)
+		if e.cfg.RecordTrace {
+			e.trace = append(e.trace, Step{
+				Alt:          alt,
+				Info:         e.lastInfo,
+				Yield:        wasYield,
+				EnabledAfter: esAfter.Len(),
+			})
+		}
+		e.stepCount++
+		if wasYield {
+			e.yieldCnt++
+		}
+		if e.violation != nil {
+			return Violation
+		}
+		if e.fair != nil {
+			e.fair.OnStep(alt.Tid, wasYield, es, esAfter)
+		}
+		e.prevTid = alt.Tid
+		e.prevYielded = wasYield
+		e.lastEnabled = esAfter
+		if e.cfg.Monitor != nil {
+			e.cfg.Monitor.AfterStep(e)
+		}
+	}
+}
+
+func validateAlt(alt Alt, cands []Alt) error {
+	for _, c := range cands {
+		if c == alt {
+			return nil
+		}
+	}
+	return fmt.Errorf("%v not in %v", alt, cands)
+}
+
+// candidates expands the schedulable set into alternatives, one per
+// thread, or one per choice value for threads at a ChoiceOp.
+func (e *Engine) candidates(schedulable tidset.Set) []Alt {
+	var cands []Alt
+	schedulable.ForEach(func(t tidset.Tid) {
+		th := e.threads[t]
+		if c, ok := th.pending.(ChoiceOp); ok {
+			for i := 0; i < c.Arity(); i++ {
+				cands = append(cands, Alt{Tid: t, Arg: i})
+			}
+		} else {
+			cands = append(cands, Alt{Tid: t, Arg: noChoice})
+		}
+	})
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Tid != cands[j].Tid {
+			return cands[i].Tid < cands[j].Tid
+		}
+		return cands[i].Arg < cands[j].Arg
+	})
+	return cands
+}
+
+// executeStep grants one step to alt's thread and waits until the
+// thread parks again or exits. Returns whether the executed transition
+// was yielding.
+func (e *Engine) executeStep(alt Alt) bool {
+	th := e.threads[alt.Tid]
+	op := th.pending
+	if c, ok := op.(ChoiceOp); ok && alt.Arg >= 0 {
+		c.SetChoice(alt.Arg)
+	}
+	wasYield := op.Yielding()
+	e.lastInfo = op.Info()
+	switch th.status {
+	case statusEmbryo:
+		th.status = statusRunning
+		th.steps++
+		th.sinceLabel++
+		go e.runThread(th)
+	case statusParked:
+		th.status = statusRunning
+		th.resume <- struct{}{}
+	default:
+		panic(fmt.Sprintf("engine: scheduling thread %d in status %s", th.id, th.status))
+	}
+	ev := <-e.ready
+	switch ev.kind {
+	case evParked:
+		ev.th.status = statusParked
+	case evExited:
+		ev.th.status = statusExited
+	}
+	if ev.th != th {
+		panic("engine: event from thread that was not scheduled")
+	}
+	return wasYield
+}
+
+// park publishes op as th's pending transition and blocks until the
+// scheduler grants it, then executes it (and any continuations).
+// Called from the thread's own goroutine via T.Do.
+func (e *Engine) park(th *thread, op Op) {
+	if e.aborting {
+		panic(killSentinel{})
+	}
+	th.pending = op
+	for {
+		e.ready <- event{kind: evParked, th: th}
+		<-th.resume
+		if e.aborting {
+			panic(killSentinel{})
+		}
+		cur := th.pending
+		th.steps++
+		th.sinceLabel++
+		if cur.Yielding() {
+			th.yields++
+		}
+		cont := cur.Execute()
+		if cont == nil {
+			return
+		}
+		th.pending = cont
+	}
+}
+
+// runThread is the top of every model goroutine: it runs the body,
+// converts panics into violations or clean unwinds, and always
+// reports exit to the scheduler.
+func (e *Engine) runThread(th *thread) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killSentinel); !ok {
+				// A genuine panic in the thread body is a safety
+				// violation (unless one was already recorded by Failf,
+				// which panics killSentinel).
+				if e.violation == nil {
+					e.violation = &ViolationInfo{
+						Tid:     th.id,
+						Msg:     fmt.Sprint(r),
+						IsPanic: true,
+						Stack:   string(debug.Stack()),
+					}
+				}
+			}
+		}
+		e.ready <- event{kind: evExited, th: th}
+	}()
+	th.body(&T{e: e, th: th})
+}
+
+// fail records a safety violation on behalf of th and unwinds its
+// goroutine. It does not return.
+func (e *Engine) fail(th *thread, msg string) {
+	if e.violation == nil {
+		e.violation = &ViolationInfo{Tid: th.id, Msg: msg}
+	}
+	panic(killSentinel{})
+}
+
+// abort unwinds every remaining model goroutine so Run leaks nothing.
+func (e *Engine) abort() {
+	e.aborting = true
+	for _, th := range e.threads {
+		switch th.status {
+		case statusParked:
+			th.resume <- struct{}{}
+			ev := <-e.ready
+			if ev.kind != evExited || ev.th != th {
+				panic("engine: unexpected event during abort")
+			}
+			th.status = statusExited
+		case statusEmbryo:
+			th.status = statusExited
+		case statusRunning:
+			panic("engine: thread still running at abort")
+		}
+	}
+}
+
+func (e *Engine) result(outcome Outcome) *Result {
+	r := &Result{
+		Outcome:  outcome,
+		Steps:    e.stepCount,
+		Schedule: e.schedule,
+		Trace:    e.trace,
+		Threads:  len(e.threads),
+		Yields:   e.yieldCnt,
+	}
+	for _, th := range e.threads {
+		r.PerThread = append(r.PerThread, ThreadStat{
+			Tid:    th.id,
+			Name:   th.name,
+			Steps:  th.steps,
+			Yields: th.yields,
+			Exited: th.status == statusExited,
+		})
+	}
+	if outcome == Violation {
+		r.Violation = e.violation
+	}
+	if outcome == Deadlock {
+		for _, th := range e.threads {
+			if th.status != statusExited {
+				r.Blocked = append(r.Blocked, BlockedInfo{
+					Tid:  th.id,
+					Name: th.name,
+					Op:   th.pending.Info(),
+				})
+			}
+		}
+	}
+	return r
+}
+
+// RegisterObject records a shared object created during the execution
+// and returns its id. Called by the syncmodel constructors.
+func (e *Engine) RegisterObject(obj Object) ObjID {
+	id := ObjID(len(e.objects))
+	e.objects = append(e.objects, obj)
+	e.objMeta = append(e.objMeta, ObjMeta{Creator: tidset.None})
+	return id
+}
+
+// RegisterObjectBy is RegisterObject with creator attribution: the
+// object is tagged with the creating thread and its per-thread
+// creation sequence number, the stable identity heap canonicalization
+// (internal/canon) keys on.
+func (e *Engine) RegisterObjectBy(t *T, obj Object) ObjID {
+	id := ObjID(len(e.objects))
+	e.objects = append(e.objects, obj)
+	th := t.th
+	e.objMeta = append(e.objMeta, ObjMeta{Creator: th.id, Seq: th.objSeq})
+	th.objSeq++
+	return id
+}
+
+// ObjMeta is the creation identity of a registered object.
+type ObjMeta struct {
+	// Creator is the creating thread, or tidset.None when the object
+	// was registered without attribution.
+	Creator tidset.Tid
+	// Seq is the creation index within the creating thread.
+	Seq int
+}
+
+// Objects returns the registered objects in creation order.
+func (e *Engine) Objects() []Object { return e.objects }
+
+// ObjectMeta returns the creation identity of object id.
+func (e *Engine) ObjectMeta(id ObjID) ObjMeta { return e.objMeta[id] }
+
+// ThreadMeta returns the spawn identity of thread t: its parent and
+// its spawn sequence number within the parent. The main thread has
+// parent tidset.None.
+func (e *Engine) ThreadMeta(t tidset.Tid) (parent tidset.Tid, seq int) {
+	th := e.threads[t]
+	return th.parent, th.spawnSeq
+}
+
+// StepCount returns the number of transitions executed so far.
+func (e *Engine) StepCount() int64 { return e.stepCount }
+
+// NumThreads returns the number of threads created so far.
+func (e *Engine) NumThreads() int { return len(e.threads) }
+
+// ThreadPC returns the last Label value of thread t.
+func (e *Engine) ThreadPC(t tidset.Tid) int { return e.threads[t].pc }
+
+// LastScheduled returns the thread scheduled in the most recent step.
+func (e *Engine) LastScheduled() tidset.Tid { return e.prevTid }
+
+// LastOpInfo returns the OpInfo of the most recently executed
+// transition, for monitors that interpret the event stream.
+func (e *Engine) LastOpInfo() OpInfo { return e.lastInfo }

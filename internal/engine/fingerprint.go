@@ -1,0 +1,123 @@
+package engine
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+
+	"fairmc/internal/tidset"
+)
+
+// Fingerprint is a 128-bit state signature: two independent 64-bit
+// FNV-1a hashes over the canonical state encoding. The paper's CHESS
+// stores such signatures in a hash table to measure state coverage
+// (§4.2.1); 128 bits make accidental collisions negligible for the
+// state-space sizes involved.
+type Fingerprint struct {
+	Hi, Lo uint64
+}
+
+// Fingerprint captures the current program state: for every thread its
+// status, program label and pending operation, and for every
+// registered object its canonical state encoding.
+//
+// This is the model-checking analogue of the paper's manually added
+// state-extraction facility: it is sound for programs that keep all
+// behaviour-relevant state in registered objects and thread labels
+// (the discipline the coverage programs follow). Objects and threads
+// are encoded in creation order, which is deterministic for a given
+// schedule; programs whose logical object identity varies across
+// schedules should route fingerprints through internal/canon first.
+func (e *Engine) Fingerprint() Fingerprint {
+	buf := e.AppendStateBytes(nil)
+	h1 := fnv.New64a()
+	h1.Write(buf)
+	h2 := fnv.New64a()
+	h2.Write([]byte{0x9e, 0x37, 0x79, 0xb9})
+	h2.Write(buf)
+	return Fingerprint{Hi: h1.Sum64(), Lo: h2.Sum64()}
+}
+
+// AppendStateBytes appends the canonical encoding of the current state
+// to buf and returns the extended slice.
+func (e *Engine) AppendStateBytes(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(e.threads)))
+	for _, th := range e.threads {
+		buf = append(buf, byte(th.status))
+		if th.status == statusExited {
+			// An exited thread has no future; its final program point
+			// is irrelevant to the state.
+			continue
+		}
+		buf = binary.AppendVarint(buf, int64(th.pc))
+		buf = binary.AppendVarint(buf, int64(th.sinceLabel))
+		info := th.pending.Info()
+		buf = appendString(buf, info.Kind)
+		buf = binary.AppendVarint(buf, int64(info.Obj))
+		buf = binary.AppendVarint(buf, info.Aux)
+		if th.pending.Enabled() {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(e.objects)))
+	for _, obj := range e.objects {
+		_, kind, name := obj.ObjectInfo()
+		buf = appendString(buf, kind)
+		buf = appendString(buf, name)
+		buf = obj.AppendState(buf)
+	}
+	return buf
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// ThreadSnapshot exposes one thread's fingerprint-relevant state to
+// canonical encoders (internal/canon).
+type ThreadSnapshot struct {
+	Status     byte
+	PC         int
+	SinceLabel int
+	Live       bool
+	Pending    OpInfo // valid when Live
+	Enabled    bool   // valid when Live
+}
+
+// SnapshotThread returns the fingerprint-relevant state of thread t.
+func (e *Engine) SnapshotThread(t tidset.Tid) ThreadSnapshot {
+	th := e.threads[t]
+	s := ThreadSnapshot{
+		Status:     byte(th.status),
+		PC:         th.pc,
+		SinceLabel: th.sinceLabel,
+		Live:       th.status != statusExited,
+	}
+	if s.Live {
+		s.Pending = th.pending.Info()
+		s.Enabled = th.pending.Enabled()
+	}
+	return s
+}
+
+// HashBytes hashes a canonical encoding the same way Fingerprint does,
+// so canonical and raw fingerprints are comparable artifacts.
+func HashBytes(buf []byte) Fingerprint {
+	h1 := fnv.New64a()
+	h1.Write(buf)
+	h2 := fnv.New64a()
+	h2.Write([]byte{0x9e, 0x37, 0x79, 0xb9})
+	h2.Write(buf)
+	return Fingerprint{Hi: h1.Sum64(), Lo: h2.Sum64()}
+}
+
+// CanonicalObject is implemented by objects whose state encoding
+// embeds thread identifiers. AppendStateMapped must produce the same
+// encoding as AppendState except that every embedded thread id is
+// first passed through mapTid; canonical fingerprints depend on it.
+type CanonicalObject interface {
+	Object
+	AppendStateMapped(buf []byte, mapTid func(tidset.Tid) tidset.Tid) []byte
+}

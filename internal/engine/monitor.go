@@ -1,0 +1,18 @@
+package engine
+
+// MultiMonitor fans engine callbacks out to several monitors in order.
+type MultiMonitor []Monitor
+
+// AfterInit implements Monitor.
+func (m MultiMonitor) AfterInit(e *Engine) {
+	for _, mm := range m {
+		mm.AfterInit(e)
+	}
+}
+
+// AfterStep implements Monitor.
+func (m MultiMonitor) AfterStep(e *Engine) {
+	for _, mm := range m {
+		mm.AfterStep(e)
+	}
+}

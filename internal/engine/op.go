@@ -1,0 +1,175 @@
+// Package engine is the deterministic cooperative execution runtime
+// underneath the fair stateless model checker.
+//
+// CHESS controls a real program by intercepting every Win32/.NET
+// synchronization API. We obtain the same control by construction:
+// model threads are goroutines that perform every shared-state access
+// through an Op published at a scheduling point, where the goroutine
+// parks until the checker grants it the step. Exactly one model
+// goroutine runs at a time, so execution is fully deterministic and an
+// execution is replayable from its schedule (the sequence of
+// (thread, choice) decisions) alone — the essence of stateless model
+// checking.
+package engine
+
+import (
+	"fmt"
+
+	"fairmc/internal/tidset"
+)
+
+// Op is one pending operation of a parked thread: the thread's next
+// transition. The engine queries Enabled to build the enabled set ES
+// and runs Execute (in the owning goroutine) when the scheduler grants
+// the step.
+type Op interface {
+	// Enabled reports whether the transition can currently fire.
+	// A thread whose pending op is disabled is blocked.
+	Enabled() bool
+
+	// Execute applies the transition's effect. It runs in the owning
+	// thread's goroutine, strictly serialized with all other model
+	// code. A non-nil return value is a continuation: the thread
+	// re-parks with that op instead of resuming user code (used for
+	// multi-phase operations such as condition-variable wait, which
+	// must release, block, and reacquire).
+	Execute() Op
+
+	// Yielding reports whether this transition is a yield in the
+	// paper's sense: an explicit processor yield or a synchronization
+	// operation with a finite timeout (§4: inference of yielding
+	// transitions). The fair scheduler closes the thread's window
+	// after a yielding transition.
+	Yielding() bool
+
+	// Info describes the operation for traces and fingerprints.
+	Info() OpInfo
+}
+
+// ChoiceOp is implemented by operations that introduce data
+// nondeterminism (T.Choose). The search resolves the choice and the
+// engine calls SetChoice before Execute.
+type ChoiceOp interface {
+	Op
+	// Arity returns the number of alternatives; choices are 0..Arity-1.
+	Arity() int
+	// SetChoice fixes the alternative Execute will take.
+	SetChoice(int)
+}
+
+// OpInfo is the trace- and fingerprint-facing description of an Op.
+type OpInfo struct {
+	Kind string // e.g. "lock", "yield", "store"
+	Obj  ObjID  // object operated on, or NoObj
+	Aux  int64  // operation-specific detail (value stored, chosen index…)
+}
+
+func (i OpInfo) String() string {
+	switch {
+	case i.Obj == NoObj && i.Aux == 0:
+		return i.Kind
+	case i.Obj == NoObj:
+		return fmt.Sprintf("%s(%d)", i.Kind, i.Aux)
+	default:
+		return fmt.Sprintf("%s(#%d,%d)", i.Kind, i.Obj, i.Aux)
+	}
+}
+
+// ObjID identifies a registered synchronization object or shared
+// variable within one execution. IDs are assigned in creation order.
+type ObjID int32
+
+// NoObj marks operations that touch no registered object.
+const NoObj ObjID = -1
+
+// Object is a registered shared object: a sync primitive or shared
+// variable. Objects expose their state for fingerprinting.
+type Object interface {
+	// ObjectInfo returns the object's id, kind and name.
+	ObjectInfo() (ObjID, string, string)
+	// AppendState appends a canonical encoding of the object's
+	// current state. Encodings must be self-delimiting and
+	// deterministic: equal logical states yield equal bytes.
+	AppendState(buf []byte) []byte
+}
+
+// Alt is one alternative at a scheduling point: schedule thread Tid,
+// and if its pending op is a ChoiceOp, resolve it to Arg (otherwise
+// Arg is -1).
+type Alt struct {
+	Tid tidset.Tid
+	Arg int
+}
+
+func (a Alt) String() string {
+	if a.Arg < 0 {
+		return fmt.Sprintf("t%d", a.Tid)
+	}
+	return fmt.Sprintf("t%d:%d", a.Tid, a.Arg)
+}
+
+// noChoice is the Arg value for alternatives without data choice.
+const noChoice = -1
+
+// startOp is the pending op of a spawned-but-not-yet-started thread:
+// its first transition runs the thread body to its first scheduling
+// point. The thread record is allocated while the parent is still
+// running (before the parent's spawn transition is scheduled), so the
+// start transition is enabled only once the parent's spawn op has
+// actually executed (th.armed). Execute is never called; the engine
+// starts the goroutine instead.
+type startOp struct {
+	th *thread
+}
+
+func (o startOp) Enabled() bool { return o.th.armed }
+func (o startOp) Execute() Op   { panic("engine: startOp.Execute must not be called") }
+func (o startOp) Yielding() bool {
+	return false
+}
+func (o startOp) Info() OpInfo { return OpInfo{Kind: "start", Obj: NoObj} }
+
+// yieldOp implements T.Yield and T.Sleep: always enabled, no effect,
+// and yielding — the good-samaritan signal the fair scheduler keys on.
+type yieldOp struct {
+	kind string
+	aux  int64
+}
+
+func (yieldOp) Enabled() bool  { return true }
+func (yieldOp) Execute() Op    { return nil }
+func (yieldOp) Yielding() bool { return true }
+func (o yieldOp) Info() OpInfo { return OpInfo{Kind: o.kind, Obj: NoObj, Aux: o.aux} }
+
+// chooseOp implements T.Choose(n): a data-nondeterminism point with n
+// alternatives, resolved by the search.
+type chooseOp struct {
+	n      int
+	choice int
+}
+
+func (o *chooseOp) Enabled() bool  { return true }
+func (o *chooseOp) Execute() Op    { return nil }
+func (o *chooseOp) Yielding() bool { return false }
+func (o *chooseOp) Arity() int     { return o.n }
+func (o *chooseOp) SetChoice(c int) {
+	if c < 0 || c >= o.n {
+		panic(fmt.Sprintf("engine: choice %d out of range [0,%d)", c, o.n))
+	}
+	o.choice = c
+}
+func (o *chooseOp) Info() OpInfo {
+	return OpInfo{Kind: "choose", Obj: NoObj, Aux: int64(o.choice)}
+}
+
+// joinOp blocks until the target thread exits.
+type joinOp struct {
+	target *thread
+}
+
+func (o *joinOp) Enabled() bool  { return o.target.status == statusExited }
+func (o *joinOp) Execute() Op    { return nil }
+func (o *joinOp) Yielding() bool { return false }
+func (o *joinOp) Info() OpInfo {
+	return OpInfo{Kind: "join", Obj: NoObj, Aux: int64(o.target.id)}
+}

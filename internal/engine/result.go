@@ -1,0 +1,180 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"fairmc/internal/tidset"
+)
+
+// Outcome classifies how one execution ended.
+type Outcome int8
+
+const (
+	// Terminated: every thread ran to completion (a terminating
+	// execution in the paper's sense).
+	Terminated Outcome = iota
+	// Deadlock: no thread is enabled but some threads are still live.
+	// By Theorem 3 the fair scheduler never reports a false deadlock.
+	Deadlock
+	// Violation: an assertion failed, a model API was misused, or the
+	// program panicked.
+	Violation
+	// Diverged: the execution exceeded the step bound. Under the fair
+	// scheduler this is the signature of a liveness error: in the
+	// limit the algorithm generates an infinite execution that either
+	// violates the good-samaritan property or is a fair
+	// nontermination (livelock). See internal/liveness.
+	Diverged
+	// Aborted: the chooser cut the execution short (search pruning).
+	Aborted
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Terminated:
+		return "terminated"
+	case Deadlock:
+		return "deadlock"
+	case Violation:
+		return "violation"
+	case Diverged:
+		return "diverged"
+	case Aborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// ViolationInfo describes a safety violation.
+type ViolationInfo struct {
+	Tid     tidset.Tid
+	Msg     string
+	IsPanic bool   // true if the thread body panicked
+	Stack   string // goroutine stack for panics
+}
+
+func (v *ViolationInfo) String() string {
+	kind := "failure"
+	if v.IsPanic {
+		kind = "panic"
+	}
+	return fmt.Sprintf("thread %d %s: %s", v.Tid, kind, v.Msg)
+}
+
+// BlockedInfo describes one thread blocked at a deadlock.
+type BlockedInfo struct {
+	Tid  tidset.Tid
+	Name string
+	Op   OpInfo
+}
+
+// Step is one recorded transition of an execution trace.
+type Step struct {
+	Alt   Alt
+	Info  OpInfo
+	Yield bool // the transition was yielding
+	// EnabledAfter is the number of enabled threads after the step
+	// (cheap context for trace display and liveness classification).
+	EnabledAfter int
+}
+
+// ThreadStat summarizes one thread's activity in an execution.
+type ThreadStat struct {
+	Tid    tidset.Tid
+	Name   string
+	Steps  int64 // transitions taken
+	Yields int64 // yielding transitions among them
+	Exited bool
+}
+
+// Result reports one complete execution.
+type Result struct {
+	Outcome   Outcome
+	Steps     int64
+	Schedule  []Alt  // the decisions taken, sufficient for replay
+	Trace     []Step // full trace if Config.RecordTrace
+	Violation *ViolationInfo
+	Blocked   []BlockedInfo // populated for Deadlock
+	Threads   int           // threads created
+	Yields    int64         // yielding transitions taken
+	// PerThread breaks Steps/Yields down by thread, in id order. The
+	// good-samaritan discipline is visible here: a thread with many
+	// steps and no yields in a diverging execution is the §4.3.1 bug.
+	PerThread []ThreadStat
+}
+
+// FormatTrace renders the recorded trace (or, without trace recording,
+// just the schedule) for human consumption.
+func (r *Result) FormatTrace() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "outcome: %s after %d steps, %d threads\n", r.Outcome, r.Steps, r.Threads)
+	if r.Violation != nil {
+		fmt.Fprintf(&b, "violation: %s\n", r.Violation)
+	}
+	for i, bl := range r.Blocked {
+		fmt.Fprintf(&b, "blocked[%d]: thread %d (%s) at %s\n", i, bl.Tid, bl.Name, bl.Op)
+	}
+	if len(r.Trace) > 0 {
+		for i, s := range r.Trace {
+			y := ""
+			if s.Yield {
+				y = " [yield]"
+			}
+			fmt.Fprintf(&b, "%5d: %s %s%s\n", i, s.Alt, s.Info, y)
+		}
+	} else {
+		fmt.Fprintf(&b, "schedule: %v\n", r.Schedule)
+	}
+	return b.String()
+}
+
+// FormatColumns renders the recorded trace as one column per thread —
+// the layout concurrency bugs are easiest to read in. Requires a
+// recorded trace; falls back to FormatTrace otherwise. width is the
+// column width (0 = 14).
+func (r *Result) FormatColumns(width int) string {
+	if len(r.Trace) == 0 {
+		return r.FormatTrace()
+	}
+	if width <= 0 {
+		width = 14
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "outcome: %s after %d steps\n", r.Outcome, r.Steps)
+	// Header: thread names.
+	fmt.Fprintf(&b, "%5s ", "")
+	for _, ts := range r.PerThread {
+		fmt.Fprintf(&b, "| %-*s", width, clip(fmt.Sprintf("%d:%s", ts.Tid, ts.Name), width))
+	}
+	b.WriteByte('\n')
+	for i, s := range r.Trace {
+		fmt.Fprintf(&b, "%5d ", i)
+		for _, ts := range r.PerThread {
+			cell := ""
+			if ts.Tid == s.Alt.Tid {
+				cell = s.Info.String()
+				if s.Yield {
+					cell += "*"
+				}
+			}
+			fmt.Fprintf(&b, "| %-*s", width, clip(cell, width))
+		}
+		b.WriteByte('\n')
+	}
+	if r.Violation != nil {
+		fmt.Fprintf(&b, "violation: %s\n", r.Violation)
+	}
+	return b.String()
+}
+
+func clip(s string, w int) string {
+	if len(s) <= w {
+		return s
+	}
+	if w <= 1 {
+		return s[:w]
+	}
+	return s[:w-1] + "…"
+}

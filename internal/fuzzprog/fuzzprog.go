@@ -1,0 +1,170 @@
+// Package fuzzprog generates random model programs for metamorphic
+// testing of the checker itself.
+//
+// Generated programs are correct by construction:
+//
+//   - shared access only through conc objects;
+//   - locks nest in ascending index order, so no deadlocks;
+//   - loops are either bounded or spin-with-yield on a flag the main
+//     thread is guaranteed to set, so programs are fair-terminating
+//     (and, without spin ops, terminating under every schedule).
+//
+// The checker must therefore: exhaust the fair search with no
+// findings; replay any execution to an identical trace; cover the same
+// states with and without sleep sets; and count no more canonical than
+// raw states. Violations of these properties are checker bugs, which
+// is exactly what the fuzz tests hunt.
+package fuzzprog
+
+import (
+	"fmt"
+
+	"fairmc/internal/engine"
+	"fairmc/internal/rng"
+	"fairmc/internal/syncmodel"
+)
+
+// Config bounds the generated program shapes.
+type Config struct {
+	// Threads is the number of spawned threads (besides main).
+	Threads int
+	// Vars and Mutexes are the shared-object counts.
+	Vars    int
+	Mutexes int
+	// OpsPerThread bounds each thread's straight-line length.
+	OpsPerThread int
+	// AllowSpin permits spin-with-yield waits on the main-set flag,
+	// making the state space cyclic. Programs with spins are only
+	// fair-terminating, not terminating.
+	AllowSpin bool
+}
+
+// DefaultConfig is a small shape that keeps exhaustive search fast.
+func DefaultConfig() Config {
+	return Config{Threads: 2, Vars: 2, Mutexes: 2, OpsPerThread: 4, AllowSpin: true}
+}
+
+// op is one generated instruction.
+type op struct {
+	kind kind
+	a, b int
+}
+
+type kind int8
+
+const (
+	kStore kind = iota // vars[a] <- b
+	kLoad              // read vars[a]
+	kAdd               // vars[a] += b
+	kYield
+	kSleep
+	kLockBlock // acquire mutexes[a], run nested block, release
+	kSpinFlag  // spin (with yield) until the main-done flag is set
+)
+
+// program is a generated program: per-thread op lists.
+type program struct {
+	cfg     Config
+	threads [][]op
+	nested  [][]op // block id (kLockBlock's b field) -> nested ops
+}
+
+// Generate builds a deterministic random program from seed.
+func Generate(cfg Config, seed uint64) func(*engine.T) {
+	r := rng.New(rng.Mix(seed, 0x66757a7a))
+	p := &program{cfg: cfg}
+	for i := 0; i < cfg.Threads; i++ {
+		n := 1 + r.Intn(cfg.OpsPerThread)
+		p.threads = append(p.threads, p.genBlock(r, n, 0, true))
+	}
+	return p.body
+}
+
+// genBlock generates n ops; locks drawn from indices >= minLock keep
+// the global acquisition order.
+func (p *program) genBlock(r *rng.Rand, n, minLock int, topLevel bool) []op {
+	var out []op
+	for i := 0; i < n; i++ {
+		roll := r.Intn(10)
+		switch {
+		case roll < 3 && p.cfg.Vars > 0:
+			out = append(out, op{kind: kStore, a: r.Intn(p.cfg.Vars), b: r.Intn(5)})
+		case roll < 5 && p.cfg.Vars > 0:
+			out = append(out, op{kind: kLoad, a: r.Intn(p.cfg.Vars)})
+		case roll < 6 && p.cfg.Vars > 0:
+			out = append(out, op{kind: kAdd, a: r.Intn(p.cfg.Vars), b: 1 + r.Intn(3)})
+		case roll < 7:
+			out = append(out, op{kind: kYield})
+		case roll < 8 && p.cfg.Mutexes > minLock:
+			m := minLock + r.Intn(p.cfg.Mutexes-minLock)
+			// Reserve the block id before recursing: the recursive
+			// genBlock call allocates ids of its own.
+			id := len(p.nested)
+			p.nested = append(p.nested, nil)
+			p.nested[id] = p.genBlock(r, 1+r.Intn(2), m+1, false)
+			out = append(out, op{kind: kLockBlock, a: m, b: id})
+		case roll < 9 && p.cfg.AllowSpin && topLevel:
+			out = append(out, op{kind: kSpinFlag})
+		default:
+			out = append(out, op{kind: kSleep, a: 1 + r.Intn(3)})
+		}
+	}
+	return out
+}
+
+// body runs the generated program.
+func (p *program) body(t *engine.T) {
+	vars := make([]*syncmodel.IntVar, p.cfg.Vars)
+	for i := range vars {
+		vars[i] = syncmodel.NewIntVar(t, fmt.Sprintf("v%d", i), 0)
+	}
+	mutexes := make([]*syncmodel.Mutex, p.cfg.Mutexes)
+	for i := range mutexes {
+		mutexes[i] = syncmodel.NewMutex(t, fmt.Sprintf("m%d", i))
+	}
+	flag := syncmodel.NewIntVar(t, "mainDone", 0)
+	wg := syncmodel.NewWaitGroup(t, "wg", int64(len(p.threads)))
+	for i, ops := range p.threads {
+		ops := ops
+		t.Go(fmt.Sprintf("g%d", i), func(t *engine.T) {
+			p.run(t, ops, vars, mutexes, flag)
+			wg.Done(t)
+		})
+	}
+	// The guarantee spin waits rely on: main sets the flag after all
+	// spawns, unconditionally.
+	flag.Store(t, 1)
+	wg.Wait(t)
+}
+
+func (p *program) run(t *engine.T, ops []op, vars []*syncmodel.IntVar,
+	mutexes []*syncmodel.Mutex, flag *syncmodel.IntVar) {
+	for _, o := range ops {
+		switch o.kind {
+		case kStore:
+			vars[o.a].Store(t, int64(o.b))
+		case kLoad:
+			vars[o.a].Load(t)
+		case kAdd:
+			vars[o.a].Add(t, int64(o.b))
+		case kYield:
+			t.Yield()
+		case kSleep:
+			t.Sleep(int64(o.a))
+		case kLockBlock:
+			mutexes[o.a].Lock(t)
+			p.run(t, p.nested[o.b], vars, mutexes, flag)
+			mutexes[o.a].Unlock(t)
+		case kSpinFlag:
+			for {
+				t.Label(100)
+				if flag.Load(t) == 1 {
+					break
+				}
+				t.Yield()
+			}
+		default:
+			panic("fuzzprog: unknown op")
+		}
+	}
+}

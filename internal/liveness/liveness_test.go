@@ -1,0 +1,210 @@
+package liveness_test
+
+import (
+	"strings"
+	"testing"
+
+	"fairmc/internal/engine"
+	"fairmc/internal/liveness"
+	"fairmc/internal/search"
+	"fairmc/internal/syncmodel"
+	"fairmc/internal/tidset"
+)
+
+// trace builds a synthetic diverged result from (tid, yield) pairs.
+func trace(steps ...[2]int) *engine.Result {
+	r := &engine.Result{Outcome: engine.Diverged}
+	for _, s := range steps {
+		r.Trace = append(r.Trace, engine.Step{
+			Alt:   engine.Alt{Tid: tidset.Tid(s[0]), Arg: -1},
+			Yield: s[1] == 1,
+		})
+	}
+	r.Steps = int64(len(r.Trace))
+	return r
+}
+
+func repeat(n int, steps ...[2]int) [][2]int {
+	var out [][2]int
+	for i := 0; i < n; i++ {
+		out = append(out, steps...)
+	}
+	return out
+}
+
+func TestClassifyGSViolation(t *testing.T) {
+	// Thread 1 spins without yielding for the whole tail.
+	steps := repeat(100, [2]int{1, 0})
+	rep := liveness.Classify(trace(steps...), liveness.Options{})
+	if rep.Kind != liveness.GoodSamaritanViolation {
+		t.Fatalf("kind = %v, want GS violation\n%s", rep.Kind, rep)
+	}
+	if len(rep.Culprits) != 1 || rep.Culprits[0] != 1 {
+		t.Fatalf("culprits = %v, want [1]", rep.Culprits)
+	}
+}
+
+func TestClassifyLivelock(t *testing.T) {
+	// Two threads alternate, each yielding every other step: a fair
+	// cycle.
+	steps := repeat(50, [2]int{1, 0}, [2]int{1, 1}, [2]int{2, 0}, [2]int{2, 1})
+	rep := liveness.Classify(trace(steps...), liveness.Options{})
+	if rep.Kind != liveness.FairNontermination {
+		t.Fatalf("kind = %v, want livelock\n%s", rep.Kind, rep)
+	}
+	if len(rep.Culprits) != 2 {
+		t.Fatalf("culprits = %v, want both threads", rep.Culprits)
+	}
+}
+
+func TestClassifyIgnoresSparseThreads(t *testing.T) {
+	// A thread that takes only a couple of non-yielding steps in the
+	// tail (below MinSched) must not be blamed for a GS violation.
+	steps := append(repeat(40, [2]int{1, 0}, [2]int{1, 1}), [2]int{2, 0}, [2]int{2, 0})
+	rep := liveness.Classify(trace(steps...), liveness.Options{})
+	if rep.Kind != liveness.FairNontermination {
+		t.Fatalf("kind = %v, want livelock\n%s", rep.Kind, rep)
+	}
+}
+
+func TestClassifyNonDiverged(t *testing.T) {
+	rep := liveness.Classify(&engine.Result{Outcome: engine.Terminated}, liveness.Options{})
+	if rep.Kind != liveness.NotDiverging {
+		t.Fatalf("kind = %v", rep.Kind)
+	}
+}
+
+func TestClassifyRequiresTrace(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for missing trace")
+		}
+	}()
+	liveness.Classify(&engine.Result{Outcome: engine.Diverged}, liveness.Options{})
+}
+
+func TestWindowOption(t *testing.T) {
+	// Thread 1 yields early in the trace but stops yielding: with the
+	// default half-trace window the early yields fall outside and the
+	// GS violation is detected.
+	var steps [][2]int
+	steps = append(steps, repeat(10, [2]int{1, 1})...)
+	steps = append(steps, repeat(90, [2]int{1, 0})...)
+	rep := liveness.Classify(trace(steps...), liveness.Options{})
+	if rep.Kind != liveness.GoodSamaritanViolation {
+		t.Fatalf("kind = %v, want GS violation\n%s", rep.Kind, rep)
+	}
+	// With a window covering the whole trace the early yields mask it.
+	rep = liveness.Classify(trace(steps...), liveness.Options{Window: 100})
+	if rep.Kind != liveness.FairNontermination {
+		t.Fatalf("kind = %v, want livelock with full window", rep.Kind)
+	}
+}
+
+// TestEndToEndGSViolation drives a real program whose worker spins
+// without yielding once a stop flag race strikes — a miniature of the
+// paper's §4.3.1 — and checks the search+classification pipeline.
+func TestEndToEndGSViolation(t *testing.T) {
+	prog := func(t *engine.T) {
+		flag := syncmodel.NewIntVar(t, "flag", 0)
+		t.Go("spinner", func(t *engine.T) {
+			for {
+				t.Label(1)
+				if flag.Load(t) == 1 {
+					break
+				}
+				// BUG: spins without yielding.
+			}
+		})
+		// Nobody ever sets flag; the spinner hogs the schedule.
+	}
+	rep := search.Explore(prog, search.Options{
+		Fair:         true,
+		ContextBound: -1,
+		MaxSteps:     400,
+	})
+	if rep.Divergence == nil {
+		t.Fatalf("no divergence: %+v", rep)
+	}
+	lrep := liveness.Classify(rep.Divergence, liveness.Options{})
+	if lrep.Kind != liveness.GoodSamaritanViolation {
+		t.Fatalf("kind = %v, want GS violation\n%s", lrep.Kind, lrep)
+	}
+}
+
+// TestEndToEndLivelock drives a fair token-passing livelock through
+// the pipeline.
+func TestEndToEndLivelock(t *testing.T) {
+	prog := func(t *engine.T) {
+		turn := syncmodel.NewIntVar(t, "turn", 0)
+		for i := 0; i < 2; i++ {
+			me := int64(i)
+			t.Go("p", func(t *engine.T) {
+				for {
+					t.Label(1)
+					if turn.Load(t) == me {
+						turn.Store(t, 1-me)
+					}
+					t.Yield()
+				}
+			})
+		}
+	}
+	rep := search.Explore(prog, search.Options{
+		Fair:         true,
+		ContextBound: -1,
+		MaxSteps:     400,
+	})
+	if rep.Divergence == nil {
+		t.Fatalf("no divergence: %+v", rep)
+	}
+	lrep := liveness.Classify(rep.Divergence, liveness.Options{})
+	if lrep.Kind != liveness.FairNontermination {
+		t.Fatalf("kind = %v, want livelock\n%s", lrep.Kind, lrep)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	cases := map[liveness.Kind]string{
+		liveness.NotDiverging:           "not diverging",
+		liveness.GoodSamaritanViolation: "good-samaritan violation",
+		liveness.FairNontermination:     "fair nontermination (livelock)",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if liveness.Kind(99).String() == "" {
+		t.Error("unknown kind renders empty")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	steps := repeat(50, [2]int{1, 0})
+	rep := liveness.Classify(trace(steps...), liveness.Options{})
+	s := rep.String()
+	for _, want := range []string{"good-samaritan", "thread 1", "culprits"} {
+		if !stringsContains(s, want) {
+			t.Errorf("report %q missing %q", s, want)
+		}
+	}
+}
+
+func stringsContains(s, sub string) bool {
+	return len(s) >= len(sub) && strings.Contains(s, sub)
+}
+
+func TestMinSchedOption(t *testing.T) {
+	// A thread with 5 non-yielding steps: below the default MinSched
+	// of 8 it is not blamed, with MinSched 3 it is.
+	steps := append(repeat(30, [2]int{1, 0}, [2]int{1, 1}), repeat(5, [2]int{2, 0})...)
+	rep := liveness.Classify(trace(steps...), liveness.Options{Window: len(steps)})
+	if rep.Kind != liveness.FairNontermination {
+		t.Fatalf("default MinSched: kind = %v", rep.Kind)
+	}
+	rep = liveness.Classify(trace(steps...), liveness.Options{Window: len(steps), MinSched: 3})
+	if rep.Kind != liveness.GoodSamaritanViolation {
+		t.Fatalf("MinSched=3: kind = %v", rep.Kind)
+	}
+}

@@ -1,0 +1,181 @@
+package liveness
+
+import (
+	"fmt"
+	"strings"
+
+	"fairmc/internal/engine"
+)
+
+// This file implements the paper's stated next step — "we would like
+// to extend CHESS to check an arbitrary liveness property" (§6) — for
+// the fragment that matters in practice for multithreaded software:
+// conjunctions of GF p ("p holds infinitely often") and FG p
+// ("eventually p holds forever") over state predicates.
+//
+// A stateless checker can never observe an infinite execution; like
+// the built-in fair-termination check, property checking works on the
+// bounded prefix the fair scheduler generates before the divergence
+// bound, interpreting its tail as the execution's limit behaviour:
+//
+//	GF p holds   if p is observed at least once in the tail window
+//	             (a violation candidate otherwise);
+//	FG p holds   if p holds at every observed tail state.
+//
+// These are sound *warnings*, not proofs, exactly like the paper's
+// divergence warning: the user inspects the reported execution and, in
+// the rare boundary case, increases the bound and reruns.
+
+// Pred is a named predicate over the engine's state, sampled after
+// every step of the monitored execution.
+type Pred struct {
+	Name string
+	Eval func(*engine.Engine) bool
+}
+
+// Property is a liveness property: the conjunction of GF p for every
+// p in InfinitelyOften and FG q for every q in EventuallyAlways.
+type Property struct {
+	InfinitelyOften  []Pred
+	EventuallyAlways []Pred
+}
+
+// PropertyViolation describes one failed conjunct.
+type PropertyViolation struct {
+	// Pred is the predicate's name.
+	Pred string
+	// Temporal is "GF" or "FG".
+	Temporal string
+	// FailStep is the first tail step witnessing the failure (for FG),
+	// or -1 (for GF, where the failure is the absence of a witness).
+	FailStep int
+}
+
+func (v PropertyViolation) String() string {
+	if v.Temporal == "GF" {
+		return fmt.Sprintf("GF %s violated: never observed in the execution tail", v.Pred)
+	}
+	return fmt.Sprintf("FG %s violated: false at tail step %d", v.Pred, v.FailStep)
+}
+
+// PropertyReport is the result of monitoring a property.
+type PropertyReport struct {
+	// Diverged reports whether the execution reached the step bound;
+	// liveness verdicts are only meaningful for diverging executions.
+	Diverged bool
+	// Violations lists the failed conjuncts (empty = property held on
+	// the observed tail).
+	Violations []PropertyViolation
+	// Window is the number of tail samples analyzed.
+	Window int
+}
+
+func (r *PropertyReport) String() string {
+	if !r.Diverged {
+		return "execution terminated; liveness property not applicable"
+	}
+	if len(r.Violations) == 0 {
+		return fmt.Sprintf("property held on the %d-step tail", r.Window)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d liveness violation(s) on the %d-step tail:\n", len(r.Violations), r.Window)
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "  %s\n", v)
+	}
+	return b.String()
+}
+
+// PropertyMonitor samples a Property along an execution; attach it as
+// the engine/search Monitor and call Report once the execution (or
+// search) ends. The monitor keeps a sliding window of the most recent
+// samples, so memory is bounded regardless of execution length.
+type PropertyMonitor struct {
+	prop   Property
+	window int
+	// ring buffers of samples, one per predicate, length window.
+	gf   [][]bool
+	fg   [][]bool
+	n    int // samples seen this execution
+	last *engine.Engine
+}
+
+// NewPropertyMonitor builds a monitor with the given tail window
+// (0 means 256 samples).
+func NewPropertyMonitor(prop Property, window int) *PropertyMonitor {
+	if window <= 0 {
+		window = 256
+	}
+	m := &PropertyMonitor{prop: prop, window: window}
+	m.gf = make([][]bool, len(prop.InfinitelyOften))
+	for i := range m.gf {
+		m.gf[i] = make([]bool, window)
+	}
+	m.fg = make([][]bool, len(prop.EventuallyAlways))
+	for i := range m.fg {
+		m.fg[i] = make([]bool, window)
+	}
+	return m
+}
+
+// AfterInit implements engine.Monitor: reset for a new execution.
+func (m *PropertyMonitor) AfterInit(e *engine.Engine) {
+	m.n = 0
+	m.last = e
+}
+
+// AfterStep implements engine.Monitor.
+func (m *PropertyMonitor) AfterStep(e *engine.Engine) {
+	slot := m.n % m.window
+	for i, p := range m.prop.InfinitelyOften {
+		m.gf[i][slot] = p.Eval(e)
+	}
+	for i, p := range m.prop.EventuallyAlways {
+		m.fg[i][slot] = p.Eval(e)
+	}
+	m.n++
+	m.last = e
+}
+
+// Report evaluates the property against the sampled tail of the
+// execution described by res.
+func (m *PropertyMonitor) Report(res *engine.Result) *PropertyReport {
+	rep := &PropertyReport{Diverged: res.Outcome == engine.Diverged}
+	if !rep.Diverged {
+		return rep
+	}
+	window := m.window
+	if m.n < window {
+		window = m.n
+	}
+	rep.Window = window
+	for i, p := range m.prop.InfinitelyOften {
+		seen := false
+		for s := 0; s < window; s++ {
+			if m.gf[i][s] {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			rep.Violations = append(rep.Violations, PropertyViolation{
+				Pred: p.Name, Temporal: "GF", FailStep: -1,
+			})
+		}
+	}
+	for i, p := range m.prop.EventuallyAlways {
+		// Scan the tail in chronological order: oldest sample first.
+		for s := 0; s < window; s++ {
+			idx := s
+			if m.n > m.window {
+				idx = (m.n + s) % m.window
+			}
+			if !m.fg[i][idx] {
+				rep.Violations = append(rep.Violations, PropertyViolation{
+					Pred: p.Name, Temporal: "FG", FailStep: m.n - window + s,
+				})
+				break
+			}
+		}
+	}
+	return rep
+}

@@ -1,0 +1,132 @@
+package liveness_test
+
+import (
+	"strings"
+	"testing"
+
+	"fairmc/internal/engine"
+	"fairmc/internal/liveness"
+	"fairmc/internal/syncmodel"
+)
+
+// tokenRing is a two-thread token passer that never terminates; the
+// token alternates, so GF "thread 0 holds" and GF "thread 1 holds"
+// both hold, while FG "thread 0 holds" fails.
+func tokenRing(turn **syncmodel.IntVar) func(*engine.T) {
+	return func(t *engine.T) {
+		v := syncmodel.NewIntVar(t, "turn", 0)
+		*turn = v
+		for i := 0; i < 2; i++ {
+			me := int64(i)
+			t.Go("p", func(t *engine.T) {
+				for {
+					t.Label(1)
+					if v.Load(t) == me {
+						v.Store(t, 1-me)
+					}
+					t.Yield()
+				}
+			})
+		}
+	}
+}
+
+func runWithProperty(t *testing.T, mkProp func(*syncmodel.IntVar) liveness.Property) *liveness.PropertyReport {
+	t.Helper()
+	var turn *syncmodel.IntVar
+	prog := tokenRing(&turn)
+	var mon *liveness.PropertyMonitor
+	// The predicate needs the IntVar created inside the execution, so
+	// build the monitor lazily on first init via a shim.
+	shim := &lazyMonitor{build: func() engine.Monitor {
+		mon = liveness.NewPropertyMonitor(mkProp(turn), 64)
+		return mon
+	}}
+	r := engine.Run(prog, engine.RunToCompletionChooser{}, engine.Config{
+		Fair:     true,
+		MaxSteps: 600,
+		Monitor:  shim,
+	})
+	if r.Outcome != engine.Diverged {
+		t.Fatalf("outcome = %v, want diverged", r.Outcome)
+	}
+	return mon.Report(r)
+}
+
+// lazyMonitor defers monitor construction until the program has set up
+// its objects (AfterInit fires before the first step, but the turn
+// variable is created during the main thread's first transition, so
+// the real sampling starts at AfterStep anyway).
+type lazyMonitor struct {
+	build func() engine.Monitor
+	inner engine.Monitor
+}
+
+func (l *lazyMonitor) AfterInit(e *engine.Engine) { l.inner = nil }
+func (l *lazyMonitor) AfterStep(e *engine.Engine) {
+	if l.inner == nil {
+		l.inner = l.build()
+		l.inner.AfterInit(e)
+	}
+	l.inner.AfterStep(e)
+}
+
+func TestGFHoldsOnAlternatingToken(t *testing.T) {
+	rep := runWithProperty(t, func(turn *syncmodel.IntVar) liveness.Property {
+		return liveness.Property{
+			InfinitelyOften: []liveness.Pred{
+				{Name: "turn=0", Eval: func(*engine.Engine) bool { return turn.Peek() == 0 }},
+				{Name: "turn=1", Eval: func(*engine.Engine) bool { return turn.Peek() == 1 }},
+			},
+		}
+	})
+	if len(rep.Violations) != 0 {
+		t.Fatalf("GF conjuncts violated: %s", rep)
+	}
+}
+
+func TestFGFailsOnAlternatingToken(t *testing.T) {
+	rep := runWithProperty(t, func(turn *syncmodel.IntVar) liveness.Property {
+		return liveness.Property{
+			EventuallyAlways: []liveness.Pred{
+				{Name: "turn=0", Eval: func(*engine.Engine) bool { return turn.Peek() == 0 }},
+			},
+		}
+	})
+	if len(rep.Violations) != 1 || rep.Violations[0].Temporal != "FG" {
+		t.Fatalf("expected one FG violation: %s", rep)
+	}
+	if !strings.Contains(rep.String(), "FG turn=0 violated") {
+		t.Fatalf("report rendering: %s", rep)
+	}
+}
+
+func TestGFFailsWhenPredicateNeverHolds(t *testing.T) {
+	rep := runWithProperty(t, func(turn *syncmodel.IntVar) liveness.Property {
+		return liveness.Property{
+			InfinitelyOften: []liveness.Pred{
+				{Name: "turn=7", Eval: func(*engine.Engine) bool { return turn.Peek() == 7 }},
+			},
+		}
+	})
+	if len(rep.Violations) != 1 || rep.Violations[0].Temporal != "GF" {
+		t.Fatalf("expected one GF violation: %s", rep)
+	}
+}
+
+func TestPropertyNotApplicableOnTermination(t *testing.T) {
+	mon := liveness.NewPropertyMonitor(liveness.Property{
+		InfinitelyOften: []liveness.Pred{{Name: "p", Eval: func(*engine.Engine) bool { return true }}},
+	}, 16)
+	r := engine.Run(func(t *engine.T) { t.Yield() }, engine.FirstChooser{}, engine.Config{
+		Fair:    true,
+		Monitor: mon,
+	})
+	rep := mon.Report(r)
+	if rep.Diverged {
+		t.Fatal("terminated run reported as diverged")
+	}
+	if !strings.Contains(rep.String(), "not applicable") {
+		t.Fatalf("report: %s", rep)
+	}
+}

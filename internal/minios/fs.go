@@ -1,0 +1,83 @@
+package minios
+
+import "fairmc/conc"
+
+// Filesystem operations served over the FS port.
+const (
+	FSAlloc = iota + 1 // alloc an inode, reply fid (or FSErr)
+	FSWrite            // arg = fid<<16|value, reply FSOk
+	FSRead             // arg = fid, reply value
+	FSFree             // arg = fid, reply FSOk
+)
+
+// FS reply sentinels.
+const (
+	FSOk  = int64(0)
+	FSErr = int64(1) << 30
+)
+
+// FileSystem is a tiny in-memory filesystem service: a fixed inode
+// table behind a mutex, exposed as a Port handler. The interesting
+// property for the checker is the same as in a real kernel: the table
+// is shared mutable state that concurrent Call sequences must never
+// corrupt — read-after-write must return the written value, and an
+// inode must never be double-allocated.
+type FileSystem struct {
+	mu        *conc.Mutex
+	allocated *conc.IntArray
+	data      *conc.IntArray
+}
+
+// NewFileSystem creates a filesystem with the given inode count.
+func NewFileSystem(t *conc.T, inodes int) *FileSystem {
+	return &FileSystem{
+		mu:        conc.NewMutex(t, "fs.mu"),
+		allocated: conc.NewIntArray(t, "fs.allocated", inodes),
+		data:      conc.NewIntArray(t, "fs.data", inodes),
+	}
+}
+
+// Handle implements the Port Handler for the filesystem.
+func (fs *FileSystem) Handle(t *conc.T, op int, arg int64) int64 {
+	switch op {
+	case FSAlloc:
+		fs.mu.Lock(t)
+		defer fs.mu.Unlock(t)
+		for i := 0; i < fs.allocated.Len(); i++ {
+			if fs.allocated.Get(t, i) == 0 {
+				fs.allocated.Set(t, i, 1)
+				fs.data.Set(t, i, 0)
+				return int64(i)
+			}
+		}
+		return FSErr
+	case FSWrite:
+		fid := int(arg >> 16)
+		val := arg & 0xffff
+		fs.mu.Lock(t)
+		defer fs.mu.Unlock(t)
+		t.Assert(fs.valid(t, fid), "write to unallocated inode")
+		fs.data.Set(t, fid, val)
+		return FSOk
+	case FSRead:
+		fid := int(arg)
+		fs.mu.Lock(t)
+		defer fs.mu.Unlock(t)
+		t.Assert(fs.valid(t, fid), "read of unallocated inode")
+		return fs.data.Get(t, fid)
+	case FSFree:
+		fid := int(arg)
+		fs.mu.Lock(t)
+		defer fs.mu.Unlock(t)
+		t.Assert(fs.valid(t, fid), "free of unallocated inode")
+		fs.allocated.Set(t, fid, 0)
+		return FSOk
+	default:
+		t.Failf("fs: unknown op %d", op)
+		return FSErr
+	}
+}
+
+func (fs *FileSystem) valid(t *conc.T, fid int) bool {
+	return fid >= 0 && fid < fs.allocated.Len() && fs.allocated.Get(t, fid) == 1
+}

@@ -1,0 +1,156 @@
+package minios
+
+import (
+	"fmt"
+
+	"fairmc/conc"
+)
+
+// IRQController models a simple interrupt controller: numbered lines
+// that devices raise and drivers wait on, with per-line masking. A
+// raise on a masked line is latched (pending) and delivered on
+// unmask — losing it instead is the classic driver bug, expressible
+// here by skipping the latch.
+type IRQController struct {
+	lines   []*conc.Event // auto-reset: one delivery per wait
+	masked  *conc.IntArray
+	pending *conc.IntArray
+}
+
+// NewIRQController creates a controller with n lines, all unmasked.
+func NewIRQController(t *conc.T, n int) *IRQController {
+	c := &IRQController{
+		masked:  conc.NewIntArray(t, "irq.masked", n),
+		pending: conc.NewIntArray(t, "irq.pending", n),
+	}
+	for i := 0; i < n; i++ {
+		c.lines = append(c.lines, conc.NewEvent(t, fmt.Sprintf("irq%d", i), false, false))
+	}
+	return c
+}
+
+// Raise asserts the line: delivered immediately when unmasked,
+// latched when masked.
+func (c *IRQController) Raise(t *conc.T, line int) {
+	if c.masked.Get(t, line) == 1 {
+		c.pending.Set(t, line, 1)
+		return
+	}
+	c.lines[line].Set(t)
+}
+
+// Wait blocks the calling driver until the line fires.
+func (c *IRQController) Wait(t *conc.T, line int) {
+	c.lines[line].Wait(t)
+}
+
+// WaitTimeout polls the line with a finite timeout (a yielding
+// transition), for drivers that interleave interrupt service with
+// other duties.
+func (c *IRQController) WaitTimeout(t *conc.T, line int) bool {
+	return c.lines[line].WaitTimeout(t)
+}
+
+// Mask suppresses delivery on the line; raises are latched.
+func (c *IRQController) Mask(t *conc.T, line int) {
+	c.masked.Set(t, line, 1)
+}
+
+// Unmask re-enables the line and delivers a latched raise.
+func (c *IRQController) Unmask(t *conc.T, line int) {
+	c.masked.Set(t, line, 0)
+	if c.pending.Get(t, line) == 1 {
+		c.pending.Set(t, line, 0)
+		c.lines[line].Set(t)
+	}
+}
+
+// Disk operations on the driver port.
+const (
+	DiskRead = iota + 1
+)
+
+// DiskConfig sizes the disk subsystem harness.
+type DiskConfig struct {
+	// Sectors is the disk size; sector i holds value i*3+1.
+	Sectors int
+	// Clients is the number of reader threads.
+	Clients int
+	// ReadsPerClient bounds the harness.
+	ReadsPerClient int
+}
+
+// DiskSubsystem builds an interrupt-driven device stack: clients call
+// the driver over a port; the driver submits the sector to the device
+// mailbox and blocks on the IRQ line; the device thread "performs the
+// I/O" (fills the transfer buffer) and raises the interrupt; the
+// driver completes the request. Every read must return the sector's
+// value — lost interrupts or torn mailbox updates would deadlock or
+// corrupt, and the checker explores for both.
+func DiskSubsystem(cfg DiskConfig) func(*conc.T) {
+	if cfg.Sectors < 1 || cfg.Clients < 1 || cfg.ReadsPerClient < 1 {
+		panic(fmt.Sprintf("minios: bad DiskConfig %+v", cfg))
+	}
+	return func(t *conc.T) {
+		irq := NewIRQController(t, 1)
+		// Device registers: the request mailbox (sector, doorbell) and
+		// the transfer buffer.
+		reqSector := conc.NewIntVar(t, "dev.sector", 0)
+		doorbell := conc.NewEvent(t, "dev.doorbell", false, false)
+		xfer := conc.NewIntVar(t, "dev.xfer", 0)
+		devStop := conc.NewIntVar(t, "dev.stop", 0)
+
+		port := NewPort(t, "disk", 1, cfg.Clients)
+		stop := conc.NewIntVar(t, "drv.stop", 0)
+
+		// The device: waits for the doorbell, services, raises IRQ 0.
+		dev := t.Go("device", func(t *conc.T) {
+			for {
+				t.Label(1)
+				if doorbell.WaitTimeout(t) {
+					sector := reqSector.Load(t)
+					xfer.Store(t, sector*3+1) // the sector's content
+					irq.Raise(t, 0)
+					continue
+				}
+				if devStop.Load(t) == 1 {
+					return
+				}
+			}
+		})
+
+		// The driver: serves the port; each read is a submit+IRQ-wait.
+		drv := t.Go("driver", func(t *conc.T) {
+			port.Serve(t, func(t *conc.T) bool { return stop.Peek() == 1 },
+				func(t *conc.T, op int, arg int64) int64 {
+					if op != DiskRead {
+						t.Failf("disk: unknown op %d", op)
+					}
+					reqSector.Store(t, arg)
+					doorbell.Set(t)
+					irq.Wait(t, 0)
+					return xfer.Load(t)
+				})
+		})
+
+		// Clients.
+		wg := conc.NewWaitGroup(t, "wg", int64(cfg.Clients))
+		for c := 0; c < cfg.Clients; c++ {
+			c := c
+			t.Go(fmt.Sprintf("client%d", c), func(t *conc.T) {
+				for r := 0; r < cfg.ReadsPerClient; r++ {
+					sector := int64((c + r) % cfg.Sectors)
+					got := port.Call(t, c, DiskRead, sector)
+					t.Assert(got == sector*3+1,
+						fmt.Sprintf("read sector %d: got %d", sector, got))
+				}
+				wg.Done(t)
+			})
+		}
+		wg.Wait(t)
+		stop.Store(t, 1)
+		drv.Join(t)
+		devStop.Store(t, 1)
+		dev.Join(t)
+	}
+}

@@ -1,0 +1,168 @@
+package minios
+
+import (
+	"fmt"
+
+	"fairmc/conc"
+)
+
+// Config sizes the modeled system. The thread count of a boot is
+// 1 (kernel) + 1 (memory) + 1 (fs service) + Drivers + Services + Apps.
+type Config struct {
+	// Drivers is the number of device-driver threads.
+	Drivers int
+	// Services is the number of generic request-serving system
+	// services (each owning a Port).
+	Services int
+	// Apps is the number of application threads.
+	Apps int
+	// RequestsPerApp bounds each app's service calls — the §2 trick
+	// that makes a "runs forever" system fair-terminating under test.
+	RequestsPerApp int
+	// Inodes sizes the filesystem.
+	Inodes int
+}
+
+// Validate panics on nonsensical configurations.
+func (c Config) Validate() {
+	if c.Drivers < 1 || c.Services < 1 || c.Apps < 1 || c.RequestsPerApp < 1 || c.Inodes < 1 {
+		panic(fmt.Sprintf("minios: bad config %+v", c))
+	}
+}
+
+// Threads returns the number of model threads a boot creates.
+func (c Config) Threads() int {
+	return 3 + c.Drivers + c.Services + c.Apps
+}
+
+// Boot runs the full life cycle — boot, serve, shutdown — as the body
+// of the main thread. The protocol:
+//
+//  1. the memory manager comes up and signals memReady;
+//  2. the filesystem service starts (needs memory) and registers;
+//  3. drivers poll for memory with finite timeouts (yielding), then
+//     register;
+//  4. services register and enter their serve loops;
+//  5. the kernel waits for all registrations, seals the namespace,
+//     and admits the applications;
+//  6. each app allocates a file, makes its bounded service calls,
+//     verifies read-after-write through the filesystem port, and
+//     frees the file;
+//  7. the kernel broadcasts shutdown and joins everything.
+//
+// Every assertion is an invariant the real protocol maintains: no
+// registration after seal, no service reply corruption, filesystem
+// consistency, and complete shutdown.
+func Boot(cfg Config) func(*conc.T) {
+	cfg.Validate()
+	return func(t *conc.T) {
+		memReady := conc.NewEvent(t, "mem.ready", true, false)
+		shutdown := conc.NewEvent(t, "shutdown", true, false)
+		stopped := func(t *conc.T) bool { return shutdown.Signaled() }
+
+		ns := NewNameServer(t, cfg.Drivers+cfg.Services+1)
+		fs := NewFileSystem(t, cfg.Inodes)
+		fsPort := NewPort(t, "fs", 2, cfg.Apps)
+		svcPorts := make([]*Port, cfg.Services)
+		served := make([]*conc.IntVar, cfg.Services)
+		for i := range svcPorts {
+			svcPorts[i] = NewPort(t, fmt.Sprintf("svc%d", i), 1, cfg.Apps)
+			served[i] = conc.NewIntVar(t, fmt.Sprintf("svc%d.served", i), 0)
+		}
+
+		bootWG := conc.NewWaitGroup(t, "bootWG", int64(1+cfg.Drivers+cfg.Services))
+		var handles []*conc.Handle
+
+		// Memory manager.
+		handles = append(handles, t.Go("memory", func(t *conc.T) {
+			memReady.Set(t)
+			shutdown.Wait(t)
+		}))
+
+		// Filesystem service: slot 0 of the name server.
+		handles = append(handles, t.Go("fsservice", func(t *conc.T) {
+			memReady.Wait(t)
+			ns.Register(t, 0)
+			bootWG.Done(t)
+			fsPort.Serve(t, stopped, fs.Handle)
+		}))
+
+		// Drivers: slots 1..Drivers.
+		for d := 0; d < cfg.Drivers; d++ {
+			slot := 1 + d
+			handles = append(handles, t.Go(fmt.Sprintf("driver%d", d), func(t *conc.T) {
+				// Poll the hardware bring-up with finite timeouts.
+				for {
+					t.Label(1)
+					if memReady.WaitTimeout(t) {
+						break
+					}
+				}
+				ns.Register(t, slot)
+				bootWG.Done(t)
+				shutdown.Wait(t)
+			}))
+		}
+
+		// Services: slots Drivers+1 .. Drivers+Services. Each echoes
+		// arg+1 and counts requests.
+		for s := 0; s < cfg.Services; s++ {
+			s := s
+			slot := 1 + cfg.Drivers + s
+			handles = append(handles, t.Go(fmt.Sprintf("service%d", s), func(t *conc.T) {
+				memReady.Wait(t)
+				ns.Register(t, slot)
+				bootWG.Done(t)
+				svcPorts[s].Serve(t, stopped, func(t *conc.T, op int, arg int64) int64 {
+					served[s].Add(t, 1)
+					return arg + 1
+				})
+			}))
+		}
+
+		// Boot barrier: all subsystems registered, then seal.
+		bootWG.Wait(t)
+		t.Assert(ns.Count(t) == int64(1+cfg.Drivers+cfg.Services),
+			"all subsystems registered before seal")
+		ns.Seal(t)
+
+		// Applications.
+		appWG := conc.NewWaitGroup(t, "appWG", int64(cfg.Apps))
+		for a := 0; a < cfg.Apps; a++ {
+			a := a
+			handles = append(handles, t.Go(fmt.Sprintf("app%d", a), func(t *conc.T) {
+				// The namespace must look fully booted to apps.
+				t.Assert(ns.Lookup(t, 0), "fs registered before apps run")
+				fid := fsPort.Call(t, a, FSAlloc, 0)
+				t.Assert(fid != FSErr, "inode available")
+				for r := 0; r < cfg.RequestsPerApp; r++ {
+					// Service call: echo through a service port.
+					svc := a % cfg.Services
+					got := svcPorts[svc].Call(t, a, 1, int64(a))
+					t.Assert(got == int64(a)+1, "service reply")
+					// Filesystem round trip.
+					val := int64(a*8 + r + 1)
+					t.Assert(fsPort.Call(t, a, FSWrite, fid<<16|val) == FSOk, "fs write ok")
+					t.Assert(fsPort.Call(t, a, FSRead, fid) == val, "read-after-write")
+				}
+				t.Assert(fsPort.Call(t, a, FSFree, fid) == FSOk, "fs free ok")
+				appWG.Done(t)
+			}))
+		}
+		appWG.Wait(t)
+
+		// Shutdown: broadcast and join everything.
+		shutdown.Set(t)
+		for _, h := range handles {
+			h.Join(t)
+		}
+		// Post-conditions: all requests served, no stragglers.
+		total := int64(0)
+		for s := 0; s < cfg.Services; s++ {
+			total += served[s].Load(t)
+			t.Assert(svcPorts[s].Pending() == 0, "service backlog drained")
+		}
+		t.Assert(total == int64(cfg.Apps*cfg.RequestsPerApp), "every request served")
+		t.Assert(fsPort.Pending() == 0, "fs backlog drained")
+	}
+}

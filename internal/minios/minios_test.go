@@ -1,0 +1,292 @@
+package minios_test
+
+import (
+	"testing"
+	"time"
+
+	"fairmc"
+	"fairmc/conc"
+	"fairmc/internal/minios"
+)
+
+func small() minios.Config {
+	return minios.Config{Drivers: 1, Services: 1, Apps: 1, RequestsPerApp: 1, Inodes: 2}
+}
+
+func TestBootTerminatesOnce(t *testing.T) {
+	cfg := minios.Config{Drivers: 4, Services: 4, Apps: 3, RequestsPerApp: 2, Inodes: 4}
+	r := fairmc.RunOnce(minios.Boot(cfg), fairmc.Defaults())
+	if r.Outcome != fairmc.Terminated {
+		t.Fatalf("boot outcome = %v\n%s", r.Outcome, r.FormatTrace())
+	}
+	if r.Threads != cfg.Threads() {
+		t.Fatalf("threads = %d, want %d", r.Threads, cfg.Threads())
+	}
+}
+
+func TestBootUnderBoundedSearch(t *testing.T) {
+	opts := fairmc.Defaults()
+	opts.ContextBound = 1
+	opts.TimeLimit = 120 * time.Second
+	opts.MaxExecutions = 200000
+	res := fairmc.Check(minios.Boot(small()), opts)
+	if !res.Ok() {
+		if res.FirstBug != nil {
+			t.Fatalf("boot invariant broken:\n%s", res.FirstBug.FormatTrace())
+		}
+		t.Fatalf("divergence: %s", res.Liveness)
+	}
+}
+
+func TestBootAdversarialSchedules(t *testing.T) {
+	// Many random walks with different seeds: every one must boot and
+	// shut down cleanly.
+	opts := fairmc.Defaults()
+	opts.RandomWalk = true
+	opts.MaxExecutions = 300
+	opts.Seed = 99
+	cfg := minios.Config{Drivers: 2, Services: 2, Apps: 2, RequestsPerApp: 1, Inodes: 2}
+	res := fairmc.Check(minios.Boot(cfg), opts)
+	if !res.Ok() {
+		if res.FirstBug != nil {
+			t.Fatalf("random walk broke the boot:\n%s", res.FirstBug.FormatTrace())
+		}
+		t.Fatalf("divergence: %s", res.Liveness)
+	}
+	if res.NonTerminating != 0 {
+		t.Fatalf("%d walks failed to terminate", res.NonTerminating)
+	}
+}
+
+func TestNameServerInvariants(t *testing.T) {
+	// Direct unit exercise of the name server under the checker.
+	prog := func(t *conc.T) {
+		ns := minios.NewNameServer(t, 3)
+		wg := conc.NewWaitGroup(t, "wg", 2)
+		for i := 0; i < 2; i++ {
+			i := i
+			t.Go("reg", func(t *conc.T) {
+				ns.Register(t, i)
+				t.Assert(ns.Lookup(t, i), "visible after register")
+				wg.Done(t)
+			})
+		}
+		wg.Wait(t)
+		t.Assert(ns.Count(t) == 2, "both registered")
+		ns.Seal(t)
+	}
+	res := fairmc.Check(prog, fairmc.Defaults())
+	if !res.Ok() || !res.Exhausted {
+		t.Fatalf("name server check: %+v", res.Report)
+	}
+}
+
+func TestNameServerRejectsAfterSeal(t *testing.T) {
+	prog := func(t *conc.T) {
+		ns := minios.NewNameServer(t, 2)
+		ns.Seal(t)
+		ns.Register(t, 0)
+	}
+	res := fairmc.Check(prog, fairmc.Defaults())
+	if res.FirstBug == nil {
+		t.Fatal("registration after seal not detected")
+	}
+}
+
+func TestNameServerRejectsDoubleRegistration(t *testing.T) {
+	prog := func(t *conc.T) {
+		ns := minios.NewNameServer(t, 2)
+		ns.Register(t, 1)
+		ns.Register(t, 1)
+	}
+	res := fairmc.Check(prog, fairmc.Defaults())
+	if res.FirstBug == nil {
+		t.Fatal("double registration not detected")
+	}
+}
+
+func TestFileSystemSemantics(t *testing.T) {
+	prog := func(t *conc.T) {
+		fs := minios.NewFileSystem(t, 2)
+		a := fs.Handle(t, minios.FSAlloc, 0)
+		b := fs.Handle(t, minios.FSAlloc, 0)
+		t.Assert(a != b, "distinct inodes")
+		t.Assert(fs.Handle(t, minios.FSAlloc, 0) == minios.FSErr, "table full")
+		t.Assert(fs.Handle(t, minios.FSWrite, a<<16|42) == minios.FSOk, "write")
+		t.Assert(fs.Handle(t, minios.FSRead, a) == 42, "read-after-write")
+		t.Assert(fs.Handle(t, minios.FSRead, b) == 0, "fresh inode zeroed")
+		t.Assert(fs.Handle(t, minios.FSFree, a) == minios.FSOk, "free")
+		c := fs.Handle(t, minios.FSAlloc, 0)
+		t.Assert(c == a, "freed inode reused")
+		t.Assert(fs.Handle(t, minios.FSRead, c) == 0, "reused inode zeroed")
+	}
+	res := fairmc.Check(prog, fairmc.Defaults())
+	if !res.Ok() || !res.Exhausted {
+		t.Fatalf("fs check: %+v", res.Report)
+	}
+}
+
+func TestFileSystemRejectsInvalidOps(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		body func(t *conc.T, fs *minios.FileSystem)
+	}{
+		{"read unallocated", func(t *conc.T, fs *minios.FileSystem) {
+			fs.Handle(t, minios.FSRead, 0)
+		}},
+		{"write unallocated", func(t *conc.T, fs *minios.FileSystem) {
+			fs.Handle(t, minios.FSWrite, 0<<16|1)
+		}},
+		{"free unallocated", func(t *conc.T, fs *minios.FileSystem) {
+			fs.Handle(t, minios.FSFree, 0)
+		}},
+		{"unknown op", func(t *conc.T, fs *minios.FileSystem) {
+			fs.Handle(t, 99, 0)
+		}},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			res := fairmc.Check(func(t *conc.T) {
+				fs := minios.NewFileSystem(t, 1)
+				tc.body(t, fs)
+			}, fairmc.Defaults())
+			if res.FirstBug == nil {
+				t.Fatal("misuse not detected")
+			}
+		})
+	}
+}
+
+func TestPortRequestResponse(t *testing.T) {
+	prog := func(t *conc.T) {
+		p := minios.NewPort(t, "echo", 1, 2)
+		stop := conc.NewIntVar(t, "stop", 0)
+		h := t.Go("server", func(t *conc.T) {
+			p.Serve(t, func(t *conc.T) bool { return stop.Peek() == 1 },
+				func(t *conc.T, op int, arg int64) int64 { return arg * 2 },
+			)
+		})
+		wg := conc.NewWaitGroup(t, "wg", 2)
+		for c := 0; c < 2; c++ {
+			c := c
+			t.Go("client", func(t *conc.T) {
+				got := p.Call(t, c, 1, int64(c+5))
+				t.Assert(got == int64(c+5)*2, "echo doubled")
+				wg.Done(t)
+			})
+		}
+		wg.Wait(t)
+		stop.Store(t, 1)
+		h.Join(t)
+		t.Assert(p.Pending() == 0, "backlog drained")
+	}
+	opts := fairmc.Defaults()
+	opts.ContextBound = 2
+	opts.TimeLimit = 60 * time.Second
+	res := fairmc.Check(prog, opts)
+	if !res.Ok() {
+		if res.FirstBug != nil {
+			t.Fatalf("port check:\n%s", res.FirstBug.FormatTrace())
+		}
+		t.Fatalf("port divergence: %s", res.Liveness)
+	}
+}
+
+func TestPortBadClientSlot(t *testing.T) {
+	res := fairmc.Check(func(t *conc.T) {
+		p := minios.NewPort(t, "p", 1, 1)
+		p.Call(t, 5, 1, 0)
+	}, fairmc.Defaults())
+	if res.FirstBug == nil {
+		t.Fatal("bad client slot not detected")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad config did not panic")
+		}
+	}()
+	minios.Config{}.Validate()
+}
+
+func TestIRQControllerSemantics(t *testing.T) {
+	prog := func(t *conc.T) {
+		irq := minios.NewIRQController(t, 2)
+		// Unmasked raise delivers.
+		irq.Raise(t, 0)
+		t.Assert(irq.WaitTimeout(t, 0), "unmasked raise delivered")
+		t.Assert(!irq.WaitTimeout(t, 0), "auto-reset consumed")
+		// Masked raise is latched and delivered on unmask.
+		irq.Mask(t, 1)
+		irq.Raise(t, 1)
+		t.Assert(!irq.WaitTimeout(t, 1), "masked line silent")
+		irq.Unmask(t, 1)
+		t.Assert(irq.WaitTimeout(t, 1), "latched raise delivered on unmask")
+	}
+	res := fairmc.Check(prog, fairmc.Defaults())
+	if !res.Ok() || !res.Exhausted {
+		t.Fatalf("irq semantics: %+v", res.Report)
+	}
+}
+
+func TestIRQWaitBlocksUntilRaise(t *testing.T) {
+	prog := func(t *conc.T) {
+		irq := minios.NewIRQController(t, 1)
+		progressed := conc.NewIntVar(t, "p", 0)
+		h := t.Go("driver", func(t *conc.T) {
+			irq.Wait(t, 0)
+			progressed.Store(t, 1)
+		})
+		t.Assert(progressed.Load(t) == 0, "driver blocked before raise")
+		irq.Raise(t, 0)
+		h.Join(t)
+		t.Assert(progressed.Load(t) == 1, "driver released by raise")
+	}
+	res := fairmc.Check(prog, fairmc.Defaults())
+	if !res.Ok() || !res.Exhausted {
+		t.Fatalf("irq wait: %+v", res.Report)
+	}
+}
+
+func TestDiskSubsystemOnce(t *testing.T) {
+	r := fairmc.RunOnce(minios.DiskSubsystem(minios.DiskConfig{
+		Sectors: 3, Clients: 2, ReadsPerClient: 2,
+	}), fairmc.Defaults())
+	if r.Outcome != fairmc.Terminated {
+		t.Fatalf("outcome = %v\n%s", r.Outcome, r.FormatTrace())
+	}
+}
+
+func TestDiskSubsystemBoundedSearch(t *testing.T) {
+	opts := fairmc.Defaults()
+	opts.ContextBound = 1
+	opts.TimeLimit = 120 * time.Second
+	opts.MaxExecutions = 200000
+	res := fairmc.Check(minios.DiskSubsystem(minios.DiskConfig{
+		Sectors: 2, Clients: 1, ReadsPerClient: 2,
+	}), opts)
+	if !res.Ok() {
+		if res.FirstBug != nil {
+			t.Fatalf("disk invariant broken:\n%s", res.FirstBug.FormatTrace())
+		}
+		t.Fatalf("divergence: %s", res.Liveness)
+	}
+}
+
+func TestDiskSubsystemRandomWalks(t *testing.T) {
+	opts := fairmc.Defaults()
+	opts.RandomWalk = true
+	opts.MaxExecutions = 200
+	opts.Seed = 12
+	res := fairmc.Check(minios.DiskSubsystem(minios.DiskConfig{
+		Sectors: 3, Clients: 2, ReadsPerClient: 1,
+	}), opts)
+	if !res.Ok() {
+		if res.FirstBug != nil {
+			t.Fatalf("random walk broke the disk stack:\n%s", res.FirstBug.FormatTrace())
+		}
+		t.Fatalf("divergence: %s", res.Liveness)
+	}
+}

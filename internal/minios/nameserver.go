@@ -1,0 +1,58 @@
+package minios
+
+import "fairmc/conc"
+
+// NameServer is the kernel's registration directory: every driver and
+// service registers during boot; the kernel seals the namespace once
+// boot completes, after which registration is an error (the invariant
+// the boot protocol must maintain).
+type NameServer struct {
+	mu      *conc.Mutex
+	entries *conc.IntArray // 1 = registered
+	count   *conc.IntVar
+	sealed  *conc.IntVar
+}
+
+// NewNameServer creates a directory with capacity slots.
+func NewNameServer(t *conc.T, capacity int) *NameServer {
+	return &NameServer{
+		mu:      conc.NewMutex(t, "ns.mu"),
+		entries: conc.NewIntArray(t, "ns.entries", capacity),
+		count:   conc.NewIntVar(t, "ns.count", 0),
+		sealed:  conc.NewIntVar(t, "ns.sealed", 0),
+	}
+}
+
+// Register records slot id; double registration and registration
+// after seal are detected errors.
+func (ns *NameServer) Register(t *conc.T, id int) {
+	ns.mu.Lock(t)
+	t.Assert(ns.sealed.Load(t) == 0, "registration after namespace seal")
+	t.Assert(ns.entries.Get(t, id) == 0, "double registration")
+	ns.entries.Set(t, id, 1)
+	ns.count.Add(t, 1)
+	ns.mu.Unlock(t)
+}
+
+// Lookup reports whether slot id is registered.
+func (ns *NameServer) Lookup(t *conc.T, id int) bool {
+	ns.mu.Lock(t)
+	ok := ns.entries.Get(t, id) == 1
+	ns.mu.Unlock(t)
+	return ok
+}
+
+// Count returns the number of registrations.
+func (ns *NameServer) Count(t *conc.T) int64 {
+	ns.mu.Lock(t)
+	n := ns.count.Load(t)
+	ns.mu.Unlock(t)
+	return n
+}
+
+// Seal freezes the namespace; the kernel calls it when boot completes.
+func (ns *NameServer) Seal(t *conc.T) {
+	ns.mu.Lock(t)
+	ns.sealed.Store(t, 1)
+	ns.mu.Unlock(t)
+}

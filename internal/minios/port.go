@@ -1,0 +1,98 @@
+// Package minios is a miniature operating system model: the substrate
+// behind the reproduction's Singularity experiment (Table 1). The
+// paper's flagship demonstration is checking the complete boot and
+// shutdown of the Singularity research kernel; what that exercise
+// stresses — and what this package models — is the synchronization
+// skeleton of an OS: services registering with a name server, clients
+// calling services over IPC ports, a filesystem service multiplexing
+// state behind a lock, drivers waiting for the subsystems they need,
+// and an orderly broadcast shutdown. Every wait is either blocking or
+// a polite spin (finite-timeout/yield), so the model is
+// good-samaritan-compliant and fair-terminating under its harness.
+package minios
+
+import (
+	"fmt"
+
+	"fairmc/conc"
+)
+
+// Message field packing for the int64 IPC payload.
+const (
+	opShift     = 32
+	clientShift = 48
+	argMask     = (int64(1) << opShift) - 1
+)
+
+// encode packs (client, op, arg) into one IPC word.
+func encode(client, op int, arg int64) int64 {
+	if arg < 0 || arg >= (1<<opShift) {
+		panic(fmt.Sprintf("minios: IPC arg %d out of range", arg))
+	}
+	return int64(client)<<clientShift | int64(op)<<opShift | arg
+}
+
+// decode unpacks an IPC word.
+func decode(msg int64) (client, op int, arg int64) {
+	return int(msg >> clientShift), int(msg>>opShift) & 0xffff, msg & argMask
+}
+
+// Port is a request/response IPC endpoint: clients send requests into
+// a bounded channel and block on their private reply channel; the
+// owning service loop decodes, handles, and replies. This is the
+// shape of Singularity's channel contracts reduced to scalar payloads.
+type Port struct {
+	name    string
+	req     *conc.Channel
+	replies []*conc.Channel
+}
+
+// NewPort creates a port with the given request backlog and number of
+// client slots.
+func NewPort(t *conc.T, name string, backlog, clients int) *Port {
+	p := &Port{
+		name: name,
+		req:  conc.NewChannel(t, name+".req", backlog),
+	}
+	for i := 0; i < clients; i++ {
+		p.replies = append(p.replies, conc.NewChannel(t, fmt.Sprintf("%s.reply%d", name, i), 1))
+	}
+	return p
+}
+
+// Call performs a synchronous request from the given client slot.
+func (p *Port) Call(t *conc.T, client, op int, arg int64) int64 {
+	if client < 0 || client >= len(p.replies) {
+		t.Failf("port %q: bad client slot %d", p.name, client)
+	}
+	p.req.Send(t, encode(client, op, arg))
+	v, ok := p.replies[client].Recv(t)
+	if !ok {
+		t.Failf("port %q: reply channel closed under client %d", p.name, client)
+	}
+	return v
+}
+
+// Handler processes one request and returns the reply.
+type Handler func(t *conc.T, op int, arg int64) int64
+
+// Serve runs the service loop until stop reports true and the backlog
+// is drained. The idle path sleeps with a finite timeout — a yielding
+// transition — so a polling service is a good samaritan.
+func (p *Port) Serve(t *conc.T, stop func(*conc.T) bool, h Handler) {
+	for {
+		t.Label(1)
+		if msg, _, ok := p.req.TryRecv(t); ok {
+			client, op, arg := decode(msg)
+			p.replies[client].Send(t, h(t, op, arg))
+			continue
+		}
+		if stop(t) {
+			return
+		}
+		t.Sleep(1)
+	}
+}
+
+// Pending returns the request backlog length (harness assertions).
+func (p *Port) Pending() int { return p.req.Len() }

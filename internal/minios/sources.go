@@ -1,0 +1,36 @@
+package minios
+
+import "embed"
+
+// sources embeds this package's files so the Table 1 experiment can
+// report the Singularity model's lines of code (the model lives here,
+// not in progs).
+//
+//go:embed *.go
+var sources embed.FS
+
+// SourceLOC returns the total line count of the minios model sources
+// (tests excluded).
+func SourceLOC() int {
+	entries, err := sources.ReadDir(".")
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		name := e.Name()
+		if len(name) > 8 && name[len(name)-8:] == "_test.go" {
+			continue
+		}
+		data, err := sources.ReadFile(name)
+		if err != nil {
+			continue
+		}
+		for _, b := range data {
+			if b == '\n' {
+				n++
+			}
+		}
+	}
+	return n
+}

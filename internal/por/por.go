@@ -1,0 +1,174 @@
+// Package por provides the independence oracle for sleep-set partial-
+// order reduction.
+//
+// The paper names partial-order reduction as the natural complement to
+// fair scheduling ("Partial-order reduction, however, can be used to
+// significantly reduce the set of all fair schedules of fair-
+// terminating programs, an interesting avenue of future research") —
+// this package implements the classic sleep-set algorithm of
+// Godefroid for the *unfair* searches, where two independent
+// transitions commute outright. Sleep sets prune redundant
+// interleavings (transitions), never states: a DFS with sleep sets
+// visits exactly the states the plain DFS visits, in fewer
+// executions — a property the tests check.
+//
+// A move is a thread's pending transition. Two moves are independent
+// when they commute and neither affects the other's enabledness; the
+// oracle is conservative (dependent when unsure).
+package por
+
+import (
+	"fairmc/internal/engine"
+	"fairmc/internal/tidset"
+)
+
+// Move identifies one alternative at a state: a thread, its pending
+// operation, and (for data choices) the chosen value.
+type Move struct {
+	Tid  tidset.Tid
+	Arg  int
+	Info engine.OpInfo
+}
+
+// MoveOf builds the Move for alternative alt in the current state.
+func MoveOf(e *engine.Engine, alt engine.Alt) Move {
+	snap := e.SnapshotThread(alt.Tid)
+	return Move{Tid: alt.Tid, Arg: alt.Arg, Info: snap.Pending}
+}
+
+// readOnly reports operations that never modify shared state.
+func readOnly(kind string) bool {
+	switch kind {
+	case "load", "any.load", "arr.get":
+		return true
+	}
+	return false
+}
+
+// localOnly reports operations with no effect on shared state or on
+// other threads' enabledness (valid only under unfair scheduling,
+// where yields carry no scheduler state).
+func localOnly(kind string) bool {
+	switch kind {
+	case "yield", "sleep", "choose":
+		return true
+	}
+	return false
+}
+
+// lifecycleTarget reports whether the move is a thread-lifecycle
+// operation (spawn/join/start) and which thread it concerns: the
+// spawned/joined thread, or the starting thread itself.
+func lifecycleTarget(m Move) (tidset.Tid, bool) {
+	switch m.Info.Kind {
+	case "spawn", "join":
+		return tidset.Tid(m.Info.Aux), true
+	case "start":
+		return m.Tid, true
+	}
+	return tidset.None, false
+}
+
+// Independent reports whether the two moves commute: executing them in
+// either order reaches a behaviorally identical state, and neither
+// enables or disables the other.
+//
+// Lifecycle operations are dependent with each other (thread ids are
+// allocated in creation order) and with any move of the thread they
+// concern (spawn enables its start; exit enables its join), and
+// commute with everything else. A thread's start transition runs its
+// prefix to the first scheduling point; prefixes that create shared
+// objects commute behaviorally but permute raw object ids, which only
+// matters for fingerprint identity — and the fingerprint-based modes
+// (StatefulPrune) do not combine with the reductions using this
+// oracle.
+func Independent(a, b Move) bool {
+	if a.Tid == b.Tid {
+		return false
+	}
+	ta, la := lifecycleTarget(a)
+	tb, lb := lifecycleTarget(b)
+	switch {
+	case la && lb:
+		return false
+	case la:
+		return b.Tid != ta
+	case lb:
+		return a.Tid != tb
+	}
+	if localOnly(a.Info.Kind) || localOnly(b.Info.Kind) {
+		return true
+	}
+	if a.Info.Obj != b.Info.Obj {
+		return true
+	}
+	// Same object: reads commute; array accesses to different
+	// elements commute (Aux carries the element index).
+	if readOnly(a.Info.Kind) && readOnly(b.Info.Kind) {
+		return true
+	}
+	if isArrayOp(a.Info.Kind) && isArrayOp(b.Info.Kind) && a.Info.Aux != b.Info.Aux {
+		return true
+	}
+	return false
+}
+
+func isArrayOp(kind string) bool {
+	return kind == "arr.get" || kind == "arr.set"
+}
+
+// Set is a sleep set: the moves proven redundant at the current state.
+// The zero value is an empty set.
+type Set struct {
+	moves []Move
+}
+
+// Len returns the number of sleeping moves.
+func (s *Set) Len() int { return len(s.moves) }
+
+// Clone copies the set.
+func (s *Set) Clone() Set {
+	return Set{moves: append([]Move(nil), s.moves...)}
+}
+
+// Add puts a move to sleep.
+func (s *Set) Add(m Move) {
+	s.moves = append(s.moves, m)
+}
+
+// Contains reports whether the alternative is asleep in the current
+// state: a sleeping move matches when the thread's pending operation
+// is still the one that went to sleep. A stale entry (the thread has
+// moved on or exited) is dropped.
+func (s *Set) Contains(e *engine.Engine, alt engine.Alt) bool {
+	cur := e.SnapshotThread(alt.Tid)
+	for i := 0; i < len(s.moves); {
+		m := s.moves[i]
+		if m.Tid != alt.Tid {
+			i++
+			continue
+		}
+		if !cur.Live || cur.Pending != m.Info {
+			// Stale: the thread's move changed; wake it.
+			s.moves = append(s.moves[:i], s.moves[i+1:]...)
+			continue
+		}
+		if m.Arg == alt.Arg {
+			return true
+		}
+		i++
+	}
+	return false
+}
+
+// Step advances the sleep set across the execution of chosen: moves
+// dependent on it wake up (are dropped).
+func (s *Set) Step(chosen Move) {
+	out := s.moves[:0]
+	for _, m := range s.moves {
+		if Independent(m, chosen) {
+			out = append(out, m)
+		}
+	}
+	s.moves = out
+}

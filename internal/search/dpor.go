@@ -1,0 +1,68 @@
+package search
+
+import (
+	"fairmc/internal/engine"
+	"fairmc/internal/por"
+)
+
+// This file implements conservative dynamic partial-order reduction in
+// the lineage of Flanagan & Godefroid (POPL 2005), adapted to the
+// stateless re-execution stack: instead of expanding every alternative
+// at every choice point (full DFS), each frame starts with a single
+// alternative and the search *earns* alternatives dynamically — when a
+// step's transition conflicts with an earlier transition of another
+// thread, the earlier step's frame gains a backtrack point that will
+// reverse the pair.
+//
+// This variant is conservative: it inserts a backtrack point at every
+// earlier conflicting step (the classic algorithm prunes further using
+// happens-before clocks to keep only the last reversible race). That
+// sacrifices some reduction for a simpler soundness argument — every
+// reversal the clock-filtered algorithm performs is a subset of ours.
+//
+// Guarantee (as for classic DPOR): on programs that terminate under
+// every schedule, all deadlocks and all assertion violations are
+// found. Unlike sleep sets, DPOR does *not* visit every intermediate
+// state — it explores one representative per Mazurkiewicz trace — so
+// it is a bug-finding mode, not a state-coverage mode. It requires the
+// unfair scheduler (like sleep sets: priority state breaks
+// commutativity) and composes with sleep sets.
+
+// dporAnalyze runs the backtrack-point insertion for the step about to
+// execute: frame index n (== s.pos-1 after the frame bookkeeping),
+// chosen alternative alt.
+func (s *searcher) dporAnalyze(ctx *engine.ChooseContext, n int, alt engine.Alt) {
+	m := por.MoveOf(ctx.Engine, alt)
+	for i := n - 1; i >= 0; i-- {
+		prev := s.executed[i]
+		if prev.Tid == m.Tid || por.Independent(prev, m) {
+			continue
+		}
+		fr := &s.stack[i]
+		// Add the conflicting thread's alternatives at the earlier
+		// state; if it was not enabled there, conservatively add
+		// every alternative.
+		added := false
+		for _, a := range fr.full {
+			if a.Tid == m.Tid {
+				fr.addAlt(a)
+				added = true
+			}
+		}
+		if !added {
+			for _, a := range fr.full {
+				fr.addAlt(a)
+			}
+		}
+	}
+}
+
+// addAlt appends a to the frame's exploration list unless present.
+func (fr *frame) addAlt(a engine.Alt) {
+	for _, x := range fr.alts {
+		if x == a {
+			return
+		}
+	}
+	fr.alts = append(fr.alts, a)
+}

@@ -1,0 +1,108 @@
+package search_test
+
+import (
+	"testing"
+
+	"fairmc/internal/engine"
+	"fairmc/internal/search"
+	"fairmc/internal/syncmodel"
+)
+
+// yieldCountProgram builds the §3-end scenario: the interesting state
+// (the main thread reading 2) is only reachable by an execution in
+// which thread A yields twice before storing — an execution of
+// positive yield count. With k = 1, A's second yield closes a window
+// in which the main thread (pending its load, never scheduled since
+// before A started) was continuously enabled, so the edge (A, main)
+// forces the load before the store and the state is unreachable. With
+// k >= 2 the second yield is not a processed boundary (and the first
+// processed boundary of a thread is always inert), so A runs through
+// and the state is reached.
+//
+// The reader must be the already-running main thread: a spawned reader
+// absorbs the priority edge with its start transition (line 13 drops
+// edges into a scheduled thread), reopening the path even at k = 1.
+func yieldCountProgram(witness *bool) func(*engine.T) {
+	return func(t *engine.T) {
+		x := syncmodel.NewIntVar(t, "x", 0)
+		t.Go("A", func(t *engine.T) {
+			t.Yield()
+			t.Yield()
+			x.Store(t, 2)
+		})
+		if x.Load(t) == 2 {
+			*witness = true
+		}
+	}
+}
+
+func reachesWitness(t *testing.T, k int) bool {
+	t.Helper()
+	witness := false
+	rep := search.Explore(yieldCountProgram(&witness), search.Options{
+		Fair:         true,
+		FairK:        k,
+		ContextBound: -1,
+		MaxSteps:     10000,
+	})
+	if !rep.Exhausted {
+		t.Fatalf("k=%d: search not exhausted: %+v", k, rep)
+	}
+	return witness
+}
+
+// TestFairKParameterization exercises the paper's §3 escape hatch for
+// states not reachable by yield-free executions: "our algorithm can be
+// parameterized by a small constant k > 0 so as to only process every
+// k-th yield of a thread".
+func TestFairKParameterization(t *testing.T) {
+	if reachesWitness(t, 1) {
+		t.Error("k=1 reached the positive-yield-count state; fairness edges not applied?")
+	}
+	// At k=2, yield #2 is the thread's first *processed* boundary and
+	// first boundaries are inert by the initialization convention.
+	if !reachesWitness(t, 2) {
+		t.Error("k=2 missed the state; first-boundary convention broken")
+	}
+	if !reachesWitness(t, 3) {
+		t.Error("k=3 missed the state; parameterization broken")
+	}
+}
+
+// TestFairKStillPrunesUnfairCycles: a larger k weakens the priority
+// updates but must still terminate the search on the Figure 3 spin
+// loop (the spinner accumulates yields and is eventually cut).
+func TestFairKStillPrunesUnfairCycles(t *testing.T) {
+	prog := func(t *engine.T) {
+		x := syncmodel.NewIntVar(t, "x", 0)
+		hu := t.Go("u", func(t *engine.T) {
+			for {
+				t.Label(1)
+				if x.Load(t) == 1 {
+					break
+				}
+				t.Yield()
+			}
+		})
+		ht := t.Go("t", func(t *engine.T) {
+			x.Store(t, 1)
+		})
+		ht.Join(t)
+		hu.Join(t)
+	}
+	for _, k := range []int{1, 2, 4} {
+		rep := search.Explore(prog, search.Options{
+			Fair:         true,
+			FairK:        k,
+			ContextBound: -1,
+			MaxSteps:     100000,
+		})
+		if !rep.Exhausted {
+			t.Fatalf("k=%d: search did not exhaust: %+v", k, rep)
+		}
+		if rep.NonTerminating != 0 {
+			t.Fatalf("k=%d: divergences on a fair-terminating program", k)
+		}
+		t.Logf("k=%d: %d executions", k, rep.Executions)
+	}
+}

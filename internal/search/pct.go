@@ -1,0 +1,108 @@
+package search
+
+import (
+	"sort"
+
+	"fairmc/internal/engine"
+	"fairmc/internal/rng"
+	"fairmc/internal/tidset"
+)
+
+// This file implements PCT — probabilistic concurrency testing
+// (Burckhardt, Kothari, Musuvathi, Nagarakatte: "A Randomized
+// Scheduler with Probabilistic Guarantees of Finding Bugs", ASPLOS
+// 2010) — the CHESS lineage's randomized alternative to systematic
+// search, included here as the third point of comparison next to the
+// fair DFS and the uniform random walk.
+//
+// Each execution draws a random priority assignment over threads and
+// d−1 random priority-change points over steps; the scheduler always
+// runs the highest-priority enabled thread, demoting the running
+// thread below every base priority when a change point fires. Any bug
+// of depth d is found per execution with probability ≥ 1/(n·kᵈ⁻¹).
+
+// pctState is the per-execution PCT machinery.
+type pctState struct {
+	depth   int
+	horizon int64
+	rand    *rng.Rand
+	// prio maps thread → priority; higher runs first. Base priorities
+	// are ≥ depth; demoted priorities are d−1−i < depth.
+	prio map[tidset.Tid]int64
+	// changes are the remaining change points, ascending.
+	changes []int64
+	fired   int
+}
+
+// newPCTState draws the assignment for one execution.
+func newPCTState(depth int, horizon int64, r *rng.Rand) *pctState {
+	if depth < 1 {
+		depth = 1
+	}
+	if horizon < 1 {
+		horizon = 1
+	}
+	s := &pctState{
+		depth:   depth,
+		horizon: horizon,
+		rand:    r,
+		prio:    map[tidset.Tid]int64{},
+	}
+	for i := 0; i < depth-1; i++ {
+		s.changes = append(s.changes, 1+int64(r.Intn(int(horizon))))
+	}
+	sort.Slice(s.changes, func(a, b int) bool { return s.changes[a] < s.changes[b] })
+	return s
+}
+
+// priority returns (assigning lazily) the thread's priority. Base
+// priorities are random values ≥ depth, distinct with overwhelming
+// probability; ties break deterministically by thread id in choose.
+func (s *pctState) priority(t tidset.Tid) int64 {
+	if p, ok := s.prio[t]; ok {
+		return p
+	}
+	p := int64(s.depth) + int64(s.rand.Uint64()%(1<<40))
+	s.prio[t] = p
+	return p
+}
+
+// choose picks the highest-priority candidate, firing due change
+// points first (each demotes the thread that would run next).
+func (s *pctState) choose(ctx *engine.ChooseContext) engine.Alt {
+	step := int64(ctx.Step)
+	for s.fired < len(s.changes) && s.changes[s.fired] <= step {
+		top := s.best(ctx.Cands)
+		// Demote below every base priority: d−1−i, descending with
+		// each fired change point so later demotions sink lower.
+		s.prio[top.Tid] = int64(s.depth - 1 - s.fired)
+		s.fired++
+	}
+	return s.best(ctx.Cands)
+}
+
+// best returns the highest-priority candidate; among a thread's data
+// choices it picks randomly (data nondeterminism is not part of PCT's
+// model, so any distribution is admissible).
+func (s *pctState) best(cands []engine.Alt) engine.Alt {
+	bestIdx := 0
+	var bestPrio int64
+	for i, c := range cands {
+		p := s.priority(c.Tid)
+		if i == 0 || p > bestPrio || (p == bestPrio && c.Tid < cands[bestIdx].Tid) {
+			bestIdx, bestPrio = i, p
+		}
+	}
+	// Collect the winning thread's alternatives (choose-op fanout).
+	tid := cands[bestIdx].Tid
+	var alts []engine.Alt
+	for _, c := range cands {
+		if c.Tid == tid {
+			alts = append(alts, c)
+		}
+	}
+	if len(alts) == 1 {
+		return alts[0]
+	}
+	return alts[s.rand.Intn(len(alts))]
+}

@@ -1,0 +1,111 @@
+package search_test
+
+import (
+	"testing"
+
+	"fairmc/internal/engine"
+	"fairmc/internal/search"
+	"fairmc/internal/syncmodel"
+)
+
+func TestPCTFindsDepth1Bug(t *testing.T) {
+	// The lost-update race has depth 1 (one priority inversion): PCT
+	// with default depth finds it within a modest execution budget.
+	rep := search.Explore(racyIncrement, search.Options{
+		Fair:          true,
+		PCT:           true,
+		MaxExecutions: 2000,
+		MaxSteps:      1000,
+		Seed:          5,
+	})
+	if rep.FirstBug == nil {
+		t.Fatalf("PCT missed the race in %d executions", rep.Executions)
+	}
+}
+
+func TestPCTFindsOrderingBug(t *testing.T) {
+	// A depth-2 ordering bug: the assertion fails only when B runs
+	// entirely between A's two stores — a window a uniform walk hits
+	// rarely but PCT's change points target directly.
+	prog := func(t *engine.T) {
+		x := syncmodel.NewIntVar(t, "x", 0)
+		wg := syncmodel.NewWaitGroup(t, "wg", 2)
+		t.Go("A", func(t *engine.T) {
+			x.Store(t, 1)
+			x.Store(t, 0)
+			wg.Done(t)
+		})
+		t.Go("B", func(t *engine.T) {
+			t.Assert(x.Load(t) != 1, "observed the transient state")
+			wg.Done(t)
+		})
+		wg.Wait(t)
+	}
+	rep := search.Explore(prog, search.Options{
+		Fair:          true,
+		PCT:           true,
+		PCTDepth:      2,
+		MaxExecutions: 5000,
+		MaxSteps:      1000,
+		Seed:          11,
+	})
+	if rep.FirstBug == nil {
+		t.Fatalf("PCT missed the transient-state bug in %d executions", rep.Executions)
+	}
+}
+
+func TestPCTDeterministicPerSeed(t *testing.T) {
+	run := func(seed uint64) *search.Report {
+		return search.Explore(racyIncrement, search.Options{
+			Fair:                   true,
+			PCT:                    true,
+			MaxExecutions:          300,
+			MaxSteps:               1000,
+			Seed:                   seed,
+			ContinueAfterViolation: true,
+		})
+	}
+	a, b := run(4), run(4)
+	if a.Violations != b.Violations || a.TotalSteps != b.TotalSteps {
+		t.Fatalf("PCT not reproducible: %+v vs %+v", a, b)
+	}
+}
+
+func TestPCTTerminatesCleanPrograms(t *testing.T) {
+	// On the fair-terminating spin loop, every PCT execution must end
+	// (the fair scheduler underneath cuts the starvation PCT's static
+	// priorities would otherwise cause).
+	rep := search.Explore(fig3, search.Options{
+		Fair:          true,
+		PCT:           true,
+		MaxExecutions: 300,
+		MaxSteps:      5000,
+		Seed:          8,
+	})
+	if rep.FirstBug != nil || rep.Divergence != nil {
+		t.Fatalf("false finding on clean program: %+v", rep)
+	}
+	if rep.NonTerminating != 0 {
+		t.Fatalf("%d executions failed to terminate", rep.NonTerminating)
+	}
+}
+
+func TestPCTWithoutBudgetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unbounded PCT")
+		}
+	}()
+	search.Explore(racyIncrement, search.Options{PCT: true})
+}
+
+func TestPCTAndRandomWalkExclusive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for PCT+RandomWalk")
+		}
+	}()
+	search.Explore(racyIncrement, search.Options{
+		PCT: true, RandomWalk: true, MaxExecutions: 1,
+	})
+}

@@ -1,0 +1,516 @@
+// Package search implements stateless state-space exploration over the
+// schedule tree of a model program: depth-first search, context-
+// bounded search (preemption bounding, Musuvathi & Qadeer PLDI 2007),
+// depth-bounded search with a seeded random tail, and optional
+// stateful pruning used to compute ground-truth state counts for the
+// coverage experiments.
+//
+// The searcher is a Chooser: each execution replays the decisions kept
+// on the DFS stack and then explores fresh alternatives, recording new
+// choice points. Backtracking truncates the stack to the deepest
+// choice point with an untried alternative. Combined with the fair
+// scheduler (internal/core, wired in by the engine) this is the
+// paper's fair stateless model checking algorithm with a systematic
+// search strategy plugged into the Choose of Algorithm 1.
+package search
+
+import (
+	"fmt"
+	"time"
+
+	"fairmc/internal/engine"
+	"fairmc/internal/por"
+	"fairmc/internal/rng"
+)
+
+// Options configures a search.
+type Options struct {
+	// Fair enables the fair scheduler (Algorithm 1).
+	Fair bool
+	// FairK is the k-th-yield parameterization; 0 means 1.
+	FairK int
+	// ContextBound is the preemption budget per execution; negative
+	// means unbounded (the paper's "dfs" strategy).
+	ContextBound int
+	// DepthBound stops systematic branching after this many steps;
+	// 0 means none. The paper uses depth bounds only for the unfair
+	// searches, where termination is otherwise not guaranteed.
+	DepthBound int
+	// RandomTail finishes depth-bounded executions with seeded random
+	// scheduling until termination or MaxSteps (paper §4.2.1: "once
+	// the depth-bound is reached, a random search is performed until
+	// the end of the execution is reached"). Without it, executions
+	// are cut at the depth bound and counted as nonterminating
+	// (Figure 2's measurement).
+	RandomTail bool
+	// RandomWalk replaces the systematic DFS entirely: every execution
+	// is scheduled uniformly at random (seeded per execution index).
+	// The walk never exhausts; bound it with MaxExecutions or
+	// TimeLimit. This is the "stress testing, but reproducible"
+	// baseline a systematic checker is measured against.
+	RandomWalk bool
+	// PCT replaces the systematic DFS with probabilistic concurrency
+	// testing (Burckhardt et al., ASPLOS 2010): random thread
+	// priorities plus PCTDepth−1 random priority-change points per
+	// execution; any bug of depth d is found per execution with
+	// probability ≥ 1/(n·kᵈ⁻¹). Like RandomWalk it never exhausts:
+	// bound it with MaxExecutions or TimeLimit.
+	PCT bool
+	// PCTDepth is the targeted bug depth d; 0 means 3.
+	PCTDepth int
+	// MaxSteps caps a single execution; exceeding it is a divergence.
+	// 0 means engine.DefaultMaxSteps.
+	MaxSteps int64
+	// MaxExecutions caps the number of executions; 0 means unbounded.
+	MaxExecutions int64
+	// TimeLimit caps the wall-clock duration; 0 means unbounded.
+	TimeLimit time.Duration
+	// Seed drives random tails.
+	Seed uint64
+	// Monitor, if non-nil, observes every execution (coverage
+	// tracking for Table 2 hooks in here).
+	Monitor engine.Monitor
+	// StatefulPrune cuts executions that re-enter an already-expanded
+	// state, turning the search into the stateful reference search
+	// used for the "Total States" column of Table 2. Unsound together
+	// with Fair (the fair scheduler's state is path-dependent), so it
+	// requires Fair to be false.
+	StatefulPrune bool
+	// DPOR enables conservative dynamic partial-order reduction (see
+	// internal/search/dpor.go): choice points start with a single
+	// alternative and gain backtrack points only when a later
+	// transition conflicts with an earlier one. Finds all deadlocks
+	// and assertion violations of programs that terminate under every
+	// schedule, in far fewer executions than full DFS; it does NOT
+	// guarantee full state coverage (use SleepSets for that). Requires
+	// Fair to be false and a terminating program (no DepthBound /
+	// RandomTail / RandomWalk / PCT).
+	DPOR bool
+	// SleepSets enables sleep-set partial-order reduction
+	// (internal/por): redundant interleavings of independent
+	// transitions are pruned while every reachable state stays
+	// visited. The reduction assumes transitions commute outright,
+	// which the fair scheduler's path-dependent state breaks, so it
+	// requires Fair to be false (the paper flags combining the two as
+	// future work).
+	SleepSets bool
+	// ContinueAfterViolation keeps searching after safety violations
+	// instead of stopping at the first one.
+	ContinueAfterViolation bool
+	// ContinueAfterDivergence keeps searching after a fair execution
+	// exceeds MaxSteps. In fair mode a divergence is a liveness-error
+	// candidate and stops the search by default; in unfair mode
+	// divergences are ordinary nonterminating executions and the
+	// search always continues.
+	ContinueAfterDivergence bool
+	// RecordTrace makes every execution record a full trace (slow;
+	// the searcher replays the offending schedule itself to produce
+	// repro traces, so this is normally unnecessary).
+	RecordTrace bool
+}
+
+// Report summarizes a search.
+type Report struct {
+	// Executions is the number of executions explored.
+	Executions int64
+	// TotalSteps is the sum of execution lengths.
+	TotalSteps int64
+	// MaxDepth is the longest execution seen.
+	MaxDepth int64
+	// NonTerminating counts executions cut at the depth bound or the
+	// step cap (Figure 2's y-axis).
+	NonTerminating int64
+	// PrunedVisited counts executions cut by stateful pruning.
+	PrunedVisited int64
+	// PrunedSleep counts executions cut because every remaining
+	// alternative was asleep (sleep-set reduction).
+	PrunedSleep int64
+	// Deadlocks and Violations count erroneous executions found.
+	Deadlocks  int64
+	Violations int64
+	// FirstBug is the first safety violation or deadlock found, with
+	// a full repro trace, and FirstBugExecution the 1-based index of
+	// the execution that found it.
+	FirstBug          *engine.Result
+	FirstBugExecution int64
+	// Divergence is the first fair execution that exceeded MaxSteps:
+	// the candidate liveness error the paper's outcome 2/3 describes.
+	Divergence          *engine.Result
+	DivergenceExecution int64
+	// Exhausted reports that the schedule tree was fully explored.
+	Exhausted bool
+	// TimedOut / ExecBounded report which budget stopped the search.
+	TimedOut    bool
+	ExecBounded bool
+	// Elapsed is the wall-clock search time.
+	Elapsed time.Duration
+}
+
+// frame is one decision on the DFS stack.
+type frame struct {
+	alts []engine.Alt // alternatives to explore, in discovery order
+	idx  int          // alternative currently taken
+	// DPOR bookkeeping: the full candidate list at this state, and how
+	// many of this frame's alternatives have had backtrack analysis.
+	full     []engine.Alt
+	analyzed int
+}
+
+type abortReason int8
+
+const (
+	abortNone abortReason = iota
+	abortDepthBound
+	abortVisited
+	abortSleep
+)
+
+// searcher runs the exploration; it implements engine.Chooser.
+type searcher struct {
+	prog func(*engine.T)
+	opts Options
+
+	stack []frame
+	fixed int // frames [0, fixed) are replayed; the frame at fixed-1 carries the new branch
+
+	pos         int // frames consumed in the current execution
+	preemptUsed int
+	tailRand    *rng.Rand
+	reason      abortReason
+	sleep       por.Set    // current sleep set (when Options.SleepSets)
+	pct         *pctState  // per-execution PCT assignment (when Options.PCT)
+	executed    []por.Move // this execution's transitions (when Options.DPOR)
+
+	visited map[visitKey]struct{}
+
+	report   Report
+	start    time.Time
+	deadline time.Time
+}
+
+type visitKey struct {
+	fp engine.Fingerprint
+	// budget disambiguates states under context bounding: the same
+	// program state with more preemption budget left has successors a
+	// lower-budget visit must not prune away.
+	budget int16
+}
+
+// Explore runs the search to completion (tree exhausted) or until a
+// budget or stop condition is hit.
+func Explore(prog func(*engine.T), opts Options) *Report {
+	if opts.StatefulPrune && opts.Fair {
+		panic("search: StatefulPrune is unsound with Fair")
+	}
+	if opts.SleepSets && opts.Fair {
+		panic("search: SleepSets is unsound with Fair")
+	}
+	if (opts.RandomWalk || opts.PCT) && opts.MaxExecutions <= 0 && opts.TimeLimit <= 0 {
+		panic("search: RandomWalk/PCT needs MaxExecutions or TimeLimit")
+	}
+	if opts.RandomWalk && opts.PCT {
+		panic("search: RandomWalk and PCT are mutually exclusive")
+	}
+	if opts.DPOR && (opts.Fair || opts.RandomWalk || opts.PCT ||
+		opts.DepthBound > 0 || opts.RandomTail || opts.StatefulPrune) {
+		panic("search: DPOR requires a plain unfair systematic search")
+	}
+	s := &searcher{prog: prog, opts: opts, start: time.Now()}
+	if opts.TimeLimit > 0 {
+		s.deadline = s.start.Add(opts.TimeLimit)
+	}
+	if opts.StatefulPrune {
+		s.visited = make(map[visitKey]struct{})
+	}
+	s.run()
+	s.report.Elapsed = time.Since(s.start)
+	return &s.report
+}
+
+func (s *searcher) run() {
+	for exec := int64(1); ; exec++ {
+		if s.opts.MaxExecutions > 0 && exec > s.opts.MaxExecutions {
+			s.report.ExecBounded = true
+			return
+		}
+		if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+			s.report.TimedOut = true
+			return
+		}
+		s.pos = 0
+		s.preemptUsed = 0
+		s.reason = abortNone
+		s.sleep = por.Set{}
+		s.executed = s.executed[:0]
+		s.tailRand = rng.New(rng.Mix(s.opts.Seed, uint64(exec)))
+		if s.opts.PCT {
+			depth := s.opts.PCTDepth
+			if depth <= 0 {
+				depth = 3
+			}
+			horizon := s.opts.MaxSteps
+			if horizon <= 0 {
+				horizon = engine.DefaultMaxSteps
+			}
+			s.pct = newPCTState(depth, horizon, s.tailRand)
+		}
+
+		r := engine.Run(s.prog, s, engine.Config{
+			Fair:        s.opts.Fair,
+			FairK:       s.opts.FairK,
+			MaxSteps:    s.opts.MaxSteps,
+			RecordTrace: s.opts.RecordTrace,
+			Monitor:     s.opts.Monitor,
+		})
+		s.report.Executions++
+		s.report.TotalSteps += r.Steps
+		if r.Steps > s.report.MaxDepth {
+			s.report.MaxDepth = r.Steps
+		}
+
+		stop := s.classify(r, exec)
+		if stop {
+			return
+		}
+		if s.opts.RandomWalk || s.opts.PCT {
+			continue // no schedule tree to backtrack over
+		}
+		if !s.backtrack() {
+			s.report.Exhausted = true
+			return
+		}
+	}
+}
+
+// classify accounts one finished execution and reports whether the
+// search should stop.
+func (s *searcher) classify(r *engine.Result, exec int64) bool {
+	switch r.Outcome {
+	case engine.Terminated:
+		return false
+	case engine.Deadlock:
+		s.report.Deadlocks++
+		s.recordBug(r, exec)
+		return !s.opts.ContinueAfterViolation
+	case engine.Violation:
+		s.report.Violations++
+		s.recordBug(r, exec)
+		return !s.opts.ContinueAfterViolation
+	case engine.Diverged:
+		s.report.NonTerminating++
+		if s.opts.Fair {
+			if s.report.Divergence == nil {
+				s.report.Divergence = s.reproduce(r)
+				s.report.DivergenceExecution = exec
+			}
+			return !s.opts.ContinueAfterDivergence
+		}
+		return false
+	case engine.Aborted:
+		switch s.reason {
+		case abortDepthBound:
+			s.report.NonTerminating++
+		case abortVisited:
+			s.report.PrunedVisited++
+		case abortSleep:
+			s.report.PrunedSleep++
+		}
+		return false
+	default:
+		panic("search: unknown outcome")
+	}
+}
+
+func (s *searcher) recordBug(r *engine.Result, exec int64) {
+	if s.report.FirstBug == nil {
+		s.report.FirstBug = s.reproduce(r)
+		s.report.FirstBugExecution = exec
+	}
+}
+
+// reproduce re-runs r's schedule with trace recording to produce a
+// self-contained repro, unless r already carries a trace.
+func (s *searcher) reproduce(r *engine.Result) *engine.Result {
+	if len(r.Trace) > 0 {
+		return r
+	}
+	rr := engine.Run(s.prog, &engine.ReplayChooser{Schedule: r.Schedule, Strict: true},
+		engine.Config{
+			Fair:        s.opts.Fair,
+			FairK:       s.opts.FairK,
+			MaxSteps:    s.opts.MaxSteps,
+			RecordTrace: true,
+		})
+	if rr.Outcome != r.Outcome {
+		// Replay must reproduce the outcome; a mismatch means the
+		// program has nondeterminism outside the checker's control.
+		panic("search: replay diverged from original outcome: " + rr.Outcome.String() +
+			" != " + r.Outcome.String())
+	}
+	return rr
+}
+
+// backtrack advances the deepest frame with an untried alternative and
+// truncates the stack below it. It reports false when the tree is
+// exhausted.
+func (s *searcher) backtrack() bool {
+	for len(s.stack) > 0 {
+		last := &s.stack[len(s.stack)-1]
+		last.idx++
+		if last.idx < len(last.alts) {
+			s.fixed = len(s.stack)
+			return true
+		}
+		s.stack = s.stack[:len(s.stack)-1]
+	}
+	return false
+}
+
+// Choose implements engine.Chooser: replay the stack, then explore.
+func (s *searcher) Choose(ctx *engine.ChooseContext) (engine.Alt, bool) {
+	// Stateful pruning: once past the replayed prefix (the first new
+	// branch is taken at frame index fixed-1, so fresh states appear
+	// from the Choose call at pos == fixed onward), cut executions
+	// that re-enter an already-expanded state.
+	if s.visited != nil && s.pos >= s.fixed {
+		key := visitKey{fp: ctx.Engine.Fingerprint()}
+		if s.opts.ContextBound >= 0 {
+			key.budget = int16(s.preemptUsed)
+		}
+		if _, seen := s.visited[key]; seen {
+			s.reason = abortVisited
+			return engine.Alt{}, false
+		}
+		s.visited[key] = struct{}{}
+	}
+
+	if s.opts.RandomWalk {
+		alt := ctx.Cands[s.tailRand.Intn(len(ctx.Cands))]
+		if ctx.IsPreemption(alt) {
+			s.preemptUsed++
+		}
+		return alt, true
+	}
+	if s.opts.PCT {
+		return s.pct.choose(ctx), true
+	}
+
+	if s.pos < len(s.stack) {
+		fr := &s.stack[s.pos]
+		s.pos++
+		alt := fr.alts[fr.idx]
+		if err := altIn(alt, ctx.Cands); err != "" {
+			panic(fmt.Sprintf("search: replay divergence at step %d: %s", s.pos-1, err))
+		}
+		if ctx.IsPreemption(alt) {
+			s.preemptUsed++
+		}
+		if s.opts.DPOR {
+			s.executed = append(s.executed[:s.pos-1], por.MoveOf(ctx.Engine, alt))
+			if fr.analyzed <= fr.idx {
+				s.dporAnalyze(ctx, s.pos-1, alt)
+				fr.analyzed = fr.idx + 1
+			}
+		}
+		s.advanceSleep(ctx, fr, alt)
+		return alt, true
+	}
+
+	// Depth bound: stop branching, either abort (Figure 2 counting)
+	// or continue with the seeded random tail (Table 2 runs).
+	if s.opts.DepthBound > 0 && ctx.Step >= s.opts.DepthBound {
+		if !s.opts.RandomTail {
+			s.reason = abortDepthBound
+			return engine.Alt{}, false
+		}
+		alt := ctx.Cands[s.tailRand.Intn(len(ctx.Cands))]
+		if ctx.IsPreemption(alt) {
+			s.preemptUsed++
+		}
+		return alt, true
+	}
+
+	// Frontier: compute the admissible alternatives under the
+	// preemption budget and push a new choice point.
+	alts := ctx.Cands
+	if s.opts.ContextBound >= 0 && s.preemptUsed >= s.opts.ContextBound {
+		// The filtered set is never empty: if the previous thread is a
+		// candidate its alternatives do not preempt, and if it is not
+		// a candidate the switch is forced (or follows a voluntary
+		// yield), so IsPreemption is false for every alternative.
+		alts = nonPreempting(ctx)
+		if len(alts) == 0 {
+			panic("search: empty alternative set under context bound")
+		}
+	}
+	if s.opts.SleepSets {
+		awake := make([]engine.Alt, 0, len(alts))
+		for _, a := range alts {
+			if !s.sleep.Contains(ctx.Engine, a) {
+				awake = append(awake, a)
+			}
+		}
+		if len(awake) == 0 {
+			// Every alternative is asleep: the state's successors are
+			// covered by sibling branches. Prune.
+			s.reason = abortSleep
+			return engine.Alt{}, false
+		}
+		alts = awake
+	}
+	if s.opts.DPOR {
+		// Lazy expansion: explore one alternative now; conflicts found
+		// later insert the others.
+		full := alts
+		alts = []engine.Alt{full[0]}
+		s.stack = append(s.stack, frame{alts: alts, full: full, analyzed: 1})
+		s.pos++
+		s.executed = append(s.executed[:s.pos-1], por.MoveOf(ctx.Engine, full[0]))
+		s.dporAnalyze(ctx, s.pos-1, full[0])
+		s.advanceSleep(ctx, &s.stack[len(s.stack)-1], full[0])
+		return full[0], true
+	}
+	s.stack = append(s.stack, frame{alts: alts})
+	s.pos++
+	alt := alts[0]
+	if ctx.IsPreemption(alt) {
+		s.preemptUsed++
+	}
+	s.advanceSleep(ctx, &s.stack[len(s.stack)-1], alt)
+	return alt, true
+}
+
+// advanceSleep updates the sleep set across one step: the frame's
+// already-explored siblings go to sleep, then every sleeping move
+// dependent on the chosen transition wakes up.
+func (s *searcher) advanceSleep(ctx *engine.ChooseContext, fr *frame, chosen engine.Alt) {
+	if !s.opts.SleepSets {
+		return
+	}
+	for i := 0; i < fr.idx; i++ {
+		s.sleep.Add(por.MoveOf(ctx.Engine, fr.alts[i]))
+	}
+	s.sleep.Step(por.MoveOf(ctx.Engine, chosen))
+}
+
+// nonPreempting returns the candidates that do not consume a
+// preemption: the previous thread itself, and any candidate when the
+// switch away from the previous thread is forced or voluntary.
+func nonPreempting(ctx *engine.ChooseContext) []engine.Alt {
+	out := make([]engine.Alt, 0, len(ctx.Cands))
+	for _, a := range ctx.Cands {
+		if !ctx.IsPreemption(a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func altIn(alt engine.Alt, cands []engine.Alt) string {
+	for _, c := range cands {
+		if c == alt {
+			return ""
+		}
+	}
+	return alt.String() + " not schedulable"
+}

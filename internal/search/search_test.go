@@ -1,0 +1,396 @@
+package search_test
+
+import (
+	"testing"
+
+	"fairmc/internal/engine"
+	"fairmc/internal/search"
+	"fairmc/internal/state"
+	"fairmc/internal/syncmodel"
+)
+
+// fig3 is the paper's Figure 3 spin-loop program.
+func fig3(t *engine.T) {
+	x := syncmodel.NewIntVar(t, "x", 0)
+	hu := t.Go("u", func(t *engine.T) {
+		for {
+			t.Label(1)
+			if x.Load(t) == 1 {
+				break
+			}
+			t.Yield()
+		}
+	})
+	ht := t.Go("t", func(t *engine.T) {
+		x.Store(t, 1)
+	})
+	ht.Join(t)
+	hu.Join(t)
+}
+
+func TestChooseFanout(t *testing.T) {
+	// A single thread with one Choose(3): exactly 3 executions.
+	rep := search.Explore(func(t *engine.T) {
+		t.Choose(3)
+	}, search.Options{Fair: true, ContextBound: -1})
+	if !rep.Exhausted {
+		t.Fatal("search not exhausted")
+	}
+	if rep.Executions != 3 {
+		t.Fatalf("executions = %d, want 3", rep.Executions)
+	}
+	if rep.Violations != 0 || rep.Deadlocks != 0 {
+		t.Fatalf("unexpected bugs: %+v", rep)
+	}
+}
+
+func TestNestedChooseFanout(t *testing.T) {
+	var seen [2][2]bool
+	rep := search.Explore(func(t *engine.T) {
+		a := t.Choose(2)
+		b := t.Choose(2)
+		seen[a][b] = true
+	}, search.Options{Fair: true, ContextBound: -1})
+	if rep.Executions != 4 {
+		t.Fatalf("executions = %d, want 4", rep.Executions)
+	}
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 2; b++ {
+			if !seen[a][b] {
+				t.Fatalf("combination (%d,%d) never explored", a, b)
+			}
+		}
+	}
+}
+
+// racyIncrement is a lost-update race: two threads read-modify-write a
+// shared counter without a lock. The final assertion fails only when
+// one thread is preempted between its load and its store.
+func racyIncrement(t *engine.T) {
+	x := syncmodel.NewIntVar(t, "x", 0)
+	wg := syncmodel.NewWaitGroup(t, "wg", 2)
+	for i := 0; i < 2; i++ {
+		t.Go("inc", func(t *engine.T) {
+			v := x.Load(t)
+			x.Store(t, v+1)
+			wg.Done(t)
+		})
+	}
+	wg.Wait(t)
+	t.Assert(x.Load(t) == 2, "lost update")
+}
+
+func TestContextBoundZeroMissesRace(t *testing.T) {
+	rep := search.Explore(racyIncrement, search.Options{Fair: true, ContextBound: 0})
+	if !rep.Exhausted {
+		t.Fatal("cb=0 search not exhausted")
+	}
+	if rep.Violations != 0 {
+		t.Fatalf("cb=0 found the race (%d violations); non-preemptive search should not", rep.Violations)
+	}
+}
+
+func TestContextBoundOneFindsRace(t *testing.T) {
+	rep := search.Explore(racyIncrement, search.Options{Fair: true, ContextBound: 1})
+	if rep.FirstBug == nil {
+		t.Fatal("cb=1 did not find the lost-update race")
+	}
+	if rep.FirstBug.Outcome != engine.Violation {
+		t.Fatalf("bug outcome = %v", rep.FirstBug.Outcome)
+	}
+	if len(rep.FirstBug.Trace) == 0 {
+		t.Fatal("bug has no repro trace")
+	}
+	if rep.FirstBugExecution < 1 || rep.FirstBugExecution > rep.Executions {
+		t.Fatalf("bug execution index %d out of range", rep.FirstBugExecution)
+	}
+}
+
+func TestUnboundedDFSFindsRace(t *testing.T) {
+	rep := search.Explore(racyIncrement, search.Options{Fair: true, ContextBound: -1})
+	if rep.FirstBug == nil {
+		t.Fatal("dfs did not find the lost-update race")
+	}
+}
+
+func TestDeadlockFoundAndCounted(t *testing.T) {
+	abba := func(t *engine.T) {
+		a := syncmodel.NewMutex(t, "a")
+		b := syncmodel.NewMutex(t, "b")
+		t.Go("ab", func(t *engine.T) {
+			a.Lock(t)
+			b.Lock(t)
+			b.Unlock(t)
+			a.Unlock(t)
+		})
+		t.Go("ba", func(t *engine.T) {
+			b.Lock(t)
+			a.Lock(t)
+			a.Unlock(t)
+			b.Unlock(t)
+		})
+	}
+	rep := search.Explore(abba, search.Options{Fair: true, ContextBound: -1})
+	if rep.FirstBug == nil || rep.FirstBug.Outcome != engine.Deadlock {
+		t.Fatalf("deadlock not found: %+v", rep)
+	}
+	if rep.Deadlocks != 1 {
+		t.Fatalf("deadlocks = %d", rep.Deadlocks)
+	}
+}
+
+func TestFairSearchExhaustsFig3(t *testing.T) {
+	// The spin loop makes the state space cyclic; the fair scheduler
+	// prunes the unfair unrollings so the full DFS terminates.
+	rep := search.Explore(fig3, search.Options{
+		Fair:         true,
+		ContextBound: -1,
+		MaxSteps:     10000,
+	})
+	if !rep.Exhausted {
+		t.Fatalf("fair dfs did not exhaust: %+v", rep)
+	}
+	if rep.NonTerminating != 0 {
+		t.Fatalf("fair dfs hit the step bound %d times", rep.NonTerminating)
+	}
+	if rep.Violations != 0 || rep.Deadlocks != 0 {
+		t.Fatalf("unexpected bugs: %+v", rep)
+	}
+}
+
+func TestUnfairSearchDivergesWithoutDepthBound(t *testing.T) {
+	// Without fairness, the very same program produces executions
+	// that unroll the spin cycle up to the step cap.
+	rep := search.Explore(fig3, search.Options{
+		Fair:          false,
+		ContextBound:  -1,
+		MaxSteps:      200,
+		MaxExecutions: 50,
+	})
+	if rep.Exhausted {
+		t.Fatal("unfair unbounded dfs should not exhaust a cyclic space this quickly")
+	}
+	if rep.NonTerminating == 0 {
+		t.Fatal("expected nonterminating executions")
+	}
+}
+
+func TestDepthBoundWithoutTailCountsNonterminating(t *testing.T) {
+	// Figure 2's measurement: prune at the depth bound and count.
+	rep := search.Explore(fig3, search.Options{
+		Fair:         false,
+		ContextBound: -1,
+		DepthBound:   12,
+		RandomTail:   false,
+	})
+	if !rep.Exhausted {
+		t.Fatalf("depth-bounded search did not exhaust: %+v", rep)
+	}
+	if rep.NonTerminating == 0 {
+		t.Fatal("expected executions cut at the depth bound")
+	}
+}
+
+func TestDepthBoundRandomTailTerminates(t *testing.T) {
+	rep := search.Explore(fig3, search.Options{
+		Fair:         false,
+		ContextBound: -1,
+		DepthBound:   12,
+		RandomTail:   true,
+		MaxSteps:     5000,
+		Seed:         1,
+	})
+	if !rep.Exhausted {
+		t.Fatalf("depth-bounded search did not exhaust: %+v", rep)
+	}
+	// The random tail is fair with probability 1, so (almost) all
+	// executions finish; with this seed none should hit the cap.
+	if rep.NonTerminating != 0 {
+		t.Fatalf("nonterminating = %d with random tail", rep.NonTerminating)
+	}
+}
+
+func TestStatefulPruneTerminatesUnfairSearch(t *testing.T) {
+	cov := state.NewCoverage()
+	rep := search.Explore(fig3, search.Options{
+		Fair:          false,
+		ContextBound:  -1,
+		MaxSteps:      10000,
+		StatefulPrune: true,
+		Monitor:       cov,
+	})
+	if !rep.Exhausted {
+		t.Fatalf("stateful search did not exhaust: %+v", rep)
+	}
+	if rep.PrunedVisited == 0 {
+		t.Fatal("stateful search never pruned on the cyclic space")
+	}
+	if cov.Count() < 5 {
+		t.Fatalf("coverage = %d states, suspiciously few", cov.Count())
+	}
+}
+
+func TestFairCoverageMatchesStatefulReference(t *testing.T) {
+	// The heart of Table 2: the fair search visits every state the
+	// stateful reference search reaches.
+	ref := state.NewCoverage()
+	search.Explore(fig3, search.Options{
+		Fair:          false,
+		ContextBound:  -1,
+		MaxSteps:      10000,
+		StatefulPrune: true,
+		Monitor:       ref,
+	})
+	cov := state.NewCoverage()
+	rep := search.Explore(fig3, search.Options{
+		Fair:         true,
+		ContextBound: -1,
+		MaxSteps:     10000,
+		Monitor:      cov,
+	})
+	if !rep.Exhausted {
+		t.Fatalf("fair search did not exhaust: %+v", rep)
+	}
+	if missing := cov.Missing(ref); len(missing) != 0 {
+		t.Fatalf("fair search missed %d of %d reference states", len(missing), ref.Count())
+	}
+}
+
+func TestStatefulPruneWithFairPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("StatefulPrune+Fair did not panic")
+		}
+	}()
+	search.Explore(fig3, search.Options{Fair: true, StatefulPrune: true})
+}
+
+func TestMaxExecutionsBudget(t *testing.T) {
+	rep := search.Explore(racyIncrement, search.Options{
+		Fair:                   true,
+		ContextBound:           -1,
+		MaxExecutions:          2,
+		ContinueAfterViolation: true,
+	})
+	if !rep.ExecBounded {
+		t.Fatal("ExecBounded not set")
+	}
+	if rep.Executions != 2 {
+		t.Fatalf("executions = %d, want 2", rep.Executions)
+	}
+}
+
+func TestContinueAfterViolationCountsAll(t *testing.T) {
+	rep := search.Explore(racyIncrement, search.Options{
+		Fair:                   true,
+		ContextBound:           1,
+		ContinueAfterViolation: true,
+	})
+	if !rep.Exhausted {
+		t.Fatal("search not exhausted")
+	}
+	if rep.Violations < 2 {
+		t.Fatalf("violations = %d, expected several distinct buggy interleavings", rep.Violations)
+	}
+	if rep.FirstBug == nil {
+		t.Fatal("first bug not recorded")
+	}
+}
+
+func TestSearchDeterminism(t *testing.T) {
+	run := func() *search.Report {
+		return search.Explore(racyIncrement, search.Options{
+			Fair:                   true,
+			ContextBound:           2,
+			ContinueAfterViolation: true,
+			Seed:                   7,
+		})
+	}
+	a, b := run(), run()
+	if a.Executions != b.Executions || a.Violations != b.Violations ||
+		a.TotalSteps != b.TotalSteps || a.FirstBugExecution != b.FirstBugExecution {
+		t.Fatalf("search not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestDivergenceReportedInFairMode(t *testing.T) {
+	// A genuine livelock under fair scheduling: two threads forever
+	// handing a token back and forth with yields. The fair scheduler
+	// cannot prune it (the cycle is fair), so the search reports a
+	// divergence — the paper's livelock-detection mechanism.
+	livelock := func(t *engine.T) {
+		turn := syncmodel.NewIntVar(t, "turn", 0)
+		for i := 0; i < 2; i++ {
+			me := int64(i)
+			t.Go("p", func(t *engine.T) {
+				for {
+					t.Label(1)
+					if turn.Load(t) == me {
+						turn.Store(t, 1-me)
+					}
+					t.Yield()
+				}
+			})
+		}
+	}
+	rep := search.Explore(livelock, search.Options{
+		Fair:         true,
+		ContextBound: -1,
+		MaxSteps:     300,
+	})
+	if rep.Divergence == nil {
+		t.Fatalf("no divergence reported: %+v", rep)
+	}
+	if rep.Divergence.Outcome != engine.Diverged {
+		t.Fatalf("divergence outcome = %v", rep.Divergence.Outcome)
+	}
+	if len(rep.Divergence.Trace) == 0 {
+		t.Fatal("divergence has no trace")
+	}
+}
+
+func TestRandomWalkFindsRace(t *testing.T) {
+	rep := search.Explore(racyIncrement, search.Options{
+		Fair:          true,
+		RandomWalk:    true,
+		MaxExecutions: 5000,
+		MaxSteps:      1000,
+		Seed:          3,
+	})
+	if rep.FirstBug == nil {
+		t.Fatalf("random walk missed the race in %d executions", rep.Executions)
+	}
+	if rep.Exhausted {
+		t.Fatal("random walk claims exhaustion")
+	}
+}
+
+func TestRandomWalkDeterministicPerSeed(t *testing.T) {
+	run := func(seed uint64) *search.Report {
+		return search.Explore(racyIncrement, search.Options{
+			Fair:                   true,
+			RandomWalk:             true,
+			MaxExecutions:          200,
+			MaxSteps:               1000,
+			Seed:                   seed,
+			ContinueAfterViolation: true,
+		})
+	}
+	a, b := run(9), run(9)
+	if a.Violations != b.Violations || a.TotalSteps != b.TotalSteps {
+		t.Fatalf("random walk not reproducible: %+v vs %+v", a, b)
+	}
+	c := run(10)
+	if c.TotalSteps == a.TotalSteps && c.Violations == a.Violations {
+		t.Log("note: different seeds produced identical statistics (possible but unlikely)")
+	}
+}
+
+func TestRandomWalkWithoutBudgetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unbounded RandomWalk")
+		}
+	}()
+	search.Explore(racyIncrement, search.Options{RandomWalk: true})
+}

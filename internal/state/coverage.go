@@ -1,0 +1,62 @@
+// Package state measures state coverage during stateless exploration.
+//
+// CHESS is stateless and normally captures no states; for the coverage
+// experiments of §4.2.1 the paper adds a manual state-extraction
+// facility to two programs and stores state signatures in a hash
+// table. Coverage is the equivalent here: an engine monitor that
+// fingerprints the state after every transition (and the initial
+// state) and counts distinct signatures across all executions of a
+// search. The "Total States" reference of Table 2 comes from running
+// the search with Options.StatefulPrune, which prunes at revisited
+// states and therefore terminates on finite-state programs.
+package state
+
+import "fairmc/internal/engine"
+
+// Coverage accumulates distinct state fingerprints across executions.
+// It implements engine.Monitor. Not safe for concurrent use; searches
+// are single-threaded.
+type Coverage struct {
+	seen map[engine.Fingerprint]struct{}
+	// Transitions counts all monitored steps (visited states including
+	// revisits, minus initial states).
+	Transitions int64
+}
+
+// NewCoverage returns an empty coverage tracker.
+func NewCoverage() *Coverage {
+	return &Coverage{seen: make(map[engine.Fingerprint]struct{})}
+}
+
+// AfterInit implements engine.Monitor.
+func (c *Coverage) AfterInit(e *engine.Engine) {
+	c.seen[e.Fingerprint()] = struct{}{}
+}
+
+// AfterStep implements engine.Monitor.
+func (c *Coverage) AfterStep(e *engine.Engine) {
+	c.seen[e.Fingerprint()] = struct{}{}
+	c.Transitions++
+}
+
+// Count returns the number of distinct states seen.
+func (c *Coverage) Count() int { return len(c.seen) }
+
+// Has reports whether a fingerprint has been seen.
+func (c *Coverage) Has(fp engine.Fingerprint) bool {
+	_, ok := c.seen[fp]
+	return ok
+}
+
+// Missing returns the fingerprints in reference that this tracker has
+// not seen; used to verify 100% coverage against a stateful-search
+// reference.
+func (c *Coverage) Missing(reference *Coverage) []engine.Fingerprint {
+	var out []engine.Fingerprint
+	for fp := range reference.seen {
+		if _, ok := c.seen[fp]; !ok {
+			out = append(out, fp)
+		}
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package state_test
+
+import (
+	"testing"
+
+	"fairmc/internal/engine"
+	"fairmc/internal/state"
+	"fairmc/internal/syncmodel"
+)
+
+func run(t *testing.T, mon engine.Monitor, body func(*engine.T)) *engine.Result {
+	t.Helper()
+	r := engine.Run(body, engine.FirstChooser{}, engine.Config{
+		Fair:    true,
+		Monitor: mon,
+	})
+	if r.Outcome != engine.Terminated {
+		t.Fatalf("outcome = %v", r.Outcome)
+	}
+	return r
+}
+
+func prog(t *engine.T) {
+	x := syncmodel.NewIntVar(t, "x", 0)
+	x.Store(t, 1)
+	x.Store(t, 2)
+}
+
+func TestCoverageCountsDistinctStates(t *testing.T) {
+	cov := state.NewCoverage()
+	r := run(t, cov, prog)
+	// Initial state + one per step, all distinct here.
+	want := int(r.Steps) + 1
+	if cov.Count() != want {
+		t.Fatalf("Count = %d, want %d", cov.Count(), want)
+	}
+	if cov.Transitions != r.Steps {
+		t.Fatalf("Transitions = %d, want %d", cov.Transitions, r.Steps)
+	}
+}
+
+func TestCoverageDeduplicatesAcrossExecutions(t *testing.T) {
+	cov := state.NewCoverage()
+	r1 := run(t, cov, prog)
+	first := cov.Count()
+	run(t, cov, prog)
+	if cov.Count() != first {
+		t.Fatalf("identical execution added states: %d -> %d", first, cov.Count())
+	}
+	if cov.Transitions != 2*r1.Steps {
+		t.Fatalf("Transitions = %d, want %d", cov.Transitions, 2*r1.Steps)
+	}
+}
+
+func TestHasAndMissing(t *testing.T) {
+	a := state.NewCoverage()
+	run(t, a, prog)
+	b := state.NewCoverage()
+	if missing := b.Missing(a); len(missing) != a.Count() {
+		t.Fatalf("empty tracker missing %d of %d", len(missing), a.Count())
+	}
+	var sample engine.Fingerprint
+	found := false
+	mon := probe{f: func(e *engine.Engine) {
+		sample = e.Fingerprint()
+		found = true
+	}}
+	run(t, mon, prog)
+	if !found {
+		t.Fatal("probe never fired")
+	}
+	if !a.Has(sample) {
+		t.Fatal("tracked state not reported by Has")
+	}
+	run(t, b, prog)
+	if missing := b.Missing(a); len(missing) != 0 {
+		t.Fatalf("same program, %d missing states", len(missing))
+	}
+}
+
+type probe struct{ f func(*engine.Engine) }
+
+func (p probe) AfterInit(e *engine.Engine) { p.f(e) }
+func (p probe) AfterStep(e *engine.Engine) { p.f(e) }

@@ -1,0 +1,498 @@
+package syncmodel_test
+
+import (
+	"testing"
+
+	"fairmc/internal/engine"
+	"fairmc/internal/syncmodel"
+)
+
+func run(t *testing.T, body func(*engine.T)) *engine.Result {
+	t.Helper()
+	return engine.Run(body, engine.FirstChooser{}, engine.Config{
+		Fair:            true,
+		CheckInvariants: true,
+		RecordTrace:     true,
+		MaxSteps:        100000,
+	})
+}
+
+func wantTerminated(t *testing.T, r *engine.Result) {
+	t.Helper()
+	if r.Outcome != engine.Terminated {
+		t.Fatalf("outcome = %v\n%s", r.Outcome, r.FormatTrace())
+	}
+}
+
+func wantViolation(t *testing.T, r *engine.Result, why string) {
+	t.Helper()
+	if r.Outcome != engine.Violation {
+		t.Fatalf("outcome = %v, want violation (%s)", r.Outcome, why)
+	}
+}
+
+func TestMutexBasics(t *testing.T) {
+	wantTerminated(t, run(t, func(t *engine.T) {
+		m := syncmodel.NewMutex(t, "m")
+		t.Assert(!m.Locked(), "fresh mutex unlocked")
+		m.Lock(t)
+		t.Assert(m.Locked(), "locked after Lock")
+		t.Assert(m.Owner() == t.ID(), "owner is locker")
+		t.Assert(!m.TryLock(t) || false, "TryLock on held lock fails")
+		m.Unlock(t)
+		t.Assert(m.TryLock(t), "TryLock on free lock succeeds")
+		m.Unlock(t)
+		t.Assert(m.LockTimeout(t), "LockTimeout on free lock succeeds")
+		m.Unlock(t)
+	}))
+}
+
+func TestMutexBlocksAndHandsOff(t *testing.T) {
+	wantTerminated(t, run(t, func(t *engine.T) {
+		m := syncmodel.NewMutex(t, "m")
+		v := syncmodel.NewIntVar(t, "v", 0)
+		m.Lock(t)
+		h := t.Go("w", func(t *engine.T) {
+			m.Lock(t) // disabled until main unlocks
+			v.Store(t, 1)
+			m.Unlock(t)
+		})
+		t.Assert(v.Load(t) == 0, "worker cannot have run")
+		m.Unlock(t)
+		h.Join(t)
+		t.Assert(v.Load(t) == 1, "worker ran after release")
+	}))
+}
+
+func TestLockTimeoutIsYielding(t *testing.T) {
+	r := run(t, func(t *engine.T) {
+		m := syncmodel.NewMutex(t, "m")
+		m.LockTimeout(t)
+		m.Unlock(t)
+	})
+	wantTerminated(t, r)
+	if r.Yields != 1 {
+		t.Fatalf("yields = %d, want 1 (LockTimeout has a finite timeout)", r.Yields)
+	}
+}
+
+func TestRWMutex(t *testing.T) {
+	wantTerminated(t, run(t, func(t *engine.T) {
+		m := syncmodel.NewRWMutex(t, "rw")
+		v := syncmodel.NewIntVar(t, "v", 0)
+
+		m.RLock(t)
+		h := t.Go("writer", func(t *engine.T) {
+			m.Lock(t) // blocked while reader holds
+			v.Store(t, 1)
+			m.Unlock(t)
+		})
+		t.Assert(v.Load(t) == 0, "writer blocked by reader")
+		m.RUnlock(t)
+		h.Join(t)
+		t.Assert(v.Load(t) == 1, "writer ran")
+
+		// Multiple concurrent readers.
+		m.RLock(t)
+		h2 := t.Go("reader", func(t *engine.T) {
+			m.RLock(t)
+			m.RUnlock(t)
+		})
+		h2.Join(t)
+		m.RUnlock(t)
+	}))
+}
+
+func TestRWMutexMisuse(t *testing.T) {
+	wantViolation(t, run(t, func(t *engine.T) {
+		m := syncmodel.NewRWMutex(t, "rw")
+		m.Unlock(t)
+	}), "unlock without lock")
+	wantViolation(t, run(t, func(t *engine.T) {
+		m := syncmodel.NewRWMutex(t, "rw")
+		m.RLock(t)
+		m.Lock(t)
+	}), "upgrade attempt")
+	wantViolation(t, run(t, func(t *engine.T) {
+		m := syncmodel.NewRWMutex(t, "rw")
+		m.RUnlock(t)
+	}), "read unlock without read lock")
+}
+
+func TestSemaphore(t *testing.T) {
+	wantTerminated(t, run(t, func(t *engine.T) {
+		s := syncmodel.NewSemaphore(t, "s", 2, 3)
+		s.Acquire(t)
+		s.Acquire(t)
+		t.Assert(!s.TryAcquire(t), "count exhausted")
+		s.Release(t, 1)
+		t.Assert(s.TryAcquire(t), "count available after release")
+		t.Assert(!s.AcquireTimeout(t), "timeout on empty semaphore")
+		s.Release(t, 2)
+		t.Assert(s.AcquireTimeout(t), "timeout acquire succeeds when available")
+	}))
+}
+
+func TestSemaphoreBlocking(t *testing.T) {
+	wantTerminated(t, run(t, func(t *engine.T) {
+		s := syncmodel.NewSemaphore(t, "s", 0, 0)
+		v := syncmodel.NewIntVar(t, "v", 0)
+		h := t.Go("waiter", func(t *engine.T) {
+			s.Acquire(t) // disabled until release
+			v.Store(t, 1)
+		})
+		t.Assert(v.Load(t) == 0, "waiter blocked")
+		s.Release(t, 1)
+		h.Join(t)
+		t.Assert(v.Load(t) == 1, "waiter ran")
+	}))
+}
+
+func TestSemaphoreOverflowFails(t *testing.T) {
+	wantViolation(t, run(t, func(t *engine.T) {
+		s := syncmodel.NewSemaphore(t, "s", 1, 1)
+		s.Release(t, 1)
+	}), "release beyond max")
+}
+
+func TestCondSignalWakesOne(t *testing.T) {
+	wantTerminated(t, run(t, func(t *engine.T) {
+		m := syncmodel.NewMutex(t, "m")
+		c := syncmodel.NewCond(t, "c", m)
+		ready := syncmodel.NewIntVar(t, "ready", 0)
+		woken := syncmodel.NewIntVar(t, "woken", 0)
+		for i := 0; i < 2; i++ {
+			t.Go("waiter", func(t *engine.T) {
+				m.Lock(t)
+				ready.Add(t, 1)
+				c.Wait(t)
+				woken.Add(t, 1)
+				m.Unlock(t)
+			})
+		}
+		for ready.Load(t) != 2 {
+			t.Yield()
+		}
+		c.Signal(t)
+		for woken.Load(t) != 1 {
+			t.Yield()
+		}
+		t.Assert(c.NumWaiters() == 1, "one waiter remains")
+		c.Broadcast(t)
+		for woken.Load(t) != 2 {
+			t.Yield()
+		}
+	}))
+}
+
+func TestCondWaitRequiresMutex(t *testing.T) {
+	wantViolation(t, run(t, func(t *engine.T) {
+		m := syncmodel.NewMutex(t, "m")
+		c := syncmodel.NewCond(t, "c", m)
+		c.Wait(t)
+	}), "wait without mutex")
+}
+
+func TestCondWaitReacquiresMutex(t *testing.T) {
+	wantTerminated(t, run(t, func(t *engine.T) {
+		m := syncmodel.NewMutex(t, "m")
+		c := syncmodel.NewCond(t, "c", m)
+		state := syncmodel.NewIntVar(t, "state", 0)
+		h := t.Go("waiter", func(t *engine.T) {
+			m.Lock(t)
+			for state.Load(t) == 0 {
+				c.Wait(t)
+			}
+			t.Assert(m.Owner() == t.ID(), "mutex reacquired after Wait")
+			m.Unlock(t)
+		})
+		for c.NumWaiters() == 0 {
+			t.Yield()
+		}
+		m.Lock(t)
+		state.Store(t, 1)
+		c.Signal(t)
+		m.Unlock(t)
+		h.Join(t)
+	}))
+}
+
+func TestEventManualAndAuto(t *testing.T) {
+	wantTerminated(t, run(t, func(t *engine.T) {
+		manual := syncmodel.NewEvent(t, "manual", true, false)
+		auto := syncmodel.NewEvent(t, "auto", false, false)
+
+		t.Assert(!manual.WaitTimeout(t), "manual unsignaled")
+		manual.Set(t)
+		manual.Wait(t)
+		t.Assert(manual.Signaled(), "manual stays signaled")
+		manual.Reset(t)
+		t.Assert(!manual.Signaled(), "manual reset")
+
+		auto.Set(t)
+		auto.Wait(t)
+		t.Assert(!auto.Signaled(), "auto consumed by wait")
+		auto.Set(t)
+		t.Assert(auto.WaitTimeout(t), "auto timeout-wait consumes")
+		t.Assert(!auto.Signaled(), "auto consumed by timeout wait")
+	}))
+}
+
+func TestEventWaitBlocks(t *testing.T) {
+	wantTerminated(t, run(t, func(t *engine.T) {
+		ev := syncmodel.NewEvent(t, "ev", true, false)
+		v := syncmodel.NewIntVar(t, "v", 0)
+		h := t.Go("waiter", func(t *engine.T) {
+			ev.Wait(t)
+			v.Store(t, 1)
+		})
+		t.Assert(v.Load(t) == 0, "waiter blocked on event")
+		ev.Set(t)
+		h.Join(t)
+		t.Assert(v.Load(t) == 1, "waiter released")
+	}))
+}
+
+func TestWaitGroup(t *testing.T) {
+	wantTerminated(t, run(t, func(t *engine.T) {
+		wg := syncmodel.NewWaitGroup(t, "wg", 0)
+		wg.Add(t, 3)
+		done := syncmodel.NewIntVar(t, "done", 0)
+		for i := 0; i < 3; i++ {
+			t.Go("w", func(t *engine.T) {
+				done.Add(t, 1)
+				wg.Done(t)
+			})
+		}
+		wg.Wait(t)
+		t.Assert(done.Load(t) == 3, "all workers finished before Wait returned")
+	}))
+}
+
+func TestWaitGroupNegativeFails(t *testing.T) {
+	wantViolation(t, run(t, func(t *engine.T) {
+		wg := syncmodel.NewWaitGroup(t, "wg", 0)
+		wg.Done(t)
+	}), "counter below zero")
+}
+
+func TestIntVarOps(t *testing.T) {
+	wantTerminated(t, run(t, func(t *engine.T) {
+		v := syncmodel.NewIntVar(t, "v", 10)
+		t.Assert(v.Load(t) == 10, "initial")
+		v.Store(t, 20)
+		t.Assert(v.Add(t, 5) == 25, "Add returns new value")
+		t.Assert(v.CompareAndSwap(t, 25, 30), "CAS succeeds on match")
+		t.Assert(!v.CompareAndSwap(t, 25, 40), "CAS fails on mismatch")
+		t.Assert(v.Swap(t, 50) == 30, "Swap returns old value")
+		t.Assert(v.Load(t) == 50, "Swap stored")
+		t.Assert(v.Peek() == 50, "Peek sees current value")
+	}))
+}
+
+func TestIntArray(t *testing.T) {
+	wantTerminated(t, run(t, func(t *engine.T) {
+		a := syncmodel.NewIntArray(t, "a", 4)
+		t.Assert(a.Len() == 4, "length")
+		a.Set(t, 2, 7)
+		t.Assert(a.Get(t, 2) == 7, "set/get")
+		t.Assert(a.Get(t, 0) == 0, "zero initialized")
+	}))
+	wantViolation(t, run(t, func(t *engine.T) {
+		a := syncmodel.NewIntArray(t, "a", 2)
+		a.Get(t, 5)
+	}), "index out of range")
+}
+
+func TestAnyVar(t *testing.T) {
+	wantTerminated(t, run(t, func(t *engine.T) {
+		v := syncmodel.NewAnyVar(t, "v", "hello")
+		t.Assert(v.Load(t) == "hello", "initial")
+		v.Store(t, 42)
+		t.Assert(v.Load(t) == 42, "stored int")
+	}))
+}
+
+func TestChannelBuffered(t *testing.T) {
+	wantTerminated(t, run(t, func(t *engine.T) {
+		ch := syncmodel.NewChannel(t, "ch", 2)
+		t.Assert(ch.TrySend(t, 1), "space available")
+		ch.Send(t, 2)
+		t.Assert(!ch.TrySend(t, 3), "full")
+		v, ok := ch.Recv(t)
+		t.Assert(ok && v == 1, "FIFO order")
+		v, open, got := ch.TryRecv(t)
+		t.Assert(got && open && v == 2, "tryrecv")
+		_, _, got = ch.TryRecv(t)
+		t.Assert(!got, "empty tryrecv")
+	}))
+}
+
+func TestChannelBlockingSend(t *testing.T) {
+	wantTerminated(t, run(t, func(t *engine.T) {
+		ch := syncmodel.NewChannel(t, "ch", 1)
+		ch.Send(t, 1)
+		progressed := syncmodel.NewIntVar(t, "p", 0)
+		h := t.Go("sender", func(t *engine.T) {
+			ch.Send(t, 2) // disabled while full
+			progressed.Store(t, 1)
+		})
+		t.Assert(progressed.Load(t) == 0, "sender blocked on full channel")
+		v, ok := ch.Recv(t)
+		t.Assert(ok && v == 1, "first value")
+		h.Join(t)
+		v, ok = ch.Recv(t)
+		t.Assert(ok && v == 2, "second value after unblock")
+	}))
+}
+
+func TestChannelRendezvous(t *testing.T) {
+	wantTerminated(t, run(t, func(t *engine.T) {
+		ch := syncmodel.NewChannel(t, "ch", 0)
+		t.Assert(!ch.TrySend(t, 9), "no receiver waiting")
+		got := syncmodel.NewIntVar(t, "got", 0)
+		h := t.Go("receiver", func(t *engine.T) {
+			v, ok := ch.Recv(t)
+			t.Assert(ok, "rendezvous recv ok")
+			got.Store(t, v)
+		})
+		ch.Send(t, 77) // enabled once receiver parked
+		h.Join(t)
+		t.Assert(got.Load(t) == 77, "value delivered")
+	}))
+}
+
+func TestChannelClose(t *testing.T) {
+	wantTerminated(t, run(t, func(t *engine.T) {
+		ch := syncmodel.NewChannel(t, "ch", 2)
+		ch.Send(t, 5)
+		ch.Close(t)
+		v, ok := ch.Recv(t)
+		t.Assert(ok && v == 5, "drain after close")
+		_, ok = ch.Recv(t)
+		t.Assert(!ok, "closed and empty")
+	}))
+	wantViolation(t, run(t, func(t *engine.T) {
+		ch := syncmodel.NewChannel(t, "ch", 1)
+		ch.Close(t)
+		ch.Send(t, 1)
+	}), "send on closed")
+	wantViolation(t, run(t, func(t *engine.T) {
+		ch := syncmodel.NewChannel(t, "ch", 1)
+		ch.Close(t)
+		ch.Close(t)
+	}), "double close")
+}
+
+func TestChannelCloseReleasesBlockedReceiver(t *testing.T) {
+	wantTerminated(t, run(t, func(t *engine.T) {
+		ch := syncmodel.NewChannel(t, "ch", 1)
+		h := t.Go("receiver", func(t *engine.T) {
+			_, ok := ch.Recv(t) // disabled until close
+			t.Assert(!ok, "recv observes close")
+		})
+		ch.Close(t)
+		h.Join(t)
+	}))
+}
+
+func TestBlockedSenderFailsWhenChannelCloses(t *testing.T) {
+	wantViolation(t, run(t, func(t *engine.T) {
+		ch := syncmodel.NewChannel(t, "ch", 1)
+		ch.Send(t, 1) // fill
+		t.Go("sender", func(t *engine.T) {
+			ch.Send(t, 2) // blocks; later the channel closes under it
+		})
+		ch.Close(t)
+	}), "send on channel closed while blocked")
+}
+
+func TestOnceSingleWinner(t *testing.T) {
+	wantTerminated(t, run(t, func(t *engine.T) {
+		o := syncmodel.NewOnce(t, "o")
+		inits := syncmodel.NewIntVar(t, "inits", 0)
+		wg := syncmodel.NewWaitGroup(t, "wg", 3)
+		for i := 0; i < 3; i++ {
+			t.Go("w", func(t *engine.T) {
+				o.Do(t, func(t *engine.T) {
+					inits.Add(t, 1)
+				})
+				// After Do returns, initialization is complete.
+				t.Assert(o.Done(), "once done after Do")
+				t.Assert(inits.Load(t) == 1, "exactly one initializer")
+				wg.Done(t)
+			})
+		}
+		wg.Wait(t)
+		t.Assert(inits.Load(t) == 1, "exactly one init overall")
+	}))
+}
+
+func TestOnceLosersBlockDuringInit(t *testing.T) {
+	wantTerminated(t, run(t, func(t *engine.T) {
+		o := syncmodel.NewOnce(t, "o")
+		won := o.Begin(t)
+		t.Assert(won, "first arrival wins")
+		progressed := syncmodel.NewIntVar(t, "p", 0)
+		h := t.Go("loser", func(t *engine.T) {
+			t.Assert(!o.Begin(t), "loser does not win") // disabled until Complete
+			progressed.Store(t, 1)
+		})
+		t.Assert(progressed.Load(t) == 0, "loser blocked while winner initializes")
+		o.Complete(t)
+		h.Join(t)
+		t.Assert(progressed.Load(t) == 1, "loser released")
+	}))
+}
+
+func TestOnceCompleteMisuse(t *testing.T) {
+	wantViolation(t, run(t, func(t *engine.T) {
+		o := syncmodel.NewOnce(t, "o")
+		o.Complete(t)
+	}), "complete without begin")
+}
+
+func TestBarrierRendezvous(t *testing.T) {
+	wantTerminated(t, run(t, func(t *engine.T) {
+		b := syncmodel.NewBarrier(t, "b", 2)
+		work := syncmodel.NewIntVar(t, "work", 0)
+		h := t.Go("peer", func(t *engine.T) {
+			work.Add(t, 1)
+			b.Await(t)
+			t.Assert(work.Load(t) == 2, "peer sees both contributions")
+		})
+		work.Add(t, 1)
+		b.Await(t)
+		t.Assert(work.Load(t) == 2, "main sees both contributions")
+		h.Join(t)
+		t.Assert(b.Phase() == 1, "one completed phase")
+	}))
+}
+
+func TestBarrierReusable(t *testing.T) {
+	wantTerminated(t, run(t, func(t *engine.T) {
+		b := syncmodel.NewBarrier(t, "b", 2)
+		rounds := syncmodel.NewIntVar(t, "rounds", 0)
+		h := t.Go("peer", func(t *engine.T) {
+			for r := 0; r < 3; r++ {
+				t.Label(1)
+				rounds.Add(t, 1)
+				b.Await(t)
+			}
+		})
+		for r := 0; r < 3; r++ {
+			t.Label(1)
+			rounds.Add(t, 1)
+			b.Await(t)
+			t.Assert(rounds.Load(t) >= int64(2*(r+1)), "round complete at crossing")
+		}
+		h.Join(t)
+		t.Assert(b.Phase() == 3, "three phases")
+	}))
+}
+
+func TestBarrierBadParties(t *testing.T) {
+	wantViolation(t, run(t, func(t *engine.T) {
+		syncmodel.NewBarrier(t, "b", 0)
+	}), "zero parties")
+}

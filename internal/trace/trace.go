@@ -1,0 +1,67 @@
+// Package trace serializes schedules so that counterexamples found by
+// the checker can be saved, shared, and replayed later — a stateless
+// model checker's entire finding is its schedule, so this file format
+// is the checker's bug-report format.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"fairmc/internal/engine"
+	"fairmc/internal/tidset"
+)
+
+// Version identifies the file format.
+const Version = 1
+
+// Meta describes the run that produced a schedule; replaying with
+// different parameters may diverge, so the parameters travel with it.
+type Meta struct {
+	// Program is the registry name of the model program.
+	Program string `json:"program"`
+	// Fair and FairK are the scheduler parameters of the run.
+	Fair  bool `json:"fair"`
+	FairK int  `json:"fairK,omitempty"`
+	// MaxSteps is the step bound of the run.
+	MaxSteps int64 `json:"maxSteps,omitempty"`
+	// Outcome is the expected replay outcome (informational).
+	Outcome string `json:"outcome,omitempty"`
+	// Note is a free-form description.
+	Note string `json:"note,omitempty"`
+}
+
+// file is the on-disk representation.
+type file struct {
+	Version  int      `json:"version"`
+	Meta     Meta     `json:"meta"`
+	Schedule [][2]int `json:"schedule"`
+}
+
+// Marshal encodes a schedule with its metadata.
+func Marshal(meta Meta, schedule []engine.Alt) ([]byte, error) {
+	f := file{Version: Version, Meta: meta, Schedule: make([][2]int, len(schedule))}
+	for i, a := range schedule {
+		f.Schedule[i] = [2]int{int(a.Tid), a.Arg}
+	}
+	return json.MarshalIndent(f, "", "  ")
+}
+
+// Unmarshal decodes a schedule file.
+func Unmarshal(data []byte) (Meta, []engine.Alt, error) {
+	var f file
+	if err := json.Unmarshal(data, &f); err != nil {
+		return Meta{}, nil, fmt.Errorf("trace: %w", err)
+	}
+	if f.Version != Version {
+		return Meta{}, nil, fmt.Errorf("trace: unsupported version %d", f.Version)
+	}
+	schedule := make([]engine.Alt, len(f.Schedule))
+	for i, s := range f.Schedule {
+		if s[0] < 0 {
+			return Meta{}, nil, fmt.Errorf("trace: negative thread id at step %d", i)
+		}
+		schedule[i] = engine.Alt{Tid: tidset.Tid(s[0]), Arg: s[1]}
+	}
+	return f.Meta, schedule, nil
+}

@@ -1,0 +1,141 @@
+// Package tso models total-store-order (x86-style) relaxed memory on
+// top of the checker — the direction the CHESS project itself took
+// next (Sober, the store-buffer-based relaxed-memory checker, came
+// from the same group in the same year).
+//
+// Each client thread owns a FIFO store buffer. A store appends to the
+// owner's buffer; a load first searches the owner's own buffer
+// (store-to-load forwarding, newest entry wins) and falls back to
+// global memory. Crucially, draining a buffer entry into global
+// memory is performed by a dedicated *pump* model thread per client —
+// so the flush delay is ordinary scheduler nondeterminism and the
+// checker explores every TSO-admissible reordering with no engine
+// changes at all. A Fence spin-waits (yielding, good-samaritan style)
+// until the caller's buffer is empty.
+//
+// The classic demonstration lives in progs: Peterson's algorithm is
+// correct under sequential consistency but broken under TSO unless a
+// fence separates the intent-flag store from the rival-flag load.
+package tso
+
+import (
+	"fmt"
+
+	"fairmc/conc"
+)
+
+// Memory is a TSO memory of nvars cells shared by nclients client
+// threads (client slots are assigned by the program, not thread ids).
+type Memory struct {
+	global *conc.IntArray
+	// Per-client ring buffers of (var, val) pairs.
+	bufVar []*conc.IntArray
+	bufVal []*conc.IntArray
+	head   []*conc.IntVar // next entry to drain
+	tail   []*conc.IntVar // next free slot
+	cap    int
+	done   *conc.IntVar
+	pumps  []*conc.Handle
+}
+
+// New creates a TSO memory and spawns one pump thread per client.
+// bufCap bounds each store buffer; a store into a full buffer blocks
+// the storer until the pump drains (as real store buffers stall).
+func New(t *conc.T, name string, nclients, nvars, bufCap int) *Memory {
+	if nclients < 1 || nvars < 1 || bufCap < 1 {
+		t.Failf("tso %q: bad shape (%d clients, %d vars, cap %d)", name, nclients, nvars, bufCap)
+	}
+	m := &Memory{
+		global: conc.NewIntArray(t, name+".mem", nvars),
+		cap:    bufCap,
+		done:   conc.NewIntVar(t, name+".done", 0),
+	}
+	for c := 0; c < nclients; c++ {
+		m.bufVar = append(m.bufVar, conc.NewIntArray(t, fmt.Sprintf("%s.bv%d", name, c), bufCap))
+		m.bufVal = append(m.bufVal, conc.NewIntArray(t, fmt.Sprintf("%s.bd%d", name, c), bufCap))
+		m.head = append(m.head, conc.NewIntVar(t, fmt.Sprintf("%s.h%d", name, c), 0))
+		m.tail = append(m.tail, conc.NewIntVar(t, fmt.Sprintf("%s.t%d", name, c), 0))
+	}
+	for c := 0; c < nclients; c++ {
+		c := c
+		m.pumps = append(m.pumps, t.Go(fmt.Sprintf("%s.pump%d", name, c), func(t *conc.T) {
+			m.pump(t, c)
+		}))
+	}
+	return m
+}
+
+// pump drains client c's buffer into global memory, one entry per
+// transition, at scheduler-chosen moments — the flush nondeterminism.
+func (m *Memory) pump(t *conc.T, c int) {
+	for {
+		t.Label(1)
+		h := m.head[c].Load(t)
+		tl := m.tail[c].Load(t)
+		if h < tl {
+			slot := int(h) % m.cap
+			v := m.bufVar[c].Get(t, slot)
+			val := m.bufVal[c].Get(t, slot)
+			m.global.Set(t, int(v), val)
+			m.head[c].Store(t, h+1)
+			continue
+		}
+		if m.done.Load(t) == 1 {
+			return
+		}
+		t.Yield() // empty buffer: be a good samaritan
+	}
+}
+
+// Store appends (v = val) to client c's store buffer; it blocks
+// (spin-yield) while the buffer is full.
+func (m *Memory) Store(t *conc.T, c int, v int, val int64) {
+	for {
+		t.Label(2)
+		h := m.head[c].Load(t)
+		tl := m.tail[c].Load(t)
+		if tl-h < int64(m.cap) {
+			slot := int(tl) % m.cap
+			m.bufVar[c].Set(t, slot, int64(v))
+			m.bufVal[c].Set(t, slot, val)
+			m.tail[c].Store(t, tl+1)
+			return
+		}
+		t.Yield() // buffer stall
+	}
+}
+
+// Load reads v as client c: newest matching entry of c's own buffer
+// (store-to-load forwarding), else global memory.
+func (m *Memory) Load(t *conc.T, c int, v int) int64 {
+	h := m.head[c].Load(t)
+	tl := m.tail[c].Load(t)
+	for i := tl - 1; i >= h; i-- {
+		slot := int(i) % m.cap
+		if m.bufVar[c].Get(t, slot) == int64(v) {
+			return m.bufVal[c].Get(t, slot)
+		}
+	}
+	return m.global.Get(t, v)
+}
+
+// Fence blocks client c (spin-yield) until its store buffer has
+// drained — an MFENCE.
+func (m *Memory) Fence(t *conc.T, c int) {
+	for {
+		t.Label(3)
+		if m.head[c].Load(t) == m.tail[c].Load(t) {
+			return
+		}
+		t.Yield()
+	}
+}
+
+// Close tells the pumps to exit once drained and joins them; call it
+// when the clients are done, before asserting on final memory.
+func (m *Memory) Close(t *conc.T) {
+	m.done.Store(t, 1)
+	for _, h := range m.pumps {
+		h.Join(t)
+	}
+}

@@ -1,0 +1,96 @@
+package progs
+
+import (
+	"fmt"
+
+	"fairmc/conc"
+)
+
+// APE models the Asynchronous Processing Environment of Table 1: a
+// Windows library offering a work-item queue serviced by a pool of
+// worker threads, with completion tracking and a cancellation path
+// driven by a timer thread. The harness is fair-terminating (the
+// paper's point is that such long-running libraries need *no* manual
+// modification once the checker is fair): workers and the timer run
+// retry loops with yields until the environment shuts down.
+
+// APEConfig parameterizes the harness.
+type APEConfig struct {
+	// Workers is the pool size.
+	Workers int
+	// Items is the number of work items posted.
+	Items int
+	// WithTimer adds the watchdog thread exercising the cancel path.
+	WithTimer bool
+}
+
+// APE builds the harness: main posts Items work items, the pool
+// processes them (each exactly once), a completion count releases
+// main, and the shutdown path stops the workers and the timer.
+func APE(cfg APEConfig) func(*conc.T) {
+	if cfg.Workers < 1 || cfg.Items < 1 {
+		panic("progs: bad APEConfig")
+	}
+	return func(t *conc.T) {
+		queue := conc.NewChannel(t, "workq", cfg.Items)
+		stop := conc.NewIntVar(t, "stop", 0)
+		completed := conc.NewIntVar(t, "completed", 0)
+		processed := make([]*conc.IntVar, cfg.Items)
+		for i := range processed {
+			processed[i] = conc.NewIntVar(t, fmt.Sprintf("item%d", i), 0)
+		}
+		doneEv := conc.NewEvent(t, "alldone", true, false)
+		wg := conc.NewWaitGroup(t, "wg", int64(cfg.Workers))
+
+		for w := 0; w < cfg.Workers; w++ {
+			t.Go(fmt.Sprintf("worker%d", w), func(t *conc.T) {
+				for {
+					t.Label(1)
+					if v, _, ok := queue.TryRecv(t); ok {
+						processed[v].Add(t, 1)
+						if completed.Add(t, 1) == int64(cfg.Items) {
+							doneEv.Set(t)
+						}
+						continue
+					}
+					if stop.Load(t) == 1 {
+						break
+					}
+					t.Sleep(1) // idle back-off: finite timeout => yield
+				}
+				wg.Done(t)
+			})
+		}
+		if cfg.WithTimer {
+			t.Go("timer", func(t *conc.T) {
+				// Watchdog: periodically wake and check for shutdown;
+				// the cancel path would fire on a deadline, which the
+				// model abstracts as the stop flag.
+				for {
+					t.Label(1)
+					if stop.Load(t) == 1 {
+						break
+					}
+					t.Sleep(10)
+				}
+			})
+		}
+		for i := 0; i < cfg.Items; i++ {
+			queue.Send(t, int64(i))
+		}
+		doneEv.Wait(t)
+		stop.Store(t, 1)
+		wg.Wait(t)
+		for i, p := range processed {
+			t.Assert(p.Load(t) == 1, fmt.Sprintf("item %d processed %d times", i, p.Peek()))
+		}
+	}
+}
+
+func init() {
+	register(Program{
+		Name:        "ape",
+		Description: "Table 1 'APE': worker pool with idle back-off and a watchdog timer (4 threads)",
+		Body:        APE(APEConfig{Workers: 2, Items: 2, WithTimer: true}),
+	})
+}

@@ -1,0 +1,352 @@
+package progs
+
+import (
+	"fmt"
+
+	"fairmc/conc"
+)
+
+// This file is a corpus of classic shared-memory algorithms, each
+// built from raw shared variables with spin-and-yield loops — the
+// style of code fair stateless model checking exists for. The correct
+// variants are fair-terminating and pass exhaustive fair search; the
+// planted variants reproduce each algorithm's classic bug.
+
+// enterCS/exitCS wrap a critical section with a mutual-exclusion
+// assertion on a shared occupancy counter.
+func enterCS(t *conc.T, occupancy *conc.IntVar) {
+	t.Assert(occupancy.Add(t, 1) == 1, "mutual exclusion violated")
+}
+
+func exitCS(t *conc.T, occupancy *conc.IntVar) {
+	occupancy.Add(t, -1)
+}
+
+// Peterson builds Peterson's two-thread mutual-exclusion algorithm.
+// With buggy set, each thread checks its rival's intent flag *before*
+// publishing its own — the classic store/load reordering bug — and
+// both threads can enter the critical section together.
+func Peterson(buggy bool) func(*conc.T) {
+	return func(t *conc.T) {
+		flags := conc.NewIntArray(t, "flag", 2)
+		turn := conc.NewIntVar(t, "turn", 0)
+		occupancy := conc.NewIntVar(t, "cs", 0)
+		wg := conc.NewWaitGroup(t, "wg", 2)
+		for i := 0; i < 2; i++ {
+			me := i
+			other := 1 - i
+			t.Go(fmt.Sprintf("p%d", me), func(t *conc.T) {
+				if buggy {
+					// BUG: peek at the rival before publishing intent.
+					if flags.Get(t, other) == 0 {
+						flags.Set(t, me, 1)
+						turn.Store(t, int64(other))
+					} else {
+						flags.Set(t, me, 1)
+						turn.Store(t, int64(other))
+						for flags.Get(t, other) == 1 && turn.Load(t) == int64(other) {
+							t.Label(1)
+							t.Yield()
+						}
+					}
+				} else {
+					flags.Set(t, me, 1)
+					turn.Store(t, int64(other))
+					for flags.Get(t, other) == 1 && turn.Load(t) == int64(other) {
+						t.Label(1)
+						t.Yield()
+					}
+				}
+				enterCS(t, occupancy)
+				exitCS(t, occupancy)
+				flags.Set(t, me, 0)
+				wg.Done(t)
+			})
+		}
+		wg.Wait(t)
+	}
+}
+
+// Bakery builds Lamport's bakery algorithm for n threads. With buggy
+// set, the "choosing" doorway flag is omitted, so a thread can observe
+// a rival mid-ticket-draw and both can hold the smallest ticket — the
+// bug the choosing flag exists to prevent.
+func Bakery(n int, buggy bool) func(*conc.T) {
+	if n < 2 {
+		panic("progs: Bakery needs n >= 2")
+	}
+	return func(t *conc.T) {
+		choosing := conc.NewIntArray(t, "choosing", n)
+		number := conc.NewIntArray(t, "number", n)
+		occupancy := conc.NewIntVar(t, "cs", 0)
+		wg := conc.NewWaitGroup(t, "wg", int64(n))
+		for i := 0; i < n; i++ {
+			me := i
+			t.Go(fmt.Sprintf("b%d", me), func(t *conc.T) {
+				// Doorway: draw a ticket greater than every ticket seen.
+				if !buggy {
+					choosing.Set(t, me, 1)
+				}
+				max := int64(0)
+				for j := 0; j < n; j++ {
+					if v := number.Get(t, j); v > max {
+						max = v
+					}
+				}
+				number.Set(t, me, max+1)
+				if !buggy {
+					choosing.Set(t, me, 0)
+				}
+				// Wait for every rival with a smaller (ticket, id).
+				for j := 0; j < n; j++ {
+					if j == me {
+						continue
+					}
+					for {
+						t.Label(1)
+						if choosing.Get(t, j) == 0 {
+							break
+						}
+						t.Yield()
+					}
+					for {
+						t.Label(2)
+						nj := number.Get(t, j)
+						ni := number.Get(t, me)
+						if nj == 0 || nj > ni || (nj == ni && j > me) {
+							break
+						}
+						t.Yield()
+					}
+				}
+				enterCS(t, occupancy)
+				exitCS(t, occupancy)
+				number.Set(t, me, 0)
+				wg.Done(t)
+			})
+		}
+		wg.Wait(t)
+	}
+}
+
+// Barrier builds a sense-reversing barrier reused for rounds rounds by
+// n threads. After every barrier crossing each thread asserts that all
+// n threads finished the round's work — the property a barrier exists
+// to provide. With buggy set, the barrier reuses a single sense
+// without reversing it, so a fast thread can lap the barrier and a
+// slow one strand — detected as a deadlock or assertion failure.
+func Barrier(n, rounds int, buggy bool) func(*conc.T) {
+	if n < 2 || rounds < 1 {
+		panic("progs: Barrier needs n >= 2, rounds >= 1")
+	}
+	return func(t *conc.T) {
+		count := conc.NewIntVar(t, "count", 0)
+		sense := conc.NewIntVar(t, "sense", 0)
+		work := make([]*conc.IntVar, rounds)
+		for r := range work {
+			work[r] = conc.NewIntVar(t, fmt.Sprintf("work%d", r), 0)
+		}
+		wg := conc.NewWaitGroup(t, "wg", int64(n))
+		for i := 0; i < n; i++ {
+			t.Go(fmt.Sprintf("t%d", i), func(t *conc.T) {
+				mySense := int64(0)
+				for r := 0; r < rounds; r++ {
+					// Do this round's work (atomic: it is the assertion
+					// subject, not the algorithm under test).
+					work[r].Add(t, 1)
+					// Arrive at the barrier.
+					if buggy {
+						// BUG: fixed sense; a reused barrier releases
+						// threads from different rounds inconsistently.
+						if count.Add(t, 1) == int64(n) {
+							count.Store(t, 0)
+							sense.Store(t, 1)
+						} else {
+							for {
+								t.Label(1)
+								if sense.Load(t) == 1 {
+									break
+								}
+								t.Yield()
+							}
+						}
+					} else {
+						mySense = 1 - mySense
+						if count.Add(t, 1) == int64(n) {
+							count.Store(t, 0)
+							sense.Store(t, mySense)
+						} else {
+							for {
+								t.Label(1)
+								if sense.Load(t) == mySense {
+									break
+								}
+								t.Yield()
+							}
+						}
+					}
+					t.Assert(work[r].Load(t) == int64(n),
+						fmt.Sprintf("round %d incomplete after barrier", r))
+				}
+				wg.Done(t)
+			})
+		}
+		wg.Wait(t)
+	}
+}
+
+// ReadersWriters exercises the RWMutex: readers verify no writer is
+// active, writers verify exclusive access.
+func ReadersWriters(readers, writers int) func(*conc.T) {
+	return func(t *conc.T) {
+		rw := conc.NewRWMutex(t, "rw")
+		activeReaders := conc.NewIntVar(t, "ar", 0)
+		activeWriters := conc.NewIntVar(t, "aw", 0)
+		wg := conc.NewWaitGroup(t, "wg", int64(readers+writers))
+		for i := 0; i < readers; i++ {
+			t.Go(fmt.Sprintf("r%d", i), func(t *conc.T) {
+				rw.RLock(t)
+				activeReaders.Add(t, 1)
+				t.Assert(activeWriters.Load(t) == 0, "reader overlaps writer")
+				activeReaders.Add(t, -1)
+				rw.RUnlock(t)
+				wg.Done(t)
+			})
+		}
+		for i := 0; i < writers; i++ {
+			t.Go(fmt.Sprintf("w%d", i), func(t *conc.T) {
+				rw.Lock(t)
+				t.Assert(activeWriters.Add(t, 1) == 1, "two writers")
+				t.Assert(activeReaders.Load(t) == 0, "writer overlaps reader")
+				activeWriters.Add(t, -1)
+				rw.Unlock(t)
+				wg.Done(t)
+			})
+		}
+		wg.Wait(t)
+	}
+}
+
+// BoundedBuffer is the textbook condition-variable bounded buffer:
+// producers and consumers share a ring protected by a mutex with
+// not-full/not-empty condition variables. Every item is delivered
+// exactly once, in order per producer.
+func BoundedBuffer(producers, consumers, perProducer, capacity int) func(*conc.T) {
+	if producers < 1 || consumers < 1 || perProducer < 1 || capacity < 1 {
+		panic("progs: bad BoundedBuffer config")
+	}
+	return func(t *conc.T) {
+		total := producers * perProducer
+		mu := conc.NewMutex(t, "mu")
+		notFull := conc.NewCond(t, "notFull", mu)
+		notEmpty := conc.NewCond(t, "notEmpty", mu)
+		buf := conc.NewIntArray(t, "buf", capacity)
+		count := conc.NewIntVar(t, "count", 0)
+		in := conc.NewIntVar(t, "in", 0)
+		out := conc.NewIntVar(t, "out", 0)
+		taken := conc.NewIntVar(t, "taken", 0)
+		seen := make([]*conc.IntVar, total)
+		for i := range seen {
+			seen[i] = conc.NewIntVar(t, fmt.Sprintf("seen%d", i), 0)
+		}
+		wg := conc.NewWaitGroup(t, "wg", int64(producers+consumers))
+
+		for p := 0; p < producers; p++ {
+			base := p * perProducer
+			t.Go(fmt.Sprintf("prod%d", p), func(t *conc.T) {
+				for k := 0; k < perProducer; k++ {
+					mu.Lock(t)
+					for count.Load(t) == int64(capacity) {
+						t.Label(1)
+						notFull.Wait(t)
+					}
+					i := in.Load(t)
+					buf.Set(t, int(i)%capacity, int64(base+k))
+					in.Store(t, i+1)
+					count.Add(t, 1)
+					notEmpty.Signal(t)
+					mu.Unlock(t)
+				}
+				wg.Done(t)
+			})
+		}
+		for c := 0; c < consumers; c++ {
+			t.Go(fmt.Sprintf("cons%d", c), func(t *conc.T) {
+				for {
+					mu.Lock(t)
+					for count.Load(t) == 0 {
+						t.Label(1)
+						if taken.Load(t) == int64(total) {
+							mu.Unlock(t)
+							wg.Done(t)
+							return
+						}
+						notEmpty.Wait(t)
+					}
+					o := out.Load(t)
+					v := buf.Get(t, int(o)%capacity)
+					out.Store(t, o+1)
+					count.Add(t, -1)
+					taken.Add(t, 1)
+					notFull.Signal(t)
+					if taken.Load(t) == int64(total) {
+						// Release any consumers parked on notEmpty.
+						notEmpty.Broadcast(t)
+					}
+					mu.Unlock(t)
+					seen[v].Add(t, 1)
+				}
+			})
+		}
+		wg.Wait(t)
+		for i, s := range seen {
+			t.Assert(s.Load(t) == 1, fmt.Sprintf("item %d delivered %d times", i, s.Peek()))
+		}
+	}
+}
+
+func init() {
+	register(Program{
+		Name:        "peterson",
+		Description: "Peterson's 2-thread mutual exclusion (correct)",
+		Body:        Peterson(false),
+	})
+	register(Program{
+		Name:        "peterson-bug",
+		Description: "Peterson's with the check-before-publish reordering bug",
+		ExpectBug:   "mutual exclusion violation",
+		Body:        Peterson(true),
+	})
+	register(Program{
+		Name:        "bakery-2",
+		Description: "Lamport's bakery, 2 threads (correct)",
+		Body:        Bakery(2, false),
+	})
+	register(Program{
+		Name:        "bakery-bug",
+		Description: "Lamport's bakery without the choosing flag",
+		ExpectBug:   "mutual exclusion violation",
+		Body:        Bakery(2, true),
+	})
+	register(Program{
+		Name:        "barrier",
+		Description: "sense-reversing barrier, 2 threads x 2 rounds (correct)",
+		Body:        Barrier(2, 2, false),
+	})
+	register(Program{
+		Name:        "barrier-bug",
+		Description: "reused barrier without sense reversal",
+		ExpectBug:   "deadlock or incomplete round",
+		Body:        Barrier(2, 2, true),
+	})
+	register(Program{
+		Name:        "readerswriters",
+		Description: "readers/writers over RWMutex (correct)",
+		Body:        ReadersWriters(2, 1),
+	})
+	register(Program{
+		Name:        "boundedbuffer",
+		Description: "condition-variable bounded buffer, 1x1 over capacity 1 (correct)",
+		Body:        BoundedBuffer(1, 1, 2, 1),
+	})
+}

@@ -1,0 +1,186 @@
+package progs_test
+
+import (
+	"testing"
+	"time"
+
+	"fairmc"
+	"fairmc/internal/engine"
+	"fairmc/progs"
+)
+
+// verify runs an exhaustive fair search and requires a clean pass.
+func verify(t *testing.T, name string, body func(*fairmc.Options)) {
+	t.Helper()
+	p, ok := progs.Lookup(name)
+	if !ok {
+		t.Fatalf("program %q not registered", name)
+	}
+	opts := fairmc.Defaults()
+	// Exhaustive verification runs under a preemption bound, like the
+	// paper's coverage experiments: the unbounded dfs cells took the
+	// paper hundreds to thousands of seconds on programs this size.
+	opts.ContextBound = 2
+	opts.TimeLimit = 120 * time.Second
+	if body != nil {
+		body(&opts)
+	}
+	res := fairmc.Check(p.Body, opts)
+	if !res.Ok() {
+		if res.FirstBug != nil {
+			t.Fatalf("%s: %s", name, res.FirstBug.FormatTrace())
+		}
+		t.Fatalf("%s: divergence: %s", name, res.Liveness)
+	}
+	if !res.Exhausted {
+		t.Fatalf("%s: not exhausted (%d executions, %v)", name, res.Executions, res.Elapsed)
+	}
+}
+
+// falsify runs a search and requires a finding.
+func falsify(t *testing.T, name string, opts fairmc.Options) *fairmc.Result {
+	t.Helper()
+	p, ok := progs.Lookup(name)
+	if !ok {
+		t.Fatalf("program %q not registered", name)
+	}
+	res := fairmc.Check(p.Body, opts)
+	if res.FirstBug == nil && res.Divergence == nil {
+		t.Fatalf("%s: nothing found in %d executions", name, res.Executions)
+	}
+	return res
+}
+
+func TestPetersonVerified(t *testing.T) {
+	verify(t, "peterson", nil)
+}
+
+func TestPetersonBugFound(t *testing.T) {
+	res := falsify(t, "peterson-bug", fairmc.Defaults())
+	if res.FirstBug == nil || res.FirstBug.Outcome != fairmc.Violation {
+		t.Fatalf("expected mutual-exclusion violation, got %+v", res.Report)
+	}
+}
+
+func TestBakeryVerified(t *testing.T) {
+	// The bakery's ticket loops make this a larger space; bound
+	// preemptions like the paper's coverage runs.
+	verify(t, "bakery-2", func(o *fairmc.Options) { o.ContextBound = 2 })
+}
+
+func TestBakeryBugFound(t *testing.T) {
+	opts := fairmc.Defaults()
+	opts.ContextBound = 2
+	res := falsify(t, "bakery-bug", opts)
+	if res.FirstBug == nil {
+		t.Fatalf("expected safety violation, got divergence: %s", res.Liveness)
+	}
+}
+
+func TestBarrierVerified(t *testing.T) {
+	verify(t, "barrier", func(o *fairmc.Options) { o.ContextBound = 2 })
+}
+
+func TestBarrierBugFound(t *testing.T) {
+	opts := fairmc.Defaults()
+	opts.ContextBound = 2
+	opts.MaxSteps = 2000
+	falsify(t, "barrier-bug", opts)
+}
+
+func TestReadersWritersVerified(t *testing.T) {
+	verify(t, "readerswriters", nil)
+}
+
+func TestBoundedBufferVerified(t *testing.T) {
+	verify(t, "boundedbuffer", func(o *fairmc.Options) { o.ContextBound = 2 })
+}
+
+func TestTreiberVerified(t *testing.T) {
+	verify(t, "treiber", func(o *fairmc.Options) { o.ContextBound = 2 })
+}
+
+func TestTreiberABAFound(t *testing.T) {
+	opts := fairmc.Defaults()
+	opts.ContextBound = 2
+	opts.MaxSteps = 3000
+	opts.TimeLimit = 60 * time.Second
+	res := falsify(t, "treiber-aba", opts)
+	if res.FirstBug == nil {
+		t.Fatalf("expected safety violation, got divergence: %s", res.Liveness)
+	}
+}
+
+func TestTicketLockVerified(t *testing.T) {
+	verify(t, "ticketlock", nil)
+}
+
+func TestMSQueueVerified(t *testing.T) {
+	// cb=2 on the 3-worker config runs past the test budget (hundreds
+	// of thousands of executions); cb=1 exhausts and still checks
+	// every single-preemption interleaving.
+	verify(t, "msqueue", func(o *fairmc.Options) { o.ContextBound = 1 })
+}
+
+func TestMSQueueBugFound(t *testing.T) {
+	opts := fairmc.Defaults()
+	opts.ContextBound = 2
+	opts.MaxSteps = 3000
+	opts.TimeLimit = 60 * time.Second
+	res := falsify(t, "msqueue-bug", opts)
+	if res.FirstBug == nil {
+		t.Fatalf("expected safety violation, got divergence: %s", res.Liveness)
+	}
+}
+
+func TestSeqlockVerified(t *testing.T) {
+	verify(t, "seqlock", func(o *fairmc.Options) { o.ContextBound = 2 })
+}
+
+func TestSeqlockTornReadFound(t *testing.T) {
+	opts := fairmc.Defaults()
+	opts.ContextBound = 2
+	opts.MaxSteps = 3000
+	opts.TimeLimit = 60 * time.Second
+	res := falsify(t, "seqlock-torn", opts)
+	if res.FirstBug == nil {
+		t.Fatalf("expected torn-read violation, got divergence: %s", res.Liveness)
+	}
+}
+
+func TestSeqlockNeedsFairness(t *testing.T) {
+	// The reader retry loops put cycles in the state space. Under an
+	// adversarial schedule that keeps a mid-write writer parked and a
+	// reader running, the unfair engine spins forever (diverges at the
+	// step bound); the fair scheduler cuts the same schedule off after
+	// two windows and terminates.
+	p, _ := progs.Lookup("seqlock")
+	// Drive the writer (tid 1) into the middle of its update (four
+	// grants: start, lock, seq increment, first store — the sequence
+	// counter is now odd), then starve it in favor of the readers.
+	writerSteps := 0
+	adversary := engine.FuncChooser(func(ctx *engine.ChooseContext) (engine.Alt, bool) {
+		// Let main finish spawning everyone first.
+		if ctx.Cands[0].Tid == 0 {
+			return ctx.Cands[0], true
+		}
+		if writerSteps < 4 {
+			for _, c := range ctx.Cands {
+				if c.Tid == 1 {
+					writerSteps++
+					return c, true
+				}
+			}
+		}
+		return ctx.Cands[len(ctx.Cands)-1], true
+	})
+	unfair := engine.Run(p.Body, adversary, engine.Config{Fair: false, MaxSteps: 400})
+	if unfair.Outcome != fairmc.Diverged {
+		t.Fatalf("unfair adversarial run: %v, want diverged", unfair.Outcome)
+	}
+	writerSteps = 0
+	fair := engine.Run(p.Body, adversary, engine.Config{Fair: true, MaxSteps: 400})
+	if fair.Outcome != fairmc.Terminated {
+		t.Fatalf("fair adversarial run: %v, want terminated", fair.Outcome)
+	}
+}

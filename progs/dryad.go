@@ -1,0 +1,360 @@
+package progs
+
+import (
+	"fmt"
+
+	"fairmc/conc"
+)
+
+// This file models the Dryad channel layer evaluated in the paper
+// (Table 1: "Dryad Channels", 5 threads; "Dryad Fifo", 25 threads;
+// Table 3: Dryad bugs 1–4). Dryad vertices exchange records over
+// flow-controlled FIFO channels built from a ring buffer, a lock, and
+// Win32 events for space/data wakeups, with timeout-based retry loops
+// — the synchronization skeleton reproduced here. The four planted
+// bugs follow Table 3's storyline: three races found in the channel
+// code, and a fourth previously unknown bug introduced by an incorrect
+// fix of bug 3 that only fair search finds.
+
+// DryadBug selects a planted defect in the channel implementation.
+type DryadBug int
+
+const (
+	// DryadCorrect is the race-free channel.
+	DryadCorrect DryadBug = iota
+	// DryadBug1: send pre-checks occupancy without the lock and then
+	// enqueues without re-checking, overflowing the ring.
+	DryadBug1
+	// DryadBug2: recv publishes the freed slot (count--) and releases
+	// the lock before reading the record out of the ring.
+	DryadBug2
+	// DryadBug3: recv blocks on the data event, but send signals it
+	// only on the empty->nonempty transition; the lost wakeup strands
+	// a receiver.
+	DryadBug3
+	// DryadBug4: the "fix" for bug 3 — reset-then-wait in recv — has
+	// its own window: the reset wipes a signal that arrived after the
+	// occupancy check, and the receiver strands again. Deeper
+	// interleaving than bug 3; the paper's unfair search misses it.
+	DryadBug4
+)
+
+func (b DryadBug) String() string {
+	switch b {
+	case DryadCorrect:
+		return "correct"
+	case DryadBug1:
+		return "bug1-unlocked-occupancy"
+	case DryadBug2:
+		return "bug2-read-after-release"
+	case DryadBug3:
+		return "bug3-lost-wakeup"
+	case DryadBug4:
+		return "bug4-reset-race"
+	default:
+		return fmt.Sprintf("bug(%d)", int(b))
+	}
+}
+
+// dryadEOF is the in-band end-of-stream marker.
+const dryadEOF = -1
+
+// dchan is the flow-controlled Dryad-style channel.
+type dchan struct {
+	capacity int64
+	buf      *conc.IntArray
+	count    *conc.IntVar
+	sendIdx  *conc.IntVar
+	recvIdx  *conc.IntVar
+	mu       *conc.Mutex
+	dataEv   *conc.Event // auto-reset: records available
+	spaceEv  *conc.Event // auto-reset: space available
+	bug      DryadBug
+}
+
+func newDChan(t *conc.T, name string, capacity int, bug DryadBug) *dchan {
+	return &dchan{
+		capacity: int64(capacity),
+		buf:      conc.NewIntArray(t, name+".buf", capacity),
+		count:    conc.NewIntVar(t, name+".count", 0),
+		sendIdx:  conc.NewIntVar(t, name+".sendIdx", 0),
+		recvIdx:  conc.NewIntVar(t, name+".recvIdx", 0),
+		mu:       conc.NewMutex(t, name+".mu"),
+		dataEv:   conc.NewEvent(t, name+".data", false, false),
+		spaceEv:  conc.NewEvent(t, name+".space", false, false),
+		bug:      bug,
+	}
+}
+
+// send enqueues v, retrying with a timed wait while the channel is
+// full.
+func (c *dchan) send(t *conc.T, v int64) {
+	for {
+		t.Label(20)
+		if c.bug == DryadBug1 {
+			// BUG: occupancy checked outside the lock; a concurrent
+			// sender can fill the remaining slot before we lock.
+			if c.count.Load(t) >= c.capacity {
+				c.spaceEv.WaitTimeout(t)
+				continue
+			}
+			c.mu.Lock(t)
+		} else {
+			c.mu.Lock(t)
+			if c.count.Load(t) >= c.capacity {
+				c.mu.Unlock(t)
+				c.spaceEv.WaitTimeout(t) // finite timeout => yield
+				continue
+			}
+		}
+		wasEmpty := c.count.Load(t) == 0
+		si := c.sendIdx.Load(t)
+		c.buf.Set(t, int(si%c.capacity), v)
+		c.sendIdx.Store(t, si+1)
+		newCount := c.count.Add(t, 1)
+		t.Assert(newCount <= c.capacity, "dryad channel ring overflow")
+		c.mu.Unlock(t)
+		switch c.bug {
+		case DryadBug3:
+			// BUG: signal only on the empty->nonempty transition, an
+			// "optimization" that loses wakeups.
+			if wasEmpty {
+				c.dataEv.Set(t)
+			}
+		default:
+			c.dataEv.Set(t)
+		}
+		return
+	}
+}
+
+// recv dequeues a record, waiting while the channel is empty.
+func (c *dchan) recv(t *conc.T) int64 {
+	for {
+		t.Label(30)
+		c.mu.Lock(t)
+		cnt := c.count.Load(t)
+		if cnt > 0 {
+			ri := c.recvIdx.Load(t)
+			c.recvIdx.Store(t, ri+1)
+			if c.bug == DryadBug2 {
+				// BUG: free the slot and release the lock before
+				// reading it; a sender can overwrite the record.
+				c.count.Add(t, -1)
+				c.mu.Unlock(t)
+				v := c.buf.Get(t, int(ri%c.capacity))
+				c.spaceEv.Set(t)
+				return v
+			}
+			v := c.buf.Get(t, int(ri%c.capacity))
+			c.count.Add(t, -1)
+			c.mu.Unlock(t)
+			c.spaceEv.Set(t)
+			return v
+		}
+		c.mu.Unlock(t)
+		switch c.bug {
+		case DryadBug3:
+			// BUG: block on the event; with the conditional signal in
+			// send, the wakeup for this receiver can be lost.
+			c.dataEv.Wait(t)
+		case DryadBug4:
+			// BUG: the incorrect fix — reset the (possibly already
+			// signaled) event, then block. A signal arriving between
+			// the occupancy check and the reset is wiped.
+			c.dataEv.Reset(t)
+			c.dataEv.Wait(t)
+		default:
+			c.dataEv.WaitTimeout(t) // finite timeout => yield
+		}
+	}
+}
+
+// DryadConfig parameterizes the Dryad channels harness.
+type DryadConfig struct {
+	// Records is the number of records pushed through the pipeline.
+	Records int
+	// Capacity is the per-channel ring capacity.
+	Capacity int
+	// Senders is the number of producer threads feeding the first
+	// channel (>1 exercises the sender/sender races of bug 1).
+	Senders int
+	// Receivers is the number of consumers on the final channel
+	// (>1 exercises the lost-wakeup bugs 3 and 4).
+	Receivers int
+	// Direct removes the forwarding vertex: producers feed the
+	// consumers' channel directly. The bug-hunting configurations use
+	// it to keep the interleaving space small.
+	Direct bool
+	// Bug selects a planted defect.
+	Bug DryadBug
+}
+
+// DryadChannels builds the Table 1 "Dryad Channels" harness: Senders
+// producers push distinct records into a channel, a forwarding vertex
+// copies them into a second channel, and Receivers consumers drain it.
+// Every record must arrive exactly once; the consumers' per-record
+// counters catch duplication and corruption, and lost wakeups show up
+// as deadlocks.
+func DryadChannels(cfg DryadConfig) func(*conc.T) {
+	if cfg.Records < 1 || cfg.Capacity < 1 || cfg.Senders < 1 || cfg.Receivers < 1 {
+		panic("progs: bad DryadConfig")
+	}
+	return func(t *conc.T) {
+		out := newDChan(t, "out", cfg.Capacity, cfg.Bug)
+		in := out
+		workers := cfg.Senders + cfg.Receivers
+		if !cfg.Direct {
+			in = newDChan(t, "in", cfg.Capacity, cfg.Bug)
+			workers++
+		}
+		seen := make([]*conc.IntVar, cfg.Records)
+		for i := range seen {
+			seen[i] = conc.NewIntVar(t, fmt.Sprintf("seen%d", i), 0)
+		}
+		wg := conc.NewWaitGroup(t, "wg", int64(workers))
+		prodDone := conc.NewIntVar(t, "prodDone", 0)
+
+		perSender := cfg.Records / cfg.Senders
+		for s := 0; s < cfg.Senders; s++ {
+			s := s
+			lo := s * perSender
+			hi := lo + perSender
+			if s == cfg.Senders-1 {
+				hi = cfg.Records
+			}
+			t.Go(fmt.Sprintf("producer%d", s), func(t *conc.T) {
+				for v := lo; v < hi; v++ {
+					in.send(t, int64(v))
+				}
+				if cfg.Direct && prodDone.Add(t, 1) == int64(cfg.Senders) {
+					// Last producer closes the stream.
+					for r := 0; r < cfg.Receivers; r++ {
+						out.send(t, dryadEOF)
+					}
+				}
+				wg.Done(t)
+			})
+		}
+		if !cfg.Direct {
+			t.Go("forwarder", func(t *conc.T) {
+				for i := 0; i < cfg.Records; i++ {
+					t.Label(1)
+					out.send(t, in.recv(t))
+				}
+				for r := 0; r < cfg.Receivers; r++ {
+					out.send(t, dryadEOF)
+				}
+				wg.Done(t)
+			})
+		}
+		for r := 0; r < cfg.Receivers; r++ {
+			t.Go(fmt.Sprintf("consumer%d", r), func(t *conc.T) {
+				for {
+					t.Label(1)
+					v := out.recv(t)
+					if v == dryadEOF {
+						break
+					}
+					t.Assert(v >= 0 && v < int64(cfg.Records),
+						fmt.Sprintf("corrupted record %d", v))
+					seen[v].Add(t, 1)
+				}
+				wg.Done(t)
+			})
+		}
+		wg.Wait(t)
+		for i, s := range seen {
+			n := s.Load(t)
+			t.Assert(n != 0, fmt.Sprintf("record %d lost", i))
+			t.Assert(n == 1, fmt.Sprintf("record %d delivered %d times", i, n))
+		}
+	}
+}
+
+// DryadFifo builds the Table 1 "Dryad Fifo" configuration: Width
+// independent three-stage pipelines (producer -> forwarder ->
+// consumer) over the same channel substrate. With Width = 8 the
+// program runs 25 threads, matching the paper's row.
+func DryadFifo(width, records int) func(*conc.T) {
+	if width < 1 || records < 1 {
+		panic("progs: bad DryadFifo config")
+	}
+	return func(t *conc.T) {
+		wg := conc.NewWaitGroup(t, "wg", int64(width*3))
+		for w := 0; w < width; w++ {
+			w := w
+			in := newDChan(t, fmt.Sprintf("p%d.in", w), 2, DryadCorrect)
+			out := newDChan(t, fmt.Sprintf("p%d.out", w), 2, DryadCorrect)
+			sum := conc.NewIntVar(t, fmt.Sprintf("p%d.sum", w), 0)
+			t.Go(fmt.Sprintf("p%d.producer", w), func(t *conc.T) {
+				for v := 1; v <= records; v++ {
+					in.send(t, int64(v))
+				}
+				in.send(t, dryadEOF)
+				wg.Done(t)
+			})
+			t.Go(fmt.Sprintf("p%d.forwarder", w), func(t *conc.T) {
+				for {
+					t.Label(1)
+					v := in.recv(t)
+					out.send(t, v)
+					if v == dryadEOF {
+						break
+					}
+				}
+				wg.Done(t)
+			})
+			t.Go(fmt.Sprintf("p%d.consumer", w), func(t *conc.T) {
+				for {
+					t.Label(1)
+					v := out.recv(t)
+					if v == dryadEOF {
+						break
+					}
+					sum.Add(t, v)
+				}
+				t.Assert(sum.Load(t) == int64(records*(records+1)/2),
+					"pipeline checksum")
+				wg.Done(t)
+			})
+		}
+		wg.Wait(t)
+	}
+}
+
+func init() {
+	register(Program{
+		Name:        "dryad-channels",
+		Description: "Table 1 'Dryad Channels': 2 producers, forwarder, 2 consumers over flow-controlled channels",
+		Body: DryadChannels(DryadConfig{
+			Records: 4, Capacity: 2, Senders: 2, Receivers: 2,
+		}),
+	})
+	// Each bug needs a slightly different shape to manifest: bug 1
+	// needs two racing senders; bug 2 needs a sender refilling the
+	// slot a receiver just freed; bug 3's lost wakeup needs two
+	// records in flight (capacity >= 2) and two receivers; bug 4's
+	// reset race needs only one receiver to strand itself on the
+	// final record.
+	bugConfigs := []DryadConfig{
+		{Records: 2, Capacity: 1, Senders: 2, Receivers: 1, Direct: true, Bug: DryadBug1},
+		{Records: 2, Capacity: 1, Senders: 1, Receivers: 1, Direct: true, Bug: DryadBug2},
+		{Records: 2, Capacity: 2, Senders: 1, Receivers: 2, Direct: true, Bug: DryadBug3},
+		{Records: 1, Capacity: 1, Senders: 1, Receivers: 1, Direct: true, Bug: DryadBug4},
+	}
+	for _, cfg := range bugConfigs {
+		cfg := cfg
+		register(Program{
+			Name:        fmt.Sprintf("dryad-%s", cfg.Bug),
+			Description: fmt.Sprintf("Table 3: Dryad channels with planted %s", cfg.Bug),
+			ExpectBug:   "safety violation or deadlock",
+			Body:        DryadChannels(cfg),
+		})
+	}
+	register(Program{
+		Name:        "dryad-fifo",
+		Description: "Table 1 'Dryad Fifo': 8 three-stage pipelines, 25 threads",
+		Body:        DryadFifo(8, 2),
+	})
+}

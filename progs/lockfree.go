@@ -1,0 +1,230 @@
+package progs
+
+import (
+	"fmt"
+
+	"fairmc/conc"
+)
+
+// This file models classic lock-free structures — the "low-level
+// synchronization libraries that typically employ nonblocking
+// algorithms" the paper names as CHESS inputs that are impossible to
+// modify into terminating form by hand (§4.1). Their CAS retry loops
+// are exactly the cyclic structure fair scheduling exists for.
+
+// treiberStack is a Treiber stack over model memory: nodes live in
+// parallel arrays (value, next) indexed by node id+1, with 0 meaning
+// nil; top holds the current head. Push and pop use CAS retry loops.
+//
+// The correct variant packs a version counter into the top word (the
+// counted-pointer / IBM tag defense): every successful CAS bumps the
+// version, so a top that went A → B → A no longer compares equal.
+// With aba set the version is omitted and pop installs the next
+// pointer it cached before the interference — the textbook ABA bug:
+// the stale next resurrects a node another thread already popped.
+type treiberStack struct {
+	top    *conc.IntVar   // versioned: version<<verShift | (node id + 1)
+	next   *conc.IntArray // next[node] = successor id + 1
+	value  *conc.IntArray
+	pushes *conc.IntArray // per-node push count, for the harness invariant
+	alloc  *conc.IntVar   // bump allocator for node ids
+	aba    bool
+}
+
+const (
+	stackNil = int64(0)
+	verShift = 16
+	nodeMask = int64(1)<<verShift - 1
+)
+
+// bump returns the packed top word with node installed and, in the
+// correct variant, the version advanced.
+func (s *treiberStack) bump(old, node int64) int64 {
+	if s.aba {
+		return node // BUG: no version tag
+	}
+	ver := old >> verShift
+	return (ver+1)<<verShift | node
+}
+
+func newTreiberStack(t *conc.T, capacity int, aba bool) *treiberStack {
+	return &treiberStack{
+		top:    conc.NewIntVar(t, "stack.top", stackNil),
+		next:   conc.NewIntArray(t, "stack.next", capacity),
+		value:  conc.NewIntArray(t, "stack.value", capacity),
+		pushes: conc.NewIntArray(t, "stack.pushes", capacity),
+		alloc:  conc.NewIntVar(t, "stack.alloc", 0),
+		aba:    aba,
+	}
+}
+
+// newNode allocates a fresh node holding v.
+func (s *treiberStack) newNode(t *conc.T, v int64) int64 {
+	id := s.alloc.Add(t, 1) - 1
+	if int(id) >= s.value.Len() {
+		t.Failf("treiber: node arena exhausted")
+	}
+	s.value.Set(t, int(id), v)
+	return id + 1
+}
+
+// push pushes a fresh node with value v (CAS retry loop).
+func (s *treiberStack) push(t *conc.T, v int64) {
+	s.pushNode(t, s.newNode(t, v))
+}
+
+// pushNode pushes node n (also used by the ABA harness to re-push a
+// popped node).
+func (s *treiberStack) pushNode(t *conc.T, n int64) {
+	for {
+		t.Label(11)
+		old := s.top.Load(t)
+		s.next.Set(t, int(n-1), old&nodeMask)
+		if s.top.CompareAndSwap(t, old, s.bump(old, n)) {
+			s.pushes.Set(t, int(n-1), s.pushes.Get(t, int(n-1))+1)
+			return
+		}
+		t.Yield() // CAS-retry back edge: be a good samaritan
+	}
+}
+
+// pop removes the top node and returns (node, value); (0, 0) if empty.
+func (s *treiberStack) pop(t *conc.T) (int64, int64) {
+	for {
+		t.Label(12)
+		old := s.top.Load(t)
+		node := old & nodeMask
+		if node == stackNil {
+			return stackNil, 0
+		}
+		// Read the successor pointer of the observed top. In the
+		// buggy variant this cached value can go stale between here
+		// and the CAS; the version tag of the correct variant makes
+		// the CAS fail in exactly that case.
+		nxt := s.next.Get(t, int(node-1))
+		if s.top.CompareAndSwap(t, old, s.bump(old, nxt)) {
+			return node, s.value.Get(t, int(node-1))
+		}
+		t.Yield()
+	}
+}
+
+// TreiberConfig parameterizes the stack harness.
+type TreiberConfig struct {
+	// ABA plants the stale-next bug.
+	ABA bool
+}
+
+// TreiberStack builds the ABA harness: the stack starts as [A, B]
+// (A on top). Thread 1 begins popping A (reads top=A, next=B) — and
+// in the window before its CAS, thread 2 pops A, pops B, and pushes A
+// back (so top=A again but A.next=nil). Thread 1's CAS then succeeds
+// in the buggy variant, installing the stale next pointer B — a node
+// thread 2 already owns — corrupting the stack: B is popped twice.
+func TreiberStack(cfg TreiberConfig) func(*conc.T) {
+	return func(t *conc.T) {
+		s := newTreiberStack(t, 8, cfg.ABA)
+		popped := make([]*conc.IntVar, 3)
+		for i := range popped {
+			popped[i] = conc.NewIntVar(t, fmt.Sprintf("popped%d", i), 0)
+		}
+		wg := conc.NewWaitGroup(t, "wg", 2)
+		s.push(t, 100) // value 100 -> node B (bottom)
+		s.push(t, 101) // value 101 -> node A (top)
+
+		t.Go("victim", func(t *conc.T) {
+			// One pop; under ABA interference it returns a corrupted
+			// view.
+			if n, _ := s.pop(t); n != stackNil {
+				popped[n-1].Add(t, 1)
+			}
+			wg.Done(t)
+		})
+		t.Go("interferer", func(t *conc.T) {
+			// Pop A, pop B, push A back: the classic ABA recipe.
+			if n, _ := s.pop(t); n != stackNil {
+				popped[n-1].Add(t, 1)
+				if n2, _ := s.pop(t); n2 != stackNil {
+					popped[n2-1].Add(t, 1)
+				}
+				s.pushNode(t, n)
+			}
+			wg.Done(t)
+		})
+		wg.Wait(t)
+		// Drain what remains.
+		for {
+			t.Label(1)
+			n, _ := s.pop(t)
+			if n == stackNil {
+				break
+			}
+			popped[n-1].Add(t, 1)
+		}
+		// The linearizability invariant: no node is popped more often
+		// than it was pushed. The ABA corruption breaks it — the stale
+		// next pointer resurrects a node its current owner never
+		// re-pushed.
+		for i := 0; i < 2; i++ {
+			pops := popped[i].Load(t)
+			pushes := s.pushes.Get(t, i)
+			t.Assert(pops <= pushes,
+				fmt.Sprintf("node %d popped %d times but pushed %d (ABA)", i+1, pops, pushes))
+		}
+	}
+}
+
+// TicketLock is the classic fetch-and-increment ticket lock: each
+// acquirer draws a ticket and spins (yielding) until now-serving
+// reaches it. Starvation-free by construction; the harness asserts
+// mutual exclusion and FIFO admission.
+func TicketLock(threads int) func(*conc.T) {
+	if threads < 2 {
+		panic("progs: TicketLock needs >= 2 threads")
+	}
+	return func(t *conc.T) {
+		nextTicket := conc.NewIntVar(t, "nextTicket", 0)
+		nowServing := conc.NewIntVar(t, "nowServing", 0)
+		occupancy := conc.NewIntVar(t, "cs", 0)
+		admitted := conc.NewIntVar(t, "admitted", 0)
+		wg := conc.NewWaitGroup(t, "wg", int64(threads))
+		for i := 0; i < threads; i++ {
+			t.Go(fmt.Sprintf("t%d", i), func(t *conc.T) {
+				ticket := nextTicket.Add(t, 1) - 1
+				for {
+					t.Label(1)
+					if nowServing.Load(t) == ticket {
+						break
+					}
+					t.Yield()
+				}
+				t.Assert(occupancy.Add(t, 1) == 1, "mutual exclusion")
+				// FIFO: the k-th admission holds ticket k.
+				t.Assert(admitted.Add(t, 1)-1 == ticket, "FIFO admission order")
+				occupancy.Add(t, -1)
+				nowServing.Add(t, 1)
+				wg.Done(t)
+			})
+		}
+		wg.Wait(t)
+	}
+}
+
+func init() {
+	register(Program{
+		Name:        "treiber",
+		Description: "Treiber stack with ABA-safe pop (correct)",
+		Body:        TreiberStack(TreiberConfig{}),
+	})
+	register(Program{
+		Name:        "treiber-aba",
+		Description: "Treiber stack with the textbook ABA bug in pop",
+		ExpectBug:   "stack corruption (double pop)",
+		Body:        TreiberStack(TreiberConfig{ABA: true}),
+	})
+	register(Program{
+		Name:        "ticketlock",
+		Description: "ticket lock: mutual exclusion + FIFO admission, 2 threads",
+		Body:        TicketLock(2),
+	})
+}

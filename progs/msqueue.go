@@ -1,0 +1,177 @@
+package progs
+
+import (
+	"fmt"
+
+	"fairmc/conc"
+)
+
+// msQueue is the Michael & Scott two-lock concurrent queue (PODC'96):
+// a linked list with a dummy head node, a head lock serializing
+// dequeuers and a tail lock serializing enqueuers. Its correctness
+// hinges on the dummy node keeping enqueuers and dequeuers from ever
+// touching the same node: with the dummy, head==tail means empty and
+// the two sides never conflict.
+//
+// The planted bug removes the dummy-node discipline: dequeue reads the
+// value out of the node *after* releasing the head lock ("shrink the
+// critical section"), racing an enqueuer that links through — and
+// overwrites next/value of — the same node when the queue drains to
+// one element.
+type msQueue struct {
+	head, tail *conc.IntVar // node id + 1
+	next       *conc.IntArray
+	value      *conc.IntArray
+	alloc      *conc.IntVar
+	hlock      *conc.Mutex
+	tlock      *conc.Mutex
+	bug        bool
+}
+
+func newMSQueue(t *conc.T, capacity int, bug bool) *msQueue {
+	q := &msQueue{
+		head:  conc.NewIntVar(t, "q.head", 0),
+		tail:  conc.NewIntVar(t, "q.tail", 0),
+		next:  conc.NewIntArray(t, "q.next", capacity),
+		value: conc.NewIntArray(t, "q.value", capacity),
+		alloc: conc.NewIntVar(t, "q.alloc", 0),
+		hlock: conc.NewMutex(t, "q.hlock"),
+		tlock: conc.NewMutex(t, "q.tlock"),
+		bug:   bug,
+	}
+	// Dummy node.
+	d := q.newNode(t, -1)
+	q.head.Store(t, d)
+	q.tail.Store(t, d)
+	return q
+}
+
+func (q *msQueue) newNode(t *conc.T, v int64) int64 {
+	id := q.alloc.Add(t, 1) - 1
+	if int(id) >= q.value.Len() {
+		t.Failf("msqueue: node arena exhausted")
+	}
+	q.value.Set(t, int(id), v)
+	q.next.Set(t, int(id), 0)
+	return id + 1
+}
+
+// enqueue appends v under the tail lock.
+func (q *msQueue) enqueue(t *conc.T, v int64) {
+	n := q.newNode(t, v)
+	q.tlock.Lock(t)
+	tl := q.tail.Load(t)
+	q.next.Set(t, int(tl-1), n)
+	q.tail.Store(t, n)
+	q.tlock.Unlock(t)
+}
+
+// dequeue removes the oldest value; ok is false when empty.
+func (q *msQueue) dequeue(t *conc.T) (v int64, ok bool) {
+	q.hlock.Lock(t)
+	hd := q.head.Load(t)
+	nxt := q.next.Get(t, int(hd-1))
+	if nxt == 0 {
+		q.hlock.Unlock(t)
+		return 0, false
+	}
+	if q.bug {
+		// BUG: advance head and release the lock before reading the
+		// value — "the node is ours now, no need to hold the lock".
+		// But the new head is the queue's new *dummy*, which a
+		// concurrent enqueuer mutates (links a successor) and, when
+		// the arena recycles… here the simpler race: a second
+		// dequeuer can advance past the node and a fresh enqueue can
+		// rewrite the cell before we read it.
+		q.head.Store(t, nxt)
+		q.hlock.Unlock(t)
+		// Recycle the old dummy eagerly into the allocator — the
+		// premature-free that makes the unlocked read observable.
+		q.recycle(t, hd)
+		return q.value.Get(t, int(nxt-1)), true
+	}
+	v = q.value.Get(t, int(nxt-1))
+	q.head.Store(t, nxt)
+	q.hlock.Unlock(t)
+	return v, true
+}
+
+// recycle returns a node to the bump allocator if it was the most
+// recent allocation high-water mark lowering is impossible; instead
+// model reuse by handing the slot to the next allocation when the
+// arena is exhausted. For the harness's purposes a simple overwrite
+// marker suffices: stamp the node so a late reader sees garbage.
+func (q *msQueue) recycle(t *conc.T, node int64) {
+	q.value.Set(t, int(node-1), -999)
+	q.next.Set(t, int(node-1), 0)
+}
+
+// MSQueue builds the harness: one producer enqueues 1..Items, two
+// consumers drain; every value must be received exactly once and no
+// consumer may observe the recycle stamp.
+func MSQueue(items int, bug bool) func(*conc.T) {
+	if items < 1 {
+		panic("progs: MSQueue needs items >= 1")
+	}
+	return func(t *conc.T) {
+		q := newMSQueue(t, items+2, bug)
+		seen := make([]*conc.IntVar, items)
+		for i := range seen {
+			seen[i] = conc.NewIntVar(t, fmt.Sprintf("seen%d", i), 0)
+		}
+		done := conc.NewIntVar(t, "done", 0)
+		wg := conc.NewWaitGroup(t, "wg", 3)
+		t.Go("producer", func(t *conc.T) {
+			for v := 1; v <= items; v++ {
+				q.enqueue(t, int64(v))
+			}
+			done.Store(t, 1)
+			wg.Done(t)
+		})
+		for c := 0; c < 2; c++ {
+			t.Go(fmt.Sprintf("consumer%d", c), func(t *conc.T) {
+				for {
+					t.Label(1)
+					if v, ok := q.dequeue(t); ok {
+						t.Assert(v >= 1 && v <= int64(items),
+							fmt.Sprintf("garbage value %d dequeued", v))
+						seen[v-1].Add(t, 1)
+						continue
+					}
+					if done.Load(t) == 1 {
+						// One last look after the producer finished.
+						if v, ok := q.dequeue(t); ok {
+							t.Assert(v >= 1 && v <= int64(items),
+								fmt.Sprintf("garbage value %d dequeued", v))
+							seen[v-1].Add(t, 1)
+							continue
+						}
+						break
+					}
+					t.Yield()
+				}
+				wg.Done(t)
+			})
+		}
+		wg.Wait(t)
+		for i, s := range seen {
+			n := s.Load(t)
+			t.Assert(n != 0, fmt.Sprintf("value %d lost", i+1))
+			t.Assert(n == 1, fmt.Sprintf("value %d delivered %d times", i+1, n))
+		}
+	}
+}
+
+func init() {
+	register(Program{
+		Name:        "msqueue",
+		Description: "Michael-Scott two-lock queue, 1 producer / 2 consumers (correct)",
+		Body:        MSQueue(2, false),
+	})
+	register(Program{
+		Name:        "msqueue-bug",
+		Description: "two-lock queue reading the value after releasing the head lock",
+		ExpectBug:   "garbage or duplicate dequeue",
+		Body:        MSQueue(2, true),
+	})
+}

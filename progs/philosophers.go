@@ -1,0 +1,133 @@
+package progs
+
+import (
+	"fmt"
+
+	"fairmc/conc"
+)
+
+// PhilosophersTry builds the paper's Figure 1 program generalized to n
+// philosophers: each philosopher grabs one fork, TryAcquires the
+// other, and on failure releases and retries (yielding, as a good
+// samaritan, on the back edge of the retry loop). Adjacent
+// philosophers acquire in opposite orders, so the retry loops create
+// cycles in the state space — including a *fair* livelock cycle in
+// which everyone keeps acquiring, failing, and releasing in lockstep.
+// The fair checker detects it by diverging (Theorem 6); unfair
+// depth-bounded search merely burns exponentially many executions
+// unrolling the cycles (Figure 2).
+func PhilosophersTry(n int) func(*conc.T) {
+	if n < 2 {
+		panic("progs: PhilosophersTry needs n >= 2")
+	}
+	return func(t *conc.T) {
+		forks := make([]*conc.Mutex, n)
+		for i := range forks {
+			forks[i] = conc.NewMutex(t, fmt.Sprintf("fork%d", i))
+		}
+		eats := conc.NewIntVar(t, "eats", 0)
+		eating := conc.NewIntArray(t, "eating", n)
+		wg := conc.NewWaitGroup(t, "done", int64(n))
+		for i := 0; i < n; i++ {
+			i := i
+			// Circular acquisition order — philosopher i grabs fork i
+			// and then tries fork i+1 — so adjacent philosophers
+			// contend in opposite orders, exactly as in Figure 1.
+			first, second := forks[i], forks[(i+1)%n]
+			t.Go(fmt.Sprintf("phil%d", i), func(t *conc.T) {
+				for {
+					t.Label(1)
+					first.Lock(t)
+					if second.TryLock(t) {
+						break
+					}
+					first.Unlock(t)
+					t.Yield() // back edge of the retry loop
+				}
+				// Eat: both forks held; neighbors must not be eating.
+				eating.Set(t, i, 1)
+				t.Assert(eating.Get(t, (i+1)%n) == 0, "right neighbor eating with shared fork")
+				t.Assert(eating.Get(t, (i+n-1)%n) == 0, "left neighbor eating with shared fork")
+				eating.Set(t, i, 0)
+				eats.Add(t, 1)
+				first.Unlock(t)
+				second.Unlock(t)
+				wg.Done(t)
+			})
+		}
+		wg.Wait(t)
+		t.Assert(eats.Load(t) == int64(n), "every philosopher ate")
+	}
+}
+
+// Philosophers builds the fair-terminating dining-philosophers
+// configuration used for the coverage experiments (Table 2): each
+// philosopher acquires its forks in global index order with a
+// spin-then-yield loop. The spin loops make the state space cyclic —
+// plain stateless search does not terminate on it — but the fork
+// ordering excludes both deadlock and livelock, so every fair
+// execution terminates and the fair checker exhausts the space.
+func Philosophers(n int) func(*conc.T) {
+	if n < 2 {
+		panic("progs: Philosophers needs n >= 2")
+	}
+	return func(t *conc.T) {
+		forks := make([]*conc.Mutex, n)
+		for i := range forks {
+			forks[i] = conc.NewMutex(t, fmt.Sprintf("fork%d", i))
+		}
+		eats := conc.NewIntVar(t, "eats", 0)
+		wg := conc.NewWaitGroup(t, "done", int64(n))
+		spinLock := func(t *conc.T, m *conc.Mutex, pc int) {
+			for {
+				t.Label(pc)
+				if m.TryLock(t) {
+					return
+				}
+				t.Yield()
+			}
+		}
+		for i := 0; i < n; i++ {
+			lo, hi := i, (i+1)%n
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			low, high := forks[lo], forks[hi]
+			t.Go(fmt.Sprintf("phil%d", i), func(t *conc.T) {
+				spinLock(t, low, 1)
+				spinLock(t, high, 2)
+				eats.Add(t, 1) // eat (mutual exclusion held by construction)
+				high.Unlock(t)
+				low.Unlock(t)
+				wg.Done(t)
+			})
+		}
+		wg.Wait(t)
+		t.Assert(eats.Load(t) == int64(n), "every philosopher ate")
+	}
+}
+
+func init() {
+	register(Program{
+		Name:        "philosophers-2",
+		Description: "Table 2 coverage config: 2 dining philosophers, ordered spin-lock forks",
+		Body:        Philosophers(2),
+	})
+	register(Program{
+		Name:        "philosophers-3",
+		Description: "Table 2 coverage config: 3 dining philosophers, ordered spin-lock forks",
+		Body:        Philosophers(3),
+	})
+	register(Program{
+		Name:        "philosophers-try-2",
+		Description: "Figure 1: 2 philosophers with TryAcquire retry loops (fair livelock)",
+		ExpectBug:   "livelock",
+		Body:        PhilosophersTry(2),
+	})
+	register(Program{
+		Name:        "philosophers-try-3",
+		Description: "Figure 1 generalized to 3 philosophers (fair livelock)",
+		ExpectBug:   "livelock",
+		Body:        PhilosophersTry(3),
+	})
+}

@@ -1,0 +1,55 @@
+// Package progs contains the model programs used throughout the
+// reproduction: the paper's running examples (Figures 1 and 3), the
+// two coverage programs of Table 2 (dining philosophers and the
+// work-stealing queue), and synthetic equivalents of the industrial
+// programs of Table 1 (Promise, APE, Dryad channels, Dryad FIFO, the
+// Singularity boot, and the worker-group library of §4.3.1), with the
+// paper's bug classes seeded behind configuration flags.
+//
+// Every program is a func(*conc.T) plus metadata, registered in All.
+package progs
+
+import (
+	"fmt"
+	"sort"
+
+	"fairmc/conc"
+)
+
+// Program is a named model program.
+type Program struct {
+	// Name is the registry key (e.g. "philosophers-2").
+	Name string
+	// Description says what the program models and which paper
+	// experiment uses it.
+	Description string
+	// ExpectBug names the planted defect, or "" for correct programs.
+	ExpectBug string
+	// Body is the main-thread function.
+	Body func(*conc.T)
+}
+
+var registry = map[string]Program{}
+
+func register(p Program) {
+	if _, dup := registry[p.Name]; dup {
+		panic(fmt.Sprintf("progs: duplicate program %q", p.Name))
+	}
+	registry[p.Name] = p
+}
+
+// All returns every registered program sorted by name.
+func All() []Program {
+	out := make([]Program, 0, len(registry))
+	for _, p := range registry {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Lookup returns the named program.
+func Lookup(name string) (Program, bool) {
+	p, ok := registry[name]
+	return p, ok
+}

@@ -1,0 +1,275 @@
+package progs_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"fairmc"
+	"fairmc/progs"
+)
+
+// smoke runs one fair execution and requires clean termination.
+func smoke(t *testing.T, name string) *fairmc.ExecResult {
+	t.Helper()
+	p, ok := progs.Lookup(name)
+	if !ok {
+		t.Fatalf("program %q not registered", name)
+	}
+	r := fairmc.RunOnce(p.Body, fairmc.Defaults())
+	if r.Outcome != fairmc.Terminated {
+		t.Fatalf("%s: outcome = %v\n%s", name, r.Outcome, r.FormatTrace())
+	}
+	return r
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"spinloop", "spinloop-noyield",
+		"philosophers-2", "philosophers-3",
+		"philosophers-try-2", "philosophers-try-3",
+		"wsq-1", "wsq-2",
+		"wsq-bug1-pop-fastpath", "wsq-bug2-lockfree-steal", "wsq-bug3-stale-head",
+		"promise", "promise-livelock",
+		"workergroup", "workergroup-spin",
+		"dryad-channels", "dryad-fifo",
+		"dryad-bug1-unlocked-occupancy", "dryad-bug2-read-after-release",
+		"dryad-bug3-lost-wakeup", "dryad-bug4-reset-race",
+		"ape", "singularity", "singularity-small",
+		"peterson", "peterson-bug", "bakery-2", "bakery-bug",
+		"barrier", "barrier-bug", "readerswriters", "boundedbuffer",
+		"treiber", "treiber-aba", "ticketlock",
+		"msqueue", "msqueue-bug", "seqlock", "seqlock-torn",
+		"peterson-tso", "peterson-tso-fenced", "singularity-disk",
+	}
+	all := progs.All()
+	names := map[string]bool{}
+	for _, p := range all {
+		names[p.Name] = true
+		if p.Description == "" {
+			t.Errorf("%s: empty description", p.Name)
+		}
+	}
+	for _, w := range want {
+		if !names[w] {
+			t.Errorf("missing program %q", w)
+		}
+	}
+	if len(all) < len(want) {
+		t.Errorf("registry has %d programs, want >= %d", len(all), len(want))
+	}
+}
+
+func TestCorrectProgramsTerminateOnce(t *testing.T) {
+	for _, name := range []string{
+		"spinloop", "philosophers-2", "philosophers-3",
+		"wsq-1", "wsq-2", "promise", "workergroup",
+		"dryad-channels", "dryad-fifo", "ape",
+		"singularity", "singularity-small",
+	} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			smoke(t, name)
+		})
+	}
+}
+
+func TestSingularityScale(t *testing.T) {
+	// Table 1 claims 14 threads for the Singularity row.
+	r := smoke(t, "singularity")
+	if r.Threads != 14 {
+		t.Fatalf("singularity threads = %d, want 14", r.Threads)
+	}
+}
+
+func TestDryadFifoScale(t *testing.T) {
+	// Table 1 claims 25 threads for the Dryad FIFO row.
+	r := smoke(t, "dryad-fifo")
+	if r.Threads != 25 {
+		t.Fatalf("dryad-fifo threads = %d, want 25", r.Threads)
+	}
+}
+
+// checkFindsBug asserts that a bounded fair search finds a safety bug.
+func checkFindsBug(t *testing.T, name string, opts fairmc.Options) *fairmc.Result {
+	t.Helper()
+	p, ok := progs.Lookup(name)
+	if !ok {
+		t.Fatalf("program %q not registered", name)
+	}
+	res := fairmc.Check(p.Body, opts)
+	if res.FirstBug == nil {
+		t.Fatalf("%s: no bug found in %d executions (%v)", name, res.Executions, res.Elapsed)
+	}
+	return res
+}
+
+func bugOpts() fairmc.Options {
+	return fairmc.Options{
+		Fair:         true,
+		ContextBound: 2, // the paper's Table 3 runs with 2 preemptions
+		MaxSteps:     5000,
+		TimeLimit:    30 * time.Second,
+	}
+}
+
+func TestWSQBugsFound(t *testing.T) {
+	for _, name := range []string{
+		"wsq-bug1-pop-fastpath",
+		"wsq-bug2-lockfree-steal",
+		"wsq-bug3-stale-head",
+	} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			res := checkFindsBug(t, name, bugOpts())
+			if res.FirstBug.Outcome != fairmc.Violation {
+				t.Fatalf("outcome = %v, want violation", res.FirstBug.Outcome)
+			}
+			if res.FirstBug.Violation == nil ||
+				!strings.Contains(res.FirstBug.Violation.Msg, "task") {
+				t.Fatalf("unexpected violation: %+v", res.FirstBug.Violation)
+			}
+		})
+	}
+}
+
+func TestWSQCorrectHasNoBugUnderCB2(t *testing.T) {
+	p, _ := progs.Lookup("wsq-1")
+	res := fairmc.Check(p.Body, fairmc.Options{
+		Fair:         true,
+		ContextBound: 2,
+		MaxSteps:     5000,
+		TimeLimit:    60 * time.Second,
+	})
+	if !res.Ok() {
+		t.Fatalf("correct WSQ flagged: bug=%v divergence=%v", res.FirstBug, res.Divergence)
+	}
+	if !res.Exhausted {
+		t.Fatalf("search did not exhaust: %+v", res.Report)
+	}
+}
+
+func TestDryadBugsFound(t *testing.T) {
+	// The planted defects manifest as assertion violations, deadlocks,
+	// or — for the strand-plus-retry shapes — fair divergences (a
+	// blocked consumer leaves a producer retrying forever). All three
+	// are detections; only the fair checker sees the last kind.
+	for _, name := range []string{
+		"dryad-bug1-unlocked-occupancy",
+		"dryad-bug2-read-after-release",
+		"dryad-bug3-lost-wakeup",
+		"dryad-bug4-reset-race",
+	} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			p, _ := progs.Lookup(name)
+			res := fairmc.Check(p.Body, bugOpts())
+			if res.FirstBug == nil && res.Divergence == nil {
+				t.Fatalf("%s: nothing found in %d executions (%v)",
+					name, res.Executions, res.Elapsed)
+			}
+		})
+	}
+}
+
+func TestPhilosophersTryLivelockDetected(t *testing.T) {
+	p, _ := progs.Lookup("philosophers-try-2")
+	res := fairmc.Check(p.Body, fairmc.Options{
+		Fair:         true,
+		ContextBound: -1,
+		MaxSteps:     400, // small divergence bound keeps the test fast
+		TimeLimit:    30 * time.Second,
+	})
+	if res.FirstBug != nil {
+		t.Fatalf("unexpected safety bug: %s", res.FirstBug.FormatTrace())
+	}
+	if res.Divergence == nil {
+		t.Fatalf("livelock not detected: %+v", res.Report)
+	}
+	if res.Liveness == nil || res.Liveness.Kind != fairmc.FairNontermination {
+		t.Fatalf("liveness = %v, want fair nontermination", res.Liveness)
+	}
+}
+
+func TestPromiseLivelockDetected(t *testing.T) {
+	p, _ := progs.Lookup("promise-livelock")
+	res := fairmc.Check(p.Body, fairmc.Options{
+		Fair:         true,
+		ContextBound: -1,
+		MaxSteps:     400,
+		TimeLimit:    30 * time.Second,
+	})
+	if res.Divergence == nil {
+		t.Fatalf("livelock not detected: %+v", res.Report)
+	}
+	if res.Liveness.Kind != fairmc.FairNontermination {
+		t.Fatalf("liveness = %v, want fair nontermination\n%s", res.Liveness.Kind, res.Liveness)
+	}
+}
+
+func TestWorkerGroupGSViolationDetected(t *testing.T) {
+	p, _ := progs.Lookup("workergroup-spin")
+	res := fairmc.Check(p.Body, fairmc.Options{
+		Fair:         true,
+		ContextBound: -1,
+		MaxSteps:     600,
+		TimeLimit:    60 * time.Second,
+	})
+	if res.Divergence == nil {
+		t.Fatalf("GS violation not detected: %+v", res.Report)
+	}
+	if res.Liveness.Kind != fairmc.GoodSamaritanViolation {
+		t.Fatalf("liveness = %v, want GS violation\n%s", res.Liveness.Kind, res.Liveness)
+	}
+}
+
+func TestSpinloopNoYieldGSViolation(t *testing.T) {
+	p, _ := progs.Lookup("spinloop-noyield")
+	res := fairmc.Check(p.Body, fairmc.Options{
+		Fair:         true,
+		ContextBound: -1,
+		MaxSteps:     400,
+	})
+	if res.Divergence == nil {
+		t.Fatalf("no divergence: %+v", res.Report)
+	}
+	if res.Liveness.Kind != fairmc.GoodSamaritanViolation {
+		t.Fatalf("liveness = %v\n%s", res.Liveness.Kind, res.Liveness)
+	}
+}
+
+func TestSpinloopFairSearchExhausts(t *testing.T) {
+	p, _ := progs.Lookup("spinloop")
+	res := fairmc.Check(p.Body, fairmc.Defaults())
+	if !res.Ok() || !res.Exhausted {
+		t.Fatalf("spinloop check: %+v", res.Report)
+	}
+}
+
+func TestPhilosophers2FairSearchExhausts(t *testing.T) {
+	// The Table 2 coverage configuration must be fully explorable
+	// under fair DFS despite its cyclic state space.
+	p, _ := progs.Lookup("philosophers-2")
+	res := fairmc.Check(p.Body, fairmc.Options{
+		Fair:         true,
+		ContextBound: 2,
+		MaxSteps:     20000,
+		TimeLimit:    60 * time.Second,
+	})
+	if !res.Ok() {
+		t.Fatalf("philosophers-2 flagged: bug=%v divergence=%v", res.FirstBug, res.Divergence)
+	}
+	if !res.Exhausted {
+		t.Fatalf("cb=2 fair search did not exhaust: %+v", res.Report)
+	}
+}
+
+func TestBugReplays(t *testing.T) {
+	// A found bug's schedule must replay to the same outcome.
+	p, _ := progs.Lookup("wsq-bug2-lockfree-steal")
+	res := checkFindsBug(t, "wsq-bug2-lockfree-steal", bugOpts())
+	rr := fairmc.Replay(p.Body, res.FirstBug.Schedule, bugOpts())
+	if rr.Outcome != res.FirstBug.Outcome {
+		t.Fatalf("replay outcome = %v, want %v", rr.Outcome, res.FirstBug.Outcome)
+	}
+}

@@ -1,0 +1,125 @@
+package progs
+
+import "fairmc/conc"
+
+// Promise models the paper's §4.3.2 subject: a data-parallelism
+// primitive whose consumers wait for a producer to resolve a value.
+// The implementation is "optimized for efficiency": waiters first
+// check a couple of fast-path conditions and only then fall into a
+// spin-with-sleep loop — exactly the shape of Figure 8.
+//
+// The buggy variant reproduces Figure 8's livelock: the spin loop
+// waits on a stale local copy of the shared state word instead of
+// re-reading it ("// BUG: should read x once again"). Because the
+// waiter sleeps (a yielding operation) in the loop, the resulting
+// infinite execution is *fair* and satisfies the good-samaritan
+// property, so the checker classifies the divergence as a livelock —
+// the hard-to-find kind of bug the paper reports: "it only occurred in
+// those rare thread interleavings in which the common cases … were
+// inapplicable".
+
+// PromiseBug selects the Figure 8 defect.
+type PromiseBug int
+
+const (
+	// PromiseCorrect re-reads the shared state on every spin.
+	PromiseCorrect PromiseBug = iota
+	// PromiseStaleRead spins on a stale local copy (Figure 8).
+	PromiseStaleRead
+)
+
+// promise is the model promise cell: state is 0 (pending), 1
+// (resolved); fastFlag models the "common case" conditions that let a
+// waiter return without spinning.
+type promise struct {
+	state    *conc.IntVar
+	value    *conc.IntVar
+	fastFlag *conc.IntVar
+	bug      PromiseBug
+}
+
+func newPromise(t *conc.T, bug PromiseBug) *promise {
+	return &promise{
+		state:    conc.NewIntVar(t, "promise.state", 0),
+		value:    conc.NewIntVar(t, "promise.value", 0),
+		fastFlag: conc.NewIntVar(t, "promise.fast", 0),
+		bug:      bug,
+	}
+}
+
+// resolve publishes the value and flips the state word.
+func (p *promise) resolve(t *conc.T, v int64) {
+	p.value.Store(t, v)
+	p.state.Store(t, 1)
+}
+
+// wait blocks until the promise resolves and returns its value,
+// following Figure 8's structure.
+func (p *promise) wait(t *conc.T) int64 {
+	xTemp := p.state.Load(t) // int x_temp = InterlockedRead(x)
+	if xTemp == 1 {
+		return p.value.Load(t) // if (common case 1) break
+	}
+	if p.fastFlag.Load(t) == 1 && p.state.Load(t) == 1 {
+		return p.value.Load(t) // if (common case 2) break
+	}
+	// Spin in the uncommon case.
+	for xTemp != 1 {
+		t.Label(1)
+		t.Sleep(1) // Sleep(1); // yield
+		if p.bug != PromiseStaleRead {
+			xTemp = p.state.Load(t)
+		}
+		// BUG (PromiseStaleRead): should read x once again.
+	}
+	return p.value.Load(t)
+}
+
+// PromiseConfig parameterizes the promise harness.
+type PromiseConfig struct {
+	// Waiters is the number of consumer threads.
+	Waiters int
+	// Bug selects the Figure 8 defect.
+	Bug PromiseBug
+}
+
+// Promise builds the harness: a producer resolves the promise (after
+// first setting the fast-path flag, so the common cases usually apply)
+// while Waiters wait for it and check the value. With PromiseStaleRead
+// the rare interleaving in which a waiter enters the spin loop before
+// the resolve livelocks.
+func Promise(cfg PromiseConfig) func(*conc.T) {
+	if cfg.Waiters < 1 {
+		panic("progs: Promise needs at least one waiter")
+	}
+	return func(t *conc.T) {
+		p := newPromise(t, cfg.Bug)
+		wg := conc.NewWaitGroup(t, "wg", int64(cfg.Waiters))
+		for i := 0; i < cfg.Waiters; i++ {
+			t.Go("waiter", func(t *conc.T) {
+				v := p.wait(t)
+				t.Assert(v == 42, "promise value")
+				wg.Done(t)
+			})
+		}
+		t.Go("producer", func(t *conc.T) {
+			p.fastFlag.Store(t, 1)
+			p.resolve(t, 42)
+		})
+		wg.Wait(t)
+	}
+}
+
+func init() {
+	register(Program{
+		Name:        "promise",
+		Description: "§4.3.2 subject: promise cell with spin-then-sleep waiters (correct)",
+		Body:        Promise(PromiseConfig{Waiters: 2}),
+	})
+	register(Program{
+		Name:        "promise-livelock",
+		Description: "Figure 8: waiter spins on a stale local copy of the state word",
+		ExpectBug:   "livelock",
+		Body:        Promise(PromiseConfig{Waiters: 2, Bug: PromiseStaleRead}),
+	})
+}

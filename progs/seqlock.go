@@ -1,0 +1,106 @@
+package progs
+
+import (
+	"fmt"
+
+	"fairmc/conc"
+)
+
+// Seqlock models the classic sequence lock: a writer brackets its
+// updates with sequence-counter increments (odd = write in progress);
+// readers snapshot the counter, read the data, and retry if the
+// counter was odd or changed. The reader retry loop — spin, observe,
+// yield, retry — is exactly the cyclic structure fair stateless model
+// checking exists for: without fairness the checker unrolls reader
+// retries forever; with it, the retry cycles are pruned as unfair and
+// the search terminates.
+//
+// The protected data is a pair (a, b) with the invariant b == a + 1.
+// The buggy variant omits the *entry* increment (the writer "only
+// publishes at the end"), so a reader can see a torn pair while
+// concluding from the counter that the snapshot was consistent.
+
+// SeqlockConfig parameterizes the harness.
+type SeqlockConfig struct {
+	// Writers is the number of writer threads (serialized by a lock,
+	// as in real seqlocks); each performs one update.
+	Writers int
+	// Readers is the number of reader threads; each takes one
+	// consistent snapshot.
+	Readers int
+	// Buggy omits the sequence increment at writer entry.
+	Buggy bool
+}
+
+// Seqlock builds the harness.
+func Seqlock(cfg SeqlockConfig) func(*conc.T) {
+	if cfg.Writers < 1 || cfg.Readers < 1 {
+		panic("progs: bad SeqlockConfig")
+	}
+	return func(t *conc.T) {
+		seq := conc.NewIntVar(t, "seq", 0)
+		a := conc.NewIntVar(t, "a", 0)
+		b := conc.NewIntVar(t, "b", 1)
+		wmu := conc.NewMutex(t, "wmu")
+		wg := conc.NewWaitGroup(t, "wg", int64(cfg.Writers+cfg.Readers))
+
+		for w := 0; w < cfg.Writers; w++ {
+			val := int64(10 * (w + 1))
+			t.Go(fmt.Sprintf("writer%d", w), func(t *conc.T) {
+				wmu.Lock(t)
+				if !cfg.Buggy {
+					seq.Add(t, 1) // odd: write in progress
+				}
+				a.Store(t, val)
+				b.Store(t, val+1)
+				if cfg.Buggy {
+					seq.Add(t, 2) // BUG: publish-only, no entry mark
+				} else {
+					seq.Add(t, 1) // even again: write complete
+				}
+				wmu.Unlock(t)
+				wg.Done(t)
+			})
+		}
+		for r := 0; r < cfg.Readers; r++ {
+			t.Go(fmt.Sprintf("reader%d", r), func(t *conc.T) {
+				for {
+					t.Label(1)
+					s1 := seq.Load(t)
+					if s1%2 == 1 {
+						t.Yield() // writer in progress: be a good samaritan
+						continue
+					}
+					av := a.Load(t)
+					bv := b.Load(t)
+					s2 := seq.Load(t)
+					if s1 != s2 {
+						t.Yield() // raced a writer: retry
+						continue
+					}
+					// The seqlock's contract: this snapshot is
+					// consistent.
+					t.Assert(bv == av+1,
+						fmt.Sprintf("torn read: a=%d b=%d (seq %d)", av, bv, s1))
+					break
+				}
+				wg.Done(t)
+			})
+		}
+		wg.Wait(t)
+	}
+}
+
+func init() {
+	register(Program{
+		Name:        "seqlock",
+		Description: "sequence lock, 1 writer / 2 readers with retry loops (correct)",
+		Body:        Seqlock(SeqlockConfig{Writers: 1, Readers: 2}),
+	})
+	register(Program{
+		Name:        "seqlock-torn",
+		Description: "seqlock whose writer skips the entry increment (torn reads)",
+		ExpectBug:   "torn read",
+		Body:        Seqlock(SeqlockConfig{Writers: 1, Readers: 1, Buggy: true}),
+	})
+}

@@ -1,0 +1,26 @@
+package progs
+
+import "embed"
+
+// Sources embeds the model-program source files so the Table 1
+// experiment can report lines of code for each program, mirroring the
+// paper's "LOC" column.
+//
+//go:embed *.go
+var Sources embed.FS
+
+// SourceLOC returns the number of lines in the named source file of
+// this package (e.g. "wsq.go"), or 0 if it does not exist.
+func SourceLOC(file string) int {
+	data, err := Sources.ReadFile(file)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, b := range data {
+		if b == '\n' {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,62 @@
+package progs
+
+import "fairmc/conc"
+
+// SpinLoop is the paper's Figure 3 program: thread t sets x to 1;
+// thread u spins — yielding on each iteration, the good-samaritan
+// discipline — until it observes the store. Its state space has the
+// cycle (a,c) -> (a,d) -> (a,c) that defeats plain stateless search;
+// the fair scheduler prunes it after two unrollings (Figure 4).
+func SpinLoop(t *conc.T) {
+	x := conc.NewIntVar(t, "x", 0)
+	hu := t.Go("u", func(t *conc.T) {
+		for {
+			t.Label(1) // loop head (a,c)
+			if x.Load(t) == 1 {
+				break
+			}
+			t.Label(2) // about to yield (a,d)
+			t.Yield()
+		}
+	})
+	ht := t.Go("t", func(t *conc.T) {
+		x.Store(t, 1)
+	})
+	ht.Join(t)
+	hu.Join(t)
+}
+
+// SpinLoopNoYield is SpinLoop without the yield: the spinner violates
+// the good-samaritan property, so the fair checker diverges with a GS
+// classification instead of a livelock.
+func SpinLoopNoYield(t *conc.T) {
+	x := conc.NewIntVar(t, "x", 0)
+	hu := t.Go("u", func(t *conc.T) {
+		for {
+			t.Label(1)
+			if x.Load(t) == 1 {
+				break
+			}
+			// BUG: spins without yielding.
+		}
+	})
+	ht := t.Go("t", func(t *conc.T) {
+		x.Store(t, 1)
+	})
+	ht.Join(t)
+	hu.Join(t)
+}
+
+func init() {
+	register(Program{
+		Name:        "spinloop",
+		Description: "Figure 3: spin-wait on a flag with a good-samaritan yield",
+		Body:        SpinLoop,
+	})
+	register(Program{
+		Name:        "spinloop-noyield",
+		Description: "Figure 3 variant whose spinner never yields (GS violation)",
+		ExpectBug:   "good-samaritan violation",
+		Body:        SpinLoopNoYield,
+	})
+}

@@ -1,0 +1,76 @@
+package progs
+
+import (
+	"fmt"
+
+	"fairmc/conc"
+	"fairmc/internal/tso"
+)
+
+// PetersonTSO is Peterson's algorithm running over the TSO store-
+// buffer memory of internal/tso — the canonical relaxed-memory
+// demonstration. Under sequential consistency the algorithm is
+// correct (see progs/classic.go); under TSO the intent-flag store can
+// still sit in the writer's buffer when the rival loads the flag from
+// global memory, both threads see "no rival", and mutual exclusion
+// breaks. An MFENCE between the store and the load (fenced = true)
+// restores correctness.
+//
+// The checker needs no relaxed-memory support: the buffers and their
+// pump threads are ordinary model code, so TSO reorderings are just
+// thread interleavings.
+func PetersonTSO(fenced bool) func(*conc.T) {
+	const (
+		flag0 = 0
+		flag1 = 1
+		turn  = 2
+	)
+	return func(t *conc.T) {
+		mem := tso.New(t, "tso", 2, 3, 2)
+		occupancy := conc.NewIntVar(t, "cs", 0)
+		wg := conc.NewWaitGroup(t, "wg", 2)
+		for me := 0; me < 2; me++ {
+			me := me
+			other := 1 - me
+			myFlag, rivalFlag := flag0, flag1
+			if me == 1 {
+				myFlag, rivalFlag = flag1, flag0
+			}
+			t.Go(fmt.Sprintf("p%d", me), func(t *conc.T) {
+				mem.Store(t, me, myFlag, 1)
+				mem.Store(t, me, turn, int64(other))
+				if fenced {
+					mem.Fence(t, me) // drain before inspecting the rival
+				}
+				for {
+					t.Label(1)
+					if mem.Load(t, me, rivalFlag) != 1 ||
+						mem.Load(t, me, turn) != int64(other) {
+						break
+					}
+					t.Yield()
+				}
+				t.Assert(occupancy.Add(t, 1) == 1, "mutual exclusion under TSO")
+				occupancy.Add(t, -1)
+				mem.Store(t, me, myFlag, 0)
+				wg.Done(t)
+			})
+		}
+		wg.Wait(t)
+		mem.Close(t)
+	}
+}
+
+func init() {
+	register(Program{
+		Name:        "peterson-tso",
+		Description: "Peterson's over TSO store buffers, no fence (mutual exclusion breaks)",
+		ExpectBug:   "mutual exclusion violation under TSO",
+		Body:        PetersonTSO(false),
+	})
+	register(Program{
+		Name:        "peterson-tso-fenced",
+		Description: "Peterson's over TSO store buffers with an MFENCE (correct)",
+		Body:        PetersonTSO(true),
+	})
+}

@@ -1,0 +1,148 @@
+package progs
+
+import (
+	"fmt"
+
+	"fairmc/conc"
+)
+
+// WorkerGroup models the parallel-task library of §4.3.1 (Figure 7):
+// a group of worker threads takes tasks from a shared queue; an idle
+// worker parks in WorkerGroup.Idle, yielding ("YieldExponential")
+// until work arrives or the group stops.
+//
+// Both the group and each worker carry a stop flag. During shutdown
+// the group flag is set first and the per-worker flags afterwards. In
+// the window where group.stop is already true but a worker's own stop
+// flag is not, Idle returns immediately (its loop is guarded by
+// group.stop) and Worker.Run's outer loop spins through
+// Run -> Idle -> Run *without ever yielding*: a good-samaritan
+// violation that starves the very thread trying to set worker.stop —
+// exactly the bug CHESS found in the paper.
+
+// WorkerGroupBug selects the §4.3.1 defect.
+type WorkerGroupBug int
+
+const (
+	// WorkerGroupCorrect yields in the outer loop, closing the window.
+	WorkerGroupCorrect WorkerGroupBug = iota
+	// WorkerGroupSpin reproduces Figure 7: no yield in the window.
+	WorkerGroupSpin
+)
+
+// workerGroup is the shared library state.
+type workerGroup struct {
+	stop  *conc.IntVar   // group-wide stop flag
+	queue *conc.Channel  // task queue
+	wstop []*conc.IntVar // per-worker stop flags
+	bug   WorkerGroupBug
+}
+
+// idle is WorkerGroup::Idle: wait for work, yielding, until the group
+// stops. Returns a task id or 0 ("null") when stopping.
+func (g *workerGroup) idle(t *conc.T) int64 {
+	for {
+		t.Label(10)
+		if g.stop.Load(t) == 1 {
+			return 0
+		}
+		if v, _, ok := g.queue.TryRecv(t); ok {
+			return v
+		}
+		// No work to be found. Yield to other threads.
+		t.Yield() // currentWorker.YieldExponential()
+	}
+}
+
+// run is Worker::Run (Figure 7).
+func (g *workerGroup) run(t *conc.T, me int) {
+	task := int64(0)
+	for {
+		t.Label(1)
+		if g.wstop[me].Load(t) == 1 {
+			return
+		}
+		for {
+			t.Label(2)
+			if g.wstop[me].Load(t) == 1 || task == 0 {
+				break
+			}
+			// Perform task, then pop the next one.
+			task, _, _ = g.queue.TryRecv(t)
+		}
+		if g.wstop[me].Load(t) != 1 {
+			task = g.idle(t)
+		}
+		if g.bug == WorkerGroupCorrect {
+			// The fix: yield on the outer back edge so the
+			// stop-setting thread can run during the window.
+			t.Yield()
+		}
+		// BUG (WorkerGroupSpin): when group.stop is set but our own
+		// stop flag is not yet, idle() returns immediately and this
+		// outer loop spins without yielding until the time slice
+		// expires, starving the shutdown thread.
+	}
+}
+
+// WorkerGroupConfig parameterizes the harness.
+type WorkerGroupConfig struct {
+	// Workers is the number of worker threads.
+	Workers int
+	// Tasks is the number of tasks enqueued before shutdown.
+	Tasks int
+	// Bug selects the §4.3.1 defect.
+	Bug WorkerGroupBug
+}
+
+// WorkerGroupProg builds the harness: workers drain a task queue; the
+// main thread then shuts the library down by setting group.stop
+// followed by each worker's stop flag.
+func WorkerGroupProg(cfg WorkerGroupConfig) func(*conc.T) {
+	if cfg.Workers < 1 {
+		panic("progs: WorkerGroupProg needs at least one worker")
+	}
+	return func(t *conc.T) {
+		g := &workerGroup{
+			stop:  conc.NewIntVar(t, "group.stop", 0),
+			queue: conc.NewChannel(t, "tasks", cfg.Tasks+1),
+			bug:   cfg.Bug,
+		}
+		handles := make([]*conc.Handle, cfg.Workers)
+		for i := 0; i < cfg.Workers; i++ {
+			g.wstop = append(g.wstop, conc.NewIntVar(t, fmt.Sprintf("worker%d.stop", i), 0))
+		}
+		for i := 0; i < cfg.Workers; i++ {
+			i := i
+			handles[i] = t.Go(fmt.Sprintf("worker%d", i), func(t *conc.T) {
+				g.run(t, i)
+			})
+		}
+		for v := 1; v <= cfg.Tasks; v++ {
+			g.queue.Send(t, int64(v))
+		}
+		// Shutdown: the group flag first, the worker flags afterwards —
+		// opening the window of Figure 7.
+		g.stop.Store(t, 1)
+		for i := 0; i < cfg.Workers; i++ {
+			g.wstop[i].Store(t, 1)
+		}
+		for _, h := range handles {
+			h.Join(t)
+		}
+	}
+}
+
+func init() {
+	register(Program{
+		Name:        "workergroup",
+		Description: "§4.3.1 library with the outer-loop yield fix (correct)",
+		Body:        WorkerGroupProg(WorkerGroupConfig{Workers: 2, Tasks: 1}),
+	})
+	register(Program{
+		Name:        "workergroup-spin",
+		Description: "Figure 7: worker spins unyieldingly in the shutdown window",
+		ExpectBug:   "good-samaritan violation",
+		Body:        WorkerGroupProg(WorkerGroupConfig{Workers: 2, Tasks: 1, Bug: WorkerGroupSpin}),
+	})
+}

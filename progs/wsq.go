@@ -1,0 +1,235 @@
+package progs
+
+import (
+	"fmt"
+
+	"fairmc/conc"
+)
+
+// WSQBug selects a planted defect in the work-stealing queue. The
+// three bugs mirror the classes of the paper's Table 3 WSQ bugs found
+// in the C# Futures implementation of the Cilk THE protocol: all are
+// owner/stealer races on the last element of the deque.
+type WSQBug int
+
+const (
+	// WSQCorrect is the race-free protocol.
+	WSQCorrect WSQBug = iota
+	// WSQBug1: the owner's pop fast path uses an off-by-one bound
+	// (head <= tail instead of head < tail) and claims the last item
+	// without taking the lock, racing a stealer.
+	WSQBug1
+	// WSQBug2: steal reads head/tail and claims the item without
+	// holding the lock.
+	WSQBug2
+	// WSQBug3: the owner's pop slow path reuses the head value read
+	// before acquiring the lock instead of re-reading it (the
+	// "should read once again" pattern of Figure 8).
+	WSQBug3
+)
+
+func (b WSQBug) String() string {
+	switch b {
+	case WSQCorrect:
+		return "correct"
+	case WSQBug1:
+		return "bug1-pop-fastpath"
+	case WSQBug2:
+		return "bug2-lockfree-steal"
+	case WSQBug3:
+		return "bug3-stale-head"
+	default:
+		return fmt.Sprintf("bug(%d)", int(b))
+	}
+}
+
+// wsq is a work-stealing deque in the style of the Cilk THE protocol
+// with a lock resolving owner/stealer conflicts (the protocol of the
+// paper's reference [20], Leijen's Futures library). The queue holds
+// task ids in [head, tail); the owner pushes and pops at the tail,
+// stealers take from the head under the lock.
+type wsq struct {
+	head, tail *conc.IntVar
+	tasks      *conc.IntArray
+	lock       *conc.Mutex
+	bug        WSQBug
+}
+
+const wsqEmpty = -1
+
+func newWSQ(t *conc.T, capacity int, bug WSQBug) *wsq {
+	return &wsq{
+		head:  conc.NewIntVar(t, "wsq.head", 0),
+		tail:  conc.NewIntVar(t, "wsq.tail", 0),
+		tasks: conc.NewIntArray(t, "wsq.tasks", capacity),
+		lock:  conc.NewMutex(t, "wsq.lock"),
+		bug:   bug,
+	}
+}
+
+// push appends a task at the tail (owner only).
+func (q *wsq) push(t *conc.T, v int64) {
+	tl := q.tail.Load(t)
+	q.tasks.Set(t, int(tl), v)
+	q.tail.Store(t, tl+1)
+}
+
+// pop removes the task at the tail (owner only), or returns wsqEmpty.
+func (q *wsq) pop(t *conc.T) int64 {
+	tl := q.tail.Load(t) - 1
+	q.tail.Store(t, tl) // publish intent before inspecting head
+	hd := q.head.Load(t)
+
+	fast := hd < tl
+	if q.bug == WSQBug1 {
+		fast = hd <= tl // BUG: claims the last item without the lock
+	}
+	if fast {
+		return q.tasks.Get(t, int(tl))
+	}
+	if hd > tl {
+		// The deque was empty; normalize and bail out.
+		q.tail.Store(t, hd)
+		return wsqEmpty
+	}
+	// hd == tl: exactly one item; contend with stealers under the lock.
+	q.lock.Lock(t)
+	hd2 := q.head.Load(t)
+	if q.bug == WSQBug3 {
+		hd2 = hd // BUG: stale head — should read head once again
+	}
+	if hd2 == tl {
+		// The item is still ours.
+		q.head.Store(t, tl+1)
+		q.tail.Store(t, tl+1)
+		q.lock.Unlock(t)
+		return q.tasks.Get(t, int(tl))
+	}
+	// A stealer took it; normalize the empty deque.
+	q.tail.Store(t, hd2)
+	q.lock.Unlock(t)
+	return wsqEmpty
+}
+
+// steal removes the task at the head, or returns wsqEmpty.
+func (q *wsq) steal(t *conc.T) int64 {
+	if q.bug == WSQBug2 {
+		// BUG: lock-free steal races other stealers and the owner's
+		// pop of the last item.
+		hd := q.head.Load(t)
+		tl := q.tail.Load(t)
+		if hd >= tl {
+			return wsqEmpty
+		}
+		v := q.tasks.Get(t, int(hd))
+		q.head.Store(t, hd+1)
+		return v
+	}
+	q.lock.Lock(t)
+	hd := q.head.Load(t)
+	tl := q.tail.Load(t)
+	if hd >= tl {
+		q.lock.Unlock(t)
+		return wsqEmpty
+	}
+	v := q.tasks.Get(t, int(hd))
+	q.head.Store(t, hd+1)
+	q.lock.Unlock(t)
+	return v
+}
+
+// WSQConfig parameterizes the work-stealing-queue harness.
+type WSQConfig struct {
+	// Items is the number of tasks the owner pushes.
+	Items int
+	// Stealers is the number of stealer threads (Table 2 uses 1, 2).
+	Stealers int
+	// Bug selects a planted defect (WSQCorrect for none).
+	Bug WSQBug
+}
+
+// WorkStealingQueue builds the WSQ harness: an owner pushes Items
+// tasks and then pops until empty while Stealers steal in
+// spin-and-yield loops until the owner finishes. Every task must be
+// consumed exactly once; the planted bugs make a task be consumed
+// twice (or lost) in some interleaving.
+//
+// The stealers' retry loops make the program nonterminating under
+// unfair schedules — before fair scheduling, CHESS required manually
+// rewriting exactly this kind of loop (§4.1).
+func WorkStealingQueue(cfg WSQConfig) func(*conc.T) {
+	if cfg.Items < 1 || cfg.Stealers < 0 {
+		panic("progs: bad WSQConfig")
+	}
+	return func(t *conc.T) {
+		q := newWSQ(t, cfg.Items, cfg.Bug)
+		done := conc.NewIntVar(t, "done", 0)
+		// taken[i] counts consumptions of task i.
+		taken := make([]*conc.IntVar, cfg.Items)
+		for i := range taken {
+			taken[i] = conc.NewIntVar(t, fmt.Sprintf("taken%d", i), 0)
+		}
+		wg := conc.NewWaitGroup(t, "wg", int64(1+cfg.Stealers))
+
+		t.Go("owner", func(t *conc.T) {
+			for i := 0; i < cfg.Items; i++ {
+				q.push(t, int64(i))
+			}
+			for {
+				t.Label(1)
+				v := q.pop(t)
+				if v == wsqEmpty {
+					break
+				}
+				taken[v].Add(t, 1)
+			}
+			done.Store(t, 1)
+			wg.Done(t)
+		})
+		for s := 0; s < cfg.Stealers; s++ {
+			t.Go(fmt.Sprintf("stealer%d", s), func(t *conc.T) {
+				for {
+					t.Label(1)
+					v := q.steal(t)
+					if v != wsqEmpty {
+						taken[v].Add(t, 1)
+						continue
+					}
+					if done.Load(t) == 1 {
+						break
+					}
+					t.Yield() // be a good samaritan while the deque is empty
+				}
+				wg.Done(t)
+			})
+		}
+		wg.Wait(t)
+		for i := range taken {
+			n := taken[i].Load(t)
+			t.Assert(n != 0, fmt.Sprintf("task %d lost", i))
+			t.Assert(n == 1, fmt.Sprintf("task %d consumed %d times", i, n))
+		}
+	}
+}
+
+func init() {
+	register(Program{
+		Name:        "wsq-1",
+		Description: "Table 2 coverage config: work-stealing queue, 1 stealer, 2 items",
+		Body:        WorkStealingQueue(WSQConfig{Items: 2, Stealers: 1}),
+	})
+	register(Program{
+		Name:        "wsq-2",
+		Description: "Table 2 coverage config: work-stealing queue, 2 stealers, 2 items",
+		Body:        WorkStealingQueue(WSQConfig{Items: 2, Stealers: 2}),
+	})
+	for _, b := range []WSQBug{WSQBug1, WSQBug2, WSQBug3} {
+		b := b
+		register(Program{
+			Name:        fmt.Sprintf("wsq-%s", b),
+			Description: fmt.Sprintf("Table 3: work-stealing queue with planted %s", b),
+			ExpectBug:   "safety violation",
+			Body:        WorkStealingQueue(WSQConfig{Items: 2, Stealers: 2, Bug: b}),
+		})
+	}
+}
