@@ -226,6 +226,41 @@ func BenchmarkFairSearchSpinloop(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelSpeedup sweeps the worker count over a fixed
+// random-walk workload (stride sharding: the explored schedules are
+// identical for every P, so the work is constant and only the wall
+// clock moves). Reported execs/s is the headline metric; speedup over
+// P=1 is execs/s(P)/execs/s(1). Note the sweep is only meaningful on
+// a multi-core host — with GOMAXPROCS=1 all P collapse to sequential
+// throughput.
+func BenchmarkParallelSpeedup(b *testing.B) {
+	body := progs.WorkStealingQueue(progs.WSQConfig{Items: 2, Stealers: 2})
+	const execs = 200
+	for _, p := range []int{1, 2, 4, 8} {
+		p := p
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			var total time.Duration
+			for i := 0; i < b.N; i++ {
+				rep := search.Explore(body, search.Options{
+					Fair:                    true,
+					RandomWalk:              true,
+					MaxExecutions:           execs,
+					MaxSteps:                1 << 14,
+					Seed:                    42,
+					Parallelism:             p,
+					ContinueAfterViolation:  true,
+					ContinueAfterDivergence: true,
+				})
+				if rep.Executions != execs {
+					b.Fatalf("executions = %d, want %d", rep.Executions, execs)
+				}
+				total += rep.Elapsed
+			}
+			b.ReportMetric(float64(execs)*float64(b.N)/total.Seconds(), "execs/s")
+		})
+	}
+}
+
 // BenchmarkAblationFairK measures the cost of weakening the fairness
 // updates (§3's k-th-yield parameterization): larger k processes fewer
 // window boundaries, prunes unfair cycles later, and explores more

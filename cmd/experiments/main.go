@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	experiments [-run fig2|table1|table2|fig56|table3|liveness|all]
+//	experiments [-run fig2|table1|table2|fig56|table3|liveness|strategies|parallel|all]
 //	            [-celltime 60s] [-dbounds 20,30,40,50,60] [-quick]
+//	            [-workers 1,2,4,8] [-parexecs 2000] [-json BENCH_parallel.json]
 //
 // Absolute numbers differ from the paper's (different substrate,
 // different hardware); the shapes — exponential growth in Figure 2,
@@ -14,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,12 +29,15 @@ import (
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "experiment to run: fig2|table1|table2|fig56|table3|liveness|strategies|all")
+		run      = flag.String("run", "all", "experiment to run: fig2|table1|table2|fig56|table3|liveness|strategies|parallel|all")
 		cellTime = flag.Duration("celltime", 60*time.Second, "time budget per experiment cell")
 		dbounds  = flag.String("dbounds", "20,30,40,50,60", "depth bounds for the unfair Table 2 runs")
 		fig2b    = flag.String("fig2bounds", "8,10,12,14,16,18,20", "depth bounds for Figure 2")
 		quick    = flag.Bool("quick", false, "small bounds and budgets for a fast smoke run")
 		csvDir   = flag.String("csv", "", "also write machine-readable CSVs into this directory")
+		workers  = flag.String("workers", "1,2,4,8", "worker counts for the parallel sweep")
+		parExecs = flag.Int64("parexecs", 2000, "executions per parallel-sweep cell")
+		jsonOut  = flag.String("json", "BENCH_parallel.json", "output file for the parallel sweep (\"\" = stdout only)")
 	)
 	flag.Parse()
 	if *csvDir != "" {
@@ -77,6 +82,13 @@ func main() {
 	}
 	if want("strategies") {
 		runStrategies(budget)
+	}
+	if want("parallel") {
+		execs := *parExecs
+		if *quick {
+			execs = 200
+		}
+		runParallel(parseInts(*workers), execs, *jsonOut)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
@@ -254,6 +266,32 @@ func runStrategies(budget experiments.Budget) {
 	for _, r := range experiments.CompareStrategies(experiments.Table3Bugs(), budget) {
 		fmt.Printf("%-32s %12s %12s %12s\n", r.Bug, show(r.FairDFS), show(r.RandomWalk), show(r.PCT))
 		csv.row(r.Bug, show(r.FairDFS), show(r.RandomWalk), show(r.PCT))
+	}
+	fmt.Println()
+}
+
+func runParallel(workers []int, execs int64, jsonPath string) {
+	fmt.Println("== Extension: parallel exploration throughput ==")
+	fmt.Println("   (stride-sharded random walk, wsq 2x2, identical schedules at every P)")
+	rep := experiments.ParallelSweep(workers, execs)
+	fmt.Printf("   gomaxprocs=%d numcpu=%d program=%s seed=%d\n",
+		rep.GOMAXPROCS, rep.NumCPU, rep.Program, rep.Seed)
+	fmt.Printf("%-6s %12s %12s %12s %9s\n", "p", "executions", "elapsed", "execs/s", "speedup")
+	for _, r := range rep.Rows {
+		fmt.Printf("%-6d %12d %12s %12.0f %8.2fx\n",
+			r.Parallelism, r.Executions, fmtDur(r.Elapsed), r.ExecsPerSec, r.Speedup)
+	}
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("   wrote %s\n", jsonPath)
 	}
 	fmt.Println()
 }

@@ -6,7 +6,11 @@
 //	fairmc -list
 //	fairmc -prog wsq-bug2-lockfree-steal [-cb 2] [-fair=true]
 //	       [-maxsteps 5000] [-depthbound 0] [-randomtail]
-//	       [-maxexec 0] [-timelimit 60s] [-trace] [-seed 1]
+//	       [-maxexec 0] [-timelimit 60s] [-trace] [-seed 1] [-p N]
+//
+// -p sets the parallel worker count (default GOMAXPROCS) and applies
+// to both systematic and random searches; -p 1 is the sequential
+// searcher. -race, -sleepsets and -dpor force sequential search.
 //
 // Exit status: 0 when the check finds nothing, 1 when a safety
 // violation, deadlock or divergence is found, 2 on usage errors.
@@ -16,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"fairmc"
@@ -46,8 +51,26 @@ func main() {
 		dpor       = flag.Bool("dpor", false, "dynamic partial-order reduction (unfair, terminating programs only)")
 		raceDetect = flag.Bool("race", false, "attach the happens-before race detector")
 		iterative  = flag.Int("iterative", -1, "iterative context bounding up to this preemption budget")
+		parallel   = flag.Int("p", runtime.GOMAXPROCS(0), "worker count for the search; 1 = sequential")
 	)
 	flag.Parse()
+
+	// Modes that share state across executions cannot shard; fall back
+	// to the sequential searcher unless the user asked for -p
+	// explicitly, in which case refuse rather than silently comply.
+	if *parallel > 1 && (*raceDetect || *sleepSets || *dpor) {
+		explicit := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "p" {
+				explicit = true
+			}
+		})
+		if explicit {
+			fmt.Fprintln(os.Stderr, "-p > 1 is incompatible with -race, -sleepsets and -dpor")
+			os.Exit(2)
+		}
+		*parallel = 1
+	}
 
 	if *list {
 		for _, p := range progs.All() {
@@ -80,6 +103,7 @@ func main() {
 		MaxExecutions: *maxExec,
 		TimeLimit:     *timeLimit,
 		Seed:          *seed,
+		Parallelism:   *parallel,
 	}
 
 	if *replayFile != "" {

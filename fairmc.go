@@ -126,7 +126,8 @@ func Check(prog func(*conc.T), opts Options) *Result {
 // CheckRaces is Check with the happens-before race detector attached:
 // accesses to shared variables that are unordered by synchronization
 // are reported even on executions where nothing misbehaves. Composes
-// with any monitor already set in opts.
+// with any monitor already set in opts. The detector is a monitor, so
+// CheckRaces requires Parallelism <= 1.
 func CheckRaces(prog func(*conc.T), opts Options) *Result {
 	d := race.NewDetector()
 	if opts.Monitor != nil {

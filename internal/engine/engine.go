@@ -3,7 +3,6 @@ package engine
 import (
 	"fmt"
 	"runtime/debug"
-	"sort"
 
 	"fairmc/internal/core"
 	"fairmc/internal/tidset"
@@ -19,12 +18,15 @@ type Chooser interface {
 }
 
 // ChooseContext is the information available to a Chooser at one
-// scheduling point.
+// scheduling point. The context and its Cands slice are owned by the
+// engine and valid only for the duration of the Choose call; a chooser
+// that retains alternatives across calls must copy them.
 type ChooseContext struct {
 	// Step is the 0-based index of the decision being made.
 	Step int
 	// Cands are the available alternatives in deterministic order
-	// (ascending thread id, then choice value). Never empty.
+	// (ascending thread id, then choice value). Never empty. The slice
+	// is reused between steps: copy it to retain it.
 	Cands []Alt
 	// PrevTid is the thread scheduled at the previous step, or
 	// tidset.None at the first step.
@@ -130,8 +132,16 @@ type Engine struct {
 
 	prevTid     tidset.Tid
 	prevYielded bool
-	lastEnabled tidset.Set // enabled set after the last step
-	lastInfo    OpInfo     // OpInfo of the last executed transition
+	lastInfo    OpInfo // OpInfo of the last executed transition
+
+	// Hot-path scratch: one execution makes one scheduling decision per
+	// step, so the per-step working storage is engine-owned and reused
+	// rather than reallocated (see candidates, loop, Fingerprint).
+	candsBuf []Alt         // backing for ChooseContext.Cands
+	ctxBuf   ChooseContext // the context handed to the chooser
+	esBuf    tidset.Set    // enabled set at the top of a step
+	esAfter  tidset.Set    // enabled set after a step
+	fpBuf    []byte        // canonical state encoding scratch
 }
 
 // Run executes the program whose main thread runs body, resolving all
@@ -186,18 +196,19 @@ func (e *Engine) newThread(name string, body func(*T), parent *thread) *thread {
 	return th
 }
 
-// enabledSet computes ES over live threads by querying pending ops.
-func (e *Engine) enabledSet() tidset.Set {
-	es := tidset.New(len(e.threads))
+// enabledSet computes ES over live threads by querying pending ops,
+// rebuilding into buf so the per-step sets reuse their storage.
+func (e *Engine) enabledSet(buf tidset.Set) tidset.Set {
+	buf.Reset(len(e.threads))
 	for _, th := range e.threads {
 		if th.status == statusExited {
 			continue
 		}
 		if th.pending.Enabled() {
-			es.Add(th.id)
+			buf.Add(th.id)
 		}
 	}
-	return es
+	return buf
 }
 
 // liveCount returns the number of threads not yet exited.
@@ -227,7 +238,8 @@ func (e *Engine) loop() Outcome {
 		if e.stepCount >= e.cfg.MaxSteps {
 			return Diverged
 		}
-		es := e.enabledSet()
+		es := e.enabledSet(e.esBuf)
+		e.esBuf = es
 		var schedulable tidset.Set
 		if e.fair != nil {
 			schedulable = e.fair.Schedulable(es)
@@ -246,13 +258,14 @@ func (e *Engine) loop() Outcome {
 			return Deadlock
 		}
 		cands := e.candidates(schedulable)
-		ctx := &ChooseContext{
+		e.ctxBuf = ChooseContext{
 			Step:        int(e.stepCount),
 			Cands:       cands,
 			PrevTid:     e.prevTid,
 			PrevYielded: e.prevYielded,
 			Engine:      e,
 		}
+		ctx := &e.ctxBuf
 		if e.prevTid != tidset.None {
 			ctx.PrevEnabled = es.Contains(e.prevTid)
 			if e.fair != nil {
@@ -270,7 +283,8 @@ func (e *Engine) loop() Outcome {
 		// Record the step before the violation check so that the
 		// schedule always includes the violating transition and a
 		// replay reproduces the violation.
-		esAfter := e.enabledSet()
+		esAfter := e.enabledSet(e.esAfter)
+		e.esAfter = esAfter
 		e.schedule = append(e.schedule, alt)
 		if e.cfg.RecordTrace {
 			e.trace = append(e.trace, Step{
@@ -292,7 +306,6 @@ func (e *Engine) loop() Outcome {
 		}
 		e.prevTid = alt.Tid
 		e.prevYielded = wasYield
-		e.lastEnabled = esAfter
 		if e.cfg.Monitor != nil {
 			e.cfg.Monitor.AfterStep(e)
 		}
@@ -309,9 +322,11 @@ func validateAlt(alt Alt, cands []Alt) error {
 }
 
 // candidates expands the schedulable set into alternatives, one per
-// thread, or one per choice value for threads at a ChoiceOp.
+// thread, or one per choice value for threads at a ChoiceOp. The
+// returned slice is the engine's reused buffer: it is valid only until
+// the next step (see ChooseContext).
 func (e *Engine) candidates(schedulable tidset.Set) []Alt {
-	var cands []Alt
+	cands := e.candsBuf[:0]
 	schedulable.ForEach(func(t tidset.Tid) {
 		th := e.threads[t]
 		if c, ok := th.pending.(ChoiceOp); ok {
@@ -322,13 +337,23 @@ func (e *Engine) candidates(schedulable tidset.Set) []Alt {
 			cands = append(cands, Alt{Tid: t, Arg: noChoice})
 		}
 	})
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].Tid != cands[j].Tid {
-			return cands[i].Tid < cands[j].Tid
+	// ForEach ascends and choice values are appended ascending, so the
+	// slice is already ordered; the insertion sort is a cheap,
+	// allocation-free safeguard of the documented invariant.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && altLess(cands[j], cands[j-1]); j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
 		}
-		return cands[i].Arg < cands[j].Arg
-	})
+	}
+	e.candsBuf = cands
 	return cands
+}
+
+func altLess(a, b Alt) bool {
+	if a.Tid != b.Tid {
+		return a.Tid < b.Tid
+	}
+	return a.Arg < b.Arg
 }
 
 // executeStep grants one step to alt's thread and waits until the

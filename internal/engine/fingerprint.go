@@ -2,7 +2,6 @@ package engine
 
 import (
 	"encoding/binary"
-	"hash/fnv"
 
 	"fairmc/internal/tidset"
 )
@@ -28,13 +27,8 @@ type Fingerprint struct {
 // schedule; programs whose logical object identity varies across
 // schedules should route fingerprints through internal/canon first.
 func (e *Engine) Fingerprint() Fingerprint {
-	buf := e.AppendStateBytes(nil)
-	h1 := fnv.New64a()
-	h1.Write(buf)
-	h2 := fnv.New64a()
-	h2.Write([]byte{0x9e, 0x37, 0x79, 0xb9})
-	h2.Write(buf)
-	return Fingerprint{Hi: h1.Sum64(), Lo: h2.Sum64()}
+	e.fpBuf = e.AppendStateBytes(e.fpBuf[:0])
+	return HashBytes(e.fpBuf)
 }
 
 // AppendStateBytes appends the canonical encoding of the current state
@@ -102,15 +96,37 @@ func (e *Engine) SnapshotThread(t tidset.Tid) ThreadSnapshot {
 	return s
 }
 
+// FNV-1a parameters (hash/fnv's 64-bit variant, inlined so both
+// halves of the fingerprint fall out of one pass with no hash-state
+// allocations).
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// loSeedState is the FNV-1a state after absorbing the 4-byte domain
+// separator {0x9e, 0x37, 0x79, 0xb9}. Starting Lo's accumulator here
+// yields exactly the hash of (separator ++ buf) without a second pass
+// over the buffer.
+var loSeedState = func() uint64 {
+	h := fnvOffset64
+	for _, b := range [...]byte{0x9e, 0x37, 0x79, 0xb9} {
+		h = (h ^ uint64(b)) * fnvPrime64
+	}
+	return h
+}()
+
 // HashBytes hashes a canonical encoding the same way Fingerprint does,
-// so canonical and raw fingerprints are comparable artifacts.
+// so canonical and raw fingerprints are comparable artifacts. Both
+// 64-bit halves are computed in a single pass: Hi is plain FNV-1a over
+// buf, Lo is FNV-1a over buf from a seeded initial state.
 func HashBytes(buf []byte) Fingerprint {
-	h1 := fnv.New64a()
-	h1.Write(buf)
-	h2 := fnv.New64a()
-	h2.Write([]byte{0x9e, 0x37, 0x79, 0xb9})
-	h2.Write(buf)
-	return Fingerprint{Hi: h1.Sum64(), Lo: h2.Sum64()}
+	h1, h2 := fnvOffset64, loSeedState
+	for _, b := range buf {
+		h1 = (h1 ^ uint64(b)) * fnvPrime64
+		h2 = (h2 ^ uint64(b)) * fnvPrime64
+	}
+	return Fingerprint{Hi: h1, Lo: h2}
 }
 
 // CanonicalObject is implemented by objects whose state encoding

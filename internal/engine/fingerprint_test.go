@@ -1,0 +1,51 @@
+package engine_test
+
+import (
+	"hash/fnv"
+	"testing"
+
+	"fairmc/internal/engine"
+)
+
+// referenceHash is the original two-pass implementation of HashBytes:
+// Hi hashes buf with hash/fnv, Lo hashes a 4-byte domain separator
+// followed by buf. The production single-pass version must agree
+// byte-for-byte so fingerprints recorded before the optimization stay
+// comparable.
+func referenceHash(buf []byte) engine.Fingerprint {
+	h1 := fnv.New64a()
+	h1.Write(buf)
+	h2 := fnv.New64a()
+	h2.Write([]byte{0x9e, 0x37, 0x79, 0xb9})
+	h2.Write(buf)
+	return engine.Fingerprint{Hi: h1.Sum64(), Lo: h2.Sum64()}
+}
+
+func TestHashBytesMatchesReference(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0},
+		{0xff},
+		[]byte("fair stateless model checking"),
+		make([]byte, 1024),
+	}
+	// A deterministic pseudo-random buffer to cover all byte values.
+	long := make([]byte, 4096)
+	x := uint32(0x2545f491)
+	for i := range long {
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		long[i] = byte(x)
+	}
+	cases = append(cases, long)
+
+	for i, buf := range cases {
+		got := engine.HashBytes(buf)
+		want := referenceHash(buf)
+		if got != want {
+			t.Errorf("case %d: HashBytes = %+v, reference = %+v", i, got, want)
+		}
+	}
+}

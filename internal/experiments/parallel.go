@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"runtime"
+	"time"
+
+	"fairmc/internal/search"
+	"fairmc/progs"
+)
+
+// ParallelRow is one point of the parallel-exploration sweep: a fixed
+// random-walk workload rerun with a different worker count. Because
+// stride sharding explores the identical schedule set for every
+// Parallelism, Executions is constant across rows and ExecsPerSec is
+// the only moving number; Speedup is ExecsPerSec normalized to the
+// P=1 row.
+type ParallelRow struct {
+	Parallelism int           `json:"parallelism"`
+	Executions  int64         `json:"executions"`
+	Elapsed     time.Duration `json:"elapsed_ns"`
+	ExecsPerSec float64       `json:"execs_per_sec"`
+	Speedup     float64       `json:"speedup"`
+}
+
+// ParallelReport bundles the sweep with the host facts a reader needs
+// to interpret it: with GOMAXPROCS=1 every row collapses to sequential
+// throughput and Speedup hovers around 1 regardless of Parallelism.
+type ParallelReport struct {
+	Program    string        `json:"program"`
+	Seed       uint64        `json:"seed"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	Rows       []ParallelRow `json:"rows"`
+}
+
+// ParallelSweep measures random-walk throughput of the work-stealing
+// queue subject at each worker count. The workload is execution-
+// bounded, not time-bounded, so every row does the same work and the
+// wall clock is the measurement.
+func ParallelSweep(workers []int, execs int64) ParallelReport {
+	body := progs.WorkStealingQueue(progs.WSQConfig{Items: 2, Stealers: 2})
+	out := ParallelReport{
+		Program:    "wsq-2x2",
+		Seed:       42,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	var base float64
+	for _, p := range workers {
+		rep := search.Explore(body, search.Options{
+			Fair:                    true,
+			RandomWalk:              true,
+			MaxExecutions:           execs,
+			MaxSteps:                1 << 14,
+			Seed:                    out.Seed,
+			Parallelism:             p,
+			ContinueAfterViolation:  true,
+			ContinueAfterDivergence: true,
+		})
+		row := ParallelRow{
+			Parallelism: p,
+			Executions:  rep.Executions,
+			Elapsed:     rep.Elapsed,
+			ExecsPerSec: float64(rep.Executions) / rep.Elapsed.Seconds(),
+		}
+		if base == 0 {
+			base = row.ExecsPerSec
+		}
+		row.Speedup = row.ExecsPerSec / base
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}

@@ -1,0 +1,491 @@
+package search
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fairmc/internal/engine"
+	"fairmc/internal/rng"
+)
+
+// This file implements parallel exploration. Stateless model checking
+// is embarrassingly parallel — every execution is an independent replay from the initial
+// state — so the searcher can run on P workers, each owning its own
+// engine.Run instance, without any shared mutable program state. Two
+// sharding modes cover the two kinds of search:
+//
+//   - Stride mode (RandomWalk, PCT): execution indices are
+//     stride-partitioned — worker w runs executions w+1, w+1+P,
+//     w+1+2P, … with the sequential per-index seeding
+//     rng.Mix(Seed, index), so the set of explored schedules is
+//     identical to the sequential run for any P. Workers proceed in
+//     rounds of P×strideBatch indices; rounds are merged in index
+//     order, and stop conditions (first bug, divergence, execution
+//     budget) are evaluated during the merge exactly as the
+//     sequential classify would, so for budgets expressed in
+//     executions the merged Report is byte-identical to the
+//     sequential one (wall-clock TimeLimit runs stop at a round
+//     boundary instead of mid-round).
+//
+//   - Prefix mode (systematic DFS / context-bounded search): the
+//     schedule tree is split at shallow choice points into a
+//     DFS-ordered frontier of schedule prefixes that partition the
+//     tree (the CHESS distributed-search shape). Workers claim
+//     prefixes from a shared queue, replay the prefix, and run the
+//     ordinary sequential DFS over the subtree below it. Subtree
+//     reports are merged in frontier (= sequential DFS) order;
+//     because the frontier partitions the tree and sequential DFS
+//     visits the subtrees contiguously in the same order, the merged
+//     counters, FirstBug, and FirstBugExecution are byte-identical to
+//     the sequential search whenever the stop condition is a finding
+//     or exhaustion (MaxExecutions is quantized to prefix
+//     granularity, TimeLimit to wall-clock as always).
+//
+// Selecting FirstBug/Divergence by smallest execution index (stride
+// mode) or smallest DFS position (prefix mode) — never by wall-clock
+// arrival — is what makes the output reproducible regardless of
+// worker timing. The fair scheduler needs no cross-worker treatment:
+// Algorithm 1's P/E/D/S state lives inside each worker's engine and
+// never outlives one execution.
+
+const (
+	// strideBatch is the number of executions each stride worker runs
+	// per round. Larger batches amortize the round barrier; smaller
+	// batches stop sooner after a finding. One round costs P×strideBatch
+	// executions of overshoot in the worst case.
+	strideBatch = 32
+	// prefixTargetFactor sizes the frontier at prefixTargetFactor×P
+	// prefixes, bounding idle tail time when subtree sizes are skewed.
+	prefixTargetFactor = 8
+)
+
+// exploreParallel dispatches to the sharding mode matching the search
+// strategy. Callers have already validated the options.
+func exploreParallel(prog func(*engine.T), opts Options) *Report {
+	if opts.RandomWalk || opts.PCT {
+		return exploreStride(prog, opts)
+	}
+	return explorePrefix(prog, opts)
+}
+
+// reproduceStandalone is searcher.reproduce without a searcher: re-run
+// r's schedule with trace recording to produce a self-contained repro.
+func reproduceStandalone(prog func(*engine.T), opts Options, r *engine.Result) *engine.Result {
+	if len(r.Trace) > 0 {
+		return r
+	}
+	rr := engine.Run(prog, &engine.ReplayChooser{Schedule: r.Schedule, Strict: true},
+		engine.Config{
+			Fair:        opts.Fair,
+			FairK:       opts.FairK,
+			MaxSteps:    opts.MaxSteps,
+			RecordTrace: true,
+		})
+	if rr.Outcome != r.Outcome {
+		panic("search: replay diverged from original outcome: " + rr.Outcome.String() +
+			" != " + r.Outcome.String())
+	}
+	return rr
+}
+
+// ---------------------------------------------------------------------
+// Stride mode
+// ---------------------------------------------------------------------
+
+// strideRec is one execution's accounting, produced by a worker and
+// consumed by the in-order merge.
+type strideRec struct {
+	steps   int64
+	outcome engine.Outcome
+	repro   *engine.Result // full repro for the worker's first notable event, when still wanted
+}
+
+// strideChooser replays the sequential searcher's random-mode choice
+// stream for one execution index.
+type strideChooser struct {
+	rand *rng.Rand
+	pct  *pctState
+}
+
+func newStrideChooser(opts *Options, index int64) *strideChooser {
+	c := &strideChooser{rand: rng.New(rng.Mix(opts.Seed, uint64(index)))}
+	if opts.PCT {
+		depth := opts.PCTDepth
+		if depth <= 0 {
+			depth = 3
+		}
+		horizon := opts.MaxSteps
+		if horizon <= 0 {
+			horizon = engine.DefaultMaxSteps
+		}
+		c.pct = newPCTState(depth, horizon, c.rand)
+	}
+	return c
+}
+
+func (c *strideChooser) Choose(ctx *engine.ChooseContext) (engine.Alt, bool) {
+	if c.pct != nil {
+		return c.pct.choose(ctx), true
+	}
+	return ctx.Cands[c.rand.Intn(len(ctx.Cands))], true
+}
+
+// exploreStride runs the random strategies with stride-partitioned
+// execution indices and an index-ordered merge.
+func exploreStride(prog func(*engine.T), opts Options) *Report {
+	p := opts.Parallelism
+	start := time.Now()
+	var deadline time.Time
+	if opts.TimeLimit > 0 {
+		deadline = start.Add(opts.TimeLimit)
+	}
+	rep := &Report{}
+	roundSize := int64(p) * strideBatch
+	recs := make([][]strideRec, p)
+	// needBugRepro/needDivRepro tell workers whether the merged report
+	// still lacks a repro; they are written only between rounds.
+	needBugRepro, needDivRepro := true, opts.Fair
+
+	cfg := engine.Config{
+		Fair:        opts.Fair,
+		FairK:       opts.FairK,
+		MaxSteps:    opts.MaxSteps,
+		RecordTrace: opts.RecordTrace,
+	}
+
+	for base := int64(0); ; base += roundSize {
+		if opts.MaxExecutions > 0 && base >= opts.MaxExecutions {
+			rep.ExecBounded = true
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			rep.TimedOut = true
+			break
+		}
+		hi := base + roundSize
+		if opts.MaxExecutions > 0 && hi > opts.MaxExecutions {
+			hi = opts.MaxExecutions
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < p; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				recs[w] = strideWorker(prog, &opts, cfg, recs[w][:0], base, hi, w,
+					needBugRepro, needDivRepro)
+			}(w)
+		}
+		wg.Wait()
+
+		// Merge the round in global execution-index order, applying the
+		// sequential classify semantics record by record.
+		stop := false
+		for i := base + 1; i <= hi && !stop; i++ {
+			r := recs[int((i-1)%int64(p))][(i-1-base)/int64(p)]
+			rep.Executions++
+			rep.TotalSteps += r.steps
+			if r.steps > rep.MaxDepth {
+				rep.MaxDepth = r.steps
+			}
+			switch r.outcome {
+			case engine.Terminated:
+			case engine.Deadlock, engine.Violation:
+				if r.outcome == engine.Deadlock {
+					rep.Deadlocks++
+				} else {
+					rep.Violations++
+				}
+				if rep.FirstBug == nil {
+					rep.FirstBug = r.repro
+					rep.FirstBugExecution = i
+					needBugRepro = false
+				}
+				stop = !opts.ContinueAfterViolation
+			case engine.Diverged:
+				rep.NonTerminating++
+				if opts.Fair {
+					if rep.Divergence == nil {
+						rep.Divergence = r.repro
+						rep.DivergenceExecution = i
+						needDivRepro = false
+					}
+					stop = !opts.ContinueAfterDivergence
+				}
+			default:
+				panic("search: unexpected outcome in stride merge")
+			}
+		}
+		if stop {
+			break
+		}
+	}
+	rep.Elapsed = time.Since(start)
+	return rep
+}
+
+// strideWorker runs worker w's slice of round indices (base, hi] and
+// records per-execution accounting. It reproduces at most one bug and
+// one divergence — its first of each, which is the only candidate the
+// ordered merge can select from this worker.
+func strideWorker(prog func(*engine.T), opts *Options, cfg engine.Config,
+	buf []strideRec, base, hi int64, w int, needBug, needDiv bool) []strideRec {
+	p := int64(opts.Parallelism)
+	for i := base + 1 + int64(w); i <= hi; i += p {
+		r := engine.Run(prog, newStrideChooser(opts, i), cfg)
+		rec := strideRec{steps: r.Steps, outcome: r.Outcome}
+		switch r.Outcome {
+		case engine.Deadlock, engine.Violation:
+			if needBug {
+				rec.repro = reproduceStandalone(prog, *opts, r)
+				needBug = false
+			}
+		case engine.Diverged:
+			if needDiv {
+				rec.repro = reproduceStandalone(prog, *opts, r)
+				needDiv = false
+			}
+		}
+		buf = append(buf, rec)
+	}
+	return buf
+}
+
+// ---------------------------------------------------------------------
+// Prefix mode
+// ---------------------------------------------------------------------
+
+// prefixNode is one schedule prefix of the frontier. The frontier is
+// kept in DFS order and always partitions the schedule tree: every
+// full execution extends exactly one frontier prefix.
+type prefixNode struct {
+	sched []engine.Alt
+	// leaf marks a prefix whose replay ended (or hit the depth bound)
+	// before reaching a fresh choice point: it cannot be split further.
+	leaf bool
+}
+
+// expandChooser replays a prefix and captures the admissible
+// alternatives at the first fresh choice point, applying exactly the
+// sequential searcher's frontier filtering (preemption budget). It
+// then aborts the execution: expansion runs are bookkeeping, not
+// explored executions.
+type expandChooser struct {
+	opts        *Options
+	sched       []engine.Alt
+	pos         int
+	preemptUsed int
+	alts        []engine.Alt // captured fresh alternatives (owned copy)
+	ended       bool         // depth bound reached before a fresh choice point
+}
+
+func (c *expandChooser) Choose(ctx *engine.ChooseContext) (engine.Alt, bool) {
+	if c.pos < len(c.sched) {
+		alt := c.sched[c.pos]
+		c.pos++
+		if err := altIn(alt, ctx.Cands); err != "" {
+			panic("search: prefix replay divergence: " + err)
+		}
+		if ctx.IsPreemption(alt) {
+			c.preemptUsed++
+		}
+		return alt, true
+	}
+	if c.opts.DepthBound > 0 && ctx.Step >= c.opts.DepthBound {
+		// The sequential searcher stops branching here; the subtree
+		// below is a single (random-tail or aborted) continuation.
+		c.ended = true
+		return engine.Alt{}, false
+	}
+	alts := ctx.Cands
+	if c.opts.ContextBound >= 0 && c.preemptUsed >= c.opts.ContextBound {
+		alts = nonPreempting(ctx)
+		if len(alts) == 0 {
+			panic("search: empty alternative set under context bound")
+		}
+	}
+	c.alts = append([]engine.Alt(nil), alts...)
+	return engine.Alt{}, false
+}
+
+// splitFrontier grows the root prefix into a DFS-ordered frontier of
+// at least target prefixes (when the tree is wide enough), expanding
+// the shallowest prefix first. Each expansion costs one partial
+// replay; the total is capped so degenerate single-candidate chains
+// terminate.
+func splitFrontier(prog func(*engine.T), opts Options, target int) []*prefixNode {
+	frontier := []*prefixNode{{}}
+	replays := 0
+	replayCap := 8*target + 64
+	for len(frontier) < target && replays < replayCap {
+		// Expand the shallowest non-leaf prefix; ties break toward the
+		// DFS-earliest so expansion order is deterministic.
+		idx := -1
+		for j, pfx := range frontier {
+			if !pfx.leaf && (idx < 0 || len(pfx.sched) < len(frontier[idx].sched)) {
+				idx = j
+			}
+		}
+		if idx < 0 {
+			break
+		}
+		pfx := frontier[idx]
+		replays++
+		c := &expandChooser{opts: &opts, sched: pfx.sched}
+		r := engine.Run(prog, c, engine.Config{
+			Fair:     opts.Fair,
+			FairK:    opts.FairK,
+			MaxSteps: opts.MaxSteps,
+		})
+		if r.Outcome != engine.Aborted || c.ended || len(c.alts) == 0 {
+			// The execution finished (terminated, deadlocked, violated,
+			// or diverged) or stopped branching during the replay: the
+			// prefix is a complete execution by itself. A worker will
+			// run and classify it.
+			pfx.leaf = true
+			continue
+		}
+		children := make([]*prefixNode, len(c.alts))
+		for k, a := range c.alts {
+			sched := make([]engine.Alt, len(pfx.sched)+1)
+			copy(sched, pfx.sched)
+			sched[len(pfx.sched)] = a
+			children[k] = &prefixNode{sched: sched}
+		}
+		// Replace the parent with its children in place, preserving the
+		// frontier's DFS order (children are in candidate order).
+		tail := append(children, frontier[idx+1:]...)
+		frontier = append(frontier[:idx], tail...)
+	}
+	return frontier
+}
+
+// exploreSubtree runs the sequential searcher over the subtree below
+// one prefix: the prefix decisions become single-alternative stack
+// frames, so backtracking exhausts exactly the subtree.
+func exploreSubtree(prog func(*engine.T), opts Options, pfx *prefixNode,
+	deadline time.Time, cancelled func() bool) *Report {
+	s := &searcher{prog: prog, opts: opts, start: time.Now(),
+		deadline: deadline, cancelled: cancelled}
+	for _, a := range pfx.sched {
+		s.stack = append(s.stack, frame{alts: []engine.Alt{a}})
+	}
+	s.fixed = len(s.stack)
+	s.run()
+	s.report.Elapsed = time.Since(s.start)
+	return &s.report
+}
+
+// explorePrefix runs the systematic strategies over a shared,
+// DFS-ordered prefix queue with an order-preserving merge.
+func explorePrefix(prog func(*engine.T), opts Options) *Report {
+	p := opts.Parallelism
+	start := time.Now()
+	var deadline time.Time
+	if opts.TimeLimit > 0 {
+		deadline = start.Add(opts.TimeLimit)
+	}
+
+	prefixes := splitFrontier(prog, opts, prefixTargetFactor*p)
+
+	// Workers claim prefixes in frontier order; stopBefore is the
+	// merge's cancellation horizon — prefixes at or beyond it will be
+	// discarded, so claiming or continuing them is wasted work.
+	var claim atomic.Int64
+	var stopBefore atomic.Int64
+	stopBefore.Store(int64(len(prefixes)))
+
+	type prefixResult struct {
+		idx int
+		rep *Report
+	}
+	results := make(chan prefixResult, len(prefixes))
+	var wg sync.WaitGroup
+	subOpts := opts
+	subOpts.Parallelism = 1
+	subOpts.TimeLimit = 0 // the shared deadline is passed explicitly
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := claim.Add(1) - 1
+				if i >= int64(len(prefixes)) || i >= stopBefore.Load() {
+					return
+				}
+				rep := exploreSubtree(prog, subOpts, prefixes[i], deadline,
+					func() bool { return i >= stopBefore.Load() })
+				results <- prefixResult{int(i), rep}
+			}
+		}()
+	}
+
+	// Ordered merge: process subtree reports strictly in frontier
+	// order, mirroring the sequential classify/stop semantics at
+	// subtree granularity. Everything after a stop is discarded, so
+	// the merged report is independent of worker timing.
+	rep := &Report{}
+	pending := make(map[int]*Report)
+	merged := 0
+	stopped := false
+	allExhausted := true
+	for merged < len(prefixes) {
+		if opts.MaxExecutions > 0 && rep.Executions >= opts.MaxExecutions {
+			rep.ExecBounded = true
+			stopped = true
+			break
+		}
+		r, ok := pending[merged]
+		if !ok {
+			pr := <-results
+			pending[pr.idx] = pr.rep
+			continue
+		}
+		delete(pending, merged)
+		if r.FirstBug != nil && rep.FirstBug == nil {
+			rep.FirstBug = r.FirstBug
+			rep.FirstBugExecution = rep.Executions + r.FirstBugExecution
+		}
+		if r.Divergence != nil && rep.Divergence == nil {
+			rep.Divergence = r.Divergence
+			rep.DivergenceExecution = rep.Executions + r.DivergenceExecution
+		}
+		rep.Executions += r.Executions
+		rep.TotalSteps += r.TotalSteps
+		if r.MaxDepth > rep.MaxDepth {
+			rep.MaxDepth = r.MaxDepth
+		}
+		rep.NonTerminating += r.NonTerminating
+		rep.Deadlocks += r.Deadlocks
+		rep.Violations += r.Violations
+		if !r.Exhausted {
+			allExhausted = false
+		}
+		merged++
+		// Stop conditions, in the order the subtree searcher hit them.
+		if r.FirstBug != nil && !opts.ContinueAfterViolation {
+			stopped = true
+		}
+		if r.Divergence != nil && !opts.ContinueAfterDivergence {
+			stopped = true
+		}
+		if r.TimedOut {
+			rep.TimedOut = true
+			stopped = true
+		}
+		if r.ExecBounded { // a single subtree exceeded MaxExecutions
+			rep.ExecBounded = true
+			stopped = true
+		}
+		if stopped {
+			break
+		}
+	}
+	stopBefore.Store(int64(merged))
+	wg.Wait()
+	close(results)
+
+	rep.Exhausted = !stopped && merged == len(prefixes) && allExhausted
+	rep.Elapsed = time.Since(start)
+	return rep
+}

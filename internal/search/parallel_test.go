@@ -1,0 +1,278 @@
+package search_test
+
+import (
+	"reflect"
+	"testing"
+
+	"fairmc/internal/engine"
+	"fairmc/internal/search"
+	"fairmc/internal/state"
+	"fairmc/internal/syncmodel"
+	"fairmc/progs"
+)
+
+// normalize strips the wall-clock field so reports compare by content.
+func normalize(r *search.Report) *search.Report {
+	c := *r
+	c.Elapsed = 0
+	return &c
+}
+
+func TestParallelOptionValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opts search.Options
+	}{
+		{"StatefulPrune", search.Options{Parallelism: 4, StatefulPrune: true}},
+		{"DPOR", search.Options{Parallelism: 4, DPOR: true}},
+		{"SleepSets", search.Options{Parallelism: 4, SleepSets: true}},
+		{"Monitor", search.Options{Parallelism: 4, Monitor: state.NewCoverage()}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s with Parallelism > 1 did not panic", tc.name)
+				}
+			}()
+			search.Explore(racyIncrement, tc.opts)
+		})
+	}
+}
+
+// TestParallelismOneIsSequential: Parallelism 0 and 1 take the exact
+// sequential code path, so every report field matches.
+func TestParallelismOneIsSequential(t *testing.T) {
+	base := search.Options{Fair: true, ContextBound: 2, ContinueAfterViolation: true}
+	ref := search.Explore(racyIncrement, base)
+	for _, p := range []int{0, 1} {
+		opts := base
+		opts.Parallelism = p
+		got := search.Explore(racyIncrement, opts)
+		if !reflect.DeepEqual(normalize(ref), normalize(got)) {
+			t.Fatalf("Parallelism=%d differs from sequential:\n%+v\nvs\n%+v", p, ref, got)
+		}
+	}
+}
+
+// TestParallelStrideDeterminism: same Seed + same Parallelism must
+// produce byte-identical reports across repeated runs, for both a
+// bug-stopping and a count-everything random walk.
+func TestParallelStrideDeterminism(t *testing.T) {
+	for _, cont := range []bool{false, true} {
+		var reps []*search.Report
+		for i := 0; i < 3; i++ {
+			reps = append(reps, search.Explore(racyIncrement, search.Options{
+				Fair:                   true,
+				RandomWalk:             true,
+				MaxExecutions:          400,
+				MaxSteps:               1000,
+				Seed:                   3,
+				Parallelism:            4,
+				ContinueAfterViolation: cont,
+			}))
+		}
+		for i := 1; i < 3; i++ {
+			if !reflect.DeepEqual(normalize(reps[0]), normalize(reps[i])) {
+				t.Fatalf("cont=%v: run %d differs:\n%+v\nvs\n%+v", cont, i, reps[0], reps[i])
+			}
+		}
+	}
+}
+
+func TestParallelPrefixDeterminism(t *testing.T) {
+	var reps []*search.Report
+	for i := 0; i < 3; i++ {
+		reps = append(reps, search.Explore(fig3, search.Options{
+			Fair:         true,
+			ContextBound: -1,
+			MaxSteps:     10000,
+			Parallelism:  4,
+		}))
+	}
+	for i := 1; i < 3; i++ {
+		if !reflect.DeepEqual(normalize(reps[0]), normalize(reps[i])) {
+			t.Fatalf("run %d differs:\n%+v\nvs\n%+v", i, reps[0], reps[i])
+		}
+	}
+}
+
+// TestParallelStrideMatchesSequential: the stride partition explores
+// the very same seeded schedules as the sequential random walk and the
+// index-ordered merge applies the same stop rule, so the entire report
+// matches, not just the bug.
+func TestParallelStrideMatchesSequential(t *testing.T) {
+	for _, pct := range []bool{false, true} {
+		for _, cont := range []bool{false, true} {
+			opts := search.Options{
+				Fair:                   true,
+				RandomWalk:             !pct,
+				PCT:                    pct,
+				MaxExecutions:          400,
+				MaxSteps:               1000,
+				Seed:                   3,
+				ContinueAfterViolation: cont,
+			}
+			seq := search.Explore(racyIncrement, opts)
+			opts.Parallelism = 4
+			par := search.Explore(racyIncrement, opts)
+			if !reflect.DeepEqual(normalize(seq), normalize(par)) {
+				t.Fatalf("pct=%v cont=%v: parallel differs from sequential:\n%+v\nvs\n%+v",
+					pct, cont, seq, par)
+			}
+		}
+	}
+}
+
+// TestParallelPrefixMatchesSequential: the frontier partitions the
+// schedule tree in DFS order, so the ordered merge reproduces the
+// sequential report exactly — on clean exhaustion, on stop-at-first-
+// bug, and on count-everything searches.
+func TestParallelPrefixMatchesSequential(t *testing.T) {
+	progs := map[string]func(*engine.T){
+		"racy": racyIncrement,
+		"fig3": fig3,
+	}
+	for name, prog := range progs {
+		for _, cont := range []bool{false, true} {
+			opts := search.Options{
+				Fair:                   true,
+				ContextBound:           -1,
+				MaxSteps:               10000,
+				ContinueAfterViolation: cont,
+			}
+			seq := search.Explore(prog, opts)
+			opts.Parallelism = 4
+			par := search.Explore(prog, opts)
+			if !reflect.DeepEqual(normalize(seq), normalize(par)) {
+				t.Fatalf("%s cont=%v: parallel differs from sequential:\n%+v\nvs\n%+v",
+					name, cont, seq, par)
+			}
+		}
+	}
+}
+
+// TestParallelPrefixContextBound checks the preemption-budget filter
+// survives the prefix split: the budget is recomputed along each
+// replayed prefix, so cb=0 still misses the race and cb=1 still finds
+// it, with reports identical to the sequential searcher's.
+func TestParallelPrefixContextBound(t *testing.T) {
+	for _, cb := range []int{0, 1} {
+		opts := search.Options{Fair: true, ContextBound: cb}
+		seq := search.Explore(racyIncrement, opts)
+		opts.Parallelism = 4
+		par := search.Explore(racyIncrement, opts)
+		if !reflect.DeepEqual(normalize(seq), normalize(par)) {
+			t.Fatalf("cb=%d: parallel differs from sequential:\n%+v\nvs\n%+v", cb, seq, par)
+		}
+		if cb == 0 && par.Violations != 0 {
+			t.Fatalf("cb=0 parallel found the race")
+		}
+		if cb == 1 && par.FirstBug == nil {
+			t.Fatalf("cb=1 parallel missed the race")
+		}
+	}
+}
+
+// TestParallelSeededBugs: P=4 and P=1 find the same seeded bugs — same
+// schedule, same execution index — on the paper's Table 3 subjects.
+func TestParallelSeededBugs(t *testing.T) {
+	cases := []struct {
+		prog string
+		opts search.Options
+	}{
+		// Work-stealing queue: planted lock-free-steal bug, random walk.
+		{"wsq-bug2-lockfree-steal", search.Options{
+			Fair: true, RandomWalk: true, MaxExecutions: 3000, MaxSteps: 4000, Seed: 7,
+		}},
+		// Dryad channels: planted read-after-release bug, fair
+		// context-bounded DFS.
+		{"dryad-bug2-read-after-release", search.Options{
+			Fair: true, ContextBound: 2, MaxSteps: 4000,
+		}},
+		// Promise: stale-read livelock, found as a fair divergence.
+		{"promise-livelock", search.Options{
+			Fair: true, ContextBound: -1, MaxSteps: 800,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.prog, func(t *testing.T) {
+			p, ok := progs.Lookup(tc.prog)
+			if !ok {
+				t.Fatalf("unknown program %s", tc.prog)
+			}
+			seq := search.Explore(p.Body, tc.opts)
+			opts := tc.opts
+			opts.Parallelism = 4
+			par := search.Explore(p.Body, opts)
+			checkSameFinding(t, seq, par)
+		})
+	}
+}
+
+func checkSameFinding(t *testing.T, seq, par *search.Report) {
+	t.Helper()
+	if (seq.FirstBug == nil) != (par.FirstBug == nil) ||
+		(seq.Divergence == nil) != (par.Divergence == nil) {
+		t.Fatalf("findings differ: seq bug=%v div=%v, par bug=%v div=%v",
+			seq.FirstBug != nil, seq.Divergence != nil,
+			par.FirstBug != nil, par.Divergence != nil)
+	}
+	if seq.FirstBug == nil && seq.Divergence == nil {
+		t.Fatal("no finding in either mode; test configuration is too weak")
+	}
+	if seq.FirstBug != nil {
+		if par.FirstBugExecution != seq.FirstBugExecution {
+			t.Fatalf("bug execution index: seq %d, par %d",
+				seq.FirstBugExecution, par.FirstBugExecution)
+		}
+		if !reflect.DeepEqual(seq.FirstBug.Schedule, par.FirstBug.Schedule) {
+			t.Fatal("bug schedules differ")
+		}
+		if seq.FirstBug.Outcome != par.FirstBug.Outcome {
+			t.Fatalf("bug outcomes differ: %v vs %v", seq.FirstBug.Outcome, par.FirstBug.Outcome)
+		}
+	}
+	if seq.Divergence != nil {
+		if par.DivergenceExecution != seq.DivergenceExecution {
+			t.Fatalf("divergence execution index: seq %d, par %d",
+				seq.DivergenceExecution, par.DivergenceExecution)
+		}
+		if !reflect.DeepEqual(seq.Divergence.Schedule, par.Divergence.Schedule) {
+			t.Fatal("divergence schedules differ")
+		}
+	}
+}
+
+// TestParallelRaceClean drives both sharding modes with Parallelism 8
+// on multi-threaded workloads; under `go test -race` this exercises
+// the cross-worker structures with the real race detector.
+func TestParallelRaceClean(t *testing.T) {
+	counter := func(t *engine.T) {
+		x := syncmodel.NewIntVar(t, "x", 0)
+		m := syncmodel.NewMutex(t, "m")
+		wg := syncmodel.NewWaitGroup(t, "wg", 3)
+		for i := 0; i < 3; i++ {
+			t.Go("inc", func(t *engine.T) {
+				m.Lock(t)
+				x.Store(t, x.Load(t)+1)
+				m.Unlock(t)
+				wg.Done(t)
+			})
+		}
+		wg.Wait(t)
+	}
+	rep := search.Explore(counter, search.Options{
+		Fair: true, ContextBound: -1, MaxSteps: 10000, Parallelism: 8,
+	})
+	if !rep.Exhausted {
+		t.Fatalf("prefix-mode search did not exhaust: %+v", rep)
+	}
+	walk := search.Explore(counter, search.Options{
+		Fair: true, RandomWalk: true, MaxExecutions: 500, MaxSteps: 10000,
+		Seed: 1, Parallelism: 8, ContinueAfterViolation: true,
+	})
+	if walk.Executions != 500 {
+		t.Fatalf("stride-mode executions = %d, want 500", walk.Executions)
+	}
+}

@@ -94,6 +94,21 @@ type Options struct {
 	// requires Fair to be false (the paper flags combining the two as
 	// future work).
 	SleepSets bool
+	// Parallelism runs the search on this many worker goroutines, each
+	// with its own engine; 0 or 1 is the sequential searcher. The
+	// random strategies (RandomWalk, PCT) stride-partition execution
+	// indices across workers, so the explored schedule set is identical
+	// to the sequential run for any Parallelism; the systematic
+	// strategies split the schedule tree into prefixes at shallow
+	// choice points and explore the subtrees concurrently. Reports
+	// merge deterministically (see internal/search/parallel.go).
+	// Caveat: RandomTail seeds tails by subtree-local execution index,
+	// so a parallel depth-bounded search is deterministic for a given
+	// Parallelism but explores different tails than the sequential one.
+	// Incompatible with StatefulPrune, SleepSets, DPOR, and Monitor,
+	// whose state is shared across executions: those combinations
+	// panic rather than race (no silent unsoundness).
+	Parallelism int
 	// ContinueAfterViolation keeps searching after safety violations
 	// instead of stopping at the first one.
 	ContinueAfterViolation bool
@@ -183,6 +198,11 @@ type searcher struct {
 
 	visited map[visitKey]struct{}
 
+	// cancelled, when non-nil, is polled between executions; a true
+	// return abandons the search (the parallel driver cancels subtree
+	// workers whose results will be discarded).
+	cancelled func() bool
+
 	report   Report
 	start    time.Time
 	deadline time.Time
@@ -215,6 +235,21 @@ func Explore(prog func(*engine.T), opts Options) *Report {
 		opts.DepthBound > 0 || opts.RandomTail || opts.StatefulPrune) {
 		panic("search: DPOR requires a plain unfair systematic search")
 	}
+	if opts.Parallelism > 1 {
+		if opts.StatefulPrune {
+			panic("search: StatefulPrune requires Parallelism <= 1 (the visited map is shared across executions)")
+		}
+		if opts.DPOR {
+			panic("search: DPOR requires Parallelism <= 1 (backtrack points cross subtree boundaries)")
+		}
+		if opts.SleepSets {
+			panic("search: SleepSets requires Parallelism <= 1 (sleep sets depend on sibling exploration order)")
+		}
+		if opts.Monitor != nil {
+			panic("search: Monitor requires Parallelism <= 1 (monitors observe executions from one goroutine)")
+		}
+		return exploreParallel(prog, opts)
+	}
 	s := &searcher{prog: prog, opts: opts, start: time.Now()}
 	if opts.TimeLimit > 0 {
 		s.deadline = s.start.Add(opts.TimeLimit)
@@ -236,6 +271,9 @@ func (s *searcher) run() {
 		if !s.deadline.IsZero() && time.Now().After(s.deadline) {
 			s.report.TimedOut = true
 			return
+		}
+		if s.cancelled != nil && s.cancelled() {
+			return // result will be discarded by the parallel driver
 		}
 		s.pos = 0
 		s.preemptUsed = 0
@@ -431,8 +469,11 @@ func (s *searcher) Choose(ctx *engine.ChooseContext) (engine.Alt, bool) {
 	}
 
 	// Frontier: compute the admissible alternatives under the
-	// preemption budget and push a new choice point.
+	// preemption budget and push a new choice point. ctx.Cands is the
+	// engine's reused buffer, so any slice pushed onto the stack must
+	// be an owned copy (the filters below copy as they go).
 	alts := ctx.Cands
+	owned := false
 	if s.opts.ContextBound >= 0 && s.preemptUsed >= s.opts.ContextBound {
 		// The filtered set is never empty: if the previous thread is a
 		// candidate its alternatives do not preempt, and if it is not
@@ -442,6 +483,7 @@ func (s *searcher) Choose(ctx *engine.ChooseContext) (engine.Alt, bool) {
 		if len(alts) == 0 {
 			panic("search: empty alternative set under context bound")
 		}
+		owned = true
 	}
 	if s.opts.SleepSets {
 		awake := make([]engine.Alt, 0, len(alts))
@@ -457,6 +499,10 @@ func (s *searcher) Choose(ctx *engine.ChooseContext) (engine.Alt, bool) {
 			return engine.Alt{}, false
 		}
 		alts = awake
+		owned = true
+	}
+	if !owned {
+		alts = append([]engine.Alt(nil), alts...)
 	}
 	if s.opts.DPOR {
 		// Lazy expansion: explore one alternative now; conflicts found

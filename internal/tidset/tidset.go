@@ -106,6 +106,21 @@ func (s Set) Len() int {
 	return n
 }
 
+// Reset empties the set and ensures capacity for tids [0, n),
+// reusing the existing backing storage where possible. It lets hot
+// loops rebuild a set every step without reallocating.
+func (s *Set) Reset(n int) {
+	need := (n + wordBits - 1) / wordBits
+	if cap(s.words) < need {
+		s.words = make([]uint64, need)
+		return
+	}
+	s.words = s.words[:need]
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
 // Clone returns an independent copy of s.
 func (s Set) Clone() Set {
 	if len(s.words) == 0 {
