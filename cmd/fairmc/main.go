@@ -12,21 +12,35 @@
 // to both systematic and random searches; -p 1 is the sequential
 // searcher. -race, -sleepsets and -dpor force sequential search.
 //
+// Long runs can be hardened with -watchdog (per-step wedge detector),
+// -checkpoint FILE (periodic resumable snapshots; also written on
+// SIGINT/SIGTERM), and -resume FILE (continue a checkpointed search).
+//
 // Exit status: 0 when the check finds nothing, 1 when a safety
-// violation, deadlock or divergence is found, 2 on usage errors.
+// violation, deadlock, divergence or wedged thread is found, 2 on
+// usage errors, 3 when the search was interrupted by a signal (after
+// writing a final checkpoint if -checkpoint is set).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"fairmc"
 	"fairmc/internal/trace"
 	"fairmc/progs"
 )
+
+// fatalUsage prints a diagnostic and exits with the usage status.
+func fatalUsage(v any) {
+	fmt.Fprintln(os.Stderr, v)
+	os.Exit(2)
+}
 
 func main() {
 	var (
@@ -52,6 +66,10 @@ func main() {
 		raceDetect = flag.Bool("race", false, "attach the happens-before race detector")
 		iterative  = flag.Int("iterative", -1, "iterative context bounding up to this preemption budget")
 		parallel   = flag.Int("p", runtime.GOMAXPROCS(0), "worker count for the search; 1 = sequential")
+		watchdog   = flag.Duration("watchdog", 30*time.Second, "per-step wedge detector: abort an execution whose thread reaches no scheduling point within this interval; 0 disables")
+		ckptFile   = flag.String("checkpoint", "", "write resumable search checkpoints to this file")
+		ckptEvery  = flag.Duration("ckpt-interval", 30*time.Second, "interval between periodic checkpoints")
+		resumeFile = flag.String("resume", "", "resume a search from this checkpoint file")
 	)
 	flag.Parse()
 
@@ -82,6 +100,45 @@ func main() {
 		}
 		return
 	}
+	// A checkpoint records the identity of the search it belongs to, so
+	// -resume can supply the program, strategy, seed and worker count
+	// when the matching flags are not given explicitly. Semantic options
+	// beyond those (e.g. -fair, -cb) still have to match; Validate
+	// rejects the resume otherwise. Budgets (-maxexec, -timelimit) are
+	// deliberately fresh on every resume.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	var resumeCkpt *fairmc.Checkpoint
+	if *resumeFile != "" {
+		ck, err := fairmc.LoadCheckpoint(*resumeFile)
+		if err != nil {
+			fatalUsage(err)
+		}
+		resumeCkpt = ck
+		if *prog == "" {
+			*prog = ck.Meta.Program
+		}
+		if !explicit["random"] && !explicit["pct"] {
+			switch ck.Meta.Strategy {
+			case "random":
+				*randomWalk = true
+			case "pct":
+				*pct = true
+			}
+		}
+		if !explicit["seed"] {
+			*seed = ck.Meta.Seed
+		}
+		if !explicit["p"] && ck.Meta.Parallelism > 0 {
+			*parallel = ck.Meta.Parallelism
+		}
+		// Keep checkpointing the resumed search to the same file
+		// unless the user redirected it.
+		if *ckptFile == "" {
+			*ckptFile = *resumeFile
+		}
+	}
+
 	p, ok := progs.Lookup(*prog)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown program %q (use -list)\n", *prog)
@@ -104,18 +161,40 @@ func main() {
 		TimeLimit:     *timeLimit,
 		Seed:          *seed,
 		Parallelism:   *parallel,
+		Watchdog:      *watchdog,
+		ProgramName:   *prog,
 	}
+	if *ckptFile != "" {
+		opts.CheckpointPath = *ckptFile
+		opts.CheckpointInterval = *ckptEvery
+	}
+	opts.Resume = resumeCkpt
+
+	// A first SIGINT/SIGTERM asks the search to stop at the next
+	// execution boundary, which also flushes a final checkpoint; a
+	// second signal kills the process the classic way.
+	stop := make(chan struct{})
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		close(stop)
+		<-sigs
+		os.Exit(130)
+	}()
+	opts.Stop = stop
 
 	if *replayFile != "" {
 		data, err := os.ReadFile(*replayFile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fatalUsage(err)
 		}
 		meta, sched, err := trace.Unmarshal(data)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fatalUsage(err)
+		}
+		if err := meta.Validate(p.Name); err != nil {
+			fatalUsage(err)
 		}
 		opts.Fair = meta.Fair
 		if meta.FairK > 0 {
@@ -124,7 +203,15 @@ func main() {
 		if meta.MaxSteps > 0 {
 			opts.MaxSteps = meta.MaxSteps
 		}
-		r := fairmc.Replay(p.Body, sched, opts)
+		r, err := fairmc.Replay(p.Body, sched, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "replay of %s failed: %v\n", *replayFile, err)
+			if r != nil {
+				fmt.Fprintf(os.Stderr, "  got %d steps in before the divergence (outcome %s, expected %s)\n",
+					r.Steps, r.Outcome, meta.Outcome)
+			}
+			os.Exit(1)
+		}
 		fmt.Printf("replayed %s: outcome %s (expected %s)\n", *replayFile, r.Outcome, meta.Outcome)
 		if *printTrace {
 			fmt.Print(r.FormatTrace())
@@ -136,7 +223,13 @@ func main() {
 	}
 
 	if *iterative >= 0 {
-		reports := fairmc.CheckIterative(p.Body, *iterative, opts)
+		if *ckptFile != "" || resumeCkpt != nil {
+			fatalUsage("-checkpoint/-resume are not supported with -iterative (each bound is its own search)")
+		}
+		reports, err := fairmc.CheckIterative(p.Body, *iterative, opts)
+		if err != nil {
+			fatalUsage(err)
+		}
 		fmt.Printf("program:     %s\n", p.Name)
 		for _, br := range reports {
 			status := "clean"
@@ -160,14 +253,29 @@ func main() {
 
 	start := time.Now()
 	var res *fairmc.Result
+	var err error
 	if *raceDetect {
-		res = fairmc.CheckRaces(p.Body, opts)
+		res, err = fairmc.CheckRaces(p.Body, opts)
 	} else {
-		res = fairmc.Check(p.Body, opts)
+		res, err = fairmc.Check(p.Body, opts)
+	}
+	if err != nil {
+		fatalUsage(err)
 	}
 	fmt.Printf("program:     %s\n", p.Name)
 	fmt.Printf("executions:  %d (%.2fs, max depth %d)\n",
 		res.Executions, time.Since(start).Seconds(), res.MaxDepth)
+	if res.CheckpointError != "" {
+		fmt.Fprintf(os.Stderr, "warning: %s\n", res.CheckpointError)
+	}
+	for _, wf := range res.WorkerFailures {
+		fmt.Fprintf(os.Stderr, "worker failure (%s unit %d, attempt %d): %s\n",
+			wf.Mode, wf.Unit, wf.Attempt, wf.Panic)
+	}
+	if res.Skipped > 0 {
+		fmt.Fprintf(os.Stderr, "warning: %d work unit(s) skipped after repeated worker failures; coverage is incomplete\n",
+			res.Skipped)
+	}
 	for _, r := range res.Races {
 		fmt.Printf("RACE: %s\n", r)
 	}
@@ -214,9 +322,28 @@ func main() {
 		}
 		save(res.Divergence)
 		os.Exit(1)
+	case res.FirstWedge != nil:
+		fmt.Printf("FOUND wedged execution at execution %d:\n", res.FirstWedgeExecution)
+		if res.FirstWedge.Wedge != nil {
+			fmt.Printf("  %s\n", res.FirstWedge.Wedge)
+		}
+		if *printTrace {
+			fmt.Print(res.FirstWedge.FormatTrace())
+		}
+		// No save(): a wedge is timing-dependent and its final step is
+		// deliberately absent from the schedule, so replay cannot
+		// reproduce it.
+		os.Exit(1)
 	case len(res.Races) > 0:
 		fmt.Printf("FOUND %d race(s)\n", len(res.Races))
 		os.Exit(1)
+	case res.Interrupted:
+		if *ckptFile != "" {
+			fmt.Printf("interrupted; checkpoint written to %s (resume with -resume %s)\n", *ckptFile, *ckptFile)
+		} else {
+			fmt.Println("interrupted (no -checkpoint set; progress lost)")
+		}
+		os.Exit(3)
 	case res.Exhausted:
 		fmt.Println("OK: schedule tree exhausted, no findings")
 	default:

@@ -25,10 +25,10 @@ func ExampleCheck() {
 		}
 	}
 
-	good := fairmc.Check(handoff(true), fairmc.Defaults())
+	good, _ := fairmc.Check(handoff(true), fairmc.Defaults())
 	fmt.Println("with event:", good.Exhausted && good.Ok())
 
-	bad := fairmc.Check(handoff(false), fairmc.Defaults())
+	bad, _ := fairmc.Check(handoff(false), fairmc.Defaults())
 	fmt.Println("without event:", bad.FirstBug != nil)
 	// Output:
 	// with event: true
@@ -56,7 +56,7 @@ func ExampleCheck_livelock() {
 	}
 	opts := fairmc.Defaults()
 	opts.MaxSteps = 300 // the divergence bound
-	res := fairmc.Check(overPolite, opts)
+	res, _ := fairmc.Check(overPolite, opts)
 	fmt.Println("diverged:", res.Divergence != nil)
 	fmt.Println("classified:", res.Liveness.Kind)
 	// Output:
@@ -71,8 +71,8 @@ func ExampleReplay() {
 		t.Go("w", func(t *conc.T) { x.Store(t, 1) })
 		t.Assert(x.Load(t) == 0, "expected to run before the writer")
 	}
-	res := fairmc.Check(racy, fairmc.Defaults())
-	replayed := fairmc.Replay(racy, res.FirstBug.Schedule, fairmc.Defaults())
+	res, _ := fairmc.Check(racy, fairmc.Defaults())
+	replayed, _ := fairmc.Replay(racy, res.FirstBug.Schedule, fairmc.Defaults())
 	fmt.Println("reproduced:", replayed.Outcome == res.FirstBug.Outcome)
 	// Output:
 	// reproduced: true

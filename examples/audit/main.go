@@ -38,7 +38,7 @@ func aggregator(t *conc.T) {
 
 func main() {
 	fmt.Println("== iterative context bounding ==")
-	reports := fairmc.CheckIterative(aggregator, 4, fairmc.Defaults())
+	reports := must(fairmc.CheckIterative(aggregator, 4, fairmc.Defaults()))
 	for _, br := range reports {
 		verdict := "clean"
 		if br.FirstBug != nil {
@@ -53,12 +53,12 @@ func main() {
 	}
 
 	fmt.Println("\n== happens-before race audit ==")
-	res := fairmc.CheckRaces(aggregator, fairmc.Options{
+	res := must(fairmc.CheckRaces(aggregator, fairmc.Options{
 		Fair:                   true,
 		ContextBound:           1,
 		MaxSteps:               10000,
 		ContinueAfterViolation: true, // keep searching to collect races
-	})
+	}))
 	if len(res.Races) == 0 {
 		fmt.Println("no races (unexpected)")
 		return
@@ -68,4 +68,13 @@ func main() {
 	}
 	fmt.Println("\nnote: the 'started' race never fails an assertion — only the")
 	fmt.Println("race detector sees it; the 'total' race is also a wrong answer.")
+}
+
+// must unwraps the facade's error return: the options in this example
+// are statically valid, so an error is a programming bug here.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

@@ -21,11 +21,11 @@ import (
 func main() {
 	prog, _ := progs.Lookup("philosophers-try-2")
 	fmt.Println("checking Figure 1 (2 dining philosophers with TryAcquire)...")
-	res := fairmc.Check(prog.Body, fairmc.Options{
+	res := must(fairmc.Check(prog.Body, fairmc.Options{
 		Fair:         true,
 		ContextBound: -1,
 		MaxSteps:     500, // the "large bound" of §2, scaled to the model
-	})
+	}))
 	if res.Divergence == nil {
 		fmt.Println("no livelock found (unexpected)")
 		return
@@ -45,10 +45,19 @@ func main() {
 	}
 
 	fmt.Println("\nfor contrast, the ordered-acquire variant is livelock-free:")
-	ok := fairmc.Check(progs.Philosophers(2), fairmc.Options{
+	ok := must(fairmc.Check(progs.Philosophers(2), fairmc.Options{
 		Fair:         true,
 		ContextBound: 2,
 		MaxSteps:     100000,
-	})
+	}))
 	fmt.Printf("  exhausted=%v, findings=%v\n", ok.Exhausted, !ok.Ok())
+}
+
+// must unwraps the facade's error return: the options in this example
+// are statically valid, so an error is a programming bug here.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

@@ -37,7 +37,7 @@ func main() {
 	walk.RandomWalk = true
 	walk.MaxExecutions = 300
 	walk.Seed = 2026
-	res := fairmc.Check(minios.Boot(full), walk)
+	res := must(fairmc.Check(minios.Boot(full), walk))
 	fmt.Printf("executions: %d, findings: %v, longest boot: %d steps\n",
 		res.Executions, !res.Ok(), res.MaxDepth)
 
@@ -46,7 +46,7 @@ func main() {
 	opts := fairmc.Defaults()
 	opts.ContextBound = 1
 	opts.TimeLimit = 60 * time.Second
-	res = fairmc.Check(minios.Boot(small), opts)
+	res = must(fairmc.Check(minios.Boot(small), opts))
 	switch {
 	case !res.Ok():
 		fmt.Println("boot invariant broken (unexpected)")
@@ -55,4 +55,13 @@ func main() {
 	default:
 		fmt.Printf("clean after %d executions (budget hit)\n", res.Executions)
 	}
+}
+
+// must unwraps the facade's error return: the options in this example
+// are statically valid, so an error is a programming bug here.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

@@ -45,7 +45,7 @@ func account(locked bool) func(*conc.T) {
 
 func main() {
 	fmt.Println("== checking the racy version ==")
-	res := fairmc.Check(account(false), fairmc.Defaults())
+	res := must(fairmc.Check(account(false), fairmc.Defaults()))
 	if res.FirstBug == nil {
 		fmt.Println("unexpected: no bug found")
 		return
@@ -57,7 +57,7 @@ func main() {
 	fmt.Print(res.FirstBug.FormatColumns(16))
 
 	fmt.Println("\n== checking the locked version ==")
-	res = fairmc.Check(account(true), fairmc.Defaults())
+	res = must(fairmc.Check(account(true), fairmc.Defaults()))
 	switch {
 	case !res.Ok():
 		fmt.Println("unexpected: still buggy")
@@ -66,4 +66,13 @@ func main() {
 	default:
 		fmt.Printf("no violation within budget (%d executions)\n", res.Executions)
 	}
+}
+
+// must unwraps the facade's error return: the options in this example
+// are statically valid, so an error is a programming bug here.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

@@ -25,21 +25,21 @@ func main() {
 	prog, _ := progs.Lookup("spinloop")
 
 	fmt.Println("== fair search (Algorithm 1) ==")
-	fair := fairmc.Check(prog.Body, fairmc.Options{
+	fair := must(fairmc.Check(prog.Body, fairmc.Options{
 		Fair:         true,
 		ContextBound: -1,
 		MaxSteps:     100000,
-	})
+	}))
 	fmt.Printf("exhausted=%v executions=%d maxdepth=%d findings=%v\n",
 		fair.Exhausted, fair.Executions, fair.MaxDepth, !fair.Ok())
 
 	fmt.Println("\n== unfair search, depth bound 30 (no random tail) ==")
-	unfair := fairmc.Check(prog.Body, fairmc.Options{
+	unfair := must(fairmc.Check(prog.Body, fairmc.Options{
 		Fair:         false,
 		ContextBound: -1,
 		DepthBound:   30,
 		MaxSteps:     31,
-	})
+	}))
 	fmt.Printf("exhausted=%v executions=%d nonterminating=%d\n",
 		unfair.Exhausted, unfair.Executions, unfair.NonTerminating)
 	fmt.Println("   (every nonterminating execution is a wasted unrolling of the spin cycle)")
@@ -54,4 +54,13 @@ func main() {
 		}
 		fmt.Printf("  %2d: %s %s%s\n", i, s.Alt, s.Info, y)
 	}
+}
+
+// must unwraps the facade's error return: the options in this example
+// are statically valid, so an error is a programming bug here.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

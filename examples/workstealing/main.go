@@ -25,7 +25,7 @@ func main() {
 		MaxSteps:     5000,
 	}
 	fmt.Println("checking the work-stealing queue with the lock-free-steal bug...")
-	res := fairmc.Check(prog.Body, opts)
+	res := must(fairmc.Check(prog.Body, opts))
 	if res.FirstBug == nil {
 		fmt.Println("no bug found (unexpected)")
 		return
@@ -34,13 +34,22 @@ func main() {
 		res.FirstBugExecution, res.Elapsed.Seconds(), res.FirstBug.Violation)
 
 	fmt.Println("\nreplaying the recorded schedule:")
-	replay := fairmc.Replay(prog.Body, res.FirstBug.Schedule, opts)
+	replay := must(fairmc.Replay(prog.Body, res.FirstBug.Schedule, opts))
 	fmt.Printf("replay outcome: %v (deterministic reproduction)\n", replay.Outcome)
 
 	fmt.Println("\nrepro trace:")
 	fmt.Print(replay.FormatTrace())
 
 	fmt.Println("\nthe correct protocol passes the same search:")
-	ok := fairmc.Check(progs.WorkStealingQueue(progs.WSQConfig{Items: 2, Stealers: 2}), opts)
+	ok := must(fairmc.Check(progs.WorkStealingQueue(progs.WSQConfig{Items: 2, Stealers: 2}), opts))
 	fmt.Printf("exhausted=%v findings=%v executions=%d\n", ok.Exhausted, !ok.Ok(), ok.Executions)
+}
+
+// must unwraps the facade's error return: the options in this example
+// are statically valid, so an error is a programming bug here.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

@@ -29,7 +29,7 @@
 //
 // # Checking
 //
-//	res := fairmc.Check(prog, fairmc.Defaults())
+//	res, err := fairmc.Check(prog, fairmc.Defaults())
 //	switch {
 //	case res.FirstBug != nil:        // safety violation or deadlock
 //	case res.Liveness != nil:        // livelock or GS violation
@@ -42,6 +42,8 @@
 package fairmc
 
 import (
+	"fmt"
+
 	"fairmc/conc"
 	"fairmc/internal/engine"
 	"fairmc/internal/liveness"
@@ -60,6 +62,15 @@ type Report = search.Report
 // and (for repro runs) a full trace.
 type ExecResult = engine.Result
 
+// Alt is one scheduling decision; a schedule ([]Alt) identifies an
+// execution and is the unit of replay.
+type Alt = engine.Alt
+
+// ReplayError is the structured diagnostic Replay returns when a
+// schedule diverges from the program (corrupted, truncated, or
+// recorded elsewhere); match it with errors.As.
+type ReplayError = engine.ReplayError
+
 // LivenessReport classifies a divergence as a good-samaritan
 // violation or a fair nontermination (livelock).
 type LivenessReport = liveness.Report
@@ -71,7 +82,22 @@ const (
 	Violation  = engine.Violation
 	Diverged   = engine.Diverged
 	Aborted    = engine.Aborted
+	Wedged     = engine.Wedged
 )
+
+// Checkpoint is a resumable snapshot of search progress; see
+// Options.CheckpointPath / Options.Resume.
+type Checkpoint = search.Checkpoint
+
+// WorkerFailure is one recovered parallel-worker crash, reported in
+// Report.WorkerFailures.
+type WorkerFailure = search.WorkerFailure
+
+// LoadCheckpoint reads a checkpoint written via Options.CheckpointPath
+// for use as Options.Resume.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	return search.LoadCheckpoint(path)
+}
 
 // Kind values of a liveness classification.
 const (
@@ -113,14 +139,19 @@ func (r *Result) Ok() bool {
 	return r.FirstBug == nil && r.Divergence == nil && len(r.Races) == 0
 }
 
-// Check explores prog under opts and classifies any divergence.
-func Check(prog func(*conc.T), opts Options) *Result {
+// Check explores prog under opts and classifies any divergence. An
+// invalid option combination is reported as an error instead of a
+// panic.
+func Check(prog func(*conc.T), opts Options) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	rep := search.Explore(prog, opts)
 	res := &Result{Report: rep}
 	if rep.Divergence != nil {
 		res.Liveness = liveness.Classify(rep.Divergence, liveness.Options{})
 	}
-	return res
+	return res, nil
 }
 
 // CheckRaces is Check with the happens-before race detector attached:
@@ -128,16 +159,19 @@ func Check(prog func(*conc.T), opts Options) *Result {
 // are reported even on executions where nothing misbehaves. Composes
 // with any monitor already set in opts. The detector is a monitor, so
 // CheckRaces requires Parallelism <= 1.
-func CheckRaces(prog func(*conc.T), opts Options) *Result {
+func CheckRaces(prog func(*conc.T), opts Options) (*Result, error) {
 	d := race.NewDetector()
 	if opts.Monitor != nil {
 		opts.Monitor = engine.MultiMonitor{opts.Monitor, d}
 	} else {
 		opts.Monitor = d
 	}
-	res := Check(prog, opts)
+	res, err := Check(prog, opts)
+	if err != nil {
+		return nil, err
+	}
 	res.Races = d.Races()
-	return res
+	return res, nil
 }
 
 // BoundReport is one step of an iterative context-bounded search.
@@ -153,29 +187,42 @@ type BoundReport struct {
 // 0, 1, …, maxBound, so bugs are found with the *smallest* number of
 // preemptions that exposes them — the most debuggable counterexample.
 // Iteration stops at the first budget that finds something.
-func CheckIterative(prog func(*conc.T), maxBound int, opts Options) []BoundReport {
+func CheckIterative(prog func(*conc.T), maxBound int, opts Options) ([]BoundReport, error) {
 	var out []BoundReport
 	for b := 0; b <= maxBound; b++ {
 		opts.ContextBound = b
+		if err := opts.Validate(); err != nil {
+			return nil, err
+		}
 		rep := search.Explore(prog, opts)
 		out = append(out, BoundReport{Bound: b, Report: rep})
 		if rep.FirstBug != nil || rep.Divergence != nil {
 			break
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Replay re-executes prog along a previously recorded schedule with
-// full trace recording, reproducing a bug found by Check.
-func Replay(prog func(*conc.T), schedule []engine.Alt, opts Options) *ExecResult {
-	return engine.Run(prog, &engine.ReplayChooser{Schedule: schedule, Strict: true},
-		engine.Config{
-			Fair:        opts.Fair,
-			FairK:       opts.FairK,
-			MaxSteps:    opts.MaxSteps,
-			RecordTrace: true,
-		})
+// full trace recording, reproducing a bug found by Check. A schedule
+// that diverges from the program (corrupted, truncated, or recorded
+// against a different program or configuration) is reported as an
+// error; the partial result is returned alongside it for diagnosis.
+func Replay(prog func(*conc.T), schedule []engine.Alt, opts Options) (*ExecResult, error) {
+	ch := &engine.ReplayChooser{Schedule: schedule, Strict: true}
+	r := engine.Run(prog, ch, engine.Config{
+		Fair:        opts.Fair,
+		FairK:       opts.FairK,
+		MaxSteps:    opts.MaxSteps,
+		RecordTrace: true,
+	})
+	if ch.Err != nil {
+		return r, ch.Err
+	}
+	if r.Outcome == engine.Aborted && r.Steps == int64(len(schedule)) {
+		return r, fmt.Errorf("fairmc: replay consumed all %d schedule steps without reaching the recorded outcome (truncated schedule?)", len(schedule))
+	}
+	return r, nil
 }
 
 // RunOnce executes prog once under the fair scheduler with a
@@ -241,17 +288,20 @@ func (l *lazyPropertyMonitor) AfterStep(e *engine.Engine) {
 // program's first transition; have prog publish object references
 // (e.g. into captured pointers) that build closes over. window is the
 // number of tail samples evaluated (0 = 256).
-func CheckProperty(prog func(*conc.T), build func() Property, window int, opts Options) *PropertyResult {
+func CheckProperty(prog func(*conc.T), build func() Property, window int, opts Options) (*PropertyResult, error) {
 	mon := &lazyPropertyMonitor{build: build, window: window}
 	if opts.Monitor != nil {
 		opts.Monitor = engine.MultiMonitor{opts.Monitor, mon}
 	} else {
 		opts.Monitor = mon
 	}
-	res := Check(prog, opts)
+	res, err := Check(prog, opts)
+	if err != nil {
+		return nil, err
+	}
 	out := &PropertyResult{Result: res}
 	if res.Divergence != nil && mon.inner != nil {
 		out.Property = mon.inner.Report(res.Divergence)
 	}
-	return out
+	return out, nil
 }

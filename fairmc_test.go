@@ -1,6 +1,8 @@
 package fairmc_test
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"fairmc"
@@ -22,7 +24,7 @@ func TestDefaults(t *testing.T) {
 }
 
 func TestCheckCleanProgram(t *testing.T) {
-	res := fairmc.Check(func(t *conc.T) {
+	res := mustCheck(t, func(t *conc.T) {
 		x := conc.NewIntVar(t, "x", 0)
 		h := t.Go("w", func(t *conc.T) { x.Store(t, 1) })
 		h.Join(t)
@@ -40,7 +42,7 @@ func TestCheckCleanProgram(t *testing.T) {
 }
 
 func TestCheckFindsAssertion(t *testing.T) {
-	res := fairmc.Check(func(t *conc.T) {
+	res := mustCheck(t, func(t *conc.T) {
 		x := conc.NewIntVar(t, "x", 0)
 		t.Go("w", func(t *conc.T) { x.Store(t, 1) })
 		t.Assert(x.Load(t) == 0, "racy read")
@@ -55,7 +57,7 @@ func TestCheckFindsAssertion(t *testing.T) {
 		t.Fatalf("outcome = %v", res.FirstBug.Outcome)
 	}
 	// The recorded schedule replays to the same violation.
-	replay := fairmc.Replay(func(t *conc.T) {
+	replay := mustReplay(t, func(t *conc.T) {
 		x := conc.NewIntVar(t, "x", 0)
 		t.Go("w", func(t *conc.T) { x.Store(t, 1) })
 		t.Assert(x.Load(t) == 0, "racy read")
@@ -68,7 +70,7 @@ func TestCheckFindsAssertion(t *testing.T) {
 func TestCheckClassifiesLivelock(t *testing.T) {
 	opts := fairmc.Defaults()
 	opts.MaxSteps = 400
-	res := fairmc.Check(progs.Promise(progs.PromiseConfig{
+	res := mustCheck(t, progs.Promise(progs.PromiseConfig{
 		Waiters: 1, Bug: progs.PromiseStaleRead,
 	}), opts)
 	if res.Divergence == nil || res.Liveness == nil {
@@ -91,7 +93,7 @@ func TestRunOnceSmoke(t *testing.T) {
 
 func TestChooseExploresAllValues(t *testing.T) {
 	seen := map[int]bool{}
-	res := fairmc.Check(func(t *conc.T) {
+	res := mustCheck(t, func(t *conc.T) {
 		seen[t.Choose(4)] = true
 	}, fairmc.Defaults())
 	if !res.Exhausted || len(seen) != 4 {
@@ -100,7 +102,7 @@ func TestChooseExploresAllValues(t *testing.T) {
 }
 
 func TestCheckRacesFindsMissingLock(t *testing.T) {
-	res := fairmc.CheckRaces(func(t *conc.T) {
+	res := mustRaces(t, func(t *conc.T) {
 		x := conc.NewIntVar(t, "x", 0)
 		wg := conc.NewWaitGroup(t, "wg", 2)
 		for i := 0; i < 2; i++ {
@@ -121,7 +123,7 @@ func TestCheckRacesFindsMissingLock(t *testing.T) {
 }
 
 func TestCheckRacesCleanOnLockedProgram(t *testing.T) {
-	res := fairmc.CheckRaces(func(t *conc.T) {
+	res := mustRaces(t, func(t *conc.T) {
 		x := conc.NewIntVar(t, "x", 0)
 		m := conc.NewMutex(t, "m")
 		wg := conc.NewWaitGroup(t, "wg", 2)
@@ -156,7 +158,7 @@ func TestCheckIterativeFindsMinimalBound(t *testing.T) {
 		wg.Wait(t)
 		t.Assert(x.Load(t) == 2, "lost update")
 	}
-	reports := fairmc.CheckIterative(racy, 5, fairmc.Defaults())
+	reports := mustIterative(t, racy, 5, fairmc.Defaults())
 	if len(reports) != 2 {
 		t.Fatalf("iterations = %d, want 2 (stop at first finding)", len(reports))
 	}
@@ -189,7 +191,7 @@ func TestCheckProperty(t *testing.T) {
 	}
 	opts := fairmc.Defaults()
 	opts.MaxSteps = 400
-	res := fairmc.CheckProperty(ring, func() fairmc.Property {
+	res := mustProperty(t, ring, func() fairmc.Property {
 		return fairmc.Property{
 			InfinitelyOften: []fairmc.Pred{
 				{Name: "turn=0", Eval: func(*fairmc.Engine) bool { return turn.Peek() == 0 }},
@@ -212,7 +214,7 @@ func TestCheckProperty(t *testing.T) {
 }
 
 func TestCheckPropertyNoDivergence(t *testing.T) {
-	res := fairmc.CheckProperty(func(t *conc.T) { t.Yield() }, func() fairmc.Property {
+	res := mustProperty(t, func(t *conc.T) { t.Yield() }, func() fairmc.Property {
 		return fairmc.Property{}
 	}, 0, fairmc.Defaults())
 	if res.Property != nil {
@@ -220,5 +222,112 @@ func TestCheckPropertyNoDivergence(t *testing.T) {
 	}
 	if !res.Ok() {
 		t.Fatalf("clean program flagged: %+v", res.Report)
+	}
+}
+
+// The must* helpers unwrap the facade's error return; every option set
+// in these tests is statically valid, so an error is a test bug.
+func mustCheck(t *testing.T, prog func(*conc.T), opts fairmc.Options) *fairmc.Result {
+	t.Helper()
+	res, err := fairmc.Check(prog, opts)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	return res
+}
+
+func mustRaces(t *testing.T, prog func(*conc.T), opts fairmc.Options) *fairmc.Result {
+	t.Helper()
+	res, err := fairmc.CheckRaces(prog, opts)
+	if err != nil {
+		t.Fatalf("CheckRaces: %v", err)
+	}
+	return res
+}
+
+func mustReplay(t *testing.T, prog func(*conc.T), sched []fairmc.Alt, opts fairmc.Options) *fairmc.ExecResult {
+	t.Helper()
+	r, err := fairmc.Replay(prog, sched, opts)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return r
+}
+
+func mustIterative(t *testing.T, prog func(*conc.T), maxBound int, opts fairmc.Options) []fairmc.BoundReport {
+	t.Helper()
+	reports, err := fairmc.CheckIterative(prog, maxBound, opts)
+	if err != nil {
+		t.Fatalf("CheckIterative: %v", err)
+	}
+	return reports
+}
+
+func mustProperty(t *testing.T, prog func(*conc.T), build func() fairmc.Property, window int, opts fairmc.Options) *fairmc.PropertyResult {
+	t.Helper()
+	res, err := fairmc.CheckProperty(prog, build, window, opts)
+	if err != nil {
+		t.Fatalf("CheckProperty: %v", err)
+	}
+	return res
+}
+
+// TestReplayBadSchedule: replaying a schedule that does not belong to
+// the program returns a structured error instead of panicking, for
+// both a diverging and a truncated schedule.
+func TestReplayBadSchedule(t *testing.T) {
+	prog := func(t *conc.T) {
+		h := t.Go("w", func(t *conc.T) { t.Yield() })
+		h.Join(t)
+		t.Assert(false, "always fails")
+	}
+	res := mustCheck(t, prog, fairmc.Defaults())
+	if res.FirstBug == nil {
+		t.Fatal("no bug found")
+	}
+	sched := res.FirstBug.Schedule
+
+	// A schedule step naming a thread that cannot be scheduled.
+	_, err := fairmc.Replay(prog, []fairmc.Alt{{Tid: 42, Arg: -1}}, fairmc.Defaults())
+	var re *fairmc.ReplayError
+	if !errors.As(err, &re) {
+		t.Fatalf("diverging replay error = %v, want a *ReplayError", err)
+	}
+	if re.Step != 0 {
+		t.Fatalf("divergence step = %d, want 0", re.Step)
+	}
+
+	// A truncated prefix of a real schedule applies cleanly but ends
+	// before the recorded outcome.
+	r, err := fairmc.Replay(prog, sched[:len(sched)-1], fairmc.Defaults())
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("truncated replay error = %v, want truncation diagnostic", err)
+	}
+	if r == nil || r.Outcome != fairmc.Aborted {
+		t.Fatalf("truncated replay result = %+v, want the partial Aborted result", r)
+	}
+
+	// The full schedule still replays cleanly.
+	rr := mustReplay(t, prog, sched, fairmc.Defaults())
+	if rr.Outcome != fairmc.Violation {
+		t.Fatalf("full replay outcome = %v, want Violation", rr.Outcome)
+	}
+}
+
+// TestCheckInvalidOptions: the facade surfaces option misuse as an
+// error, not a panic.
+func TestCheckInvalidOptions(t *testing.T) {
+	bad := fairmc.Defaults()
+	bad.RandomWalk = true // no budget: never exhausts
+	if _, err := fairmc.Check(func(t *conc.T) {}, bad); err == nil {
+		t.Fatal("invalid options accepted")
+	}
+	bad = fairmc.Defaults()
+	bad.StatefulPrune = true // unsound with Fair
+	if _, err := fairmc.CheckRaces(func(t *conc.T) {}, bad); err == nil {
+		t.Fatal("invalid options accepted by CheckRaces")
+	}
+	if _, err := fairmc.CheckIterative(func(t *conc.T) {}, 1, bad); err == nil {
+		t.Fatal("invalid options accepted by CheckIterative")
 	}
 }

@@ -1,6 +1,10 @@
 package engine
 
-import "fairmc/internal/tidset"
+import (
+	"fmt"
+
+	"fairmc/internal/tidset"
+)
 
 // FirstChooser always picks the first candidate: the lowest thread id
 // with the lowest choice value. Useful as a default continuation
@@ -44,17 +48,40 @@ const (
 	ReplayThenRun
 )
 
+// ReplayError describes a replay divergence: the recorded schedule
+// asked for an alternative that is not schedulable at that step. The
+// schedule is corrupted or truncated, or was recorded for a different
+// program or engine configuration.
+type ReplayError struct {
+	// Step is the 0-based schedule index that failed to apply.
+	Step int
+	// Want is the alternative the schedule asked for.
+	Want Alt
+	// NumCands is how many alternatives were actually schedulable.
+	NumCands int
+}
+
+func (e *ReplayError) Error() string {
+	return fmt.Sprintf("replay divergence at step %d: %s not among the %d schedulable alternatives "+
+		"(corrupted or truncated schedule, or a schedule from a different program/configuration)",
+		e.Step, e.Want, e.NumCands)
+}
+
 // ReplayChooser replays a recorded schedule. Replay is the foundation
 // of stateless search: an execution is identified by its schedule and
 // can be reproduced at will.
 type ReplayChooser struct {
 	Schedule []Alt
 	Mode     ReplayMode
-	// Strict makes replay panic if a scheduled alternative is not
-	// among the candidates (schedule/program mismatch); otherwise the
+	// Strict makes a divergence — a scheduled alternative that is not
+	// among the candidates (schedule/program mismatch) — abort the
+	// execution and record the diagnostic in Err; otherwise the
 	// chooser falls back to its exhaustion mode.
 	Strict bool
-	pos    int
+	// Err is the structured diagnostic of the first strict-mode
+	// divergence; callers check it after Run.
+	Err *ReplayError
+	pos int
 }
 
 // Choose implements Chooser.
@@ -68,7 +95,10 @@ func (r *ReplayChooser) Choose(ctx *ChooseContext) (Alt, bool) {
 			}
 		}
 		if r.Strict {
-			panic("engine: replay divergence: " + want.String() + " not schedulable")
+			if r.Err == nil {
+				r.Err = &ReplayError{Step: r.pos - 1, Want: want, NumCands: len(ctx.Cands)}
+			}
+			return Alt{}, false
 		}
 	}
 	switch r.Mode {

@@ -3,6 +3,8 @@ package engine
 import (
 	"fmt"
 	"runtime/debug"
+	"sync/atomic"
+	"time"
 
 	"fairmc/internal/core"
 	"fairmc/internal/tidset"
@@ -93,6 +95,21 @@ type Config struct {
 	// CheckInvariants enables internal self-checks (P acyclicity and
 	// the Theorem 3 equivalence) at every step. Used by tests.
 	CheckInvariants bool
+	// Watchdog is the stuck-thread detector: the maximum wall-clock
+	// time the engine waits for a scheduled thread to park at its next
+	// operation or exit. A thread that exceeds it is blocked or
+	// spinning outside the conc API — uncontrolled code the engine can
+	// neither schedule nor unwind — so the execution ends with outcome
+	// Wedged and the thread's goroutine is leaked (it self-destructs if
+	// it ever reaches a scheduling point again). 0 disables the
+	// watchdog; then a non-cooperative thread hangs the engine forever.
+	Watchdog time.Duration
+	// Deadline, when nonzero, is an absolute wall-clock bound on the
+	// whole execution, checked between steps: a search TimeLimit
+	// threaded down so that one very long (but cooperative) execution
+	// cannot blow past the search budget. Exceeding it ends the
+	// execution with outcome Aborted and Result.DeadlineExceeded set.
+	Deadline time.Time
 }
 
 // DefaultMaxSteps bounds executions when Config.MaxSteps is zero. The
@@ -115,20 +132,27 @@ type event struct {
 // Engine drives one execution of a model program. Create one per
 // execution with Run; an Engine must not be reused.
 type Engine struct {
-	cfg      Config
-	chooser  Chooser
-	fair     *core.Fair
-	threads  []*thread
-	objects  []Object
-	objMeta  []ObjMeta
-	ready    chan event
-	aborting bool
+	cfg     Config
+	chooser Chooser
+	fair    *core.Fair
+	threads []*thread
+	objects []Object
+	objMeta []ObjMeta
+	ready   chan event
+	// aborting is read by model goroutines at scheduling points to
+	// unwind themselves. It is atomic because after a wedge the stuck
+	// goroutine runs concurrently with the scheduler and may observe
+	// the flag without a happens-before edge from a channel handoff.
+	aborting atomic.Bool
 
-	violation *ViolationInfo
-	stepCount int64
-	yieldCnt  int64
-	schedule  []Alt
-	trace     []Step
+	violation   *ViolationInfo
+	wedge       *WedgeInfo
+	wdTimer     *time.Timer
+	deadlineHit bool
+	stepCount   int64
+	yieldCnt    int64
+	schedule    []Alt
+	trace       []Step
 
 	prevTid     tidset.Tid
 	prevYielded bool
@@ -238,6 +262,12 @@ func (e *Engine) loop() Outcome {
 		if e.stepCount >= e.cfg.MaxSteps {
 			return Diverged
 		}
+		// Wall-clock deadline, amortized: one time.Now every 64 steps.
+		if !e.cfg.Deadline.IsZero() && e.stepCount&63 == 0 &&
+			time.Now().After(e.cfg.Deadline) {
+			e.deadlineHit = true
+			return Aborted
+		}
 		es := e.enabledSet(e.esBuf)
 		e.esBuf = es
 		var schedulable tidset.Set
@@ -280,6 +310,12 @@ func (e *Engine) loop() Outcome {
 			panic(fmt.Sprintf("engine: chooser returned invalid alternative: %v", err))
 		}
 		wasYield := e.executeStep(alt)
+		if e.wedge != nil {
+			// The granted step never completed: the thread is stuck in
+			// uncontrolled code. Do not record the step — a replay of
+			// the schedule so far reproduces the wedge-free prefix.
+			return Wedged
+		}
 		// Record the step before the violation check so that the
 		// schedule always includes the violating transition and a
 		// replay reproduces the violation.
@@ -367,11 +403,17 @@ func (e *Engine) executeStep(alt Alt) bool {
 	}
 	wasYield := op.Yielding()
 	e.lastInfo = op.Info()
+	// Per-thread accounting happens here, on the engine side of the
+	// handoff, so that result() never reads counters a wedged thread's
+	// goroutine might still be writing.
+	th.steps++
+	th.sinceLabel++
+	if wasYield {
+		th.yields++
+	}
 	switch th.status {
 	case statusEmbryo:
 		th.status = statusRunning
-		th.steps++
-		th.sinceLabel++
 		go e.runThread(th)
 	case statusParked:
 		th.status = statusRunning
@@ -379,7 +421,36 @@ func (e *Engine) executeStep(alt Alt) bool {
 	default:
 		panic(fmt.Sprintf("engine: scheduling thread %d in status %s", th.id, th.status))
 	}
-	ev := <-e.ready
+	var ev event
+	if e.cfg.Watchdog > 0 {
+		if e.wdTimer == nil {
+			e.wdTimer = time.NewTimer(e.cfg.Watchdog)
+		} else {
+			e.wdTimer.Reset(e.cfg.Watchdog)
+		}
+		select {
+		case ev = <-e.ready:
+			if !e.wdTimer.Stop() {
+				<-e.wdTimer.C
+			}
+		case <-e.wdTimer.C:
+			// The thread neither parked nor exited within the interval:
+			// it is wedged in uncontrolled code. Flag abort first so
+			// that, should the thread ever wake, it unwinds itself at
+			// its next scheduling point instead of touching engine
+			// state that is being torn down concurrently.
+			e.aborting.Store(true)
+			e.wedge = &WedgeInfo{
+				Tid:    th.id,
+				Name:   th.name,
+				LastOp: e.lastInfo,
+				Step:   e.stepCount,
+			}
+			return wasYield
+		}
+	} else {
+		ev = <-e.ready
+	}
 	switch ev.kind {
 	case evParked:
 		ev.th.status = statusParked
@@ -396,22 +467,22 @@ func (e *Engine) executeStep(alt Alt) bool {
 // scheduler grants it, then executes it (and any continuations).
 // Called from the thread's own goroutine via T.Do.
 func (e *Engine) park(th *thread, op Op) {
-	if e.aborting {
+	if e.aborting.Load() {
 		panic(killSentinel{})
 	}
 	th.pending = op
 	for {
+		if e.aborting.Load() {
+			// Covers a wedged thread completing a continuation after the
+			// engine gave up on it: unwind instead of re-parking.
+			panic(killSentinel{})
+		}
 		e.ready <- event{kind: evParked, th: th}
 		<-th.resume
-		if e.aborting {
+		if e.aborting.Load() {
 			panic(killSentinel{})
 		}
 		cur := th.pending
-		th.steps++
-		th.sinceLabel++
-		if cur.Yielding() {
-			th.yields++
-		}
 		cont := cur.Execute()
 		if cont == nil {
 			return
@@ -455,22 +526,49 @@ func (e *Engine) fail(th *thread, msg string) {
 }
 
 // abort unwinds every remaining model goroutine so Run leaks nothing.
+// The one exception is a wedged thread: it is stuck in uncontrolled
+// code, cannot be unwound, and is leaked (it self-destructs at its
+// next scheduling point, should it ever reach one).
 func (e *Engine) abort() {
-	e.aborting = true
+	e.aborting.Store(true)
 	for _, th := range e.threads {
 		switch th.status {
 		case statusParked:
 			th.resume <- struct{}{}
-			ev := <-e.ready
-			if ev.kind != evExited || ev.th != th {
-				panic("engine: unexpected event during abort")
-			}
+			e.drainUntilExit(th)
 			th.status = statusExited
 		case statusEmbryo:
 			th.status = statusExited
 		case statusRunning:
+			if e.wedge != nil && th.id == e.wedge.Tid {
+				continue // leaked; see the wedge note above
+			}
 			panic("engine: thread still running at abort")
 		}
+	}
+}
+
+// drainUntilExit consumes ready events until th reports exit. After a
+// wedge the stuck thread may wake at any moment and interleave its own
+// unwind events with the abort handshake; those are absorbed here.
+func (e *Engine) drainUntilExit(th *thread) {
+	for {
+		ev := <-e.ready
+		if ev.th == th && ev.kind == evExited {
+			return
+		}
+		if e.wedge != nil && ev.th.id == e.wedge.Tid {
+			switch ev.kind {
+			case evExited:
+				ev.th.status = statusExited
+			case evParked:
+				// It reached a scheduling point after all: grant one
+				// resume so the park loop observes aborting and unwinds.
+				ev.th.resume <- struct{}{}
+			}
+			continue
+		}
+		panic("engine: unexpected event during abort")
 	}
 }
 
@@ -495,6 +593,10 @@ func (e *Engine) result(outcome Outcome) *Result {
 	if outcome == Violation {
 		r.Violation = e.violation
 	}
+	if outcome == Wedged {
+		r.Wedge = e.wedge
+	}
+	r.DeadlineExceeded = e.deadlineHit
 	if outcome == Deadlock {
 		for _, th := range e.threads {
 			if th.status != statusExited {

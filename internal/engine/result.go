@@ -28,6 +28,12 @@ const (
 	Diverged
 	// Aborted: the chooser cut the execution short (search pruning).
 	Aborted
+	// Wedged: the scheduled thread failed to reach its next scheduling
+	// point within Config.Watchdog — it is blocked or spinning outside
+	// the checker's API, so the engine can neither continue nor unwind
+	// it. The execution ends, the offending thread's goroutine is
+	// leaked, and Result.Wedge identifies it.
+	Wedged
 )
 
 func (o Outcome) String() string {
@@ -42,6 +48,8 @@ func (o Outcome) String() string {
 		return "diverged"
 	case Aborted:
 		return "aborted"
+	case Wedged:
+		return "wedged"
 	default:
 		return fmt.Sprintf("outcome(%d)", int(o))
 	}
@@ -61,6 +69,24 @@ func (v *ViolationInfo) String() string {
 		kind = "panic"
 	}
 	return fmt.Sprintf("thread %d %s: %s", v.Tid, kind, v.Msg)
+}
+
+// WedgeInfo identifies the thread that tripped the execution watchdog:
+// the thread that was granted a step and never parked or exited again.
+// LastOp is the operation the engine granted it — the last controlled
+// transition before it wandered off into uncontrolled code.
+type WedgeInfo struct {
+	Tid    tidset.Tid `json:"tid"`
+	Name   string     `json:"name"`
+	LastOp OpInfo     `json:"lastOp"`
+	// Step is the index of the granted-but-never-completed step.
+	Step int64 `json:"step"`
+}
+
+func (w *WedgeInfo) String() string {
+	return fmt.Sprintf("thread %d (%s) wedged at step %d after %s: "+
+		"no scheduling point reached within the watchdog interval",
+		w.Tid, w.Name, w.Step, w.LastOp)
 }
 
 // BlockedInfo describes one thread blocked at a deadlock.
@@ -97,8 +123,14 @@ type Result struct {
 	Trace     []Step // full trace if Config.RecordTrace
 	Violation *ViolationInfo
 	Blocked   []BlockedInfo // populated for Deadlock
-	Threads   int           // threads created
-	Yields    int64         // yielding transitions taken
+	// Wedge identifies the stuck thread for outcome Wedged.
+	Wedge *WedgeInfo
+	// DeadlineExceeded reports that the execution was cut because the
+	// wall-clock Config.Deadline passed (outcome Aborted). The searcher
+	// translates this into its TimeLimit accounting.
+	DeadlineExceeded bool
+	Threads          int   // threads created
+	Yields           int64 // yielding transitions taken
 	// PerThread breaks Steps/Yields down by thread, in id order. The
 	// good-samaritan discipline is visible here: a thread with many
 	// steps and no yields in a diverging execution is the §4.3.1 bug.
@@ -112,6 +144,9 @@ func (r *Result) FormatTrace() string {
 	fmt.Fprintf(&b, "outcome: %s after %d steps, %d threads\n", r.Outcome, r.Steps, r.Threads)
 	if r.Violation != nil {
 		fmt.Fprintf(&b, "violation: %s\n", r.Violation)
+	}
+	if r.Wedge != nil {
+		fmt.Fprintf(&b, "wedge: %s\n", r.Wedge)
 	}
 	for i, bl := range r.Blocked {
 		fmt.Fprintf(&b, "blocked[%d]: thread %d (%s) at %s\n", i, bl.Tid, bl.Name, bl.Op)

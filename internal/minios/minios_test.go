@@ -29,7 +29,7 @@ func TestBootUnderBoundedSearch(t *testing.T) {
 	opts.ContextBound = 1
 	opts.TimeLimit = 120 * time.Second
 	opts.MaxExecutions = 200000
-	res := fairmc.Check(minios.Boot(small()), opts)
+	res := mustCheck(t, minios.Boot(small()), opts)
 	if !res.Ok() {
 		if res.FirstBug != nil {
 			t.Fatalf("boot invariant broken:\n%s", res.FirstBug.FormatTrace())
@@ -46,7 +46,7 @@ func TestBootAdversarialSchedules(t *testing.T) {
 	opts.MaxExecutions = 300
 	opts.Seed = 99
 	cfg := minios.Config{Drivers: 2, Services: 2, Apps: 2, RequestsPerApp: 1, Inodes: 2}
-	res := fairmc.Check(minios.Boot(cfg), opts)
+	res := mustCheck(t, minios.Boot(cfg), opts)
 	if !res.Ok() {
 		if res.FirstBug != nil {
 			t.Fatalf("random walk broke the boot:\n%s", res.FirstBug.FormatTrace())
@@ -75,7 +75,7 @@ func TestNameServerInvariants(t *testing.T) {
 		t.Assert(ns.Count(t) == 2, "both registered")
 		ns.Seal(t)
 	}
-	res := fairmc.Check(prog, fairmc.Defaults())
+	res := mustCheck(t, prog, fairmc.Defaults())
 	if !res.Ok() || !res.Exhausted {
 		t.Fatalf("name server check: %+v", res.Report)
 	}
@@ -87,7 +87,7 @@ func TestNameServerRejectsAfterSeal(t *testing.T) {
 		ns.Seal(t)
 		ns.Register(t, 0)
 	}
-	res := fairmc.Check(prog, fairmc.Defaults())
+	res := mustCheck(t, prog, fairmc.Defaults())
 	if res.FirstBug == nil {
 		t.Fatal("registration after seal not detected")
 	}
@@ -99,7 +99,7 @@ func TestNameServerRejectsDoubleRegistration(t *testing.T) {
 		ns.Register(t, 1)
 		ns.Register(t, 1)
 	}
-	res := fairmc.Check(prog, fairmc.Defaults())
+	res := mustCheck(t, prog, fairmc.Defaults())
 	if res.FirstBug == nil {
 		t.Fatal("double registration not detected")
 	}
@@ -120,7 +120,7 @@ func TestFileSystemSemantics(t *testing.T) {
 		t.Assert(c == a, "freed inode reused")
 		t.Assert(fs.Handle(t, minios.FSRead, c) == 0, "reused inode zeroed")
 	}
-	res := fairmc.Check(prog, fairmc.Defaults())
+	res := mustCheck(t, prog, fairmc.Defaults())
 	if !res.Ok() || !res.Exhausted {
 		t.Fatalf("fs check: %+v", res.Report)
 	}
@@ -146,7 +146,7 @@ func TestFileSystemRejectsInvalidOps(t *testing.T) {
 	} {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
-			res := fairmc.Check(func(t *conc.T) {
+			res := mustCheck(t, func(t *conc.T) {
 				fs := minios.NewFileSystem(t, 1)
 				tc.body(t, fs)
 			}, fairmc.Defaults())
@@ -183,7 +183,7 @@ func TestPortRequestResponse(t *testing.T) {
 	opts := fairmc.Defaults()
 	opts.ContextBound = 2
 	opts.TimeLimit = 60 * time.Second
-	res := fairmc.Check(prog, opts)
+	res := mustCheck(t, prog, opts)
 	if !res.Ok() {
 		if res.FirstBug != nil {
 			t.Fatalf("port check:\n%s", res.FirstBug.FormatTrace())
@@ -193,7 +193,7 @@ func TestPortRequestResponse(t *testing.T) {
 }
 
 func TestPortBadClientSlot(t *testing.T) {
-	res := fairmc.Check(func(t *conc.T) {
+	res := mustCheck(t, func(t *conc.T) {
 		p := minios.NewPort(t, "p", 1, 1)
 		p.Call(t, 5, 1, 0)
 	}, fairmc.Defaults())
@@ -225,7 +225,7 @@ func TestIRQControllerSemantics(t *testing.T) {
 		irq.Unmask(t, 1)
 		t.Assert(irq.WaitTimeout(t, 1), "latched raise delivered on unmask")
 	}
-	res := fairmc.Check(prog, fairmc.Defaults())
+	res := mustCheck(t, prog, fairmc.Defaults())
 	if !res.Ok() || !res.Exhausted {
 		t.Fatalf("irq semantics: %+v", res.Report)
 	}
@@ -244,7 +244,7 @@ func TestIRQWaitBlocksUntilRaise(t *testing.T) {
 		h.Join(t)
 		t.Assert(progressed.Load(t) == 1, "driver released by raise")
 	}
-	res := fairmc.Check(prog, fairmc.Defaults())
+	res := mustCheck(t, prog, fairmc.Defaults())
 	if !res.Ok() || !res.Exhausted {
 		t.Fatalf("irq wait: %+v", res.Report)
 	}
@@ -264,7 +264,7 @@ func TestDiskSubsystemBoundedSearch(t *testing.T) {
 	opts.ContextBound = 1
 	opts.TimeLimit = 120 * time.Second
 	opts.MaxExecutions = 200000
-	res := fairmc.Check(minios.DiskSubsystem(minios.DiskConfig{
+	res := mustCheck(t, minios.DiskSubsystem(minios.DiskConfig{
 		Sectors: 2, Clients: 1, ReadsPerClient: 2,
 	}), opts)
 	if !res.Ok() {
@@ -280,7 +280,7 @@ func TestDiskSubsystemRandomWalks(t *testing.T) {
 	opts.RandomWalk = true
 	opts.MaxExecutions = 200
 	opts.Seed = 12
-	res := fairmc.Check(minios.DiskSubsystem(minios.DiskConfig{
+	res := mustCheck(t, minios.DiskSubsystem(minios.DiskConfig{
 		Sectors: 3, Clients: 2, ReadsPerClient: 1,
 	}), opts)
 	if !res.Ok() {
@@ -289,4 +289,15 @@ func TestDiskSubsystemRandomWalks(t *testing.T) {
 		}
 		t.Fatalf("divergence: %s", res.Liveness)
 	}
+}
+
+// mustCheck unwraps the facade's error return; the options in these
+// tests are statically valid.
+func mustCheck(t *testing.T, prog func(*conc.T), opts fairmc.Options) *fairmc.Result {
+	t.Helper()
+	res, err := fairmc.Check(prog, opts)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	return res
 }

@@ -1,0 +1,293 @@
+package search
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"time"
+
+	"fairmc/internal/engine"
+)
+
+// This file implements checkpoint/resume: a long-running search
+// periodically serializes its progress to a JSON file so that a crash,
+// an eviction, or a deliberate SIGINT loses at most one checkpoint
+// interval of work. A checkpoint captures (a) the accumulated Report
+// counters and findings, and (b) the strategy-specific frontier —
+// enough to restart the search at exactly the same point in its
+// deterministic enumeration:
+//
+//   - Random strategies (RandomWalk, PCT): executions are seeded by
+//     global index (rng.Mix(Seed, i)), so the frontier is a single
+//     integer — the next index to run. This holds sequentially and in
+//     stride-parallel mode (NextIndex is then the next round base).
+//   - Sequential systematic search: the DFS stack (alternatives and
+//     the index taken at each frame), restored verbatim so the next
+//     execution replays the saved prefix and explores below it.
+//   - Prefix-parallel systematic search: the DFS-ordered frontier of
+//     schedule prefixes plus how many of them have been merged;
+//     resuming re-runs only the unmerged suffix.
+//
+// Findings (FirstBug, Divergence, FirstWedge) are stored as their full
+// engine.Result: replay cannot regenerate a wedge (the wedged step is
+// deliberately absent from the schedule), and storing the result makes
+// a resumed report identical to an uninterrupted one by construction.
+//
+// Writes are atomic (tmp file + rename in the destination directory)
+// so a crash mid-write leaves the previous checkpoint intact. Meta
+// identifies what the checkpoint belongs to; Options.Validate rejects
+// a resume whose program, strategy, seed, options hash, or parallelism
+// does not match, and rejects Done checkpoints (the search stopped for
+// a reason resuming cannot continue past, e.g. a first finding —
+// rerunning it would double-count the finding's execution).
+
+// CheckpointVersion is the on-disk format version; bump on any
+// incompatible change to the Checkpoint schema.
+const CheckpointVersion = 1
+
+// defaultCheckpointInterval is used when CheckpointPath is set but
+// CheckpointInterval is zero.
+const defaultCheckpointInterval = 30 * time.Second
+
+// CheckpointMeta identifies the search a checkpoint belongs to. All
+// fields are validated on resume.
+type CheckpointMeta struct {
+	// Program is Options.ProgramName at write time.
+	Program string `json:"program,omitempty"`
+	// Strategy is "random", "pct", or "dfs" (any systematic search).
+	Strategy string `json:"strategy"`
+	Seed     uint64 `json:"seed"`
+	// OptionsHash fingerprints the semantic options (everything that
+	// changes the explored schedule set). Budget options
+	// (MaxExecutions, TimeLimit) and operational options (Watchdog,
+	// checkpoint settings) are excluded so a resume may raise budgets.
+	OptionsHash uint64 `json:"optionsHash"`
+	Parallelism int    `json:"parallelism"`
+}
+
+// CheckpointCounters is the accumulated Report state.
+type CheckpointCounters struct {
+	Executions     int64 `json:"executions"`
+	TotalSteps     int64 `json:"totalSteps"`
+	MaxDepth       int64 `json:"maxDepth"`
+	NonTerminating int64 `json:"nonTerminating"`
+	Deadlocks      int64 `json:"deadlocks"`
+	Violations     int64 `json:"violations"`
+	Wedges         int64 `json:"wedges"`
+	Skipped        int64 `json:"skipped"`
+	ElapsedNS      int64 `json:"elapsedNs"`
+}
+
+// savedFrame is one DFS stack frame of the sequential systematic
+// searcher.
+type savedFrame struct {
+	Alts []engine.Alt `json:"alts"`
+	Idx  int          `json:"idx"`
+}
+
+// SeqState is the sequential systematic searcher's frontier.
+type SeqState struct {
+	Stack []savedFrame `json:"stack"`
+}
+
+// StrideState is the random strategies' frontier: the next execution
+// index (sequential) or next round base (stride-parallel).
+type StrideState struct {
+	NextIndex int64 `json:"nextIndex"`
+}
+
+// savedPrefix is one frontier prefix of the prefix-parallel search.
+type savedPrefix struct {
+	Sched []engine.Alt `json:"sched"`
+	Leaf  bool         `json:"leaf,omitempty"`
+}
+
+// PrefixState is the prefix-parallel searcher's frontier.
+type PrefixState struct {
+	Frontier []savedPrefix `json:"frontier"`
+	// Merged counts frontier prefixes whose subtree reports have been
+	// merged; resume re-runs prefixes [Merged, len(Frontier)).
+	Merged       int  `json:"merged"`
+	AllExhausted bool `json:"allExhausted"`
+}
+
+// Checkpoint is a resumable snapshot of search progress.
+type Checkpoint struct {
+	Version int            `json:"version"`
+	Meta    CheckpointMeta `json:"meta"`
+	// Done marks a terminal checkpoint: the search stopped on a
+	// finding or exhausted the tree. Resuming it would re-count work,
+	// so Validate rejects it; resumable stops are ExecBounded,
+	// TimedOut, and Interrupted.
+	Done     bool               `json:"done,omitempty"`
+	Counters CheckpointCounters `json:"counters"`
+
+	FirstBug            *engine.Result `json:"firstBug,omitempty"`
+	FirstBugExecution   int64          `json:"firstBugExecution,omitempty"`
+	Divergence          *engine.Result `json:"divergence,omitempty"`
+	DivergenceExecution int64          `json:"divergenceExecution,omitempty"`
+	FirstWedge          *engine.Result `json:"firstWedge,omitempty"`
+	FirstWedgeExecution int64          `json:"firstWedgeExecution,omitempty"`
+
+	WorkerFailures []WorkerFailure `json:"workerFailures,omitempty"`
+
+	Stride *StrideState `json:"stride,omitempty"`
+	Seq    *SeqState    `json:"seq,omitempty"`
+	Prefix *PrefixState `json:"prefix,omitempty"`
+}
+
+// LoadCheckpoint reads and decodes a checkpoint file.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("search: reading checkpoint: %w", err)
+	}
+	ck := &Checkpoint{}
+	if err := json.Unmarshal(data, ck); err != nil {
+		return nil, fmt.Errorf("search: decoding checkpoint %s: %w", path, err)
+	}
+	if ck.Version != CheckpointVersion {
+		return nil, fmt.Errorf("search: checkpoint %s has format version %d, this build reads version %d",
+			path, ck.Version, CheckpointVersion)
+	}
+	return ck, nil
+}
+
+// WriteFile atomically persists the checkpoint: write to a temp file
+// in the destination directory, then rename over the target, so a
+// crash mid-write never corrupts an existing checkpoint.
+func (ck *Checkpoint) WriteFile(path string) error {
+	data, err := json.Marshal(ck)
+	if err != nil {
+		return fmt.Errorf("search: encoding checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".ckpt-*.tmp")
+	if err != nil {
+		return fmt.Errorf("search: writing checkpoint: %w", err)
+	}
+	tmp := f.Name()
+	_, werr := f.Write(data)
+	if serr := f.Sync(); werr == nil {
+		werr = serr
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, path)
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("search: writing checkpoint: %w", werr)
+	}
+	return nil
+}
+
+// strategyOf names the enumeration strategy for checkpoint Meta.
+func strategyOf(o *Options) string {
+	switch {
+	case o.RandomWalk:
+		return "random"
+	case o.PCT:
+		return "pct"
+	default:
+		return "dfs"
+	}
+}
+
+// optionsHash fingerprints the options that determine the schedule
+// enumeration. Budget fields (MaxExecutions, TimeLimit) and
+// operational fields (Watchdog, checkpoint/stop plumbing, Monitor) are
+// deliberately excluded: resuming with a larger budget is the point of
+// checkpointing.
+func optionsHash(o *Options) uint64 {
+	h := fnv.New64a()
+	b := func(v bool) {
+		if v {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	}
+	i := func(v int64) {
+		var buf [8]byte
+		for k := 0; k < 8; k++ {
+			buf[k] = byte(v >> (8 * k))
+		}
+		h.Write(buf[:])
+	}
+	b(o.Fair)
+	i(int64(o.FairK))
+	i(int64(o.ContextBound))
+	i(int64(o.DepthBound))
+	b(o.RandomTail)
+	b(o.RandomWalk)
+	b(o.PCT)
+	i(int64(o.PCTDepth))
+	i(o.MaxSteps)
+	i(int64(o.Seed))
+	b(o.StatefulPrune)
+	b(o.DPOR)
+	b(o.SleepSets)
+	b(o.ContinueAfterViolation)
+	b(o.ContinueAfterDivergence)
+	b(o.RecordTrace)
+	return h.Sum64()
+}
+
+// buildCheckpoint captures the strategy-independent progress; the
+// caller attaches the strategy state (Stride/Seq/Prefix).
+func buildCheckpoint(opts *Options, rep *Report, elapsed time.Duration, done bool) *Checkpoint {
+	return &Checkpoint{
+		Version: CheckpointVersion,
+		Meta: CheckpointMeta{
+			Program:     opts.ProgramName,
+			Strategy:    strategyOf(opts),
+			Seed:        opts.Seed,
+			OptionsHash: optionsHash(opts),
+			Parallelism: opts.Parallelism,
+		},
+		Done: done,
+		Counters: CheckpointCounters{
+			Executions:     rep.Executions,
+			TotalSteps:     rep.TotalSteps,
+			MaxDepth:       rep.MaxDepth,
+			NonTerminating: rep.NonTerminating,
+			Deadlocks:      rep.Deadlocks,
+			Violations:     rep.Violations,
+			Wedges:         rep.Wedges,
+			Skipped:        rep.Skipped,
+			ElapsedNS:      int64(elapsed),
+		},
+		FirstBug:            rep.FirstBug,
+		FirstBugExecution:   rep.FirstBugExecution,
+		Divergence:          rep.Divergence,
+		DivergenceExecution: rep.DivergenceExecution,
+		FirstWedge:          rep.FirstWedge,
+		FirstWedgeExecution: rep.FirstWedgeExecution,
+		WorkerFailures:      rep.WorkerFailures,
+	}
+}
+
+// applyCheckpoint seeds a fresh Report with a checkpoint's accumulated
+// progress.
+func applyCheckpoint(rep *Report, ck *Checkpoint) {
+	rep.Executions = ck.Counters.Executions
+	rep.TotalSteps = ck.Counters.TotalSteps
+	rep.MaxDepth = ck.Counters.MaxDepth
+	rep.NonTerminating = ck.Counters.NonTerminating
+	rep.Deadlocks = ck.Counters.Deadlocks
+	rep.Violations = ck.Counters.Violations
+	rep.Wedges = ck.Counters.Wedges
+	rep.Skipped = ck.Counters.Skipped
+	rep.FirstBug = ck.FirstBug
+	rep.FirstBugExecution = ck.FirstBugExecution
+	rep.Divergence = ck.Divergence
+	rep.DivergenceExecution = ck.DivergenceExecution
+	rep.FirstWedge = ck.FirstWedge
+	rep.FirstWedgeExecution = ck.FirstWedgeExecution
+	rep.WorkerFailures = ck.WorkerFailures
+}

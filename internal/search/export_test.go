@@ -1,0 +1,6 @@
+package search
+
+// SetWorkerFaultHook installs (or, with nil, removes) the fault-
+// injection hook run at the start of every parallel work unit. Test
+// helper only; see workerFaultHook.
+func SetWorkerFaultHook(h func(mode string, unit int64)) { workerFaultHook = h }

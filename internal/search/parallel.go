@@ -1,6 +1,9 @@
 package search
 
 import (
+	"fmt"
+	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,6 +51,13 @@ import (
 // worker timing. The fair scheduler needs no cross-worker treatment:
 // Algorithm 1's P/E/D/S state lives inside each worker's engine and
 // never outlives one execution.
+//
+// Fault isolation: every work unit (one stride execution, one prefix
+// subtree) runs under recover(). A crash is recorded as a structured
+// WorkerFailure and the unit is retried once — stride inline, prefix
+// by requeueing onto the shared queue — then reported as Skipped.
+// One crashing unit therefore costs at most its own coverage, never
+// the process or the other workers' merged results.
 
 const (
 	// strideBatch is the number of executions each stride worker runs
@@ -58,7 +68,56 @@ const (
 	// prefixTargetFactor sizes the frontier at prefixTargetFactor×P
 	// prefixes, bounding idle tail time when subtree sizes are skewed.
 	prefixTargetFactor = 8
+	// workerAttempts bounds how often a crashing work unit is tried
+	// before it is abandoned as Skipped: the first attempt plus one
+	// retry.
+	workerAttempts = 2
 )
+
+// WorkerFailure is one recovered parallel-worker crash.
+type WorkerFailure struct {
+	// Mode is the sharding mode, "stride" or "prefix".
+	Mode string `json:"mode"`
+	// Unit is the 1-based execution index (stride) or 0-based frontier
+	// prefix index (prefix) the worker crashed on.
+	Unit int64 `json:"unit"`
+	// Attempt is the 1-based attempt that crashed.
+	Attempt int `json:"attempt"`
+	// Panic is the stringified panic value; Stack the goroutine stack.
+	Panic string `json:"panic"`
+	Stack string `json:"stack"`
+}
+
+// workerFaultHook, when non-nil, runs at the start of every parallel
+// work unit. Fault-injection tests install a panicking hook here to
+// exercise the isolation path; production never sets it.
+var workerFaultHook func(mode string, unit int64)
+
+// failSink collects WorkerFailures from concurrent workers.
+type failSink struct {
+	mu   sync.Mutex
+	list []WorkerFailure
+}
+
+func (f *failSink) add(w WorkerFailure) {
+	f.mu.Lock()
+	f.list = append(f.list, w)
+	f.mu.Unlock()
+}
+
+// sorted returns the failures ordered by (Unit, Attempt) so the Report
+// is deterministic regardless of worker timing.
+func (f *failSink) sorted() []WorkerFailure {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	sort.Slice(f.list, func(i, j int) bool {
+		if f.list[i].Unit != f.list[j].Unit {
+			return f.list[i].Unit < f.list[j].Unit
+		}
+		return f.list[i].Attempt < f.list[j].Attempt
+	})
+	return f.list
+}
 
 // exploreParallel dispatches to the sharding mode matching the search
 // strategy. Callers have already validated the options.
@@ -75,13 +134,17 @@ func reproduceStandalone(prog func(*engine.T), opts Options, r *engine.Result) *
 	if len(r.Trace) > 0 {
 		return r
 	}
-	rr := engine.Run(prog, &engine.ReplayChooser{Schedule: r.Schedule, Strict: true},
-		engine.Config{
-			Fair:        opts.Fair,
-			FairK:       opts.FairK,
-			MaxSteps:    opts.MaxSteps,
-			RecordTrace: true,
-		})
+	ch := &engine.ReplayChooser{Schedule: r.Schedule, Strict: true}
+	rr := engine.Run(prog, ch, engine.Config{
+		Fair:        opts.Fair,
+		FairK:       opts.FairK,
+		MaxSteps:    opts.MaxSteps,
+		RecordTrace: true,
+		Watchdog:    opts.Watchdog,
+	})
+	if ch.Err != nil {
+		panic("search: repro replay diverged: " + ch.Err.Error())
+	}
 	if rr.Outcome != r.Outcome {
 		panic("search: replay diverged from original outcome: " + rr.Outcome.String() +
 			" != " + r.Outcome.String())
@@ -96,9 +159,11 @@ func reproduceStandalone(prog func(*engine.T), opts Options, r *engine.Result) *
 // strideRec is one execution's accounting, produced by a worker and
 // consumed by the in-order merge.
 type strideRec struct {
-	steps   int64
-	outcome engine.Outcome
-	repro   *engine.Result // full repro for the worker's first notable event, when still wanted
+	steps    int64
+	outcome  engine.Outcome
+	deadline bool           // the engine-level deadline cut this execution
+	skipped  bool           // abandoned after repeated worker crashes
+	repro    *engine.Result // full repro for the worker's first notable event, when still wanted
 }
 
 // strideChooser replays the sequential searcher's random-mode choice
@@ -141,20 +206,47 @@ func exploreStride(prog func(*engine.T), opts Options) *Report {
 		deadline = start.Add(opts.TimeLimit)
 	}
 	rep := &Report{}
+	var prevElapsed time.Duration
+	base := int64(0) // execution indices ≤ base are merged (or never existed)
+	if ck := opts.Resume; ck != nil {
+		applyCheckpoint(rep, ck)
+		prevElapsed = time.Duration(ck.Counters.ElapsedNS)
+		base = ck.Stride.NextIndex
+	}
+	fails := &failSink{list: rep.WorkerFailures}
 	roundSize := int64(p) * strideBatch
 	recs := make([][]strideRec, p)
-	// needBugRepro/needDivRepro tell workers whether the merged report
-	// still lacks a repro; they are written only between rounds.
-	needBugRepro, needDivRepro := true, opts.Fair
+	// needBugRepro/needDivRepro/needWedgeRepro tell workers whether the
+	// merged report still lacks a repro; written only between rounds.
+	needBugRepro := rep.FirstBug == nil
+	needDivRepro := opts.Fair && rep.Divergence == nil
+	needWedgeRepro := rep.FirstWedge == nil
 
 	cfg := engine.Config{
 		Fair:        opts.Fair,
 		FairK:       opts.FairK,
 		MaxSteps:    opts.MaxSteps,
 		RecordTrace: opts.RecordTrace,
+		Watchdog:    opts.Watchdog,
+		Deadline:    deadline,
 	}
 
-	for base := int64(0); ; base += roundSize {
+	lastCkpt := start
+	done := false
+	writeCkpt := func(d bool) {
+		if opts.CheckpointPath == "" {
+			return
+		}
+		rep.WorkerFailures = fails.sorted()
+		ck := buildCheckpoint(&opts, rep, prevElapsed+time.Since(start), d)
+		ck.Stride = &StrideState{NextIndex: base}
+		if err := ck.WriteFile(opts.CheckpointPath); err != nil && rep.CheckpointError == "" {
+			rep.CheckpointError = err.Error()
+		}
+	}
+
+loop:
+	for {
 		if opts.MaxExecutions > 0 && base >= opts.MaxExecutions {
 			rep.ExecBounded = true
 			break
@@ -162,6 +254,24 @@ func exploreStride(prog func(*engine.T), opts Options) *Report {
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			rep.TimedOut = true
 			break
+		}
+		if opts.Stop != nil {
+			select {
+			case <-opts.Stop:
+				rep.Interrupted = true
+				break loop
+			default:
+			}
+		}
+		if opts.CheckpointPath != "" {
+			iv := opts.CheckpointInterval
+			if iv <= 0 {
+				iv = defaultCheckpointInterval
+			}
+			if time.Since(lastCkpt) >= iv {
+				lastCkpt = time.Now()
+				writeCkpt(false)
+			}
 		}
 		hi := base + roundSize
 		if opts.MaxExecutions > 0 && hi > opts.MaxExecutions {
@@ -173,16 +283,24 @@ func exploreStride(prog func(*engine.T), opts Options) *Report {
 			go func(w int) {
 				defer wg.Done()
 				recs[w] = strideWorker(prog, &opts, cfg, recs[w][:0], base, hi, w,
-					needBugRepro, needDivRepro)
+					needBugRepro, needDivRepro, needWedgeRepro, fails)
 			}(w)
 		}
 		wg.Wait()
 
 		// Merge the round in global execution-index order, applying the
-		// sequential classify semantics record by record.
+		// sequential classify semantics record by record. Indexing is
+		// relative to the round base, which a resume makes arbitrary.
 		stop := false
 		for i := base + 1; i <= hi && !stop; i++ {
-			r := recs[int((i-1)%int64(p))][(i-1-base)/int64(p)]
+			rel := i - 1 - base
+			r := recs[int(rel%int64(p))][rel/int64(p)]
+			if r.skipped {
+				// The worker crashed on this index twice: explicit
+				// coverage loss, never a silent gap in the merge.
+				rep.Skipped++
+				continue
+			}
 			rep.Executions++
 			rep.TotalSteps += r.steps
 			if r.steps > rep.MaxDepth {
@@ -201,7 +319,9 @@ func exploreStride(prog func(*engine.T), opts Options) *Report {
 					rep.FirstBugExecution = i
 					needBugRepro = false
 				}
-				stop = !opts.ContinueAfterViolation
+				if !opts.ContinueAfterViolation {
+					stop, done = true, true
+				}
 			case engine.Diverged:
 				rep.NonTerminating++
 				if opts.Fair {
@@ -210,45 +330,111 @@ func exploreStride(prog func(*engine.T), opts Options) *Report {
 						rep.DivergenceExecution = i
 						needDivRepro = false
 					}
-					stop = !opts.ContinueAfterDivergence
+					if !opts.ContinueAfterDivergence {
+						stop, done = true, true
+					}
+				}
+			case engine.Wedged:
+				rep.Wedges++
+				if rep.FirstWedge == nil {
+					rep.FirstWedge = r.repro
+					rep.FirstWedgeExecution = i
+					needWedgeRepro = false
+				}
+				if !opts.ContinueAfterViolation {
+					stop, done = true, true
+				}
+			case engine.Aborted:
+				if r.deadline {
+					rep.TimedOut = true
+					stop = true // resumable, unlike a finding stop
+				} else {
+					panic("search: unexpected abort in stride merge")
 				}
 			default:
 				panic("search: unexpected outcome in stride merge")
 			}
 		}
+		base = hi
 		if stop {
 			break
 		}
 	}
-	rep.Elapsed = time.Since(start)
+	rep.WorkerFailures = fails.sorted()
+	rep.Elapsed = prevElapsed + time.Since(start)
+	writeCkpt(done)
 	return rep
 }
 
 // strideWorker runs worker w's slice of round indices (base, hi] and
-// records per-execution accounting. It reproduces at most one bug and
-// one divergence — its first of each, which is the only candidate the
-// ordered merge can select from this worker.
+// records per-execution accounting. It reproduces at most one bug, one
+// divergence, and one wedge — its first of each, which is the only
+// candidate the ordered merge can select from this worker. A crashing
+// index is retried once, then marked skipped.
 func strideWorker(prog func(*engine.T), opts *Options, cfg engine.Config,
-	buf []strideRec, base, hi int64, w int, needBug, needDiv bool) []strideRec {
+	buf []strideRec, base, hi int64, w int,
+	needBug, needDiv, needWedge bool, fails *failSink) []strideRec {
 	p := int64(opts.Parallelism)
 	for i := base + 1 + int64(w); i <= hi; i += p {
-		r := engine.Run(prog, newStrideChooser(opts, i), cfg)
-		rec := strideRec{steps: r.Steps, outcome: r.Outcome}
-		switch r.Outcome {
-		case engine.Deadlock, engine.Violation:
-			if needBug {
-				rec.repro = reproduceStandalone(prog, *opts, r)
+		var rec strideRec
+		ok := false
+		for attempt := 1; attempt <= workerAttempts && !ok; attempt++ {
+			rec, ok = runStrideIndex(prog, opts, cfg, i, attempt,
+				needBug, needDiv, needWedge, fails)
+		}
+		if !ok {
+			rec = strideRec{skipped: true}
+		}
+		if rec.repro != nil {
+			switch rec.outcome {
+			case engine.Deadlock, engine.Violation:
 				needBug = false
-			}
-		case engine.Diverged:
-			if needDiv {
-				rec.repro = reproduceStandalone(prog, *opts, r)
+			case engine.Diverged:
 				needDiv = false
+			case engine.Wedged:
+				needWedge = false
 			}
 		}
 		buf = append(buf, rec)
 	}
 	return buf
+}
+
+// runStrideIndex runs one execution index under recover, converting a
+// crash anywhere in the engine/searcher machinery into a recorded
+// WorkerFailure instead of a process abort.
+func runStrideIndex(prog func(*engine.T), opts *Options, cfg engine.Config,
+	i int64, attempt int, needBug, needDiv, needWedge bool,
+	fails *failSink) (rec strideRec, ok bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			fails.add(WorkerFailure{Mode: "stride", Unit: i, Attempt: attempt,
+				Panic: fmt.Sprint(p), Stack: string(debug.Stack())})
+			rec, ok = strideRec{}, false
+		}
+	}()
+	if h := workerFaultHook; h != nil {
+		h("stride", i)
+	}
+	r := engine.Run(prog, newStrideChooser(opts, i), cfg)
+	rec = strideRec{steps: r.Steps, outcome: r.Outcome, deadline: r.DeadlineExceeded}
+	switch r.Outcome {
+	case engine.Deadlock, engine.Violation:
+		if needBug {
+			rec.repro = reproduceStandalone(prog, *opts, r)
+		}
+	case engine.Diverged:
+		if needDiv {
+			rec.repro = reproduceStandalone(prog, *opts, r)
+		}
+	case engine.Wedged:
+		// A wedge cannot be replayed (the wedged step is absent from
+		// the schedule); the original result is the repro.
+		if needWedge {
+			rec.repro = r
+		}
+	}
+	return rec, true
 }
 
 // ---------------------------------------------------------------------
@@ -336,12 +522,13 @@ func splitFrontier(prog func(*engine.T), opts Options, target int) []*prefixNode
 			Fair:     opts.Fair,
 			FairK:    opts.FairK,
 			MaxSteps: opts.MaxSteps,
+			Watchdog: opts.Watchdog,
 		})
 		if r.Outcome != engine.Aborted || c.ended || len(c.alts) == 0 {
 			// The execution finished (terminated, deadlocked, violated,
-			// or diverged) or stopped branching during the replay: the
-			// prefix is a complete execution by itself. A worker will
-			// run and classify it.
+			// diverged, or wedged) or stopped branching during the
+			// replay: the prefix is a complete execution by itself. A
+			// worker will run and classify it.
 			pfx.leaf = true
 			continue
 		}
@@ -376,6 +563,72 @@ func exploreSubtree(prog func(*engine.T), opts Options, pfx *prefixNode,
 	return &s.report
 }
 
+// prefixQueue hands frontier indices to workers: fresh indices in DFS
+// order, crashed indices requeued for one retry.
+type prefixQueue struct {
+	mu       sync.Mutex
+	next     int
+	n        int
+	requeued []int
+	attempts map[int]int // failed attempts per index
+}
+
+// get claims the next prefix below the cancellation horizon, retries
+// first. ok=false means no work remains for this worker. A requeued
+// index is only ever produced here after its failing attempt returned,
+// so attempts never run concurrently with themselves.
+func (q *prefixQueue) get(stopBefore *atomic.Int64) (idx, attempt int, ok bool) {
+	horizon := int(stopBefore.Load())
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.requeued) > 0 {
+		i := q.requeued[0]
+		q.requeued = q.requeued[1:]
+		if i >= horizon {
+			continue // the merge already gave up on this subtree
+		}
+		return i, q.attempts[i] + 1, true
+	}
+	if q.next < q.n && q.next < horizon {
+		i := q.next
+		q.next++
+		return i, 1, true
+	}
+	return 0, 0, false
+}
+
+// fail records a crashed attempt. It reports true when the index was
+// requeued for another try, false when the retry budget is spent.
+func (q *prefixQueue) fail(i int) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.attempts[i]++
+	if q.attempts[i] >= workerAttempts {
+		return false
+	}
+	q.requeued = append(q.requeued, i)
+	return true
+}
+
+// runPrefixUnit explores one frontier subtree under recover: a crash
+// anywhere below becomes a recorded WorkerFailure, not a process abort.
+func runPrefixUnit(prog func(*engine.T), opts Options, pfx *prefixNode,
+	deadline time.Time, i, attempt int, stopBefore *atomic.Int64,
+	fails *failSink) (rep *Report, failed bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			fails.add(WorkerFailure{Mode: "prefix", Unit: int64(i), Attempt: attempt,
+				Panic: fmt.Sprint(p), Stack: string(debug.Stack())})
+			rep, failed = nil, true
+		}
+	}()
+	if h := workerFaultHook; h != nil {
+		h("prefix", int64(i))
+	}
+	return exploreSubtree(prog, opts, pfx, deadline,
+		func() bool { return int64(i) >= stopBefore.Load() }), false
+}
+
 // explorePrefix runs the systematic strategies over a shared,
 // DFS-ordered prefix queue with an order-preserving merge.
 func explorePrefix(prog func(*engine.T), opts Options) *Report {
@@ -386,36 +639,72 @@ func explorePrefix(prog func(*engine.T), opts Options) *Report {
 		deadline = start.Add(opts.TimeLimit)
 	}
 
-	prefixes := splitFrontier(prog, opts, prefixTargetFactor*p)
+	rep := &Report{}
+	var prevElapsed time.Duration
+	var prefixes []*prefixNode
+	merged := 0
+	allExhausted := true
+	if ck := opts.Resume; ck != nil {
+		applyCheckpoint(rep, ck)
+		prevElapsed = time.Duration(ck.Counters.ElapsedNS)
+		merged = ck.Prefix.Merged
+		allExhausted = ck.Prefix.AllExhausted
+		// The saved frontier is authoritative: prefixes below Merged
+		// are done; the rest are re-queued (results that were in
+		// flight at checkpoint time are recomputed).
+		prefixes = make([]*prefixNode, len(ck.Prefix.Frontier))
+		for i, sp := range ck.Prefix.Frontier {
+			prefixes[i] = &prefixNode{
+				sched: append([]engine.Alt(nil), sp.Sched...),
+				leaf:  sp.Leaf,
+			}
+		}
+	} else {
+		prefixes = splitFrontier(prog, opts, prefixTargetFactor*p)
+	}
+	fails := &failSink{list: rep.WorkerFailures}
 
 	// Workers claim prefixes in frontier order; stopBefore is the
 	// merge's cancellation horizon — prefixes at or beyond it will be
 	// discarded, so claiming or continuing them is wasted work.
-	var claim atomic.Int64
+	queue := &prefixQueue{next: merged, n: len(prefixes), attempts: map[int]int{}}
 	var stopBefore atomic.Int64
 	stopBefore.Store(int64(len(prefixes)))
 
 	type prefixResult struct {
 		idx int
-		rep *Report
+		rep *Report // nil: skipped after repeated worker crashes
 	}
+	// Each prefix produces at most one result (a crash that will be
+	// retried produces none), so this capacity makes sends nonblocking
+	// even when the merge has already stopped.
 	results := make(chan prefixResult, len(prefixes))
 	var wg sync.WaitGroup
 	subOpts := opts
 	subOpts.Parallelism = 1
-	subOpts.TimeLimit = 0 // the shared deadline is passed explicitly
+	subOpts.TimeLimit = 0       // the shared deadline is passed explicitly
+	subOpts.CheckpointPath = "" // the driver checkpoints at merge granularity
+	subOpts.Resume = nil
+	subOpts.Stop = nil // cancellation reaches subtrees via stopBefore
 	for w := 0; w < p; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
-				i := claim.Add(1) - 1
-				if i >= int64(len(prefixes)) || i >= stopBefore.Load() {
+				i, attempt, ok := queue.get(&stopBefore)
+				if !ok {
 					return
 				}
-				rep := exploreSubtree(prog, subOpts, prefixes[i], deadline,
-					func() bool { return i >= stopBefore.Load() })
-				results <- prefixResult{int(i), rep}
+				r, failed := runPrefixUnit(prog, subOpts, prefixes[i], deadline,
+					i, attempt, &stopBefore, fails)
+				if failed {
+					if queue.fail(i) {
+						continue // requeued for one retry
+					}
+					results <- prefixResult{i, nil}
+					continue
+				}
+				results <- prefixResult{i, r}
 			}
 		}()
 	}
@@ -424,11 +713,28 @@ func explorePrefix(prog func(*engine.T), opts Options) *Report {
 	// order, mirroring the sequential classify/stop semantics at
 	// subtree granularity. Everything after a stop is discarded, so
 	// the merged report is independent of worker timing.
-	rep := &Report{}
+	lastCkpt := start
+	done := false
+	writeCkpt := func(d bool) {
+		if opts.CheckpointPath == "" {
+			return
+		}
+		rep.WorkerFailures = fails.sorted()
+		ck := buildCheckpoint(&opts, rep, prevElapsed+time.Since(start), d)
+		st := &PrefixState{Merged: merged, AllExhausted: allExhausted,
+			Frontier: make([]savedPrefix, len(prefixes))}
+		for i, pfx := range prefixes {
+			st.Frontier[i] = savedPrefix{Sched: pfx.sched, Leaf: pfx.leaf}
+		}
+		ck.Prefix = st
+		if err := ck.WriteFile(opts.CheckpointPath); err != nil && rep.CheckpointError == "" {
+			rep.CheckpointError = err.Error()
+		}
+	}
+
 	pending := make(map[int]*Report)
-	merged := 0
 	stopped := false
-	allExhausted := true
+merge:
 	for merged < len(prefixes) {
 		if opts.MaxExecutions > 0 && rep.Executions >= opts.MaxExecutions {
 			rep.ExecBounded = true
@@ -437,11 +743,42 @@ func explorePrefix(prog func(*engine.T), opts Options) *Report {
 		}
 		r, ok := pending[merged]
 		if !ok {
-			pr := <-results
-			pending[pr.idx] = pr.rep
+			if opts.Stop != nil {
+				select {
+				case pr := <-results:
+					pending[pr.idx] = pr.rep
+				case <-opts.Stop:
+					rep.Interrupted = true
+					stopped = true
+					break merge
+				}
+			} else {
+				pr := <-results
+				pending[pr.idx] = pr.rep
+			}
 			continue
 		}
 		delete(pending, merged)
+		if r != nil && (r.ExecBounded || r.TimedOut) {
+			// The subtree itself was cut short by a budget, so its
+			// report covers only part of the prefix. Merging it would
+			// mark the prefix complete and a resume would skip the
+			// unexplored tail; discard the partial work and stop at the
+			// last fully merged prefix instead.
+			rep.ExecBounded = rep.ExecBounded || r.ExecBounded
+			rep.TimedOut = rep.TimedOut || r.TimedOut
+			stopped = true
+			break
+		}
+		if r == nil {
+			// Subtree abandoned after repeated worker crashes: the
+			// coverage loss is explicit (Skipped, WorkerFailures) and
+			// the tree can no longer be called exhausted.
+			rep.Skipped++
+			allExhausted = false
+			merged++
+			continue
+		}
 		if r.FirstBug != nil && rep.FirstBug == nil {
 			rep.FirstBug = r.FirstBug
 			rep.FirstBugExecution = rep.Executions + r.FirstBugExecution
@@ -449,6 +786,10 @@ func explorePrefix(prog func(*engine.T), opts Options) *Report {
 		if r.Divergence != nil && rep.Divergence == nil {
 			rep.Divergence = r.Divergence
 			rep.DivergenceExecution = rep.Executions + r.DivergenceExecution
+		}
+		if r.FirstWedge != nil && rep.FirstWedge == nil {
+			rep.FirstWedge = r.FirstWedge
+			rep.FirstWedgeExecution = rep.Executions + r.FirstWedgeExecution
 		}
 		rep.Executions += r.Executions
 		rep.TotalSteps += r.TotalSteps
@@ -458,27 +799,33 @@ func explorePrefix(prog func(*engine.T), opts Options) *Report {
 		rep.NonTerminating += r.NonTerminating
 		rep.Deadlocks += r.Deadlocks
 		rep.Violations += r.Violations
+		rep.Wedges += r.Wedges
 		if !r.Exhausted {
 			allExhausted = false
 		}
 		merged++
 		// Stop conditions, in the order the subtree searcher hit them.
 		if r.FirstBug != nil && !opts.ContinueAfterViolation {
-			stopped = true
+			stopped, done = true, true
 		}
 		if r.Divergence != nil && !opts.ContinueAfterDivergence {
-			stopped = true
+			stopped, done = true, true
 		}
-		if r.TimedOut {
-			rep.TimedOut = true
-			stopped = true
-		}
-		if r.ExecBounded { // a single subtree exceeded MaxExecutions
-			rep.ExecBounded = true
-			stopped = true
+		if r.FirstWedge != nil && !opts.ContinueAfterViolation {
+			stopped, done = true, true
 		}
 		if stopped {
 			break
+		}
+		if opts.CheckpointPath != "" {
+			iv := opts.CheckpointInterval
+			if iv <= 0 {
+				iv = defaultCheckpointInterval
+			}
+			if time.Since(lastCkpt) >= iv {
+				lastCkpt = time.Now()
+				writeCkpt(false)
+			}
 		}
 	}
 	stopBefore.Store(int64(merged))
@@ -486,6 +833,11 @@ func explorePrefix(prog func(*engine.T), opts Options) *Report {
 	close(results)
 
 	rep.Exhausted = !stopped && merged == len(prefixes) && allExhausted
-	rep.Elapsed = time.Since(start)
+	if rep.Exhausted {
+		done = true
+	}
+	rep.WorkerFailures = fails.sorted()
+	rep.Elapsed = prevElapsed + time.Since(start)
+	writeCkpt(done)
 	return rep
 }

@@ -1,0 +1,418 @@
+package search_test
+
+import (
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fairmc/internal/engine"
+	"fairmc/internal/search"
+	"fairmc/internal/syncmodel"
+)
+
+// wedger spawns a thread that blocks on a raw Go channel — outside the
+// conc API, invisible to the scheduler — so every execution wedges
+// once the watchdog fires.
+func wedger(t *engine.T) {
+	x := syncmodel.NewIntVar(t, "x", 0)
+	block := make(chan struct{})
+	h := t.Go("stuck", func(t *engine.T) {
+		x.Store(t, 1)
+		<-block // escapes the checker: no scheduling point ever again
+	})
+	h.Join(t)
+}
+
+// normalizeFaults additionally strips the fault bookkeeping, for
+// comparing a fault-injected report against a clean baseline.
+func normalizeFaults(r *search.Report) *search.Report {
+	c := *normalize(r)
+	c.WorkerFailures = nil
+	return &c
+}
+
+// TestSearchWatchdogWedge: a thread stuck outside the conc API ends
+// the search with a Wedged finding instead of hanging it forever.
+func TestSearchWatchdogWedge(t *testing.T) {
+	rep := search.Explore(wedger, search.Options{
+		Fair:         true,
+		ContextBound: -1,
+		MaxSteps:     1000,
+		Watchdog:     30 * time.Millisecond,
+	})
+	if rep.Wedges != 1 || rep.FirstWedge == nil {
+		t.Fatalf("wedges = %d, FirstWedge = %v; want 1 wedge recorded", rep.Wedges, rep.FirstWedge)
+	}
+	if rep.FirstWedgeExecution != 1 {
+		t.Fatalf("FirstWedgeExecution = %d, want 1", rep.FirstWedgeExecution)
+	}
+	w := rep.FirstWedge.Wedge
+	if w == nil || w.Name != "stuck" {
+		t.Fatalf("wedge info = %+v, want thread %q identified", w, "stuck")
+	}
+	if rep.Exhausted {
+		t.Fatal("a wedge-stopped search must not report exhaustion")
+	}
+}
+
+// TestStrideWorkerPanicRetried: a worker that crashes once on one
+// execution index is retried inline; the final report is identical to
+// the uninjected run, with the crash recorded as history.
+func TestStrideWorkerPanicRetried(t *testing.T) {
+	opts := search.Options{
+		Fair:                   true,
+		RandomWalk:             true,
+		MaxExecutions:          64,
+		MaxSteps:               1000,
+		Seed:                   3,
+		Parallelism:            4,
+		ContinueAfterViolation: true,
+	}
+	baseline := search.Explore(racyIncrement, opts)
+
+	var fired atomic.Bool
+	search.SetWorkerFaultHook(func(mode string, unit int64) {
+		if mode == "stride" && unit == 5 && fired.CompareAndSwap(false, true) {
+			panic("injected stride fault")
+		}
+	})
+	defer search.SetWorkerFaultHook(nil)
+	injected := search.Explore(racyIncrement, opts)
+
+	if !reflect.DeepEqual(normalizeFaults(baseline), normalizeFaults(injected)) {
+		t.Fatalf("injected run differs from baseline:\n%+v\nvs\n%+v", baseline, injected)
+	}
+	if len(injected.WorkerFailures) != 1 {
+		t.Fatalf("worker failures = %+v, want exactly one", injected.WorkerFailures)
+	}
+	wf := injected.WorkerFailures[0]
+	if wf.Mode != "stride" || wf.Unit != 5 || wf.Attempt != 1 || wf.Panic != "injected stride fault" {
+		t.Fatalf("failure record = %+v", wf)
+	}
+	if wf.Stack == "" {
+		t.Fatal("failure record is missing the goroutine stack")
+	}
+	if injected.Skipped != 0 {
+		t.Fatalf("skipped = %d after a successful retry, want 0", injected.Skipped)
+	}
+}
+
+// TestStrideWorkerPanicSkipped: an execution index that crashes on
+// every attempt is abandoned after the retry budget — reported as
+// Skipped with both attempts on record, never a hang or a silent gap.
+func TestStrideWorkerPanicSkipped(t *testing.T) {
+	opts := search.Options{
+		Fair:                   true,
+		RandomWalk:             true,
+		MaxExecutions:          64,
+		MaxSteps:               1000,
+		Seed:                   3,
+		Parallelism:            4,
+		ContinueAfterViolation: true,
+	}
+	search.SetWorkerFaultHook(func(mode string, unit int64) {
+		if mode == "stride" && unit == 5 {
+			panic("persistent stride fault")
+		}
+	})
+	defer search.SetWorkerFaultHook(nil)
+	rep := search.Explore(racyIncrement, opts)
+
+	if rep.Skipped != 1 {
+		t.Fatalf("skipped = %d, want 1", rep.Skipped)
+	}
+	if rep.Executions != 63 {
+		t.Fatalf("executions = %d, want 63 (64 minus the skipped index)", rep.Executions)
+	}
+	if len(rep.WorkerFailures) != 2 {
+		t.Fatalf("worker failures = %+v, want both attempts", rep.WorkerFailures)
+	}
+	for i, wf := range rep.WorkerFailures {
+		if wf.Unit != 5 || wf.Attempt != i+1 {
+			t.Fatalf("failure %d = %+v, want unit 5 attempt %d", i, wf, i+1)
+		}
+	}
+}
+
+// TestPrefixWorkerPanicRetried: a crash while exploring one frontier
+// subtree is requeued once; the merged report matches the uninjected
+// parallel run.
+func TestPrefixWorkerPanicRetried(t *testing.T) {
+	opts := search.Options{
+		Fair:         true,
+		ContextBound: -1,
+		MaxSteps:     1000,
+		Parallelism:  4,
+	}
+	baseline := search.Explore(fig3, opts)
+	if !baseline.Exhausted {
+		t.Fatal("baseline did not exhaust; pick a smaller program")
+	}
+
+	var fired atomic.Bool
+	search.SetWorkerFaultHook(func(mode string, unit int64) {
+		if mode == "prefix" && unit == 2 && fired.CompareAndSwap(false, true) {
+			panic("injected prefix fault")
+		}
+	})
+	defer search.SetWorkerFaultHook(nil)
+	injected := search.Explore(fig3, opts)
+
+	if !reflect.DeepEqual(normalizeFaults(baseline), normalizeFaults(injected)) {
+		t.Fatalf("injected run differs from baseline:\n%+v\nvs\n%+v", baseline, injected)
+	}
+	if len(injected.WorkerFailures) != 1 {
+		t.Fatalf("worker failures = %+v, want exactly one", injected.WorkerFailures)
+	}
+	if wf := injected.WorkerFailures[0]; wf.Mode != "prefix" || wf.Unit != 2 || wf.Attempt != 1 {
+		t.Fatalf("failure record = %+v", wf)
+	}
+}
+
+// TestPrefixWorkerPanicSkipped: a subtree that crashes on both
+// attempts is reported as a skipped subtree and the search can no
+// longer claim exhaustion — explicit coverage loss, not silent.
+func TestPrefixWorkerPanicSkipped(t *testing.T) {
+	opts := search.Options{
+		Fair:         true,
+		ContextBound: -1,
+		MaxSteps:     1000,
+		Parallelism:  4,
+	}
+	search.SetWorkerFaultHook(func(mode string, unit int64) {
+		if mode == "prefix" && unit == 2 {
+			panic("persistent prefix fault")
+		}
+	})
+	defer search.SetWorkerFaultHook(nil)
+	rep := search.Explore(fig3, opts)
+
+	if rep.Skipped != 1 {
+		t.Fatalf("skipped = %d, want 1", rep.Skipped)
+	}
+	if rep.Exhausted {
+		t.Fatal("a search with a skipped subtree must not report exhaustion")
+	}
+	if len(rep.WorkerFailures) != 2 {
+		t.Fatalf("worker failures = %+v, want both attempts", rep.WorkerFailures)
+	}
+}
+
+// TestWedgePlusWorkerPanicTerminates is the robustness acceptance
+// scenario: one wedged thread and one injected worker crash in the
+// same parallel search — it still terminates and reports both.
+func TestWedgePlusWorkerPanicTerminates(t *testing.T) {
+	var fired atomic.Bool
+	search.SetWorkerFaultHook(func(mode string, unit int64) {
+		if mode == "stride" && unit == 2 && fired.CompareAndSwap(false, true) {
+			panic("injected worker crash")
+		}
+	})
+	defer search.SetWorkerFaultHook(nil)
+	rep := search.Explore(wedger, search.Options{
+		Fair:          true,
+		RandomWalk:    true,
+		MaxExecutions: 4,
+		MaxSteps:      1000,
+		Seed:          1,
+		Parallelism:   2,
+		Watchdog:      20 * time.Millisecond,
+	})
+	if rep.FirstWedge == nil || rep.FirstWedgeExecution != 1 {
+		t.Fatalf("wedge not reported: %+v", rep)
+	}
+	if len(rep.WorkerFailures) != 1 || rep.WorkerFailures[0].Unit != 2 {
+		t.Fatalf("worker crash not reported: %+v", rep.WorkerFailures)
+	}
+	// Give the leaked wedged goroutines their store/park attempts so
+	// they self-destruct before any later engine runs.
+	time.Sleep(50 * time.Millisecond)
+}
+
+// roundTrip runs opts to completion as a baseline, then reruns it with
+// a small execution budget plus a checkpoint, resumes from that
+// checkpoint with the original budget, and requires the stitched
+// report to be identical to the baseline.
+func roundTrip(t *testing.T, prog func(*engine.T), opts search.Options, splitAt int64) {
+	t.Helper()
+	baseline := search.Explore(prog, opts)
+
+	path := filepath.Join(t.TempDir(), "search.ckpt")
+	first := opts
+	first.MaxExecutions = splitAt
+	first.CheckpointPath = path
+	rep1 := search.Explore(prog, first)
+	if !rep1.ExecBounded {
+		t.Fatalf("first phase did not stop on the execution budget: %+v", rep1)
+	}
+	if rep1.CheckpointError != "" {
+		t.Fatalf("checkpoint write failed: %s", rep1.CheckpointError)
+	}
+
+	ck, err := search.LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("loading checkpoint: %v", err)
+	}
+	second := opts
+	second.CheckpointPath = path
+	second.Resume = ck
+	rep2 := search.Explore(prog, second)
+
+	if !reflect.DeepEqual(normalize(baseline), normalize(rep2)) {
+		t.Fatalf("resumed report differs from uninterrupted baseline:\n%+v\nvs\n%+v",
+			baseline, rep2)
+	}
+	if rep2.Elapsed < rep1.Elapsed {
+		t.Fatalf("resumed Elapsed %v did not accumulate the checkpointed %v",
+			rep2.Elapsed, rep1.Elapsed)
+	}
+}
+
+func TestCheckpointResumeRoundTrip(t *testing.T) {
+	random := search.Options{
+		Fair:                   true,
+		RandomWalk:             true,
+		MaxExecutions:          200,
+		MaxSteps:               1000,
+		Seed:                   7,
+		ContinueAfterViolation: true,
+		ProgramName:            "racy-increment",
+	}
+	systematic := search.Options{
+		Fair:         true,
+		ContextBound: -1,
+		MaxSteps:     1000,
+		ProgramName:  "fig3",
+	}
+	t.Run("seq-random", func(t *testing.T) {
+		roundTrip(t, racyIncrement, random, 80)
+	})
+	t.Run("stride-p4", func(t *testing.T) {
+		opts := random
+		opts.Parallelism = 4
+		roundTrip(t, racyIncrement, opts, 64)
+	})
+	t.Run("seq-dfs", func(t *testing.T) {
+		roundTrip(t, fig3, systematic, 20)
+	})
+	t.Run("prefix-p4", func(t *testing.T) {
+		opts := systematic
+		opts.Parallelism = 4
+		roundTrip(t, fig3, opts, 40)
+	})
+}
+
+// TestStopChannelInterrupt: closing Options.Stop interrupts the search
+// at an execution boundary, writes a resumable checkpoint, and the
+// resumed search finishes exactly like an uninterrupted one.
+func TestStopChannelInterrupt(t *testing.T) {
+	opts := search.Options{
+		Fair:                   true,
+		RandomWalk:             true,
+		MaxExecutions:          120,
+		MaxSteps:               1000,
+		Seed:                   5,
+		ContinueAfterViolation: true,
+		ProgramName:            "racy-increment",
+	}
+	baseline := search.Explore(racyIncrement, opts)
+
+	path := filepath.Join(t.TempDir(), "search.ckpt")
+	stopped := make(chan struct{})
+	close(stopped) // interrupt at the very first poll
+	first := opts
+	first.CheckpointPath = path
+	first.Stop = stopped
+	rep1 := search.Explore(racyIncrement, first)
+	if !rep1.Interrupted {
+		t.Fatalf("search with closed Stop did not report Interrupted: %+v", rep1)
+	}
+
+	ck, err := search.LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("loading checkpoint: %v", err)
+	}
+	second := opts
+	second.Resume = ck
+	rep2 := search.Explore(racyIncrement, second)
+	if !reflect.DeepEqual(normalize(baseline), normalize(rep2)) {
+		t.Fatalf("resumed report differs from uninterrupted baseline:\n%+v\nvs\n%+v",
+			baseline, rep2)
+	}
+}
+
+// TestResumeValidation: a checkpoint is rejected when it belongs to a
+// different search or marks a completed one.
+func TestResumeValidation(t *testing.T) {
+	opts := search.Options{
+		Fair:                   true,
+		RandomWalk:             true,
+		MaxExecutions:          40,
+		MaxSteps:               1000,
+		Seed:                   7,
+		ContinueAfterViolation: true,
+		ProgramName:            "racy-increment",
+	}
+	path := filepath.Join(t.TempDir(), "search.ckpt")
+	first := opts
+	first.MaxExecutions = 10
+	first.CheckpointPath = path
+	search.Explore(racyIncrement, first)
+	ck, err := search.LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reject := func(name string, mutate func(o *search.Options)) {
+		t.Run(name, func(t *testing.T) {
+			bad := opts
+			bad.Resume = ck
+			mutate(&bad)
+			if err := bad.Validate(); err == nil {
+				t.Fatalf("%s resume validated; want rejection", name)
+			}
+		})
+	}
+	reject("program", func(o *search.Options) { o.ProgramName = "other" })
+	reject("seed", func(o *search.Options) { o.Seed = 99 })
+	reject("strategy", func(o *search.Options) { o.RandomWalk = false; o.PCT = true })
+	reject("parallelism", func(o *search.Options) { o.Parallelism = 4 })
+	reject("semantic-option", func(o *search.Options) { o.ContinueAfterViolation = false })
+
+	good := opts
+	good.Resume = ck
+	if err := good.Validate(); err != nil {
+		t.Fatalf("matching resume rejected: %v", err)
+	}
+	// Budgets may change across a resume.
+	good.MaxExecutions = 10_000
+	good.TimeLimit = time.Hour
+	if err := good.Validate(); err != nil {
+		t.Fatalf("resume with larger budget rejected: %v", err)
+	}
+
+	// A terminal checkpoint (the search exhausted or stopped on a
+	// finding) must be rejected: re-running would double-count.
+	donePath := filepath.Join(t.TempDir(), "done.ckpt")
+	doneOpts := search.Options{
+		Fair:           true,
+		ContextBound:   -1,
+		MaxSteps:       1000,
+		ProgramName:    "fig3",
+		CheckpointPath: donePath,
+	}
+	if rep := search.Explore(fig3, doneOpts); !rep.Exhausted {
+		t.Fatal("fig3 search did not exhaust")
+	}
+	doneCk, err := search.LoadCheckpoint(donePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doneOpts.CheckpointPath = ""
+	doneOpts.Resume = doneCk
+	if err := doneOpts.Validate(); err == nil {
+		t.Fatal("resume of a completed (Done) checkpoint validated; want rejection")
+	}
+}

@@ -122,6 +122,37 @@ type Options struct {
 	// the searcher replays the offending schedule itself to produce
 	// repro traces, so this is normally unnecessary).
 	RecordTrace bool
+	// Watchdog is the per-execution stuck-thread detector interval,
+	// threaded to engine.Config.Watchdog: a model thread that blocks or
+	// spins outside the conc API for longer than this ends its
+	// execution with outcome Wedged (a finding — see Report.Wedges)
+	// instead of hanging the search forever. 0 disables it.
+	Watchdog time.Duration
+	// ProgramName identifies the program under test in checkpoints;
+	// a resume whose ProgramName differs from the checkpoint's fails
+	// validation. Optional for searches that never checkpoint.
+	ProgramName string
+	// CheckpointPath, when nonempty, makes the search periodically
+	// write a resumable JSON snapshot of its progress to this file
+	// (atomically: tmp + rename), and once more when it stops. See
+	// internal/search/checkpoint.go for what is captured per strategy.
+	CheckpointPath string
+	// CheckpointInterval is the minimum time between periodic
+	// checkpoint writes; 0 means 30s. The final write on stop always
+	// happens regardless of the interval.
+	CheckpointInterval time.Duration
+	// Resume restarts the search from a checkpoint previously written
+	// via CheckpointPath. The checkpoint's Meta (program name,
+	// strategy, seed, options hash, parallelism) must match these
+	// Options; budgets (MaxExecutions, TimeLimit) may differ, so an
+	// interrupted search can be resumed with a larger budget.
+	Resume *Checkpoint
+	// Stop, when non-nil, is polled between executions (sequential) or
+	// at round/merge boundaries (parallel): closing it interrupts the
+	// search, which writes a final checkpoint (when configured) and
+	// returns with Report.Interrupted set. This is how cmd/fairmc
+	// turns SIGINT/SIGTERM into a clean, resumable stop.
+	Stop <-chan struct{}
 }
 
 // Report summarizes a search.
@@ -152,12 +183,40 @@ type Report struct {
 	// the candidate liveness error the paper's outcome 2/3 describes.
 	Divergence          *engine.Result
 	DivergenceExecution int64
+	// Wedges counts executions that ended with outcome Wedged: a model
+	// thread blocked or spun outside the conc API past the watchdog
+	// interval. FirstWedge is the first such execution's result (its
+	// schedule is the wedge-free prefix) and FirstWedgeExecution its
+	// 1-based index. A wedge stops the search like a violation unless
+	// ContinueAfterViolation is set.
+	Wedges              int64
+	FirstWedge          *engine.Result
+	FirstWedgeExecution int64
 	// Exhausted reports that the schedule tree was fully explored.
 	Exhausted bool
 	// TimedOut / ExecBounded report which budget stopped the search.
 	TimedOut    bool
 	ExecBounded bool
-	// Elapsed is the wall-clock search time.
+	// Interrupted reports that the search stopped because Options.Stop
+	// was closed (e.g. SIGINT in cmd/fairmc). Interrupted searches are
+	// resumable from their final checkpoint.
+	Interrupted bool
+	// Skipped counts work units (stride executions or frontier
+	// subtrees) abandoned after a worker crashed on them twice —
+	// explicit coverage loss, never silent. Details are in
+	// WorkerFailures.
+	Skipped int64
+	// WorkerFailures records every recovered parallel-worker crash,
+	// sorted by (Unit, Attempt). A unit appears once per failed
+	// attempt; a unit whose retry succeeded contributes its results
+	// normally and appears here only as history.
+	WorkerFailures []WorkerFailure
+	// CheckpointError records the first failed checkpoint write; the
+	// search itself continues (losing resumability is better than
+	// losing the run).
+	CheckpointError string
+	// Elapsed is the wall-clock search time; a resumed search
+	// accumulates the checkpointed elapsed time.
 	Elapsed time.Duration
 }
 
@@ -206,6 +265,13 @@ type searcher struct {
 	report   Report
 	start    time.Time
 	deadline time.Time
+
+	// Checkpoint bookkeeping (sequential searcher only; the parallel
+	// drivers checkpoint at their own round/merge boundaries).
+	nextExec    int64         // execution index the next engine.Run would get
+	ckptDone    bool          // the stop reason is terminal (non-resumable)
+	prevElapsed time.Duration // elapsed time carried over from a resumed checkpoint
+	lastCkpt    time.Time
 }
 
 type visitKey struct {
@@ -219,35 +285,13 @@ type visitKey struct {
 // Explore runs the search to completion (tree exhausted) or until a
 // budget or stop condition is hit.
 func Explore(prog func(*engine.T), opts Options) *Report {
-	if opts.StatefulPrune && opts.Fair {
-		panic("search: StatefulPrune is unsound with Fair")
-	}
-	if opts.SleepSets && opts.Fair {
-		panic("search: SleepSets is unsound with Fair")
-	}
-	if (opts.RandomWalk || opts.PCT) && opts.MaxExecutions <= 0 && opts.TimeLimit <= 0 {
-		panic("search: RandomWalk/PCT needs MaxExecutions or TimeLimit")
-	}
-	if opts.RandomWalk && opts.PCT {
-		panic("search: RandomWalk and PCT are mutually exclusive")
-	}
-	if opts.DPOR && (opts.Fair || opts.RandomWalk || opts.PCT ||
-		opts.DepthBound > 0 || opts.RandomTail || opts.StatefulPrune) {
-		panic("search: DPOR requires a plain unfair systematic search")
+	// Backstop: user-facing entry points (the fairmc facade, the CLI)
+	// call Options.Validate and surface the error; internal callers
+	// reaching Explore with invalid options are a bug.
+	if err := opts.Validate(); err != nil {
+		panic(err)
 	}
 	if opts.Parallelism > 1 {
-		if opts.StatefulPrune {
-			panic("search: StatefulPrune requires Parallelism <= 1 (the visited map is shared across executions)")
-		}
-		if opts.DPOR {
-			panic("search: DPOR requires Parallelism <= 1 (backtrack points cross subtree boundaries)")
-		}
-		if opts.SleepSets {
-			panic("search: SleepSets requires Parallelism <= 1 (sleep sets depend on sibling exploration order)")
-		}
-		if opts.Monitor != nil {
-			panic("search: Monitor requires Parallelism <= 1 (monitors observe executions from one goroutine)")
-		}
 		return exploreParallel(prog, opts)
 	}
 	s := &searcher{prog: prog, opts: opts, start: time.Now()}
@@ -257,13 +301,78 @@ func Explore(prog func(*engine.T), opts Options) *Report {
 	if opts.StatefulPrune {
 		s.visited = make(map[visitKey]struct{})
 	}
+	if ck := opts.Resume; ck != nil {
+		applyCheckpoint(&s.report, ck)
+		s.prevElapsed = time.Duration(ck.Counters.ElapsedNS)
+		if ck.Seq != nil && !(opts.RandomWalk || opts.PCT) {
+			for _, fr := range ck.Seq.Stack {
+				s.stack = append(s.stack, frame{
+					alts: append([]engine.Alt(nil), fr.Alts...),
+					idx:  fr.Idx,
+				})
+			}
+			s.fixed = len(s.stack)
+		}
+	}
 	s.run()
-	s.report.Elapsed = time.Since(s.start)
+	s.report.Elapsed = s.prevElapsed + time.Since(s.start)
+	if opts.CheckpointPath != "" {
+		s.writeCheckpoint(s.ckptDone)
+	}
 	return &s.report
 }
 
+// writeCheckpoint persists the searcher's current frontier and
+// counters. Failures are recorded, not fatal.
+func (s *searcher) writeCheckpoint(done bool) {
+	ck := buildCheckpoint(&s.opts, &s.report, s.prevElapsed+time.Since(s.start), done)
+	if s.opts.RandomWalk || s.opts.PCT {
+		ck.Stride = &StrideState{NextIndex: s.nextExec}
+	} else {
+		st := &SeqState{Stack: make([]savedFrame, len(s.stack))}
+		for i, fr := range s.stack {
+			st.Stack[i] = savedFrame{
+				Alts: append([]engine.Alt(nil), fr.alts...),
+				Idx:  fr.idx,
+			}
+		}
+		ck.Seq = st
+	}
+	if err := ck.WriteFile(s.opts.CheckpointPath); err != nil && s.report.CheckpointError == "" {
+		s.report.CheckpointError = err.Error()
+	}
+}
+
+// maybeCheckpoint writes a periodic checkpoint when the interval has
+// elapsed. Called at the top of the execution loop, where the stack /
+// next index describe exactly the work that has not run yet.
+func (s *searcher) maybeCheckpoint() {
+	if s.opts.CheckpointPath == "" {
+		return
+	}
+	iv := s.opts.CheckpointInterval
+	if iv <= 0 {
+		iv = defaultCheckpointInterval
+	}
+	now := time.Now()
+	if s.lastCkpt.IsZero() {
+		s.lastCkpt = now
+		return
+	}
+	if now.Sub(s.lastCkpt) < iv {
+		return
+	}
+	s.lastCkpt = now
+	s.writeCheckpoint(false)
+}
+
 func (s *searcher) run() {
-	for exec := int64(1); ; exec++ {
+	// Execution indices are global across resumes: a resumed search
+	// continues the same enumeration (and, for the random strategies,
+	// the same per-index seeding) the uninterrupted search would run.
+	startExec := s.report.Executions + 1
+	for exec := startExec; ; exec++ {
+		s.nextExec = exec
 		if s.opts.MaxExecutions > 0 && exec > s.opts.MaxExecutions {
 			s.report.ExecBounded = true
 			return
@@ -272,9 +381,18 @@ func (s *searcher) run() {
 			s.report.TimedOut = true
 			return
 		}
+		if s.opts.Stop != nil {
+			select {
+			case <-s.opts.Stop:
+				s.report.Interrupted = true
+				return
+			default:
+			}
+		}
 		if s.cancelled != nil && s.cancelled() {
 			return // result will be discarded by the parallel driver
 		}
+		s.maybeCheckpoint()
 		s.pos = 0
 		s.preemptUsed = 0
 		s.reason = abortNone
@@ -299,6 +417,8 @@ func (s *searcher) run() {
 			MaxSteps:    s.opts.MaxSteps,
 			RecordTrace: s.opts.RecordTrace,
 			Monitor:     s.opts.Monitor,
+			Watchdog:    s.opts.Watchdog,
+			Deadline:    s.deadline,
 		})
 		s.report.Executions++
 		s.report.TotalSteps += r.Steps
@@ -308,6 +428,11 @@ func (s *searcher) run() {
 
 		stop := s.classify(r, exec)
 		if stop {
+			// A deadline abort (TimedOut) is resumable; stops on a
+			// finding are terminal — resuming would re-run and
+			// re-count the finding's execution.
+			s.ckptDone = !r.DeadlineExceeded
+			s.nextExec = exec + 1
 			return
 		}
 		if s.opts.RandomWalk || s.opts.PCT {
@@ -315,6 +440,8 @@ func (s *searcher) run() {
 		}
 		if !s.backtrack() {
 			s.report.Exhausted = true
+			s.ckptDone = true
+			s.nextExec = exec + 1
 			return
 		}
 	}
@@ -345,6 +472,12 @@ func (s *searcher) classify(r *engine.Result, exec int64) bool {
 		}
 		return false
 	case engine.Aborted:
+		if r.DeadlineExceeded {
+			// The engine-level deadline (TimeLimit threaded down) cut a
+			// runaway execution: account it and stop like a timeout.
+			s.report.TimedOut = true
+			return true
+		}
 		switch s.reason {
 		case abortDepthBound:
 			s.report.NonTerminating++
@@ -354,6 +487,16 @@ func (s *searcher) classify(r *engine.Result, exec int64) bool {
 			s.report.PrunedSleep++
 		}
 		return false
+	case engine.Wedged:
+		// A wedge is a finding: the program escaped the checker's
+		// control. No reproduce run — replaying the schedule would
+		// only reach the wedge-free prefix (and wedge again).
+		s.report.Wedges++
+		if s.report.FirstWedge == nil {
+			s.report.FirstWedge = r
+			s.report.FirstWedgeExecution = exec
+		}
+		return !s.opts.ContinueAfterViolation
 	default:
 		panic("search: unknown outcome")
 	}
@@ -372,16 +515,21 @@ func (s *searcher) reproduce(r *engine.Result) *engine.Result {
 	if len(r.Trace) > 0 {
 		return r
 	}
-	rr := engine.Run(s.prog, &engine.ReplayChooser{Schedule: r.Schedule, Strict: true},
-		engine.Config{
-			Fair:        s.opts.Fair,
-			FairK:       s.opts.FairK,
-			MaxSteps:    s.opts.MaxSteps,
-			RecordTrace: true,
-		})
+	ch := &engine.ReplayChooser{Schedule: r.Schedule, Strict: true}
+	rr := engine.Run(s.prog, ch, engine.Config{
+		Fair:        s.opts.Fair,
+		FairK:       s.opts.FairK,
+		MaxSteps:    s.opts.MaxSteps,
+		RecordTrace: true,
+		Watchdog:    s.opts.Watchdog,
+	})
+	// Internal invariant: a schedule the searcher itself just ran must
+	// replay. A divergence here means the program has nondeterminism
+	// outside the checker's control.
+	if ch.Err != nil {
+		panic("search: repro replay diverged: " + ch.Err.Error())
+	}
 	if rr.Outcome != r.Outcome {
-		// Replay must reproduce the outcome; a mismatch means the
-		// program has nondeterminism outside the checker's control.
 		panic("search: replay diverged from original outcome: " + rr.Outcome.String() +
 			" != " + r.Outcome.String())
 	}

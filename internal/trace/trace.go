@@ -31,6 +31,29 @@ type Meta struct {
 	Note string `json:"note,omitempty"`
 }
 
+// Validate reports whether the metadata is plausible for replaying
+// program. A schedule replayed against the wrong program silently
+// diverges at best; rejecting the mismatch up front turns that into a
+// diagnostic.
+func (m *Meta) Validate(program string) error {
+	if m.Program != "" && program != "" && m.Program != program {
+		return fmt.Errorf("trace: schedule was recorded for program %q, replaying %q", m.Program, program)
+	}
+	if m.FairK < 0 {
+		return fmt.Errorf("trace: invalid fairK %d", m.FairK)
+	}
+	if m.MaxSteps < 0 {
+		return fmt.Errorf("trace: invalid maxSteps %d", m.MaxSteps)
+	}
+	return nil
+}
+
+// maxSaneTid bounds thread ids accepted from a schedule file. The
+// engine numbers threads densely from 0, so a huge tid can only come
+// from corruption; rejecting it here beats a guaranteed divergence (or
+// a huge allocation) later.
+const maxSaneTid = 1 << 20
+
 // file is the on-disk representation.
 type file struct {
 	Version  int      `json:"version"`
@@ -60,6 +83,12 @@ func Unmarshal(data []byte) (Meta, []engine.Alt, error) {
 	for i, s := range f.Schedule {
 		if s[0] < 0 {
 			return Meta{}, nil, fmt.Errorf("trace: negative thread id at step %d", i)
+		}
+		if s[0] > maxSaneTid {
+			return Meta{}, nil, fmt.Errorf("trace: implausible thread id %d at step %d (corrupted schedule?)", s[0], i)
+		}
+		if s[1] < -1 {
+			return Meta{}, nil, fmt.Errorf("trace: invalid choice argument %d at step %d (corrupted schedule?)", s[1], i)
 		}
 		schedule[i] = engine.Alt{Tid: tidset.Tid(s[0]), Arg: s[1]}
 	}

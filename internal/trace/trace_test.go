@@ -58,6 +58,34 @@ func TestUnmarshalErrors(t *testing.T) {
 	if _, _, err := trace.Unmarshal([]byte(neg)); err == nil {
 		t.Fatal("no error for negative tid")
 	}
+	hugeTid := `{"version": 1, "meta": {"program": "x", "fair": true}, "schedule": [[9999999, -1]]}`
+	if _, _, err := trace.Unmarshal([]byte(hugeTid)); err == nil || !strings.Contains(err.Error(), "implausible") {
+		t.Fatalf("implausible-tid error missing: %v", err)
+	}
+	badArg := `{"version": 1, "meta": {"program": "x", "fair": true}, "schedule": [[0, -7]]}`
+	if _, _, err := trace.Unmarshal([]byte(badArg)); err == nil || !strings.Contains(err.Error(), "choice argument") {
+		t.Fatalf("invalid-arg error missing: %v", err)
+	}
+	truncated := `{"version": 1, "meta": {"program": "x"}, "schedule": [[0,`
+	if _, _, err := trace.Unmarshal([]byte(truncated)); err == nil {
+		t.Fatal("no error for truncated file")
+	}
+}
+
+func TestMetaValidate(t *testing.T) {
+	m := trace.Meta{Program: "wsq-bug2", Fair: true}
+	if err := m.Validate("wsq-bug2"); err != nil {
+		t.Fatalf("matching program rejected: %v", err)
+	}
+	if err := m.Validate("other-prog"); err == nil {
+		t.Fatal("program mismatch accepted")
+	}
+	if err := (&trace.Meta{FairK: -1}).Validate(""); err == nil {
+		t.Fatal("negative fairK accepted")
+	}
+	if err := (&trace.Meta{MaxSteps: -5}).Validate(""); err == nil {
+		t.Fatal("negative maxSteps accepted")
+	}
 }
 
 // TestSavedScheduleReplays round-trips a real counterexample through

@@ -26,7 +26,7 @@ func TestStoreLoadForwarding(t *testing.T) {
 		t.Assert(m.Load(t, 1, 0) == 9, "after fence the store is global")
 		m.Close(t)
 	}
-	res := fairmc.Check(prog, fairmc.Options{
+	res := mustCheck(t, prog, fairmc.Options{
 		Fair: true, ContextBound: 1, MaxSteps: 10000, TimeLimit: 20 * time.Second,
 	})
 	if !res.Ok() {
@@ -60,14 +60,14 @@ func TestPetersonBreaksUnderTSO(t *testing.T) {
 	// before reaching the buggy ordering; the randomized schedulers
 	// find it quickly (the strategy-comparison lesson in practice).
 	p, _ := progs.Lookup("peterson-tso")
-	res := fairmc.Check(p.Body, fairmc.Options{
+	res := mustCheck(t, p.Body, fairmc.Options{
 		Fair: true, RandomWalk: true, MaxExecutions: 20000, MaxSteps: 5000, Seed: 3,
 	})
 	if res.FirstBug == nil {
 		t.Fatalf("TSO mutual-exclusion violation not found by random walk (%d executions)",
 			res.Executions)
 	}
-	pct := fairmc.Check(p.Body, fairmc.Options{
+	pct := mustCheck(t, p.Body, fairmc.Options{
 		Fair: true, PCT: true, PCTDepth: 3, MaxExecutions: 20000, MaxSteps: 5000, Seed: 3,
 	})
 	if pct.FirstBug == nil {
@@ -77,7 +77,7 @@ func TestPetersonBreaksUnderTSO(t *testing.T) {
 
 func TestPetersonFencedVerifiedUnderTSO(t *testing.T) {
 	p, _ := progs.Lookup("peterson-tso-fenced")
-	res := fairmc.Check(p.Body, fairmc.Options{
+	res := mustCheck(t, p.Body, fairmc.Options{
 		Fair: true, ContextBound: 1, MaxSteps: 10000, TimeLimit: 15 * time.Second,
 	})
 	if !res.Ok() {
@@ -91,10 +91,21 @@ func TestPetersonFencedVerifiedUnderTSO(t *testing.T) {
 	}
 	// The randomized schedulers that break the unfenced variant in
 	// seconds stay clean on the fenced one.
-	walk := fairmc.Check(p.Body, fairmc.Options{
+	walk := mustCheck(t, p.Body, fairmc.Options{
 		Fair: true, RandomWalk: true, MaxExecutions: 20000, MaxSteps: 5000, Seed: 3,
 	})
 	if !walk.Ok() {
 		t.Fatalf("random walk flagged the fenced variant: %+v", walk.Report)
 	}
+}
+
+// mustCheck unwraps the facade's error return; the options in these
+// tests are statically valid.
+func mustCheck(t *testing.T, prog func(*conc.T), opts fairmc.Options) *fairmc.Result {
+	t.Helper()
+	res, err := fairmc.Check(prog, opts)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	return res
 }

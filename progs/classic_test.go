@@ -25,7 +25,7 @@ func verify(t *testing.T, name string, body func(*fairmc.Options)) {
 	if body != nil {
 		body(&opts)
 	}
-	res := fairmc.Check(p.Body, opts)
+	res := mustCheck(t, p.Body, opts)
 	if !res.Ok() {
 		if res.FirstBug != nil {
 			t.Fatalf("%s: %s", name, res.FirstBug.FormatTrace())
@@ -44,7 +44,7 @@ func falsify(t *testing.T, name string, opts fairmc.Options) *fairmc.Result {
 	if !ok {
 		t.Fatalf("program %q not registered", name)
 	}
-	res := fairmc.Check(p.Body, opts)
+	res := mustCheck(t, p.Body, opts)
 	if res.FirstBug == nil && res.Divergence == nil {
 		t.Fatalf("%s: nothing found in %d executions", name, res.Executions)
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"fairmc"
+	"fairmc/conc"
 	"fairmc/progs"
 )
 
@@ -97,7 +98,7 @@ func checkFindsBug(t *testing.T, name string, opts fairmc.Options) *fairmc.Resul
 	if !ok {
 		t.Fatalf("program %q not registered", name)
 	}
-	res := fairmc.Check(p.Body, opts)
+	res := mustCheck(t, p.Body, opts)
 	if res.FirstBug == nil {
 		t.Fatalf("%s: no bug found in %d executions (%v)", name, res.Executions, res.Elapsed)
 	}
@@ -135,7 +136,7 @@ func TestWSQBugsFound(t *testing.T) {
 
 func TestWSQCorrectHasNoBugUnderCB2(t *testing.T) {
 	p, _ := progs.Lookup("wsq-1")
-	res := fairmc.Check(p.Body, fairmc.Options{
+	res := mustCheck(t, p.Body, fairmc.Options{
 		Fair:         true,
 		ContextBound: 2,
 		MaxSteps:     5000,
@@ -163,7 +164,7 @@ func TestDryadBugsFound(t *testing.T) {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			p, _ := progs.Lookup(name)
-			res := fairmc.Check(p.Body, bugOpts())
+			res := mustCheck(t, p.Body, bugOpts())
 			if res.FirstBug == nil && res.Divergence == nil {
 				t.Fatalf("%s: nothing found in %d executions (%v)",
 					name, res.Executions, res.Elapsed)
@@ -174,7 +175,7 @@ func TestDryadBugsFound(t *testing.T) {
 
 func TestPhilosophersTryLivelockDetected(t *testing.T) {
 	p, _ := progs.Lookup("philosophers-try-2")
-	res := fairmc.Check(p.Body, fairmc.Options{
+	res := mustCheck(t, p.Body, fairmc.Options{
 		Fair:         true,
 		ContextBound: -1,
 		MaxSteps:     400, // small divergence bound keeps the test fast
@@ -193,7 +194,7 @@ func TestPhilosophersTryLivelockDetected(t *testing.T) {
 
 func TestPromiseLivelockDetected(t *testing.T) {
 	p, _ := progs.Lookup("promise-livelock")
-	res := fairmc.Check(p.Body, fairmc.Options{
+	res := mustCheck(t, p.Body, fairmc.Options{
 		Fair:         true,
 		ContextBound: -1,
 		MaxSteps:     400,
@@ -209,7 +210,7 @@ func TestPromiseLivelockDetected(t *testing.T) {
 
 func TestWorkerGroupGSViolationDetected(t *testing.T) {
 	p, _ := progs.Lookup("workergroup-spin")
-	res := fairmc.Check(p.Body, fairmc.Options{
+	res := mustCheck(t, p.Body, fairmc.Options{
 		Fair:         true,
 		ContextBound: -1,
 		MaxSteps:     600,
@@ -225,7 +226,7 @@ func TestWorkerGroupGSViolationDetected(t *testing.T) {
 
 func TestSpinloopNoYieldGSViolation(t *testing.T) {
 	p, _ := progs.Lookup("spinloop-noyield")
-	res := fairmc.Check(p.Body, fairmc.Options{
+	res := mustCheck(t, p.Body, fairmc.Options{
 		Fair:         true,
 		ContextBound: -1,
 		MaxSteps:     400,
@@ -240,7 +241,7 @@ func TestSpinloopNoYieldGSViolation(t *testing.T) {
 
 func TestSpinloopFairSearchExhausts(t *testing.T) {
 	p, _ := progs.Lookup("spinloop")
-	res := fairmc.Check(p.Body, fairmc.Defaults())
+	res := mustCheck(t, p.Body, fairmc.Defaults())
 	if !res.Ok() || !res.Exhausted {
 		t.Fatalf("spinloop check: %+v", res.Report)
 	}
@@ -250,7 +251,7 @@ func TestPhilosophers2FairSearchExhausts(t *testing.T) {
 	// The Table 2 coverage configuration must be fully explorable
 	// under fair DFS despite its cyclic state space.
 	p, _ := progs.Lookup("philosophers-2")
-	res := fairmc.Check(p.Body, fairmc.Options{
+	res := mustCheck(t, p.Body, fairmc.Options{
 		Fair:         true,
 		ContextBound: 2,
 		MaxSteps:     20000,
@@ -268,8 +269,28 @@ func TestBugReplays(t *testing.T) {
 	// A found bug's schedule must replay to the same outcome.
 	p, _ := progs.Lookup("wsq-bug2-lockfree-steal")
 	res := checkFindsBug(t, "wsq-bug2-lockfree-steal", bugOpts())
-	rr := fairmc.Replay(p.Body, res.FirstBug.Schedule, bugOpts())
+	rr := mustReplay(t, p.Body, res.FirstBug.Schedule, bugOpts())
 	if rr.Outcome != res.FirstBug.Outcome {
 		t.Fatalf("replay outcome = %v, want %v", rr.Outcome, res.FirstBug.Outcome)
 	}
+}
+
+// mustCheck and mustReplay unwrap the facade's error return; the
+// options in these tests are statically valid.
+func mustCheck(t *testing.T, prog func(*conc.T), opts fairmc.Options) *fairmc.Result {
+	t.Helper()
+	res, err := fairmc.Check(prog, opts)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	return res
+}
+
+func mustReplay(t *testing.T, prog func(*conc.T), sched []fairmc.Alt, opts fairmc.Options) *fairmc.ExecResult {
+	t.Helper()
+	r, err := fairmc.Replay(prog, sched, opts)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return r
 }
