@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	experiments [-run fig2|table1|table2|fig56|table3|liveness|strategies|parallel|all]
+//	experiments [-run fig2|table1|table2|fig56|table3|liveness|strategies|parallel|conformance|all]
 //	            [-celltime 60s] [-dbounds 20,30,40,50,60] [-quick]
 //	            [-workers 1,2,4,8] [-parexecs 2000] [-json BENCH_parallel.json]
+//	            [-confexecs 2000] [-confreps 3] [-confjson BENCH_conformance.json]
 //
 // Absolute numbers differ from the paper's (different substrate,
 // different hardware); the shapes — exponential growth in Figure 2,
@@ -29,7 +30,7 @@ import (
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "experiment to run: fig2|table1|table2|fig56|table3|liveness|strategies|parallel|all")
+		run      = flag.String("run", "all", "experiment to run: fig2|table1|table2|fig56|table3|liveness|strategies|parallel|conformance|all")
 		cellTime = flag.Duration("celltime", 60*time.Second, "time budget per experiment cell")
 		dbounds  = flag.String("dbounds", "20,30,40,50,60", "depth bounds for the unfair Table 2 runs")
 		fig2b    = flag.String("fig2bounds", "8,10,12,14,16,18,20", "depth bounds for Figure 2")
@@ -38,6 +39,9 @@ func main() {
 		workers  = flag.String("workers", "1,2,4,8", "worker counts for the parallel sweep")
 		parExecs = flag.Int64("parexecs", 2000, "executions per parallel-sweep cell")
 		jsonOut  = flag.String("json", "BENCH_parallel.json", "output file for the parallel sweep (\"\" = stdout only)")
+		cfExecs  = flag.Int64("confexecs", 2000, "executions per conformance-overhead cell")
+		cfReps   = flag.Int("confreps", 3, "repetitions per conformance-overhead cell (best wall clock kept)")
+		cfJSON   = flag.String("confjson", "BENCH_conformance.json", "output file for the conformance sweep (\"\" = stdout only)")
 	)
 	flag.Parse()
 	if *csvDir != "" {
@@ -89,6 +93,13 @@ func main() {
 			execs = 200
 		}
 		runParallel(parseInts(*workers), execs, *jsonOut)
+	}
+	if want("conformance") {
+		execs, reps := *cfExecs, *cfReps
+		if *quick {
+			execs, reps = 200, 1
+		}
+		runConformance(execs, reps, *cfJSON)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
@@ -280,6 +291,41 @@ func runParallel(workers []int, execs int64, jsonPath string) {
 	for _, r := range rep.Rows {
 		fmt.Printf("%-6d %12d %12s %12.0f %8.2fx\n",
 			r.Parallelism, r.Executions, fmtDur(r.Elapsed), r.ExecsPerSec, r.Speedup)
+	}
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("   wrote %s\n", jsonPath)
+	}
+	fmt.Println()
+}
+
+func runConformance(execs int64, reps int, jsonPath string) {
+	fmt.Println("== Extension: conformance-checking overhead ==")
+	fmt.Println("   (execution-bounded DFS, digest checking on vs off, best of reps)")
+	rep := experiments.ConformanceSweep(execs, reps)
+	fmt.Printf("   gomaxprocs=%d numcpu=%d reps=%d\n", rep.GOMAXPROCS, rep.NumCPU, rep.Reps)
+	fmt.Printf("%-12s %12s %12s %12s %9s %10s\n",
+		"program", "executions", "on", "off", "overhead", "identical")
+	csv := newCSV("conformance", "program", "executions", "on_seconds", "off_seconds",
+		"overhead", "quarantined", "identical")
+	defer csv.close()
+	for _, r := range rep.Rows {
+		fmt.Printf("%-12s %12d %12s %12s %8.2fx %10v\n",
+			r.Program, r.Executions, fmtDur(r.ElapsedOn), fmtDur(r.ElapsedOff),
+			r.Overhead, r.Identical)
+		csv.row(r.Program, fmt.Sprint(r.Executions),
+			fmt.Sprintf("%.3f", r.ElapsedOn.Seconds()),
+			fmt.Sprintf("%.3f", r.ElapsedOff.Seconds()),
+			fmt.Sprintf("%.3f", r.Overhead),
+			fmt.Sprint(r.Quarantined), fmt.Sprint(r.Identical))
 	}
 	if jsonPath != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")

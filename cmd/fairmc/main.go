@@ -16,10 +16,23 @@
 // -checkpoint FILE (periodic resumable snapshots; also written on
 // SIGINT/SIGTERM), and -resume FILE (continue a checkpointed search).
 //
-// Exit status: 0 when the check finds nothing, 1 when a safety
-// violation, deadlock, divergence or wedged thread is found, 2 on
-// usage errors, 3 when the search was interrupted by a signal (after
-// writing a final checkpoint if -checkpoint is set).
+// The nondeterminism defense is on by default: prefix replays are
+// verified against per-step conformance digests, a persistently
+// diverging subtree is quarantined after -div-retries replay attempts
+// (reported as a warning; a search with quarantines never claims
+// exhaustion), and every finding is replayed -confirm times and tagged
+// with a reproducibility verdict ("stable (n/n)" or "flaky (k/n)").
+// -no-conformance disables the digest verification, -confirm 0 the
+// confirmation pass.
+//
+// Exit status: 0 when the check finds nothing (including searches that
+// only quarantined nondeterministic subtrees — reported as a warning),
+// 1 when a safety violation, deadlock, divergence or wedged thread is
+// found, 2 on usage errors, 3 when the search was interrupted by a
+// signal (after writing a final checkpoint if -checkpoint is set), 4
+// when findings exist but every one of them failed its confirmation
+// replays (flaky — likely an artifact of program nondeterminism, not a
+// trustworthy counterexample).
 package main
 
 import (
@@ -70,6 +83,9 @@ func main() {
 		ckptFile   = flag.String("checkpoint", "", "write resumable search checkpoints to this file")
 		ckptEvery  = flag.Duration("ckpt-interval", 30*time.Second, "interval between periodic checkpoints")
 		resumeFile = flag.String("resume", "", "resume a search from this checkpoint file")
+		confirm    = flag.Int("confirm", 3, "confirmation replays per finding (reproducibility verdict); 0 disables")
+		divRetries = flag.Int("div-retries", 2, "replay attempts before a diverging (nondeterministic) subtree is quarantined; 0 quarantines on first divergence")
+		noConform  = flag.Bool("no-conformance", false, "disable per-step conformance digests on prefix replays")
 	)
 	flag.Parse()
 
@@ -163,6 +179,14 @@ func main() {
 		Parallelism:   *parallel,
 		Watchdog:      *watchdog,
 		ProgramName:   *prog,
+		ConfirmRuns:   *confirm,
+		// In Options, 0 means "default retries" and negative means none;
+		// on the command line 0 plainly means none.
+		DivergenceRetries:  *divRetries,
+		DisableConformance: *noConform,
+	}
+	if *divRetries == 0 {
+		opts.DivergenceRetries = -1
 	}
 	if *ckptFile != "" {
 		opts.CheckpointPath = *ckptFile
@@ -276,6 +300,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "warning: %d work unit(s) skipped after repeated worker failures; coverage is incomplete\n",
 			res.Skipped)
 	}
+	if res.Quarantined > 0 {
+		fmt.Fprintf(os.Stderr, "warning: %d subtree(s) quarantined — the program is not a deterministic function of its schedule there; coverage is incomplete\n",
+			res.Quarantined)
+		const maxShown = 8
+		for i, nr := range res.Nondeterminism {
+			if i == maxShown {
+				fmt.Fprintf(os.Stderr, "  … and %d more\n", len(res.Nondeterminism)-maxShown)
+				break
+			}
+			fmt.Fprintf(os.Stderr, "  nondeterminism: %s\n", nr.String())
+		}
+	}
 	for _, r := range res.Races {
 		fmt.Printf("RACE: %s\n", r)
 	}
@@ -299,6 +335,24 @@ func main() {
 		}
 		fmt.Printf("schedule saved to %s\n", *saveFile)
 	}
+	// findingExit is 1 for a confirmed (or unconfirmed — ConfirmRuns=0)
+	// finding and 4 when the confirmation pass ran and every replay
+	// failed to reproduce it: the "finding" is likely an artifact of
+	// program nondeterminism, and the distinct status lets scripts keep
+	// treating exit 1 as a trustworthy counterexample.
+	findingExit := func(v *fairmc.Reproducibility) int {
+		if v == nil {
+			return 1
+		}
+		fmt.Printf("reproducibility: %s\n", v)
+		if v.Stable() {
+			return 1
+		}
+		if v.FirstFailure != "" {
+			fmt.Printf("  %s\n", v.FirstFailure)
+		}
+		return 4
+	}
 	switch {
 	case res.FirstBug != nil:
 		fmt.Printf("FOUND %s at execution %d:\n", res.FirstBug.Outcome, res.FirstBugExecution)
@@ -312,7 +366,7 @@ func main() {
 			fmt.Print(res.FirstBug.FormatTrace())
 		}
 		save(res.FirstBug)
-		os.Exit(1)
+		os.Exit(findingExit(res.BugReproducibility))
 	case res.Divergence != nil:
 		fmt.Printf("FOUND divergence at execution %d (after %d steps)\n",
 			res.DivergenceExecution, res.Divergence.Steps)
@@ -321,7 +375,7 @@ func main() {
 			fmt.Print(res.Divergence.FormatTrace())
 		}
 		save(res.Divergence)
-		os.Exit(1)
+		os.Exit(findingExit(res.DivergenceReproducibility))
 	case res.FirstWedge != nil:
 		fmt.Printf("FOUND wedged execution at execution %d:\n", res.FirstWedgeExecution)
 		if res.FirstWedge.Wedge != nil {

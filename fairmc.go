@@ -71,6 +71,28 @@ type Alt = engine.Alt
 // recorded elsewhere); match it with errors.As.
 type ReplayError = engine.ReplayError
 
+// DivergenceError is the structured diagnostic of a conformance
+// failure during replay: the program stopped being a deterministic
+// function of the schedule (wall-clock reads, unseeded randomness,
+// goroutines outside the conc API…). It pinpoints the first divergent
+// step with the expected and observed operations; match it with
+// errors.As.
+type DivergenceError = engine.DivergenceError
+
+// StepDigest is the per-step conformance summary recorded by replays
+// and verified by strict re-replays (see DivergenceError).
+type StepDigest = engine.StepDigest
+
+// NondeterminismReport describes one subtree the search quarantined
+// after its schedule prefix persistently stopped conforming; see
+// Report.Quarantined and Report.Nondeterminism.
+type NondeterminismReport = search.NondeterminismReport
+
+// Reproducibility is the confirmation verdict attached to a finding
+// when Options.ConfirmRuns > 0: stable (every confirmation replay
+// reproduced it) or flaky (k of n).
+type Reproducibility = search.Reproducibility
+
 // LivenessReport classifies a divergence as a good-samaritan
 // violation or a fair nontermination (livelock).
 type LivenessReport = liveness.Report
@@ -106,13 +128,15 @@ const (
 )
 
 // Defaults returns the recommended options: fair scheduling, full DFS
-// (no preemption bound), and a generous per-execution step bound that
-// serves as the divergence detector.
+// (no preemption bound), a generous per-execution step bound that
+// serves as the divergence detector, and a 3-run confirmation pass so
+// every reported finding carries a Reproducibility verdict.
 func Defaults() Options {
 	return Options{
 		Fair:         true,
 		ContextBound: -1,
 		MaxSteps:     100000,
+		ConfirmRuns:  3,
 	}
 }
 
@@ -205,19 +229,39 @@ func CheckIterative(prog func(*conc.T), maxBound int, opts Options) ([]BoundRepo
 
 // Replay re-executes prog along a previously recorded schedule with
 // full trace recording, reproducing a bug found by Check. A schedule
-// that diverges from the program (corrupted, truncated, or recorded
-// against a different program or configuration) is reported as an
-// error; the partial result is returned alongside it for diagnosis.
+// that diverges from the program (corrupted, truncated, recorded
+// against a different program or configuration — or a program that is
+// nondeterministic under its own schedule) is reported as an error
+// (*ReplayError or, with digests, *DivergenceError, both pinpointing
+// the first divergent step); the partial result is returned alongside
+// it for diagnosis. ReplayVerified additionally checks per-step
+// conformance digests.
 func Replay(prog func(*conc.T), schedule []engine.Alt, opts Options) (*ExecResult, error) {
-	ch := &engine.ReplayChooser{Schedule: schedule, Strict: true}
+	return ReplayVerified(prog, schedule, nil, opts)
+}
+
+// ReplayVerified is Replay with per-step conformance verification:
+// digests recorded alongside the schedule (ExecResult.Digests of a
+// finding) are compared at every step, so nondeterminism that keeps
+// the scheduled thread runnable — but changes what it is about to do —
+// is still detected and pinpointed.
+func ReplayVerified(prog func(*conc.T), schedule []engine.Alt, digests []StepDigest, opts Options) (*ExecResult, error) {
+	ch := &engine.ReplayChooser{Schedule: schedule, Digests: digests, Strict: true}
 	r := engine.Run(prog, ch, engine.Config{
-		Fair:        opts.Fair,
-		FairK:       opts.FairK,
-		MaxSteps:    opts.MaxSteps,
-		RecordTrace: true,
+		Fair:          opts.Fair,
+		FairK:         opts.FairK,
+		MaxSteps:      opts.MaxSteps,
+		RecordTrace:   true,
+		RecordDigests: true,
 	})
+	// A not-schedulable step sets both diagnostics; keep returning the
+	// legacy *ReplayError for that case so existing errors.As callers
+	// still match. Digest mismatches only set Div.
 	if ch.Err != nil {
 		return r, ch.Err
+	}
+	if ch.Div != nil {
+		return r, ch.Div
 	}
 	if r.Outcome == engine.Aborted && r.Steps == int64(len(schedule)) {
 		return r, fmt.Errorf("fairmc: replay consumed all %d schedule steps without reaching the recorded outcome (truncated schedule?)", len(schedule))

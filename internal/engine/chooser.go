@@ -78,9 +78,20 @@ type ReplayChooser struct {
 	// execution and record the diagnostic in Err; otherwise the
 	// chooser falls back to its exhaustion mode.
 	Strict bool
+	// Digests, when non-empty in strict mode, are the per-step
+	// conformance digests recorded when the schedule was explored
+	// (Config.RecordDigests); each replayed step is verified against
+	// them and the first mismatch is recorded in Div. This catches
+	// nondeterminism that still happens to keep the scheduled
+	// alternative schedulable.
+	Digests []StepDigest
 	// Err is the structured diagnostic of the first strict-mode
 	// divergence; callers check it after Run.
 	Err *ReplayError
+	// Div is the structured diagnostic of the first conformance
+	// failure (digest mismatch, or not-schedulable when digests give
+	// the expected op); callers check it after Run alongside Err.
+	Div *DivergenceError
 	pos int
 }
 
@@ -88,15 +99,44 @@ type ReplayChooser struct {
 func (r *ReplayChooser) Choose(ctx *ChooseContext) (Alt, bool) {
 	if r.pos < len(r.Schedule) {
 		want := r.Schedule[r.pos]
+		step := r.pos
 		r.pos++
 		for _, a := range ctx.Cands {
 			if a == want {
+				if r.Strict && step < len(r.Digests) {
+					obs := ctx.Engine.StepDigest(ctx.Cands, want)
+					if exp := r.Digests[step]; obs != exp {
+						if r.Div == nil {
+							r.Div = &DivergenceError{
+								Step:     step,
+								Want:     want,
+								Expected: exp,
+								Observed: obs,
+								NumCands: len(ctx.Cands),
+							}
+						}
+						return Alt{}, false
+					}
+				}
 				return a, true
 			}
 		}
 		if r.Strict {
 			if r.Err == nil {
-				r.Err = &ReplayError{Step: r.pos - 1, Want: want, NumCands: len(ctx.Cands)}
+				r.Err = &ReplayError{Step: step, Want: want, NumCands: len(ctx.Cands)}
+			}
+			if r.Div == nil {
+				div := &DivergenceError{
+					Step:           step,
+					Want:           want,
+					Observed:       ctx.Engine.StepDigest(ctx.Cands, want),
+					NumCands:       len(ctx.Cands),
+					NotSchedulable: true,
+				}
+				if step < len(r.Digests) {
+					div.Expected = r.Digests[step]
+				}
+				r.Div = div
 			}
 			return Alt{}, false
 		}

@@ -90,6 +90,10 @@ type Config struct {
 	MaxSteps int64
 	// RecordTrace captures a full per-step trace in the Result.
 	RecordTrace bool
+	// RecordDigests captures a per-step conformance StepDigest in the
+	// Result, so a later strict replay can verify that the program
+	// still conforms to the recorded schedule (see conformance.go).
+	RecordDigests bool
 	// Monitor, if non-nil, observes the execution.
 	Monitor Monitor
 	// CheckInvariants enables internal self-checks (P acyclicity and
@@ -153,6 +157,7 @@ type Engine struct {
 	yieldCnt    int64
 	schedule    []Alt
 	trace       []Step
+	digests     []StepDigest
 
 	prevTid     tidset.Tid
 	prevYielded bool
@@ -166,6 +171,7 @@ type Engine struct {
 	esBuf    tidset.Set    // enabled set at the top of a step
 	esAfter  tidset.Set    // enabled set after a step
 	fpBuf    []byte        // canonical state encoding scratch
+	digBuf   []byte        // conformance-digest encoding scratch
 }
 
 // Run executes the program whose main thread runs body, resolving all
@@ -309,6 +315,13 @@ func (e *Engine) loop() Outcome {
 		if err := validateAlt(alt, cands); err != nil {
 			panic(fmt.Sprintf("engine: chooser returned invalid alternative: %v", err))
 		}
+		// Digest the pre-step state now (executeStep mutates it), but
+		// append only alongside the schedule below, so a wedged step —
+		// absent from the schedule — leaves no digest either.
+		var dig StepDigest
+		if e.cfg.RecordDigests {
+			dig = e.StepDigest(cands, alt)
+		}
 		wasYield := e.executeStep(alt)
 		if e.wedge != nil {
 			// The granted step never completed: the thread is stuck in
@@ -322,6 +335,9 @@ func (e *Engine) loop() Outcome {
 		esAfter := e.enabledSet(e.esAfter)
 		e.esAfter = esAfter
 		e.schedule = append(e.schedule, alt)
+		if e.cfg.RecordDigests {
+			e.digests = append(e.digests, dig)
+		}
 		if e.cfg.RecordTrace {
 			e.trace = append(e.trace, Step{
 				Alt:          alt,
@@ -578,6 +594,7 @@ func (e *Engine) result(outcome Outcome) *Result {
 		Steps:    e.stepCount,
 		Schedule: e.schedule,
 		Trace:    e.trace,
+		Digests:  e.digests,
 		Threads:  len(e.threads),
 		Yields:   e.yieldCnt,
 	}

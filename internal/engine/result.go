@@ -117,10 +117,14 @@ type ThreadStat struct {
 
 // Result reports one complete execution.
 type Result struct {
-	Outcome   Outcome
-	Steps     int64
-	Schedule  []Alt  // the decisions taken, sufficient for replay
-	Trace     []Step // full trace if Config.RecordTrace
+	Outcome  Outcome
+	Steps    int64
+	Schedule []Alt  // the decisions taken, sufficient for replay
+	Trace    []Step // full trace if Config.RecordTrace
+	// Digests are the per-step conformance digests if
+	// Config.RecordDigests; a strict ReplayChooser given these verifies
+	// the program still conforms to the schedule (see conformance.go).
+	Digests   []StepDigest
 	Violation *ViolationInfo
 	Blocked   []BlockedInfo // populated for Deadlock
 	// Wedge identifies the stuck thread for outcome Wedged.

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"runtime"
+	"time"
+
+	"fairmc/conc"
+	"fairmc/internal/search"
+	"fairmc/progs"
+)
+
+// ConformanceRow measures what schedule-conformance checking costs on
+// one deterministic subject: the same execution-bounded search run with
+// digest recording/checking on (the default) and off, with Overhead the
+// on/off wall-clock ratio. Identical asserts the defense is pure
+// observation — both modes must explore the same number of executions,
+// reach the same exhaustion verdict, and quarantine nothing.
+type ConformanceRow struct {
+	Program     string        `json:"program"`
+	Executions  int64         `json:"executions"`
+	ElapsedOn   time.Duration `json:"elapsed_on_ns"`
+	ElapsedOff  time.Duration `json:"elapsed_off_ns"`
+	Overhead    float64       `json:"overhead"`
+	Quarantined int64         `json:"quarantined"`
+	Identical   bool          `json:"identical"`
+}
+
+// ConformanceReport bundles the sweep with host facts and the repetition
+// count (each mode keeps its best-of-Reps wall clock to damp scheduler
+// noise on shared machines).
+type ConformanceReport struct {
+	Reps       int              `json:"reps"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	NumCPU     int              `json:"num_cpu"`
+	Rows       []ConformanceRow `json:"rows"`
+}
+
+// ConformanceSweep times the DFS on deterministic programs with
+// conformance checking enabled vs disabled. The subjects are
+// execution-bounded so both modes do identical work and the wall clock
+// is the measurement; deterministic subjects make Quarantined=0 part of
+// the expected output rather than a flake source.
+func ConformanceSweep(execs int64, reps int) ConformanceReport {
+	if reps < 1 {
+		reps = 1
+	}
+	peterson, _ := progs.Lookup("peterson")
+	subjects := []struct {
+		name string
+		body func(*conc.T)
+		opts search.Options
+	}{
+		{
+			name: "peterson",
+			body: peterson.Body,
+			opts: search.Options{Fair: true, ContextBound: 2, MaxSteps: 1 << 12},
+		},
+		{
+			name: "wsq-2x2",
+			body: progs.WorkStealingQueue(progs.WSQConfig{Items: 2, Stealers: 2}),
+			opts: search.Options{Fair: true, ContextBound: 2, MaxSteps: 1 << 14},
+		},
+	}
+	out := ConformanceReport{
+		Reps:       reps,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	for _, sub := range subjects {
+		opts := sub.opts
+		opts.MaxExecutions = execs
+		opts.ContinueAfterViolation = true
+
+		run := func(disable bool) *search.Report {
+			o := opts
+			o.DisableConformance = disable
+			best := search.Explore(sub.body, o)
+			for i := 1; i < reps; i++ {
+				if r := search.Explore(sub.body, o); r.Elapsed < best.Elapsed {
+					best = r
+				}
+			}
+			return best
+		}
+		on := run(false)
+		off := run(true)
+
+		row := ConformanceRow{
+			Program:     sub.name,
+			Executions:  on.Executions,
+			ElapsedOn:   on.Elapsed,
+			ElapsedOff:  off.Elapsed,
+			Quarantined: on.Quarantined,
+			Identical: on.Executions == off.Executions &&
+				on.Exhausted == off.Exhausted &&
+				on.Quarantined == 0 && off.Quarantined == 0,
+		}
+		if off.Elapsed > 0 {
+			row.Overhead = on.Elapsed.Seconds() / off.Elapsed.Seconds()
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}

@@ -44,8 +44,12 @@ import (
 // rerunning it would double-count the finding's execution).
 
 // CheckpointVersion is the on-disk format version; bump on any
-// incompatible change to the Checkpoint schema.
-const CheckpointVersion = 1
+// incompatible change to the Checkpoint schema. Version 2 added the
+// conformance digests (per-frame and per-prefix), the Quarantined
+// counter, and the NondeterminismReports; version-1 checkpoints lack
+// the digests the resumed search would verify replays against, so
+// they are rejected rather than silently resumed unverified.
+const CheckpointVersion = 2
 
 // defaultCheckpointInterval is used when CheckpointPath is set but
 // CheckpointInterval is zero.
@@ -77,14 +81,19 @@ type CheckpointCounters struct {
 	Violations     int64 `json:"violations"`
 	Wedges         int64 `json:"wedges"`
 	Skipped        int64 `json:"skipped"`
+	Quarantined    int64 `json:"quarantined,omitempty"`
 	ElapsedNS      int64 `json:"elapsedNs"`
 }
 
 // savedFrame is one DFS stack frame of the sequential systematic
-// searcher.
+// searcher, including its conformance digest so a resumed search
+// keeps verifying replays of the saved prefix.
 type savedFrame struct {
-	Alts []engine.Alt `json:"alts"`
-	Idx  int          `json:"idx"`
+	Alts   []engine.Alt    `json:"alts"`
+	Idx    int             `json:"idx"`
+	Dig    uint64          `json:"dig,omitempty"`
+	HasDig bool            `json:"hasDig,omitempty"`
+	Ops    []engine.OpInfo `json:"ops,omitempty"`
 }
 
 // SeqState is the sequential systematic searcher's frontier.
@@ -100,8 +109,9 @@ type StrideState struct {
 
 // savedPrefix is one frontier prefix of the prefix-parallel search.
 type savedPrefix struct {
-	Sched []engine.Alt `json:"sched"`
-	Leaf  bool         `json:"leaf,omitempty"`
+	Sched []engine.Alt        `json:"sched"`
+	Digs  []engine.StepDigest `json:"digs,omitempty"`
+	Leaf  bool                `json:"leaf,omitempty"`
 }
 
 // PrefixState is the prefix-parallel searcher's frontier.
@@ -132,6 +142,10 @@ type Checkpoint struct {
 	FirstWedgeExecution int64          `json:"firstWedgeExecution,omitempty"`
 
 	WorkerFailures []WorkerFailure `json:"workerFailures,omitempty"`
+	// Nondeterminism carries the quarantined-subtree reports alongside
+	// the Counters.Quarantined count (validated for consistency on
+	// resume).
+	Nondeterminism []NondeterminismReport `json:"nondeterminism,omitempty"`
 
 	Stride *StrideState `json:"stride,omitempty"`
 	Seq    *SeqState    `json:"seq,omitempty"`
@@ -235,6 +249,11 @@ func optionsHash(o *Options) uint64 {
 	b(o.ContinueAfterViolation)
 	b(o.ContinueAfterDivergence)
 	b(o.RecordTrace)
+	// DisableConformance is semantic: it changes which subtrees get
+	// quarantined, hence the explored tree. DivergenceRetries and
+	// ConfirmRuns are operational (retry/confirmation effort) and may
+	// change across a resume.
+	b(o.DisableConformance)
 	return h.Sum64()
 }
 
@@ -260,6 +279,7 @@ func buildCheckpoint(opts *Options, rep *Report, elapsed time.Duration, done boo
 			Violations:     rep.Violations,
 			Wedges:         rep.Wedges,
 			Skipped:        rep.Skipped,
+			Quarantined:    rep.Quarantined,
 			ElapsedNS:      int64(elapsed),
 		},
 		FirstBug:            rep.FirstBug,
@@ -269,6 +289,7 @@ func buildCheckpoint(opts *Options, rep *Report, elapsed time.Duration, done boo
 		FirstWedge:          rep.FirstWedge,
 		FirstWedgeExecution: rep.FirstWedgeExecution,
 		WorkerFailures:      rep.WorkerFailures,
+		Nondeterminism:      rep.Nondeterminism,
 	}
 }
 
@@ -283,6 +304,8 @@ func applyCheckpoint(rep *Report, ck *Checkpoint) {
 	rep.Violations = ck.Counters.Violations
 	rep.Wedges = ck.Counters.Wedges
 	rep.Skipped = ck.Counters.Skipped
+	rep.Quarantined = ck.Counters.Quarantined
+	rep.Nondeterminism = ck.Nondeterminism
 	rep.FirstBug = ck.FirstBug
 	rep.FirstBugExecution = ck.FirstBugExecution
 	rep.Divergence = ck.Divergence

@@ -1,0 +1,175 @@
+package search
+
+import (
+	"fmt"
+
+	"fairmc/internal/engine"
+)
+
+// This file is the search-level half of the nondeterminism defense
+// (see internal/engine/conformance.go for the digest machinery):
+//
+//   - Divergence quarantine: when a prefix replay stops conforming to
+//     the recorded digests, the searcher re-executes the prefix up to
+//     Options.DivergenceRetries times (attempts are plain deterministic
+//     re-runs — the per-execution seeding is reset identically each
+//     time, so the attempt ordering itself is deterministic) and then
+//     quarantines the subtree below the first divergent step: it is
+//     counted in Report.Quarantined with a NondeterminismReport, and
+//     the search moves on instead of exploring a wrong tree.
+//
+//   - Confirmation pass: after the search, each schedule-backed
+//     finding (FirstBug, Divergence) is replayed Options.ConfirmRuns
+//     times under a strict, digest-verified ReplayChooser and tagged
+//     with a Reproducibility verdict, so a flaky finding is reported
+//     but clearly marked. Wedges are excluded: the wedged step is
+//     deliberately absent from the schedule, so they cannot be
+//     replayed at all.
+
+// defaultDivergenceRetries is the number of replay retries before a
+// divergent prefix is quarantined, when Options.DivergenceRetries is 0.
+const defaultDivergenceRetries = 2
+
+// divergenceRetries resolves Options.DivergenceRetries: 0 means the
+// default, negative means no retries.
+func (o *Options) divergenceRetries() int {
+	switch {
+	case o.DivergenceRetries < 0:
+		return 0
+	case o.DivergenceRetries == 0:
+		return defaultDivergenceRetries
+	default:
+		return o.DivergenceRetries
+	}
+}
+
+// NondeterminismReport describes one quarantined subtree: a schedule
+// prefix the program stopped conforming to.
+type NondeterminismReport struct {
+	// Prefix is the schedule prefix being replayed when the divergence
+	// was detected, up to and including the first divergent step.
+	Prefix []engine.Alt `json:"prefix"`
+	// Step is the 0-based index of the first divergent step.
+	Step int `json:"step"`
+	// Want is the alternative the prefix asked for at Step.
+	Want engine.Alt `json:"want"`
+	// Expected and Observed are the conformance digests at Step: what
+	// was recorded when the prefix was explored vs. what the final
+	// replay attempt reached.
+	Expected engine.StepDigest `json:"expected"`
+	Observed engine.StepDigest `json:"observed"`
+	// NotSchedulable marks the harder failure: Want was not among the
+	// candidates at all on the final attempt.
+	NotSchedulable bool `json:"notSchedulable,omitempty"`
+	// Attempts is how many times the prefix was replayed (the original
+	// replay plus retries) before being quarantined.
+	Attempts int `json:"attempts"`
+}
+
+func (n *NondeterminismReport) String() string {
+	kind := "digest mismatch"
+	if n.NotSchedulable {
+		kind = fmt.Sprintf("%s not schedulable", n.Want)
+	}
+	return fmt.Sprintf("prefix of %d steps diverged at step %d (%s; expected %s, observed %s) after %d attempts",
+		len(n.Prefix), n.Step, kind, n.Expected, n.Observed, n.Attempts)
+}
+
+// Reproducibility is the confirmation verdict of one finding: how many
+// of the ConfirmRuns replay attempts reproduced it.
+type Reproducibility struct {
+	// Runs is the number of confirmation replays attempted.
+	Runs int `json:"runs"`
+	// Successes is how many of them reproduced the finding (conforming
+	// replay reaching the same outcome).
+	Successes int `json:"successes"`
+	// FirstFailure describes the first non-reproducing replay, empty
+	// when all runs succeeded.
+	FirstFailure string `json:"firstFailure,omitempty"`
+}
+
+// Stable reports that every confirmation replay reproduced the
+// finding.
+func (r *Reproducibility) Stable() bool {
+	return r != nil && r.Runs > 0 && r.Successes == r.Runs
+}
+
+// String renders the verdict as "stable (n/n)" or "flaky (k/n)".
+func (r *Reproducibility) String() string {
+	if r.Stable() {
+		return fmt.Sprintf("stable (%d/%d)", r.Successes, r.Runs)
+	}
+	return fmt.Sprintf("flaky (%d/%d)", r.Successes, r.Runs)
+}
+
+// reproduceResult re-runs r's schedule with trace and digest recording
+// to produce a self-contained repro. ok=false means the replay did not
+// conform (or reached a different outcome): the program is
+// nondeterministic under its own schedule, and the caller should keep
+// the original result — the confirmation pass will mark it flaky.
+func reproduceResult(prog func(*engine.T), opts *Options, r *engine.Result) (*engine.Result, bool) {
+	ch := &engine.ReplayChooser{Schedule: r.Schedule, Strict: true}
+	rr := engine.Run(prog, ch, engine.Config{
+		Fair:          opts.Fair,
+		FairK:         opts.FairK,
+		MaxSteps:      opts.MaxSteps,
+		RecordTrace:   true,
+		RecordDigests: true,
+		Watchdog:      opts.Watchdog,
+	})
+	if ch.Err != nil || ch.Div != nil || rr.Outcome != r.Outcome {
+		return r, false
+	}
+	return rr, true
+}
+
+// confirmReport runs the post-search confirmation pass: every
+// schedule-backed finding in rep is replayed ConfirmRuns times and
+// tagged with its Reproducibility verdict.
+func confirmReport(prog func(*engine.T), opts *Options, rep *Report) {
+	n := opts.ConfirmRuns
+	if n <= 0 {
+		return
+	}
+	if rep.FirstBug != nil {
+		rep.BugReproducibility = confirmResult(prog, opts, rep.FirstBug, n)
+	}
+	if rep.Divergence != nil {
+		rep.DivergenceReproducibility = confirmResult(prog, opts, rep.Divergence, n)
+	}
+	// FirstWedge is deliberately unconfirmed: the wedged step is absent
+	// from the schedule, so its replay reaches only the wedge-free
+	// prefix and can neither confirm nor refute the wedge.
+}
+
+// confirmResult replays r's schedule n times under a strict,
+// digest-verified ReplayChooser. A run succeeds when the replay
+// conforms end to end and reaches r's outcome.
+func confirmResult(prog func(*engine.T), opts *Options, r *engine.Result, n int) *Reproducibility {
+	rep := &Reproducibility{Runs: n}
+	for i := 0; i < n; i++ {
+		ch := &engine.ReplayChooser{Schedule: r.Schedule, Digests: r.Digests, Strict: true}
+		rr := engine.Run(prog, ch, engine.Config{
+			Fair:     opts.Fair,
+			FairK:    opts.FairK,
+			MaxSteps: opts.MaxSteps,
+			Watchdog: opts.Watchdog,
+		})
+		var fail string
+		switch {
+		case ch.Div != nil:
+			fail = ch.Div.Error()
+		case ch.Err != nil:
+			fail = ch.Err.Error()
+		case rr.Outcome != r.Outcome:
+			fail = fmt.Sprintf("replay reached outcome %s, finding was %s", rr.Outcome, r.Outcome)
+		default:
+			rep.Successes++
+			continue
+		}
+		if rep.FirstFailure == "" {
+			rep.FirstFailure = fmt.Sprintf("run %d/%d: %s", i+1, n, fail)
+		}
+	}
+	return rep
+}

@@ -129,26 +129,15 @@ func exploreParallel(prog func(*engine.T), opts Options) *Report {
 }
 
 // reproduceStandalone is searcher.reproduce without a searcher: re-run
-// r's schedule with trace recording to produce a self-contained repro.
+// r's schedule with trace and digest recording to produce a
+// self-contained repro. A non-conforming replay keeps the original
+// (traceless) result; the confirmation pass will mark the finding
+// flaky.
 func reproduceStandalone(prog func(*engine.T), opts Options, r *engine.Result) *engine.Result {
 	if len(r.Trace) > 0 {
 		return r
 	}
-	ch := &engine.ReplayChooser{Schedule: r.Schedule, Strict: true}
-	rr := engine.Run(prog, ch, engine.Config{
-		Fair:        opts.Fair,
-		FairK:       opts.FairK,
-		MaxSteps:    opts.MaxSteps,
-		RecordTrace: true,
-		Watchdog:    opts.Watchdog,
-	})
-	if ch.Err != nil {
-		panic("search: repro replay diverged: " + ch.Err.Error())
-	}
-	if rr.Outcome != r.Outcome {
-		panic("search: replay diverged from original outcome: " + rr.Outcome.String() +
-			" != " + r.Outcome.String())
-	}
+	rr, _ := reproduceResult(prog, &opts, r)
 	return rr
 }
 
@@ -446,8 +435,14 @@ func runStrideIndex(prog func(*engine.T), opts *Options, cfg engine.Config,
 // full execution extends exactly one frontier prefix.
 type prefixNode struct {
 	sched []engine.Alt
+	// digs are the conformance digests recorded (one per sched step)
+	// when the prefix was expanded; workers verify their replays
+	// against them. Empty when conformance is disabled.
+	digs []engine.StepDigest
 	// leaf marks a prefix whose replay ended (or hit the depth bound)
-	// before reaching a fresh choice point: it cannot be split further.
+	// before reaching a fresh choice point, or stopped conforming
+	// during expansion: it cannot be split further. (A non-conforming
+	// leaf is quarantined by the worker that replays it.)
 	leaf bool
 }
 
@@ -455,22 +450,53 @@ type prefixNode struct {
 // alternatives at the first fresh choice point, applying exactly the
 // sequential searcher's frontier filtering (preemption budget). It
 // then aborts the execution: expansion runs are bookkeeping, not
-// explored executions.
+// explored executions. Replayed steps are verified against the
+// prefix's recorded digests; the first non-conformance is recorded in
+// div and the expansion abandoned (the worker that later replays the
+// prefix handles retry and quarantine).
 type expandChooser struct {
 	opts        *Options
 	sched       []engine.Alt
+	digs        []engine.StepDigest
 	pos         int
 	preemptUsed int
-	alts        []engine.Alt // captured fresh alternatives (owned copy)
-	ended       bool         // depth bound reached before a fresh choice point
+	alts        []engine.Alt    // captured fresh alternatives (owned copy)
+	freshDig    uint64          // candidate-set digest at the fresh choice point
+	freshOps    []engine.OpInfo // pending op per captured alternative
+	ended       bool            // depth bound reached before a fresh choice point
+	div         *engine.DivergenceError
 }
 
 func (c *expandChooser) Choose(ctx *engine.ChooseContext) (engine.Alt, bool) {
 	if c.pos < len(c.sched) {
 		alt := c.sched[c.pos]
+		step := c.pos
 		c.pos++
 		if err := altIn(alt, ctx.Cands); err != "" {
-			panic("search: prefix replay divergence: " + err)
+			c.div = &engine.DivergenceError{
+				Step:           step,
+				Want:           alt,
+				Observed:       ctx.Engine.StepDigest(ctx.Cands, alt),
+				NumCands:       len(ctx.Cands),
+				NotSchedulable: true,
+			}
+			if step < len(c.digs) {
+				c.div.Expected = c.digs[step]
+			}
+			return engine.Alt{}, false
+		}
+		if step < len(c.digs) && !c.opts.DisableConformance {
+			obs := ctx.Engine.StepDigest(ctx.Cands, alt)
+			if exp := c.digs[step]; obs != exp {
+				c.div = &engine.DivergenceError{
+					Step:     step,
+					Want:     alt,
+					Expected: exp,
+					Observed: obs,
+					NumCands: len(ctx.Cands),
+				}
+				return engine.Alt{}, false
+			}
 		}
 		if ctx.IsPreemption(alt) {
 			c.preemptUsed++
@@ -491,6 +517,13 @@ func (c *expandChooser) Choose(ctx *engine.ChooseContext) (engine.Alt, bool) {
 		}
 	}
 	c.alts = append([]engine.Alt(nil), alts...)
+	if !c.opts.DisableConformance {
+		c.freshDig = ctx.Engine.CandsDigest(ctx.Cands)
+		c.freshOps = make([]engine.OpInfo, len(c.alts))
+		for i, a := range c.alts {
+			c.freshOps[i] = ctx.Engine.PendingOpInfo(a.Tid)
+		}
+	}
 	return engine.Alt{}, false
 }
 
@@ -517,13 +550,21 @@ func splitFrontier(prog func(*engine.T), opts Options, target int) []*prefixNode
 		}
 		pfx := frontier[idx]
 		replays++
-		c := &expandChooser{opts: &opts, sched: pfx.sched}
+		c := &expandChooser{opts: &opts, sched: pfx.sched, digs: pfx.digs}
 		r := engine.Run(prog, c, engine.Config{
 			Fair:     opts.Fair,
 			FairK:    opts.FairK,
 			MaxSteps: opts.MaxSteps,
 			Watchdog: opts.Watchdog,
 		})
+		if c.div != nil {
+			// The expansion replay stopped conforming: splitting below a
+			// state the program does not reproduce would partition a
+			// wrong tree. Freeze the prefix as a leaf; the worker that
+			// replays it runs the retry-then-quarantine protocol.
+			pfx.leaf = true
+			continue
+		}
 		if r.Outcome != engine.Aborted || c.ended || len(c.alts) == 0 {
 			// The execution finished (terminated, deadlocked, violated,
 			// diverged, or wedged) or stopped branching during the
@@ -538,6 +579,14 @@ func splitFrontier(prog func(*engine.T), opts Options, target int) []*prefixNode
 			copy(sched, pfx.sched)
 			sched[len(pfx.sched)] = a
 			children[k] = &prefixNode{sched: sched}
+			if len(c.freshOps) == len(c.alts) {
+				digs := make([]engine.StepDigest, len(pfx.digs)+1)
+				copy(digs, pfx.digs)
+				digs[len(pfx.digs)] = engine.StepDigest{
+					Hash: c.freshDig, Tid: a.Tid, Op: c.freshOps[k],
+				}
+				children[k].digs = digs
+			}
 		}
 		// Replace the parent with its children in place, preserving the
 		// frontier's DFS order (children are in candidate order).
@@ -554,8 +603,15 @@ func exploreSubtree(prog func(*engine.T), opts Options, pfx *prefixNode,
 	deadline time.Time, cancelled func() bool) *Report {
 	s := &searcher{prog: prog, opts: opts, start: time.Now(),
 		deadline: deadline, cancelled: cancelled}
-	for _, a := range pfx.sched {
-		s.stack = append(s.stack, frame{alts: []engine.Alt{a}})
+	for i, a := range pfx.sched {
+		fr := frame{alts: []engine.Alt{a}}
+		if i < len(pfx.digs) {
+			d := pfx.digs[i]
+			fr.dig = d.Hash
+			fr.hasDig = !opts.DisableConformance
+			fr.ops = []engine.OpInfo{d.Op}
+		}
+		s.stack = append(s.stack, fr)
 	}
 	s.fixed = len(s.stack)
 	s.run()
@@ -656,6 +712,7 @@ func explorePrefix(prog func(*engine.T), opts Options) *Report {
 		for i, sp := range ck.Prefix.Frontier {
 			prefixes[i] = &prefixNode{
 				sched: append([]engine.Alt(nil), sp.Sched...),
+				digs:  append([]engine.StepDigest(nil), sp.Digs...),
 				leaf:  sp.Leaf,
 			}
 		}
@@ -724,7 +781,7 @@ func explorePrefix(prog func(*engine.T), opts Options) *Report {
 		st := &PrefixState{Merged: merged, AllExhausted: allExhausted,
 			Frontier: make([]savedPrefix, len(prefixes))}
 		for i, pfx := range prefixes {
-			st.Frontier[i] = savedPrefix{Sched: pfx.sched, Leaf: pfx.leaf}
+			st.Frontier[i] = savedPrefix{Sched: pfx.sched, Digs: pfx.digs, Leaf: pfx.leaf}
 		}
 		ck.Prefix = st
 		if err := ck.WriteFile(opts.CheckpointPath); err != nil && rep.CheckpointError == "" {
@@ -800,6 +857,11 @@ merge:
 		rep.Deadlocks += r.Deadlocks
 		rep.Violations += r.Violations
 		rep.Wedges += r.Wedges
+		// Quarantined subtrees merge in frontier order, so the
+		// nondeterminism reports are deterministic regardless of worker
+		// timing.
+		rep.Quarantined += r.Quarantined
+		rep.Nondeterminism = append(rep.Nondeterminism, r.Nondeterminism...)
 		if !r.Exhausted {
 			allExhausted = false
 		}

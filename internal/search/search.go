@@ -15,7 +15,6 @@
 package search
 
 import (
-	"fmt"
 	"time"
 
 	"fairmc/internal/engine"
@@ -109,6 +108,26 @@ type Options struct {
 	// whose state is shared across executions: those combinations
 	// panic rather than race (no silent unsoundness).
 	Parallelism int
+	// DivergenceRetries is how many times a prefix replay that stops
+	// conforming to its recorded digests is re-executed before the
+	// subtree is quarantined (counted in Report.Quarantined with a
+	// NondeterminismReport). 0 means the default (2); negative means
+	// no retries.
+	DivergenceRetries int
+	// ConfirmRuns is the confirmation pass: each schedule-backed
+	// finding (FirstBug, Divergence) is replayed this many times after
+	// the search and tagged with a Reproducibility verdict
+	// (stable/flaky). 0 disables the pass; the fairmc facade defaults
+	// it to 3. Wedges are never confirmed (not replayable).
+	ConfirmRuns int
+	// DisableConformance turns off the per-step conformance digests the
+	// systematic searcher records at every choice point and verifies on
+	// every prefix replay. Detection of outright not-schedulable
+	// divergence (and quarantine) remains active; only the digest
+	// comparison — which catches nondeterminism that keeps the
+	// scheduled alternative schedulable — is skipped. Deterministic
+	// programs produce identical reports with conformance on or off.
+	DisableConformance bool
 	// ContinueAfterViolation keeps searching after safety violations
 	// instead of stopping at the first one.
 	ContinueAfterViolation bool
@@ -192,6 +211,22 @@ type Report struct {
 	Wedges              int64
 	FirstWedge          *engine.Result
 	FirstWedgeExecution int64
+	// Quarantined counts subtrees abandoned because a prefix replay
+	// persistently stopped conforming to the recorded schedule: the
+	// program is nondeterministic outside the scheduler's control
+	// there, and exploring further would search a wrong tree. Each
+	// quarantined subtree has a NondeterminismReport. Like Skipped,
+	// this is explicit coverage loss: a search with quarantines never
+	// claims Exhausted.
+	Quarantined int64
+	// Nondeterminism describes each quarantined subtree, in the order
+	// the (sequential or merged-parallel) search encountered them.
+	Nondeterminism []NondeterminismReport
+	// BugReproducibility / DivergenceReproducibility are the
+	// confirmation verdicts for FirstBug / Divergence when
+	// Options.ConfirmRuns > 0 (see Reproducibility).
+	BugReproducibility        *Reproducibility
+	DivergenceReproducibility *Reproducibility
 	// Exhausted reports that the schedule tree was fully explored.
 	Exhausted bool
 	// TimedOut / ExecBounded report which budget stopped the search.
@@ -224,6 +259,15 @@ type Report struct {
 type frame struct {
 	alts []engine.Alt // alternatives to explore, in discovery order
 	idx  int          // alternative currently taken
+	// Conformance bookkeeping: dig is the candidate-set digest recorded
+	// when this choice point was first reached (hasDig gates it — a
+	// frame restored from an old checkpoint or with conformance
+	// disabled has none), and ops[i] is the pending op of alts[i] at
+	// that time. ops may be shorter than alts (DPOR inserts backtrack
+	// alternatives later); replay then verifies the digest only.
+	dig    uint64
+	hasDig bool
+	ops    []engine.OpInfo
 	// DPOR bookkeeping: the full candidate list at this state, and how
 	// many of this frame's alternatives have had backtrack analysis.
 	full     []engine.Alt
@@ -237,6 +281,7 @@ const (
 	abortDepthBound
 	abortVisited
 	abortSleep
+	abortDiverged
 )
 
 // searcher runs the exploration; it implements engine.Chooser.
@@ -251,9 +296,10 @@ type searcher struct {
 	preemptUsed int
 	tailRand    *rng.Rand
 	reason      abortReason
-	sleep       por.Set    // current sleep set (when Options.SleepSets)
-	pct         *pctState  // per-execution PCT assignment (when Options.PCT)
-	executed    []por.Move // this execution's transitions (when Options.DPOR)
+	divErr      *engine.DivergenceError // set when reason == abortDiverged
+	sleep       por.Set                 // current sleep set (when Options.SleepSets)
+	pct         *pctState               // per-execution PCT assignment (when Options.PCT)
+	executed    []por.Move              // this execution's transitions (when Options.DPOR)
 
 	visited map[visitKey]struct{}
 
@@ -283,7 +329,8 @@ type visitKey struct {
 }
 
 // Explore runs the search to completion (tree exhausted) or until a
-// budget or stop condition is hit.
+// budget or stop condition is hit, then runs the confirmation pass
+// over any findings (Options.ConfirmRuns).
 func Explore(prog func(*engine.T), opts Options) *Report {
 	// Backstop: user-facing entry points (the fairmc facade, the CLI)
 	// call Options.Validate and surface the error; internal callers
@@ -291,9 +338,18 @@ func Explore(prog func(*engine.T), opts Options) *Report {
 	if err := opts.Validate(); err != nil {
 		panic(err)
 	}
+	var rep *Report
 	if opts.Parallelism > 1 {
-		return exploreParallel(prog, opts)
+		rep = exploreParallel(prog, opts)
+	} else {
+		rep = exploreSequential(prog, opts)
 	}
+	confirmReport(prog, &opts, rep)
+	return rep
+}
+
+// exploreSequential is the single-goroutine searcher.
+func exploreSequential(prog func(*engine.T), opts Options) *Report {
 	s := &searcher{prog: prog, opts: opts, start: time.Now()}
 	if opts.TimeLimit > 0 {
 		s.deadline = s.start.Add(opts.TimeLimit)
@@ -307,8 +363,11 @@ func Explore(prog func(*engine.T), opts Options) *Report {
 		if ck.Seq != nil && !(opts.RandomWalk || opts.PCT) {
 			for _, fr := range ck.Seq.Stack {
 				s.stack = append(s.stack, frame{
-					alts: append([]engine.Alt(nil), fr.Alts...),
-					idx:  fr.Idx,
+					alts:   append([]engine.Alt(nil), fr.Alts...),
+					idx:    fr.Idx,
+					dig:    fr.Dig,
+					hasDig: fr.HasDig && !opts.DisableConformance,
+					ops:    append([]engine.OpInfo(nil), fr.Ops...),
 				})
 			}
 			s.fixed = len(s.stack)
@@ -332,8 +391,11 @@ func (s *searcher) writeCheckpoint(done bool) {
 		st := &SeqState{Stack: make([]savedFrame, len(s.stack))}
 		for i, fr := range s.stack {
 			st.Stack[i] = savedFrame{
-				Alts: append([]engine.Alt(nil), fr.alts...),
-				Idx:  fr.idx,
+				Alts:   append([]engine.Alt(nil), fr.alts...),
+				Idx:    fr.idx,
+				Dig:    fr.dig,
+				HasDig: fr.hasDig,
+				Ops:    append([]engine.OpInfo(nil), fr.ops...),
 			}
 		}
 		ck.Seq = st
@@ -370,8 +432,10 @@ func (s *searcher) run() {
 	// Execution indices are global across resumes: a resumed search
 	// continues the same enumeration (and, for the random strategies,
 	// the same per-index seeding) the uninterrupted search would run.
-	startExec := s.report.Executions + 1
-	for exec := startExec; ; exec++ {
+	// Quarantined replays do not consume an index, so the index is
+	// re-derived from the executions counter each iteration.
+	for {
+		exec := s.report.Executions + 1
 		s.nextExec = exec
 		if s.opts.MaxExecutions > 0 && exec > s.opts.MaxExecutions {
 			s.report.ExecBounded = true
@@ -393,33 +457,38 @@ func (s *searcher) run() {
 			return // result will be discarded by the parallel driver
 		}
 		s.maybeCheckpoint()
-		s.pos = 0
-		s.preemptUsed = 0
-		s.reason = abortNone
-		s.sleep = por.Set{}
-		s.executed = s.executed[:0]
-		s.tailRand = rng.New(rng.Mix(s.opts.Seed, uint64(exec)))
-		if s.opts.PCT {
-			depth := s.opts.PCTDepth
-			if depth <= 0 {
-				depth = 3
-			}
-			horizon := s.opts.MaxSteps
-			if horizon <= 0 {
-				horizon = engine.DefaultMaxSteps
-			}
-			s.pct = newPCTState(depth, horizon, s.tailRand)
-		}
 
-		r := engine.Run(s.prog, s, engine.Config{
-			Fair:        s.opts.Fair,
-			FairK:       s.opts.FairK,
-			MaxSteps:    s.opts.MaxSteps,
-			RecordTrace: s.opts.RecordTrace,
-			Monitor:     s.opts.Monitor,
-			Watchdog:    s.opts.Watchdog,
-			Deadline:    s.deadline,
-		})
+		var r *engine.Result
+		quarantined := false
+		for attempt := 1; ; attempt++ {
+			s.resetExec(exec)
+			r = engine.Run(s.prog, s, engine.Config{
+				Fair:        s.opts.Fair,
+				FairK:       s.opts.FairK,
+				MaxSteps:    s.opts.MaxSteps,
+				RecordTrace: s.opts.RecordTrace,
+				Monitor:     s.opts.Monitor,
+				Watchdog:    s.opts.Watchdog,
+				Deadline:    s.deadline,
+			})
+			if s.reason != abortDiverged {
+				break
+			}
+			if attempt > s.opts.divergenceRetries() {
+				s.quarantine(attempt)
+				quarantined = true
+				break
+			}
+		}
+		if quarantined {
+			// The divergent replay is not an execution; prune the
+			// quarantined subtree and continue with the rest of the tree.
+			if !s.backtrack() {
+				s.ckptDone = true
+				return
+			}
+			continue
+		}
 		s.report.Executions++
 		s.report.TotalSteps += r.Steps
 		if r.Steps > s.report.MaxDepth {
@@ -439,12 +508,69 @@ func (s *searcher) run() {
 			continue // no schedule tree to backtrack over
 		}
 		if !s.backtrack() {
-			s.report.Exhausted = true
+			// Quarantined subtrees are explicit coverage loss: the tree
+			// was not fully explored, so it is not Exhausted (mirrors
+			// Skipped in the parallel merge).
+			s.report.Exhausted = s.report.Quarantined == 0
 			s.ckptDone = true
 			s.nextExec = exec + 1
 			return
 		}
 	}
+}
+
+// resetExec resets the per-execution state ahead of one engine.Run;
+// divergence-retry attempts reset identically, which is what makes the
+// attempt ordering deterministic.
+func (s *searcher) resetExec(exec int64) {
+	s.pos = 0
+	s.preemptUsed = 0
+	s.reason = abortNone
+	s.divErr = nil
+	s.sleep = por.Set{}
+	s.executed = s.executed[:0]
+	s.tailRand = rng.New(rng.Mix(s.opts.Seed, uint64(exec)))
+	if s.opts.PCT {
+		depth := s.opts.PCTDepth
+		if depth <= 0 {
+			depth = 3
+		}
+		horizon := s.opts.MaxSteps
+		if horizon <= 0 {
+			horizon = engine.DefaultMaxSteps
+		}
+		s.pct = newPCTState(depth, horizon, s.tailRand)
+	}
+}
+
+// quarantine records the persistent divergence at s.divErr and prunes
+// the subtree below the first divergent step: the recorded tree no
+// longer describes the program there, so every alternative at (and
+// below) the divergent choice point is abandoned. The caller
+// backtracks from the truncated stack.
+func (s *searcher) quarantine(attempts int) {
+	div := s.divErr
+	k := div.Step
+	if k > len(s.stack) {
+		k = len(s.stack)
+	}
+	prefix := make([]engine.Alt, 0, k+1)
+	for i := 0; i <= k && i < len(s.stack); i++ {
+		fr := &s.stack[i]
+		prefix = append(prefix, fr.alts[fr.idx])
+	}
+	s.report.Quarantined++
+	s.report.Nondeterminism = append(s.report.Nondeterminism, NondeterminismReport{
+		Prefix:         prefix,
+		Step:           div.Step,
+		Want:           div.Want,
+		Expected:       div.Expected,
+		Observed:       div.Observed,
+		NotSchedulable: div.NotSchedulable,
+		Attempts:       attempts,
+	})
+	s.divErr = nil
+	s.stack = s.stack[:k]
 }
 
 // classify accounts one finished execution and reports whether the
@@ -509,30 +635,17 @@ func (s *searcher) recordBug(r *engine.Result, exec int64) {
 	}
 }
 
-// reproduce re-runs r's schedule with trace recording to produce a
-// self-contained repro, unless r already carries a trace.
+// reproduce re-runs r's schedule with trace and digest recording to
+// produce a self-contained repro, unless r already carries a trace. A
+// schedule the searcher itself just ran should replay; when it does
+// not, the program is nondeterministic under its own schedule — the
+// original (traceless) result is kept and the confirmation pass will
+// mark the finding flaky rather than crashing the search.
 func (s *searcher) reproduce(r *engine.Result) *engine.Result {
 	if len(r.Trace) > 0 {
 		return r
 	}
-	ch := &engine.ReplayChooser{Schedule: r.Schedule, Strict: true}
-	rr := engine.Run(s.prog, ch, engine.Config{
-		Fair:        s.opts.Fair,
-		FairK:       s.opts.FairK,
-		MaxSteps:    s.opts.MaxSteps,
-		RecordTrace: true,
-		Watchdog:    s.opts.Watchdog,
-	})
-	// Internal invariant: a schedule the searcher itself just ran must
-	// replay. A divergence here means the program has nondeterminism
-	// outside the checker's control.
-	if ch.Err != nil {
-		panic("search: repro replay diverged: " + ch.Err.Error())
-	}
-	if rr.Outcome != r.Outcome {
-		panic("search: replay diverged from original outcome: " + rr.Outcome.String() +
-			" != " + r.Outcome.String())
-	}
+	rr, _ := reproduceResult(s.prog, &s.opts, r)
 	return rr
 }
 
@@ -586,7 +699,39 @@ func (s *searcher) Choose(ctx *engine.ChooseContext) (engine.Alt, bool) {
 		s.pos++
 		alt := fr.alts[fr.idx]
 		if err := altIn(alt, ctx.Cands); err != "" {
-			panic(fmt.Sprintf("search: replay divergence at step %d: %s", s.pos-1, err))
+			// The recorded alternative is not even schedulable anymore:
+			// the program is nondeterministic outside the scheduler's
+			// control. Abort for retry/quarantine instead of exploring a
+			// wrong tree (or crashing the worker).
+			s.divErr = &engine.DivergenceError{
+				Step:           s.pos - 1,
+				Want:           alt,
+				Expected:       s.expectedDigest(fr, alt),
+				Observed:       ctx.Engine.StepDigest(ctx.Cands, alt),
+				NumCands:       len(ctx.Cands),
+				NotSchedulable: true,
+			}
+			s.reason = abortDiverged
+			return engine.Alt{}, false
+		}
+		if fr.hasDig {
+			obsHash := ctx.Engine.CandsDigest(ctx.Cands)
+			obsOp := ctx.Engine.PendingOpInfo(alt.Tid)
+			expOp := obsOp // DPOR-inserted alternatives have no recorded op
+			if fr.idx < len(fr.ops) {
+				expOp = fr.ops[fr.idx]
+			}
+			if obsHash != fr.dig || obsOp != expOp {
+				s.divErr = &engine.DivergenceError{
+					Step:     s.pos - 1,
+					Want:     alt,
+					Expected: engine.StepDigest{Hash: fr.dig, Tid: alt.Tid, Op: expOp},
+					Observed: engine.StepDigest{Hash: obsHash, Tid: alt.Tid, Op: obsOp},
+					NumCands: len(ctx.Cands),
+				}
+				s.reason = abortDiverged
+				return engine.Alt{}, false
+			}
 		}
 		if ctx.IsPreemption(alt) {
 			s.preemptUsed++
@@ -619,7 +764,15 @@ func (s *searcher) Choose(ctx *engine.ChooseContext) (engine.Alt, bool) {
 	// Frontier: compute the admissible alternatives under the
 	// preemption budget and push a new choice point. ctx.Cands is the
 	// engine's reused buffer, so any slice pushed onto the stack must
-	// be an owned copy (the filters below copy as they go).
+	// be an owned copy (the filters below copy as they go). The
+	// conformance digest is taken over the unfiltered candidate set —
+	// the state property a later replay of any alternative must match.
+	var dig uint64
+	haveDig := false
+	if !s.opts.DisableConformance {
+		dig = ctx.Engine.CandsDigest(ctx.Cands)
+		haveDig = true
+	}
 	alts := ctx.Cands
 	owned := false
 	if s.opts.ContextBound >= 0 && s.preemptUsed >= s.opts.ContextBound {
@@ -657,14 +810,16 @@ func (s *searcher) Choose(ctx *engine.ChooseContext) (engine.Alt, bool) {
 		// later insert the others.
 		full := alts
 		alts = []engine.Alt{full[0]}
-		s.stack = append(s.stack, frame{alts: alts, full: full, analyzed: 1})
+		s.stack = append(s.stack, frame{alts: alts, full: full, analyzed: 1,
+			dig: dig, hasDig: haveDig, ops: s.frameOps(ctx, alts, haveDig)})
 		s.pos++
 		s.executed = append(s.executed[:s.pos-1], por.MoveOf(ctx.Engine, full[0]))
 		s.dporAnalyze(ctx, s.pos-1, full[0])
 		s.advanceSleep(ctx, &s.stack[len(s.stack)-1], full[0])
 		return full[0], true
 	}
-	s.stack = append(s.stack, frame{alts: alts})
+	s.stack = append(s.stack, frame{alts: alts,
+		dig: dig, hasDig: haveDig, ops: s.frameOps(ctx, alts, haveDig)})
 	s.pos++
 	alt := alts[0]
 	if ctx.IsPreemption(alt) {
@@ -672,6 +827,29 @@ func (s *searcher) Choose(ctx *engine.ChooseContext) (engine.Alt, bool) {
 	}
 	s.advanceSleep(ctx, &s.stack[len(s.stack)-1], alt)
 	return alt, true
+}
+
+// frameOps records the pending op of each alternative at a fresh
+// choice point, the per-alternative half of the conformance digest.
+func (s *searcher) frameOps(ctx *engine.ChooseContext, alts []engine.Alt, haveDig bool) []engine.OpInfo {
+	if !haveDig {
+		return nil
+	}
+	ops := make([]engine.OpInfo, len(alts))
+	for i, a := range alts {
+		ops[i] = ctx.Engine.PendingOpInfo(a.Tid)
+	}
+	return ops
+}
+
+// expectedDigest reconstructs the digest recorded for the frame's
+// current alternative, for divergence diagnostics.
+func (s *searcher) expectedDigest(fr *frame, alt engine.Alt) engine.StepDigest {
+	d := engine.StepDigest{Hash: fr.dig, Tid: alt.Tid}
+	if fr.idx < len(fr.ops) {
+		d.Op = fr.ops[fr.idx]
+	}
+	return d
 }
 
 // advanceSleep updates the sleep set across one step: the frame's

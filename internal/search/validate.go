@@ -90,6 +90,10 @@ func (o *Options) validateResume(ck *Checkpoint) error {
 		return fmt.Errorf("search: resume: options hash mismatch (checkpoint %#x, options %#x): a semantic option differs from the checkpointed search; only budgets (MaxExecutions, TimeLimit) and operational settings may change across a resume",
 			ck.Meta.OptionsHash, got)
 	}
+	if ck.Counters.Quarantined != int64(len(ck.Nondeterminism)) {
+		return fmt.Errorf("search: resume: checkpoint counts %d quarantined subtrees but carries %d nondeterminism reports (corrupted checkpoint)",
+			ck.Counters.Quarantined, len(ck.Nondeterminism))
+	}
 	// Strategy state must be present for the mode that will run.
 	switch {
 	case o.RandomWalk || o.PCT:

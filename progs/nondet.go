@@ -1,0 +1,49 @@
+package progs
+
+import (
+	"sync/atomic"
+
+	"fairmc/conc"
+)
+
+// nondetSeq lives OUTSIDE the conc API on purpose: it survives across
+// executions, so every run of NondetCounter observes a fresh value. The
+// program is therefore not a deterministic function of its schedule —
+// the defect class the conformance checker exists to catch (a model
+// program reading wall-clock time, unseeded randomness, or leftover
+// global state behaves the same way).
+var nondetSeq int64
+
+// NondetCounter stores the hidden counter into a shared variable, so
+// the worker's pending operation — store(x, k) on run k — differs on
+// every run, from the worker's very first schedulable step. Two
+// properties make this the worst case for a replayer: the divergence
+// sits at the *front* of every schedule, inside any replayed prefix
+// (nondeterminism that only changes an execution's tail can hide
+// beyond the deepest branch point), and the counter never repeats, so
+// no divergence-retry attempt ever swings back into conformance (a
+// cyclic function of the counter would, every period-th retry). The
+// search must detect the divergence and quarantine the subtree rather
+// than search a wrong tree.
+func NondetCounter(t *conc.T) {
+	x := conc.NewIntVar(t, "x", 0)
+	done := conc.NewIntVar(t, "done", 0)
+	n := atomic.AddInt64(&nondetSeq, 1)
+	h := t.Go("worker", func(t *conc.T) {
+		x.Store(t, n)
+		done.Store(t, 1)
+	})
+	for done.Load(t) == 0 {
+		t.Yield()
+	}
+	h.Join(t)
+}
+
+func init() {
+	register(Program{
+		Name:        "nondet-counter",
+		Description: "deliberately nondeterministic: stores a counter read outside the scheduler (divergence-quarantine fixture)",
+		ExpectBug:   "schedule nondeterminism (hidden cross-execution state)",
+		Body:        NondetCounter,
+	})
+}

@@ -1,6 +1,7 @@
 package progs_test
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -42,6 +43,7 @@ func TestRegistryComplete(t *testing.T) {
 		"treiber", "treiber-aba", "ticketlock",
 		"msqueue", "msqueue-bug", "seqlock", "seqlock-torn",
 		"peterson-tso", "peterson-tso-fenced", "singularity-disk",
+		"nondet-counter",
 	}
 	all := progs.All()
 	names := map[string]bool{}
@@ -262,6 +264,42 @@ func TestPhilosophers2FairSearchExhausts(t *testing.T) {
 	}
 	if !res.Exhausted {
 		t.Fatalf("cb=2 fair search did not exhaust: %+v", res.Report)
+	}
+}
+
+func TestNondetCounterQuarantined(t *testing.T) {
+	// The deliberately nondeterministic fixture must be detected and
+	// quarantined — not searched as if its schedules were meaningful,
+	// and never reported as a bug.
+	p, ok := progs.Lookup("nondet-counter")
+	if !ok {
+		t.Fatal("nondet-counter not registered")
+	}
+	for _, par := range []int{1, 4} {
+		par := par
+		t.Run(fmt.Sprintf("parallelism-%d", par), func(t *testing.T) {
+			res := mustCheck(t, p.Body, fairmc.Options{
+				Fair:          true,
+				ContextBound:  -1,
+				MaxSteps:      2000,
+				MaxExecutions: 300,
+				Parallelism:   par,
+				TimeLimit:     60 * time.Second,
+			})
+			if res.Quarantined == 0 {
+				t.Fatalf("nondeterminism not quarantined: %+v", res.Report)
+			}
+			if len(res.Nondeterminism) == 0 {
+				t.Fatalf("Quarantined = %d but no NondeterminismReports", res.Quarantined)
+			}
+			nr := res.Nondeterminism[0]
+			if nr.Step < 0 || nr.Attempts < 1 {
+				t.Fatalf("malformed report: %+v", nr)
+			}
+			if res.FirstBug != nil {
+				t.Fatalf("nondeterminism misreported as a bug: %s", res.FirstBug.FormatTrace())
+			}
+		})
 	}
 }
 
