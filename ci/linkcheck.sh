@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Markdown link checker for the repo docs: every relative link and
+# every file path mentioned in backticks with a known doc/script
+# extension must exist. External (http/https) links are not fetched —
+# CI must not depend on the network.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+files=(README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/*.md)
+fail=0
+
+for f in "${files[@]}"; do
+    [ -f "$f" ] || continue
+    dir=$(dirname "$f")
+    # Markdown link targets: [text](target), minus external and anchors.
+    while IFS= read -r target; do
+        target=${target%%#*}
+        [ -n "$target" ] || continue
+        case "$target" in
+            http://*|https://*|mailto:*) continue ;;
+        esac
+        if ! [ -e "$dir/$target" ] && ! [ -e "$target" ]; then
+            echo "FAIL: $f links to missing target: $target"
+            fail=1
+        fi
+    done < <(grep -oE '\]\(([^)]+)\)' "$f" | sed -E 's/^\]\(//; s/\)$//')
+    # Backticked repo paths like `docs/OBSERVABILITY.md` or
+    # `ci/report_smoke.sh`: the named file must exist.
+    while IFS= read -r path; do
+        if ! [ -e "$path" ]; then
+            echo "FAIL: $f mentions missing file: $path"
+            fail=1
+        fi
+    done < <(grep -oE '`(docs|ci|cmd|internal|examples|progs)/[A-Za-z0-9._/-]+\.(md|sh|json|go)`' "$f" | tr -d '\`')
+done
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "OK: all doc links and referenced paths resolve"

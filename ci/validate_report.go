@@ -1,0 +1,145 @@
+// Command validate_report checks a fairmc run report against the
+// checked-in JSON Schema, using a deliberately small validator that
+// covers the subset the schema uses: type, properties, required,
+// items, enum, and additionalProperties. No third-party dependency,
+// which is the point — CI stays stdlib-only.
+//
+// Usage: go run ./ci/validate_report.go docs/run-report.schema.json report.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: validate_report SCHEMA DOCUMENT")
+		os.Exit(2)
+	}
+	schema, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schema: %v\n", err)
+		os.Exit(2)
+	}
+	doc, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "document: %v\n", err)
+		os.Exit(2)
+	}
+	var errs []string
+	validate(schema.(map[string]any), doc, "$", &errs)
+	if len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "schema violation:", e)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("%s conforms to %s\n", os.Args[2], os.Args[1])
+}
+
+func load(path string) (any, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var v any
+	if err := json.Unmarshal(data, &v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// validate appends a message to errs for every violation of schema at
+// doc, with at as the JSONPath-ish location for diagnostics.
+func validate(schema map[string]any, doc any, at string, errs *[]string) {
+	if want, ok := schema["type"].(string); ok && !hasType(doc, want) {
+		*errs = append(*errs, fmt.Sprintf("%s: got %s, want %s", at, typeName(doc), want))
+		return
+	}
+	if enum, ok := schema["enum"].([]any); ok {
+		found := false
+		for _, v := range enum {
+			if v == doc {
+				found = true
+				break
+			}
+		}
+		if !found {
+			*errs = append(*errs, fmt.Sprintf("%s: %v not in enum %v", at, doc, enum))
+		}
+	}
+	switch v := doc.(type) {
+	case map[string]any:
+		props, _ := schema["properties"].(map[string]any)
+		if req, ok := schema["required"].([]any); ok {
+			for _, r := range req {
+				if _, present := v[r.(string)]; !present {
+					*errs = append(*errs, fmt.Sprintf("%s: missing required field %q", at, r))
+				}
+			}
+		}
+		for key, val := range v {
+			sub, known := props[key]
+			if !known {
+				if add, ok := schema["additionalProperties"].(bool); ok && !add {
+					*errs = append(*errs, fmt.Sprintf("%s: unexpected field %q", at, key))
+				}
+				continue
+			}
+			validate(sub.(map[string]any), val, at+"."+key, errs)
+		}
+	case []any:
+		if items, ok := schema["items"].(map[string]any); ok {
+			for i, el := range v {
+				validate(items, el, fmt.Sprintf("%s[%d]", at, i), errs)
+			}
+		}
+	}
+}
+
+func hasType(v any, want string) bool {
+	switch want {
+	case "object":
+		_, ok := v.(map[string]any)
+		return ok
+	case "array":
+		_, ok := v.([]any)
+		return ok
+	case "string":
+		_, ok := v.(string)
+		return ok
+	case "boolean":
+		_, ok := v.(bool)
+		return ok
+	case "number":
+		_, ok := v.(float64)
+		return ok
+	case "integer":
+		f, ok := v.(float64)
+		return ok && f == math.Trunc(f)
+	case "null":
+		return v == nil
+	}
+	return false
+}
+
+func typeName(v any) string {
+	switch v.(type) {
+	case map[string]any:
+		return "object"
+	case []any:
+		return "array"
+	case string:
+		return "string"
+	case bool:
+		return "boolean"
+	case float64:
+		return "number"
+	case nil:
+		return "null"
+	}
+	return fmt.Sprintf("%T", v)
+}

@@ -3,10 +3,11 @@
 //
 // Usage:
 //
-//	experiments [-run fig2|table1|table2|fig56|table3|liveness|strategies|parallel|conformance|all]
+//	experiments [-run fig2|table1|table2|fig56|table3|liveness|strategies|parallel|conformance|obs|all]
 //	            [-celltime 60s] [-dbounds 20,30,40,50,60] [-quick]
 //	            [-workers 1,2,4,8] [-parexecs 2000] [-json BENCH_parallel.json]
 //	            [-confexecs 2000] [-confreps 3] [-confjson BENCH_conformance.json]
+//	            [-obsexecs 5000] [-obsreps 5] [-obsjson BENCH_obs.json]
 //
 // Absolute numbers differ from the paper's (different substrate,
 // different hardware); the shapes — exponential growth in Figure 2,
@@ -42,6 +43,9 @@ func main() {
 		cfExecs  = flag.Int64("confexecs", 2000, "executions per conformance-overhead cell")
 		cfReps   = flag.Int("confreps", 3, "repetitions per conformance-overhead cell (best wall clock kept)")
 		cfJSON   = flag.String("confjson", "BENCH_conformance.json", "output file for the conformance sweep (\"\" = stdout only)")
+		obsExecs = flag.Int64("obsexecs", 5000, "executions per observability-overhead configuration")
+		obsReps  = flag.Int("obsreps", 5, "repetitions per observability configuration (best wall clock kept)")
+		obsJSON  = flag.String("obsjson", "BENCH_obs.json", "output file for the observability sweep (\"\" = stdout only)")
 	)
 	flag.Parse()
 	if *csvDir != "" {
@@ -100,6 +104,13 @@ func main() {
 			execs, reps = 200, 1
 		}
 		runConformance(execs, reps, *cfJSON)
+	}
+	if want("obs") {
+		execs, reps := *obsExecs, *obsReps
+		if *quick {
+			execs, reps = 500, 2
+		}
+		runObs(execs, reps, *obsJSON)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
@@ -326,6 +337,38 @@ func runConformance(execs int64, reps int, jsonPath string) {
 			fmt.Sprintf("%.3f", r.ElapsedOff.Seconds()),
 			fmt.Sprintf("%.3f", r.Overhead),
 			fmt.Sprint(r.Quarantined), fmt.Sprint(r.Identical))
+	}
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("   wrote %s\n", jsonPath)
+	}
+	fmt.Println()
+}
+
+func runObs(execs int64, reps int, jsonPath string) {
+	fmt.Println("== Extension: observability overhead ==")
+	fmt.Println("   (spinloop random walk, metrics registry and event stream vs bare, best of reps)")
+	rep := experiments.ObsSweep(execs, reps)
+	fmt.Printf("   gomaxprocs=%d numcpu=%d program=%s reps=%d\n",
+		rep.GOMAXPROCS, rep.NumCPU, rep.Program, rep.Reps)
+	fmt.Printf("%-16s %12s %12s %12s %9s\n", "config", "executions", "best", "execs/s", "overhead")
+	csv := newCSV("obs", "config", "executions", "best_seconds", "execs_per_sec", "overhead")
+	defer csv.close()
+	for _, r := range rep.Rows {
+		fmt.Printf("%-16s %12d %12s %12.0f %8.3fx\n",
+			r.Config, r.Executions, fmtDur(r.Best), r.ExecsPerSec, r.Overhead)
+		csv.row(r.Config, fmt.Sprint(r.Executions),
+			fmt.Sprintf("%.3f", r.Best.Seconds()),
+			fmt.Sprintf("%.0f", r.ExecsPerSec),
+			fmt.Sprintf("%.3f", r.Overhead))
 	}
 	if jsonPath != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")

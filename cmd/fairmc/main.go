@@ -25,19 +25,22 @@
 // -no-conformance disables the digest verification, -confirm 0 the
 // confirmation pass.
 //
-// Exit status: 0 when the check finds nothing (including searches that
-// only quarantined nondeterministic subtrees — reported as a warning),
-// 1 when a safety violation, deadlock, divergence or wedged thread is
-// found, 2 on usage errors, 3 when the search was interrupted by a
-// signal (after writing a final checkpoint if -checkpoint is set), 4
-// when findings exist but every one of them failed its confirmation
-// replays (flaky — likely an artifact of program nondeterminism, not a
-// trustworthy counterexample).
+// Observability: -progress prints a live telemetry line every few
+// seconds, -metrics-out FILE writes the deterministic run report
+// (JSON, schema docs/run-report.schema.json), -events-out FILE streams
+// structured JSONL trace events, and -pprof ADDR serves net/http/pprof.
+// See docs/OBSERVABILITY.md.
+//
+// Exit status: codes 0–4, defined once in this command's -h output
+// (the exitStatusHelp text below) and summarized in the README's
+// "Exit status" section.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -48,6 +51,22 @@ import (
 	"fairmc/internal/trace"
 	"fairmc/progs"
 )
+
+// exitStatusHelp is the canonical definition of the exit codes,
+// printed by -h and referenced by the README and the package comment.
+// Keep the wording here; everything else points at it.
+const exitStatusHelp = `exit status:
+  0  no findings (including searches that only quarantined
+     nondeterministic subtrees, which are reported as warnings)
+  1  a safety violation, deadlock, divergence, wedged thread, or race
+     was found (and, when -confirm > 0, at least one finding was
+     confirmed reproducible)
+  2  usage error (bad flags, unknown program, invalid option combination)
+  3  interrupted by SIGINT/SIGTERM (a final checkpoint is written first
+     when -checkpoint is set; resume with -resume)
+  4  findings exist but every one failed its confirmation replays
+     (flaky — likely program nondeterminism, not a trustworthy
+     counterexample)`
 
 // fatalUsage prints a diagnostic and exits with the usage status.
 func fatalUsage(v any) {
@@ -86,7 +105,17 @@ func main() {
 		confirm    = flag.Int("confirm", 3, "confirmation replays per finding (reproducibility verdict); 0 disables")
 		divRetries = flag.Int("div-retries", 2, "replay attempts before a diverging (nondeterministic) subtree is quarantined; 0 quarantines on first divergence")
 		noConform  = flag.Bool("no-conformance", false, "disable per-step conformance digests on prefix replays")
+		progress   = flag.Bool("progress", false, "print a live telemetry line to stderr every 2s")
+		metricsOut = flag.String("metrics-out", "", "write the final deterministic run report (JSON) to this file")
+		eventsOut  = flag.String("events-out", "", "stream structured trace events (JSONL) to this file")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
+	flag.Usage = func() {
+		out := flag.CommandLine.Output()
+		fmt.Fprintf(out, "usage: fairmc [flags]\n\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(out, "\n%s\n", exitStatusHelp)
+	}
 	flag.Parse()
 
 	// Modes that share state across executions cannot shard; fall back
@@ -194,6 +223,43 @@ func main() {
 	}
 	opts.Resume = resumeCkpt
 
+	// Observability. The live metrics registry feeds the -progress
+	// reporter; the run report written by -metrics-out derives from the
+	// merged search report instead and is deterministic (see
+	// docs/OBSERVABILITY.md). Both apply to a single search, so reject
+	// them for -replay (no search) and -iterative (many searches).
+	if (*progress || *metricsOut != "" || *eventsOut != "") &&
+		(*replayFile != "" || *iterative >= 0) {
+		fatalUsage("-progress/-metrics-out/-events-out observe a single search; they are not supported with -replay or -iterative")
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+			}
+		}()
+	}
+	var metrics *fairmc.Metrics
+	if *progress {
+		metrics = fairmc.NewMetrics()
+		opts.Metrics = metrics
+	}
+	var recorder *fairmc.EventRecorder
+	var eventsFile *os.File
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			fatalUsage(err)
+		}
+		eventsFile = f
+		// Parallel workers emit in bursts that outrun the single encoder
+		// goroutine; a deep queue keeps short searches lossless. Long
+		// searches may still drop (and count) events — by design the
+		// queue never blocks the scheduler.
+		recorder = fairmc.NewEventRecorder(f, 1<<16)
+		opts.EventSink = recorder
+	}
+
 	// A first SIGINT/SIGTERM asks the search to stop at the next
 	// execution boundary, which also flushes a final checkpoint; a
 	// second signal kills the process the classic way.
@@ -276,6 +342,27 @@ func main() {
 	}
 
 	start := time.Now()
+	var progressDone chan struct{}
+	if *progress {
+		progressDone = make(chan struct{})
+		go func() {
+			tick := time.NewTicker(2 * time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-progressDone:
+					return
+				case <-tick.C:
+					s := metrics.Snapshot()
+					fmt.Fprintf(os.Stderr,
+						"progress: %d execs, %d steps, frontier %d, yields %d, fair-blocked %d, edges +%d/-%d, quarantined %d, wedges %d\n",
+						s.Executions, s.Steps, s.Frontier, s.Yields,
+						s.FairBlocked, s.EdgeAdds, s.EdgeErases,
+						s.Quarantined, s.Wedges)
+				}
+			}
+		}()
+	}
 	var res *fairmc.Result
 	var err error
 	if *raceDetect {
@@ -283,8 +370,36 @@ func main() {
 	} else {
 		res, err = fairmc.Check(p.Body, opts)
 	}
+	if progressDone != nil {
+		close(progressDone)
+	}
+	// The exit switch below calls os.Exit, which skips deferred
+	// functions — flush the event stream and write the run report here,
+	// before any classification can exit.
+	if recorder != nil {
+		if cerr := recorder.Close(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "event stream: %v\n", cerr)
+		}
+		if n := recorder.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "warning: %d trace event(s) dropped by the bounded event queue (slow writer)\n", n)
+		}
+		if cerr := eventsFile.Close(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "event stream: %v\n", cerr)
+		}
+	}
 	if err != nil {
 		fatalUsage(err)
+	}
+	if *metricsOut != "" {
+		data, rerr := res.RunReport(p.Name, opts).Encode()
+		if rerr == nil {
+			rerr = os.WriteFile(*metricsOut, data, 0o644)
+		}
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "run report: %v\n", rerr)
+		} else {
+			fmt.Printf("run report written to %s\n", *metricsOut)
+		}
 	}
 	fmt.Printf("program:     %s\n", p.Name)
 	fmt.Printf("executions:  %d (%.2fs, max depth %d)\n",

@@ -43,10 +43,12 @@ package fairmc
 
 import (
 	"fmt"
+	"io"
 
 	"fairmc/conc"
 	"fairmc/internal/engine"
 	"fairmc/internal/liveness"
+	"fairmc/internal/obs"
 	"fairmc/internal/race"
 	"fairmc/internal/search"
 )
@@ -144,6 +146,44 @@ func Defaults() Options {
 // detector.
 type Race = race.Race
 
+// Metrics is the live telemetry registry of the observability layer
+// (internal/obs): attach one via Options.Metrics and read Snapshot from
+// any goroutine while the check runs. Metrics count work actually
+// performed — including divergence retries and parallel work the
+// merged report discards — so they are not deterministic across
+// Parallelism; use Result.RunReport for deterministic output.
+type Metrics = obs.Metrics
+
+// MetricsSnapshot is a point-in-time copy of a Metrics registry.
+type MetricsSnapshot = obs.Snapshot
+
+// NewMetrics returns an empty metrics registry for Options.Metrics.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// EventRecorder is the bounded, non-blocking structured event sink of
+// the observability layer: attach one via Options.EventSink and it
+// serializes schedule points, yield-window closures, findings, and
+// checkpoint/quarantine lifecycle events as JSONL. Call Close when the
+// check returns to flush the stream.
+type EventRecorder = obs.Recorder
+
+// Event is one structured trace record of the event stream; see
+// docs/OBSERVABILITY.md for the per-type schema.
+type Event = obs.Event
+
+// NewEventRecorder starts an event recorder draining into w with the
+// given queue capacity (values < 1 use a default of 4096). Emission
+// never blocks: when the queue is full, events are dropped and counted
+// (EventRecorder.Dropped), so a slow writer can never stall the
+// scheduler.
+func NewEventRecorder(w io.Writer, buffer int) *EventRecorder {
+	return obs.NewRecorder(w, buffer)
+}
+
+// RunReport is the deterministic machine-readable summary of a check;
+// see Result.RunReport.
+type RunReport = obs.RunReport
+
 // Result is the outcome of a Check: the search report plus, when a
 // divergence was found, its liveness classification.
 type Result struct {
@@ -161,6 +201,118 @@ type Result struct {
 // violation, no deadlock, no divergence, no race.
 func (r *Result) Ok() bool {
 	return r.FirstBug == nil && r.Divergence == nil && len(r.Races) == 0
+}
+
+// RunReport assembles the deterministic machine-readable summary of
+// the check: for a fixed program, options, and seed, the Encode bytes
+// are identical at any Options.Parallelism and across a
+// checkpoint/resume cycle, because every field derives from the merged
+// search report (wall-clock time, worker counts, and stack traces are
+// deliberately excluded). program names the program under test; opts
+// must be the options the check ran with.
+func (r *Result) RunReport(program string, opts Options) *RunReport {
+	fairK := opts.FairK
+	if fairK <= 0 {
+		fairK = 1
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = engine.DefaultMaxSteps
+	}
+	rep := r.Report
+	out := &RunReport{
+		Schema:   obs.ReportSchema,
+		Program:  program,
+		Strategy: search.StrategyName(&opts),
+		Seed:     opts.Seed,
+		Options: obs.RunOptions{
+			Fair:         opts.Fair,
+			FairK:        fairK,
+			ContextBound: opts.ContextBound,
+			DepthBound:   opts.DepthBound,
+			RandomTail:   opts.RandomTail,
+			PCTDepth:     opts.PCTDepth,
+			MaxSteps:     maxSteps,
+			Conformance:  !opts.DisableConformance,
+		},
+		Counters: obs.RunCounters{
+			Executions:     rep.Executions,
+			TotalSteps:     rep.TotalSteps,
+			MaxDepth:       rep.MaxDepth,
+			Yields:         rep.Yields,
+			EdgeAdds:       rep.EdgeAdds,
+			EdgeErases:     rep.EdgeErases,
+			FairBlocked:    rep.FairBlocked,
+			NonTerminating: rep.NonTerminating,
+			PrunedVisited:  rep.PrunedVisited,
+			PrunedSleep:    rep.PrunedSleep,
+			Deadlocks:      rep.Deadlocks,
+			Violations:     rep.Violations,
+			Wedges:         rep.Wedges,
+			Quarantined:    rep.Quarantined,
+			Skipped:        rep.Skipped,
+			Races:          int64(len(r.Races)),
+		},
+		Outcome: obs.RunOutcome{
+			Exhausted:   rep.Exhausted,
+			ExecBounded: rep.ExecBounded,
+			TimedOut:    rep.TimedOut,
+			Interrupted: rep.Interrupted,
+		},
+		Findings: []obs.RunFinding{},
+	}
+	if rep.FirstBug != nil {
+		kind := "violation"
+		if rep.FirstBug.Outcome == engine.Deadlock {
+			kind = "deadlock"
+		}
+		out.Findings = append(out.Findings,
+			runFinding(kind, rep.FirstBug, rep.FirstBugExecution, rep.BugReproducibility))
+	}
+	if rep.Divergence != nil {
+		out.Findings = append(out.Findings,
+			runFinding("livelock", rep.Divergence, rep.DivergenceExecution, rep.DivergenceReproducibility))
+	}
+	if rep.FirstWedge != nil {
+		out.Findings = append(out.Findings,
+			runFinding("wedge", rep.FirstWedge, rep.FirstWedgeExecution, nil))
+	}
+	// Execution order, which is deterministic; the assembly order above
+	// is not (a wedge can precede a bug).
+	for i := 1; i < len(out.Findings); i++ {
+		for j := i; j > 0 && out.Findings[j].Execution < out.Findings[j-1].Execution; j-- {
+			out.Findings[j], out.Findings[j-1] = out.Findings[j-1], out.Findings[j]
+		}
+	}
+	return out
+}
+
+// runFinding builds one report finding from a finding result. The
+// message is stack-free: goroutine stacks vary run to run and would
+// break report determinism.
+func runFinding(kind string, fr *ExecResult, exec int64, repro *Reproducibility) obs.RunFinding {
+	f := obs.RunFinding{
+		Kind:        kind,
+		Execution:   exec,
+		Steps:       fr.Steps,
+		ScheduleLen: len(fr.Schedule),
+	}
+	switch {
+	case fr.Violation != nil && !fr.Violation.IsPanic:
+		f.Message = fr.Violation.String()
+	case fr.Violation != nil:
+		f.Message = "thread panic"
+	case fr.Wedge != nil:
+		f.Message = fr.Wedge.String()
+	case kind == "livelock":
+		f.Message = "execution exceeded the step bound under the fair scheduler"
+	case kind == "deadlock":
+		f.Message = "no thread enabled with live threads remaining"
+	}
+	if repro != nil {
+		f.Reproducibility = repro.String()
+	}
+	return f
 }
 
 // Check explores prog under opts and classifies any divergence. An

@@ -56,6 +56,13 @@ type Fair struct {
 	k         int
 
 	universe tidset.Set // all thread ids ever created
+
+	// Priority-graph churn counters: edgeAdds counts insertions by
+	// "P := P ∪ {t}×H" (lines 23–29), edgeErases removals by
+	// "P := P \ (Tid × {t})" (line 13). Exposed via EdgeStats for the
+	// observability layer; deterministic along a replayed execution.
+	edgeAdds   int64
+	edgeErases int64
 }
 
 // NewFair returns a fair scheduler state for an execution starting
@@ -129,14 +136,22 @@ func (f *Fair) Blocked(t tidset.Tid, es tidset.Set) bool {
 // yield(t) in the pre-state (the transition just executed was a
 // yielding one); esBefore and esAfter are the enabled sets of the pre-
 // and post-state.
-func (f *Fair) OnStep(t tidset.Tid, wasYield bool, esBefore, esAfter tidset.Set) {
+//
+// When the transition closes t's yield window (its k-th yield), OnStep
+// returns closed = true and h = (E(t) ∪ D(t)) \ S(t), the edge set just
+// added as {t}×H. Otherwise closed is false and h is the empty set.
+// Callers that only drive the scheduler may ignore both results.
+func (f *Fair) OnStep(t tidset.Tid, wasYield bool, esBefore, esAfter tidset.Set) (h tidset.Set, closed bool) {
 	if int(t) >= len(f.p) {
 		panic(fmt.Sprintf("core: OnStep for unknown thread %d", t))
 	}
 	// Line 13: next.P := curr.P \ (Tid × {t}) — drop edges with sink t,
 	// decreasing the relative priority of the just-scheduled thread.
 	for u := range f.p {
-		f.p[u].Remove(t)
+		if f.p[u].Contains(t) {
+			f.p[u].Remove(t)
+			f.edgeErases++
+		}
 	}
 	// Lines 14–22: window bookkeeping.
 	disabledNow := esBefore.Minus(esAfter)
@@ -148,20 +163,26 @@ func (f *Fair) OnStep(t tidset.Tid, wasYield bool, esBefore, esAfter tidset.Set)
 
 	// Lines 23–29: close the window of t on a yielding transition.
 	if !wasYield {
-		return
+		return tidset.Set{}, false
 	}
 	f.yieldSeen[t]++
 	if f.yieldSeen[t]%f.k != 0 {
-		return // k-th yield parameterization: skip this boundary
+		return tidset.Set{}, false // k-th yield parameterization: skip this boundary
 	}
-	h := f.e[t].Union(f.d[t]).Minus(f.s[t])
+	h = f.e[t].Union(f.d[t]).Minus(f.s[t])
 	// t ∈ S(t) always holds here (line 21 added t), so H never
 	// contains t and P stays irreflexive and acyclic (Theorem 3).
 	f.p[t].UnionWith(h)
+	f.edgeAdds += int64(h.Len())
 	f.e[t] = esAfter.Clone()
 	f.d[t] = tidset.Set{}
 	f.s[t] = tidset.Set{}
+	return h, true
 }
+
+// EdgeStats returns the number of priority-edge insertions and
+// removals performed so far along this execution.
+func (f *Fair) EdgeStats() (adds, erases int64) { return f.edgeAdds, f.edgeErases }
 
 // Priority reports whether the edge (t, u) is currently in P.
 func (f *Fair) Priority(t, u tidset.Tid) bool {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"fairmc/internal/core"
+	"fairmc/internal/obs"
 	"fairmc/internal/tidset"
 )
 
@@ -114,6 +115,19 @@ type Config struct {
 	// cannot blow past the search budget. Exceeding it ends the
 	// execution with outcome Aborted and Result.DeadlineExceeded set.
 	Deadline time.Time
+	// Metrics, if non-nil, receives this execution's telemetry in one
+	// atomic flush when the execution ends (internal/obs). The per-step
+	// hot path accumulates in plain engine-local counters, so metrics
+	// cost almost nothing while the execution runs.
+	Metrics *obs.Metrics
+	// EventSink, if non-nil, receives structured trace events (schedule
+	// points, yield-window closures, execution ends) as the execution
+	// runs. Emission never blocks: a full sink drops events and counts
+	// them (see obs.Recorder).
+	EventSink *obs.Recorder
+	// ExecIndex tags emitted events with the execution's index within
+	// its search, for correlating the event stream with the report.
+	ExecIndex int64
 }
 
 // DefaultMaxSteps bounds executions when Config.MaxSteps is zero. The
@@ -158,6 +172,14 @@ type Engine struct {
 	schedule    []Alt
 	trace       []Step
 	digests     []StepDigest
+
+	// Per-execution observability accumulators (plain locals flushed to
+	// Config.Metrics once, in result): scheduling decisions made,
+	// alternatives offered across them, and enabled-but-priority-blocked
+	// (thread, step) pairs.
+	choiceCnt      int64
+	candCnt        int64
+	fairBlockedCnt int64
 
 	prevTid     tidset.Tid
 	prevYielded bool
@@ -279,6 +301,9 @@ func (e *Engine) loop() Outcome {
 		var schedulable tidset.Set
 		if e.fair != nil {
 			schedulable = e.fair.Schedulable(es)
+			// schedulable ⊆ es, so the difference in size is exactly the
+			// number of enabled threads excluded by a priority edge here.
+			e.fairBlockedCnt += int64(es.Len() - schedulable.Len())
 			if e.cfg.CheckInvariants {
 				if !e.fair.Acyclic() {
 					panic("engine: priority relation P is cyclic (Theorem 3 violated)")
@@ -308,12 +333,27 @@ func (e *Engine) loop() Outcome {
 				ctx.PrevFairBlocked = ctx.PrevEnabled && e.fair.Blocked(e.prevTid, es)
 			}
 		}
+		e.choiceCnt++
+		e.candCnt += int64(len(cands))
 		alt, ok := e.chooser.Choose(ctx)
 		if !ok {
 			return Aborted
 		}
 		if err := validateAlt(alt, cands); err != nil {
 			panic(fmt.Sprintf("engine: chooser returned invalid alternative: %v", err))
+		}
+		if e.cfg.EventSink != nil {
+			e.cfg.EventSink.Emit(obs.Event{
+				Type: "schedule",
+				Exec: e.cfg.ExecIndex,
+				Step: e.stepCount,
+				Schedule: &obs.ScheduleEvent{
+					Tid:        int(alt.Tid),
+					Candidates: len(cands),
+					Enabled:    es.Len(),
+					Preemption: ctx.IsPreemption(alt),
+				},
+			})
 		}
 		// Digest the pre-step state now (executeStep mutates it), but
 		// append only alongside the schedule below, so a wedged step —
@@ -354,7 +394,17 @@ func (e *Engine) loop() Outcome {
 			return Violation
 		}
 		if e.fair != nil {
-			e.fair.OnStep(alt.Tid, wasYield, es, esAfter)
+			h, windowClosed := e.fair.OnStep(alt.Tid, wasYield, es, esAfter)
+			if windowClosed && e.cfg.EventSink != nil {
+				hs := make([]int, 0, h.Len())
+				h.ForEach(func(u tidset.Tid) { hs = append(hs, int(u)) })
+				e.cfg.EventSink.Emit(obs.Event{
+					Type:  "yield",
+					Exec:  e.cfg.ExecIndex,
+					Step:  e.stepCount - 1,
+					Yield: &obs.YieldEvent{Tid: int(alt.Tid), H: hs},
+				})
+			}
 		}
 		e.prevTid = alt.Tid
 		e.prevYielded = wasYield
@@ -590,13 +640,40 @@ func (e *Engine) drainUntilExit(th *thread) {
 
 func (e *Engine) result(outcome Outcome) *Result {
 	r := &Result{
-		Outcome:  outcome,
-		Steps:    e.stepCount,
-		Schedule: e.schedule,
-		Trace:    e.trace,
-		Digests:  e.digests,
-		Threads:  len(e.threads),
-		Yields:   e.yieldCnt,
+		Outcome:     outcome,
+		Steps:       e.stepCount,
+		Schedule:    e.schedule,
+		Trace:       e.trace,
+		Digests:     e.digests,
+		Threads:     len(e.threads),
+		Yields:      e.yieldCnt,
+		FairBlocked: e.fairBlockedCnt,
+	}
+	if e.fair != nil {
+		r.EdgeAdds, r.EdgeErases = e.fair.EdgeStats()
+	}
+	if m := e.cfg.Metrics; m != nil {
+		m.FlushExec(obs.ExecFlush{
+			Steps:       e.stepCount,
+			Yields:      e.yieldCnt,
+			Choices:     e.choiceCnt,
+			Candidates:  e.candCnt,
+			FairBlocked: e.fairBlockedCnt,
+			EdgeAdds:    r.EdgeAdds,
+			EdgeErases:  r.EdgeErases,
+			Outcome:     outcome.String(),
+		})
+	}
+	if sink := e.cfg.EventSink; sink != nil {
+		sink.Emit(obs.Event{
+			Type: "exec_end",
+			Exec: e.cfg.ExecIndex,
+			ExecEnd: &obs.ExecEndEvent{
+				Outcome: outcome.String(),
+				Steps:   int(e.stepCount),
+				Yields:  int(e.yieldCnt),
+			},
+		})
 	}
 	for _, th := range e.threads {
 		r.PerThread = append(r.PerThread, ThreadStat{

@@ -135,6 +135,15 @@ type Result struct {
 	DeadlineExceeded bool
 	Threads          int   // threads created
 	Yields           int64 // yielding transitions taken
+	// Priority-graph churn under the fair scheduler (zero without it):
+	// EdgeAdds counts insertions by P := P ∪ {t}×H at yield-window
+	// boundaries, EdgeErases removals by line 13's P := P \ (Tid × {t}),
+	// and FairBlocked the (step, thread) pairs where an enabled thread
+	// was excluded from scheduling by a priority edge. All three are
+	// deterministic functions of the schedule.
+	EdgeAdds    int64
+	EdgeErases  int64
+	FairBlocked int64
 	// PerThread breaks Steps/Yields down by thread, in id order. The
 	// good-samaritan discipline is visible here: a thread with many
 	// steps and no yields in a diverging execution is the §4.3.1 bug.

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"io"
+	"runtime"
+	"time"
+
+	"fairmc/internal/obs"
+	"fairmc/internal/search"
+	"fairmc/progs"
+)
+
+// ObsRow is one configuration of the observability-overhead sweep: the
+// same execution-bounded workload run with progressively more
+// instrumentation attached. Overhead is Best normalized to the baseline
+// row (1.0 = no measurable cost).
+type ObsRow struct {
+	Config      string        `json:"config"`
+	Executions  int64         `json:"executions"`
+	Best        time.Duration `json:"best_ns"`
+	ExecsPerSec float64       `json:"execs_per_sec"`
+	Overhead    float64       `json:"overhead"`
+}
+
+// ObsReport bundles the sweep with the host facts needed to interpret
+// it. The acceptance target is the "metrics" row: the registry is
+// flushed once per execution from plain engine-local counters, so its
+// overhead should stay under 5% on the spinloop subject. The
+// "metrics+events" row is informational — per-step event emission is
+// expected to cost more and is off by default.
+type ObsReport struct {
+	Program    string   `json:"program"`
+	Seed       uint64   `json:"seed"`
+	Reps       int      `json:"reps"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
+	Rows       []ObsRow `json:"rows"`
+}
+
+// ObsSweep measures the cost of the observability layer on the Figure 3
+// spinloop subject: an execution-bounded sequential random walk run
+// bare, with the metrics registry attached, and with both metrics and a
+// discarding event stream attached. Configurations are interleaved
+// across reps (best wall clock kept) so thermal drift hits all three
+// equally.
+func ObsSweep(execs int64, reps int) ObsReport {
+	p, ok := progs.Lookup("spinloop")
+	if !ok {
+		panic("experiments: spinloop subject missing")
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	out := ObsReport{
+		Program:    p.Name,
+		Seed:       42,
+		Reps:       reps,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	configs := []string{"baseline", "metrics", "metrics+events"}
+	best := make(map[string]ObsRow, len(configs))
+	for rep := 0; rep < reps; rep++ {
+		for _, cfg := range configs {
+			opts := search.Options{
+				Fair:          true,
+				RandomWalk:    true,
+				MaxExecutions: execs,
+				MaxSteps:      1 << 14,
+				Seed:          out.Seed,
+				Parallelism:   1,
+			}
+			var rec *obs.Recorder
+			switch cfg {
+			case "metrics":
+				opts.Metrics = obs.NewMetrics()
+			case "metrics+events":
+				opts.Metrics = obs.NewMetrics()
+				rec = obs.NewRecorder(io.Discard, 1<<14)
+				opts.EventSink = rec
+			}
+			r := search.Explore(p.Body, opts)
+			if rec != nil {
+				rec.Close()
+			}
+			row, seen := best[cfg]
+			if !seen || r.Elapsed < row.Best {
+				best[cfg] = ObsRow{
+					Config:      cfg,
+					Executions:  r.Executions,
+					Best:        r.Elapsed,
+					ExecsPerSec: float64(r.Executions) / r.Elapsed.Seconds(),
+				}
+			}
+		}
+	}
+	base := best["baseline"].Best.Seconds()
+	for _, cfg := range configs {
+		row := best[cfg]
+		row.Overhead = row.Best.Seconds() / base
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Event is one structured trace record. Exactly one of the optional
+// payload fields is populated, selected by Type. Events serialize as
+// single-line JSON (JSONL) in the order the drain goroutine dequeues
+// them, which for a sequential search is emission order.
+type Event struct {
+	// Type discriminates the payload: "schedule", "yield", "exec_end",
+	// "finding", "quarantine", "checkpoint", or "resume".
+	Type string `json:"type"`
+	// Exec is the execution index the event belongs to, when known.
+	Exec int64 `json:"exec,omitempty"`
+	// Step is the zero-based step index within the execution, for
+	// schedule and yield events.
+	Step int64 `json:"step,omitempty"`
+
+	Schedule   *ScheduleEvent   `json:"schedule,omitempty"`
+	Yield      *YieldEvent      `json:"yield,omitempty"`
+	ExecEnd    *ExecEndEvent    `json:"execEnd,omitempty"`
+	Finding    *FindingEvent    `json:"finding,omitempty"`
+	Quarantine *QuarantineEvent `json:"quarantine,omitempty"`
+	Checkpoint *CheckpointEvent `json:"checkpoint,omitempty"`
+}
+
+// ScheduleEvent records one scheduling decision: thread Tid was chosen
+// out of Candidates schedulable threads (Enabled counts all enabled
+// threads before the fairness filter).
+type ScheduleEvent struct {
+	Tid        int  `json:"tid"`
+	Candidates int  `json:"candidates"`
+	Enabled    int  `json:"enabled"`
+	Preemption bool `json:"preemption,omitempty"`
+}
+
+// YieldEvent records the closure of thread Tid's k-th-yield window:
+// the fair scheduler added priority edges {Tid}×H where
+// H = (E(Tid) ∪ D(Tid)) \ S(Tid) (Algorithm 1 lines 23–29).
+type YieldEvent struct {
+	Tid int   `json:"tid"`
+	H   []int `json:"h"`
+}
+
+// ExecEndEvent records the end of one engine execution.
+type ExecEndEvent struct {
+	Outcome string `json:"outcome"`
+	Steps   int    `json:"steps"`
+	Yields  int    `json:"yields"`
+}
+
+// FindingEvent records a bug or livelock finding surfaced by the
+// search: Kind is "deadlock", "violation", "livelock", or "wedge".
+type FindingEvent struct {
+	Kind    string `json:"kind"`
+	Steps   int    `json:"steps"`
+	Message string `json:"message,omitempty"`
+}
+
+// QuarantineEvent records a subtree abandoned after persistent replay
+// divergence.
+type QuarantineEvent struct {
+	PrefixLen int    `json:"prefixLen"`
+	Attempts  int    `json:"attempts"`
+	Reason    string `json:"reason,omitempty"`
+}
+
+// CheckpointEvent records a checkpoint write ("checkpoint") or a
+// search resumed from one ("resume").
+type CheckpointEvent struct {
+	Path       string `json:"path,omitempty"`
+	Executions int64  `json:"executions"`
+}
+
+// Recorder is a bounded, non-blocking JSONL event sink. Emit never
+// blocks: when the buffer is full the event is dropped and the dropped
+// counter incremented, so attaching a slow writer can lose events but
+// can never stall the scheduler hot path. A single drain goroutine
+// serializes events to the writer; call Close to flush and stop it.
+type Recorder struct {
+	mu      sync.RWMutex // guards closed vs. close(ch)
+	ch      chan Event
+	done    chan struct{}
+	dropped atomic.Int64
+	emitted atomic.Int64
+	closed  bool
+	once    sync.Once
+	err     error
+}
+
+// NewRecorder starts a recorder draining into w with the given queue
+// capacity (values < 1 use a default of 4096). The caller retains
+// ownership of w but must not write to it until Close returns.
+func NewRecorder(w io.Writer, buffer int) *Recorder {
+	if buffer < 1 {
+		buffer = 4096
+	}
+	r := &Recorder{
+		ch:   make(chan Event, buffer),
+		done: make(chan struct{}),
+	}
+	go r.drain(w)
+	return r
+}
+
+func (r *Recorder) drain(w io.Writer) {
+	defer close(r.done)
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for ev := range r.ch {
+		if r.err == nil {
+			r.err = enc.Encode(ev) // Encode appends the newline
+		}
+	}
+	if err := bw.Flush(); r.err == nil {
+		r.err = err
+	}
+}
+
+// Emit enqueues an event without blocking. Events emitted after Close
+// are dropped.
+func (r *Recorder) Emit(ev Event) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.closed {
+		r.dropped.Add(1)
+		return
+	}
+	select {
+	case r.ch <- ev:
+		r.emitted.Add(1)
+	default:
+		r.dropped.Add(1)
+	}
+}
+
+// Dropped returns the number of events discarded because the queue was
+// full (or the recorder closed).
+func (r *Recorder) Dropped() int64 { return r.dropped.Load() }
+
+// Emitted returns the number of events accepted into the queue.
+func (r *Recorder) Emitted() int64 { return r.emitted.Load() }
+
+// Close stops accepting events, waits for the drain goroutine to flush
+// everything already queued, and returns the first write error, if
+// any. Close is idempotent.
+func (r *Recorder) Close() error {
+	r.once.Do(func() {
+		r.mu.Lock()
+		r.closed = true
+		close(r.ch)
+		r.mu.Unlock()
+		<-r.done
+	})
+	return r.err
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRecorderOrdering: events from one goroutine come out as valid
+// JSONL in emission order.
+func TestRecorderOrdering(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder(&buf, 64)
+	const n = 20
+	for i := 0; i < n; i++ {
+		r.Emit(Event{Type: "schedule", Exec: 1, Step: int64(i),
+			Schedule: &ScheduleEvent{Tid: i % 3, Candidates: 2, Enabled: 2}})
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if r.Emitted() != n || r.Dropped() != 0 {
+		t.Fatalf("emitted=%d dropped=%d, want %d/0", r.Emitted(), r.Dropped(), n)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != n {
+		t.Fatalf("got %d lines, want %d", len(lines), n)
+	}
+	for i, line := range lines {
+		var ev Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d not JSON: %v\n%s", i, err, line)
+		}
+		if ev.Type != "schedule" || ev.Step != int64(i) || ev.Schedule == nil ||
+			ev.Schedule.Tid != i%3 {
+			t.Fatalf("line %d out of order or mangled: %+v", i, ev)
+		}
+	}
+}
+
+// blockingWriter blocks every Write until release is closed, standing
+// in for a stalled disk or pipe.
+type blockingWriter struct {
+	release chan struct{}
+	buf     bytes.Buffer
+}
+
+func (w *blockingWriter) Write(p []byte) (int, error) {
+	<-w.release
+	return w.buf.Write(p)
+}
+
+// TestRecorderOverflowNeverBlocks: with the writer wedged, emission
+// must stay non-blocking — overflow is counted, not waited out.
+func TestRecorderOverflowNeverBlocks(t *testing.T) {
+	w := &blockingWriter{release: make(chan struct{})}
+	r := NewRecorder(w, 8)
+	done := make(chan struct{})
+	const n = 5000
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			// Long messages defeat the drain goroutine's 4KiB bufio
+			// buffer quickly, so it wedges on the writer early on.
+			r.Emit(Event{Type: "finding", Exec: int64(i),
+				Finding: &FindingEvent{Kind: "violation", Message: strings.Repeat("x", 256)}})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Emit blocked on a wedged writer")
+	}
+	if r.Dropped() == 0 {
+		t.Fatal("no events dropped despite a wedged writer and a full queue")
+	}
+	if r.Emitted()+r.Dropped() != n {
+		t.Fatalf("emitted %d + dropped %d != %d", r.Emitted(), r.Dropped(), n)
+	}
+	close(w.release)
+	if err := r.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// Everything accepted into the queue must have reached the writer.
+	got := int64(bytes.Count(w.buf.Bytes(), []byte("\n")))
+	if got != r.Emitted() {
+		t.Fatalf("wrote %d lines, emitted %d", got, r.Emitted())
+	}
+}
+
+// TestRecorderCloseIdempotent: double Close is safe and post-Close
+// emission drops instead of panicking on a closed channel.
+func TestRecorderCloseIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder(&buf, 4)
+	r.Emit(Event{Type: "exec_end", ExecEnd: &ExecEndEvent{Outcome: "terminated"}})
+	if err := r.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	before := r.Dropped()
+	r.Emit(Event{Type: "exec_end"})
+	if r.Dropped() != before+1 {
+		t.Fatalf("post-close Emit not counted as dropped")
+	}
+}
+
+// TestRecorderConcurrentEmitClose races emitters against Close; under
+// -race this doubles as a locking test for the closed/ch handoff.
+func TestRecorderConcurrentEmitClose(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder(&buf, 16)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Emit(Event{Type: "schedule", Schedule: &ScheduleEvent{Tid: j}})
+			}
+		}()
+	}
+	r.Close()
+	wg.Wait()
+	if r.Emitted()+r.Dropped() != 4000 {
+		t.Fatalf("emitted %d + dropped %d != 4000", r.Emitted(), r.Dropped())
+	}
+}

@@ -1,0 +1,278 @@
+// Package obs is the observability layer of the checker: a lock-cheap
+// metrics registry the engine and searcher update while a check runs,
+// a bounded non-blocking event recorder that serializes structured
+// scheduling events as JSONL, and the deterministic machine-readable
+// run report the CLI emits at the end of a search.
+//
+// The package deliberately depends on nothing but the standard
+// library: the engine and the searcher import obs, never the other way
+// around, so events and reports carry plain values (ints, strings)
+// rather than engine types.
+//
+// Two kinds of output with two different contracts:
+//
+//   - Metrics (this file) are live telemetry. They count work actually
+//     performed — including divergence-retry replays, cancelled
+//     parallel subtrees, and other work the merged search report
+//     discards — so they are NOT deterministic across worker counts.
+//     Reading them is always safe from any goroutine.
+//   - The run report (report.go) is derived only from the merged
+//     search report, which merges in frontier/index order, so it is
+//     byte-identical for the same seed at any parallelism and across
+//     checkpoint/resume.
+//
+// See docs/OBSERVABILITY.md for the paper-level meaning of every
+// metric.
+package obs
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use. All methods are safe for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomically updated instantaneous value (e.g. the current
+// frontier depth). The zero value is ready to use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the current value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// histBuckets is the number of power-of-two histogram buckets: bucket
+// i counts observations v with bits.Len64(v) == i, i.e. bucket 0 is
+// v == 0, bucket i ≥ 1 is v in [2^(i-1), 2^i). 64-bit values need at
+// most 65 buckets; execution lengths never exceed 2^40 in practice but
+// the full range costs nothing.
+const histBuckets = 65
+
+// Hist is a power-of-two bucketed histogram of non-negative int64
+// observations. The zero value is ready to use; all methods are safe
+// for concurrent use.
+type Hist struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one observation. Negative values clamp to zero.
+func (h *Hist) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bitLen(uint64(v))].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// bitLen is bits.Len64 without the import (the only use in this
+// package).
+func bitLen(v uint64) int {
+	n := 0
+	for v != 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Hist) Sum() int64 { return h.sum.Load() }
+
+// Buckets returns a snapshot of the non-empty buckets as (upper bound,
+// count) pairs in ascending bound order. The upper bound of bucket i
+// is 2^i - 1 (inclusive).
+func (h *Hist) Buckets() []HistBucket {
+	var out []HistBucket
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		hi := int64(-1) // sentinel for the overflow bucket
+		if i < 63 {
+			hi = int64(1)<<uint(i) - 1
+		}
+		out = append(out, HistBucket{Le: hi, Count: n})
+	}
+	return out
+}
+
+// HistBucket is one non-empty histogram bucket: Count observations
+// were ≤ Le (Le = -1 marks the open-ended overflow bucket).
+type HistBucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// Metrics is the registry of live search telemetry. One registry is
+// shared by every engine and worker of a check (Options.Metrics);
+// updates are atomic, so attaching it to a parallel search is safe.
+// The hot path is kept cheap by accumulation: the engine counts
+// per-execution in plain locals and flushes once per execution via
+// FlushExec.
+type Metrics struct {
+	// Executions counts engine runs flushed into the registry. This
+	// includes divergence-retry replays and parallel work later
+	// discarded by the ordered merge, so it can exceed the report's
+	// execution count (see the package comment).
+	Executions Counter
+	// Steps is the total number of scheduled transitions.
+	Steps Counter
+	// Choices is the total number of scheduling decisions (Chooser
+	// calls), and Candidates the total number of alternatives offered
+	// across them; Candidates/Choices is the mean branching factor.
+	Choices    Counter
+	Candidates Counter
+	// Yields counts yielding transitions — the good-samaritan events
+	// that close fairness windows (Algorithm 1 lines 23–29).
+	Yields Counter
+	// EdgeAdds counts priority-edge insertions P := P ∪ {t}×H at yield
+	// window boundaries; EdgeErases counts removals by Algorithm 1
+	// line 13 (P := P \ (Tid × {t})).
+	EdgeAdds   Counter
+	EdgeErases Counter
+	// FairBlocked counts (step, thread) pairs where an enabled thread
+	// was excluded from scheduling by a priority edge: the size of
+	// pre(P, ES) ∩ ES summed over all steps.
+	FairBlocked Counter
+	// Outcome counters, one per engine outcome.
+	Terminations Counter
+	Deadlocks    Counter
+	Violations   Counter
+	Diverged     Counter
+	Aborts       Counter
+	// Wedges counts executions cut by the watchdog (outcome Wedged).
+	Wedges Counter
+	// ReplayDivergences counts prefix replays that stopped conforming
+	// to their recorded digests (each retry attempt counts once).
+	ReplayDivergences Counter
+	// Quarantined counts subtrees abandoned after persistent replay
+	// divergence.
+	Quarantined Counter
+	// WorkerRetries counts recovered parallel-worker crashes (each
+	// failed attempt counts once, whether or not the retry succeeded).
+	WorkerRetries Counter
+	// Checkpoints counts checkpoint files written.
+	Checkpoints Counter
+	// Frontier is the per-strategy frontier depth: the DFS stack depth
+	// (sequential systematic search), the number of unmerged frontier
+	// prefixes (prefix-parallel search), or the next unmerged execution
+	// index (random strategies).
+	Frontier Gauge
+	// ExecSteps is the distribution of execution lengths in steps.
+	ExecSteps Hist
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// ExecFlush is the per-execution accumulation the engine hands to
+// FlushExec once per engine run, keeping the per-step hot path free of
+// atomic operations.
+type ExecFlush struct {
+	Steps       int64
+	Yields      int64
+	Choices     int64
+	Candidates  int64
+	FairBlocked int64
+	EdgeAdds    int64
+	EdgeErases  int64
+	// Outcome is the engine outcome's string form ("terminated",
+	// "deadlock", "violation", "diverged", "aborted", "wedged").
+	Outcome string
+}
+
+// FlushExec folds one finished execution into the registry.
+func (m *Metrics) FlushExec(f ExecFlush) {
+	m.Executions.Inc()
+	m.Steps.Add(f.Steps)
+	m.Yields.Add(f.Yields)
+	m.Choices.Add(f.Choices)
+	m.Candidates.Add(f.Candidates)
+	m.FairBlocked.Add(f.FairBlocked)
+	m.EdgeAdds.Add(f.EdgeAdds)
+	m.EdgeErases.Add(f.EdgeErases)
+	m.ExecSteps.Observe(f.Steps)
+	switch f.Outcome {
+	case "terminated":
+		m.Terminations.Inc()
+	case "deadlock":
+		m.Deadlocks.Inc()
+	case "violation":
+		m.Violations.Inc()
+	case "diverged":
+		m.Diverged.Inc()
+	case "aborted":
+		m.Aborts.Inc()
+	case "wedged":
+		m.Wedges.Inc()
+	}
+}
+
+// Snapshot is a point-in-time copy of every metric, suitable for
+// progress display or JSON encoding. Field values are read atomically
+// but not as one transaction: a snapshot taken while workers run may
+// mix values from adjacent executions.
+type Snapshot struct {
+	Executions        int64        `json:"executions"`
+	Steps             int64        `json:"steps"`
+	Choices           int64        `json:"choices"`
+	Candidates        int64        `json:"candidates"`
+	Yields            int64        `json:"yields"`
+	EdgeAdds          int64        `json:"edgeAdds"`
+	EdgeErases        int64        `json:"edgeErases"`
+	FairBlocked       int64        `json:"fairBlocked"`
+	Terminations      int64        `json:"terminations"`
+	Deadlocks         int64        `json:"deadlocks"`
+	Violations        int64        `json:"violations"`
+	Diverged          int64        `json:"diverged"`
+	Aborts            int64        `json:"aborts"`
+	Wedges            int64        `json:"wedges"`
+	ReplayDivergences int64        `json:"replayDivergences"`
+	Quarantined       int64        `json:"quarantined"`
+	WorkerRetries     int64        `json:"workerRetries"`
+	Checkpoints       int64        `json:"checkpoints"`
+	Frontier          int64        `json:"frontier"`
+	ExecSteps         []HistBucket `json:"execSteps,omitempty"`
+}
+
+// Snapshot copies the current metric values.
+func (m *Metrics) Snapshot() Snapshot {
+	return Snapshot{
+		Executions:        m.Executions.Load(),
+		Steps:             m.Steps.Load(),
+		Choices:           m.Choices.Load(),
+		Candidates:        m.Candidates.Load(),
+		Yields:            m.Yields.Load(),
+		EdgeAdds:          m.EdgeAdds.Load(),
+		EdgeErases:        m.EdgeErases.Load(),
+		FairBlocked:       m.FairBlocked.Load(),
+		Terminations:      m.Terminations.Load(),
+		Deadlocks:         m.Deadlocks.Load(),
+		Violations:        m.Violations.Load(),
+		Diverged:          m.Diverged.Load(),
+		Aborts:            m.Aborts.Load(),
+		Wedges:            m.Wedges.Load(),
+		ReplayDivergences: m.ReplayDivergences.Load(),
+		Quarantined:       m.Quarantined.Load(),
+		WorkerRetries:     m.WorkerRetries.Load(),
+		Checkpoints:       m.Checkpoints.Load(),
+		Frontier:          m.Frontier.Load(),
+		ExecSteps:         m.ExecSteps.Buckets(),
+	}
+}

@@ -1,0 +1,108 @@
+package obs
+
+import "encoding/json"
+
+// ReportSchema identifies the run-report JSON layout; bump it on any
+// field change. docs/run-report.schema.json (checked by the CI smoke
+// step) must match.
+const ReportSchema = "fairmc/run-report/v1"
+
+// RunReport is the final machine-readable summary of a search,
+// assembled by the fairmc facade from the merged search report.
+//
+// Unlike a live Metrics snapshot, every field here is deterministic:
+// for a fixed program, options, and seed the encoded report is
+// byte-identical at any Parallelism and across checkpoint/resume,
+// because it is derived only from counters the search merges in
+// frontier/index order (and deliberately excludes wall-clock time,
+// worker counts, and anything else that varies run to run).
+type RunReport struct {
+	// Schema is always ReportSchema.
+	Schema string `json:"schema"`
+	// Program is the name of the program under test (Options.
+	// ProgramName or the CLI's program argument).
+	Program string `json:"program"`
+	// Strategy is the search strategy: "dfs", "random", or "pct".
+	Strategy string `json:"strategy"`
+	// Seed drives the random strategies and random tails.
+	Seed uint64 `json:"seed"`
+
+	Options  RunOptions  `json:"options"`
+	Counters RunCounters `json:"counters"`
+	Outcome  RunOutcome  `json:"outcome"`
+	// Findings lists the search's findings (first bug, first
+	// divergence, first wedge) in execution order.
+	Findings []RunFinding `json:"findings"`
+}
+
+// RunOptions echoes the semantically relevant search options, so a
+// report is self-describing.
+type RunOptions struct {
+	Fair         bool  `json:"fair"`
+	FairK        int   `json:"fairK"`
+	ContextBound int   `json:"contextBound"`
+	DepthBound   int   `json:"depthBound,omitempty"`
+	RandomTail   bool  `json:"randomTail,omitempty"`
+	PCTDepth     int   `json:"pctDepth,omitempty"`
+	MaxSteps     int64 `json:"maxSteps"`
+	Conformance  bool  `json:"conformance"`
+}
+
+// RunCounters are the merged, deterministic search counters.
+type RunCounters struct {
+	Executions     int64 `json:"executions"`
+	TotalSteps     int64 `json:"totalSteps"`
+	MaxDepth       int64 `json:"maxDepth"`
+	Yields         int64 `json:"yields"`
+	EdgeAdds       int64 `json:"edgeAdds"`
+	EdgeErases     int64 `json:"edgeErases"`
+	FairBlocked    int64 `json:"fairBlocked"`
+	NonTerminating int64 `json:"nonTerminating"`
+	PrunedVisited  int64 `json:"prunedVisited"`
+	PrunedSleep    int64 `json:"prunedSleep"`
+	Deadlocks      int64 `json:"deadlocks"`
+	Violations     int64 `json:"violations"`
+	Wedges         int64 `json:"wedges"`
+	Quarantined    int64 `json:"quarantined"`
+	Skipped        int64 `json:"skipped"`
+	Races          int64 `json:"races"`
+}
+
+// RunOutcome describes how the search stopped.
+type RunOutcome struct {
+	// Exhausted reports full exploration of the schedule tree.
+	Exhausted bool `json:"exhausted"`
+	// ExecBounded / TimedOut / Interrupted report which budget or
+	// signal stopped the search instead.
+	ExecBounded bool `json:"execBounded"`
+	TimedOut    bool `json:"timedOut"`
+	Interrupted bool `json:"interrupted"`
+}
+
+// RunFinding is one finding in the report: Kind is "violation",
+// "deadlock", "livelock" (diverging fair execution), or "wedge".
+type RunFinding struct {
+	Kind string `json:"kind"`
+	// Execution is the 1-based index of the execution that found it.
+	Execution int64 `json:"execution"`
+	// Steps is the length of the finding execution; ScheduleLen the
+	// length of its recorded repro schedule (0 when not replayable).
+	Steps       int64 `json:"steps"`
+	ScheduleLen int   `json:"scheduleLen"`
+	// Message is the finding's one-line description (no stack traces:
+	// goroutine stacks vary run to run).
+	Message string `json:"message,omitempty"`
+	// Reproducibility is the confirmation verdict ("stable (3/3)",
+	// "flaky (1/3)") when the confirmation pass ran, else empty.
+	Reproducibility string `json:"reproducibility,omitempty"`
+}
+
+// Encode renders the report as indented JSON with a trailing newline,
+// the exact bytes the CLI writes and the determinism tests compare.
+func (r *RunReport) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

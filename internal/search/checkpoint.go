@@ -49,7 +49,11 @@ import (
 // counter, and the NondeterminismReports; version-1 checkpoints lack
 // the digests the resumed search would verify replays against, so
 // they are rejected rather than silently resumed unverified.
-const CheckpointVersion = 2
+// Version 3 added the fair-scheduler counters (Yields, EdgeAdds,
+// EdgeErases, FairBlocked); resuming a version-2 checkpoint would
+// zero them and break run-report determinism across a resume, so old
+// checkpoints are rejected.
+const CheckpointVersion = 3
 
 // defaultCheckpointInterval is used when CheckpointPath is set but
 // CheckpointInterval is zero.
@@ -76,6 +80,10 @@ type CheckpointCounters struct {
 	Executions     int64 `json:"executions"`
 	TotalSteps     int64 `json:"totalSteps"`
 	MaxDepth       int64 `json:"maxDepth"`
+	Yields         int64 `json:"yields"`
+	EdgeAdds       int64 `json:"edgeAdds"`
+	EdgeErases     int64 `json:"edgeErases"`
+	FairBlocked    int64 `json:"fairBlocked"`
 	NonTerminating int64 `json:"nonTerminating"`
 	Deadlocks      int64 `json:"deadlocks"`
 	Violations     int64 `json:"violations"`
@@ -212,6 +220,12 @@ func strategyOf(o *Options) string {
 	}
 }
 
+// StrategyName returns the canonical name of the enumeration strategy
+// the options select: "random", "pct", or "dfs" (any systematic
+// search). It is the same name checkpoints carry in their Meta and run
+// reports carry in their Strategy field.
+func StrategyName(o *Options) string { return strategyOf(o) }
+
 // optionsHash fingerprints the options that determine the schedule
 // enumeration. Budget fields (MaxExecutions, TimeLimit) and
 // operational fields (Watchdog, checkpoint/stop plumbing, Monitor) are
@@ -274,6 +288,10 @@ func buildCheckpoint(opts *Options, rep *Report, elapsed time.Duration, done boo
 			Executions:     rep.Executions,
 			TotalSteps:     rep.TotalSteps,
 			MaxDepth:       rep.MaxDepth,
+			Yields:         rep.Yields,
+			EdgeAdds:       rep.EdgeAdds,
+			EdgeErases:     rep.EdgeErases,
+			FairBlocked:    rep.FairBlocked,
 			NonTerminating: rep.NonTerminating,
 			Deadlocks:      rep.Deadlocks,
 			Violations:     rep.Violations,
@@ -299,6 +317,10 @@ func applyCheckpoint(rep *Report, ck *Checkpoint) {
 	rep.Executions = ck.Counters.Executions
 	rep.TotalSteps = ck.Counters.TotalSteps
 	rep.MaxDepth = ck.Counters.MaxDepth
+	rep.Yields = ck.Counters.Yields
+	rep.EdgeAdds = ck.Counters.EdgeAdds
+	rep.EdgeErases = ck.Counters.EdgeErases
+	rep.FairBlocked = ck.Counters.FairBlocked
 	rep.NonTerminating = ck.Counters.NonTerminating
 	rep.Deadlocks = ck.Counters.Deadlocks
 	rep.Violations = ck.Counters.Violations

@@ -1,0 +1,190 @@
+package search_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"fairmc/internal/obs"
+	"fairmc/internal/search"
+)
+
+// TestMetricsMatchSequentialReport: on a clean sequential search there
+// are no divergence retries and no discarded parallel work, so the live
+// registry and the merged report agree exactly on every deterministic
+// counter.
+func TestMetricsMatchSequentialReport(t *testing.T) {
+	m := obs.NewMetrics()
+	rep := search.Explore(fig3, search.Options{
+		Fair:         true,
+		ContextBound: -1,
+		MaxSteps:     10000,
+		Metrics:      m,
+	})
+	if !rep.Exhausted {
+		t.Fatalf("search not exhausted: %+v", rep)
+	}
+	s := m.Snapshot()
+	if s.Executions != rep.Executions {
+		t.Fatalf("metrics executions %d != report %d", s.Executions, rep.Executions)
+	}
+	if s.Steps != rep.TotalSteps {
+		t.Fatalf("metrics steps %d != report %d", s.Steps, rep.TotalSteps)
+	}
+	if s.Yields != rep.Yields || s.EdgeAdds != rep.EdgeAdds ||
+		s.EdgeErases != rep.EdgeErases || s.FairBlocked != rep.FairBlocked {
+		t.Fatalf("fairness counters diverge: metrics %+v vs report %+v", s, rep)
+	}
+	if s.Yields == 0 || s.EdgeAdds == 0 {
+		t.Fatalf("spin loop produced no fairness activity: %+v", s)
+	}
+	if s.Terminations != rep.Executions {
+		t.Fatalf("terminations %d != executions %d", s.Terminations, rep.Executions)
+	}
+	if s.ExecSteps == nil || m.ExecSteps.Count() != rep.Executions {
+		t.Fatalf("exec-steps histogram count %d != executions %d",
+			m.ExecSteps.Count(), rep.Executions)
+	}
+}
+
+// TestMetricsStrideParallelExact: a count-everything stride random walk
+// runs every execution index exactly once, with no replays and no
+// cancelled work — so even at Parallelism 4 the registry matches the
+// merged report exactly. Run under -race, this is also the concurrency
+// test for engine flushes from parallel workers.
+func TestMetricsStrideParallelExact(t *testing.T) {
+	m := obs.NewMetrics()
+	rep := search.Explore(racyIncrement, search.Options{
+		Fair:                   true,
+		RandomWalk:             true,
+		MaxExecutions:          400,
+		MaxSteps:               1000,
+		Seed:                   3,
+		Parallelism:            4,
+		ContinueAfterViolation: true,
+		Metrics:                m,
+	})
+	s := m.Snapshot()
+	if s.Executions != rep.Executions || s.Steps != rep.TotalSteps ||
+		s.Yields != rep.Yields || s.EdgeAdds != rep.EdgeAdds ||
+		s.EdgeErases != rep.EdgeErases || s.FairBlocked != rep.FairBlocked {
+		t.Fatalf("stride metrics diverge from report:\n%+v\nvs\n%+v", s, rep)
+	}
+}
+
+// TestMetricsPrefixParallelCoverReport: prefix-parallel workers replay
+// their frontier prefix inside each engine run and the frontier
+// construction itself executes, so the registry counts at least the
+// report's work — never less.
+func TestMetricsPrefixParallelCoverReport(t *testing.T) {
+	m := obs.NewMetrics()
+	rep := search.Explore(fig3, search.Options{
+		Fair:         true,
+		ContextBound: -1,
+		MaxSteps:     10000,
+		Parallelism:  4,
+		Metrics:      m,
+	})
+	if !rep.Exhausted {
+		t.Fatalf("search not exhausted: %+v", rep)
+	}
+	s := m.Snapshot()
+	if s.Executions < rep.Executions || s.Steps < rep.TotalSteps ||
+		s.Yields < rep.Yields {
+		t.Fatalf("metrics undercount the report:\n%+v\nvs\n%+v", s, rep)
+	}
+	outcomes := s.Terminations + s.Deadlocks + s.Violations + s.Diverged + s.Aborts + s.Wedges
+	if outcomes != s.Executions {
+		t.Fatalf("outcome counters sum to %d, executions %d", outcomes, s.Executions)
+	}
+}
+
+// TestEventStreamSequential: a sequential search emits one schedule
+// event per step, one exec_end per execution, and nothing is dropped
+// when the queue is large enough.
+func TestEventStreamSequential(t *testing.T) {
+	var buf bytes.Buffer
+	rec := obs.NewRecorder(&buf, 1<<16)
+	rep := search.Explore(fig3, search.Options{
+		Fair:         true,
+		ContextBound: -1,
+		MaxSteps:     10000,
+		EventSink:    rec,
+	})
+	if err := rec.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if rec.Dropped() != 0 {
+		t.Fatalf("%d events dropped with an oversized queue", rec.Dropped())
+	}
+	var schedules, yields, execEnds, yieldsWithH int64
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		var ev obs.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad JSONL line: %v\n%s", err, line)
+		}
+		switch ev.Type {
+		case "schedule":
+			schedules++
+		case "yield":
+			yields++
+			if ev.Yield == nil {
+				t.Fatalf("yield event without payload: %s", line)
+			}
+			// H may legitimately be empty (nobody starved in the window).
+			if len(ev.Yield.H) > 0 {
+				yieldsWithH++
+			}
+		case "exec_end":
+			execEnds++
+		}
+	}
+	if schedules != rep.TotalSteps {
+		t.Fatalf("schedule events %d != total steps %d", schedules, rep.TotalSteps)
+	}
+	if execEnds != rep.Executions {
+		t.Fatalf("exec_end events %d != executions %d", execEnds, rep.Executions)
+	}
+	if yields == 0 || yieldsWithH == 0 {
+		t.Fatalf("no yield-window events with priority edges from the spin loop (yields=%d withH=%d)",
+			yields, yieldsWithH)
+	}
+}
+
+// TestEventStreamFinding: stopping at the first violation emits a
+// finding event with the violation's stack-free message.
+func TestEventStreamFinding(t *testing.T) {
+	var buf bytes.Buffer
+	rec := obs.NewRecorder(&buf, 1<<16)
+	rep := search.Explore(racyIncrement, search.Options{
+		Fair:         true,
+		ContextBound: 2,
+		MaxSteps:     1000,
+		EventSink:    rec,
+	})
+	if err := rec.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if rep.FirstBug == nil {
+		t.Fatalf("racy increment found no bug: %+v", rep)
+	}
+	var findings []obs.Event
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		var ev obs.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad JSONL line: %v\n%s", err, line)
+		}
+		if ev.Type == "finding" {
+			findings = append(findings, ev)
+		}
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d finding events, want 1", len(findings))
+	}
+	f := findings[0]
+	if f.Finding.Kind != "violation" || f.Exec != rep.FirstBugExecution ||
+		f.Finding.Message == "" || strings.Contains(f.Finding.Message, "goroutine") {
+		t.Fatalf("finding event wrong: %+v", f.Finding)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"fairmc/internal/engine"
+	"fairmc/internal/obs"
 	"fairmc/internal/rng"
 )
 
@@ -128,6 +129,57 @@ func exploreParallel(prog func(*engine.T), opts Options) *Report {
 	return explorePrefix(prog, opts)
 }
 
+// observeCheckpoint publishes one successful checkpoint write to the
+// observability layer.
+func observeCheckpoint(opts *Options, executions int64) {
+	if m := opts.Metrics; m != nil {
+		m.Checkpoints.Inc()
+	}
+	if sink := opts.EventSink; sink != nil {
+		sink.Emit(obs.Event{Type: "checkpoint", Checkpoint: &obs.CheckpointEvent{
+			Path:       opts.CheckpointPath,
+			Executions: executions,
+		}})
+	}
+}
+
+// observeResume publishes a resume-from-checkpoint to the event stream.
+func observeResume(opts *Options, ck *Checkpoint) {
+	if sink := opts.EventSink; sink != nil {
+		sink.Emit(obs.Event{Type: "resume", Checkpoint: &obs.CheckpointEvent{
+			Path:       opts.CheckpointPath,
+			Executions: ck.Counters.Executions,
+		}})
+	}
+}
+
+// observeWorkerRetry counts one recovered worker crash.
+func observeWorkerRetry(opts *Options) {
+	if m := opts.Metrics; m != nil {
+		m.WorkerRetries.Inc()
+	}
+}
+
+// emitMergeFinding publishes a finding classified by the stride merge
+// (stride workers run bare engines and never classify; the merge is
+// where an outcome becomes a finding). r.repro may be nil when the
+// worker already had a repro of this kind; the message is then empty.
+func emitMergeFinding(opts *Options, kind string, rec *strideRec, exec int64) {
+	sink := opts.EventSink
+	if sink == nil {
+		return
+	}
+	msg := ""
+	if rec.repro != nil {
+		msg = findingMessage(kind, rec.repro)
+	}
+	sink.Emit(obs.Event{Type: "finding", Exec: exec, Finding: &obs.FindingEvent{
+		Kind:    kind,
+		Steps:   int(rec.steps),
+		Message: msg,
+	}})
+}
+
 // reproduceStandalone is searcher.reproduce without a searcher: re-run
 // r's schedule with trace and digest recording to produce a
 // self-contained repro. A non-conforming replay keeps the original
@@ -153,6 +205,12 @@ type strideRec struct {
 	deadline bool           // the engine-level deadline cut this execution
 	skipped  bool           // abandoned after repeated worker crashes
 	repro    *engine.Result // full repro for the worker's first notable event, when still wanted
+	// Fair-scheduler statistics of the execution, merged into the
+	// report's deterministic counters in index order.
+	yields      int64
+	edgeAdds    int64
+	edgeErases  int64
+	fairBlocked int64
 }
 
 // strideChooser replays the sequential searcher's random-mode choice
@@ -201,6 +259,7 @@ func exploreStride(prog func(*engine.T), opts Options) *Report {
 		applyCheckpoint(rep, ck)
 		prevElapsed = time.Duration(ck.Counters.ElapsedNS)
 		base = ck.Stride.NextIndex
+		observeResume(&opts, ck)
 	}
 	fails := &failSink{list: rep.WorkerFailures}
 	roundSize := int64(p) * strideBatch
@@ -218,6 +277,8 @@ func exploreStride(prog func(*engine.T), opts Options) *Report {
 		RecordTrace: opts.RecordTrace,
 		Watchdog:    opts.Watchdog,
 		Deadline:    deadline,
+		Metrics:     opts.Metrics,
+		EventSink:   opts.EventSink,
 	}
 
 	lastCkpt := start
@@ -229,9 +290,13 @@ func exploreStride(prog func(*engine.T), opts Options) *Report {
 		rep.WorkerFailures = fails.sorted()
 		ck := buildCheckpoint(&opts, rep, prevElapsed+time.Since(start), d)
 		ck.Stride = &StrideState{NextIndex: base}
-		if err := ck.WriteFile(opts.CheckpointPath); err != nil && rep.CheckpointError == "" {
-			rep.CheckpointError = err.Error()
+		if err := ck.WriteFile(opts.CheckpointPath); err != nil {
+			if rep.CheckpointError == "" {
+				rep.CheckpointError = err.Error()
+			}
+			return
 		}
+		observeCheckpoint(&opts, rep.Executions)
 	}
 
 loop:
@@ -292,14 +357,20 @@ loop:
 			}
 			rep.Executions++
 			rep.TotalSteps += r.steps
+			rep.Yields += r.yields
+			rep.EdgeAdds += r.edgeAdds
+			rep.EdgeErases += r.edgeErases
+			rep.FairBlocked += r.fairBlocked
 			if r.steps > rep.MaxDepth {
 				rep.MaxDepth = r.steps
 			}
 			switch r.outcome {
 			case engine.Terminated:
 			case engine.Deadlock, engine.Violation:
+				kind := "violation"
 				if r.outcome == engine.Deadlock {
 					rep.Deadlocks++
+					kind = "deadlock"
 				} else {
 					rep.Violations++
 				}
@@ -308,6 +379,7 @@ loop:
 					rep.FirstBugExecution = i
 					needBugRepro = false
 				}
+				emitMergeFinding(&opts, kind, &r, i)
 				if !opts.ContinueAfterViolation {
 					stop, done = true, true
 				}
@@ -319,6 +391,7 @@ loop:
 						rep.DivergenceExecution = i
 						needDivRepro = false
 					}
+					emitMergeFinding(&opts, "livelock", &r, i)
 					if !opts.ContinueAfterDivergence {
 						stop, done = true, true
 					}
@@ -330,6 +403,7 @@ loop:
 					rep.FirstWedgeExecution = i
 					needWedgeRepro = false
 				}
+				emitMergeFinding(&opts, "wedge", &r, i)
 				if !opts.ContinueAfterViolation {
 					stop, done = true, true
 				}
@@ -345,6 +419,9 @@ loop:
 			}
 		}
 		base = hi
+		if m := opts.Metrics; m != nil {
+			m.Frontier.Set(base + 1) // next unmerged execution index
+		}
 		if stop {
 			break
 		}
@@ -399,14 +476,18 @@ func runStrideIndex(prog func(*engine.T), opts *Options, cfg engine.Config,
 		if p := recover(); p != nil {
 			fails.add(WorkerFailure{Mode: "stride", Unit: i, Attempt: attempt,
 				Panic: fmt.Sprint(p), Stack: string(debug.Stack())})
+			observeWorkerRetry(opts)
 			rec, ok = strideRec{}, false
 		}
 	}()
 	if h := workerFaultHook; h != nil {
 		h("stride", i)
 	}
+	cfg.ExecIndex = i // cfg is this call's copy
 	r := engine.Run(prog, newStrideChooser(opts, i), cfg)
-	rec = strideRec{steps: r.Steps, outcome: r.Outcome, deadline: r.DeadlineExceeded}
+	rec = strideRec{steps: r.Steps, outcome: r.Outcome, deadline: r.DeadlineExceeded,
+		yields: r.Yields, edgeAdds: r.EdgeAdds, edgeErases: r.EdgeErases,
+		fairBlocked: r.FairBlocked}
 	switch r.Outcome {
 	case engine.Deadlock, engine.Violation:
 		if needBug {
@@ -486,13 +567,13 @@ func (c *expandChooser) Choose(ctx *engine.ChooseContext) (engine.Alt, bool) {
 			return engine.Alt{}, false
 		}
 		if step < len(c.digs) && !c.opts.DisableConformance {
-			obs := ctx.Engine.StepDigest(ctx.Cands, alt)
-			if exp := c.digs[step]; obs != exp {
+			got := ctx.Engine.StepDigest(ctx.Cands, alt)
+			if exp := c.digs[step]; got != exp {
 				c.div = &engine.DivergenceError{
 					Step:     step,
 					Want:     alt,
 					Expected: exp,
-					Observed: obs,
+					Observed: got,
 					NumCands: len(ctx.Cands),
 				}
 				return engine.Alt{}, false
@@ -675,6 +756,7 @@ func runPrefixUnit(prog func(*engine.T), opts Options, pfx *prefixNode,
 		if p := recover(); p != nil {
 			fails.add(WorkerFailure{Mode: "prefix", Unit: int64(i), Attempt: attempt,
 				Panic: fmt.Sprint(p), Stack: string(debug.Stack())})
+			observeWorkerRetry(&opts)
 			rep, failed = nil, true
 		}
 	}()
@@ -705,6 +787,7 @@ func explorePrefix(prog func(*engine.T), opts Options) *Report {
 		prevElapsed = time.Duration(ck.Counters.ElapsedNS)
 		merged = ck.Prefix.Merged
 		allExhausted = ck.Prefix.AllExhausted
+		observeResume(&opts, ck)
 		// The saved frontier is authoritative: prefixes below Merged
 		// are done; the rest are re-queued (results that were in
 		// flight at checkpoint time are recomputed).
@@ -784,9 +867,13 @@ func explorePrefix(prog func(*engine.T), opts Options) *Report {
 			st.Frontier[i] = savedPrefix{Sched: pfx.sched, Digs: pfx.digs, Leaf: pfx.leaf}
 		}
 		ck.Prefix = st
-		if err := ck.WriteFile(opts.CheckpointPath); err != nil && rep.CheckpointError == "" {
-			rep.CheckpointError = err.Error()
+		if err := ck.WriteFile(opts.CheckpointPath); err != nil {
+			if rep.CheckpointError == "" {
+				rep.CheckpointError = err.Error()
+			}
+			return
 		}
+		observeCheckpoint(&opts, rep.Executions)
 	}
 
 	pending := make(map[int]*Report)
@@ -850,6 +937,10 @@ merge:
 		}
 		rep.Executions += r.Executions
 		rep.TotalSteps += r.TotalSteps
+		rep.Yields += r.Yields
+		rep.EdgeAdds += r.EdgeAdds
+		rep.EdgeErases += r.EdgeErases
+		rep.FairBlocked += r.FairBlocked
 		if r.MaxDepth > rep.MaxDepth {
 			rep.MaxDepth = r.MaxDepth
 		}
@@ -866,6 +957,9 @@ merge:
 			allExhausted = false
 		}
 		merged++
+		if m := opts.Metrics; m != nil {
+			m.Frontier.Set(int64(len(prefixes) - merged)) // unmerged prefixes
+		}
 		// Stop conditions, in the order the subtree searcher hit them.
 		if r.FirstBug != nil && !opts.ContinueAfterViolation {
 			stopped, done = true, true

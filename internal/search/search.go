@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"fairmc/internal/engine"
+	"fairmc/internal/obs"
 	"fairmc/internal/por"
 	"fairmc/internal/rng"
 )
@@ -172,6 +173,20 @@ type Options struct {
 	// returns with Report.Interrupted set. This is how cmd/fairmc
 	// turns SIGINT/SIGTERM into a clean, resumable stop.
 	Stop <-chan struct{}
+	// Metrics, if non-nil, is the live telemetry registry every engine
+	// run and searcher decision updates (internal/obs). Safe with any
+	// Parallelism (updates are atomic) and with checkpointing (the
+	// registry is operational state, not search state: it is excluded
+	// from the options hash and not persisted). Metrics count work
+	// actually performed — divergence retries, cancelled subtrees —
+	// so they are not deterministic across Parallelism; the merged
+	// Report is.
+	Metrics *obs.Metrics
+	// EventSink, if non-nil, receives structured JSONL trace events
+	// (schedule points, yield-window closures, findings, quarantine and
+	// checkpoint lifecycle). Same compatibility story as Metrics.
+	// Emission never blocks; a slow sink drops events and counts them.
+	EventSink *obs.Recorder
 }
 
 // Report summarizes a search.
@@ -182,6 +197,15 @@ type Report struct {
 	TotalSteps int64
 	// MaxDepth is the longest execution seen.
 	MaxDepth int64
+	// Yields is the total number of yielding transitions, and EdgeAdds /
+	// EdgeErases / FairBlocked the summed fair-scheduler statistics of
+	// every counted execution (see engine.Result). Deterministic: like
+	// TotalSteps they are merged in execution order, so they are
+	// identical at any Parallelism and across checkpoint/resume.
+	Yields      int64
+	EdgeAdds    int64
+	EdgeErases  int64
+	FairBlocked int64
 	// NonTerminating counts executions cut at the depth bound or the
 	// step cap (Figure 2's y-axis).
 	NonTerminating int64
@@ -360,6 +384,12 @@ func exploreSequential(prog func(*engine.T), opts Options) *Report {
 	if ck := opts.Resume; ck != nil {
 		applyCheckpoint(&s.report, ck)
 		s.prevElapsed = time.Duration(ck.Counters.ElapsedNS)
+		if sink := opts.EventSink; sink != nil {
+			sink.Emit(obs.Event{Type: "resume", Checkpoint: &obs.CheckpointEvent{
+				Path:       opts.CheckpointPath,
+				Executions: ck.Counters.Executions,
+			}})
+		}
 		if ck.Seq != nil && !(opts.RandomWalk || opts.PCT) {
 			for _, fr := range ck.Seq.Stack {
 				s.stack = append(s.stack, frame{
@@ -400,8 +430,20 @@ func (s *searcher) writeCheckpoint(done bool) {
 		}
 		ck.Seq = st
 	}
-	if err := ck.WriteFile(s.opts.CheckpointPath); err != nil && s.report.CheckpointError == "" {
-		s.report.CheckpointError = err.Error()
+	if err := ck.WriteFile(s.opts.CheckpointPath); err != nil {
+		if s.report.CheckpointError == "" {
+			s.report.CheckpointError = err.Error()
+		}
+		return
+	}
+	if m := s.opts.Metrics; m != nil {
+		m.Checkpoints.Inc()
+	}
+	if sink := s.opts.EventSink; sink != nil {
+		sink.Emit(obs.Event{Type: "checkpoint", Checkpoint: &obs.CheckpointEvent{
+			Path:       s.opts.CheckpointPath,
+			Executions: s.report.Executions,
+		}})
 	}
 }
 
@@ -470,9 +512,15 @@ func (s *searcher) run() {
 				Monitor:     s.opts.Monitor,
 				Watchdog:    s.opts.Watchdog,
 				Deadline:    s.deadline,
+				Metrics:     s.opts.Metrics,
+				EventSink:   s.opts.EventSink,
+				ExecIndex:   exec,
 			})
 			if s.reason != abortDiverged {
 				break
+			}
+			if m := s.opts.Metrics; m != nil {
+				m.ReplayDivergences.Inc()
 			}
 			if attempt > s.opts.divergenceRetries() {
 				s.quarantine(attempt)
@@ -491,6 +539,10 @@ func (s *searcher) run() {
 		}
 		s.report.Executions++
 		s.report.TotalSteps += r.Steps
+		s.report.Yields += r.Yields
+		s.report.EdgeAdds += r.EdgeAdds
+		s.report.EdgeErases += r.EdgeErases
+		s.report.FairBlocked += r.FairBlocked
 		if r.Steps > s.report.MaxDepth {
 			s.report.MaxDepth = r.Steps
 		}
@@ -505,6 +557,9 @@ func (s *searcher) run() {
 			return
 		}
 		if s.opts.RandomWalk || s.opts.PCT {
+			if m := s.opts.Metrics; m != nil {
+				m.Frontier.Set(exec + 1) // next execution index
+			}
 			continue // no schedule tree to backtrack over
 		}
 		if !s.backtrack() {
@@ -515,6 +570,12 @@ func (s *searcher) run() {
 			s.ckptDone = true
 			s.nextExec = exec + 1
 			return
+		}
+		// Subtree workers of the prefix-parallel driver (cancelled !=
+		// nil) skip the gauge: the driver publishes the number of
+		// unmerged prefixes instead.
+		if m := s.opts.Metrics; m != nil && s.cancelled == nil {
+			m.Frontier.Set(int64(len(s.stack))) // DFS stack depth
 		}
 	}
 }
@@ -569,6 +630,20 @@ func (s *searcher) quarantine(attempts int) {
 		NotSchedulable: div.NotSchedulable,
 		Attempts:       attempts,
 	})
+	if m := s.opts.Metrics; m != nil {
+		m.Quarantined.Inc()
+	}
+	if sink := s.opts.EventSink; sink != nil {
+		reason := "digest mismatch"
+		if div.NotSchedulable {
+			reason = "recorded alternative not schedulable"
+		}
+		sink.Emit(obs.Event{Type: "quarantine", Quarantine: &obs.QuarantineEvent{
+			PrefixLen: len(prefix),
+			Attempts:  attempts,
+			Reason:    reason,
+		}})
+	}
 	s.divErr = nil
 	s.stack = s.stack[:k]
 }
@@ -582,10 +657,12 @@ func (s *searcher) classify(r *engine.Result, exec int64) bool {
 	case engine.Deadlock:
 		s.report.Deadlocks++
 		s.recordBug(r, exec)
+		s.emitFinding("deadlock", r, exec)
 		return !s.opts.ContinueAfterViolation
 	case engine.Violation:
 		s.report.Violations++
 		s.recordBug(r, exec)
+		s.emitFinding("violation", r, exec)
 		return !s.opts.ContinueAfterViolation
 	case engine.Diverged:
 		s.report.NonTerminating++
@@ -594,6 +671,7 @@ func (s *searcher) classify(r *engine.Result, exec int64) bool {
 				s.report.Divergence = s.reproduce(r)
 				s.report.DivergenceExecution = exec
 			}
+			s.emitFinding("livelock", r, exec)
 			return !s.opts.ContinueAfterDivergence
 		}
 		return false
@@ -622,9 +700,45 @@ func (s *searcher) classify(r *engine.Result, exec int64) bool {
 			s.report.FirstWedge = r
 			s.report.FirstWedgeExecution = exec
 		}
+		s.emitFinding("wedge", r, exec)
 		return !s.opts.ContinueAfterViolation
 	default:
 		panic("search: unknown outcome")
+	}
+}
+
+// emitFinding publishes one finding to the event stream, with the
+// one-line message findingMessage derives from the result.
+func (s *searcher) emitFinding(kind string, r *engine.Result, exec int64) {
+	sink := s.opts.EventSink
+	if sink == nil {
+		return
+	}
+	sink.Emit(obs.Event{Type: "finding", Exec: exec, Finding: &obs.FindingEvent{
+		Kind:    kind,
+		Steps:   int(r.Steps),
+		Message: findingMessage(kind, r),
+	}})
+}
+
+// findingMessage is the one-line description of a finding, shared by
+// the event stream and the run report. Deliberately stack-free:
+// goroutine stacks vary run to run and would break report determinism.
+func findingMessage(kind string, r *engine.Result) string {
+	switch {
+	case r.Violation != nil && !r.Violation.IsPanic:
+		return r.Violation.String()
+	case r.Violation != nil:
+		// Panic messages may embed addresses; keep only the fact.
+		return "thread panic"
+	case r.Wedge != nil:
+		return r.Wedge.String()
+	case kind == "livelock":
+		return "execution exceeded the step bound under the fair scheduler"
+	case kind == "deadlock":
+		return "no thread enabled with live threads remaining"
+	default:
+		return ""
 	}
 }
 
