@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Distributed-search smoke test: run a coordinator with two worker
+# processes over loopback HTTP and require the final run report to be
+# byte-identical to a local run with the same -p (the determinism
+# contract of docs/DISTRIBUTED.md), both on a clean search and on one
+# that stops at a finding. Reports are validated against the
+# checked-in JSON Schema.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/fairmc" ./cmd/fairmc
+fairmc="$workdir/fairmc"
+port=$((20000 + RANDOM % 20000))
+url="http://127.0.0.1:$port"
+
+# finish_worker PID LOG: a worker that joined must exit 0 promptly
+# after the coordinator's drain. A worker that never joined — it lost
+# the startup race against a search that finished first — keeps
+# retrying the (gone) coordinator for 30s so a restarted one could
+# pick it up; that is correct behavior, not a smoke failure: kill it.
+finish_worker() {
+    local pid=$1 log=$2 wrc=0
+    for _ in $(seq 50); do
+        kill -0 "$pid" 2>/dev/null || break
+        sleep 0.1
+    done
+    if kill -0 "$pid" 2>/dev/null; then
+        if grep -q "joined" "$log"; then
+            echo "FAIL: joined worker still running 5s after the coordinator exited"
+            cat "$log"
+            exit 1
+        fi
+        kill "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+        return 0
+    fi
+    wait "$pid" || wrc=$?
+    if [ "$wrc" -ne 0 ] && grep -q "joined" "$log"; then
+        echo "FAIL: worker exited $wrc"
+        cat "$log"
+        exit 1
+    fi
+}
+
+# distrun PROG EXPECTED_EXIT OUT.json: coordinator + 2 workers.
+# Workers retry joining, so start order does not matter.
+distrun() {
+    local prog=$1 want=$2 out=$3 rc=0
+    "$fairmc" -prog "$prog" -p 2 -serve "127.0.0.1:$port" \
+        -dist-state "$workdir/state-$prog.json" \
+        -metrics-out "$out" > "$workdir/coord-$prog.txt" 2>&1 &
+    local coord=$!
+    "$fairmc" -worker "$url" -p 1 > "$workdir/w1-$prog.txt" 2>&1 &
+    local w1=$!
+    "$fairmc" -worker "$url" -p 1 > "$workdir/w2-$prog.txt" 2>&1 &
+    local w2=$!
+    wait "$coord" || rc=$?
+    if [ "$rc" -ne "$want" ]; then
+        echo "FAIL: $prog coordinator exited $rc, want $want"
+        cat "$workdir/coord-$prog.txt"
+        exit 1
+    fi
+    finish_worker "$w1" "$workdir/w1-$prog.txt"
+    finish_worker "$w2" "$workdir/w2-$prog.txt"
+}
+
+# Clean search: spinloop is exhausted without findings (exit 0).
+"$fairmc" -prog spinloop -p 2 -metrics-out "$workdir/local-clean.json" > /dev/null
+distrun spinloop 0 "$workdir/dist-clean.json"
+if ! cmp -s "$workdir/local-clean.json" "$workdir/dist-clean.json"; then
+    echo "FAIL: spinloop run report differs between local -p 2 and distributed"
+    diff "$workdir/local-clean.json" "$workdir/dist-clean.json" || true
+    exit 1
+fi
+go run ./ci/validate_report.go docs/run-report.schema.json "$workdir/dist-clean.json"
+
+# Finding search: peterson-bug stops at a confirmed violation (exit 1),
+# and the distributed merge must stop at the same execution.
+rc=0
+"$fairmc" -prog peterson-bug -p 2 -metrics-out "$workdir/local-bug.json" > /dev/null || rc=$?
+if [ "$rc" -ne 1 ]; then
+    echo "FAIL: local peterson-bug exited $rc, want 1"
+    exit 1
+fi
+distrun peterson-bug 1 "$workdir/dist-bug.json"
+if ! cmp -s "$workdir/local-bug.json" "$workdir/dist-bug.json"; then
+    echo "FAIL: peterson-bug run report differs between local -p 2 and distributed"
+    diff "$workdir/local-bug.json" "$workdir/dist-bug.json" || true
+    exit 1
+fi
+go run ./ci/validate_report.go docs/run-report.schema.json "$workdir/dist-bug.json"
+
+echo "OK: distributed run reports are byte-identical to local -p 2 and validate"

@@ -3,11 +3,12 @@
 //
 // Usage:
 //
-//	experiments [-run fig2|table1|table2|fig56|table3|liveness|strategies|parallel|conformance|obs|all]
+//	experiments [-run fig2|table1|table2|fig56|table3|liveness|strategies|parallel|conformance|obs|dist|all]
 //	            [-celltime 60s] [-dbounds 20,30,40,50,60] [-quick]
 //	            [-workers 1,2,4,8] [-parexecs 2000] [-json BENCH_parallel.json]
 //	            [-confexecs 2000] [-confreps 3] [-confjson BENCH_conformance.json]
 //	            [-obsexecs 5000] [-obsreps 5] [-obsjson BENCH_obs.json]
+//	            [-distworkers 1,2,4] [-distexecs 2000] [-distjson BENCH_dist.json]
 //
 // Absolute numbers differ from the paper's (different substrate,
 // different hardware); the shapes — exponential growth in Figure 2,
@@ -31,21 +32,24 @@ import (
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "experiment to run: fig2|table1|table2|fig56|table3|liveness|strategies|parallel|conformance|all")
-		cellTime = flag.Duration("celltime", 60*time.Second, "time budget per experiment cell")
-		dbounds  = flag.String("dbounds", "20,30,40,50,60", "depth bounds for the unfair Table 2 runs")
-		fig2b    = flag.String("fig2bounds", "8,10,12,14,16,18,20", "depth bounds for Figure 2")
-		quick    = flag.Bool("quick", false, "small bounds and budgets for a fast smoke run")
-		csvDir   = flag.String("csv", "", "also write machine-readable CSVs into this directory")
-		workers  = flag.String("workers", "1,2,4,8", "worker counts for the parallel sweep")
-		parExecs = flag.Int64("parexecs", 2000, "executions per parallel-sweep cell")
-		jsonOut  = flag.String("json", "BENCH_parallel.json", "output file for the parallel sweep (\"\" = stdout only)")
-		cfExecs  = flag.Int64("confexecs", 2000, "executions per conformance-overhead cell")
-		cfReps   = flag.Int("confreps", 3, "repetitions per conformance-overhead cell (best wall clock kept)")
-		cfJSON   = flag.String("confjson", "BENCH_conformance.json", "output file for the conformance sweep (\"\" = stdout only)")
-		obsExecs = flag.Int64("obsexecs", 5000, "executions per observability-overhead configuration")
-		obsReps  = flag.Int("obsreps", 5, "repetitions per observability configuration (best wall clock kept)")
-		obsJSON  = flag.String("obsjson", "BENCH_obs.json", "output file for the observability sweep (\"\" = stdout only)")
+		run       = flag.String("run", "all", "experiment to run: fig2|table1|table2|fig56|table3|liveness|strategies|parallel|conformance|obs|dist|all")
+		cellTime  = flag.Duration("celltime", 60*time.Second, "time budget per experiment cell")
+		dbounds   = flag.String("dbounds", "20,30,40,50,60", "depth bounds for the unfair Table 2 runs")
+		fig2b     = flag.String("fig2bounds", "8,10,12,14,16,18,20", "depth bounds for Figure 2")
+		quick     = flag.Bool("quick", false, "small bounds and budgets for a fast smoke run")
+		csvDir    = flag.String("csv", "", "also write machine-readable CSVs into this directory")
+		workers   = flag.String("workers", "1,2,4,8", "worker counts for the parallel sweep")
+		parExecs  = flag.Int64("parexecs", 2000, "executions per parallel-sweep cell")
+		jsonOut   = flag.String("json", "BENCH_parallel.json", "output file for the parallel sweep (\"\" = stdout only)")
+		cfExecs   = flag.Int64("confexecs", 2000, "executions per conformance-overhead cell")
+		cfReps    = flag.Int("confreps", 3, "repetitions per conformance-overhead cell (best wall clock kept)")
+		cfJSON    = flag.String("confjson", "BENCH_conformance.json", "output file for the conformance sweep (\"\" = stdout only)")
+		obsExecs  = flag.Int64("obsexecs", 5000, "executions per observability-overhead configuration")
+		obsReps   = flag.Int("obsreps", 5, "repetitions per observability configuration (best wall clock kept)")
+		obsJSON   = flag.String("obsjson", "BENCH_obs.json", "output file for the observability sweep (\"\" = stdout only)")
+		distWkrs  = flag.String("distworkers", "1,2,4", "worker counts for the distributed sweep")
+		distExecs = flag.Int64("distexecs", 2000, "executions per distributed-sweep cell")
+		distJSON  = flag.String("distjson", "BENCH_dist.json", "output file for the distributed sweep (\"\" = stdout only)")
 	)
 	flag.Parse()
 	if *csvDir != "" {
@@ -111,6 +115,13 @@ func main() {
 			execs, reps = 500, 2
 		}
 		runObs(execs, reps, *obsJSON)
+	}
+	if want("dist") {
+		execs := *distExecs
+		if *quick {
+			execs = 200
+		}
+		runDist(parseInts(*distWkrs), execs, *distJSON)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
@@ -369,6 +380,39 @@ func runObs(execs int64, reps int, jsonPath string) {
 			fmt.Sprintf("%.3f", r.Best.Seconds()),
 			fmt.Sprintf("%.0f", r.ExecsPerSec),
 			fmt.Sprintf("%.3f", r.Overhead))
+	}
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("   wrote %s\n", jsonPath)
+	}
+	fmt.Println()
+}
+
+func runDist(workers []int, execs int64, jsonPath string) {
+	fmt.Println("== Extension: distributed exploration throughput ==")
+	fmt.Println("   (coordinator + workers over loopback HTTP, wsq 2x2, identical merged report at every W)")
+	rep := experiments.DistSweep(workers, execs)
+	fmt.Printf("   gomaxprocs=%d numcpu=%d program=%s seed=%d shards=%d (mirrors -p %d)\n",
+		rep.GOMAXPROCS, rep.NumCPU, rep.Program, rep.Seed, rep.Shards, rep.RefParallelism)
+	fmt.Printf("%-8s %12s %12s %12s %9s %10s\n",
+		"workers", "executions", "elapsed", "execs/s", "speedup", "identical")
+	csv := newCSV("dist", "workers", "executions", "elapsed_seconds", "execs_per_sec", "speedup", "identical")
+	defer csv.close()
+	for _, r := range rep.Rows {
+		fmt.Printf("%-8d %12d %12s %12.0f %8.2fx %10v\n",
+			r.Workers, r.Executions, fmtDur(r.Elapsed), r.ExecsPerSec, r.Speedup, r.Identical)
+		csv.row(fmt.Sprint(r.Workers), fmt.Sprint(r.Executions),
+			fmt.Sprintf("%.3f", r.Elapsed.Seconds()),
+			fmt.Sprintf("%.0f", r.ExecsPerSec),
+			fmt.Sprintf("%.3f", r.Speedup), fmt.Sprint(r.Identical))
 	}
 	if jsonPath != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")

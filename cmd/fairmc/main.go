@@ -31,14 +31,22 @@
 // structured JSONL trace events, and -pprof ADDR serves net/http/pprof.
 // See docs/OBSERVABILITY.md.
 //
-// Exit status: codes 0–4, defined once in this command's -h output
-// (the exitStatusHelp text below) and summarized in the README's
-// "Exit status" section.
+// Distributed mode (docs/DISTRIBUTED.md): -serve ADDR runs the search
+// as a coordinator handing lease-based shards to workers started with
+// -worker URL on any machine with the same build. The final report is
+// byte-identical to a local run with the same -p; -dist-state FILE
+// makes the coordinator resumable after a crash.
+//
+// Exit status: codes 0–4, defined once on the fairmc facade
+// (fairmc.ExitStatusHelp, printed by -h) and summarized in the
+// README's "Exit status" section.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -48,30 +56,16 @@ import (
 	"time"
 
 	"fairmc"
+	"fairmc/internal/dist"
+	"fairmc/internal/engine"
 	"fairmc/internal/trace"
 	"fairmc/progs"
 )
 
-// exitStatusHelp is the canonical definition of the exit codes,
-// printed by -h and referenced by the README and the package comment.
-// Keep the wording here; everything else points at it.
-const exitStatusHelp = `exit status:
-  0  no findings (including searches that only quarantined
-     nondeterministic subtrees, which are reported as warnings)
-  1  a safety violation, deadlock, divergence, wedged thread, or race
-     was found (and, when -confirm > 0, at least one finding was
-     confirmed reproducible)
-  2  usage error (bad flags, unknown program, invalid option combination)
-  3  interrupted by SIGINT/SIGTERM (a final checkpoint is written first
-     when -checkpoint is set; resume with -resume)
-  4  findings exist but every one failed its confirmation replays
-     (flaky — likely program nondeterminism, not a trustworthy
-     counterexample)`
-
 // fatalUsage prints a diagnostic and exits with the usage status.
 func fatalUsage(v any) {
 	fmt.Fprintln(os.Stderr, v)
-	os.Exit(2)
+	os.Exit(fairmc.ExitUsage)
 }
 
 func main() {
@@ -109,12 +103,17 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write the final deterministic run report (JSON) to this file")
 		eventsOut  = flag.String("events-out", "", "stream structured trace events (JSONL) to this file")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		serveAddr  = flag.String("serve", "", "run as a distributed-search coordinator on this address (e.g. 127.0.0.1:7171); -p sets the local run the merged report mirrors")
+		workerURL  = flag.String("worker", "", "run as a distributed-search worker against this coordinator URL (e.g. http://host:7171); -p sets the concurrent shard capacity")
+		distState  = flag.String("dist-state", "", "coordinator state file: progress survives a coordinator crash/restart (with -serve)")
+		leaseTTL   = flag.Duration("lease-ttl", dist.DefaultLeaseTTL, "shard lease duration; a worker silent this long loses its shard (with -serve)")
+		workDir    = flag.String("workdir", "", "worker scratch directory for per-shard checkpoints (with -worker)")
 	)
 	flag.Usage = func() {
 		out := flag.CommandLine.Output()
 		fmt.Fprintf(out, "usage: fairmc [flags]\n\n")
 		flag.PrintDefaults()
-		fmt.Fprintf(out, "\n%s\n", exitStatusHelp)
+		fmt.Fprintf(out, "\n%s\n", fairmc.ExitStatusHelp)
 	}
 	flag.Parse()
 
@@ -143,6 +142,17 @@ func main() {
 			}
 			fmt.Printf("%-32s %s%s\n", p.Name, p.Description, bug)
 		}
+		return
+	}
+
+	// Worker mode: the coordinator supplies the program and every
+	// search option, so all search flags are ignored; only -p
+	// (capacity) and -workdir apply.
+	if *workerURL != "" {
+		if *serveAddr != "" {
+			fatalUsage("-worker and -serve are mutually exclusive")
+		}
+		runWorkerMode(*workerURL, *parallel, *workDir)
 		return
 	}
 	// A checkpoint records the identity of the search it belongs to, so
@@ -222,6 +232,26 @@ func main() {
 		opts.CheckpointInterval = *ckptEvery
 	}
 	opts.Resume = resumeCkpt
+
+	// Coordinator mode: plan the search, serve the worker protocol,
+	// and report the merged result through the same path as a local
+	// run. The merged report is byte-identical to a local run with
+	// the same -p, so everything downstream (run report, exit status)
+	// behaves as if the search had run in this process.
+	if *serveAddr != "" {
+		if *replayFile != "" || *iterative >= 0 || *raceDetect || *sleepSets || *dpor {
+			fatalUsage("-serve is incompatible with -replay, -iterative, -race, -sleepsets and -dpor (their state cannot be sharded)")
+		}
+		if *timeLimit != 0 {
+			fatalUsage("-serve needs a deterministic budget: use -maxexec (-timelimit cannot be sharded)")
+		}
+		if *ckptFile != "" || resumeCkpt != nil {
+			fatalUsage("-serve persists progress in -dist-state, not -checkpoint/-resume")
+		}
+		serveCoordinator(p, opts, *parallel, *serveAddr, *distState, *leaseTTL,
+			*progress, *metricsOut, *eventsOut, *printTrace, *saveFile)
+		return
+	}
 
 	// Observability. The live metrics registry feeds the -progress
 	// reporter; the run report written by -metrics-out derives from the
@@ -342,26 +372,9 @@ func main() {
 	}
 
 	start := time.Now()
-	var progressDone chan struct{}
+	var stopProgress func()
 	if *progress {
-		progressDone = make(chan struct{})
-		go func() {
-			tick := time.NewTicker(2 * time.Second)
-			defer tick.Stop()
-			for {
-				select {
-				case <-progressDone:
-					return
-				case <-tick.C:
-					s := metrics.Snapshot()
-					fmt.Fprintf(os.Stderr,
-						"progress: %d execs, %d steps, frontier %d, yields %d, fair-blocked %d, edges +%d/-%d, quarantined %d, wedges %d\n",
-						s.Executions, s.Steps, s.Frontier, s.Yields,
-						s.FairBlocked, s.EdgeAdds, s.EdgeErases,
-						s.Quarantined, s.Wedges)
-				}
-			}
-		}()
+		stopProgress = startProgress(metrics)
 	}
 	var res *fairmc.Result
 	var err error
@@ -370,8 +383,8 @@ func main() {
 	} else {
 		res, err = fairmc.Check(p.Body, opts)
 	}
-	if progressDone != nil {
-		close(progressDone)
+	if stopProgress != nil {
+		stopProgress()
 	}
 	// The exit switch below calls os.Exit, which skips deferred
 	// functions — flush the event stream and write the run report here,
@@ -390,18 +403,43 @@ func main() {
 	if err != nil {
 		fatalUsage(err)
 	}
-	if *metricsOut != "" {
-		data, rerr := res.RunReport(p.Name, opts).Encode()
+	hint := "no -checkpoint set; progress lost"
+	if *ckptFile != "" {
+		hint = fmt.Sprintf("checkpoint written to %s (resume with -resume %s)", *ckptFile, *ckptFile)
+	}
+	finishSearch(res, p.Name, opts, start, outputConfig{
+		printTrace:    *printTrace,
+		saveFile:      *saveFile,
+		metricsOut:    *metricsOut,
+		interruptHint: hint,
+	})
+}
+
+// outputConfig is the reporting configuration finishSearch needs; the
+// local and coordinator paths both end here.
+type outputConfig struct {
+	printTrace    bool
+	saveFile      string
+	metricsOut    string
+	interruptHint string // printed after "interrupted; "
+}
+
+// finishSearch prints the human summary, writes the run report, and
+// exits with the shared fairmc exit status. It is the single end of
+// every search, local or distributed.
+func finishSearch(res *fairmc.Result, program string, opts fairmc.Options, start time.Time, out outputConfig) {
+	if out.metricsOut != "" {
+		data, rerr := res.RunReport(program, opts).Encode()
 		if rerr == nil {
-			rerr = os.WriteFile(*metricsOut, data, 0o644)
+			rerr = os.WriteFile(out.metricsOut, data, 0o644)
 		}
 		if rerr != nil {
 			fmt.Fprintf(os.Stderr, "run report: %v\n", rerr)
 		} else {
-			fmt.Printf("run report written to %s\n", *metricsOut)
+			fmt.Printf("run report written to %s\n", out.metricsOut)
 		}
 	}
-	fmt.Printf("program:     %s\n", p.Name)
+	fmt.Printf("program:     %s\n", program)
 	fmt.Printf("executions:  %d (%.2fs, max depth %d)\n",
 		res.Executions, time.Since(start).Seconds(), res.MaxDepth)
 	if res.CheckpointError != "" {
@@ -431,42 +469,36 @@ func main() {
 		fmt.Printf("RACE: %s\n", r)
 	}
 	save := func(r *fairmc.ExecResult) {
-		if *saveFile == "" {
+		if out.saveFile == "" {
 			return
 		}
 		data, err := trace.Marshal(trace.Meta{
-			Program:  p.Name,
+			Program:  program,
 			Fair:     opts.Fair,
 			FairK:    opts.FairK,
 			MaxSteps: opts.MaxSteps,
 			Outcome:  r.Outcome.String(),
 		}, r.Schedule)
 		if err == nil {
-			err = os.WriteFile(*saveFile, data, 0o644)
+			err = os.WriteFile(out.saveFile, data, 0o644)
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "saving schedule: %v\n", err)
 			return
 		}
-		fmt.Printf("schedule saved to %s\n", *saveFile)
+		fmt.Printf("schedule saved to %s\n", out.saveFile)
 	}
-	// findingExit is 1 for a confirmed (or unconfirmed — ConfirmRuns=0)
-	// finding and 4 when the confirmation pass ran and every replay
-	// failed to reproduce it: the "finding" is likely an artifact of
-	// program nondeterminism, and the distinct status lets scripts keep
-	// treating exit 1 as a trustworthy counterexample.
-	findingExit := func(v *fairmc.Reproducibility) int {
+	// A flaky confirmation verdict prints its first failure so the
+	// nondeterminism is diagnosable; the distinct ExitFlaky status lets
+	// scripts keep treating ExitFinding as a trustworthy counterexample.
+	reproLine := func(v *fairmc.Reproducibility) {
 		if v == nil {
-			return 1
+			return
 		}
 		fmt.Printf("reproducibility: %s\n", v)
-		if v.Stable() {
-			return 1
-		}
-		if v.FirstFailure != "" {
+		if !v.Stable() && v.FirstFailure != "" {
 			fmt.Printf("  %s\n", v.FirstFailure)
 		}
-		return 4
 	}
 	switch {
 	case res.FirstBug != nil:
@@ -477,45 +509,212 @@ func main() {
 		for _, b := range res.FirstBug.Blocked {
 			fmt.Printf("  blocked: thread %d (%s) at %s\n", b.Tid, b.Name, b.Op)
 		}
-		if *printTrace {
+		if out.printTrace {
 			fmt.Print(res.FirstBug.FormatTrace())
 		}
 		save(res.FirstBug)
-		os.Exit(findingExit(res.BugReproducibility))
+		reproLine(res.BugReproducibility)
 	case res.Divergence != nil:
 		fmt.Printf("FOUND divergence at execution %d (after %d steps)\n",
 			res.DivergenceExecution, res.Divergence.Steps)
 		fmt.Printf("classification: %s\n", res.Liveness)
-		if *printTrace {
+		if out.printTrace {
 			fmt.Print(res.Divergence.FormatTrace())
 		}
 		save(res.Divergence)
-		os.Exit(findingExit(res.DivergenceReproducibility))
+		reproLine(res.DivergenceReproducibility)
 	case res.FirstWedge != nil:
 		fmt.Printf("FOUND wedged execution at execution %d:\n", res.FirstWedgeExecution)
 		if res.FirstWedge.Wedge != nil {
 			fmt.Printf("  %s\n", res.FirstWedge.Wedge)
 		}
-		if *printTrace {
+		if out.printTrace {
 			fmt.Print(res.FirstWedge.FormatTrace())
 		}
 		// No save(): a wedge is timing-dependent and its final step is
 		// deliberately absent from the schedule, so replay cannot
 		// reproduce it.
-		os.Exit(1)
 	case len(res.Races) > 0:
 		fmt.Printf("FOUND %d race(s)\n", len(res.Races))
-		os.Exit(1)
 	case res.Interrupted:
-		if *ckptFile != "" {
-			fmt.Printf("interrupted; checkpoint written to %s (resume with -resume %s)\n", *ckptFile, *ckptFile)
-		} else {
-			fmt.Println("interrupted (no -checkpoint set; progress lost)")
-		}
-		os.Exit(3)
+		fmt.Printf("interrupted (%s)\n", out.interruptHint)
 	case res.Exhausted:
 		fmt.Println("OK: schedule tree exhausted, no findings")
 	default:
 		fmt.Println("no findings within budget (search incomplete)")
+	}
+	if code := res.ExitStatus(); code != fairmc.ExitOK {
+		os.Exit(code)
+	}
+}
+
+// startProgress starts the live telemetry line and returns its stop
+// function.
+func startProgress(metrics *fairmc.Metrics) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(2 * time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				s := metrics.Snapshot()
+				fmt.Fprintf(os.Stderr,
+					"progress: %d execs, %d steps, frontier %d, yields %d, fair-blocked %d, edges +%d/-%d, quarantined %d, wedges %d\n",
+					s.Executions, s.Steps, s.Frontier, s.Yields,
+					s.FairBlocked, s.EdgeAdds, s.EdgeErases,
+					s.Quarantined, s.Wedges)
+			}
+		}
+	}()
+	return func() { close(done) }
+}
+
+// serveCoordinator runs the search as a distributed coordinator and
+// reports the merged result exactly like a local run with -p
+// refParallelism.
+func serveCoordinator(p progs.Program, opts fairmc.Options, refParallelism int,
+	addr, statePath string, leaseTTL time.Duration,
+	progress bool, metricsOut, eventsOut string, printTrace bool, saveFile string) {
+	// The coordinator always keeps a registry: worker heartbeat deltas
+	// merge into it and it is served at /metrics; -progress reads it
+	// like a local run.
+	metrics := fairmc.NewMetrics()
+	var eventsFile *os.File
+	if eventsOut != "" {
+		f, err := os.Create(eventsOut)
+		if err != nil {
+			fatalUsage(err)
+		}
+		eventsFile = f
+	}
+	cfg := dist.CoordinatorConfig{
+		Prog:           p.Body,
+		Program:        p.Name,
+		Options:        opts,
+		RefParallelism: refParallelism,
+		LeaseTTL:       leaseTTL,
+		StatePath:      statePath,
+		Metrics:        metrics,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "coordinator: "+format+"\n", args...)
+		},
+	}
+	if eventsFile != nil {
+		cfg.EventWriter = eventsFile
+	}
+	coord, err := dist.NewCoordinator(cfg)
+	if err != nil {
+		fatalUsage(err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatalUsage(err)
+	}
+	plan := coord.Plan()
+	fmt.Fprintf(os.Stderr, "coordinator: serving %s on http://%s (%s strategy, %d shards, report mirrors -p %d)\n",
+		p.Name, ln.Addr(), plan.Strategy, len(plan.Shards), plan.RefParallelism)
+	srv := &http.Server{Handler: coord.Handler()}
+	go func() {
+		if serr := srv.Serve(ln); serr != nil && serr != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "coordinator: serve: %v\n", serr)
+		}
+	}()
+	// A first SIGINT/SIGTERM seals the merge at the current horizon and
+	// reports an interrupted (but, with -dist-state, resumable) search;
+	// a second signal kills the process the classic way.
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		coord.Interrupt()
+		<-sigs
+		os.Exit(130)
+	}()
+	start := time.Now()
+	var stopProgress func()
+	if progress {
+		stopProgress = startProgress(metrics)
+	}
+	rep := coord.Wait()
+	if stopProgress != nil {
+		stopProgress()
+	}
+	// Keep serving briefly so every worker observes the done response
+	// and exits cleanly; a crashed worker would hold the drain open, so
+	// bound the grace period.
+	select {
+	case <-coord.Drained():
+	case <-time.After(2 * time.Second):
+	}
+	srv.Close()
+	if eventsFile != nil {
+		if cerr := eventsFile.Close(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "event stream: %v\n", cerr)
+		}
+	}
+	hint := "no -dist-state set; progress lost"
+	if statePath != "" {
+		hint = fmt.Sprintf("state written to %s (resume by restarting the coordinator with -dist-state %s)",
+			statePath, statePath)
+	}
+	finishSearch(fairmc.ResultFromReport(rep), p.Name, opts, start, outputConfig{
+		printTrace:    printTrace,
+		saveFile:      saveFile,
+		metricsOut:    metricsOut,
+		interruptHint: hint,
+	})
+}
+
+// runWorkerMode runs this process as a distributed-search worker: the
+// coordinator supplies the program name and every search option.
+func runWorkerMode(url string, capacity int, workDir string) {
+	cleanup := func() {}
+	if workDir == "" {
+		// A scratch directory still helps within one worker process: a
+		// cancelled shard that comes back keeps its checkpoint. Survive
+		// restarts by passing -workdir explicitly.
+		d, err := os.MkdirTemp("", "fairmc-worker-")
+		if err != nil {
+			fatalUsage(err)
+		}
+		workDir = d
+		cleanup = func() { os.RemoveAll(d) }
+	}
+	stop := make(chan struct{})
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		close(stop)
+		<-sigs
+		os.Exit(130)
+	}()
+	err := dist.RunWorker(dist.WorkerConfig{
+		URL:      url,
+		Capacity: capacity,
+		WorkDir:  workDir,
+		Lookup: func(name string) (func(*engine.T), bool) {
+			p, ok := progs.Lookup(name)
+			if !ok {
+				return nil, false
+			}
+			return p.Body, true
+		},
+		Metrics: fairmc.NewMetrics(),
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "worker: "+format+"\n", args...)
+		},
+		Stop: stop,
+	})
+	cleanup()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "worker: %v\n", err)
+		if errors.Is(err, dist.ErrSpecMismatch) {
+			os.Exit(fairmc.ExitUsage)
+		}
+		os.Exit(1)
 	}
 }

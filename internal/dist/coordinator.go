@@ -1,0 +1,758 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"fairmc/internal/engine"
+	"fairmc/internal/obs"
+	"fairmc/internal/search"
+)
+
+// Coordinator defaults.
+const (
+	// DefaultLeaseTTL is how long a granted or heartbeat-extended lease
+	// stays valid.
+	DefaultLeaseTTL = 15 * time.Second
+	// DefaultMaxShardAttempts bounds how many workers may fail one
+	// shard (lease expiry or posted failure) before it is abandoned.
+	DefaultMaxShardAttempts = 3
+)
+
+// stateVersion is the coordinator state file format version.
+const stateVersion = 1
+
+// CoordinatorConfig configures a distributed search.
+type CoordinatorConfig struct {
+	// Prog is the program under test; Program its registry name (sent
+	// to workers, which look the program up on their side).
+	Prog    func(*engine.T)
+	Program string
+	// Options is the full search configuration, including budgets and
+	// the confirmation pass. TimeLimit must be zero: a wall-clock
+	// budget cannot be distributed deterministically.
+	Options search.Options
+	// RefParallelism selects which local run the merged report mirrors
+	// (byte-identical to Parallelism=RefParallelism); it also sets the
+	// shard granularity. 0 means 1.
+	RefParallelism int
+	// LeaseTTL and MaxShardAttempts tune the robustness machinery;
+	// zero values use the defaults above.
+	LeaseTTL         time.Duration
+	MaxShardAttempts int
+	// StatePath, when set, makes the coordinator durable: the state
+	// file is rewritten (atomically, with a directory fsync) after
+	// every shard completion, and a coordinator restarted with the
+	// same config and StatePath resumes from it.
+	StatePath string
+	// Metrics, when set, aggregates worker telemetry deltas and the
+	// coordinator's own confirmation-pass work.
+	Metrics *obs.Metrics
+	// EventWriter, when set, receives the JSONL trace-event streams
+	// workers forward (interleaved at batch granularity).
+	EventWriter io.Writer
+	// Logf, when set, receives one-line operational logs.
+	Logf func(format string, args ...any)
+}
+
+type shardStatus int
+
+const (
+	shardPending shardStatus = iota
+	shardLeased
+	shardCompleted
+	shardAbandoned
+)
+
+type shardState struct {
+	status   shardStatus
+	attempts int             // failed attempts (expiries + posted failures)
+	excluded map[string]bool // workers that failed this shard
+	leaseID  string          // current lease when status == shardLeased
+}
+
+type lease struct {
+	id      string
+	shard   int
+	worker  string
+	expires time.Time
+}
+
+// Coordinator owns the shard plan of one distributed search and
+// serves the worker protocol. Create with NewCoordinator, mount
+// Handler on an http.Server, and Wait for the merged report.
+type Coordinator struct {
+	cfg  CoordinatorConfig
+	spec SearchSpec
+	plan *search.Plan
+
+	mu        sync.Mutex
+	merger    *search.ShardMerger
+	shards    []shardState
+	leases    map[string]*lease
+	completed map[int]*search.Report // nil entry: abandoned
+	failures  []search.WorkerFailure
+	workers   map[string]time.Time // last contact
+	seq       int                  // id generator (workers and leases)
+
+	start       time.Time
+	prevElapsed time.Duration
+	stateErr    string
+
+	finished bool
+	done     chan struct{}
+	finalRep *search.Report
+
+	// notified tracks which workers have been told the search is done,
+	// so the serving process can linger until every worker has had the
+	// chance to exit cleanly instead of slamming the listener shut.
+	notified  map[string]bool
+	drained   chan struct{}
+	drainOnce sync.Once
+}
+
+// NewCoordinator plans the search (or resumes the plan from
+// cfg.StatePath if a matching state file exists) and returns a
+// coordinator ready to serve.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.Prog == nil || cfg.Program == "" {
+		return nil, errors.New("dist: coordinator needs Prog and Program")
+	}
+	if cfg.Options.TimeLimit != 0 {
+		return nil, errors.New("dist: TimeLimit cannot be distributed deterministically; use MaxExecutions")
+	}
+	if cfg.RefParallelism < 1 {
+		cfg.RefParallelism = 1
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	if cfg.MaxShardAttempts <= 0 {
+		cfg.MaxShardAttempts = DefaultMaxShardAttempts
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+
+	c := &Coordinator{
+		cfg:       cfg,
+		spec:      SpecFromOptions(cfg.Program, cfg.Options),
+		leases:    map[string]*lease{},
+		completed: map[int]*search.Report{},
+		workers:   map[string]time.Time{},
+		start:     time.Now(),
+		done:      make(chan struct{}),
+		notified:  map[string]bool{},
+		drained:   make(chan struct{}),
+	}
+
+	var st *coordState
+	if cfg.StatePath != "" {
+		loaded, err := loadState(cfg.StatePath)
+		if err == nil {
+			st = loaded
+		} else if !errors.Is(err, errNoState) {
+			return nil, err
+		}
+	}
+	if st != nil {
+		if err := c.resumeFrom(st); err != nil {
+			return nil, err
+		}
+	} else {
+		plan, err := search.PlanShards(cfg.Prog, cfg.Options, cfg.RefParallelism)
+		if err != nil {
+			return nil, err
+		}
+		c.plan = plan
+	}
+	c.merger = search.NewShardMerger(c.cfg.Options, c.plan)
+	c.shards = make([]shardState, len(c.plan.Shards))
+	for i := range c.shards {
+		c.shards[i].excluded = map[string]bool{}
+	}
+	if st != nil {
+		// Re-offer the persisted shard reports in index order; the
+		// merger reconstructs exactly the pre-crash merge state.
+		idxs := make([]int, 0, len(c.completed))
+		for idx := range c.completed {
+			idxs = append(idxs, idx)
+		}
+		sort.Ints(idxs)
+		for _, idx := range idxs {
+			rep := c.completed[idx]
+			if rep == nil {
+				c.shards[idx].status = shardAbandoned
+			} else {
+				c.shards[idx].status = shardCompleted
+			}
+			c.merger.Offer(idx, rep)
+		}
+		c.cfg.Logf("dist: resumed from %s: %d/%d shards already decided",
+			cfg.StatePath, len(idxs), len(c.plan.Shards))
+	}
+	go c.sweep()
+	c.mu.Lock()
+	c.checkDoneLocked()
+	c.mu.Unlock()
+	return c, nil
+}
+
+// Handler returns the coordinator's HTTP handler (the worker protocol
+// plus /metrics and /status).
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathJoin, c.handleJoin)
+	mux.HandleFunc(PathLease, c.handleLease)
+	mux.HandleFunc(PathHeartbeat, c.handleHeartbeat)
+	mux.HandleFunc(PathResult, c.handleResult)
+	mux.HandleFunc(PathEvents, c.handleEvents)
+	mux.HandleFunc(PathMetrics, c.handleMetrics)
+	mux.HandleFunc(PathStatus, c.handleStatus)
+	return mux
+}
+
+// Wait blocks until the search is complete (or interrupted) and
+// returns the merged report.
+func (c *Coordinator) Wait() *search.Report {
+	<-c.done
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.finalRep
+}
+
+// Done exposes completion to selects (e.g. alongside a signal channel).
+func (c *Coordinator) Done() <-chan struct{} { return c.done }
+
+// Drained is closed once the search is finished AND every joined
+// worker has been handed a done response (lease, heartbeat, or result
+// acknowledgement), so it can exit cleanly. A serving process should
+// wait on it with a timeout after Wait — a crashed worker never polls
+// again and would hold the drain open forever.
+func (c *Coordinator) Drained() <-chan struct{} { return c.drained }
+
+// noteDoneLocked records that a worker has observed completion.
+func (c *Coordinator) noteDoneLocked(workerID string) {
+	if workerID != "" {
+		c.notified[workerID] = true
+	}
+	c.checkDrainedLocked()
+}
+
+func (c *Coordinator) checkDrainedLocked() {
+	if !c.finished {
+		return
+	}
+	for id := range c.workers {
+		if !c.notified[id] {
+			return
+		}
+	}
+	c.drainOnce.Do(func() { close(c.drained) })
+}
+
+// Interrupt stops the search at the current merge point, marking the
+// report Interrupted. Completed shards are already persisted (when
+// StatePath is set), so a later coordinator run resumes from them.
+func (c *Coordinator) Interrupt() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.finished {
+		return
+	}
+	c.finished = true
+	c.checkDrainedLocked()
+	rep := c.merger.Finish(c.prevElapsed+time.Since(c.start), c.failures)
+	rep.Interrupted = true
+	c.sealLocked(rep)
+	c.saveStateLocked()
+}
+
+// Plan exposes the shard plan (for status displays and tests).
+func (c *Coordinator) Plan() *search.Plan { return c.plan }
+
+// checkDoneLocked finalizes the search once the merge is complete.
+// The confirmation pass runs outside the lock (it executes the
+// program), then sealLocked publishes the report.
+func (c *Coordinator) checkDoneLocked() {
+	if c.finished || !c.merger.Done() {
+		return
+	}
+	c.finished = true
+	c.checkDrainedLocked()
+	rep := c.merger.Finish(c.prevElapsed+time.Since(c.start), c.failures)
+	go func() {
+		opts := c.cfg.Options
+		opts.Metrics = c.cfg.Metrics
+		search.ConfirmFindings(c.cfg.Prog, opts, rep)
+		c.mu.Lock()
+		c.sealLocked(rep)
+		c.saveStateLocked()
+		c.mu.Unlock()
+	}()
+}
+
+// sealLocked publishes the final report and releases Wait.
+func (c *Coordinator) sealLocked(rep *search.Report) {
+	if rep.CheckpointError == "" && c.stateErr != "" {
+		rep.CheckpointError = c.stateErr
+	}
+	c.finalRep = rep
+	close(c.done)
+}
+
+// sweep expires leases in the background so crashed workers are
+// detected even while no requests arrive.
+func (c *Coordinator) sweep() {
+	iv := c.cfg.LeaseTTL / 4
+	if iv < 50*time.Millisecond {
+		iv = 50 * time.Millisecond
+	}
+	t := time.NewTicker(iv)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-t.C:
+			c.mu.Lock()
+			c.expireLocked(time.Now())
+			c.mu.Unlock()
+		}
+	}
+}
+
+// expireLocked requeues the shards of every expired lease.
+func (c *Coordinator) expireLocked(now time.Time) {
+	for id, l := range c.leases {
+		if now.Before(l.expires) {
+			continue
+		}
+		delete(c.leases, id)
+		c.cfg.Logf("dist: lease %s (shard %d, worker %s) expired", id, l.shard, l.worker)
+		c.failShardLocked(l.shard, l.worker,
+			fmt.Sprintf("lease expired after %s (worker %s unreachable)", c.cfg.LeaseTTL, l.worker))
+	}
+}
+
+// failShardLocked records one failed attempt at a shard and requeues
+// or abandons it. Already-decided shards are left alone (a lease can
+// expire after a late result completed the shard).
+func (c *Coordinator) failShardLocked(idx int, worker, reason string) {
+	sh := &c.shards[idx]
+	if sh.status == shardCompleted || sh.status == shardAbandoned {
+		return
+	}
+	sh.attempts++
+	sh.excluded[worker] = true
+	sh.leaseID = ""
+	c.failures = append(c.failures, search.WorkerFailure{
+		Mode:    "dist",
+		Unit:    int64(idx),
+		Attempt: sh.attempts,
+		Panic:   reason,
+	})
+	if m := c.cfg.Metrics; m != nil {
+		m.WorkerRetries.Inc()
+	}
+	if sh.attempts >= c.cfg.MaxShardAttempts {
+		sh.status = shardAbandoned
+		c.completed[idx] = nil
+		c.merger.Offer(idx, nil)
+		c.cfg.Logf("dist: shard %d abandoned after %d attempts", idx, sh.attempts)
+		c.saveStateLocked()
+		c.checkDoneLocked()
+		return
+	}
+	sh.status = shardPending
+}
+
+// completeShardLocked accepts a shard report, persists it, and feeds
+// the merger.
+func (c *Coordinator) completeShardLocked(idx int, rep *search.Report) {
+	sh := &c.shards[idx]
+	sh.status = shardCompleted
+	sh.leaseID = ""
+	c.completed[idx] = rep
+	c.merger.Offer(idx, rep)
+	if m := c.cfg.Metrics; m != nil {
+		m.Frontier.Set(int64(len(c.plan.Shards) - c.merger.Merged()))
+	}
+	c.saveStateLocked()
+	c.checkDoneLocked()
+}
+
+func (c *Coordinator) nextID(prefix string) string {
+	c.seq++
+	return fmt.Sprintf("%s%d", prefix, c.seq)
+}
+
+// --- HTTP handlers ---
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return false
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(v); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req JoinRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	id := c.nextID("w")
+	c.workers[id] = time.Now()
+	c.mu.Unlock()
+	c.cfg.Logf("dist: worker %s joined (capacity %d)", id, req.Capacity)
+	writeJSON(w, JoinResponse{
+		WorkerID:    id,
+		Spec:        c.spec,
+		Strategy:    c.plan.Strategy,
+		ShardCount:  len(c.plan.Shards),
+		OptionsHash: c.plan.OptionsHash,
+		LeaseTTLMS:  int64(c.cfg.LeaseTTL / time.Millisecond),
+		WantEvents:  c.cfg.EventWriter != nil,
+	})
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.workers[req.WorkerID] = time.Now()
+	c.expireLocked(time.Now())
+	if c.finished {
+		c.noteDoneLocked(req.WorkerID)
+		writeJSON(w, LeaseResponse{Status: LeaseDone})
+		return
+	}
+	horizon := c.merger.Horizon()
+	undecided := false
+	for idx := 0; idx < horizon; idx++ {
+		sh := &c.shards[idx]
+		switch sh.status {
+		case shardPending:
+			undecided = true
+			if sh.excluded[req.WorkerID] {
+				continue
+			}
+			l := &lease{
+				id:      c.nextID("l"),
+				shard:   idx,
+				worker:  req.WorkerID,
+				expires: time.Now().Add(c.cfg.LeaseTTL),
+			}
+			c.leases[l.id] = l
+			sh.status = shardLeased
+			sh.leaseID = l.id
+			shard := c.plan.Shards[idx]
+			writeJSON(w, LeaseResponse{Status: LeaseWork, Shard: &shard, LeaseID: l.id})
+			return
+		case shardLeased:
+			undecided = true
+		}
+	}
+	if undecided {
+		writeJSON(w, LeaseResponse{Status: LeaseWait})
+		return
+	}
+	// Every shard below the horizon is decided; the merge either
+	// finished already or is waiting on nothing.
+	c.noteDoneLocked(req.WorkerID)
+	writeJSON(w, LeaseResponse{Status: LeaseDone})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Metrics != nil && c.cfg.Metrics != nil {
+		c.cfg.Metrics.Merge(*req.Metrics)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.workers[req.WorkerID] = time.Now()
+	c.expireLocked(time.Now())
+	resp := HeartbeatResponse{Done: c.finished}
+	horizon := c.merger.Horizon()
+	for _, id := range req.LeaseIDs {
+		l, ok := c.leases[id]
+		if !ok || l.worker != req.WorkerID {
+			// Expired and requeued (or never ours): the worker must
+			// abandon the shard; its late result would be rejected
+			// only if another attempt finishes first.
+			resp.Cancelled = append(resp.Cancelled, id)
+			continue
+		}
+		if l.shard >= horizon || c.finished {
+			// Dead work: past the merge's stop point.
+			delete(c.leases, id)
+			resp.Cancelled = append(resp.Cancelled, id)
+			continue
+		}
+		l.expires = time.Now().Add(c.cfg.LeaseTTL)
+	}
+	if resp.Done {
+		c.noteDoneLocked(req.WorkerID)
+	}
+	writeJSON(w, resp)
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	var req ResultRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.workers[req.WorkerID] = time.Now()
+	if req.Shard < 0 || req.Shard >= len(c.shards) {
+		http.Error(w, "unknown shard", http.StatusBadRequest)
+		return
+	}
+	if l, ok := c.leases[req.LeaseID]; ok && l.shard == req.Shard {
+		delete(c.leases, req.LeaseID)
+	}
+	defer func() {
+		if c.finished {
+			c.noteDoneLocked(req.WorkerID)
+		}
+	}()
+	sh := &c.shards[req.Shard]
+	if sh.status == shardCompleted || sh.status == shardAbandoned || c.finished {
+		// Late result: the shard was requeued and decided by another
+		// attempt, or the search is over. Determinism is unaffected
+		// either way — the merge consumed exactly one report.
+		writeJSON(w, ResultResponse{Accepted: false, Done: c.finished})
+		return
+	}
+	if req.Failure != "" || req.Report == nil {
+		reason := req.Failure
+		if reason == "" {
+			reason = "worker posted an empty result"
+		}
+		c.cfg.Logf("dist: shard %d failed on worker %s: %s", req.Shard, req.WorkerID, reason)
+		c.failShardLocked(req.Shard, req.WorkerID, reason)
+		writeJSON(w, ResultResponse{Accepted: true, Done: c.finished})
+		return
+	}
+	if req.Report.Interrupted {
+		// A cancelled shard must not be merged; treat it as if the
+		// lease had lapsed, without excluding the worker.
+		sh.status = shardPending
+		sh.leaseID = ""
+		writeJSON(w, ResultResponse{Accepted: false, Done: c.finished})
+		return
+	}
+	c.completeShardLocked(req.Shard, req.Report)
+	c.cfg.Logf("dist: shard %d completed by worker %s (%d/%d merged)",
+		req.Shard, req.WorkerID, c.merger.Merged(), len(c.plan.Shards))
+	writeJSON(w, ResultResponse{Accepted: true, Done: c.finished})
+}
+
+func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if c.cfg.EventWriter != nil && len(data) > 0 {
+		c.mu.Lock()
+		_, werr := c.cfg.EventWriter.Write(data)
+		c.mu.Unlock()
+		if werr != nil {
+			http.Error(w, werr.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) statusLocked() StatusResponse {
+	st := StatusResponse{
+		Program:  c.cfg.Program,
+		Strategy: c.plan.Strategy,
+		Shards:   len(c.plan.Shards),
+		Merged:   c.merger.Merged(),
+		Leased:   len(c.leases),
+		Workers:  len(c.workers),
+		Done:     c.finished,
+	}
+	for _, rep := range c.completed {
+		if rep == nil {
+			st.Abandoned++
+		} else {
+			st.Completed++
+		}
+	}
+	return st
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	st := c.statusLocked()
+	c.mu.Unlock()
+	writeJSON(w, st)
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var snap obs.Snapshot
+	if c.cfg.Metrics != nil {
+		snap = c.cfg.Metrics.Snapshot()
+	}
+	c.mu.Lock()
+	st := c.statusLocked()
+	c.mu.Unlock()
+	writeJSON(w, MetricsResponse{Metrics: snap, Status: st})
+}
+
+// --- durable state ---
+
+// coordState is the coordinator's durable progress: the plan plus
+// every decided shard. It deliberately rides on the checkpoint
+// machinery's identity fields so a resume with a different program,
+// seed, or options is rejected exactly like a checkpoint mismatch.
+type coordState struct {
+	Version        int                    `json:"version"`
+	Program        string                 `json:"program"`
+	Strategy       string                 `json:"strategy"`
+	Seed           uint64                 `json:"seed"`
+	OptionsHash    uint64                 `json:"optionsHash"`
+	RefParallelism int                    `json:"refParallelism"`
+	Plan           *search.Plan           `json:"plan"`
+	Results        []shardResult          `json:"results,omitempty"`
+	Failures       []search.WorkerFailure `json:"failures,omitempty"`
+	ElapsedNS      int64                  `json:"elapsedNs"`
+	Done           bool                   `json:"done,omitempty"`
+}
+
+// shardResult is one decided shard; a nil Report marks abandonment.
+type shardResult struct {
+	Index  int            `json:"index"`
+	Report *search.Report `json:"report,omitempty"`
+}
+
+var errNoState = errors.New("dist: no state file")
+
+func loadState(path string) (*coordState, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, errNoState
+		}
+		return nil, fmt.Errorf("dist: reading state file: %w", err)
+	}
+	st := &coordState{}
+	if err := json.Unmarshal(data, st); err != nil {
+		return nil, fmt.Errorf("dist: decoding state file %s: %w", path, err)
+	}
+	if st.Version != stateVersion {
+		return nil, fmt.Errorf("dist: state file %s has version %d, this build reads %d",
+			path, st.Version, stateVersion)
+	}
+	return st, nil
+}
+
+// resumeFrom validates a loaded state file against the configuration
+// and adopts its plan and decided shards.
+func (c *Coordinator) resumeFrom(st *coordState) error {
+	if st.Done {
+		return fmt.Errorf("dist: state file records a completed search; delete it to start over")
+	}
+	opts := c.cfg.Options
+	if st.Program != c.cfg.Program ||
+		st.Seed != opts.Seed ||
+		st.OptionsHash != search.OptionsHash(&opts) ||
+		st.Strategy != search.StrategyName(&opts) {
+		return fmt.Errorf("dist: state file belongs to a different search (program %q strategy %s seed %d)",
+			st.Program, st.Strategy, st.Seed)
+	}
+	if st.RefParallelism != c.cfg.RefParallelism {
+		return fmt.Errorf("dist: state file was planned for -p %d, got -p %d (the shard plan depends on it)",
+			st.RefParallelism, c.cfg.RefParallelism)
+	}
+	if st.Plan == nil || len(st.Plan.Shards) == 0 {
+		return errors.New("dist: state file has no shard plan")
+	}
+	c.plan = st.Plan
+	for _, sr := range st.Results {
+		if sr.Index >= 0 && sr.Index < len(c.plan.Shards) {
+			c.completed[sr.Index] = sr.Report
+		}
+	}
+	c.failures = append(c.failures, st.Failures...)
+	c.prevElapsed = time.Duration(st.ElapsedNS)
+	return nil
+}
+
+// saveStateLocked persists progress; failures are recorded (and
+// surfaced as the report's CheckpointError), not fatal — losing
+// resumability is better than losing the run.
+func (c *Coordinator) saveStateLocked() {
+	if c.cfg.StatePath == "" {
+		return
+	}
+	opts := c.cfg.Options
+	st := coordState{
+		Version:        stateVersion,
+		Program:        c.cfg.Program,
+		Strategy:       search.StrategyName(&opts),
+		Seed:           opts.Seed,
+		OptionsHash:    search.OptionsHash(&opts),
+		RefParallelism: c.cfg.RefParallelism,
+		Plan:           c.plan,
+		Failures:       c.failures,
+		ElapsedNS:      int64(c.prevElapsed + time.Since(c.start)),
+		// An interrupted search stays resumable; only a genuine
+		// completion seals the state file.
+		Done: c.finalRep != nil && !c.finalRep.Interrupted,
+	}
+	idxs := make([]int, 0, len(c.completed))
+	for idx := range c.completed {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	for _, idx := range idxs {
+		st.Results = append(st.Results, shardResult{Index: idx, Report: c.completed[idx]})
+	}
+	data, err := json.Marshal(&st)
+	if err == nil {
+		err = search.AtomicWriteFile(c.cfg.StatePath, data)
+	}
+	if err != nil && c.stateErr == "" {
+		c.stateErr = fmt.Sprintf("dist: writing state file: %v", err)
+		c.cfg.Logf("%s", c.stateErr)
+	}
+	if err == nil {
+		if m := c.cfg.Metrics; m != nil {
+			m.Checkpoints.Inc()
+		}
+	}
+}

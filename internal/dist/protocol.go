@@ -1,0 +1,243 @@
+// Package dist distributes a search across processes and machines: a
+// coordinator owns the shard plan (search.PlanShards) and hands out
+// lease-based work items over plain HTTP+JSON; workers run shards
+// through the sequential search engine (search.RunShard) and post back
+// mergeable reports, telemetry deltas, and trace events.
+//
+// The determinism contract is inherited from the sharding layer: the
+// coordinator merges shard reports in plan order with the same merge
+// code the in-process parallel driver uses, so the final run report of
+// a distributed search is byte-identical to a local run with
+// Parallelism = RefParallelism of the same program, seed, and options
+// — regardless of worker count, worker crashes, lease expiries, or a
+// coordinator restart from its state file.
+//
+// Robustness model:
+//
+//   - Work items are leases with a TTL. Workers extend their leases by
+//     heartbeating; a lease that expires (worker crashed, wedged, or
+//     partitioned) requeues its shard with the failed worker excluded.
+//   - Retries are bounded (CoordinatorConfig.MaxShardAttempts); a
+//     shard that keeps failing is abandoned and surfaces in the merged
+//     report as Skipped work plus structured WorkerFailures — explicit
+//     coverage loss, never a silent gap.
+//   - The coordinator persists a state file (search.AtomicWriteFile,
+//     the checkpoint machinery's durable write) after every shard
+//     completion, so a killed coordinator resumes without re-running
+//     completed shards.
+//
+// See docs/DISTRIBUTED.md for the protocol walkthrough.
+package dist
+
+import (
+	"time"
+
+	"fairmc/internal/obs"
+	"fairmc/internal/search"
+)
+
+// Protocol endpoints, all rooted at the coordinator's address.
+// join/lease/heartbeat/result/events are POST with JSON bodies
+// (events: raw JSONL); metrics and status are GET.
+const (
+	PathJoin      = "/v1/join"
+	PathLease     = "/v1/lease"
+	PathHeartbeat = "/v1/heartbeat"
+	PathResult    = "/v1/result"
+	PathEvents    = "/v1/events"
+	PathMetrics   = "/metrics"
+	PathStatus    = "/status"
+)
+
+// SearchSpec is the wire form of the search configuration: every
+// semantic option plus the operational ones a worker needs. Workers
+// rebuild search.Options from it and verify the rebuilt options hash
+// against the plan's before running anything, so configuration skew
+// (version drift, a worker pointed at the wrong coordinator) is caught
+// before any work is handed out.
+type SearchSpec struct {
+	Program                 string `json:"program"`
+	Fair                    bool   `json:"fair"`
+	FairK                   int    `json:"fairK,omitempty"`
+	ContextBound            int    `json:"contextBound"`
+	DepthBound              int    `json:"depthBound,omitempty"`
+	RandomTail              bool   `json:"randomTail,omitempty"`
+	RandomWalk              bool   `json:"randomWalk,omitempty"`
+	PCT                     bool   `json:"pct,omitempty"`
+	PCTDepth                int    `json:"pctDepth,omitempty"`
+	MaxSteps                int64  `json:"maxSteps,omitempty"`
+	MaxExecutions           int64  `json:"maxExecutions,omitempty"`
+	Seed                    uint64 `json:"seed"`
+	StatefulPrune           bool   `json:"statefulPrune,omitempty"`
+	DPOR                    bool   `json:"dpor,omitempty"`
+	SleepSets               bool   `json:"sleepSets,omitempty"`
+	DivergenceRetries       int    `json:"divergenceRetries,omitempty"`
+	DisableConformance      bool   `json:"disableConformance,omitempty"`
+	ContinueAfterViolation  bool   `json:"continueAfterViolation,omitempty"`
+	ContinueAfterDivergence bool   `json:"continueAfterDivergence,omitempty"`
+	RecordTrace             bool   `json:"recordTrace,omitempty"`
+	WatchdogMS              int64  `json:"watchdogMs,omitempty"`
+	CheckpointIntervalMS    int64  `json:"checkpointIntervalMs,omitempty"`
+}
+
+// SpecFromOptions captures the distributable part of opts.
+func SpecFromOptions(program string, o search.Options) SearchSpec {
+	return SearchSpec{
+		Program:                 program,
+		Fair:                    o.Fair,
+		FairK:                   o.FairK,
+		ContextBound:            o.ContextBound,
+		DepthBound:              o.DepthBound,
+		RandomTail:              o.RandomTail,
+		RandomWalk:              o.RandomWalk,
+		PCT:                     o.PCT,
+		PCTDepth:                o.PCTDepth,
+		MaxSteps:                o.MaxSteps,
+		MaxExecutions:           o.MaxExecutions,
+		Seed:                    o.Seed,
+		StatefulPrune:           o.StatefulPrune,
+		DPOR:                    o.DPOR,
+		SleepSets:               o.SleepSets,
+		DivergenceRetries:       o.DivergenceRetries,
+		DisableConformance:      o.DisableConformance,
+		ContinueAfterViolation:  o.ContinueAfterViolation,
+		ContinueAfterDivergence: o.ContinueAfterDivergence,
+		RecordTrace:             o.RecordTrace,
+		WatchdogMS:              int64(o.Watchdog / time.Millisecond),
+		CheckpointIntervalMS:    int64(o.CheckpointInterval / time.Millisecond),
+	}
+}
+
+// Options rebuilds the worker-side search options. Parallelism is 1:
+// shards always run on the sequential engine.
+func (s SearchSpec) Options() search.Options {
+	return search.Options{
+		Fair:                    s.Fair,
+		FairK:                   s.FairK,
+		ContextBound:            s.ContextBound,
+		DepthBound:              s.DepthBound,
+		RandomTail:              s.RandomTail,
+		RandomWalk:              s.RandomWalk,
+		PCT:                     s.PCT,
+		PCTDepth:                s.PCTDepth,
+		MaxSteps:                s.MaxSteps,
+		MaxExecutions:           s.MaxExecutions,
+		Seed:                    s.Seed,
+		StatefulPrune:           s.StatefulPrune,
+		DPOR:                    s.DPOR,
+		SleepSets:               s.SleepSets,
+		DivergenceRetries:       s.DivergenceRetries,
+		DisableConformance:      s.DisableConformance,
+		ContinueAfterViolation:  s.ContinueAfterViolation,
+		ContinueAfterDivergence: s.ContinueAfterDivergence,
+		RecordTrace:             s.RecordTrace,
+		Watchdog:                time.Duration(s.WatchdogMS) * time.Millisecond,
+		CheckpointInterval:      time.Duration(s.CheckpointIntervalMS) * time.Millisecond,
+		Parallelism:             1,
+		ProgramName:             s.Program,
+	}
+}
+
+// JoinRequest registers a worker with the coordinator.
+type JoinRequest struct {
+	// Capacity is how many shards the worker runs concurrently
+	// (informational; the worker pulls leases one at a time per slot).
+	Capacity int `json:"capacity"`
+}
+
+// JoinResponse hands the worker its identity and the search to run.
+type JoinResponse struct {
+	WorkerID string     `json:"workerId"`
+	Spec     SearchSpec `json:"spec"`
+	// Strategy and ShardCount describe the plan (informational).
+	Strategy   string `json:"strategy"`
+	ShardCount int    `json:"shardCount"`
+	// OptionsHash is the plan's semantic-options fingerprint; the
+	// worker recomputes it from Spec and refuses to run on mismatch.
+	OptionsHash uint64 `json:"optionsHash"`
+	// LeaseTTLMS is the lease duration; workers must heartbeat well
+	// within it.
+	LeaseTTLMS int64 `json:"leaseTtlMs"`
+	// WantEvents tells the worker whether to forward trace events.
+	WantEvents bool `json:"wantEvents,omitempty"`
+}
+
+// LeaseRequest asks for one shard of work.
+type LeaseRequest struct {
+	WorkerID string `json:"workerId"`
+}
+
+// Lease statuses.
+const (
+	// LeaseWork: Shard and LeaseID are set; run it.
+	LeaseWork = "work"
+	// LeaseWait: nothing grantable right now (all pending shards are
+	// excluded for this worker, or everything is leased); poll again.
+	LeaseWait = "wait"
+	// LeaseDone: the search is complete; the worker should exit.
+	LeaseDone = "done"
+)
+
+// LeaseResponse grants a shard (or tells the worker to wait/exit).
+type LeaseResponse struct {
+	Status  string        `json:"status"`
+	Shard   *search.Shard `json:"shard,omitempty"`
+	LeaseID string        `json:"leaseId,omitempty"`
+}
+
+// HeartbeatRequest keeps a worker's leases alive and piggybacks its
+// telemetry delta since the previous heartbeat.
+type HeartbeatRequest struct {
+	WorkerID string   `json:"workerId"`
+	LeaseIDs []string `json:"leaseIds,omitempty"`
+	// Metrics is the counter-wise delta (obs.Snapshot.Sub) of the
+	// worker's registry since its last successful heartbeat.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+}
+
+// HeartbeatResponse lists leases the worker must abandon (expired and
+// requeued, or past the merge's cancellation horizon) and whether the
+// search is over.
+type HeartbeatResponse struct {
+	Cancelled []string `json:"cancelled,omitempty"`
+	Done      bool     `json:"done,omitempty"`
+}
+
+// ResultRequest posts a finished shard: either a report or a failure
+// description (worker-side panic), never both.
+type ResultRequest struct {
+	WorkerID string         `json:"workerId"`
+	LeaseID  string         `json:"leaseId"`
+	Shard    int            `json:"shard"`
+	Report   *search.Report `json:"report,omitempty"`
+	Failure  string         `json:"failure,omitempty"`
+}
+
+// ResultResponse acknowledges a shard result. Accepted is false when
+// the shard was already decided (a late result after the lease expired
+// and a retry finished first); the worker just moves on.
+type ResultResponse struct {
+	Accepted bool `json:"accepted"`
+	Done     bool `json:"done,omitempty"`
+}
+
+// StatusResponse is the coordinator's public progress summary.
+type StatusResponse struct {
+	Program   string `json:"program"`
+	Strategy  string `json:"strategy"`
+	Shards    int    `json:"shards"`
+	Merged    int    `json:"merged"`
+	Completed int    `json:"completed"`
+	Abandoned int    `json:"abandoned"`
+	Leased    int    `json:"leased"`
+	Workers   int    `json:"workers"`
+	Done      bool   `json:"done"`
+}
+
+// MetricsResponse is the coordinator's aggregated telemetry: its own
+// registry (which includes every worker delta merged so far) plus the
+// shard-level progress.
+type MetricsResponse struct {
+	Metrics obs.Snapshot   `json:"metrics"`
+	Status  StatusResponse `json:"status"`
+}

@@ -1,0 +1,490 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"fairmc/internal/engine"
+	"fairmc/internal/obs"
+	"fairmc/internal/search"
+)
+
+// ErrSpecMismatch reports that the coordinator's options hash does not
+// match the options this worker rebuilt from the spec: version skew or
+// a worker pointed at the wrong coordinator. The CLI maps it to the
+// usage exit status.
+var ErrSpecMismatch = errors.New("dist: coordinator options hash does not match this worker's build")
+
+// WorkerConfig configures RunWorker.
+type WorkerConfig struct {
+	// URL is the coordinator's base URL (e.g. http://host:7171).
+	URL string
+	// Capacity is how many shards to run concurrently; 0 means 1.
+	Capacity int
+	// WorkDir holds per-shard checkpoints so a restarted worker
+	// resumes a long stride shard instead of rerunning it; empty
+	// disables shard checkpointing.
+	WorkDir string
+	// Lookup resolves the program name the coordinator sends to the
+	// program body (e.g. an adapter around progs.Lookup).
+	Lookup func(name string) (func(*engine.T), bool)
+	// Metrics, when set, is the worker's live registry; deltas are
+	// forwarded to the coordinator with every heartbeat.
+	Metrics *obs.Metrics
+	// Logf, when set, receives one-line operational logs.
+	Logf func(format string, args ...any)
+	// Stop, when closed, makes the worker abandon its shards and
+	// return nil.
+	Stop <-chan struct{}
+}
+
+// joinAttempts bounds how long a worker retries an unreachable
+// coordinator before giving up (attempts are spaced by joinBackoff).
+const (
+	joinAttempts = 60
+	joinBackoff  = 500 * time.Millisecond
+)
+
+// worker is the per-process state of one RunWorker call.
+type worker struct {
+	cfg    WorkerConfig
+	client *http.Client
+	id     string
+	spec   SearchSpec
+	opts   search.Options
+	prog   func(*engine.T)
+	ttl    time.Duration
+
+	mu       sync.Mutex
+	active   map[string]chan struct{} // lease id -> shard stop channel
+	prevSnap obs.Snapshot
+
+	events *eventForwarder
+	rec    *obs.Recorder
+
+	done chan struct{} // coordinator said the search is over
+	once sync.Once
+}
+
+// RunWorker joins the coordinator at cfg.URL, runs shards until the
+// coordinator reports the search done (returning nil), cfg.Stop is
+// closed (nil), or the coordinator becomes unreachable / rejects this
+// worker's configuration (error).
+func RunWorker(cfg WorkerConfig) error {
+	if cfg.Lookup == nil {
+		return errors.New("dist: worker needs a program Lookup")
+	}
+	if cfg.Capacity < 1 {
+		cfg.Capacity = 1
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	wk := &worker{
+		cfg:    cfg,
+		client: &http.Client{Timeout: 60 * time.Second},
+		active: map[string]chan struct{}{},
+		done:   make(chan struct{}),
+	}
+	join, err := wk.join()
+	if err != nil {
+		return err
+	}
+	wk.id = join.WorkerID
+	wk.spec = join.Spec
+	wk.ttl = time.Duration(join.LeaseTTLMS) * time.Millisecond
+	if wk.ttl <= 0 {
+		wk.ttl = DefaultLeaseTTL
+	}
+	wk.opts = join.Spec.Options()
+	if got := search.OptionsHash(&wk.opts); got != join.OptionsHash {
+		return fmt.Errorf("%w (coordinator %#x, worker %#x)", ErrSpecMismatch, join.OptionsHash, got)
+	}
+	prog, ok := cfg.Lookup(join.Spec.Program)
+	if !ok {
+		return fmt.Errorf("dist: coordinator wants program %q, which this worker does not have", join.Spec.Program)
+	}
+	wk.prog = prog
+	wk.opts.Metrics = cfg.Metrics
+	if cfg.Metrics != nil {
+		wk.prevSnap = cfg.Metrics.Snapshot()
+	}
+	if join.WantEvents {
+		wk.events = newEventForwarder(wk.client, cfg.URL+PathEvents)
+		// Parallel shard goroutines emit in bursts; the recorder's
+		// bounded queue keeps emission non-blocking end to end.
+		wk.rec = obs.NewRecorder(wk.events, 1<<14)
+		wk.opts.EventSink = wk.rec
+	}
+	cfg.Logf("dist: joined %s as %s: program %s, %d shards (%s), lease TTL %s",
+		cfg.URL, wk.id, join.Spec.Program, join.ShardCount, join.Strategy, wk.ttl)
+
+	hbDone := make(chan struct{})
+	go wk.heartbeatLoop(hbDone)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Capacity)
+	for i := 0; i < cfg.Capacity; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- wk.shardLoop()
+		}()
+	}
+	wg.Wait()
+	wk.finish()
+	close(hbDone)
+	if wk.rec != nil {
+		wk.rec.Close()
+		wk.events.Flush()
+	}
+	// Final telemetry flush so short-lived work is not lost between
+	// heartbeats.
+	wk.heartbeat(nil)
+	for i := 0; i < cfg.Capacity; i++ {
+		if err := <-errs; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finish marks the worker as done (idempotent).
+func (wk *worker) finish() { wk.once.Do(func() { close(wk.done) }) }
+
+func (wk *worker) stopped() bool {
+	if wk.cfg.Stop == nil {
+		return false
+	}
+	select {
+	case <-wk.cfg.Stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// post sends one JSON request and decodes the JSON response into out
+// (unless out is nil).
+func (wk *worker) post(path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := wk.client.Post(wk.cfg.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("dist: %s returned %s", path, resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// join registers with the coordinator, retrying while it is
+// unreachable (it may still be binding its listener).
+func (wk *worker) join() (*JoinResponse, error) {
+	var lastErr error
+	for attempt := 0; attempt < joinAttempts; attempt++ {
+		if wk.stopped() {
+			return nil, errors.New("dist: stopped before joining")
+		}
+		join := &JoinResponse{}
+		lastErr = wk.post(PathJoin, JoinRequest{Capacity: wk.cfg.Capacity}, join)
+		if lastErr == nil {
+			return join, nil
+		}
+		time.Sleep(joinBackoff)
+	}
+	return nil, fmt.Errorf("dist: coordinator %s unreachable: %w", wk.cfg.URL, lastErr)
+}
+
+// heartbeatLoop extends leases and forwards telemetry until the worker
+// finishes.
+func (wk *worker) heartbeatLoop(stop <-chan struct{}) {
+	iv := wk.ttl / 3
+	if iv < 20*time.Millisecond {
+		iv = 20 * time.Millisecond
+	}
+	t := time.NewTicker(iv)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-wk.done:
+			return
+		case <-t.C:
+			wk.heartbeat(nil)
+		}
+	}
+}
+
+// heartbeat posts one heartbeat; extra lease ids (e.g. a lease just
+// granted) can be included before the tracking map sees them.
+func (wk *worker) heartbeat(extra []string) {
+	wk.mu.Lock()
+	ids := append([]string(nil), extra...)
+	for id := range wk.active {
+		ids = append(ids, id)
+	}
+	var delta *obs.Snapshot
+	if wk.cfg.Metrics != nil {
+		cur := wk.cfg.Metrics.Snapshot()
+		d := cur.Sub(wk.prevSnap)
+		wk.prevSnap = cur
+		delta = &d
+	}
+	wk.mu.Unlock()
+	resp := &HeartbeatResponse{}
+	if err := wk.post(PathHeartbeat, HeartbeatRequest{WorkerID: wk.id, LeaseIDs: ids, Metrics: delta}, resp); err != nil {
+		// The final flush often races the coordinator's own exit; a
+		// failed heartbeat after done is expected, not noteworthy.
+		select {
+		case <-wk.done:
+		default:
+			wk.cfg.Logf("dist: heartbeat: %v", err)
+		}
+		return
+	}
+	wk.mu.Lock()
+	for _, id := range resp.Cancelled {
+		if ch, ok := wk.active[id]; ok {
+			close(ch)
+			delete(wk.active, id)
+		}
+	}
+	wk.mu.Unlock()
+	if resp.Done {
+		wk.finish()
+	}
+}
+
+// shardLoop is one capacity slot: lease, run, post, repeat.
+func (wk *worker) shardLoop() error {
+	consecutiveErrs := 0
+	for {
+		if wk.stopped() {
+			return nil
+		}
+		select {
+		case <-wk.done:
+			return nil
+		default:
+		}
+		resp := &LeaseResponse{}
+		if err := wk.post(PathLease, LeaseRequest{WorkerID: wk.id}, resp); err != nil {
+			consecutiveErrs++
+			if consecutiveErrs >= joinAttempts {
+				return fmt.Errorf("dist: coordinator unreachable: %w", err)
+			}
+			wk.sleep(joinBackoff)
+			continue
+		}
+		consecutiveErrs = 0
+		switch resp.Status {
+		case LeaseDone:
+			wk.finish()
+			return nil
+		case LeaseWait:
+			// Poll briskly: an idle worker is also how completion is
+			// observed, and the coordinator only lingers a short grace
+			// period after the search finishes.
+			iv := wk.ttl / 4
+			if iv > 500*time.Millisecond {
+				iv = 500 * time.Millisecond
+			}
+			wk.sleep(iv)
+			continue
+		case LeaseWork:
+			wk.runShard(resp.LeaseID, *resp.Shard)
+		default:
+			return fmt.Errorf("dist: unknown lease status %q", resp.Status)
+		}
+	}
+}
+
+// sleep waits without outliving a stop or done signal.
+func (wk *worker) sleep(d time.Duration) {
+	if d < 10*time.Millisecond {
+		d = 10 * time.Millisecond
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	if wk.cfg.Stop != nil {
+		select {
+		case <-t.C:
+		case <-wk.cfg.Stop:
+		case <-wk.done:
+		}
+		return
+	}
+	select {
+	case <-t.C:
+	case <-wk.done:
+	}
+}
+
+// runShard executes one leased shard and posts the outcome. A panic in
+// the program (or the engine) is posted as a structured failure so the
+// coordinator can retry the shard elsewhere.
+func (wk *worker) runShard(leaseID string, sh search.Shard) {
+	stop := make(chan struct{})
+	wk.mu.Lock()
+	wk.active[leaseID] = stop
+	wk.mu.Unlock()
+	defer func() {
+		wk.mu.Lock()
+		if _, ok := wk.active[leaseID]; ok {
+			delete(wk.active, leaseID)
+		}
+		wk.mu.Unlock()
+	}()
+
+	// The shard must stop when the lease is cancelled OR the whole
+	// worker is stopped; fold both into one channel.
+	shardStop := stop
+	if wk.cfg.Stop != nil {
+		merged := make(chan struct{})
+		go func() {
+			select {
+			case <-stop:
+			case <-wk.cfg.Stop:
+			}
+			close(merged)
+		}()
+		shardStop = merged
+	}
+
+	opts := wk.opts
+	ckptPath := ""
+	if wk.cfg.WorkDir != "" && sh.Prefix == nil {
+		// Per-shard checkpointing (stride shards only: a prefix
+		// subtree reruns from scratch). A stale or foreign checkpoint
+		// is discarded, never trusted.
+		ckptPath = filepath.Join(wk.cfg.WorkDir, fmt.Sprintf("shard-%04d.ckpt", sh.Index))
+		opts.CheckpointPath = ckptPath
+		if ck, err := search.LoadCheckpoint(ckptPath); err == nil {
+			if verr := search.ValidateShardResume(&opts, sh, ck); verr == nil {
+				opts.Resume = ck
+				wk.cfg.Logf("dist: shard %d resuming from %s (execution %d)",
+					sh.Index, ckptPath, ck.Counters.Executions)
+			} else {
+				wk.cfg.Logf("dist: shard %d ignoring checkpoint %s: %v", sh.Index, ckptPath, verr)
+				os.Remove(ckptPath)
+			}
+		}
+	}
+
+	var rep *search.Report
+	failure := ""
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				failure = fmt.Sprintf("panic: %v\n%s", r, debug.Stack())
+			}
+		}()
+		rep = search.RunShard(wk.prog, opts, sh, shardStop)
+	}()
+
+	if failure == "" && rep != nil && rep.Interrupted {
+		// Cancelled mid-shard (lease lost or worker stopping): the
+		// partial report must not be merged, and the coordinator has
+		// already requeued or cut the shard.
+		return
+	}
+	resp := &ResultResponse{}
+	req := ResultRequest{WorkerID: wk.id, LeaseID: leaseID, Shard: sh.Index, Report: rep, Failure: failure}
+	if failure != "" {
+		req.Report = nil
+		wk.cfg.Logf("dist: shard %d crashed: %.120s", sh.Index, failure)
+	}
+	if err := wk.post(PathResult, req, resp); err != nil {
+		wk.cfg.Logf("dist: posting shard %d result: %v", sh.Index, err)
+		return
+	}
+	if resp.Accepted && failure == "" && ckptPath != "" {
+		os.Remove(ckptPath)
+	}
+	if resp.Done {
+		wk.finish()
+	}
+}
+
+// eventForwarder batches the recorder's JSONL output and posts it to
+// the coordinator. Writes are split at line boundaries so interleaved
+// worker batches stay line-valid JSONL on the coordinator side.
+type eventForwarder struct {
+	client *http.Client
+	url    string
+
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+const eventFlushBytes = 64 << 10
+
+func newEventForwarder(client *http.Client, url string) *eventForwarder {
+	return &eventForwarder{client: client, url: url}
+}
+
+func (f *eventForwarder) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	f.buf.Write(p)
+	var send []byte
+	if f.buf.Len() >= eventFlushBytes {
+		send = f.takeLinesLocked()
+	}
+	f.mu.Unlock()
+	f.post(send)
+	return len(p), nil
+}
+
+// takeLinesLocked cuts the buffer at the last newline and returns the
+// complete lines, leaving any partial line buffered.
+func (f *eventForwarder) takeLinesLocked() []byte {
+	b := f.buf.Bytes()
+	cut := bytes.LastIndexByte(b, '\n')
+	if cut < 0 {
+		return nil
+	}
+	send := append([]byte(nil), b[:cut+1]...)
+	rest := append([]byte(nil), b[cut+1:]...)
+	f.buf.Reset()
+	f.buf.Write(rest)
+	return send
+}
+
+// Flush posts everything buffered, including a trailing partial line
+// (only possible if the recorder was cut mid-write, which Close
+// prevents).
+func (f *eventForwarder) Flush() {
+	f.mu.Lock()
+	send := append([]byte(nil), f.buf.Bytes()...)
+	f.buf.Reset()
+	f.mu.Unlock()
+	f.post(send)
+}
+
+func (f *eventForwarder) post(data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	resp, err := f.client.Post(f.url, "application/jsonl", bytes.NewReader(data))
+	if err != nil {
+		return // events are best-effort telemetry
+	}
+	resp.Body.Close()
+}

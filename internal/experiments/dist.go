@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"time"
+
+	"fairmc/internal/dist"
+	"fairmc/internal/engine"
+	"fairmc/internal/search"
+	"fairmc/progs"
+)
+
+// DistRow is one point of the distributed-exploration sweep: the same
+// execution-bounded random-walk workload run through a coordinator
+// with a different number of in-process workers (real HTTP over
+// loopback, so the protocol overhead is in the measurement). The
+// merged report is the same at every worker count — Identical records
+// that check against the 1-worker row.
+type DistRow struct {
+	Workers     int           `json:"workers"`
+	Executions  int64         `json:"executions"`
+	Elapsed     time.Duration `json:"elapsed_ns"`
+	ExecsPerSec float64       `json:"execs_per_sec"`
+	Speedup     float64       `json:"speedup"`
+	Identical   bool          `json:"identical"`
+}
+
+// DistReport bundles the sweep with its fixed plan facts.
+type DistReport struct {
+	Program        string    `json:"program"`
+	Seed           uint64    `json:"seed"`
+	RefParallelism int       `json:"ref_parallelism"`
+	Shards         int       `json:"shards"`
+	GOMAXPROCS     int       `json:"gomaxprocs"`
+	NumCPU         int       `json:"num_cpu"`
+	Rows           []DistRow `json:"rows"`
+}
+
+// DistSweep measures coordinator/worker throughput at each worker
+// count. Work is execution-bounded and stride-sharded, so every row
+// explores the identical schedule set; wall clock (including lease
+// round-trips and heartbeats) is the measurement.
+func DistSweep(workers []int, execs int64) DistReport {
+	const program = "wsq-2x2"
+	body := progs.WorkStealingQueue(progs.WSQConfig{Items: 2, Stealers: 2})
+	opts := search.Options{
+		Fair:                    true,
+		RandomWalk:              true,
+		MaxExecutions:           execs,
+		MaxSteps:                1 << 14,
+		Seed:                    42,
+		ContinueAfterViolation:  true,
+		ContinueAfterDivergence: true,
+	}
+	out := DistReport{
+		Program:        program,
+		Seed:           opts.Seed,
+		RefParallelism: 2,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		NumCPU:         runtime.NumCPU(),
+	}
+	lookup := func(name string) (func(*engine.T), bool) {
+		if name != program {
+			return nil, false
+		}
+		return body, true
+	}
+	var baseline []byte
+	var base float64
+	for _, w := range workers {
+		start := time.Now()
+		coord, err := dist.NewCoordinator(dist.CoordinatorConfig{
+			Prog:           body,
+			Program:        program,
+			Options:        opts,
+			RefParallelism: out.RefParallelism,
+		})
+		if err != nil {
+			panic(err)
+		}
+		srv := httptest.NewServer(coord.Handler())
+		var wg sync.WaitGroup
+		for i := 0; i < w; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				dist.RunWorker(dist.WorkerConfig{URL: srv.URL, Lookup: lookup})
+			}()
+		}
+		rep := coord.Wait()
+		wg.Wait()
+		srv.Close()
+		elapsed := time.Since(start)
+
+		norm := *rep
+		norm.Elapsed = 0
+		enc, err := json.Marshal(&norm)
+		if err != nil {
+			panic(err)
+		}
+		if baseline == nil {
+			baseline = enc
+		}
+		out.Shards = len(coord.Plan().Shards)
+		row := DistRow{
+			Workers:     w,
+			Executions:  rep.Executions,
+			Elapsed:     elapsed,
+			ExecsPerSec: float64(rep.Executions) / elapsed.Seconds(),
+			Identical:   string(enc) == string(baseline),
+		}
+		if base == 0 {
+			base = row.ExecsPerSec
+		}
+		row.Speedup = row.ExecsPerSec / base
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}

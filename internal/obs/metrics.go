@@ -251,6 +251,83 @@ type Snapshot struct {
 	ExecSteps         []HistBucket `json:"execSteps,omitempty"`
 }
 
+// Sub returns the counter-wise difference s - prev: the work performed
+// between the two snapshots. Distributed workers post these deltas to
+// the coordinator so each increment is counted exactly once. The
+// Frontier gauge is not a counter and carries s's value unchanged;
+// histogram buckets subtract bucket-wise.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	d := Snapshot{
+		Executions:        s.Executions - prev.Executions,
+		Steps:             s.Steps - prev.Steps,
+		Choices:           s.Choices - prev.Choices,
+		Candidates:        s.Candidates - prev.Candidates,
+		Yields:            s.Yields - prev.Yields,
+		EdgeAdds:          s.EdgeAdds - prev.EdgeAdds,
+		EdgeErases:        s.EdgeErases - prev.EdgeErases,
+		FairBlocked:       s.FairBlocked - prev.FairBlocked,
+		Terminations:      s.Terminations - prev.Terminations,
+		Deadlocks:         s.Deadlocks - prev.Deadlocks,
+		Violations:        s.Violations - prev.Violations,
+		Diverged:          s.Diverged - prev.Diverged,
+		Aborts:            s.Aborts - prev.Aborts,
+		Wedges:            s.Wedges - prev.Wedges,
+		ReplayDivergences: s.ReplayDivergences - prev.ReplayDivergences,
+		Quarantined:       s.Quarantined - prev.Quarantined,
+		WorkerRetries:     s.WorkerRetries - prev.WorkerRetries,
+		Checkpoints:       s.Checkpoints - prev.Checkpoints,
+		Frontier:          s.Frontier,
+	}
+	prevAt := make(map[int64]int64, len(prev.ExecSteps))
+	for _, b := range prev.ExecSteps {
+		prevAt[b.Le] = b.Count
+	}
+	for _, b := range s.ExecSteps {
+		if n := b.Count - prevAt[b.Le]; n > 0 {
+			d.ExecSteps = append(d.ExecSteps, HistBucket{Le: b.Le, Count: n})
+		}
+	}
+	return d
+}
+
+// Merge folds a snapshot delta (Snapshot.Sub) into the registry; the
+// distributed coordinator aggregates worker telemetry this way. The
+// Frontier gauge is skipped — per-worker instantaneous values do not
+// sum; the coordinator tracks its own frontier (unmerged shards).
+func (m *Metrics) Merge(d Snapshot) {
+	m.Executions.Add(d.Executions)
+	m.Steps.Add(d.Steps)
+	m.Choices.Add(d.Choices)
+	m.Candidates.Add(d.Candidates)
+	m.Yields.Add(d.Yields)
+	m.EdgeAdds.Add(d.EdgeAdds)
+	m.EdgeErases.Add(d.EdgeErases)
+	m.FairBlocked.Add(d.FairBlocked)
+	m.Terminations.Add(d.Terminations)
+	m.Deadlocks.Add(d.Deadlocks)
+	m.Violations.Add(d.Violations)
+	m.Diverged.Add(d.Diverged)
+	m.Aborts.Add(d.Aborts)
+	m.Wedges.Add(d.Wedges)
+	m.ReplayDivergences.Add(d.ReplayDivergences)
+	m.Quarantined.Add(d.Quarantined)
+	m.WorkerRetries.Add(d.WorkerRetries)
+	m.Checkpoints.Add(d.Checkpoints)
+	for _, b := range d.ExecSteps {
+		idx := 63 // open-ended overflow bucket
+		if b.Le >= 0 {
+			idx = bitLen(uint64(b.Le)+1) - 1
+		}
+		m.ExecSteps.buckets[idx].Add(b.Count)
+		m.ExecSteps.count.Add(b.Count)
+		// Bucket sums are lossy (the histogram stores bounds, not raw
+		// values); approximate with the bucket's upper bound.
+		if b.Le >= 0 {
+			m.ExecSteps.sum.Add(b.Count * b.Le)
+		}
+	}
+}
+
 // Snapshot copies the current metric values.
 func (m *Metrics) Snapshot() Snapshot {
 	return Snapshot{

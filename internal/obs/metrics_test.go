@@ -112,3 +112,51 @@ func TestFlushExecConcurrent(t *testing.T) {
 		t.Fatalf("concurrent flush totals wrong: %+v", s)
 	}
 }
+
+// TestSnapshotSubMergeRoundtrip models the distributed telemetry path:
+// a worker's registry advances, the delta since the last heartbeat is
+// forwarded, and the coordinator merges it — totals must match a
+// single shared registry.
+func TestSnapshotSubMergeRoundtrip(t *testing.T) {
+	worker := NewMetrics()
+	coord := NewMetrics()
+	prev := worker.Snapshot()
+	for round := 0; round < 3; round++ {
+		for j := 0; j <= round; j++ {
+			worker.FlushExec(ExecFlush{Steps: 5, Yields: 2, Choices: 4,
+				FairBlocked: 1, EdgeAdds: 2, EdgeErases: 1, Outcome: "terminated"})
+		}
+		worker.Quarantined.Inc()
+		cur := worker.Snapshot()
+		coord.Merge(cur.Sub(prev))
+		prev = cur
+	}
+	w, c := worker.Snapshot(), coord.Snapshot()
+	if c.Executions != w.Executions || c.Steps != w.Steps || c.Yields != w.Yields ||
+		c.Choices != w.Choices || c.FairBlocked != w.FairBlocked ||
+		c.EdgeAdds != w.EdgeAdds || c.EdgeErases != w.EdgeErases ||
+		c.Terminations != w.Terminations || c.Quarantined != w.Quarantined {
+		t.Fatalf("merged deltas diverge from source registry:\n%+v\nvs\n%+v", c, w)
+	}
+	if got, want := coord.ExecSteps.Count(), worker.ExecSteps.Count(); got != want {
+		t.Fatalf("histogram count = %d, want %d", got, want)
+	}
+}
+
+// TestSnapshotSubDelta: Sub subtracts counters but carries the gauge
+// value through (a gauge is a level, not a rate).
+func TestSnapshotSubDelta(t *testing.T) {
+	m := NewMetrics()
+	m.FlushExec(ExecFlush{Steps: 10, Outcome: "terminated"})
+	first := m.Snapshot()
+	m.FlushExec(ExecFlush{Steps: 7, Outcome: "deadlock"})
+	m.Frontier.Set(5)
+	second := m.Snapshot()
+	d := second.Sub(first)
+	if d.Executions != 1 || d.Steps != 7 || d.Deadlocks != 1 || d.Terminations != 0 {
+		t.Fatalf("delta wrong: %+v", d)
+	}
+	if d.Frontier != 5 {
+		t.Fatalf("delta frontier = %d, want the level 5", d.Frontier)
+	}
+}

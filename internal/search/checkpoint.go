@@ -115,8 +115,8 @@ type StrideState struct {
 	NextIndex int64 `json:"nextIndex"`
 }
 
-// savedPrefix is one frontier prefix of the prefix-parallel search.
-type savedPrefix struct {
+// SavedPrefix is one frontier prefix of the prefix-parallel search.
+type SavedPrefix struct {
 	Sched []engine.Alt        `json:"sched"`
 	Digs  []engine.StepDigest `json:"digs,omitempty"`
 	Leaf  bool                `json:"leaf,omitempty"`
@@ -124,7 +124,7 @@ type savedPrefix struct {
 
 // PrefixState is the prefix-parallel searcher's frontier.
 type PrefixState struct {
-	Frontier []savedPrefix `json:"frontier"`
+	Frontier []SavedPrefix `json:"frontier"`
 	// Merged counts frontier prefixes whose subtree reports have been
 	// merged; resume re-runs prefixes [Merged, len(Frontier)).
 	Merged       int  `json:"merged"`
@@ -177,18 +177,31 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	return ck, nil
 }
 
-// WriteFile atomically persists the checkpoint: write to a temp file
-// in the destination directory, then rename over the target, so a
-// crash mid-write never corrupts an existing checkpoint.
+// WriteFile atomically and durably persists the checkpoint; see
+// AtomicWriteFile for the exact guarantees.
 func (ck *Checkpoint) WriteFile(path string) error {
 	data, err := json.Marshal(ck)
 	if err != nil {
 		return fmt.Errorf("search: encoding checkpoint: %w", err)
 	}
+	if err := AtomicWriteFile(path, data); err != nil {
+		return fmt.Errorf("search: writing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// AtomicWriteFile persists data at path so that a crash at any point
+// leaves either the previous file or the new one, never a mix: write
+// to a temp file in the destination directory, fsync it, rename over
+// the target, then fsync the parent directory — without the final
+// directory sync the rename itself can be lost on a crash, silently
+// rolling the file back to its previous contents. Shared by the
+// checkpoint writer and the distributed coordinator's state file.
+func AtomicWriteFile(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, ".ckpt-*.tmp")
 	if err != nil {
-		return fmt.Errorf("search: writing checkpoint: %w", err)
+		return err
 	}
 	tmp := f.Name()
 	_, werr := f.Write(data)
@@ -203,9 +216,17 @@ func (ck *Checkpoint) WriteFile(path string) error {
 	}
 	if werr != nil {
 		os.Remove(tmp)
-		return fmt.Errorf("search: writing checkpoint: %w", werr)
+		return werr
 	}
-	return nil
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	return serr
 }
 
 // strategyOf names the enumeration strategy for checkpoint Meta.

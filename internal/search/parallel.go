@@ -862,9 +862,9 @@ func explorePrefix(prog func(*engine.T), opts Options) *Report {
 		rep.WorkerFailures = fails.sorted()
 		ck := buildCheckpoint(&opts, rep, prevElapsed+time.Since(start), d)
 		st := &PrefixState{Merged: merged, AllExhausted: allExhausted,
-			Frontier: make([]savedPrefix, len(prefixes))}
+			Frontier: make([]SavedPrefix, len(prefixes))}
 		for i, pfx := range prefixes {
-			st.Frontier[i] = savedPrefix{Sched: pfx.sched, Digs: pfx.digs, Leaf: pfx.leaf}
+			st.Frontier[i] = SavedPrefix{Sched: pfx.sched, Digs: pfx.digs, Leaf: pfx.leaf}
 		}
 		ck.Prefix = st
 		if err := ck.WriteFile(opts.CheckpointPath); err != nil {
@@ -903,75 +903,22 @@ merge:
 			continue
 		}
 		delete(pending, merged)
-		if r != nil && (r.ExecBounded || r.TimedOut) {
-			// The subtree itself was cut short by a budget, so its
-			// report covers only part of the prefix. Merging it would
-			// mark the prefix complete and a resume would skip the
-			// unexplored tail; discard the partial work and stop at the
-			// last fully merged prefix instead.
-			rep.ExecBounded = rep.ExecBounded || r.ExecBounded
-			rep.TimedOut = rep.TimedOut || r.TimedOut
+		counted, st, dn := mergeSubtree(&opts, rep, r, &allExhausted)
+		if counted {
+			merged++
+			if r != nil {
+				if m := opts.Metrics; m != nil {
+					m.Frontier.Set(int64(len(prefixes) - merged)) // unmerged prefixes
+				}
+			}
+		}
+		if st {
 			stopped = true
+			done = done || dn
 			break
 		}
 		if r == nil {
-			// Subtree abandoned after repeated worker crashes: the
-			// coverage loss is explicit (Skipped, WorkerFailures) and
-			// the tree can no longer be called exhausted.
-			rep.Skipped++
-			allExhausted = false
-			merged++
 			continue
-		}
-		if r.FirstBug != nil && rep.FirstBug == nil {
-			rep.FirstBug = r.FirstBug
-			rep.FirstBugExecution = rep.Executions + r.FirstBugExecution
-		}
-		if r.Divergence != nil && rep.Divergence == nil {
-			rep.Divergence = r.Divergence
-			rep.DivergenceExecution = rep.Executions + r.DivergenceExecution
-		}
-		if r.FirstWedge != nil && rep.FirstWedge == nil {
-			rep.FirstWedge = r.FirstWedge
-			rep.FirstWedgeExecution = rep.Executions + r.FirstWedgeExecution
-		}
-		rep.Executions += r.Executions
-		rep.TotalSteps += r.TotalSteps
-		rep.Yields += r.Yields
-		rep.EdgeAdds += r.EdgeAdds
-		rep.EdgeErases += r.EdgeErases
-		rep.FairBlocked += r.FairBlocked
-		if r.MaxDepth > rep.MaxDepth {
-			rep.MaxDepth = r.MaxDepth
-		}
-		rep.NonTerminating += r.NonTerminating
-		rep.Deadlocks += r.Deadlocks
-		rep.Violations += r.Violations
-		rep.Wedges += r.Wedges
-		// Quarantined subtrees merge in frontier order, so the
-		// nondeterminism reports are deterministic regardless of worker
-		// timing.
-		rep.Quarantined += r.Quarantined
-		rep.Nondeterminism = append(rep.Nondeterminism, r.Nondeterminism...)
-		if !r.Exhausted {
-			allExhausted = false
-		}
-		merged++
-		if m := opts.Metrics; m != nil {
-			m.Frontier.Set(int64(len(prefixes) - merged)) // unmerged prefixes
-		}
-		// Stop conditions, in the order the subtree searcher hit them.
-		if r.FirstBug != nil && !opts.ContinueAfterViolation {
-			stopped, done = true, true
-		}
-		if r.Divergence != nil && !opts.ContinueAfterDivergence {
-			stopped, done = true, true
-		}
-		if r.FirstWedge != nil && !opts.ContinueAfterViolation {
-			stopped, done = true, true
-		}
-		if stopped {
-			break
 		}
 		if opts.CheckpointPath != "" {
 			iv := opts.CheckpointInterval
@@ -996,4 +943,82 @@ merge:
 	rep.Elapsed = prevElapsed + time.Since(start)
 	writeCkpt(done)
 	return rep
+}
+
+// mergeSubtree folds one frontier subtree report into rep, mirroring
+// the sequential classify/stop semantics at subtree granularity. It is
+// the single merge definition shared by the in-process prefix driver
+// (explorePrefix) and the distributed coordinator (ShardMerger), which
+// is what makes the two byte-identical.
+//
+// r == nil records a subtree abandoned after repeated worker crashes:
+// the coverage loss is explicit (Skipped) and the tree can no longer be
+// called exhausted.
+//
+// Returns:
+//   - counted: the subtree was consumed and the merge index advances.
+//     False only for a budget-cut subtree, whose partial coverage is
+//     discarded so a resume re-explores it in full.
+//   - stopped: no further subtree may be merged.
+//   - done: the stop is terminal (a finding), not a budget cut.
+func mergeSubtree(opts *Options, rep *Report, r *Report, allExhausted *bool) (counted, stopped, done bool) {
+	if r != nil && (r.ExecBounded || r.TimedOut) {
+		// The subtree itself was cut short by a budget, so its
+		// report covers only part of the prefix. Merging it would
+		// mark the prefix complete and a resume would skip the
+		// unexplored tail; discard the partial work and stop at the
+		// last fully merged prefix instead.
+		rep.ExecBounded = rep.ExecBounded || r.ExecBounded
+		rep.TimedOut = rep.TimedOut || r.TimedOut
+		return false, true, false
+	}
+	if r == nil {
+		rep.Skipped++
+		*allExhausted = false
+		return true, false, false
+	}
+	if r.FirstBug != nil && rep.FirstBug == nil {
+		rep.FirstBug = r.FirstBug
+		rep.FirstBugExecution = rep.Executions + r.FirstBugExecution
+	}
+	if r.Divergence != nil && rep.Divergence == nil {
+		rep.Divergence = r.Divergence
+		rep.DivergenceExecution = rep.Executions + r.DivergenceExecution
+	}
+	if r.FirstWedge != nil && rep.FirstWedge == nil {
+		rep.FirstWedge = r.FirstWedge
+		rep.FirstWedgeExecution = rep.Executions + r.FirstWedgeExecution
+	}
+	rep.Executions += r.Executions
+	rep.TotalSteps += r.TotalSteps
+	rep.Yields += r.Yields
+	rep.EdgeAdds += r.EdgeAdds
+	rep.EdgeErases += r.EdgeErases
+	rep.FairBlocked += r.FairBlocked
+	if r.MaxDepth > rep.MaxDepth {
+		rep.MaxDepth = r.MaxDepth
+	}
+	rep.NonTerminating += r.NonTerminating
+	rep.Deadlocks += r.Deadlocks
+	rep.Violations += r.Violations
+	rep.Wedges += r.Wedges
+	// Quarantined subtrees merge in frontier order, so the
+	// nondeterminism reports are deterministic regardless of worker
+	// timing.
+	rep.Quarantined += r.Quarantined
+	rep.Nondeterminism = append(rep.Nondeterminism, r.Nondeterminism...)
+	if !r.Exhausted {
+		*allExhausted = false
+	}
+	// Stop conditions, in the order the subtree searcher hit them.
+	if r.FirstBug != nil && !opts.ContinueAfterViolation {
+		stopped, done = true, true
+	}
+	if r.Divergence != nil && !opts.ContinueAfterDivergence {
+		stopped, done = true, true
+	}
+	if r.FirstWedge != nil && !opts.ContinueAfterViolation {
+		stopped, done = true, true
+	}
+	return true, stopped, done
 }

@@ -1,0 +1,386 @@
+package search
+
+// This file exports the sharding layer the distributed coordinator
+// (internal/dist) is built on. A search is split into an ordered list
+// of shards — contiguous execution-index ranges for the random
+// strategies, frontier prefixes for the systematic ones — that can be
+// run by independent processes and merged back in index order. The
+// shard boundaries and the merge are the exact code paths the
+// in-process parallel driver uses (splitFrontier, exploreSubtree,
+// mergeSubtree, and the sequential stride searcher), which is what
+// makes a distributed run's merged report byte-identical to a local
+// Parallelism=N run of the same seed and configuration.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"fairmc/internal/engine"
+)
+
+// Shard is one unit of distributable work.
+//
+// For the random strategies (RandomWalk, PCT) a shard is the closed
+// range of global execution indices [Lo, Hi]; executions are seeded by
+// index, so the range fully determines the work. For the systematic
+// strategies a shard is one frontier prefix: the worker explores
+// exactly the subtree below it.
+type Shard struct {
+	// Index is the shard's position in the plan; reports are merged in
+	// Index order.
+	Index int `json:"index"`
+	// Lo and Hi bound the execution-index range (random strategies).
+	Lo int64 `json:"lo,omitempty"`
+	Hi int64 `json:"hi,omitempty"`
+	// Prefix is the frontier prefix (systematic strategies).
+	Prefix *SavedPrefix `json:"prefix,omitempty"`
+}
+
+// Plan is the full, ordered shard list for one search. It is
+// JSON-serializable so a coordinator can persist it in its state file
+// and hand shards to remote workers.
+type Plan struct {
+	// Strategy is the canonical strategy name (StrategyName).
+	Strategy string `json:"strategy"`
+	// RefParallelism is the local Parallelism the plan mirrors: the
+	// merged report is byte-identical to a local run with
+	// Parallelism=RefParallelism.
+	RefParallelism int `json:"refParallelism"`
+	// OptionsHash fingerprints the semantic options the plan was built
+	// from (see OptionsHash); workers recompute it from their own
+	// options and refuse to run a plan that does not match.
+	OptionsHash uint64  `json:"optionsHash"`
+	Shards      []Shard `json:"shards"`
+}
+
+// PlanShards splits the search defined by opts into distributable
+// shards. refParallelism picks which local parallel run the plan (and
+// therefore the merged report) mirrors; the shard count is the same
+// work-unit granularity the local driver uses for that parallelism.
+//
+// The random strategies require MaxExecutions: a wall-clock budget
+// cannot be partitioned into deterministic index ranges.
+func PlanShards(prog func(*engine.T), opts Options, refParallelism int) (*Plan, error) {
+	if refParallelism < 1 {
+		refParallelism = 1
+	}
+	opts.Parallelism = 1
+	opts.Stop = nil
+	opts.Resume = nil
+	opts.CheckpointPath = ""
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	plan := &Plan{
+		Strategy:       strategyOf(&opts),
+		RefParallelism: refParallelism,
+		OptionsHash:    optionsHash(&opts),
+	}
+	if opts.RandomWalk || opts.PCT {
+		m := opts.MaxExecutions
+		if m <= 0 {
+			return nil, errors.New("search: a distributed random/pct search needs MaxExecutions (a wall-clock budget cannot be sharded deterministically)")
+		}
+		// Aim for the same work-unit count the frontier split targets,
+		// but never shards smaller than a stride round batch.
+		target := int64(prefixTargetFactor * refParallelism)
+		chunk := (m + target - 1) / target
+		if chunk < strideBatch {
+			chunk = strideBatch
+		}
+		for lo := int64(1); lo <= m; lo += chunk {
+			hi := lo + chunk - 1
+			if hi > m {
+				hi = m
+			}
+			plan.Shards = append(plan.Shards, Shard{Index: len(plan.Shards), Lo: lo, Hi: hi})
+		}
+		return plan, nil
+	}
+	frontier := splitFrontier(prog, opts, prefixTargetFactor*refParallelism)
+	for i, pfx := range frontier {
+		plan.Shards = append(plan.Shards, Shard{Index: i, Prefix: &SavedPrefix{
+			Sched: pfx.sched, Digs: pfx.digs, Leaf: pfx.leaf,
+		}})
+	}
+	return plan, nil
+}
+
+// RunShard executes one shard to completion with the sequential
+// engine and returns its report, ready for ShardMerger.Offer.
+//
+// Stride shards run as a resumed sequential search whose executions
+// counter starts at Lo-1 and whose budget ends at Hi, so every
+// execution gets its global index (and therefore the same per-index
+// seed as a local run); the returned Executions counter is then
+// reduced to the shard's own count, while finding indices
+// (FirstBugExecution etc.) stay global. Stride shards honor
+// opts.CheckpointPath/opts.Resume for worker-local per-shard
+// checkpointing; prefix shards ignore them (a prefix subtree reruns
+// from scratch).
+//
+// stop, when non-nil, cancels the shard between executions; a
+// cancelled shard returns with Interrupted set and must not be merged.
+func RunShard(prog func(*engine.T), opts Options, sh Shard, stop <-chan struct{}) *Report {
+	opts.Parallelism = 1
+	opts.TimeLimit = 0
+	opts.ConfirmRuns = 0 // the coordinator confirms the merged findings
+	if sh.Prefix != nil {
+		opts.CheckpointPath = ""
+		opts.Resume = nil
+		opts.Stop = nil
+		var cancelled func() bool
+		if stop != nil {
+			cancelled = func() bool {
+				select {
+				case <-stop:
+					return true
+				default:
+					return false
+				}
+			}
+		}
+		pfx := &prefixNode{
+			sched: append([]engine.Alt(nil), sh.Prefix.Sched...),
+			digs:  append([]engine.StepDigest(nil), sh.Prefix.Digs...),
+			leaf:  sh.Prefix.Leaf,
+		}
+		rep := exploreSubtree(prog, opts, pfx, time.Time{}, cancelled)
+		if cancelled != nil && cancelled() {
+			rep.Interrupted = true
+		}
+		return rep
+	}
+	opts.Stop = stop
+	opts.MaxExecutions = sh.Hi
+	if opts.Resume == nil {
+		// Synthetic checkpoint: position the sequential searcher at
+		// global index Lo with zeroed counters, so the shard report is
+		// a pure delta.
+		ck := buildCheckpoint(&opts, &Report{Executions: sh.Lo - 1}, 0, false)
+		ck.Stride = &StrideState{NextIndex: sh.Lo - 1}
+		opts.Resume = ck
+	}
+	if err := opts.Validate(); err != nil {
+		// Internal misuse or a corrupt worker-local checkpoint the
+		// caller should have validated; fail loudly.
+		panic(fmt.Sprintf("search: RunShard: %v", err))
+	}
+	rep := exploreSequential(prog, opts)
+	rep.Executions -= sh.Lo - 1
+	return rep
+}
+
+// ValidateShardResume reports whether a worker-local checkpoint can
+// resume the given stride shard: it must belong to the same search
+// (program, strategy, seed, options hash), be non-terminal, and sit
+// inside the shard's index range.
+func ValidateShardResume(opts *Options, sh Shard, ck *Checkpoint) error {
+	if sh.Prefix != nil {
+		return errors.New("search: prefix shards do not support checkpoint resume")
+	}
+	if ck.Done {
+		return errors.New("search: shard checkpoint is terminal")
+	}
+	if ck.Stride == nil {
+		return errors.New("search: shard checkpoint lacks stride state")
+	}
+	o := *opts
+	o.Parallelism = 1
+	if ck.Meta.Strategy != strategyOf(&o) || ck.Meta.Seed != o.Seed ||
+		ck.Meta.OptionsHash != optionsHash(&o) || ck.Meta.Program != o.ProgramName {
+		return errors.New("search: shard checkpoint belongs to a different search")
+	}
+	if ck.Counters.Executions < sh.Lo-1 || ck.Counters.Executions > sh.Hi {
+		return fmt.Errorf("search: shard checkpoint at execution %d is outside shard [%d,%d]",
+			ck.Counters.Executions, sh.Lo, sh.Hi)
+	}
+	return nil
+}
+
+// ShardMerger folds shard reports into one merged report in shard
+// order, applying the same classify/stop semantics as the in-process
+// parallel drivers. It is not safe for concurrent use; the caller
+// serializes Offer calls.
+type ShardMerger struct {
+	opts    Options
+	plan    *Plan
+	rep     *Report
+	pending map[int]*Report
+	next    int
+
+	allExhausted bool
+	stride       bool
+	stopped      bool
+	done         bool
+}
+
+// NewShardMerger prepares a merger for the given plan. opts must be
+// the same options the plan was built from.
+func NewShardMerger(opts Options, plan *Plan) *ShardMerger {
+	return &ShardMerger{
+		opts:         opts,
+		plan:         plan,
+		rep:          &Report{},
+		pending:      make(map[int]*Report),
+		allExhausted: true,
+		stride:       opts.RandomWalk || opts.PCT,
+	}
+}
+
+// Offer hands the merger shard idx's report; nil records a shard
+// abandoned after repeated failures (explicit coverage loss). Reports
+// may arrive in any order; the merger buffers them and merges each as
+// its turn comes. Offers at or past a stop, and duplicate offers, are
+// ignored.
+func (m *ShardMerger) Offer(idx int, r *Report) {
+	if m.stopped || idx < m.next || idx >= len(m.plan.Shards) {
+		return
+	}
+	if _, dup := m.pending[idx]; dup {
+		return
+	}
+	m.pending[idx] = r
+	m.drain()
+}
+
+func (m *ShardMerger) drain() {
+	for !m.stopped && m.next < len(m.plan.Shards) {
+		if !m.stride && m.opts.MaxExecutions > 0 && m.rep.Executions >= m.opts.MaxExecutions {
+			// Same pre-merge budget check the in-process prefix driver
+			// makes before consuming the next subtree.
+			m.rep.ExecBounded = true
+			m.stopped = true
+			return
+		}
+		r, ok := m.pending[m.next]
+		if !ok {
+			return
+		}
+		delete(m.pending, m.next)
+		if m.stride {
+			m.mergeStride(m.plan.Shards[m.next], r)
+			if !m.stopped {
+				m.next++
+			}
+			continue
+		}
+		counted, stopped, done := mergeSubtree(&m.opts, m.rep, r, &m.allExhausted)
+		if counted {
+			m.next++
+		}
+		if stopped {
+			m.stopped = true
+			m.done = m.done || done
+		}
+	}
+}
+
+// mergeStride folds one stride-shard report in. The shard ran the
+// sequential searcher over its global index range, so its counters are
+// deltas and its finding indices are global; a shard that stopped
+// before exhausting its range stopped on a finding, which ends the
+// merge exactly where the sequential search would have stopped.
+func (m *ShardMerger) mergeStride(sh Shard, r *Report) {
+	if r == nil {
+		m.rep.Skipped += sh.Hi - sh.Lo + 1
+		return
+	}
+	if r.FirstBug != nil && m.rep.FirstBug == nil {
+		m.rep.FirstBug = r.FirstBug
+		m.rep.FirstBugExecution = r.FirstBugExecution
+	}
+	if r.Divergence != nil && m.rep.Divergence == nil {
+		m.rep.Divergence = r.Divergence
+		m.rep.DivergenceExecution = r.DivergenceExecution
+	}
+	if r.FirstWedge != nil && m.rep.FirstWedge == nil {
+		m.rep.FirstWedge = r.FirstWedge
+		m.rep.FirstWedgeExecution = r.FirstWedgeExecution
+	}
+	m.rep.Executions += r.Executions
+	m.rep.TotalSteps += r.TotalSteps
+	m.rep.Yields += r.Yields
+	m.rep.EdgeAdds += r.EdgeAdds
+	m.rep.EdgeErases += r.EdgeErases
+	m.rep.FairBlocked += r.FairBlocked
+	if r.MaxDepth > m.rep.MaxDepth {
+		m.rep.MaxDepth = r.MaxDepth
+	}
+	m.rep.NonTerminating += r.NonTerminating
+	m.rep.Deadlocks += r.Deadlocks
+	m.rep.Violations += r.Violations
+	m.rep.Wedges += r.Wedges
+	m.rep.Skipped += r.Skipped
+	m.rep.Quarantined += r.Quarantined
+	m.rep.Nondeterminism = append(m.rep.Nondeterminism, r.Nondeterminism...)
+	if !r.ExecBounded {
+		// The shard stopped before its budget: a finding ended it.
+		m.stopped, m.done = true, true
+	}
+}
+
+// Stopped reports that no further shard can contribute: shards at or
+// past Horizon are dead work and should be cancelled.
+func (m *ShardMerger) Stopped() bool { return m.stopped }
+
+// Merged returns how many shards have been consumed.
+func (m *ShardMerger) Merged() int { return m.next }
+
+// Horizon is the merge's cancellation horizon: shards with index >=
+// Horizon will never be merged.
+func (m *ShardMerger) Horizon() int {
+	if m.stopped {
+		return m.next
+	}
+	return len(m.plan.Shards)
+}
+
+// Done reports that the merge is complete: every shard consumed, or a
+// terminal stop reached.
+func (m *ShardMerger) Done() bool {
+	return m.stopped || m.next == len(m.plan.Shards)
+}
+
+// Finish seals the merge and returns the final report, applying the
+// same end-of-search classification as the in-process drivers.
+// failures (in any order) become the report's sorted WorkerFailures.
+func (m *ShardMerger) Finish(elapsed time.Duration, failures []WorkerFailure) *Report {
+	if m.stride {
+		if !m.stopped && m.next == len(m.plan.Shards) {
+			// Every index in [1, MaxExecutions] has been merged (or
+			// explicitly skipped): the execution budget is spent.
+			m.rep.ExecBounded = true
+		}
+	} else {
+		m.rep.Exhausted = !m.stopped && m.next == len(m.plan.Shards) && m.allExhausted
+	}
+	fs := &failSink{list: append([]WorkerFailure(nil), failures...)}
+	m.rep.WorkerFailures = fs.sorted()
+	m.rep.Elapsed = elapsed
+	return m.rep
+}
+
+// Snapshot exposes the merged-so-far report (for coordinator state
+// files and status endpoints). The returned report is live; callers
+// must not retain it across further Offers.
+func (m *ShardMerger) Snapshot() *Report { return m.rep }
+
+// OptionsHash exposes the semantic-options fingerprint checkpoints
+// carry (budget and operational fields excluded). The distributed
+// protocol uses it to reject configuration skew between coordinator
+// and workers before any work is handed out.
+func OptionsHash(o *Options) uint64 {
+	oo := *o
+	oo.Parallelism = 1
+	return optionsHash(&oo)
+}
+
+// ConfirmFindings runs the post-search confirmation pass
+// (Options.ConfirmRuns) over rep's schedule-backed findings, exactly
+// as Explore does after a local search. The distributed coordinator
+// calls it once on the merged report.
+func ConfirmFindings(prog func(*engine.T), opts Options, rep *Report) {
+	confirmReport(prog, &opts, rep)
+}
