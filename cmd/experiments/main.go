@@ -3,12 +3,13 @@
 //
 // Usage:
 //
-//	experiments [-run fig2|table1|table2|fig56|table3|liveness|strategies|parallel|conformance|obs|dist|all]
+//	experiments [-run fig2|table1|table2|fig56|table3|liveness|strategies|parallel|conformance|obs|dist|engine|all]
 //	            [-celltime 60s] [-dbounds 20,30,40,50,60] [-quick]
 //	            [-workers 1,2,4,8] [-parexecs 2000] [-json BENCH_parallel.json]
 //	            [-confexecs 2000] [-confreps 3] [-confjson BENCH_conformance.json]
 //	            [-obsexecs 5000] [-obsreps 5] [-obsjson BENCH_obs.json]
 //	            [-distworkers 1,2,4] [-distexecs 2000] [-distjson BENCH_dist.json]
+//	            [-engexecs 2000] [-engreps 5] [-engjson BENCH_engine.json]
 //
 // Absolute numbers differ from the paper's (different substrate,
 // different hardware); the shapes — exponential growth in Figure 2,
@@ -32,7 +33,7 @@ import (
 
 func main() {
 	var (
-		run       = flag.String("run", "all", "experiment to run: fig2|table1|table2|fig56|table3|liveness|strategies|parallel|conformance|obs|dist|all")
+		run       = flag.String("run", "all", "experiment to run: fig2|table1|table2|fig56|table3|liveness|strategies|parallel|conformance|obs|dist|engine|all")
 		cellTime  = flag.Duration("celltime", 60*time.Second, "time budget per experiment cell")
 		dbounds   = flag.String("dbounds", "20,30,40,50,60", "depth bounds for the unfair Table 2 runs")
 		fig2b     = flag.String("fig2bounds", "8,10,12,14,16,18,20", "depth bounds for Figure 2")
@@ -50,6 +51,9 @@ func main() {
 		distWkrs  = flag.String("distworkers", "1,2,4", "worker counts for the distributed sweep")
 		distExecs = flag.Int64("distexecs", 2000, "executions per distributed-sweep cell")
 		distJSON  = flag.String("distjson", "BENCH_dist.json", "output file for the distributed sweep (\"\" = stdout only)")
+		engExecs  = flag.Int64("engexecs", 2000, "executions per engine-speed cell")
+		engReps   = flag.Int("engreps", 5, "repetitions per engine-speed cell (best wall clock kept)")
+		engJSON   = flag.String("engjson", "BENCH_engine.json", "output file for the engine-speed sweep (\"\" = stdout only)")
 	)
 	flag.Parse()
 	if *csvDir != "" {
@@ -122,6 +126,13 @@ func main() {
 			execs = 200
 		}
 		runDist(parseInts(*distWkrs), execs, *distJSON)
+	}
+	if want("engine") {
+		execs, reps := *engExecs, *engReps
+		if *quick {
+			execs, reps = 200, 2
+		}
+		runEngine(execs, reps, *engJSON)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
@@ -309,6 +320,14 @@ func runParallel(workers []int, execs int64, jsonPath string) {
 	rep := experiments.ParallelSweep(workers, execs)
 	fmt.Printf("   gomaxprocs=%d numcpu=%d program=%s seed=%d\n",
 		rep.GOMAXPROCS, rep.NumCPU, rep.Program, rep.Seed)
+	if rep.Warning != "" {
+		fmt.Fprintf(os.Stderr, "warning: %s\n", rep.Warning)
+	}
+	fmt.Printf("%-14s %12s %12s %12s\n", "single-thread", "executions", "elapsed", "execs/s")
+	for _, r := range rep.SingleThread {
+		fmt.Printf("%-14s %12d %12s %12.0f\n",
+			r.Program, r.Executions, fmtDur(r.Elapsed), r.ExecsPerSec)
+	}
 	fmt.Printf("%-6s %12s %12s %12s %9s\n", "p", "executions", "elapsed", "execs/s", "speedup")
 	for _, r := range rep.Rows {
 		fmt.Printf("%-6d %12d %12s %12.0f %8.2fx\n",
@@ -414,6 +433,47 @@ func runDist(workers []int, execs int64, jsonPath string) {
 			fmt.Sprintf("%.0f", r.ExecsPerSec),
 			fmt.Sprintf("%.3f", r.Speedup), fmt.Sprint(r.Identical))
 	}
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("   wrote %s\n", jsonPath)
+	}
+	fmt.Println()
+}
+
+func runEngine(execs int64, reps int, jsonPath string) {
+	fmt.Println("== Extension: engine fast-path throughput ==")
+	fmt.Println("   (single-thread run-to-completion executions, best of reps; speedup vs the")
+	fmt.Println("    same program's no-fastpath row; pre-PR baseline is a recorded constant)")
+	rep := experiments.EngineSweep(execs, reps)
+	fmt.Printf("   gomaxprocs=%d numcpu=%d reps=%d\n", rep.GOMAXPROCS, rep.NumCPU, rep.Reps)
+	fmt.Printf("   pre-PR baseline (%s @ %s): %.0f execs/s, %.0f allocs/exec\n",
+		rep.Baseline.Program, rep.Baseline.Commit,
+		rep.Baseline.ExecsPerSec, rep.Baseline.AllocsPerExec)
+	fmt.Printf("%-12s %-16s %12s %12s %12s %12s %9s\n",
+		"program", "config", "executions", "best", "execs/s", "allocs/exec", "speedup")
+	csv := newCSV("engine", "program", "config", "executions", "best_seconds",
+		"execs_per_sec", "allocs_per_exec", "speedup")
+	defer csv.close()
+	for _, r := range rep.Rows {
+		fmt.Printf("%-12s %-16s %12d %12s %12.0f %12.1f %8.2fx\n",
+			r.Program, r.Config, r.Executions, fmtDur(r.Best),
+			r.ExecsPerSec, r.AllocsPerExec, r.Speedup)
+		csv.row(r.Program, r.Config, fmt.Sprint(r.Executions),
+			fmt.Sprintf("%.3f", r.Best.Seconds()),
+			fmt.Sprintf("%.0f", r.ExecsPerSec),
+			fmt.Sprintf("%.1f", r.AllocsPerExec),
+			fmt.Sprintf("%.3f", r.Speedup))
+	}
+	fmt.Printf("   speedup vs pre-PR baseline: %.2fx   reports identical (fastpath on/off): %v\n",
+		rep.SpeedupVsPrePR, rep.ReportsIdentical)
 	if jsonPath != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {

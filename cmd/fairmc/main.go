@@ -99,6 +99,7 @@ func main() {
 		confirm    = flag.Int("confirm", 3, "confirmation replays per finding (reproducibility verdict); 0 disables")
 		divRetries = flag.Int("div-retries", 2, "replay attempts before a diverging (nondeterministic) subtree is quarantined; 0 quarantines on first divergence")
 		noConform  = flag.Bool("no-conformance", false, "disable per-step conformance digests on prefix replays")
+		noFastPath = flag.Bool("no-fastpath", false, "disable the engine fast path (step batching, prefix memoization, engine pooling); reports are byte-identical either way")
 		progress   = flag.Bool("progress", false, "print a live telemetry line to stderr every 2s")
 		metricsOut = flag.String("metrics-out", "", "write the final deterministic run report (JSON) to this file")
 		eventsOut  = flag.String("events-out", "", "stream structured trace events (JSONL) to this file")
@@ -223,6 +224,7 @@ func main() {
 		// on the command line 0 plainly means none.
 		DivergenceRetries:  *divRetries,
 		DisableConformance: *noConform,
+		NoFastPath:         *noFastPath,
 	}
 	if *divRetries == 0 {
 		opts.DivergenceRetries = -1

@@ -1,0 +1,167 @@
+package fairmc_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"fairmc"
+	"fairmc/conc"
+	"fairmc/progs"
+)
+
+// The determinism suite pins the fast path's core contract: batching,
+// memoization, and pooling are pure speed — the deterministic run
+// report is byte-for-byte identical with the fast path on or off, at
+// any parallelism, and across a checkpoint/resume cycle. Fixtures
+// cover the three scheduler regimes: an exhaustive fair DFS
+// (spinloop), a quarantining search over a program that is not a
+// deterministic function of its schedule (nondet-counter), and a DPOR
+// reduction (where the memoized candidate sets feed sleep-set and
+// backtrack bookkeeping).
+
+func checkReport(t *testing.T, prog func(*conc.T), program string, opts fairmc.Options) ([]byte, *fairmc.Result) {
+	t.Helper()
+	res, err := fairmc.Check(prog, opts)
+	if err != nil {
+		t.Fatalf("%s: %v", program, err)
+	}
+	return encodeReport(t, res, program, opts), res
+}
+
+func lookupBody(t *testing.T, name string) func(*conc.T) {
+	t.Helper()
+	p, ok := progs.Lookup(name)
+	if !ok {
+		t.Fatalf("program %q missing", name)
+	}
+	return p.Body
+}
+
+// TestFastPathReportInvariance: the run report does not depend on the
+// fast path or on the worker count.
+func TestFastPathReportInvariance(t *testing.T) {
+	cases := []struct {
+		name     string
+		prog     func(*conc.T)
+		opts     fairmc.Options
+		parallel []int
+		// crossP additionally requires the report to be identical across
+		// parallelism levels. That holds for deterministic programs; a
+		// quarantining search legitimately partitions nondeterministic
+		// subtrees differently per worker count (sequential quarantine is
+		// per-subtree, prefix-parallel quarantine is per-prefix), so for
+		// those the suite pins fastpath on/off identity at each level.
+		crossP bool
+	}{
+		{"spinloop", lookupBody(t, "spinloop"), fairmc.Options{
+			Fair:         true,
+			ContextBound: -1,
+			MaxSteps:     10000,
+		}, []int{1, 4}, true},
+		{"nondet-counter", lookupBody(t, "nondet-counter"), fairmc.Options{
+			Fair:          true,
+			ContextBound:  -1,
+			MaxSteps:      10000,
+			MaxExecutions: 300,
+		}, []int{1, 4}, false},
+		// DPOR is sequential-only, so this fixture varies just the fast
+		// path. racyConc gives it a real race to reduce around.
+		{"dpor-racy", racyConc, fairmc.Options{
+			Fair:                   false,
+			ContextBound:           -1,
+			MaxSteps:               10000,
+			DPOR:                   true,
+			ContinueAfterViolation: true,
+		}, []int{1}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var ref []byte
+			for _, p := range tc.parallel {
+				if !tc.crossP {
+					ref = nil
+				}
+				for _, noFast := range []bool{false, true} {
+					opts := tc.opts
+					opts.Parallelism = p
+					opts.NoFastPath = noFast
+					data, _ := checkReport(t, tc.prog, tc.name, opts)
+					if ref == nil {
+						ref = data
+						continue
+					}
+					if !bytes.Equal(ref, data) {
+						t.Fatalf("run report differs at p=%d nofastpath=%v:\n%s\nvs\n%s",
+							p, noFast, ref, data)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFastPathCheckpointResume: a search interrupted at half its
+// executions, checkpointed with the fast path ON, and resumed with the
+// fast path OFF reproduces the uninterrupted report exactly — the
+// checkpoint format and options hash are fast-path-agnostic, and memo
+// state is never persisted (restored frames fall back to digest
+// validation).
+func TestFastPathCheckpointResume(t *testing.T) {
+	fixtures := []struct {
+		name string
+		prog func(*conc.T)
+		opts fairmc.Options
+	}{
+		{"spinloop", lookupBody(t, "spinloop"), fairmc.Options{
+			Fair:         true,
+			ContextBound: -1,
+			MaxSteps:     10000,
+		}},
+		{"nondet-counter", lookupBody(t, "nondet-counter"), fairmc.Options{
+			Fair:          true,
+			ContextBound:  -1,
+			MaxSteps:      10000,
+			MaxExecutions: 300,
+		}},
+	}
+	for _, fx := range fixtures {
+		t.Run(fx.name, func(t *testing.T) {
+			opts := fx.opts
+			opts.ProgramName = fx.name
+			want, res := checkReport(t, fx.prog, fx.name, opts)
+			if res.Executions < 4 {
+				t.Fatalf("fixture too small to split: %d executions", res.Executions)
+			}
+
+			path := filepath.Join(t.TempDir(), "search.ckpt")
+			first := opts
+			first.MaxExecutions = res.Executions / 2
+			first.CheckpointPath = path
+			rep1, err := fairmc.Check(fx.prog, first)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep1.ExecBounded {
+				t.Fatalf("first phase did not stop on the execution budget: %+v", rep1.Report)
+			}
+			ck, err := fairmc.LoadCheckpoint(path)
+			if err != nil {
+				t.Fatalf("loading checkpoint: %v", err)
+			}
+			second := opts
+			second.CheckpointPath = path
+			second.Resume = ck
+			second.NoFastPath = true // cross the boundary: resume on the slow path
+			resumed, err := fairmc.Check(fx.prog, second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := encodeReport(t, resumed, fx.name, second)
+			if !bytes.Equal(want, got) {
+				t.Fatalf("resumed run report differs from uninterrupted baseline:\n%s\nvs\n%s",
+					want, got)
+			}
+		})
+	}
+}

@@ -405,6 +405,7 @@ func ReplayVerified(prog func(*conc.T), schedule []engine.Alt, digests []StepDig
 		MaxSteps:      opts.MaxSteps,
 		RecordTrace:   true,
 		RecordDigests: true,
+		NoFastPath:    opts.NoFastPath,
 	})
 	// A not-schedulable step sets both diagnostics; keep returning the
 	// legacy *ReplayError for that case so existing errors.As callers
@@ -430,6 +431,7 @@ func RunOnce(prog func(*conc.T), opts Options) *ExecResult {
 		FairK:       opts.FairK,
 		MaxSteps:    opts.MaxSteps,
 		RecordTrace: true,
+		NoFastPath:  opts.NoFastPath,
 	})
 }
 

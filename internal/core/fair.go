@@ -49,6 +49,14 @@ type Fair struct {
 	d []tidset.Set // D(t)
 	s []tidset.Set // S(t)
 
+	// n is the number of registered threads. The slices above may be
+	// longer: Reset keeps their storage (and each element's bitset
+	// storage) so a pooled engine re-registers threads allocation-free,
+	// and AddThread re-initializes slots below len in place.
+	n int
+
+	scratch tidset.Set // per-step temporary, reused across OnStep calls
+
 	// yieldSeen[t] counts yielding transitions of t, for the k-th
 	// yield parameterization at the end of §3 of the paper: window
 	// boundaries are processed only at every k-th yield.
@@ -92,35 +100,67 @@ func NewFair(nthreads, k int) *Fair {
 // fairness guarantee (Theorem 1) and the no-false-deadlock guarantee
 // (Theorem 3) are preserved.
 func (f *Fair) AddThread(t tidset.Tid) {
-	if int(t) != len(f.p) {
-		panic(fmt.Sprintf("core: AddThread(%d), want next id %d", t, len(f.p)))
+	if int(t) != f.n {
+		panic(fmt.Sprintf("core: AddThread(%d), want next id %d", t, f.n))
 	}
 	f.universe.Add(t)
-	for u := range f.p {
+	for u := 0; u < f.n; u++ {
 		f.s[u].Add(t)
 		f.d[u].Add(t)
 	}
-	f.p = append(f.p, tidset.Set{})
-	f.e = append(f.e, tidset.Set{})
-	f.d = append(f.d, f.universe.Clone())
-	f.s = append(f.s, f.universe.Clone())
-	f.yieldSeen = append(f.yieldSeen, 0)
+	if f.n < len(f.p) {
+		// Reuse the storage a Reset retained for this slot.
+		f.p[f.n].Clear()
+		f.e[f.n].Clear()
+		f.d[f.n].CopyFrom(f.universe)
+		f.s[f.n].CopyFrom(f.universe)
+		f.yieldSeen[f.n] = 0
+	} else {
+		f.p = append(f.p, tidset.Set{})
+		f.e = append(f.e, tidset.Set{})
+		f.d = append(f.d, f.universe.Clone())
+		f.s = append(f.s, f.universe.Clone())
+		f.yieldSeen = append(f.yieldSeen, 0)
+	}
+	f.n++
+}
+
+// Reset returns f to the state NewFair(0, k) would produce, keeping
+// all backing storage so a pooled engine can rebuild the scheduler
+// state for its next execution without allocating.
+func (f *Fair) Reset(k int) {
+	if k < 1 {
+		panic(fmt.Sprintf("core: yield parameter k = %d, want >= 1", k))
+	}
+	f.k = k
+	f.n = 0
+	f.universe.Clear()
+	f.edgeAdds = 0
+	f.edgeErases = 0
 }
 
 // NumThreads returns the number of threads registered so far.
-func (f *Fair) NumThreads() int { return len(f.p) }
+func (f *Fair) NumThreads() int { return f.n }
 
 // Schedulable returns T = ES \ pre(P, ES): the enabled threads not
 // priority-blocked by another enabled thread. By Theorem 3 the result
 // is empty iff es is empty.
 func (f *Fair) Schedulable(es tidset.Set) tidset.Set {
-	t := es.Clone()
+	var t tidset.Set
+	f.SchedulableInto(&t, es)
+	return t
+}
+
+// SchedulableInto is Schedulable writing into dst's storage, for hot
+// loops that compute T every step. Returns *dst for convenience.
+func (f *Fair) SchedulableInto(dst *tidset.Set, es tidset.Set) tidset.Set {
+	dst.CopyFrom(es)
 	es.ForEach(func(x tidset.Tid) {
-		if int(x) < len(f.p) && !f.p[x].Intersect(es).Empty() {
-			t.Remove(x)
+		if int(x) < f.n && f.p[x].Intersects(es) {
+			dst.Remove(x)
 		}
 	})
-	return t
+	return *dst
 }
 
 // Blocked reports whether thread t, although enabled, is excluded from
@@ -128,7 +168,7 @@ func (f *Fair) Schedulable(es tidset.Set) tidset.Set {
 // context-bounded search uses this to avoid counting fairness-forced
 // context switches as preemptions (paper §4).
 func (f *Fair) Blocked(t tidset.Tid, es tidset.Set) bool {
-	return int(t) < len(f.p) && !f.p[t].Intersect(es).Empty()
+	return int(t) < f.n && f.p[t].Intersects(es)
 }
 
 // OnStep applies one iteration of Algorithm 1's update (lines 13–29)
@@ -142,20 +182,22 @@ func (f *Fair) Blocked(t tidset.Tid, es tidset.Set) bool {
 // added as {t}×H. Otherwise closed is false and h is the empty set.
 // Callers that only drive the scheduler may ignore both results.
 func (f *Fair) OnStep(t tidset.Tid, wasYield bool, esBefore, esAfter tidset.Set) (h tidset.Set, closed bool) {
-	if int(t) >= len(f.p) {
+	if int(t) >= f.n {
 		panic(fmt.Sprintf("core: OnStep for unknown thread %d", t))
 	}
 	// Line 13: next.P := curr.P \ (Tid × {t}) — drop edges with sink t,
 	// decreasing the relative priority of the just-scheduled thread.
-	for u := range f.p {
+	for u := 0; u < f.n; u++ {
 		if f.p[u].Contains(t) {
 			f.p[u].Remove(t)
 			f.edgeErases++
 		}
 	}
 	// Lines 14–22: window bookkeeping.
-	disabledNow := esBefore.Minus(esAfter)
-	for u := range f.p {
+	f.scratch.CopyFrom(esBefore)
+	f.scratch.MinusWith(esAfter)
+	disabledNow := f.scratch
+	for u := 0; u < f.n; u++ {
 		f.e[u].IntersectWith(esAfter)
 		f.s[u].Add(t)
 	}
@@ -174,9 +216,11 @@ func (f *Fair) OnStep(t tidset.Tid, wasYield bool, esBefore, esAfter tidset.Set)
 	// contains t and P stays irreflexive and acyclic (Theorem 3).
 	f.p[t].UnionWith(h)
 	f.edgeAdds += int64(h.Len())
-	f.e[t] = esAfter.Clone()
-	f.d[t] = tidset.Set{}
-	f.s[t] = tidset.Set{}
+	// In-place resets keep each slot's bitset storage across windows
+	// (and, through Reset, across pooled executions).
+	f.e[t].CopyFrom(esAfter)
+	f.d[t].Clear()
+	f.s[t].Clear()
 	return h, true
 }
 
@@ -186,12 +230,12 @@ func (f *Fair) EdgeStats() (adds, erases int64) { return f.edgeAdds, f.edgeErase
 
 // Priority reports whether the edge (t, u) is currently in P.
 func (f *Fair) Priority(t, u tidset.Tid) bool {
-	return int(t) < len(f.p) && f.p[t].Contains(u)
+	return int(t) < f.n && f.p[t].Contains(u)
 }
 
 // PrioritySuccessors returns a copy of {u | (t, u) ∈ P}.
 func (f *Fair) PrioritySuccessors(t tidset.Tid) tidset.Set {
-	if int(t) >= len(f.p) {
+	if int(t) >= f.n {
 		return tidset.Set{}
 	}
 	return f.p[t].Clone()
@@ -200,7 +244,7 @@ func (f *Fair) PrioritySuccessors(t tidset.Tid) tidset.Set {
 // Edges returns every edge of P in deterministic order.
 func (f *Fair) Edges() [][2]tidset.Tid {
 	var out [][2]tidset.Tid
-	for t := range f.p {
+	for t := 0; t < f.n; t++ {
 		f.p[t].ForEach(func(u tidset.Tid) {
 			out = append(out, [2]tidset.Tid{tidset.Tid(t), u})
 		})
@@ -238,7 +282,7 @@ func (f *Fair) Acyclic() bool {
 		grey  = 1
 		black = 2
 	)
-	color := make([]int, len(f.p))
+	color := make([]int, f.n)
 	var visit func(int) bool
 	visit = func(v int) bool {
 		color[v] = grey
@@ -256,7 +300,7 @@ func (f *Fair) Acyclic() bool {
 		color[v] = black
 		return ok
 	}
-	for v := range f.p {
+	for v := 0; v < f.n; v++ {
 		if color[v] == white && !visit(v) {
 			return false
 		}
@@ -268,7 +312,7 @@ func (f *Fair) Acyclic() bool {
 func (f *Fair) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "P=%v", f.Edges())
-	for t := range f.p {
+	for t := 0; t < f.n; t++ {
 		fmt.Fprintf(&b, " S(%d)=%v D(%d)=%v E(%d)=%v", t, f.s[t], t, f.d[t], t, f.e[t])
 	}
 	return b.String()

@@ -1,0 +1,42 @@
+package engine_test
+
+import (
+	"testing"
+
+	"fairmc/internal/engine"
+	"fairmc/progs"
+)
+
+// The allocation budget is a regression gate, not a target: the seed
+// engine spent 122 heap allocations per spinloop execution, and the
+// fast-path work (buffer reuse, fair-state reset, engine pooling)
+// brought that well under budget. CI fails this test if a change
+// creeps back over the seed's number.
+const spinloopAllocBudget = 122
+
+func spinloopCfg() engine.Config {
+	return engine.Config{Fair: true, RecordTrace: true}
+}
+
+func TestSpinLoopAllocBudget(t *testing.T) {
+	allocs := testing.AllocsPerRun(100, func() {
+		engine.Run(progs.SpinLoop, engine.RunToCompletionChooser{}, spinloopCfg())
+	})
+	if allocs > spinloopAllocBudget {
+		t.Fatalf("spinloop allocates %.0f per execution, budget is %d", allocs, spinloopAllocBudget)
+	}
+	t.Logf("spinloop: %.0f allocs/exec (budget %d)", allocs, spinloopAllocBudget)
+}
+
+func TestSpinLoopAllocBudgetPooled(t *testing.T) {
+	var pool engine.Pool
+	defer pool.Close()
+	pool.Run(progs.SpinLoop, engine.RunToCompletionChooser{}, spinloopCfg())
+	allocs := testing.AllocsPerRun(100, func() {
+		pool.Run(progs.SpinLoop, engine.RunToCompletionChooser{}, spinloopCfg())
+	})
+	if allocs > spinloopAllocBudget {
+		t.Fatalf("pooled spinloop allocates %.0f per execution, budget is %d", allocs, spinloopAllocBudget)
+	}
+	t.Logf("pooled spinloop: %.0f allocs/exec (budget %d)", allocs, spinloopAllocBudget)
+}

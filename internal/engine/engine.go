@@ -128,6 +128,12 @@ type Config struct {
 	// ExecIndex tags emitted events with the execution's index within
 	// its search, for correlating the event stream with the report.
 	ExecIndex int64
+	// NoFastPath disables the baton-passing fast path (fastpath.go) and
+	// forces the historical engine-mediated handshake for every step.
+	// The two paths make the identical decide/commit sequence in the
+	// identical order, so results are byte-for-byte the same; the flag
+	// exists as a bisection escape hatch and for the determinism suite.
+	NoFastPath bool
 }
 
 // DefaultMaxSteps bounds executions when Config.MaxSteps is zero. The
@@ -138,8 +144,9 @@ const DefaultMaxSteps = 1 << 20
 type eventKind int8
 
 const (
-	evParked eventKind = iota
-	evExited
+	evParked  eventKind = iota
+	evExited            // thread's body returned (or unwound)
+	evStashed           // fast path: thread decided a terminal outcome inline
 )
 
 type event struct {
@@ -148,15 +155,22 @@ type event struct {
 }
 
 // Engine drives one execution of a model program. Create one per
-// execution with Run; an Engine must not be reused.
+// execution with Run, or reuse one across executions through a Pool
+// (pool.go); outside a Pool an Engine must not be reused.
 type Engine struct {
 	cfg     Config
 	chooser Chooser
 	fair    *core.Fair
 	threads []*thread
-	objects []Object
-	objMeta []ObjMeta
-	ready   chan event
+	thFree  []*thread // exited thread records recycled across pooled runs
+	// idleWorkers holds worker goroutines parked between jobs (pooled
+	// engines only). Pushes happen at evExited processing and pops at
+	// thread launch — both on the logical scheduler timeline, so no
+	// locking is needed (same ownership discipline as e.threads).
+	idleWorkers []*worker
+	objects     []Object
+	objMeta     []ObjMeta
+	ready       chan event
 	// aborting is read by model goroutines at scheduling points to
 	// unwind themselves. It is atomic because after a wedge the stuck
 	// goroutine runs concurrently with the scheduler and may observe
@@ -185,6 +199,21 @@ type Engine struct {
 	prevYielded bool
 	lastInfo    OpInfo // OpInfo of the last executed transition
 
+	// Fast-path state (fastpath.go). The granted-but-uncommitted step is
+	// the "pending" step: its commit runs when the granted thread reaches
+	// its next scheduling point (or exits).
+	fast      bool
+	pooled    bool         // drawn from a Pool: Result must own its slices
+	schedGate atomic.Int64 // 0 free, 1 inline section active, 2 watchdog poison
+	progress  atomic.Int64 // scheduling points completed (watchdog signal)
+	pendTh    *thread      // thread the pending step was granted to
+	pendAlt   Alt
+	pendYield bool
+	pendDig   StepDigest // pre-step digest of the pending step (RecordDigests)
+	stashOut  Outcome    // terminal outcome decided inline by a thread
+	inlineCnt int64      // steps granted without any goroutine handoff
+	handoffs  int64      // direct thread-to-thread baton handoffs
+
 	// Hot-path scratch: one execution makes one scheduling decision per
 	// step, so the per-step working storage is engine-owned and reused
 	// rather than reallocated (see candidates, loop, Fingerprint).
@@ -192,30 +221,58 @@ type Engine struct {
 	ctxBuf   ChooseContext // the context handed to the chooser
 	esBuf    tidset.Set    // enabled set at the top of a step
 	esAfter  tidset.Set    // enabled set after a step
+	schedBuf tidset.Set    // fair-schedulable set for the current step
 	fpBuf    []byte        // canonical state encoding scratch
 	digBuf   []byte        // conformance-digest encoding scratch
+	// esReady means esAfter holds the enabled set commit just computed
+	// and no user code has run since, so the next decide reuses it as
+	// its ES instead of recomputing the identical set.
+	esReady bool
 }
 
 // Run executes the program whose main thread runs body, resolving all
 // nondeterminism through chooser, and returns the execution's Result.
 func Run(body func(*T), chooser Chooser, cfg Config) *Result {
+	normalize(&cfg)
+	return newEngine(chooser, cfg).run(body)
+}
+
+// normalize fills the Config defaults both Run and Pool.Run apply.
+func normalize(cfg *Config) {
 	if cfg.FairK <= 0 {
 		cfg.FairK = 1
 	}
 	if cfg.MaxSteps <= 0 {
 		cfg.MaxSteps = DefaultMaxSteps
 	}
+}
+
+func newEngine(chooser Chooser, cfg Config) *Engine {
 	e := &Engine{
 		cfg:     cfg,
 		chooser: chooser,
 		ready:   make(chan event, 1),
 		prevTid: tidset.None,
+		fast:    !cfg.NoFastPath,
 	}
 	if cfg.Fair {
 		e.fair = core.NewFair(0, cfg.FairK)
 	}
+	return e
+}
+
+// run drives one execution on a prepared engine.
+func (e *Engine) run(body func(*T)) *Result {
 	e.newThread("main", body, nil)
-	outcome := e.loop()
+	if e.cfg.Monitor != nil {
+		e.cfg.Monitor.AfterInit(e)
+	}
+	var outcome Outcome
+	if e.fast {
+		outcome = e.loopFast()
+	} else {
+		outcome = e.loop()
+	}
 	// Build the result before abort unwinds the surviving threads:
 	// deadlock reporting needs their pending operations.
 	r := e.result(outcome)
@@ -223,18 +280,28 @@ func Run(body func(*T), chooser Chooser, cfg Config) *Result {
 	return r
 }
 
-// newThread allocates a thread record in embryo state. parent is nil
+// newThread allocates a thread record in embryo state, recycling a
+// record from a previous pooled run when one is free. parent is nil
 // for the main thread.
 func (e *Engine) newThread(name string, body func(*T), parent *thread) *thread {
-	th := &thread{
-		id:     tidset.Tid(len(e.threads)),
-		name:   name,
-		body:   body,
-		status: statusEmbryo,
-		resume: make(chan struct{}, 1),
-		parent: tidset.None,
-		armed:  parent == nil, // the main thread starts immediately
+	var th *thread
+	if n := len(e.thFree); n > 0 {
+		th = e.thFree[n-1]
+		e.thFree[n-1] = nil
+		e.thFree = e.thFree[:n-1]
+		// The resume channel is empty by construction (every grant was
+		// consumed before the previous run's abort returned), so only
+		// the channel survives the wipe.
+		*th = thread{resume: th.resume}
+	} else {
+		th = &thread{resume: make(chan struct{}, 1)}
 	}
+	th.id = tidset.Tid(len(e.threads))
+	th.name = name
+	th.body = body
+	th.status = statusEmbryo
+	th.parent = tidset.None
+	th.armed = parent == nil // the main thread starts immediately
 	th.pending = startOp{th: th}
 	if parent != nil {
 		th.parent = parent.id
@@ -274,144 +341,205 @@ func (e *Engine) liveCount() int {
 	return n
 }
 
-// loop is the scheduler: Algorithm 1's main loop with the Choose made
-// explicit through the Chooser.
+// loop is the legacy scheduler (Config.NoFastPath): Algorithm 1's main
+// loop with the Choose made explicit through the Chooser. The fast
+// path (fastpath.go) runs the same decide/commit sequence; only who
+// drives it differs.
 func (e *Engine) loop() Outcome {
-	if e.cfg.Monitor != nil {
-		e.cfg.Monitor.AfterInit(e)
-	}
 	for {
-		if e.violation != nil {
-			return Violation
+		alt, out, terminal := e.decide()
+		if terminal {
+			return out
 		}
-		if e.liveCount() == 0 {
-			return Terminated
-		}
-		if e.stepCount >= e.cfg.MaxSteps {
-			return Diverged
-		}
-		// Wall-clock deadline, amortized: one time.Now every 64 steps.
-		if !e.cfg.Deadline.IsZero() && e.stepCount&63 == 0 &&
-			time.Now().After(e.cfg.Deadline) {
-			e.deadlineHit = true
-			return Aborted
-		}
-		es := e.enabledSet(e.esBuf)
-		e.esBuf = es
-		var schedulable tidset.Set
-		if e.fair != nil {
-			schedulable = e.fair.Schedulable(es)
-			// schedulable ⊆ es, so the difference in size is exactly the
-			// number of enabled threads excluded by a priority edge here.
-			e.fairBlockedCnt += int64(es.Len() - schedulable.Len())
-			if e.cfg.CheckInvariants {
-				if !e.fair.Acyclic() {
-					panic("engine: priority relation P is cyclic (Theorem 3 violated)")
-				}
-				if schedulable.Empty() != es.Empty() {
-					panic("engine: T empty but ES nonempty (Theorem 3 violated)")
-				}
-			}
-		} else {
-			schedulable = es
-		}
-		if schedulable.Empty() {
-			return Deadlock
-		}
-		cands := e.candidates(schedulable)
-		e.ctxBuf = ChooseContext{
-			Step:        int(e.stepCount),
-			Cands:       cands,
-			PrevTid:     e.prevTid,
-			PrevYielded: e.prevYielded,
-			Engine:      e,
-		}
-		ctx := &e.ctxBuf
-		if e.prevTid != tidset.None {
-			ctx.PrevEnabled = es.Contains(e.prevTid)
-			if e.fair != nil {
-				ctx.PrevFairBlocked = ctx.PrevEnabled && e.fair.Blocked(e.prevTid, es)
-			}
-		}
-		e.choiceCnt++
-		e.candCnt += int64(len(cands))
-		alt, ok := e.chooser.Choose(ctx)
-		if !ok {
-			return Aborted
-		}
-		if err := validateAlt(alt, cands); err != nil {
-			panic(fmt.Sprintf("engine: chooser returned invalid alternative: %v", err))
-		}
-		if e.cfg.EventSink != nil {
-			e.cfg.EventSink.Emit(obs.Event{
-				Type: "schedule",
-				Exec: e.cfg.ExecIndex,
-				Step: e.stepCount,
-				Schedule: &obs.ScheduleEvent{
-					Tid:        int(alt.Tid),
-					Candidates: len(cands),
-					Enabled:    es.Len(),
-					Preemption: ctx.IsPreemption(alt),
-				},
-			})
-		}
-		// Digest the pre-step state now (executeStep mutates it), but
-		// append only alongside the schedule below, so a wedged step —
-		// absent from the schedule — leaves no digest either.
-		var dig StepDigest
-		if e.cfg.RecordDigests {
-			dig = e.StepDigest(cands, alt)
-		}
-		wasYield := e.executeStep(alt)
+		_, wasYield := e.prepare(alt)
+		e.executeStep(alt)
 		if e.wedge != nil {
 			// The granted step never completed: the thread is stuck in
 			// uncontrolled code. Do not record the step — a replay of
 			// the schedule so far reproduces the wedge-free prefix.
 			return Wedged
 		}
-		// Record the step before the violation check so that the
-		// schedule always includes the violating transition and a
-		// replay reproduces the violation.
-		esAfter := e.enabledSet(e.esAfter)
-		e.esAfter = esAfter
-		e.schedule = append(e.schedule, alt)
-		if e.cfg.RecordDigests {
-			e.digests = append(e.digests, dig)
-		}
-		if e.cfg.RecordTrace {
-			e.trace = append(e.trace, Step{
-				Alt:          alt,
-				Info:         e.lastInfo,
-				Yield:        wasYield,
-				EnabledAfter: esAfter.Len(),
-			})
-		}
-		e.stepCount++
-		if wasYield {
-			e.yieldCnt++
-		}
-		if e.violation != nil {
-			return Violation
-		}
-		if e.fair != nil {
-			h, windowClosed := e.fair.OnStep(alt.Tid, wasYield, es, esAfter)
-			if windowClosed && e.cfg.EventSink != nil {
-				hs := make([]int, 0, h.Len())
-				h.ForEach(func(u tidset.Tid) { hs = append(hs, int(u)) })
-				e.cfg.EventSink.Emit(obs.Event{
-					Type:  "yield",
-					Exec:  e.cfg.ExecIndex,
-					Step:  e.stepCount - 1,
-					Yield: &obs.YieldEvent{Tid: int(alt.Tid), H: hs},
-				})
-			}
-		}
-		e.prevTid = alt.Tid
-		e.prevYielded = wasYield
-		if e.cfg.Monitor != nil {
-			e.cfg.Monitor.AfterStep(e)
+		if out, done := e.commit(alt, wasYield); done {
+			return out
 		}
 	}
+}
+
+// decide runs the top half of a scheduling point: terminal-outcome
+// checks, enabled/schedulable set computation, candidate expansion,
+// and the chooser call. terminal = true means the execution is over
+// with outcome out; otherwise alt is the granted alternative. The
+// enabled set it computes stays in e.esBuf for the matching commit.
+func (e *Engine) decide() (alt Alt, out Outcome, terminal bool) {
+	if e.violation != nil {
+		return alt, Violation, true
+	}
+	if e.liveCount() == 0 {
+		return alt, Terminated, true
+	}
+	if e.stepCount >= e.cfg.MaxSteps {
+		return alt, Diverged, true
+	}
+	// Wall-clock deadline, amortized: one time.Now every 64 steps.
+	if !e.cfg.Deadline.IsZero() && e.stepCount&63 == 0 &&
+		time.Now().After(e.cfg.Deadline) {
+		e.deadlineHit = true
+		return alt, Aborted, true
+	}
+	var es tidset.Set
+	if e.esReady {
+		// The previous commit computed the post-step enabled set and no
+		// user code has run since (decide directly follows commit on
+		// both paths), so it is exactly this step's ES. Swap buffers:
+		// esAfter's storage becomes esBuf, which must survive to the
+		// matching commit, and the old esBuf is rebuilt there.
+		e.esBuf, e.esAfter = e.esAfter, e.esBuf
+		e.esReady = false
+		es = e.esBuf
+	} else {
+		es = e.enabledSet(e.esBuf)
+		e.esBuf = es
+	}
+	var schedulable tidset.Set
+	if e.fair != nil {
+		schedulable = e.fair.SchedulableInto(&e.schedBuf, es)
+		// schedulable ⊆ es, so the difference in size is exactly the
+		// number of enabled threads excluded by a priority edge here.
+		e.fairBlockedCnt += int64(es.Len() - schedulable.Len())
+		if e.cfg.CheckInvariants {
+			if !e.fair.Acyclic() {
+				panic("engine: priority relation P is cyclic (Theorem 3 violated)")
+			}
+			if schedulable.Empty() != es.Empty() {
+				panic("engine: T empty but ES nonempty (Theorem 3 violated)")
+			}
+		}
+	} else {
+		schedulable = es
+	}
+	if schedulable.Empty() {
+		return alt, Deadlock, true
+	}
+	cands := e.candidates(schedulable)
+	e.ctxBuf = ChooseContext{
+		Step:        int(e.stepCount),
+		Cands:       cands,
+		PrevTid:     e.prevTid,
+		PrevYielded: e.prevYielded,
+		Engine:      e,
+	}
+	ctx := &e.ctxBuf
+	if e.prevTid != tidset.None {
+		ctx.PrevEnabled = es.Contains(e.prevTid)
+		if e.fair != nil {
+			ctx.PrevFairBlocked = ctx.PrevEnabled && e.fair.Blocked(e.prevTid, es)
+		}
+	}
+	e.choiceCnt++
+	e.candCnt += int64(len(cands))
+	alt, ok := e.chooser.Choose(ctx)
+	if !ok {
+		return alt, Aborted, true
+	}
+	if err := validateAlt(alt, cands); err != nil {
+		panic(fmt.Sprintf("engine: chooser returned invalid alternative: %v", err))
+	}
+	if e.cfg.EventSink != nil {
+		e.cfg.EventSink.Emit(obs.Event{
+			Type: "schedule",
+			Exec: e.cfg.ExecIndex,
+			Step: e.stepCount,
+			Schedule: &obs.ScheduleEvent{
+				Tid:        int(alt.Tid),
+				Candidates: len(cands),
+				Enabled:    es.Len(),
+				Preemption: ctx.IsPreemption(alt),
+			},
+		})
+	}
+	// Digest the pre-step state now (executing the step mutates it),
+	// but append only in commit, alongside the schedule, so a wedged
+	// step — absent from the schedule — leaves no digest either.
+	if e.cfg.RecordDigests {
+		e.pendDig = e.StepDigest(cands, alt)
+	}
+	return alt, 0, false
+}
+
+// prepare applies the granted alternative to its thread's pending op
+// and does the engine-side per-step bookkeeping. It is the part of
+// granting a step that both paths share; actually waking the thread is
+// the caller's job.
+func (e *Engine) prepare(alt Alt) (th *thread, wasYield bool) {
+	th = e.threads[alt.Tid]
+	op := th.pending
+	if c, ok := op.(ChoiceOp); ok && alt.Arg >= 0 {
+		c.SetChoice(alt.Arg)
+	}
+	wasYield = op.Yielding()
+	e.lastInfo = op.Info()
+	// Per-thread accounting happens here, on the scheduler side of the
+	// handoff, so that result() never reads counters a wedged thread's
+	// goroutine might still be writing.
+	th.steps++
+	th.sinceLabel++
+	if wasYield {
+		th.yields++
+	}
+	return th, wasYield
+}
+
+// commit runs the bottom half of a scheduling point, after the granted
+// step executed: record it, then do the fairness and monitor
+// bookkeeping. done = true ends the execution with outcome out. The
+// enabled set in e.esBuf must still be the one decide computed for
+// this step.
+func (e *Engine) commit(alt Alt, wasYield bool) (out Outcome, done bool) {
+	// Record the step before the violation check so that the schedule
+	// always includes the violating transition and a replay reproduces
+	// the violation.
+	es := e.esBuf
+	esAfter := e.enabledSet(e.esAfter)
+	e.esAfter = esAfter
+	e.esReady = true
+	e.schedule = append(e.schedule, alt)
+	if e.cfg.RecordDigests {
+		e.digests = append(e.digests, e.pendDig)
+	}
+	if e.cfg.RecordTrace {
+		e.trace = append(e.trace, Step{
+			Alt:          alt,
+			Info:         e.lastInfo,
+			Yield:        wasYield,
+			EnabledAfter: esAfter.Len(),
+		})
+	}
+	e.stepCount++
+	if wasYield {
+		e.yieldCnt++
+	}
+	if e.violation != nil {
+		return Violation, true
+	}
+	if e.fair != nil {
+		h, windowClosed := e.fair.OnStep(alt.Tid, wasYield, es, esAfter)
+		if windowClosed && e.cfg.EventSink != nil {
+			hs := make([]int, 0, h.Len())
+			h.ForEach(func(u tidset.Tid) { hs = append(hs, int(u)) })
+			e.cfg.EventSink.Emit(obs.Event{
+				Type:  "yield",
+				Exec:  e.cfg.ExecIndex,
+				Step:  e.stepCount - 1,
+				Yield: &obs.YieldEvent{Tid: int(alt.Tid), H: hs},
+			})
+		}
+	}
+	e.prevTid = alt.Tid
+	e.prevYielded = wasYield
+	if e.cfg.Monitor != nil {
+		e.cfg.Monitor.AfterStep(e)
+	}
+	return 0, false
 }
 
 func validateAlt(alt Alt, cands []Alt) error {
@@ -458,35 +586,11 @@ func altLess(a, b Alt) bool {
 	return a.Arg < b.Arg
 }
 
-// executeStep grants one step to alt's thread and waits until the
-// thread parks again or exits. Returns whether the executed transition
-// was yielding.
-func (e *Engine) executeStep(alt Alt) bool {
+// executeStep (legacy path) wakes alt's prepared thread and waits
+// until it parks again or exits.
+func (e *Engine) executeStep(alt Alt) {
 	th := e.threads[alt.Tid]
-	op := th.pending
-	if c, ok := op.(ChoiceOp); ok && alt.Arg >= 0 {
-		c.SetChoice(alt.Arg)
-	}
-	wasYield := op.Yielding()
-	e.lastInfo = op.Info()
-	// Per-thread accounting happens here, on the engine side of the
-	// handoff, so that result() never reads counters a wedged thread's
-	// goroutine might still be writing.
-	th.steps++
-	th.sinceLabel++
-	if wasYield {
-		th.yields++
-	}
-	switch th.status {
-	case statusEmbryo:
-		th.status = statusRunning
-		go e.runThread(th)
-	case statusParked:
-		th.status = statusRunning
-		th.resume <- struct{}{}
-	default:
-		panic(fmt.Sprintf("engine: scheduling thread %d in status %s", th.id, th.status))
-	}
+	e.launch(th)
 	var ev event
 	if e.cfg.Watchdog > 0 {
 		if e.wdTimer == nil {
@@ -512,7 +616,7 @@ func (e *Engine) executeStep(alt Alt) bool {
 				LastOp: e.lastInfo,
 				Step:   e.stepCount,
 			}
-			return wasYield
+			return
 		}
 	} else {
 		ev = <-e.ready
@@ -522,11 +626,26 @@ func (e *Engine) executeStep(alt Alt) bool {
 		ev.th.status = statusParked
 	case evExited:
 		ev.th.status = statusExited
+		e.recycleWorker(ev.th)
 	}
 	if ev.th != th {
 		panic("engine: event from thread that was not scheduled")
 	}
-	return wasYield
+}
+
+// launch wakes a prepared thread: starts its goroutine (embryo) or
+// sends its resume token (parked).
+func (e *Engine) launch(th *thread) {
+	switch th.status {
+	case statusEmbryo:
+		th.status = statusRunning
+		e.startThread(th)
+	case statusParked:
+		th.status = statusRunning
+		th.resume <- struct{}{}
+	default:
+		panic(fmt.Sprintf("engine: scheduling thread %d in status %s", th.id, th.status))
+	}
 }
 
 // park publishes op as th's pending transition and blocks until the
@@ -537,6 +656,10 @@ func (e *Engine) park(th *thread, op Op) {
 		panic(killSentinel{})
 	}
 	th.pending = op
+	if e.fast {
+		e.parkFast(th)
+		return
+	}
 	for {
 		if e.aborting.Load() {
 			// Covers a wedged thread completing a continuation after the
@@ -557,29 +680,47 @@ func (e *Engine) park(th *thread, op Op) {
 	}
 }
 
-// runThread is the top of every model goroutine: it runs the body,
-// converts panics into violations or clean unwinds, and always
-// reports exit to the scheduler.
+// runThread is the top of a single-use model goroutine: it runs the
+// body, converts panics into violations or clean unwinds, and always
+// reports exit to the scheduler. Pooled engines run bodies on reusable
+// worker goroutines instead (worker.go), which share this defer via
+// finishThread.
 func (e *Engine) runThread(th *thread) {
 	defer func() {
 		if r := recover(); r != nil {
-			if _, ok := r.(killSentinel); !ok {
-				// A genuine panic in the thread body is a safety
-				// violation (unless one was already recorded by Failf,
-				// which panics killSentinel).
-				if e.violation == nil {
-					e.violation = &ViolationInfo{
-						Tid:     th.id,
-						Msg:     fmt.Sprint(r),
-						IsPanic: true,
-						Stack:   string(debug.Stack()),
-					}
-				}
-			}
+			e.recoverBody(th, r)
 		}
-		e.ready <- event{kind: evExited, th: th}
+		e.finishThread(th)
 	}()
 	th.body(&T{e: e, th: th})
+}
+
+// finishThread reports a completed body to the scheduler. On the fast
+// path the dying goroutine runs the scheduling point itself (exitFast);
+// when that is not possible — legacy path, abort in progress, poisoned
+// gate — it falls back to the engine-mediated exit event.
+func (e *Engine) finishThread(th *thread) {
+	if e.fast && e.exitFast(th) {
+		return
+	}
+	e.ready <- event{kind: evExited, th: th}
+}
+
+// recoverBody converts a panic that unwound a thread body into a
+// safety violation — unless it is the engine's own kill sentinel, or a
+// violation was already recorded by Failf (which panics killSentinel).
+func (e *Engine) recoverBody(th *thread, r any) {
+	if _, ok := r.(killSentinel); ok {
+		return
+	}
+	if e.violation == nil {
+		e.violation = &ViolationInfo{
+			Tid:     th.id,
+			Msg:     fmt.Sprint(r),
+			IsPanic: true,
+			Stack:   string(debug.Stack()),
+		}
+	}
 }
 
 // fail records a safety violation on behalf of th and unwinds its
@@ -621,6 +762,7 @@ func (e *Engine) drainUntilExit(th *thread) {
 	for {
 		ev := <-e.ready
 		if ev.th == th && ev.kind == evExited {
+			e.recycleWorker(th)
 			return
 		}
 		if e.wedge != nil && ev.th.id == e.wedge.Tid {
@@ -649,6 +791,14 @@ func (e *Engine) result(outcome Outcome) *Result {
 		Yields:      e.yieldCnt,
 		FairBlocked: e.fairBlockedCnt,
 	}
+	if e.pooled {
+		// A pooled engine reuses its step buffers on the next run, so
+		// the Result must own copies. A single-use engine keeps the
+		// historical aliasing: the buffers die with it.
+		r.Schedule = append([]Alt(nil), e.schedule...)
+		r.Trace = append([]Step(nil), e.trace...)
+		r.Digests = append([]StepDigest(nil), e.digests...)
+	}
 	if e.fair != nil {
 		r.EdgeAdds, r.EdgeErases = e.fair.EdgeStats()
 	}
@@ -661,6 +811,8 @@ func (e *Engine) result(outcome Outcome) *Result {
 			FairBlocked: e.fairBlockedCnt,
 			EdgeAdds:    r.EdgeAdds,
 			EdgeErases:  r.EdgeErases,
+			InlineSteps: e.inlineCnt,
+			Handoffs:    e.handoffs,
 			Outcome:     outcome.String(),
 		})
 	}

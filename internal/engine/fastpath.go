@@ -1,0 +1,316 @@
+package engine
+
+import (
+	"runtime"
+	"time"
+)
+
+// The fast path removes the engine goroutine from the per-step hot
+// path. In the legacy handshake every scheduling point costs two
+// channel handoffs and two goroutine context switches: the thread
+// parks (ready <-), the engine decides, the engine wakes someone
+// (resume <-). But exactly one model goroutine logically runs at a
+// time, so the running thread can carry the scheduling baton itself:
+// at its own park it commits the step it just finished, decides the
+// next one, and
+//
+//   - keeps running when it granted itself the next step (zero
+//     handoffs — the batching win: a thread with the only schedulable
+//     transition executes a whole run of steps inline),
+//   - hands the baton directly to the next thread (one handoff
+//     instead of two), or
+//   - stashes a terminal outcome and wakes the engine goroutine.
+//
+// The engine goroutine only participates at spawn-free boundaries:
+// thread exits (the dying goroutine cannot decide on behalf of the
+// program) and terminal outcomes. Both paths execute the identical
+// decide/prepare/commit sequence in the identical order, so
+// schedules, digests, traces, events, and counters are byte-for-byte
+// the same with the fast path on or off.
+//
+// Concurrency protocol. Engine state is only touched inside "inline
+// sections" guarded by e.schedGate (a tiny CAS lock): the baton holder
+// holds it for the duration of one commit/decide/grant and never
+// across user code, and baton handoffs (channel send/receive pairs and
+// go statements) give the happens-before edges that order one
+// section after the previous one. The only concurrent party is the
+// watchdog in e.await: it watches e.progress, and on a stall poisons
+// the gate (CAS 0→2) so no further section can start, which makes
+// declaring the wedge race-free. A genuine wedge always happens in
+// user code — never inside a section — so the poison CAS succeeds
+// exactly when the baton holder is stuck.
+
+// enterSection acquires the scheduling gate for an inline section.
+// Model threads never contend with each other for it (one baton); the
+// loop only spins when the watchdog poisoned the gate, in which case
+// the thread unwinds as soon as the abort flag is up.
+func (e *Engine) enterSection() {
+	if !e.tryEnterSection() {
+		panic(killSentinel{})
+	}
+}
+
+// Sections end with e.progress.Add(1) followed by e.schedGate.Store(0)
+// at each site; the progress bump must precede the release because the
+// watchdog re-checks progress after poisoning the gate and must see
+// the bump of any section that completed first.
+
+// parkFast is the fast-path park loop: the running thread, arriving at
+// its next scheduling point with th.pending already published, drives
+// the scheduler itself.
+func (e *Engine) parkFast(th *thread) {
+	for {
+		e.enterSection()
+		// From here the thread is logically parked at its scheduling
+		// point — observable state (fingerprints encode thread status)
+		// must match the slow path's evParked handling exactly.
+		th.status = statusParked
+		// Commit the step that granted us this window: its
+		// enabled-set-after must see our newly published pending op.
+		out, done := e.commit(e.pendAlt, e.pendYield)
+		if !done {
+			var alt Alt
+			var terminal bool
+			alt, out, terminal = e.decide()
+			if !terminal {
+				target, wasYield := e.prepare(alt)
+				e.setPending(target, alt, wasYield)
+				if target == th {
+					// Self-grant: continue executing with no handoff.
+					th.status = statusRunning
+					e.inlineCnt++
+					e.progress.Add(1)
+					e.schedGate.Store(0)
+					cur := th.pending
+					cont := cur.Execute()
+					if cont == nil {
+						return
+					}
+					th.pending = cont
+					continue
+				}
+				// Direct baton handoff to another thread. All engine
+				// state is settled before the gate is released; the
+				// wake itself happens outside the section (a buffered
+				// send or a go statement — never blocking).
+				e.handoffs++
+				embryo := target.status == statusEmbryo
+				target.status = statusRunning
+				e.progress.Add(1)
+				e.schedGate.Store(0)
+				if embryo {
+					e.startThread(target)
+				} else {
+					target.resume <- struct{}{}
+				}
+				e.waitResume(th)
+				cur := th.pending
+				cont := cur.Execute()
+				if cont == nil {
+					return
+				}
+				th.pending = cont
+				continue
+			}
+		}
+		// Terminal outcome decided on a thread: stash it for the
+		// engine goroutine and park for good (only abort wakes us).
+		e.stashOut = out
+		e.progress.Add(1)
+		e.schedGate.Store(0)
+		e.ready <- event{kind: evStashed, th: th}
+		e.waitResume(th)
+		panic("engine: stashed thread resumed outside abort")
+	}
+}
+
+// exitFast is parkFast's counterpart at a thread's death: the dying
+// goroutine — still perfectly able to run one more inline section —
+// carries the baton across its own exit instead of bouncing through
+// the engine goroutine. It commits the step that was granted to the
+// thread, decides the next one, and either hands the baton to the next
+// thread or stashes the terminal outcome. Returns false when the
+// section cannot be entered (abort in progress or gate poisoned); the
+// caller then falls back to the engine-mediated evExited handshake,
+// which the abort drain expects.
+func (e *Engine) exitFast(th *thread) bool {
+	if !e.tryEnterSection() {
+		return false
+	}
+	th.status = statusExited
+	if e.pendTh != th {
+		panic("engine: exiting thread was not the scheduled thread")
+	}
+	// Requeue this goroutine's worker before deciding: a spawn granted
+	// below may reuse it (its job channel is buffered, so handing a
+	// body to a worker that is still unwinding here never blocks).
+	e.recycleWorker(th)
+	out, done := e.commit(e.pendAlt, e.pendYield)
+	if !done {
+		var alt Alt
+		var terminal bool
+		alt, out, terminal = e.decide()
+		if !terminal {
+			// th is exited and never a candidate, so target != th.
+			target, wasYield := e.prepare(alt)
+			e.setPending(target, alt, wasYield)
+			e.handoffs++
+			embryo := target.status == statusEmbryo
+			target.status = statusRunning
+			e.progress.Add(1)
+			e.schedGate.Store(0)
+			if embryo {
+				e.startThread(target)
+			} else {
+				target.resume <- struct{}{}
+			}
+			return true
+		}
+	}
+	e.stashOut = out
+	e.progress.Add(1)
+	e.schedGate.Store(0)
+	e.ready <- event{kind: evStashed, th: th}
+	return true
+}
+
+// tryEnterSection is enterSection for callers that cannot unwind: it
+// reports failure instead of panicking when the engine is aborting.
+func (e *Engine) tryEnterSection() bool {
+	for {
+		// aborting is checked before the CAS: during the final abort the
+		// gate is free, and a section must never start concurrently with
+		// the teardown.
+		if e.aborting.Load() {
+			return false
+		}
+		if e.schedGate.CompareAndSwap(0, 1) {
+			return true
+		}
+		runtime.Gosched()
+	}
+}
+
+// waitResume blocks until this thread is granted again (by a baton
+// handoff, the engine goroutine, or the abort teardown).
+func (e *Engine) waitResume(th *thread) {
+	<-th.resume
+	if e.aborting.Load() {
+		panic(killSentinel{})
+	}
+}
+
+// setPending records the granted-but-uncommitted step; its commit runs
+// at the granted thread's next scheduling point (or on its exit).
+func (e *Engine) setPending(th *thread, alt Alt, wasYield bool) {
+	e.pendTh = th
+	e.pendAlt = alt
+	e.pendYield = wasYield
+}
+
+// loopFast is the engine goroutine's half of the fast path: grant the
+// first step, then absorb thread exits and stashed terminal outcomes
+// while the threads schedule each other.
+func (e *Engine) loopFast() Outcome {
+	alt, out, terminal := e.decide()
+	if terminal {
+		return out
+	}
+	th, wasYield := e.prepare(alt)
+	e.setPending(th, alt, wasYield)
+	e.progress.Add(1)
+	e.launch(th)
+	for {
+		ev, wedged := e.await()
+		if wedged {
+			return Wedged
+		}
+		switch ev.kind {
+		case evStashed:
+			// The stashing goroutine already settled ev.th's status:
+			// parked (parkFast) or exited (exitFast).
+			return e.stashOut
+		case evExited:
+			ev.th.status = statusExited
+			e.recycleWorker(ev.th)
+			if ev.th != e.pendTh {
+				panic("engine: exit event from thread that was not scheduled")
+			}
+			if out, done := e.commit(e.pendAlt, e.pendYield); done {
+				return out
+			}
+			alt, out, terminal := e.decide()
+			if terminal {
+				return out
+			}
+			th, wasYield := e.prepare(alt)
+			e.setPending(th, alt, wasYield)
+			e.progress.Add(1)
+			e.launch(th)
+		default:
+			panic("engine: unexpected park event on fast path")
+		}
+	}
+}
+
+// await waits for the next thread event, running the watchdog. A
+// single baton handoff is invisible to the engine goroutine, so the
+// fast-path watchdog watches the progress counter instead: when no
+// scheduling point completes for a full interval, the thread holding
+// the baton is stuck in uncontrolled code. Poisoning the gate before
+// declaring the wedge closes the race with a section that is just
+// starting or just finished.
+func (e *Engine) await() (event, bool) {
+	if e.cfg.Watchdog <= 0 {
+		return <-e.ready, false
+	}
+	if e.wdTimer == nil {
+		e.wdTimer = time.NewTimer(e.cfg.Watchdog)
+	} else {
+		e.wdTimer.Reset(e.cfg.Watchdog)
+	}
+	last := e.progress.Load()
+	for {
+		select {
+		case ev := <-e.ready:
+			if !e.wdTimer.Stop() {
+				<-e.wdTimer.C
+			}
+			return ev, false
+		case <-e.wdTimer.C:
+			p := e.progress.Load()
+			if p != last {
+				// Steps completed during the interval: not stuck.
+				last = p
+				e.wdTimer.Reset(e.cfg.Watchdog)
+				continue
+			}
+			if !e.schedGate.CompareAndSwap(0, 2) {
+				// A thread is inside an inline section right now, so
+				// progress is imminent; check again next interval.
+				e.wdTimer.Reset(e.cfg.Watchdog)
+				continue
+			}
+			if e.progress.Load() != p {
+				// A section completed between the progress check and
+				// the poison CAS: un-poison and keep waiting.
+				e.schedGate.Store(0)
+				last = e.progress.Load()
+				e.wdTimer.Reset(e.cfg.Watchdog)
+				continue
+			}
+			// Quiescent and poisoned: the pending step's thread never
+			// reached its next scheduling point. Flag abort first so
+			// the stuck goroutine unwinds itself if it ever wakes.
+			e.aborting.Store(true)
+			th := e.pendTh
+			e.wedge = &WedgeInfo{
+				Tid:    th.id,
+				Name:   th.name,
+				LastOp: e.lastInfo,
+				Step:   e.stepCount,
+			}
+			return event{}, true
+		}
+	}
+}

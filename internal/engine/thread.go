@@ -40,6 +40,7 @@ type thread struct {
 	pending Op   // valid while status is embryo or parked
 	armed   bool // spawn transition executed; start is schedulable
 	resume  chan struct{}
+	w       *worker // pooled engines: goroutine running this body
 
 	pc         int   // last Label() value, for state fingerprints
 	sinceLabel int   // transitions since the last Label (intra-label pc)

@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"bytes"
+	"runtime"
+	"time"
+
+	"fairmc"
+	"fairmc/conc"
+	"fairmc/internal/engine"
+	"fairmc/internal/search"
+	"fairmc/progs"
+)
+
+// EngineRow is one point of the engine-speed sweep: a fixed number of
+// run-to-completion executions of one subject, timed under one engine
+// configuration. Speedup is ExecsPerSec normalized to the same
+// subject's no-fastpath row, so it isolates what the fast path buys on
+// the hardware the sweep actually ran on.
+type EngineRow struct {
+	Program       string        `json:"program"`
+	Config        string        `json:"config"`
+	Executions    int64         `json:"executions"`
+	Best          time.Duration `json:"best_ns"`
+	ExecsPerSec   float64       `json:"execs_per_sec"`
+	AllocsPerExec float64       `json:"allocs_per_exec"`
+	Speedup       float64       `json:"speedup"`
+}
+
+// EngineBaseline is the pre-fast-path reference point this PR is
+// measured against. It is a recorded constant, not a rerun: the numbers
+// were measured with the same loop (spinloop, run-to-completion,
+// Fair+RecordTrace, best of reps) at the commit named in Commit, before
+// any fast-path code existed, on the same class of host the sweep
+// targets.
+type EngineBaseline struct {
+	Commit        string  `json:"commit"`
+	Program       string  `json:"program"`
+	ExecsPerSec   float64 `json:"execs_per_sec"`
+	AllocsPerExec float64 `json:"allocs_per_exec"`
+	Note          string  `json:"note"`
+}
+
+// EngineReport bundles the sweep with host facts, the recorded pre-PR
+// baseline, the headline SpeedupVsPrePR (the spinloop fastpath-pooled
+// row against the baseline), and ReportsIdentical — a search-level
+// check that the deterministic run report is byte-for-byte the same
+// with the fast path on and off.
+type EngineReport struct {
+	Reps             int            `json:"reps"`
+	GOMAXPROCS       int            `json:"gomaxprocs"`
+	NumCPU           int            `json:"num_cpu"`
+	Baseline         EngineBaseline `json:"pre_pr_baseline"`
+	Rows             []EngineRow    `json:"rows"`
+	SpeedupVsPrePR   float64        `json:"speedup_vs_pre_pr"`
+	ReportsIdentical bool           `json:"reports_identical"`
+}
+
+// engineSubject pairs a sweep subject with its body.
+type engineSubject struct {
+	name string
+	body func(*conc.T)
+}
+
+// EngineSweep times raw single-thread engine throughput — execs
+// run-to-completion executions per measurement, best wall clock of reps
+// kept — under three configurations: the legacy handshake
+// (no-fastpath), the baton-passing fast path on a fresh engine per
+// execution (fastpath), and the fast path drawing engines from a pool
+// (fastpath-pooled, the configuration searches actually use).
+func EngineSweep(execs int64, reps int) EngineReport {
+	if reps < 1 {
+		reps = 1
+	}
+	spin, ok := progs.Lookup("spinloop")
+	if !ok {
+		panic("experiments: spinloop subject missing")
+	}
+	subjects := []engineSubject{
+		{"spinloop", spin.Body},
+		{"wsq-2x2", progs.WorkStealingQueue(progs.WSQConfig{Items: 2, Stealers: 2})},
+	}
+	out := EngineReport{
+		Reps:       reps,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Baseline: EngineBaseline{
+			Commit:        "0b4bf92",
+			Program:       "spinloop",
+			ExecsPerSec:   46500,
+			AllocsPerExec: 122,
+			Note: "recorded constant: measured at the pre-fast-path seed commit " +
+				"with this sweep's spinloop loop (best of reps, single-CPU container)",
+		},
+	}
+	configs := []string{"no-fastpath", "fastpath", "fastpath-pooled"}
+	type key struct{ prog, cfg string }
+	best := make(map[key]time.Duration)
+	// Interleave configurations across reps so thermal and scheduler
+	// drift hit every configuration equally.
+	for rep := 0; rep < reps; rep++ {
+		for _, sub := range subjects {
+			for _, cfg := range configs {
+				d := timeEngineRuns(sub.body, cfg, execs)
+				k := key{sub.name, cfg}
+				if prev, seen := best[k]; !seen || d < prev {
+					best[k] = d
+				}
+			}
+		}
+	}
+	for _, sub := range subjects {
+		var basePerSec float64
+		for _, cfg := range configs {
+			d := best[key{sub.name, cfg}]
+			row := EngineRow{
+				Program:       sub.name,
+				Config:        cfg,
+				Executions:    execs,
+				Best:          d,
+				ExecsPerSec:   float64(execs) / d.Seconds(),
+				AllocsPerExec: engineAllocsPerExec(sub.body, cfg),
+			}
+			if basePerSec == 0 {
+				basePerSec = row.ExecsPerSec
+			}
+			row.Speedup = row.ExecsPerSec / basePerSec
+			out.Rows = append(out.Rows, row)
+			if sub.name == out.Baseline.Program && cfg == "fastpath-pooled" {
+				out.SpeedupVsPrePR = row.ExecsPerSec / out.Baseline.ExecsPerSec
+			}
+		}
+	}
+	out.ReportsIdentical = engineReportsIdentical(subjects, execs)
+	return out
+}
+
+// engineConfig is the measurement configuration: it matches the loop
+// the pre-PR baseline was recorded with (fair scheduling and trace
+// recording on, everything else default).
+func engineConfig(noFastPath bool) engine.Config {
+	return engine.Config{Fair: true, RecordTrace: true, NoFastPath: noFastPath}
+}
+
+// timeEngineRuns runs n run-to-completion executions under one
+// configuration and returns the wall clock.
+func timeEngineRuns(body func(*conc.T), cfg string, n int64) time.Duration {
+	ecfg := engineConfig(cfg == "no-fastpath")
+	start := time.Now()
+	if cfg == "fastpath-pooled" {
+		var pool engine.Pool
+		for i := int64(0); i < n; i++ {
+			pool.Run(body, engine.RunToCompletionChooser{}, ecfg)
+		}
+		pool.Close()
+	} else {
+		for i := int64(0); i < n; i++ {
+			engine.Run(body, engine.RunToCompletionChooser{}, ecfg)
+		}
+	}
+	return time.Since(start)
+}
+
+// engineAllocsPerExec measures steady-state heap allocations per
+// execution from malloc-counter deltas (the pooled row warms the pool
+// first so the one-time engine construction is excluded).
+func engineAllocsPerExec(body func(*conc.T), cfg string) float64 {
+	const n = 200
+	ecfg := engineConfig(cfg == "no-fastpath")
+	var pool *engine.Pool
+	if cfg == "fastpath-pooled" {
+		pool = &engine.Pool{}
+		pool.Run(body, engine.RunToCompletionChooser{}, ecfg)
+		defer pool.Close()
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < n; i++ {
+		if pool != nil {
+			pool.Run(body, engine.RunToCompletionChooser{}, ecfg)
+		} else {
+			engine.Run(body, engine.RunToCompletionChooser{}, ecfg)
+		}
+	}
+	runtime.ReadMemStats(&m1)
+	return float64(m1.Mallocs-m0.Mallocs) / n
+}
+
+// engineReportsIdentical runs the same execution-bounded random walk
+// with the fast path on and off on every subject and compares the
+// deterministic run reports byte for byte — the sweep's correctness
+// gate, not a throughput measurement.
+func engineReportsIdentical(subjects []engineSubject, execs int64) bool {
+	if execs > 500 {
+		execs = 500
+	}
+	for _, sub := range subjects {
+		opts := search.Options{
+			Fair:                    true,
+			RandomWalk:              true,
+			MaxExecutions:           execs,
+			MaxSteps:                1 << 14,
+			Seed:                    42,
+			Parallelism:             1,
+			ContinueAfterViolation:  true,
+			ContinueAfterDivergence: true,
+		}
+		fast := opts
+		slow := opts
+		slow.NoFastPath = true
+		encode := func(o search.Options) []byte {
+			rep := search.Explore(sub.body, o)
+			buf, err := (&fairmc.Result{Report: rep}).RunReport(sub.name, o).Encode()
+			if err != nil {
+				panic(err)
+			}
+			return buf
+		}
+		if !bytes.Equal(encode(fast), encode(slow)) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"fmt"
 	"runtime"
 	"time"
 
+	"fairmc/conc"
 	"fairmc/internal/search"
 	"fairmc/progs"
 )
@@ -22,15 +24,31 @@ type ParallelRow struct {
 	Speedup     float64       `json:"speedup"`
 }
 
+// SingleThreadRow is the sequential reference throughput of one
+// subject: a P=1 random walk over the same execution budget. These rows
+// anchor the sweep — parallel speedup only means something relative to
+// what one thread does on the same host.
+type SingleThreadRow struct {
+	Program     string        `json:"program"`
+	Executions  int64         `json:"executions"`
+	Elapsed     time.Duration `json:"elapsed_ns"`
+	ExecsPerSec float64       `json:"execs_per_sec"`
+}
+
 // ParallelReport bundles the sweep with the host facts a reader needs
 // to interpret it: with GOMAXPROCS=1 every row collapses to sequential
 // throughput and Speedup hovers around 1 regardless of Parallelism.
 type ParallelReport struct {
-	Program    string        `json:"program"`
-	Seed       uint64        `json:"seed"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	NumCPU     int           `json:"num_cpu"`
-	Rows       []ParallelRow `json:"rows"`
+	Program    string `json:"program"`
+	Seed       uint64 `json:"seed"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// Warning is set when the host cannot actually exercise the sweep's
+	// parallelism (NumCPU below the largest worker count): the speedup
+	// column then measures scheduling overhead, not scaling.
+	Warning      string            `json:"warning,omitempty"`
+	SingleThread []SingleThreadRow `json:"single_thread"`
+	Rows         []ParallelRow     `json:"rows"`
 }
 
 // ParallelSweep measures random-walk throughput of the work-stealing
@@ -44,6 +62,47 @@ func ParallelSweep(workers []int, execs int64) ParallelReport {
 		Seed:       42,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
+	}
+	maxW := 0
+	for _, p := range workers {
+		if p > maxW {
+			maxW = p
+		}
+	}
+	if out.NumCPU < maxW {
+		out.Warning = fmt.Sprintf(
+			"host has %d CPU(s) but the sweep asks for up to %d workers: "+
+				"rows collapse toward single-thread throughput and speedup is not meaningful",
+			out.NumCPU, maxW)
+	}
+	spin, ok := progs.Lookup("spinloop")
+	if !ok {
+		panic("experiments: spinloop subject missing")
+	}
+	singles := []struct {
+		name string
+		body func(*conc.T)
+	}{
+		{"spinloop", spin.Body},
+		{"wsq-2x2", body},
+	}
+	for _, sub := range singles {
+		rep := search.Explore(sub.body, search.Options{
+			Fair:                    true,
+			RandomWalk:              true,
+			MaxExecutions:           execs,
+			MaxSteps:                1 << 14,
+			Seed:                    out.Seed,
+			Parallelism:             1,
+			ContinueAfterViolation:  true,
+			ContinueAfterDivergence: true,
+		})
+		out.SingleThread = append(out.SingleThread, SingleThreadRow{
+			Program:     sub.name,
+			Executions:  rep.Executions,
+			Elapsed:     rep.Elapsed,
+			ExecsPerSec: float64(rep.Executions) / rep.Elapsed.Seconds(),
+		})
 	}
 	var base float64
 	for _, p := range workers {

@@ -167,6 +167,21 @@ type Metrics struct {
 	// WorkerRetries counts recovered parallel-worker crashes (each
 	// failed attempt counts once, whether or not the retry succeeded).
 	WorkerRetries Counter
+	// InlineSteps counts steps the engine fast path granted without any
+	// goroutine handoff (the running thread granted itself the next
+	// step); Handoffs counts direct thread-to-thread baton handoffs.
+	// Steps - InlineSteps - Handoffs is the engine-mediated remainder.
+	InlineSteps Counter
+	Handoffs    Counter
+	// EngineReuses counts executions that drew a recycled engine from a
+	// pool instead of allocating one (engine.Pool).
+	EngineReuses Counter
+	// PrefixHits counts replayed scheduling points validated against a
+	// memoized candidate snapshot (internal/search prefix memoization);
+	// PrefixMisses counts replayed points that fell back to recomputing
+	// the conformance digest.
+	PrefixHits   Counter
+	PrefixMisses Counter
 	// Checkpoints counts checkpoint files written.
 	Checkpoints Counter
 	// Frontier is the per-strategy frontier depth: the DFS stack depth
@@ -192,6 +207,8 @@ type ExecFlush struct {
 	FairBlocked int64
 	EdgeAdds    int64
 	EdgeErases  int64
+	InlineSteps int64
+	Handoffs    int64
 	// Outcome is the engine outcome's string form ("terminated",
 	// "deadlock", "violation", "diverged", "aborted", "wedged").
 	Outcome string
@@ -207,6 +224,8 @@ func (m *Metrics) FlushExec(f ExecFlush) {
 	m.FairBlocked.Add(f.FairBlocked)
 	m.EdgeAdds.Add(f.EdgeAdds)
 	m.EdgeErases.Add(f.EdgeErases)
+	m.InlineSteps.Add(f.InlineSteps)
+	m.Handoffs.Add(f.Handoffs)
 	m.ExecSteps.Observe(f.Steps)
 	switch f.Outcome {
 	case "terminated":
@@ -246,6 +265,11 @@ type Snapshot struct {
 	ReplayDivergences int64        `json:"replayDivergences"`
 	Quarantined       int64        `json:"quarantined"`
 	WorkerRetries     int64        `json:"workerRetries"`
+	InlineSteps       int64        `json:"inlineSteps"`
+	Handoffs          int64        `json:"handoffs"`
+	EngineReuses      int64        `json:"engineReuses"`
+	PrefixHits        int64        `json:"prefixHits"`
+	PrefixMisses      int64        `json:"prefixMisses"`
 	Checkpoints       int64        `json:"checkpoints"`
 	Frontier          int64        `json:"frontier"`
 	ExecSteps         []HistBucket `json:"execSteps,omitempty"`
@@ -275,6 +299,11 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		ReplayDivergences: s.ReplayDivergences - prev.ReplayDivergences,
 		Quarantined:       s.Quarantined - prev.Quarantined,
 		WorkerRetries:     s.WorkerRetries - prev.WorkerRetries,
+		InlineSteps:       s.InlineSteps - prev.InlineSteps,
+		Handoffs:          s.Handoffs - prev.Handoffs,
+		EngineReuses:      s.EngineReuses - prev.EngineReuses,
+		PrefixHits:        s.PrefixHits - prev.PrefixHits,
+		PrefixMisses:      s.PrefixMisses - prev.PrefixMisses,
 		Checkpoints:       s.Checkpoints - prev.Checkpoints,
 		Frontier:          s.Frontier,
 	}
@@ -312,6 +341,11 @@ func (m *Metrics) Merge(d Snapshot) {
 	m.ReplayDivergences.Add(d.ReplayDivergences)
 	m.Quarantined.Add(d.Quarantined)
 	m.WorkerRetries.Add(d.WorkerRetries)
+	m.InlineSteps.Add(d.InlineSteps)
+	m.Handoffs.Add(d.Handoffs)
+	m.EngineReuses.Add(d.EngineReuses)
+	m.PrefixHits.Add(d.PrefixHits)
+	m.PrefixMisses.Add(d.PrefixMisses)
 	m.Checkpoints.Add(d.Checkpoints)
 	for _, b := range d.ExecSteps {
 		idx := 63 // open-ended overflow bucket
@@ -348,6 +382,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		ReplayDivergences: m.ReplayDivergences.Load(),
 		Quarantined:       m.Quarantined.Load(),
 		WorkerRetries:     m.WorkerRetries.Load(),
+		InlineSteps:       m.InlineSteps.Load(),
+		Handoffs:          m.Handoffs.Load(),
+		EngineReuses:      m.EngineReuses.Load(),
+		PrefixHits:        m.PrefixHits.Load(),
+		PrefixMisses:      m.PrefixMisses.Load(),
 		Checkpoints:       m.Checkpoints.Load(),
 		Frontier:          m.Frontier.Load(),
 		ExecSteps:         m.ExecSteps.Buckets(),

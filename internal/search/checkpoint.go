@@ -287,7 +287,8 @@ func optionsHash(o *Options) uint64 {
 	// DisableConformance is semantic: it changes which subtrees get
 	// quarantined, hence the explored tree. DivergenceRetries and
 	// ConfirmRuns are operational (retry/confirmation effort) and may
-	// change across a resume.
+	// change across a resume — as is NoFastPath, which by construction
+	// does not change any explored schedule or report byte.
 	b(o.DisableConformance)
 	return h.Sum64()
 }

@@ -116,6 +116,7 @@ func reproduceResult(prog func(*engine.T), opts *Options, r *engine.Result) (*en
 		RecordTrace:   true,
 		RecordDigests: true,
 		Watchdog:      opts.Watchdog,
+		NoFastPath:    opts.NoFastPath,
 	})
 	if ch.Err != nil || ch.Div != nil || rr.Outcome != r.Outcome {
 		return r, false
@@ -150,10 +151,11 @@ func confirmResult(prog func(*engine.T), opts *Options, r *engine.Result, n int)
 	for i := 0; i < n; i++ {
 		ch := &engine.ReplayChooser{Schedule: r.Schedule, Digests: r.Digests, Strict: true}
 		rr := engine.Run(prog, ch, engine.Config{
-			Fair:     opts.Fair,
-			FairK:    opts.FairK,
-			MaxSteps: opts.MaxSteps,
-			Watchdog: opts.Watchdog,
+			Fair:       opts.Fair,
+			FairK:      opts.FairK,
+			MaxSteps:   opts.MaxSteps,
+			Watchdog:   opts.Watchdog,
+			NoFastPath: opts.NoFastPath,
 		})
 		var fail string
 		switch {

@@ -279,7 +279,17 @@ func exploreStride(prog func(*engine.T), opts Options) *Report {
 		Deadline:    deadline,
 		Metrics:     opts.Metrics,
 		EventSink:   opts.EventSink,
+		NoFastPath:  opts.NoFastPath,
 	}
+	// One engine pool per worker slot, living across rounds. Pools are
+	// single-owner: worker w of every round is the only goroutine that
+	// touches pools[w], and rounds are separated by the WaitGroup.
+	pools := make([]engine.Pool, p)
+	defer func() {
+		for i := range pools {
+			pools[i].Close()
+		}
+	}()
 
 	lastCkpt := start
 	done := false
@@ -336,8 +346,8 @@ loop:
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				recs[w] = strideWorker(prog, &opts, cfg, recs[w][:0], base, hi, w,
-					needBugRepro, needDivRepro, needWedgeRepro, fails)
+				recs[w] = strideWorker(prog, &opts, cfg, &pools[w], recs[w][:0],
+					base, hi, w, needBugRepro, needDivRepro, needWedgeRepro, fails)
 			}(w)
 		}
 		wg.Wait()
@@ -438,14 +448,14 @@ loop:
 // candidate the ordered merge can select from this worker. A crashing
 // index is retried once, then marked skipped.
 func strideWorker(prog func(*engine.T), opts *Options, cfg engine.Config,
-	buf []strideRec, base, hi int64, w int,
+	pool *engine.Pool, buf []strideRec, base, hi int64, w int,
 	needBug, needDiv, needWedge bool, fails *failSink) []strideRec {
 	p := int64(opts.Parallelism)
 	for i := base + 1 + int64(w); i <= hi; i += p {
 		var rec strideRec
 		ok := false
 		for attempt := 1; attempt <= workerAttempts && !ok; attempt++ {
-			rec, ok = runStrideIndex(prog, opts, cfg, i, attempt,
+			rec, ok = runStrideIndex(prog, opts, cfg, pool, i, attempt,
 				needBug, needDiv, needWedge, fails)
 		}
 		if !ok {
@@ -470,7 +480,7 @@ func strideWorker(prog func(*engine.T), opts *Options, cfg engine.Config,
 // crash anywhere in the engine/searcher machinery into a recorded
 // WorkerFailure instead of a process abort.
 func runStrideIndex(prog func(*engine.T), opts *Options, cfg engine.Config,
-	i int64, attempt int, needBug, needDiv, needWedge bool,
+	pool *engine.Pool, i int64, attempt int, needBug, needDiv, needWedge bool,
 	fails *failSink) (rec strideRec, ok bool) {
 	defer func() {
 		if p := recover(); p != nil {
@@ -484,7 +494,12 @@ func runStrideIndex(prog func(*engine.T), opts *Options, cfg engine.Config,
 		h("stride", i)
 	}
 	cfg.ExecIndex = i // cfg is this call's copy
-	r := engine.Run(prog, newStrideChooser(opts, i), cfg)
+	var r *engine.Result
+	if opts.NoFastPath {
+		r = engine.Run(prog, newStrideChooser(opts, i), cfg)
+	} else {
+		r = pool.Run(prog, newStrideChooser(opts, i), cfg)
+	}
 	rec = strideRec{steps: r.Steps, outcome: r.Outcome, deadline: r.DeadlineExceeded,
 		yields: r.Yields, edgeAdds: r.EdgeAdds, edgeErases: r.EdgeErases,
 		fairBlocked: r.FairBlocked}
@@ -617,6 +632,8 @@ func splitFrontier(prog func(*engine.T), opts Options, target int) []*prefixNode
 	frontier := []*prefixNode{{}}
 	replays := 0
 	replayCap := 8*target + 64
+	var pool engine.Pool
+	defer pool.Close()
 	for len(frontier) < target && replays < replayCap {
 		// Expand the shallowest non-leaf prefix; ties break toward the
 		// DFS-earliest so expansion order is deterministic.
@@ -632,12 +649,19 @@ func splitFrontier(prog func(*engine.T), opts Options, target int) []*prefixNode
 		pfx := frontier[idx]
 		replays++
 		c := &expandChooser{opts: &opts, sched: pfx.sched, digs: pfx.digs}
-		r := engine.Run(prog, c, engine.Config{
-			Fair:     opts.Fair,
-			FairK:    opts.FairK,
-			MaxSteps: opts.MaxSteps,
-			Watchdog: opts.Watchdog,
-		})
+		ecfg := engine.Config{
+			Fair:       opts.Fair,
+			FairK:      opts.FairK,
+			MaxSteps:   opts.MaxSteps,
+			Watchdog:   opts.Watchdog,
+			NoFastPath: opts.NoFastPath,
+		}
+		var r *engine.Result
+		if opts.NoFastPath {
+			r = engine.Run(prog, c, ecfg)
+		} else {
+			r = pool.Run(prog, c, ecfg)
+		}
 		if c.div != nil {
 			// The expansion replay stopped conforming: splitting below a
 			// state the program does not reproduce would partition a
@@ -696,6 +720,7 @@ func exploreSubtree(prog func(*engine.T), opts Options, pfx *prefixNode,
 	}
 	s.fixed = len(s.stack)
 	s.run()
+	s.pool.Close()
 	s.report.Elapsed = time.Since(s.start)
 	return &s.report
 }

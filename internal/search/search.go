@@ -173,6 +173,14 @@ type Options struct {
 	// returns with Report.Interrupted set. This is how cmd/fairmc
 	// turns SIGINT/SIGTERM into a clean, resumable stop.
 	Stop <-chan struct{}
+	// NoFastPath disables the engine fast path and everything built on
+	// it: step batching (threads carry the scheduling baton inline),
+	// engine pooling across executions, and the searcher's prefix
+	// memoization. Purely operational — reports are byte-identical with
+	// the fast path on or off, so this is a bisection escape hatch, not
+	// a semantic switch (it is excluded from the checkpoint options
+	// hash: a search may be resumed with the opposite setting).
+	NoFastPath bool
 	// Metrics, if non-nil, is the live telemetry registry every engine
 	// run and searcher decision updates (internal/obs). Safe with any
 	// Parallelism (updates are atomic) and with checkpointing (the
@@ -296,7 +304,24 @@ type frame struct {
 	// many of this frame's alternatives have had backtrack analysis.
 	full     []engine.Alt
 	analyzed int
+	// Prefix memo: an owned snapshot of the full unfiltered candidate
+	// set and each candidate's pending op, captured when this choice
+	// point was first expanded. A replay that matches it structurally
+	// has validated strictly more than the digest compare (CandsDigest
+	// is a pure function of exactly these values), so it skips the
+	// digest re-encoding. Empty when memoization is off (NoFastPath,
+	// DisableConformance), past memoDepthCap, or for frames restored
+	// from a checkpoint (the memo is never persisted).
+	memoCands []engine.Alt
+	memoOps   []engine.OpInfo
 }
+
+// memoDepthCap bounds the prefix memo by depth: frames deeper than
+// this carry no memo and replay through the digest compare instead.
+// Shallow frames are the most-replayed ones (a frame at depth d is
+// revisited once per execution in its subtree), so capping by depth is
+// the "evict deepest first" policy with zero bookkeeping.
+const memoDepthCap = 4096
 
 type abortReason int8
 
@@ -326,6 +351,16 @@ type searcher struct {
 	executed    []por.Move              // this execution's transitions (when Options.DPOR)
 
 	visited map[visitKey]struct{}
+
+	// pool reuses one engine (threads, buffers, worker goroutines)
+	// across this searcher's executions; unused when opts.NoFastPath.
+	// Owners must call pool.Close when the searcher is done.
+	pool engine.Pool
+	// execHits / execMisses are this execution's prefix-memo counters,
+	// flushed to opts.Metrics after every engine run (searcher-local so
+	// the hot path costs no atomics).
+	execHits   int64
+	execMisses int64
 
 	// cancelled, when non-nil, is polled between executions; a true
 	// return abandons the search (the parallel driver cancels subtree
@@ -404,11 +439,26 @@ func exploreSequential(prog func(*engine.T), opts Options) *Report {
 		}
 	}
 	s.run()
+	s.pool.Close()
 	s.report.Elapsed = s.prevElapsed + time.Since(s.start)
 	if opts.CheckpointPath != "" {
 		s.writeCheckpoint(s.ckptDone)
 	}
 	return &s.report
+}
+
+// flushMemoCounters publishes one execution's prefix-memo hit/miss
+// counts to the metrics registry and zeroes the local accumulators.
+func (s *searcher) flushMemoCounters() {
+	if s.execHits == 0 && s.execMisses == 0 {
+		return
+	}
+	if m := s.opts.Metrics; m != nil {
+		m.PrefixHits.Add(s.execHits)
+		m.PrefixMisses.Add(s.execMisses)
+	}
+	s.execHits = 0
+	s.execMisses = 0
 }
 
 // writeCheckpoint persists the searcher's current frontier and
@@ -504,7 +554,7 @@ func (s *searcher) run() {
 		quarantined := false
 		for attempt := 1; ; attempt++ {
 			s.resetExec(exec)
-			r = engine.Run(s.prog, s, engine.Config{
+			cfg := engine.Config{
 				Fair:        s.opts.Fair,
 				FairK:       s.opts.FairK,
 				MaxSteps:    s.opts.MaxSteps,
@@ -515,7 +565,14 @@ func (s *searcher) run() {
 				Metrics:     s.opts.Metrics,
 				EventSink:   s.opts.EventSink,
 				ExecIndex:   exec,
-			})
+				NoFastPath:  s.opts.NoFastPath,
+			}
+			if s.opts.NoFastPath {
+				r = engine.Run(s.prog, s, cfg)
+			} else {
+				r = s.pool.Run(s.prog, s, cfg)
+			}
+			s.flushMemoCounters()
 			if s.reason != abortDiverged {
 				break
 			}
@@ -829,22 +886,32 @@ func (s *searcher) Choose(ctx *engine.ChooseContext) (engine.Alt, bool) {
 			return engine.Alt{}, false
 		}
 		if fr.hasDig {
-			obsHash := ctx.Engine.CandsDigest(ctx.Cands)
-			obsOp := ctx.Engine.PendingOpInfo(alt.Tid)
-			expOp := obsOp // DPOR-inserted alternatives have no recorded op
-			if fr.idx < len(fr.ops) {
-				expOp = fr.ops[fr.idx]
-			}
-			if obsHash != fr.dig || obsOp != expOp {
-				s.divErr = &engine.DivergenceError{
-					Step:     s.pos - 1,
-					Want:     alt,
-					Expected: engine.StepDigest{Hash: fr.dig, Tid: alt.Tid, Op: expOp},
-					Observed: engine.StepDigest{Hash: obsHash, Tid: alt.Tid, Op: obsOp},
-					NumCands: len(ctx.Cands),
+			if len(fr.memoCands) > 0 && s.memoMatches(ctx, fr) {
+				// Prefix-memo hit: the candidate set and every pending op
+				// match the snapshot taken when this choice point was
+				// first expanded. CandsDigest is a pure function of those
+				// values, so the digest compare would pass too; skip the
+				// re-encoding.
+				s.execHits++
+			} else {
+				s.execMisses++
+				obsHash := ctx.Engine.CandsDigest(ctx.Cands)
+				obsOp := ctx.Engine.PendingOpInfo(alt.Tid)
+				expOp := obsOp // DPOR-inserted alternatives have no recorded op
+				if fr.idx < len(fr.ops) {
+					expOp = fr.ops[fr.idx]
 				}
-				s.reason = abortDiverged
-				return engine.Alt{}, false
+				if obsHash != fr.dig || obsOp != expOp {
+					s.divErr = &engine.DivergenceError{
+						Step:     s.pos - 1,
+						Want:     alt,
+						Expected: engine.StepDigest{Hash: fr.dig, Tid: alt.Tid, Op: expOp},
+						Observed: engine.StepDigest{Hash: obsHash, Tid: alt.Tid, Op: obsOp},
+						NumCands: len(ctx.Cands),
+					}
+					s.reason = abortDiverged
+					return engine.Alt{}, false
+				}
 			}
 		}
 		if ctx.IsPreemption(alt) {
@@ -887,6 +954,7 @@ func (s *searcher) Choose(ctx *engine.ChooseContext) (engine.Alt, bool) {
 		dig = ctx.Engine.CandsDigest(ctx.Cands)
 		haveDig = true
 	}
+	memoCands, memoOps := s.memoSnapshot(ctx, haveDig)
 	alts := ctx.Cands
 	owned := false
 	if s.opts.ContextBound >= 0 && s.preemptUsed >= s.opts.ContextBound {
@@ -925,7 +993,8 @@ func (s *searcher) Choose(ctx *engine.ChooseContext) (engine.Alt, bool) {
 		full := alts
 		alts = []engine.Alt{full[0]}
 		s.stack = append(s.stack, frame{alts: alts, full: full, analyzed: 1,
-			dig: dig, hasDig: haveDig, ops: s.frameOps(ctx, alts, haveDig)})
+			dig: dig, hasDig: haveDig, ops: s.frameOps(ctx, alts, haveDig),
+			memoCands: memoCands, memoOps: memoOps})
 		s.pos++
 		s.executed = append(s.executed[:s.pos-1], por.MoveOf(ctx.Engine, full[0]))
 		s.dporAnalyze(ctx, s.pos-1, full[0])
@@ -933,7 +1002,8 @@ func (s *searcher) Choose(ctx *engine.ChooseContext) (engine.Alt, bool) {
 		return full[0], true
 	}
 	s.stack = append(s.stack, frame{alts: alts,
-		dig: dig, hasDig: haveDig, ops: s.frameOps(ctx, alts, haveDig)})
+		dig: dig, hasDig: haveDig, ops: s.frameOps(ctx, alts, haveDig),
+		memoCands: memoCands, memoOps: memoOps})
 	s.pos++
 	alt := alts[0]
 	if ctx.IsPreemption(alt) {
@@ -941,6 +1011,41 @@ func (s *searcher) Choose(ctx *engine.ChooseContext) (engine.Alt, bool) {
 	}
 	s.advanceSleep(ctx, &s.stack[len(s.stack)-1], alt)
 	return alt, true
+}
+
+// memoSnapshot captures the prefix memo for a fresh choice point: an
+// owned copy of the full unfiltered candidate set and each candidate's
+// pending op. Returns nil slices when memoization does not apply —
+// conformance off (nothing to validate against), NoFastPath (one flag
+// restores full legacy behavior), or past the depth cap.
+func (s *searcher) memoSnapshot(ctx *engine.ChooseContext, haveDig bool) ([]engine.Alt, []engine.OpInfo) {
+	if !haveDig || s.opts.NoFastPath || len(s.stack) >= memoDepthCap {
+		return nil, nil
+	}
+	cands := append([]engine.Alt(nil), ctx.Cands...)
+	ops := make([]engine.OpInfo, len(cands))
+	for i, a := range cands {
+		ops[i] = ctx.Engine.PendingOpInfo(a.Tid)
+	}
+	return cands, ops
+}
+
+// memoMatches validates a replayed scheduling point against the
+// frame's memo: same candidates in the same order, each with the same
+// pending op as when the choice point was first expanded.
+func (s *searcher) memoMatches(ctx *engine.ChooseContext, fr *frame) bool {
+	if len(ctx.Cands) != len(fr.memoCands) {
+		return false
+	}
+	for i, c := range ctx.Cands {
+		if c != fr.memoCands[i] {
+			return false
+		}
+		if ctx.Engine.PendingOpInfo(c.Tid) != fr.memoOps[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // frameOps records the pending op of each alternative at a fresh

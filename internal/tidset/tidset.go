@@ -121,6 +121,38 @@ func (s *Set) Reset(n int) {
 	}
 }
 
+// Clear empties the set, keeping its backing storage.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// CopyFrom makes s equal to o, reusing s's backing storage where
+// possible.
+func (s *Set) CopyFrom(o Set) {
+	if cap(s.words) < len(o.words) {
+		s.words = make([]uint64, len(o.words))
+	} else {
+		s.words = s.words[:len(o.words)]
+	}
+	copy(s.words, o.words)
+}
+
+// Intersects reports whether s ∩ o is nonempty, without allocating.
+func (s Set) Intersects(o Set) bool {
+	n := len(s.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Clone returns an independent copy of s.
 func (s Set) Clone() Set {
 	if len(s.words) == 0 {
