@@ -421,14 +421,15 @@ func runDist(workers []int, execs int64, jsonPath string) {
 	rep := experiments.DistSweep(workers, execs)
 	fmt.Printf("   gomaxprocs=%d numcpu=%d program=%s seed=%d shards=%d (mirrors -p %d)\n",
 		rep.GOMAXPROCS, rep.NumCPU, rep.Program, rep.Seed, rep.Shards, rep.RefParallelism)
-	fmt.Printf("%-8s %12s %12s %12s %9s %10s\n",
-		"workers", "executions", "elapsed", "execs/s", "speedup", "identical")
-	csv := newCSV("dist", "workers", "executions", "elapsed_seconds", "execs_per_sec", "speedup", "identical")
+	fmt.Printf("%-8s %6s %8s %12s %12s %12s %9s %10s\n",
+		"workers", "chaos", "faults", "executions", "elapsed", "execs/s", "speedup", "identical")
+	csv := newCSV("dist", "workers", "chaos", "faults", "executions", "elapsed_seconds", "execs_per_sec", "speedup", "identical")
 	defer csv.close()
 	for _, r := range rep.Rows {
-		fmt.Printf("%-8d %12d %12s %12.0f %8.2fx %10v\n",
-			r.Workers, r.Executions, fmtDur(r.Elapsed), r.ExecsPerSec, r.Speedup, r.Identical)
-		csv.row(fmt.Sprint(r.Workers), fmt.Sprint(r.Executions),
+		fmt.Printf("%-8d %6v %8d %12d %12s %12.0f %8.2fx %10v\n",
+			r.Workers, r.Chaos, r.Faults, r.Executions, fmtDur(r.Elapsed), r.ExecsPerSec, r.Speedup, r.Identical)
+		csv.row(fmt.Sprint(r.Workers), fmt.Sprint(r.Chaos), fmt.Sprint(r.Faults),
+			fmt.Sprint(r.Executions),
 			fmt.Sprintf("%.3f", r.Elapsed.Seconds()),
 			fmt.Sprintf("%.0f", r.ExecsPerSec),
 			fmt.Sprintf("%.3f", r.Speedup), fmt.Sprint(r.Identical))

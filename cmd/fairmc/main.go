@@ -35,7 +35,13 @@
 // as a coordinator handing lease-based shards to workers started with
 // -worker URL on any machine with the same build. The final report is
 // byte-identical to a local run with the same -p; -dist-state FILE
-// makes the coordinator resumable after a crash.
+// makes the coordinator resumable after a crash. Worker↔coordinator
+// calls retry with exponential backoff (-retry-base, -retry-max,
+// -retry-attempts), joins and rejoins are bounded by -join-timeout,
+// and -chaos-scenario NAME with -chaos-seed N injects a deterministic
+// fault schedule (drops, delays, duplicates, truncations, resets,
+// partitions) for resilience testing — the merged report stays
+// byte-identical under chaos.
 //
 // Exit status: codes 0–4, defined once on the fairmc facade
 // (fairmc.ExitStatusHelp, printed by -h) and summarized in the
@@ -52,12 +58,15 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"fairmc"
 	"fairmc/internal/dist"
+	"fairmc/internal/dist/transport"
 	"fairmc/internal/engine"
+	"fairmc/internal/faultinject"
 	"fairmc/internal/trace"
 	"fairmc/progs"
 )
@@ -108,7 +117,13 @@ func main() {
 		workerURL  = flag.String("worker", "", "run as a distributed-search worker against this coordinator URL (e.g. http://host:7171); -p sets the concurrent shard capacity")
 		distState  = flag.String("dist-state", "", "coordinator state file: progress survives a coordinator crash/restart (with -serve)")
 		leaseTTL   = flag.Duration("lease-ttl", dist.DefaultLeaseTTL, "shard lease duration; a worker silent this long loses its shard (with -serve)")
-		workDir    = flag.String("workdir", "", "worker scratch directory for per-shard checkpoints (with -worker)")
+		workDir    = flag.String("workdir", "", "worker scratch directory for per-shard checkpoints and spooled results (with -worker)")
+		chaosName  = flag.String("chaos-scenario", "", "inject a deterministic fault schedule from this preset scenario (with -worker or -serve; see docs/DISTRIBUTED.md)")
+		chaosSeed  = flag.Uint64("chaos-seed", 1, "seed for the deterministic fault schedule (with -chaos-scenario)")
+		retryBase  = flag.Duration("retry-base", 100*time.Millisecond, "initial backoff between retries of a worker-to-coordinator call (with -worker)")
+		retryMax   = flag.Duration("retry-max", 5*time.Second, "backoff ceiling for worker-to-coordinator retries (with -worker)")
+		retryTries = flag.Int("retry-attempts", 8, "attempts per worker-to-coordinator call before it counts as a failure (with -worker)")
+		joinWait   = flag.Duration("join-timeout", dist.DefaultJoinTimeout, "give up joining (or rejoining) the coordinator after this long (with -worker)")
 	)
 	flag.Usage = func() {
 		out := flag.CommandLine.Output()
@@ -148,12 +163,20 @@ func main() {
 
 	// Worker mode: the coordinator supplies the program and every
 	// search option, so all search flags are ignored; only -p
-	// (capacity) and -workdir apply.
+	// (capacity), -workdir, the retry/join tuning and the chaos flags
+	// apply.
 	if *workerURL != "" {
 		if *serveAddr != "" {
 			fatalUsage("-worker and -serve are mutually exclusive")
 		}
-		runWorkerMode(*workerURL, *parallel, *workDir)
+		retry := transport.Policy{
+			MaxAttempts: *retryTries,
+			BaseDelay:   *retryBase,
+			MaxDelay:    *retryMax,
+			Seed:        *chaosSeed,
+		}
+		runWorkerMode(*workerURL, *parallel, *workDir, retry, *joinWait,
+			chaosInjector(*chaosName, *chaosSeed))
 		return
 	}
 	// A checkpoint records the identity of the search it belongs to, so
@@ -251,7 +274,8 @@ func main() {
 			fatalUsage("-serve persists progress in -dist-state, not -checkpoint/-resume")
 		}
 		serveCoordinator(p, opts, *parallel, *serveAddr, *distState, *leaseTTL,
-			*progress, *metricsOut, *eventsOut, *printTrace, *saveFile)
+			*progress, *metricsOut, *eventsOut, *printTrace, *saveFile,
+			chaosInjector(*chaosName, *chaosSeed))
 		return
 	}
 
@@ -579,7 +603,8 @@ func startProgress(metrics *fairmc.Metrics) (stop func()) {
 // refParallelism.
 func serveCoordinator(p progs.Program, opts fairmc.Options, refParallelism int,
 	addr, statePath string, leaseTTL time.Duration,
-	progress bool, metricsOut, eventsOut string, printTrace bool, saveFile string) {
+	progress bool, metricsOut, eventsOut string, printTrace bool, saveFile string,
+	chaos *faultinject.Injector) {
 	// The coordinator always keeps a registry: worker heartbeat deltas
 	// merge into it and it is served at /metrics; -progress reads it
 	// like a local run.
@@ -600,9 +625,13 @@ func serveCoordinator(p progs.Program, opts fairmc.Options, refParallelism int,
 		LeaseTTL:       leaseTTL,
 		StatePath:      statePath,
 		Metrics:        metrics,
+		Chaos:          chaos,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "coordinator: "+format+"\n", args...)
 		},
+	}
+	if chaos != nil {
+		chaos.OnFault = func(string) { metrics.DistFaultsInjected.Inc() }
 	}
 	if eventsFile != nil {
 		cfg.EventWriter = eventsFile
@@ -670,14 +699,30 @@ func serveCoordinator(p progs.Program, opts fairmc.Options, refParallelism int,
 	})
 }
 
+// chaosInjector resolves the -chaos-scenario/-chaos-seed flags into a
+// deterministic fault injector, or nil when chaos is off.
+func chaosInjector(name string, seed uint64) *faultinject.Injector {
+	if name == "" {
+		return nil
+	}
+	sc, ok := faultinject.Lookup(name)
+	if !ok {
+		fatalUsage(fmt.Sprintf("unknown -chaos-scenario %q (have: %s)",
+			name, strings.Join(faultinject.Names(), ", ")))
+	}
+	return faultinject.New(seed, sc)
+}
+
 // runWorkerMode runs this process as a distributed-search worker: the
 // coordinator supplies the program name and every search option.
-func runWorkerMode(url string, capacity int, workDir string) {
+func runWorkerMode(url string, capacity int, workDir string,
+	retry transport.Policy, joinTimeout time.Duration, chaos *faultinject.Injector) {
 	cleanup := func() {}
 	if workDir == "" {
 		// A scratch directory still helps within one worker process: a
-		// cancelled shard that comes back keeps its checkpoint. Survive
-		// restarts by passing -workdir explicitly.
+		// cancelled shard that comes back keeps its checkpoint and a
+		// spooled result survives until replay. Survive restarts by
+		// passing -workdir explicitly.
 		d, err := os.MkdirTemp("", "fairmc-worker-")
 		if err != nil {
 			fatalUsage(err)
@@ -694,6 +739,12 @@ func runWorkerMode(url string, capacity int, workDir string) {
 		<-sigs
 		os.Exit(130)
 	}()
+	metrics := fairmc.NewMetrics()
+	var rt http.RoundTripper
+	if chaos != nil {
+		chaos.OnFault = func(string) { metrics.DistFaultsInjected.Inc() }
+		rt = chaos.RoundTripper(nil)
+	}
 	err := dist.RunWorker(dist.WorkerConfig{
 		URL:      url,
 		Capacity: capacity,
@@ -705,7 +756,10 @@ func runWorkerMode(url string, capacity int, workDir string) {
 			}
 			return p.Body, true
 		},
-		Metrics: fairmc.NewMetrics(),
+		Metrics:     metrics,
+		Retry:       retry,
+		JoinTimeout: joinTimeout,
+		Transport:   rt,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "worker: "+format+"\n", args...)
 		},

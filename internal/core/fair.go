@@ -56,6 +56,7 @@ type Fair struct {
 	n int
 
 	scratch tidset.Set // per-step temporary, reused across OnStep calls
+	hbuf    tidset.Set // window-close H buffer, reused across OnStep calls
 
 	// yieldSeen[t] counts yielding transitions of t, for the k-th
 	// yield parameterization at the end of §3 of the paper: window
@@ -181,6 +182,9 @@ func (f *Fair) Blocked(t tidset.Tid, es tidset.Set) bool {
 // returns closed = true and h = (E(t) ∪ D(t)) \ S(t), the edge set just
 // added as {t}×H. Otherwise closed is false and h is the empty set.
 // Callers that only drive the scheduler may ignore both results.
+//
+// The returned h aliases a buffer owned by f and is valid only until
+// the next OnStep (or Reset) call; callers that retain it must copy.
 func (f *Fair) OnStep(t tidset.Tid, wasYield bool, esBefore, esAfter tidset.Set) (h tidset.Set, closed bool) {
 	if int(t) >= f.n {
 		panic(fmt.Sprintf("core: OnStep for unknown thread %d", t))
@@ -211,7 +215,10 @@ func (f *Fair) OnStep(t tidset.Tid, wasYield bool, esBefore, esAfter tidset.Set)
 	if f.yieldSeen[t]%f.k != 0 {
 		return tidset.Set{}, false // k-th yield parameterization: skip this boundary
 	}
-	h = f.e[t].Union(f.d[t]).Minus(f.s[t])
+	f.hbuf.CopyFrom(f.e[t])
+	f.hbuf.UnionWith(f.d[t])
+	f.hbuf.MinusWith(f.s[t])
+	h = f.hbuf
 	// t ∈ S(t) always holds here (line 21 added t), so H never
 	// contains t and P stays irreflexive and acyclic (Theorem 3).
 	f.p[t].UnionWith(h)

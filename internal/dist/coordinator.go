@@ -11,7 +11,9 @@ import (
 	"sync"
 	"time"
 
+	"fairmc/internal/dist/transport"
 	"fairmc/internal/engine"
+	"fairmc/internal/faultinject"
 	"fairmc/internal/obs"
 	"fairmc/internal/search"
 )
@@ -24,6 +26,13 @@ const (
 	// DefaultMaxShardAttempts bounds how many workers may fail one
 	// shard (lease expiry or posted failure) before it is abandoned.
 	DefaultMaxShardAttempts = 3
+	// DefaultMaxInflight is the load-shedding bound on concurrently
+	// served requests.
+	DefaultMaxInflight = 128
+	// idemCacheSize bounds the idempotency-key → response cache
+	// (FIFO); at one result per shard plus heartbeats in flight, 1024
+	// comfortably outlives any retry window.
+	idemCacheSize = 1024
 )
 
 // stateVersion is the coordinator state file format version.
@@ -52,6 +61,14 @@ type CoordinatorConfig struct {
 	// every shard completion, and a coordinator restarted with the
 	// same config and StatePath resumes from it.
 	StatePath string
+	// MaxInflight bounds concurrently served requests; excess requests
+	// are shed with 429 + Retry-After (which the worker transport's
+	// backoff honors). 0 means DefaultMaxInflight.
+	MaxInflight int
+	// Chaos, when set, injects server-side faults (delays, drops) into
+	// every request before it reaches the protocol handlers — the
+	// deterministic chaos harness's server half.
+	Chaos *faultinject.Injector
 	// Metrics, when set, aggregates worker telemetry deltas and the
 	// coordinator's own confirmation-pass work.
 	Metrics *obs.Metrics
@@ -102,6 +119,13 @@ type Coordinator struct {
 	workers   map[string]time.Time // last contact
 	seq       int                  // id generator (workers and leases)
 
+	// Idempotency cache: key → marshaled response, FIFO-bounded. A
+	// retried (or chaos-duplicated) result/heartbeat POST replays the
+	// original response instead of re-applying its effect. Guarded by
+	// mu, like the state it protects.
+	idem      map[string][]byte
+	idemOrder []string
+
 	start       time.Time
 	prevElapsed time.Duration
 	stateErr    string
@@ -146,6 +170,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		spec:      SpecFromOptions(cfg.Program, cfg.Options),
 		leases:    map[string]*lease{},
 		completed: map[int]*search.Report{},
+		idem:      map[string][]byte{},
 		workers:   map[string]time.Time{},
 		start:     time.Now(),
 		done:      make(chan struct{}),
@@ -206,7 +231,10 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 }
 
 // Handler returns the coordinator's HTTP handler (the worker protocol
-// plus /metrics and /status).
+// plus /metrics and /status), wrapped in the load-shedding middleware
+// and, when configured, the server-side chaos injector (outermost, so
+// injected faults hit before any coordinator logic — like a real
+// network would).
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(PathJoin, c.handleJoin)
@@ -216,7 +244,62 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc(PathEvents, c.handleEvents)
 	mux.HandleFunc(PathMetrics, c.handleMetrics)
 	mux.HandleFunc(PathStatus, c.handleStatus)
-	return mux
+	var h http.Handler = c.shedMiddleware(mux)
+	if c.cfg.Chaos != nil {
+		h = c.cfg.Chaos.Middleware(h)
+	}
+	return h
+}
+
+// shedMiddleware refuses requests beyond MaxInflight with 429 and a
+// Retry-After the worker transport turns into its next backoff —
+// graceful degradation instead of queue collapse under overload.
+func (c *Coordinator) shedMiddleware(next http.Handler) http.Handler {
+	max := c.cfg.MaxInflight
+	if max <= 0 {
+		max = DefaultMaxInflight
+	}
+	sem := make(chan struct{}, max)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
+			next.ServeHTTP(w, r)
+		default:
+			if m := c.cfg.Metrics; m != nil {
+				m.ShedRequests.Inc()
+			}
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "coordinator overloaded", http.StatusTooManyRequests)
+		}
+	})
+}
+
+// idemGetLocked returns the cached response for an idempotency key.
+func (c *Coordinator) idemGetLocked(key string) ([]byte, bool) {
+	data, ok := c.idem[key]
+	return data, ok
+}
+
+// idemPutLocked caches a response under a key, evicting FIFO.
+func (c *Coordinator) idemPutLocked(key string, data []byte) {
+	if key == "" {
+		return
+	}
+	if _, exists := c.idem[key]; !exists {
+		c.idemOrder = append(c.idemOrder, key)
+		if len(c.idemOrder) > idemCacheSize {
+			delete(c.idem, c.idemOrder[0])
+			c.idemOrder = c.idemOrder[1:]
+		}
+	}
+	c.idem[key] = data
+}
+
+// replayJSON writes a cached idempotent response verbatim.
+func replayJSON(w http.ResponseWriter, data []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
 }
 
 // Wait blocks until the search is complete (or interrupted) and
@@ -489,11 +572,20 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
+	key := r.Header.Get(transport.IdempotencyKeyHeader)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if key != "" {
+		if data, ok := c.idemGetLocked(key); ok {
+			// Retried or duplicated delivery: the metrics delta was
+			// already merged once; replay the original answer.
+			replayJSON(w, data)
+			return
+		}
+	}
 	if req.Metrics != nil && c.cfg.Metrics != nil {
 		c.cfg.Metrics.Merge(*req.Metrics)
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.workers[req.WorkerID] = time.Now()
 	c.expireLocked(time.Now())
 	resp := HeartbeatResponse{Done: c.finished}
@@ -518,7 +610,20 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	if resp.Done {
 		c.noteDoneLocked(req.WorkerID)
 	}
-	writeJSON(w, resp)
+	c.writeIdemLocked(w, key, resp)
+}
+
+// writeIdemLocked writes a JSON response and caches it under the
+// request's idempotency key (no-op for keyless requests).
+func (c *Coordinator) writeIdemLocked(w http.ResponseWriter, key string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	c.idemPutLocked(key, data)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
 }
 
 func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -526,8 +631,18 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
+	key := r.Header.Get(transport.IdempotencyKeyHeader)
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if key != "" {
+		if data, ok := c.idemGetLocked(key); ok {
+			// A retried or chaos-duplicated submission of a result the
+			// coordinator already processed: replay the original
+			// acknowledgement; the merge consumed exactly one report.
+			replayJSON(w, data)
+			return
+		}
+	}
 	c.workers[req.WorkerID] = time.Now()
 	if req.Shard < 0 || req.Shard >= len(c.shards) {
 		http.Error(w, "unknown shard", http.StatusBadRequest)
@@ -546,7 +661,7 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		// Late result: the shard was requeued and decided by another
 		// attempt, or the search is over. Determinism is unaffected
 		// either way — the merge consumed exactly one report.
-		writeJSON(w, ResultResponse{Accepted: false, Done: c.finished})
+		c.writeIdemLocked(w, key, ResultResponse{Accepted: false, Done: c.finished})
 		return
 	}
 	if req.Failure != "" || req.Report == nil {
@@ -556,7 +671,7 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		}
 		c.cfg.Logf("dist: shard %d failed on worker %s: %s", req.Shard, req.WorkerID, reason)
 		c.failShardLocked(req.Shard, req.WorkerID, reason)
-		writeJSON(w, ResultResponse{Accepted: true, Done: c.finished})
+		c.writeIdemLocked(w, key, ResultResponse{Accepted: true, Done: c.finished})
 		return
 	}
 	if req.Report.Interrupted {
@@ -564,13 +679,13 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		// lease had lapsed, without excluding the worker.
 		sh.status = shardPending
 		sh.leaseID = ""
-		writeJSON(w, ResultResponse{Accepted: false, Done: c.finished})
+		c.writeIdemLocked(w, key, ResultResponse{Accepted: false, Done: c.finished})
 		return
 	}
 	c.completeShardLocked(req.Shard, req.Report)
 	c.cfg.Logf("dist: shard %d completed by worker %s (%d/%d merged)",
 		req.Shard, req.WorkerID, c.merger.Merged(), len(c.plan.Shards))
-	writeJSON(w, ResultResponse{Accepted: true, Done: c.finished})
+	c.writeIdemLocked(w, key, ResultResponse{Accepted: true, Done: c.finished})
 }
 
 func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {

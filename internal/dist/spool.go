@@ -1,0 +1,80 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"fairmc/internal/search"
+)
+
+// spoolVersion guards the spool file format.
+const spoolVersion = 1
+
+// spoolEntry is one completed shard report persisted to -workdir while
+// the coordinator is unreachable. OptionsHash ties the entry to the
+// search it belongs to, so a stale spool from a different run is
+// rejected at replay instead of corrupting the merge.
+type spoolEntry struct {
+	Version     int            `json:"version"`
+	OptionsHash uint64         `json:"optionsHash"`
+	Program     string         `json:"program"`
+	Shard       int            `json:"shard"`
+	Report      *search.Report `json:"report"`
+}
+
+func spoolPath(dir string, shard int) string {
+	return filepath.Join(dir, fmt.Sprintf("spool-shard-%04d.json", shard))
+}
+
+// spoolWrite persists a completed shard report atomically.
+func spoolWrite(dir string, e spoolEntry) error {
+	e.Version = spoolVersion
+	data, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("spool shard %d: %w", e.Shard, err)
+	}
+	return search.AtomicWriteFile(spoolPath(dir, e.Shard), data)
+}
+
+// spoolList returns the spooled entries in dir whose options hash and
+// program match, in shard order. Entries that fail to parse or belong
+// to a different search are skipped (and reported in skipped) — they
+// are someone else's work, not ours to replay or delete.
+func spoolList(dir string, optionsHash uint64, program string) (entries []spoolEntry, skipped []string, err error) {
+	names, err := filepath.Glob(filepath.Join(dir, "spool-shard-*.json"))
+	if err != nil {
+		return nil, nil, err
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		data, rerr := os.ReadFile(name)
+		if rerr != nil {
+			skipped = append(skipped, fmt.Sprintf("%s: %v", filepath.Base(name), rerr))
+			continue
+		}
+		var e spoolEntry
+		if jerr := json.Unmarshal(data, &e); jerr != nil {
+			skipped = append(skipped, fmt.Sprintf("%s: %v", filepath.Base(name), jerr))
+			continue
+		}
+		if e.Version != spoolVersion || e.OptionsHash != optionsHash || e.Program != program || e.Report == nil {
+			skipped = append(skipped, fmt.Sprintf("%s: different search (version=%d hash=%#x program=%s)",
+				filepath.Base(name), e.Version, e.OptionsHash, e.Program))
+			continue
+		}
+		entries = append(entries, e)
+	}
+	return entries, skipped, nil
+}
+
+// spoolRemove deletes a replayed entry.
+func spoolRemove(dir string, shard int) error {
+	err := os.Remove(spoolPath(dir, shard))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}

@@ -2,7 +2,6 @@ package dist
 
 import (
 	"bytes"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -12,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"fairmc/internal/dist/transport"
 	"fairmc/internal/engine"
 	"fairmc/internal/obs"
 	"fairmc/internal/search"
@@ -23,15 +23,36 @@ import (
 // usage exit status.
 var ErrSpecMismatch = errors.New("dist: coordinator options hash does not match this worker's build")
 
+// errUnreachable marks a session that died because the coordinator
+// stopped answering (breaker open or repeated final call failures); the
+// outer RunWorker loop responds by rejoining within the join budget.
+var errUnreachable = errors.New("dist: coordinator unreachable")
+
+// DefaultJoinTimeout bounds the initial join and each rejoin window.
+const DefaultJoinTimeout = 30 * time.Second
+
+// Per-endpoint per-attempt deadlines: a join probe or heartbeat should
+// fail fast, a result upload may carry megabytes of report.
+var workerDeadlines = map[string]time.Duration{
+	PathJoin:      5 * time.Second,
+	PathLease:     10 * time.Second,
+	PathHeartbeat: 5 * time.Second,
+	PathResult:    60 * time.Second,
+}
+
+// eventPostDeadline bounds best-effort event batch uploads.
+const eventPostDeadline = 15 * time.Second
+
 // WorkerConfig configures RunWorker.
 type WorkerConfig struct {
 	// URL is the coordinator's base URL (e.g. http://host:7171).
 	URL string
 	// Capacity is how many shards to run concurrently; 0 means 1.
 	Capacity int
-	// WorkDir holds per-shard checkpoints so a restarted worker
-	// resumes a long stride shard instead of rerunning it; empty
-	// disables shard checkpointing.
+	// WorkDir holds per-shard checkpoints (so a restarted worker resumes
+	// a long stride shard instead of rerunning it) and the result spool
+	// (completed shard reports persisted while the coordinator is
+	// unreachable, replayed on rejoin); empty disables both.
 	WorkDir string
 	// Lookup resolves the program name the coordinator sends to the
 	// program body (e.g. an adapter around progs.Lookup).
@@ -44,28 +65,44 @@ type WorkerConfig struct {
 	// Stop, when closed, makes the worker abandon its shards and
 	// return nil.
 	Stop <-chan struct{}
+
+	// Retry is the backoff policy shared by every coordinator call
+	// (join probes, leases, heartbeats, result uploads). A zero value
+	// uses transport.DefaultPolicy.
+	Retry transport.Policy
+	// JoinTimeout bounds the initial join and each rejoin window after
+	// the coordinator becomes unreachable; 0 means DefaultJoinTimeout.
+	JoinTimeout time.Duration
+	// Transport, when set, replaces the underlying HTTP transport —
+	// the seam where faultinject.RoundTripper plugs in.
+	Transport http.RoundTripper
 }
 
-// joinAttempts bounds how long a worker retries an unreachable
-// coordinator before giving up (attempts are spaced by joinBackoff).
-const (
-	joinAttempts = 60
-	joinBackoff  = 500 * time.Millisecond
-)
+// hbState is heartbeat bookkeeping that must survive rejoins: the
+// metrics baseline only advances when a heartbeat actually lands, so a
+// delta that failed to send (or was sent during a partition) is carried
+// into the next attempt instead of lost, and the idempotency sequence
+// keeps a retried heartbeat from being merged twice.
+type hbState struct {
+	mu   sync.Mutex
+	prev obs.Snapshot
+	seq  int
+}
 
-// worker is the per-process state of one RunWorker call.
+// worker is the per-session state of one join: one worker ID, one set
+// of leases. RunWorker builds a fresh session after every rejoin.
 type worker struct {
-	cfg    WorkerConfig
-	client *http.Client
-	id     string
-	spec   SearchSpec
-	opts   search.Options
-	prog   func(*engine.T)
-	ttl    time.Duration
+	cfg  WorkerConfig
+	tc   *transport.Client
+	hb   *hbState
+	id   string
+	spec SearchSpec
+	opts search.Options
+	prog func(*engine.T)
+	ttl  time.Duration
 
-	mu       sync.Mutex
-	active   map[string]chan struct{} // lease id -> shard stop channel
-	prevSnap obs.Snapshot
+	mu     sync.Mutex
+	active map[string]chan struct{} // lease id -> shard stop channel
 
 	events *eventForwarder
 	rec    *obs.Recorder
@@ -74,10 +111,13 @@ type worker struct {
 	once sync.Once
 }
 
-// RunWorker joins the coordinator at cfg.URL, runs shards until the
-// coordinator reports the search done (returning nil), cfg.Stop is
-// closed (nil), or the coordinator becomes unreachable / rejects this
-// worker's configuration (error).
+// RunWorker joins the coordinator at cfg.URL and runs shards until the
+// coordinator reports the search done (returning nil) or cfg.Stop is
+// closed (nil). If the coordinator becomes unreachable mid-session the
+// worker spools any completed-but-unposted shard reports to -workdir,
+// rejoins within cfg.JoinTimeout, replays the spool under its new
+// identity, and continues; only an exhausted join budget (or a
+// configuration rejection) is an error.
 func RunWorker(cfg WorkerConfig) error {
 	if cfg.Lookup == nil {
 		return errors.New("dist: worker needs a program Lookup")
@@ -88,37 +128,101 @@ func RunWorker(cfg WorkerConfig) error {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.JoinTimeout <= 0 {
+		cfg.JoinTimeout = DefaultJoinTimeout
+	}
+	if cfg.Retry.MaxAttempts == 0 && cfg.Retry.BaseDelay == 0 {
+		cfg.Retry = transport.DefaultPolicy(1)
+	}
+
+	breaker := &transport.Breaker{}
+	if cfg.Metrics != nil {
+		breaker.OnOpen = func() { cfg.Metrics.BreakerOpens.Inc() }
+	}
+	httpc := &http.Client{} // deadlines are per-endpoint, not global
+	if cfg.Transport != nil {
+		httpc.Transport = cfg.Transport
+	}
+	tc := &transport.Client{
+		Base:      cfg.URL,
+		HTTP:      httpc,
+		Policy:    cfg.Retry,
+		Deadlines: workerDeadlines,
+		Breaker:   breaker,
+		Stop:      cfg.Stop,
+	}
+	if cfg.Metrics != nil {
+		tc.OnRetry = func(string, int, error) { cfg.Metrics.DistRetries.Inc() }
+	}
+
+	hb := &hbState{}
+	if cfg.Metrics != nil {
+		hb.prev = cfg.Metrics.Snapshot()
+	}
+
+	rejoined := false
+	for {
+		wk, err := startSession(cfg, tc, hb)
+		if err != nil {
+			if rejoined {
+				// The spool (if any) stays on disk for the next worker
+				// pointed at this workdir.
+				cfg.Logf("dist: giving up rejoin: %v", err)
+			}
+			return err
+		}
+		err = wk.runSession()
+		if err == nil {
+			return nil // done or stopped
+		}
+		if !errors.Is(err, errUnreachable) {
+			return err
+		}
+		if wk.stopped() {
+			return nil
+		}
+		rejoined = true
+		cfg.Logf("dist: session %s lost the coordinator; rejoining (budget %s)", wk.id, cfg.JoinTimeout)
+	}
+}
+
+// startSession joins (within the join budget), validates the spec, and
+// replays any spooled results under the new worker identity.
+func startSession(cfg WorkerConfig, tc *transport.Client, hb *hbState) (*worker, error) {
+	join, err := joinLoop(cfg, tc)
+	if err != nil {
+		return nil, err
+	}
+	if tc.Breaker != nil {
+		// The join (which bypasses the breaker) just proved the
+		// coordinator reachable; don't fail-fast the spool replay.
+		tc.Breaker.Reset()
+	}
 	wk := &worker{
 		cfg:    cfg,
-		client: &http.Client{Timeout: 60 * time.Second},
+		tc:     tc,
+		hb:     hb,
+		id:     join.WorkerID,
+		spec:   join.Spec,
 		active: map[string]chan struct{}{},
 		done:   make(chan struct{}),
 	}
-	join, err := wk.join()
-	if err != nil {
-		return err
-	}
-	wk.id = join.WorkerID
-	wk.spec = join.Spec
 	wk.ttl = time.Duration(join.LeaseTTLMS) * time.Millisecond
 	if wk.ttl <= 0 {
 		wk.ttl = DefaultLeaseTTL
 	}
 	wk.opts = join.Spec.Options()
 	if got := search.OptionsHash(&wk.opts); got != join.OptionsHash {
-		return fmt.Errorf("%w (coordinator %#x, worker %#x)", ErrSpecMismatch, join.OptionsHash, got)
+		return nil, fmt.Errorf("%w (coordinator %#x, worker %#x)", ErrSpecMismatch, join.OptionsHash, got)
 	}
 	prog, ok := cfg.Lookup(join.Spec.Program)
 	if !ok {
-		return fmt.Errorf("dist: coordinator wants program %q, which this worker does not have", join.Spec.Program)
+		return nil, fmt.Errorf("dist: coordinator wants program %q, which this worker does not have", join.Spec.Program)
 	}
 	wk.prog = prog
 	wk.opts.Metrics = cfg.Metrics
-	if cfg.Metrics != nil {
-		wk.prevSnap = cfg.Metrics.Snapshot()
-	}
 	if join.WantEvents {
-		wk.events = newEventForwarder(wk.client, cfg.URL+PathEvents)
+		wk.events = newEventForwarder(wk.cfg.Transport, cfg.URL+PathEvents)
 		// Parallel shard goroutines emit in bursts; the recorder's
 		// bounded queue keeps emission non-blocking end to end.
 		wk.rec = obs.NewRecorder(wk.events, 1<<14)
@@ -126,13 +230,115 @@ func RunWorker(cfg WorkerConfig) error {
 	}
 	cfg.Logf("dist: joined %s as %s: program %s, %d shards (%s), lease TTL %s",
 		cfg.URL, wk.id, join.Spec.Program, join.ShardCount, join.Strategy, wk.ttl)
+	wk.replaySpool(join.OptionsHash)
+	return wk, nil
+}
 
+// joinLoop registers with the coordinator, retrying under the shared
+// backoff policy until the join budget runs out (the coordinator may
+// still be binding its listener, or a partition may be healing).
+func joinLoop(cfg WorkerConfig, tc *transport.Client) (*JoinResponse, error) {
+	deadline := time.Now().Add(cfg.JoinTimeout)
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		if isStopped(cfg.Stop) {
+			return nil, errors.New("dist: stopped before joining")
+		}
+		join := &JoinResponse{}
+		// Single attempt per call: the loop owns the backoff, and the
+		// breaker is bypassed — a join IS the reachability probe.
+		lastErr = tc.PostJSON(PathJoin, JoinRequest{Capacity: cfg.Capacity}, join,
+			transport.Call{NoBreaker: true, MaxAttempts: 1})
+		if lastErr == nil {
+			return join, nil
+		}
+		if !transport.Classify(lastErr) {
+			return nil, fmt.Errorf("dist: join rejected: %w", lastErr)
+		}
+		backoff := cfg.Retry.Backoff(PathJoin, attempt)
+		if time.Now().Add(backoff).After(deadline) {
+			return nil, fmt.Errorf("dist: coordinator %s unreachable after %s: %w",
+				cfg.URL, cfg.JoinTimeout, lastErr)
+		}
+		if !sleepStop(backoff, cfg.Stop) {
+			return nil, errors.New("dist: stopped before joining")
+		}
+	}
+}
+
+func isStopped(stop <-chan struct{}) bool {
+	if stop == nil {
+		return false
+	}
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// sleepStop pauses for d, cut short (returning false) by stop.
+func sleepStop(d time.Duration, stop <-chan struct{}) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	if stop == nil {
+		<-t.C
+		return true
+	}
+	select {
+	case <-t.C:
+		return true
+	case <-stop:
+		return false
+	}
+}
+
+// replaySpool posts results spooled by a previous session (or a
+// previous worker process sharing this workdir) so a coordinator
+// restart or partition loses zero completed executions. Entries for a
+// different search are left alone; replayed entries are deleted once
+// the coordinator acknowledges them — whether accepted or already
+// decided elsewhere.
+func (wk *worker) replaySpool(optionsHash uint64) {
+	if wk.cfg.WorkDir == "" {
+		return
+	}
+	entries, skipped, err := spoolList(wk.cfg.WorkDir, optionsHash, wk.spec.Program)
+	if err != nil {
+		wk.cfg.Logf("dist: scanning spool: %v", err)
+		return
+	}
+	for _, msg := range skipped {
+		wk.cfg.Logf("dist: spool: skipping %s", msg)
+	}
+	for _, e := range entries {
+		resp := &ResultResponse{}
+		req := ResultRequest{WorkerID: wk.id, LeaseID: "spool-replay", Shard: e.Shard, Report: e.Report}
+		key := fmt.Sprintf("res-%s-spool-%d", wk.id, e.Shard)
+		if err := wk.tc.PostJSON(PathResult, req, resp, transport.Call{Key: key}); err != nil {
+			wk.cfg.Logf("dist: replaying spooled shard %d: %v", e.Shard, err)
+			continue // still spooled; a later session retries
+		}
+		if rerr := spoolRemove(wk.cfg.WorkDir, e.Shard); rerr != nil {
+			wk.cfg.Logf("dist: removing spooled shard %d: %v", e.Shard, rerr)
+		}
+		wk.cfg.Logf("dist: replayed spooled shard %d (accepted=%v)", e.Shard, resp.Accepted)
+		if resp.Done {
+			wk.finish()
+		}
+	}
+}
+
+// runSession runs shard loops and heartbeats until done, stop, or the
+// coordinator becomes unreachable (errUnreachable).
+func (wk *worker) runSession() error {
 	hbDone := make(chan struct{})
 	go wk.heartbeatLoop(hbDone)
 
 	var wg sync.WaitGroup
-	errs := make(chan error, cfg.Capacity)
-	for i := 0; i < cfg.Capacity; i++ {
+	errs := make(chan error, wk.cfg.Capacity)
+	for i := 0; i < wk.cfg.Capacity; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -147,69 +353,23 @@ func RunWorker(cfg WorkerConfig) error {
 		wk.events.Flush()
 	}
 	// Final telemetry flush so short-lived work is not lost between
-	// heartbeats.
-	wk.heartbeat(nil)
-	for i := 0; i < cfg.Capacity; i++ {
-		if err := <-errs; err != nil {
-			return err
+	// heartbeats (skipped when the coordinator is already gone).
+	var sessionErr error
+	for i := 0; i < wk.cfg.Capacity; i++ {
+		if err := <-errs; err != nil && sessionErr == nil {
+			sessionErr = err
 		}
 	}
-	return nil
+	if sessionErr == nil {
+		wk.heartbeat(nil)
+	}
+	return sessionErr
 }
 
 // finish marks the worker as done (idempotent).
 func (wk *worker) finish() { wk.once.Do(func() { close(wk.done) }) }
 
-func (wk *worker) stopped() bool {
-	if wk.cfg.Stop == nil {
-		return false
-	}
-	select {
-	case <-wk.cfg.Stop:
-		return true
-	default:
-		return false
-	}
-}
-
-// post sends one JSON request and decodes the JSON response into out
-// (unless out is nil).
-func (wk *worker) post(path string, in, out any) error {
-	body, err := json.Marshal(in)
-	if err != nil {
-		return err
-	}
-	resp, err := wk.client.Post(wk.cfg.URL+path, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		return fmt.Errorf("dist: %s returned %s", path, resp.Status)
-	}
-	if out == nil {
-		return nil
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
-}
-
-// join registers with the coordinator, retrying while it is
-// unreachable (it may still be binding its listener).
-func (wk *worker) join() (*JoinResponse, error) {
-	var lastErr error
-	for attempt := 0; attempt < joinAttempts; attempt++ {
-		if wk.stopped() {
-			return nil, errors.New("dist: stopped before joining")
-		}
-		join := &JoinResponse{}
-		lastErr = wk.post(PathJoin, JoinRequest{Capacity: wk.cfg.Capacity}, join)
-		if lastErr == nil {
-			return join, nil
-		}
-		time.Sleep(joinBackoff)
-	}
-	return nil, fmt.Errorf("dist: coordinator %s unreachable: %w", wk.cfg.URL, lastErr)
-}
+func (wk *worker) stopped() bool { return isStopped(wk.cfg.Stop) }
 
 // heartbeatLoop extends leases and forwards telemetry until the worker
 // finishes.
@@ -233,23 +393,38 @@ func (wk *worker) heartbeatLoop(stop <-chan struct{}) {
 }
 
 // heartbeat posts one heartbeat; extra lease ids (e.g. a lease just
-// granted) can be included before the tracking map sees them.
+// granted) can be included before the tracking map sees them. Each
+// heartbeat carries a fresh idempotency key so a duplicated delivery
+// merges its metrics delta exactly once, and the delta baseline only
+// advances when the post succeeds.
 func (wk *worker) heartbeat(extra []string) {
 	wk.mu.Lock()
 	ids := append([]string(nil), extra...)
 	for id := range wk.active {
 		ids = append(ids, id)
 	}
+	wk.mu.Unlock()
+
+	wk.hb.mu.Lock()
 	var delta *obs.Snapshot
+	var cur obs.Snapshot
 	if wk.cfg.Metrics != nil {
-		cur := wk.cfg.Metrics.Snapshot()
-		d := cur.Sub(wk.prevSnap)
-		wk.prevSnap = cur
+		cur = wk.cfg.Metrics.Snapshot()
+		d := cur.Sub(wk.hb.prev)
 		delta = &d
 	}
-	wk.mu.Unlock()
+	wk.hb.seq++
+	key := fmt.Sprintf("hb-%s-%d", wk.id, wk.hb.seq)
 	resp := &HeartbeatResponse{}
-	if err := wk.post(PathHeartbeat, HeartbeatRequest{WorkerID: wk.id, LeaseIDs: ids, Metrics: delta}, resp); err != nil {
+	err := wk.tc.PostJSON(PathHeartbeat,
+		HeartbeatRequest{WorkerID: wk.id, LeaseIDs: ids, Metrics: delta}, resp,
+		transport.Call{Key: key, MaxAttempts: 2})
+	if err == nil && wk.cfg.Metrics != nil {
+		wk.hb.prev = cur
+	}
+	wk.hb.mu.Unlock()
+
+	if err != nil {
 		// The final flush often races the coordinator's own exit; a
 		// failed heartbeat after done is expected, not noteworthy.
 		select {
@@ -272,7 +447,9 @@ func (wk *worker) heartbeat(extra []string) {
 	}
 }
 
-// shardLoop is one capacity slot: lease, run, post, repeat.
+// shardLoop is one capacity slot: lease, run, post, repeat. It declares
+// the coordinator unreachable when the breaker opens or two lease calls
+// in a row fail after full retries.
 func (wk *worker) shardLoop() error {
 	consecutiveErrs := 0
 	for {
@@ -285,12 +462,17 @@ func (wk *worker) shardLoop() error {
 		default:
 		}
 		resp := &LeaseResponse{}
-		if err := wk.post(PathLease, LeaseRequest{WorkerID: wk.id}, resp); err != nil {
-			consecutiveErrs++
-			if consecutiveErrs >= joinAttempts {
-				return fmt.Errorf("dist: coordinator unreachable: %w", err)
+		err := wk.tc.PostJSON(PathLease, LeaseRequest{WorkerID: wk.id}, resp,
+			transport.Call{MaxAttempts: 3})
+		if err != nil {
+			if errors.Is(err, transport.ErrCircuitOpen) {
+				return fmt.Errorf("%w: %v", errUnreachable, err)
 			}
-			wk.sleep(joinBackoff)
+			consecutiveErrs++
+			if consecutiveErrs >= 2 {
+				return fmt.Errorf("%w: %v", errUnreachable, err)
+			}
+			wk.sleep(wk.cfg.Retry.Backoff(PathLease, consecutiveErrs))
 			continue
 		}
 		consecutiveErrs = 0
@@ -339,7 +521,8 @@ func (wk *worker) sleep(d time.Duration) {
 
 // runShard executes one leased shard and posts the outcome. A panic in
 // the program (or the engine) is posted as a structured failure so the
-// coordinator can retry the shard elsewhere.
+// coordinator can retry the shard elsewhere. A completed report whose
+// upload fails outright is spooled to -workdir for replay on rejoin.
 func (wk *worker) runShard(leaseID string, sh search.Shard) {
 	stop := make(chan struct{})
 	wk.mu.Lock()
@@ -411,8 +594,28 @@ func (wk *worker) runShard(leaseID string, sh search.Shard) {
 		req.Report = nil
 		wk.cfg.Logf("dist: shard %d crashed: %.120s", sh.Index, failure)
 	}
-	if err := wk.post(PathResult, req, resp); err != nil {
+	key := fmt.Sprintf("res-%s-%s-%d", wk.id, leaseID, sh.Index)
+	if err := wk.tc.PostJSON(PathResult, req, resp, transport.Call{Key: key}); err != nil {
 		wk.cfg.Logf("dist: posting shard %d result: %v", sh.Index, err)
+		if failure == "" && rep != nil && wk.cfg.WorkDir != "" {
+			// The work is done; don't lose it to a dead link. Failure
+			// reports are not spooled — lease expiry already requeues
+			// the shard elsewhere.
+			e := spoolEntry{
+				OptionsHash: search.OptionsHash(&wk.opts),
+				Program:     wk.spec.Program,
+				Shard:       sh.Index,
+				Report:      rep,
+			}
+			if serr := spoolWrite(wk.cfg.WorkDir, e); serr != nil {
+				wk.cfg.Logf("dist: spooling shard %d: %v", sh.Index, serr)
+			} else {
+				if wk.cfg.Metrics != nil {
+					wk.cfg.Metrics.SpooledResults.Inc()
+				}
+				wk.cfg.Logf("dist: spooled shard %d result for replay", sh.Index)
+			}
+		}
 		return
 	}
 	if resp.Accepted && failure == "" && ckptPath != "" {
@@ -425,7 +628,9 @@ func (wk *worker) runShard(leaseID string, sh search.Shard) {
 
 // eventForwarder batches the recorder's JSONL output and posts it to
 // the coordinator. Writes are split at line boundaries so interleaved
-// worker batches stay line-valid JSONL on the coordinator side.
+// worker batches stay line-valid JSONL on the coordinator side. Event
+// posts are best-effort telemetry with their own short deadline; they
+// never retry.
 type eventForwarder struct {
 	client *http.Client
 	url    string
@@ -436,8 +641,11 @@ type eventForwarder struct {
 
 const eventFlushBytes = 64 << 10
 
-func newEventForwarder(client *http.Client, url string) *eventForwarder {
-	return &eventForwarder{client: client, url: url}
+func newEventForwarder(rt http.RoundTripper, url string) *eventForwarder {
+	return &eventForwarder{
+		client: &http.Client{Timeout: eventPostDeadline, Transport: rt},
+		url:    url,
+	}
 }
 
 func (f *eventForwarder) Write(p []byte) (int, error) {

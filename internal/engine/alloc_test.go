@@ -7,12 +7,17 @@ import (
 	"fairmc/progs"
 )
 
-// The allocation budget is a regression gate, not a target: the seed
-// engine spent 122 heap allocations per spinloop execution, and the
+// The allocation budgets are regression gates, not targets: the seed
+// engine spent 122 heap allocations per spinloop execution; the
 // fast-path work (buffer reuse, fair-state reset, engine pooling)
-// brought that well under budget. CI fails this test if a change
-// creeps back over the seed's number.
-const spinloopAllocBudget = 122
+// brought that to 84/28 (plain/pooled), and reusing the fair
+// scheduler's yield-window H buffer took it to 81/24. CI fails these
+// tests if a change creeps back over the measured numbers plus a small
+// jitter margin.
+const (
+	spinloopAllocBudget       = 88
+	spinloopAllocBudgetPooled = 28
+)
 
 func spinloopCfg() engine.Config {
 	return engine.Config{Fair: true, RecordTrace: true}
@@ -35,8 +40,8 @@ func TestSpinLoopAllocBudgetPooled(t *testing.T) {
 	allocs := testing.AllocsPerRun(100, func() {
 		pool.Run(progs.SpinLoop, engine.RunToCompletionChooser{}, spinloopCfg())
 	})
-	if allocs > spinloopAllocBudget {
-		t.Fatalf("pooled spinloop allocates %.0f per execution, budget is %d", allocs, spinloopAllocBudget)
+	if allocs > spinloopAllocBudgetPooled {
+		t.Fatalf("pooled spinloop allocates %.0f per execution, budget is %d", allocs, spinloopAllocBudgetPooled)
 	}
-	t.Logf("pooled spinloop: %.0f allocs/exec (budget %d)", allocs, spinloopAllocBudget)
+	t.Logf("pooled spinloop: %.0f allocs/exec (budget %d)", allocs, spinloopAllocBudgetPooled)
 }

@@ -8,7 +8,9 @@ import (
 	"time"
 
 	"fairmc/internal/dist"
+	"fairmc/internal/dist/transport"
 	"fairmc/internal/engine"
+	"fairmc/internal/faultinject"
 	"fairmc/internal/search"
 	"fairmc/progs"
 )
@@ -21,6 +23,8 @@ import (
 // that check against the 1-worker row.
 type DistRow struct {
 	Workers     int           `json:"workers"`
+	Chaos       bool          `json:"chaos"`
+	Faults      int64         `json:"faults"`
 	Executions  int64         `json:"executions"`
 	Elapsed     time.Duration `json:"elapsed_ns"`
 	ExecsPerSec float64       `json:"execs_per_sec"`
@@ -36,13 +40,19 @@ type DistReport struct {
 	Shards         int       `json:"shards"`
 	GOMAXPROCS     int       `json:"gomaxprocs"`
 	NumCPU         int       `json:"num_cpu"`
+	ChaosScenario  string    `json:"chaos_scenario"`
 	Rows           []DistRow `json:"rows"`
 }
 
 // DistSweep measures coordinator/worker throughput at each worker
 // count. Work is execution-bounded and stride-sharded, so every row
 // explores the identical schedule set; wall clock (including lease
-// round-trips and heartbeats) is the measurement.
+// round-trips and heartbeats) is the measurement. A final chaos row
+// repeats the largest worker count with every worker behind a
+// deterministic fault injector (the "flaky" scenario: dropped and
+// delayed calls), putting a price on the retry/backoff machinery —
+// and its Identical check proves the merged report does not move
+// under faults.
 func DistSweep(workers []int, execs int64) DistReport {
 	const program = "wsq-2x2"
 	body := progs.WorkStealingQueue(progs.WSQConfig{Items: 2, Stealers: 2})
@@ -61,6 +71,7 @@ func DistSweep(workers []int, execs int64) DistReport {
 		RefParallelism: 2,
 		GOMAXPROCS:     runtime.GOMAXPROCS(0),
 		NumCPU:         runtime.NumCPU(),
+		ChaosScenario:  "flaky",
 	}
 	lookup := func(name string) (func(*engine.T), bool) {
 		if name != program {
@@ -70,7 +81,7 @@ func DistSweep(workers []int, execs int64) DistReport {
 	}
 	var baseline []byte
 	var base float64
-	for _, w := range workers {
+	runOnce := func(w int, chaos bool) {
 		start := time.Now()
 		coord, err := dist.NewCoordinator(dist.CoordinatorConfig{
 			Prog:           body,
@@ -82,12 +93,27 @@ func DistSweep(workers []int, execs int64) DistReport {
 			panic(err)
 		}
 		srv := httptest.NewServer(coord.Handler())
+		injectors := make([]*faultinject.Injector, w)
 		var wg sync.WaitGroup
 		for i := 0; i < w; i++ {
+			cfg := dist.WorkerConfig{URL: srv.URL, Lookup: lookup}
+			if chaos {
+				in := faultinject.New(uint64(i)+1, faultinject.MustLookup(out.ChaosScenario))
+				injectors[i] = in
+				cfg.Transport = in.RoundTripper(nil)
+				// Quick backoff keeps the row a measure of the retry
+				// machinery, not of idle sleeping.
+				cfg.Retry = transport.Policy{
+					MaxAttempts: 6,
+					BaseDelay:   5 * time.Millisecond,
+					MaxDelay:    100 * time.Millisecond,
+					Seed:        uint64(i) + 1,
+				}
+			}
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				dist.RunWorker(dist.WorkerConfig{URL: srv.URL, Lookup: lookup})
+				dist.RunWorker(cfg)
 			}()
 		}
 		rep := coord.Wait()
@@ -107,16 +133,28 @@ func DistSweep(workers []int, execs int64) DistReport {
 		out.Shards = len(coord.Plan().Shards)
 		row := DistRow{
 			Workers:     w,
+			Chaos:       chaos,
 			Executions:  rep.Executions,
 			Elapsed:     elapsed,
 			ExecsPerSec: float64(rep.Executions) / elapsed.Seconds(),
 			Identical:   string(enc) == string(baseline),
+		}
+		for _, in := range injectors {
+			if in != nil {
+				row.Faults += in.Total()
+			}
 		}
 		if base == 0 {
 			base = row.ExecsPerSec
 		}
 		row.Speedup = row.ExecsPerSec / base
 		out.Rows = append(out.Rows, row)
+	}
+	for _, w := range workers {
+		runOnce(w, false)
+	}
+	if len(workers) > 0 {
+		runOnce(workers[len(workers)-1], true)
 	}
 	return out
 }

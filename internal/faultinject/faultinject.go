@@ -1,0 +1,381 @@
+// Package faultinject is the chaos layer of the distributed search: a
+// deterministic, seed-driven fault injector for HTTP traffic between
+// workers and the coordinator.
+//
+// The injector wraps either side of a connection — an http.RoundTripper
+// on the client, a middleware on the server — and can drop, delay,
+// duplicate, truncate, and reset requests/responses, or black-hole a
+// window of requests to simulate a network partition.
+//
+// Everything in this repo is replayable from a seed; chaos is no
+// exception. Every fault decision is a pure function of
+// (seed, scenario, endpoint, request ordinal): the n-th request to a
+// given endpoint draws its verdict from a splitmix64 stream keyed by
+// the seed and the endpoint path, independent of wall-clock time or
+// goroutine interleaving. Re-running the same (seed, scenario) against
+// the same request sequence reproduces the identical fault schedule —
+// which is what lets ci/chaos_smoke.sh assert that a chaotic run's
+// merged report is byte-identical to the fault-free one.
+package faultinject
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"fairmc/internal/rng"
+)
+
+// Fault kinds, as reported to OnFault and in Counts.
+const (
+	KindDrop      = "drop"      // request never reaches the server
+	KindDelay     = "delay"     // request is forwarded after a pause
+	KindDup       = "dup"       // request is delivered twice
+	KindTruncate  = "truncate"  // response body is cut short
+	KindReset     = "reset"     // response is lost after delivery
+	KindPartition = "partition" // request falls in a partition window
+)
+
+// Rule is one line of a chaos scenario: which endpoints it matches and
+// what misbehavior they get. Probabilities are in [0, 1] and are
+// evaluated independently in a fixed order (partition, drop, reset,
+// dup, truncate, delay) from the same deterministic stream, so at most
+// one terminal fault (drop/reset/partition) applies per request while
+// dup, truncate and delay may combine with each other.
+type Rule struct {
+	// Endpoint selects requests whose URL path contains this substring;
+	// "" matches every request.
+	Endpoint string
+
+	Drop     float64 // probability the request is dropped before sending
+	Reset    float64 // probability the response is discarded after delivery
+	Dup      float64 // probability the request is sent twice
+	Truncate float64 // probability the response body is cut in half
+	Delay    float64 // probability the request is delayed
+	// MaxDelay bounds an injected delay; the actual pause is a
+	// deterministic fraction of it. Zero with Delay > 0 means 20ms.
+	MaxDelay time.Duration
+
+	// PartitionFrom/PartitionTo define a half-open window of per-rule
+	// request ordinals [From, To) during which every matching request
+	// fails as if the network were partitioned. Zero values disable the
+	// window.
+	PartitionFrom int
+	PartitionTo   int
+}
+
+// Scenario is a named set of rules.
+type Scenario struct {
+	Name  string
+	Rules []Rule
+}
+
+// DroppedError is the synthetic transport error for drop, reset, and
+// partition faults. It satisfies the error interface only — like a real
+// severed TCP connection, the caller cannot tell whether the server
+// processed the request (it did for reset, did not for drop).
+type DroppedError struct {
+	Kind string // KindDrop, KindReset, or KindPartition
+	Path string
+}
+
+func (e *DroppedError) Error() string {
+	return fmt.Sprintf("faultinject: %s %s", e.Kind, e.Path)
+}
+
+// Injector applies a scenario to HTTP traffic. Create with New; use
+// RoundTripper for client-side faults or Middleware for server-side
+// ones. Safe for concurrent use; concurrency does not perturb the
+// fault schedule because each rule keeps its own request ordinal.
+type Injector struct {
+	seed     uint64
+	scenario Scenario
+
+	// OnFault, when set, observes every injected fault (by kind).
+	// Set before the first request; typically wired to
+	// obs.Metrics.DistFaultsInjected.
+	OnFault func(kind string)
+
+	// Sleep replaces time.Sleep for delay faults (tests); nil means
+	// time.Sleep.
+	Sleep func(time.Duration)
+
+	mu     sync.Mutex
+	seq    []int // per-rule request ordinal
+	counts map[string]int64
+}
+
+// New returns an injector for the given seed and scenario.
+func New(seed uint64, sc Scenario) *Injector {
+	return &Injector{
+		seed:     seed,
+		scenario: sc,
+		seq:      make([]int, len(sc.Rules)),
+		counts:   map[string]int64{},
+	}
+}
+
+// Counts returns how many faults of each kind have been injected.
+func (in *Injector) Counts() map[string]int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]int64, len(in.counts))
+	for k, v := range in.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Total returns the total number of injected faults.
+func (in *Injector) Total() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var n int64
+	for _, v := range in.counts {
+		n += v
+	}
+	return n
+}
+
+// verdict is the decision for one request under one rule.
+type verdict struct {
+	drop, reset, dup, truncate bool
+	partition                  bool
+	delay                      time.Duration
+}
+
+func (v verdict) any() bool {
+	return v.drop || v.reset || v.dup || v.truncate || v.partition || v.delay > 0
+}
+
+// pathHash is FNV-1a over the path, the endpoint half of the stream
+// key.
+func pathHash(p string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(p); i++ {
+		h ^= uint64(p[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// decide draws the verdict for the next request to path. The stream is
+// keyed by (seed, rule endpoint, ordinal): the i-th matching request of
+// a rule always gets the same verdict, whatever else is in flight.
+func (in *Injector) decide(path string) verdict {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var v verdict
+	for i, r := range in.scenario.Rules {
+		if r.Endpoint != "" && !strings.Contains(path, r.Endpoint) {
+			continue
+		}
+		ord := in.seq[i]
+		in.seq[i]++
+		g := rng.New(rng.Mix(rng.Mix(in.seed, pathHash(r.Endpoint)), uint64(ord)+1))
+		// Draw every probability in a fixed order so a rule edit that
+		// removes one fault kind does not reshuffle the others.
+		pDrop := float64(g.Uint64()%1e6) / 1e6
+		pReset := float64(g.Uint64()%1e6) / 1e6
+		pDup := float64(g.Uint64()%1e6) / 1e6
+		pTrunc := float64(g.Uint64()%1e6) / 1e6
+		pDelay := float64(g.Uint64()%1e6) / 1e6
+		frac := float64(g.Uint64()%1e6) / 1e6
+
+		if r.PartitionTo > r.PartitionFrom && ord >= r.PartitionFrom && ord < r.PartitionTo {
+			v.partition = true
+		}
+		if pDrop < r.Drop {
+			v.drop = true
+		}
+		if pReset < r.Reset {
+			v.reset = true
+		}
+		if pDup < r.Dup {
+			v.dup = true
+		}
+		if pTrunc < r.Truncate {
+			v.truncate = true
+		}
+		if pDelay < r.Delay {
+			max := r.MaxDelay
+			if max <= 0 {
+				max = 20 * time.Millisecond
+			}
+			if d := time.Duration(frac * float64(max)); d > v.delay {
+				v.delay = d
+			}
+		}
+	}
+	// Terminal faults shadow each other: partition > drop > reset.
+	if v.partition {
+		v.drop, v.reset = false, false
+	} else if v.drop {
+		v.reset = false
+	}
+	return v
+}
+
+func (in *Injector) note(kind string) {
+	in.mu.Lock()
+	in.counts[kind]++
+	in.mu.Unlock()
+	if in.OnFault != nil {
+		in.OnFault(kind)
+	}
+}
+
+func (in *Injector) sleep(d time.Duration) {
+	if in.Sleep != nil {
+		in.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// RoundTripper wraps base (nil means http.DefaultTransport) with
+// client-side fault injection.
+func (in *Injector) RoundTripper(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &roundTripper{in: in, base: base}
+}
+
+type roundTripper struct {
+	in   *Injector
+	base http.RoundTripper
+}
+
+func (rt *roundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	in := rt.in
+	path := req.URL.Path
+	v := in.decide(path)
+	if !v.any() {
+		return rt.base.RoundTrip(req)
+	}
+	if v.delay > 0 {
+		in.note(KindDelay)
+		in.sleep(v.delay)
+	}
+	if v.partition {
+		in.note(KindPartition)
+		return nil, &DroppedError{Kind: KindPartition, Path: path}
+	}
+	if v.drop {
+		in.note(KindDrop)
+		return nil, &DroppedError{Kind: KindDrop, Path: path}
+	}
+	if v.dup {
+		// Deliver the request twice: the extra delivery exercises the
+		// receiver's idempotency handling. Requires a rewindable body
+		// (true for all dist calls, which use bytes.Reader bodies).
+		if extra := cloneRequest(req); extra != nil {
+			in.note(KindDup)
+			if resp, err := rt.base.RoundTrip(extra); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+	}
+	resp, err := rt.base.RoundTrip(req)
+	if err != nil {
+		return resp, err
+	}
+	if v.reset {
+		// The server processed the request, but the client never sees
+		// the answer — the fault that flushes out non-idempotent
+		// endpoints.
+		in.note(KindReset)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, &DroppedError{Kind: KindReset, Path: path}
+	}
+	if v.truncate {
+		in.note(KindTruncate)
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		cut := body[:len(body)/2]
+		resp.Body = io.NopCloser(bytes.NewReader(cut))
+		resp.ContentLength = int64(len(cut))
+		resp.Header.Del("Content-Length")
+	}
+	return resp, nil
+}
+
+// cloneRequest duplicates a request with a rewound body; returns nil if
+// the body cannot be replayed.
+func cloneRequest(req *http.Request) *http.Request {
+	if req.Body == nil {
+		return req.Clone(req.Context())
+	}
+	if req.GetBody == nil {
+		return nil
+	}
+	body, err := req.GetBody()
+	if err != nil {
+		return nil
+	}
+	c := req.Clone(req.Context())
+	c.Body = body
+	return c
+}
+
+// Middleware wraps next with server-side fault injection: delays and
+// drops (the latter rendered as an aborted 502 so the client sees a
+// retryable failure). Duplicate/reset/truncate are client-side-only
+// faults; rules carrying them still delay and drop here.
+func (in *Injector) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		v := in.decide(r.URL.Path)
+		if v.delay > 0 {
+			in.note(KindDelay)
+			in.sleep(v.delay)
+		}
+		if v.partition || v.drop {
+			kind := KindDrop
+			if v.partition {
+				kind = KindPartition
+			}
+			in.note(kind)
+			http.Error(w, "faultinject: "+kind, http.StatusBadGateway)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Schedule renders the verdicts a rule stream would produce for the
+// first n requests, for reproducibility tests and debugging: same
+// (seed, scenario) → same string.
+func Schedule(seed uint64, sc Scenario, n int) string {
+	in := New(seed, sc)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		// Probe every rule endpoint so multi-rule scenarios are fully
+		// rendered; paths are the rules' endpoint patterns.
+		paths := map[string]bool{}
+		for _, r := range sc.Rules {
+			paths[r.Endpoint] = true
+		}
+		ordered := make([]string, 0, len(paths))
+		for p := range paths {
+			ordered = append(ordered, p)
+		}
+		sort.Strings(ordered)
+		for _, p := range ordered {
+			v := in.decide(p)
+			fmt.Fprintf(&b, "%d %q drop=%v reset=%v dup=%v trunc=%v part=%v delay=%s\n",
+				i, p, v.drop, v.reset, v.dup, v.truncate, v.partition, v.delay)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,260 @@
+package faultinject
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// stubTripper records every request it forwards and answers with a
+// canned body.
+type stubTripper struct {
+	calls []string
+	body  string
+}
+
+func (s *stubTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	var b []byte
+	if req.Body != nil {
+		b, _ = io.ReadAll(req.Body)
+		req.Body.Close()
+	}
+	s.calls = append(s.calls, req.URL.Path+":"+string(b))
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Body:       io.NopCloser(strings.NewReader(s.body)),
+		Header:     http.Header{},
+	}, nil
+}
+
+func newRequest(t *testing.T, path, body string) *http.Request {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, "http://x"+path, bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		sc := MustLookup(name)
+		a := Schedule(7, sc, 50)
+		b := Schedule(7, sc, 50)
+		if a != b {
+			t.Fatalf("scenario %q: same (seed, scenario) produced different schedules", name)
+		}
+		probabilistic := false
+		for _, r := range sc.Rules {
+			if r.Drop+r.Reset+r.Dup+r.Truncate+r.Delay > 0 {
+				probabilistic = true
+			}
+		}
+		if !probabilistic {
+			continue // pure partition windows are seed-independent by design
+		}
+		c := Schedule(8, sc, 50)
+		if a == c {
+			t.Fatalf("scenario %q: different seeds produced identical schedules", name)
+		}
+	}
+}
+
+func TestScheduleIndependentOfInterleaving(t *testing.T) {
+	// The verdict for the i-th request to an endpoint must not depend on
+	// traffic to other endpoints: interleave two endpoints in different
+	// orders and compare per-endpoint verdict streams via fault counts.
+	sc := Scenario{Name: "t", Rules: []Rule{
+		{Endpoint: "/a", Drop: 0.5},
+		{Endpoint: "/b", Drop: 0.5},
+	}}
+	run := func(order []string) map[string]int64 {
+		in := New(3, sc)
+		st := &stubTripper{body: "ok"}
+		rt := in.RoundTripper(st)
+		for _, p := range order {
+			req := newRequest(t, p, "x")
+			if resp, err := rt.RoundTrip(req); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+		return in.Counts()
+	}
+	seq := []string{"/a", "/a", "/b", "/a", "/b", "/b", "/a", "/b"}
+	shuffled := []string{"/b", "/a", "/b", "/b", "/a", "/a", "/b", "/a"}
+	c1, c2 := run(seq), run(shuffled)
+	if c1[KindDrop] != c2[KindDrop] {
+		t.Fatalf("interleaving changed the fault schedule: %v vs %v", c1, c2)
+	}
+}
+
+func TestDropReturnsErrorWithoutForwarding(t *testing.T) {
+	sc := Scenario{Rules: []Rule{{Endpoint: "/x", Drop: 1}}}
+	in := New(1, sc)
+	st := &stubTripper{body: "ok"}
+	rt := in.RoundTripper(st)
+	_, err := rt.RoundTrip(newRequest(t, "/x", "hello"))
+	de, ok := err.(*DroppedError)
+	if !ok || de.Kind != KindDrop {
+		t.Fatalf("want DroppedError{drop}, got %v", err)
+	}
+	if len(st.calls) != 0 {
+		t.Fatalf("dropped request reached the server: %v", st.calls)
+	}
+	if in.Counts()[KindDrop] != 1 {
+		t.Fatalf("counts = %v", in.Counts())
+	}
+}
+
+func TestResetForwardsThenFails(t *testing.T) {
+	sc := Scenario{Rules: []Rule{{Endpoint: "/x", Reset: 1}}}
+	in := New(1, sc)
+	st := &stubTripper{body: "ok"}
+	rt := in.RoundTripper(st)
+	_, err := rt.RoundTrip(newRequest(t, "/x", "hello"))
+	de, ok := err.(*DroppedError)
+	if !ok || de.Kind != KindReset {
+		t.Fatalf("want DroppedError{reset}, got %v", err)
+	}
+	if len(st.calls) != 1 {
+		t.Fatalf("reset must deliver the request exactly once, got %v", st.calls)
+	}
+}
+
+func TestDupDeliversTwice(t *testing.T) {
+	sc := Scenario{Rules: []Rule{{Endpoint: "/x", Dup: 1}}}
+	in := New(1, sc)
+	st := &stubTripper{body: "ok"}
+	rt := in.RoundTripper(st)
+	resp, err := rt.RoundTrip(newRequest(t, "/x", "payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" {
+		t.Fatalf("caller should still get the real response, got %q", body)
+	}
+	if len(st.calls) != 2 || st.calls[0] != "/x:payload" || st.calls[1] != "/x:payload" {
+		t.Fatalf("want two identical deliveries, got %v", st.calls)
+	}
+}
+
+func TestTruncateCutsBody(t *testing.T) {
+	sc := Scenario{Rules: []Rule{{Endpoint: "/x", Truncate: 1}}}
+	in := New(1, sc)
+	st := &stubTripper{body: "0123456789"}
+	rt := in.RoundTripper(st)
+	resp, err := rt.RoundTrip(newRequest(t, "/x", ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "01234" {
+		t.Fatalf("want truncated body %q, got %q", "01234", body)
+	}
+}
+
+func TestDelayUsesInjectedSleep(t *testing.T) {
+	sc := Scenario{Rules: []Rule{{Endpoint: "/x", Delay: 1, MaxDelay: 40 * time.Millisecond}}}
+	in := New(1, sc)
+	var slept []time.Duration
+	in.Sleep = func(d time.Duration) { slept = append(slept, d) }
+	st := &stubTripper{body: "ok"}
+	rt := in.RoundTripper(st)
+	for i := 0; i < 5; i++ {
+		resp, err := rt.RoundTrip(newRequest(t, "/x", ""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	if len(slept) != 5 {
+		t.Fatalf("want 5 injected delays, got %d", len(slept))
+	}
+	for _, d := range slept {
+		if d < 0 || d >= 40*time.Millisecond {
+			t.Fatalf("delay %s out of [0, MaxDelay)", d)
+		}
+	}
+}
+
+func TestPartitionWindow(t *testing.T) {
+	sc := Scenario{Rules: []Rule{{Endpoint: "/x", PartitionFrom: 2, PartitionTo: 4}}}
+	in := New(1, sc)
+	st := &stubTripper{body: "ok"}
+	rt := in.RoundTripper(st)
+	var failed []int
+	for i := 0; i < 6; i++ {
+		resp, err := rt.RoundTrip(newRequest(t, "/x", ""))
+		if err != nil {
+			if de, ok := err.(*DroppedError); !ok || de.Kind != KindPartition {
+				t.Fatalf("request %d: want partition error, got %v", i, err)
+			}
+			failed = append(failed, i)
+			continue
+		}
+		resp.Body.Close()
+	}
+	if len(failed) != 2 || failed[0] != 2 || failed[1] != 3 {
+		t.Fatalf("partition window [2,4) should fail requests 2 and 3, got %v", failed)
+	}
+}
+
+func TestMiddlewareDropsAndDelays(t *testing.T) {
+	sc := Scenario{Rules: []Rule{{Endpoint: "/x", Drop: 1}}}
+	in := New(1, sc)
+	served := 0
+	h := in.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/x", nil))
+	if rec.Code != http.StatusBadGateway {
+		t.Fatalf("dropped request should 502, got %d", rec.Code)
+	}
+	if served != 0 {
+		t.Fatal("dropped request reached the handler")
+	}
+
+	// Unmatched endpoints pass through untouched.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/y", nil))
+	if rec.Code != http.StatusOK || served != 1 {
+		t.Fatalf("clean request should pass through, code=%d served=%d", rec.Code, served)
+	}
+}
+
+func TestStandardScenarioInjectsEveryHeadlineFault(t *testing.T) {
+	// The acceptance criterion names drops + delays + duplicated
+	// responses + a mid-search partition; drive enough traffic through
+	// the standard preset to see each kind at least once.
+	in := New(1, MustLookup(ScenarioStandard))
+	in.Sleep = func(time.Duration) {}
+	st := &stubTripper{body: "a body long enough to truncate"}
+	rt := in.RoundTripper(st)
+	for i := 0; i < 60; i++ {
+		for _, p := range []string{"/v1/lease", "/v1/result", "/v1/heartbeat"} {
+			req := newRequest(t, p, "x")
+			if resp, err := rt.RoundTrip(req); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+	}
+	counts := in.Counts()
+	for _, kind := range []string{KindDrop, KindDelay, KindDup, KindPartition} {
+		if counts[kind] == 0 {
+			t.Fatalf("standard scenario never injected %q over 180 requests: %v", kind, counts)
+		}
+	}
+	if in.Total() == 0 {
+		t.Fatal("Total() = 0")
+	}
+}

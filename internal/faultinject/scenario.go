@@ -1,0 +1,78 @@
+package faultinject
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Preset scenario names, usable with Lookup and the CLI's
+// -chaos-scenario flag. The dist protocol paths referenced here are
+// spelled out (rather than imported) so faultinject stays free of dist
+// imports; they match internal/dist/protocol.go.
+const (
+	// ScenarioFlaky: every endpoint drops 8% of requests and delays 20%
+	// by up to 20ms — a lossy, jittery link.
+	ScenarioFlaky = "flaky"
+	// ScenarioDup: result and heartbeat POSTs are duplicated 25% of the
+	// time — the scenario that flushes out non-idempotent endpoints.
+	ScenarioDup = "dup"
+	// ScenarioPartition: lease/heartbeat/result traffic is black-holed
+	// for a window of requests mid-search, then heals.
+	ScenarioPartition = "partition"
+	// ScenarioStandard is the headline chaos mix used by
+	// ci/chaos_smoke.sh and the BENCH_dist chaos row: drops + delays +
+	// duplicated deliveries + response resets + truncations + a
+	// mid-search partition, all at once.
+	ScenarioStandard = "standard"
+)
+
+// scenarios maps preset names to their rule sets.
+var scenarios = map[string]Scenario{
+	ScenarioFlaky: {Name: ScenarioFlaky, Rules: []Rule{
+		{Endpoint: "", Drop: 0.08, Delay: 0.20, MaxDelay: 20 * time.Millisecond},
+	}},
+	ScenarioDup: {Name: ScenarioDup, Rules: []Rule{
+		{Endpoint: "/v1/result", Dup: 0.25},
+		{Endpoint: "/v1/heartbeat", Dup: 0.25},
+	}},
+	ScenarioPartition: {Name: ScenarioPartition, Rules: []Rule{
+		{Endpoint: "/v1/lease", PartitionFrom: 12, PartitionTo: 24},
+		{Endpoint: "/v1/heartbeat", PartitionFrom: 4, PartitionTo: 10},
+		{Endpoint: "/v1/result", PartitionFrom: 3, PartitionTo: 6},
+	}},
+	ScenarioStandard: {Name: ScenarioStandard, Rules: []Rule{
+		{Endpoint: "", Drop: 0.06, Delay: 0.20, MaxDelay: 15 * time.Millisecond},
+		{Endpoint: "/v1/result", Dup: 0.20, Reset: 0.10},
+		{Endpoint: "/v1/heartbeat", Dup: 0.15},
+		{Endpoint: "/v1/lease", Truncate: 0.05, PartitionFrom: 16, PartitionTo: 26},
+	}},
+}
+
+// Lookup returns a preset scenario by name.
+func Lookup(name string) (Scenario, bool) {
+	sc, ok := scenarios[name]
+	return sc, ok
+}
+
+// Names lists the preset scenario names in sorted order (for usage
+// messages).
+func Names() []string {
+	out := make([]string, 0, len(scenarios))
+	for name := range scenarios {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MustLookup is Lookup for callers that validated the name already.
+func MustLookup(name string) Scenario {
+	sc, ok := Lookup(name)
+	if !ok {
+		panic(fmt.Sprintf("faultinject: unknown scenario %q (have %s)",
+			name, strings.Join(Names(), ", ")))
+	}
+	return sc
+}

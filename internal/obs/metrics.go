@@ -184,6 +184,25 @@ type Metrics struct {
 	PrefixMisses Counter
 	// Checkpoints counts checkpoint files written.
 	Checkpoints Counter
+	// DistRetries counts retried worker↔coordinator HTTP calls (each
+	// re-sent attempt counts once; the first attempt of a call does
+	// not).
+	DistRetries Counter
+	// DistFaultsInjected counts faults the chaos layer injected into
+	// the dist transport (drops, delays, duplicates, truncations,
+	// resets, partitioned requests — internal/faultinject).
+	DistFaultsInjected Counter
+	// BreakerOpens counts closed→open transitions of a dist circuit
+	// breaker (an unreachable peer tripping fail-fast mode).
+	BreakerOpens Counter
+	// SpooledResults counts completed shard reports a worker spooled to
+	// its -workdir because the coordinator was unreachable; the spool is
+	// replayed on rejoin, so each spooled result is work saved, not
+	// lost.
+	SpooledResults Counter
+	// ShedRequests counts requests the coordinator refused with 429 +
+	// Retry-After under load (graceful degradation, not failure).
+	ShedRequests Counter
 	// Frontier is the per-strategy frontier depth: the DFS stack depth
 	// (sequential systematic search), the number of unmerged frontier
 	// prefixes (prefix-parallel search), or the next unmerged execution
@@ -248,31 +267,36 @@ func (m *Metrics) FlushExec(f ExecFlush) {
 // but not as one transaction: a snapshot taken while workers run may
 // mix values from adjacent executions.
 type Snapshot struct {
-	Executions        int64        `json:"executions"`
-	Steps             int64        `json:"steps"`
-	Choices           int64        `json:"choices"`
-	Candidates        int64        `json:"candidates"`
-	Yields            int64        `json:"yields"`
-	EdgeAdds          int64        `json:"edgeAdds"`
-	EdgeErases        int64        `json:"edgeErases"`
-	FairBlocked       int64        `json:"fairBlocked"`
-	Terminations      int64        `json:"terminations"`
-	Deadlocks         int64        `json:"deadlocks"`
-	Violations        int64        `json:"violations"`
-	Diverged          int64        `json:"diverged"`
-	Aborts            int64        `json:"aborts"`
-	Wedges            int64        `json:"wedges"`
-	ReplayDivergences int64        `json:"replayDivergences"`
-	Quarantined       int64        `json:"quarantined"`
-	WorkerRetries     int64        `json:"workerRetries"`
-	InlineSteps       int64        `json:"inlineSteps"`
-	Handoffs          int64        `json:"handoffs"`
-	EngineReuses      int64        `json:"engineReuses"`
-	PrefixHits        int64        `json:"prefixHits"`
-	PrefixMisses      int64        `json:"prefixMisses"`
-	Checkpoints       int64        `json:"checkpoints"`
-	Frontier          int64        `json:"frontier"`
-	ExecSteps         []HistBucket `json:"execSteps,omitempty"`
+	Executions         int64        `json:"executions"`
+	Steps              int64        `json:"steps"`
+	Choices            int64        `json:"choices"`
+	Candidates         int64        `json:"candidates"`
+	Yields             int64        `json:"yields"`
+	EdgeAdds           int64        `json:"edgeAdds"`
+	EdgeErases         int64        `json:"edgeErases"`
+	FairBlocked        int64        `json:"fairBlocked"`
+	Terminations       int64        `json:"terminations"`
+	Deadlocks          int64        `json:"deadlocks"`
+	Violations         int64        `json:"violations"`
+	Diverged           int64        `json:"diverged"`
+	Aborts             int64        `json:"aborts"`
+	Wedges             int64        `json:"wedges"`
+	ReplayDivergences  int64        `json:"replayDivergences"`
+	Quarantined        int64        `json:"quarantined"`
+	WorkerRetries      int64        `json:"workerRetries"`
+	InlineSteps        int64        `json:"inlineSteps"`
+	Handoffs           int64        `json:"handoffs"`
+	EngineReuses       int64        `json:"engineReuses"`
+	PrefixHits         int64        `json:"prefixHits"`
+	PrefixMisses       int64        `json:"prefixMisses"`
+	Checkpoints        int64        `json:"checkpoints"`
+	DistRetries        int64        `json:"distRetries"`
+	DistFaultsInjected int64        `json:"distFaultsInjected"`
+	BreakerOpens       int64        `json:"breakerOpens"`
+	SpooledResults     int64        `json:"spooledResults"`
+	ShedRequests       int64        `json:"shedRequests"`
+	Frontier           int64        `json:"frontier"`
+	ExecSteps          []HistBucket `json:"execSteps,omitempty"`
 }
 
 // Sub returns the counter-wise difference s - prev: the work performed
@@ -282,30 +306,35 @@ type Snapshot struct {
 // histogram buckets subtract bucket-wise.
 func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	d := Snapshot{
-		Executions:        s.Executions - prev.Executions,
-		Steps:             s.Steps - prev.Steps,
-		Choices:           s.Choices - prev.Choices,
-		Candidates:        s.Candidates - prev.Candidates,
-		Yields:            s.Yields - prev.Yields,
-		EdgeAdds:          s.EdgeAdds - prev.EdgeAdds,
-		EdgeErases:        s.EdgeErases - prev.EdgeErases,
-		FairBlocked:       s.FairBlocked - prev.FairBlocked,
-		Terminations:      s.Terminations - prev.Terminations,
-		Deadlocks:         s.Deadlocks - prev.Deadlocks,
-		Violations:        s.Violations - prev.Violations,
-		Diverged:          s.Diverged - prev.Diverged,
-		Aborts:            s.Aborts - prev.Aborts,
-		Wedges:            s.Wedges - prev.Wedges,
-		ReplayDivergences: s.ReplayDivergences - prev.ReplayDivergences,
-		Quarantined:       s.Quarantined - prev.Quarantined,
-		WorkerRetries:     s.WorkerRetries - prev.WorkerRetries,
-		InlineSteps:       s.InlineSteps - prev.InlineSteps,
-		Handoffs:          s.Handoffs - prev.Handoffs,
-		EngineReuses:      s.EngineReuses - prev.EngineReuses,
-		PrefixHits:        s.PrefixHits - prev.PrefixHits,
-		PrefixMisses:      s.PrefixMisses - prev.PrefixMisses,
-		Checkpoints:       s.Checkpoints - prev.Checkpoints,
-		Frontier:          s.Frontier,
+		Executions:         s.Executions - prev.Executions,
+		Steps:              s.Steps - prev.Steps,
+		Choices:            s.Choices - prev.Choices,
+		Candidates:         s.Candidates - prev.Candidates,
+		Yields:             s.Yields - prev.Yields,
+		EdgeAdds:           s.EdgeAdds - prev.EdgeAdds,
+		EdgeErases:         s.EdgeErases - prev.EdgeErases,
+		FairBlocked:        s.FairBlocked - prev.FairBlocked,
+		Terminations:       s.Terminations - prev.Terminations,
+		Deadlocks:          s.Deadlocks - prev.Deadlocks,
+		Violations:         s.Violations - prev.Violations,
+		Diverged:           s.Diverged - prev.Diverged,
+		Aborts:             s.Aborts - prev.Aborts,
+		Wedges:             s.Wedges - prev.Wedges,
+		ReplayDivergences:  s.ReplayDivergences - prev.ReplayDivergences,
+		Quarantined:        s.Quarantined - prev.Quarantined,
+		WorkerRetries:      s.WorkerRetries - prev.WorkerRetries,
+		InlineSteps:        s.InlineSteps - prev.InlineSteps,
+		Handoffs:           s.Handoffs - prev.Handoffs,
+		EngineReuses:       s.EngineReuses - prev.EngineReuses,
+		PrefixHits:         s.PrefixHits - prev.PrefixHits,
+		PrefixMisses:       s.PrefixMisses - prev.PrefixMisses,
+		Checkpoints:        s.Checkpoints - prev.Checkpoints,
+		DistRetries:        s.DistRetries - prev.DistRetries,
+		DistFaultsInjected: s.DistFaultsInjected - prev.DistFaultsInjected,
+		BreakerOpens:       s.BreakerOpens - prev.BreakerOpens,
+		SpooledResults:     s.SpooledResults - prev.SpooledResults,
+		ShedRequests:       s.ShedRequests - prev.ShedRequests,
+		Frontier:           s.Frontier,
 	}
 	prevAt := make(map[int64]int64, len(prev.ExecSteps))
 	for _, b := range prev.ExecSteps {
@@ -347,6 +376,11 @@ func (m *Metrics) Merge(d Snapshot) {
 	m.PrefixHits.Add(d.PrefixHits)
 	m.PrefixMisses.Add(d.PrefixMisses)
 	m.Checkpoints.Add(d.Checkpoints)
+	m.DistRetries.Add(d.DistRetries)
+	m.DistFaultsInjected.Add(d.DistFaultsInjected)
+	m.BreakerOpens.Add(d.BreakerOpens)
+	m.SpooledResults.Add(d.SpooledResults)
+	m.ShedRequests.Add(d.ShedRequests)
 	for _, b := range d.ExecSteps {
 		idx := 63 // open-ended overflow bucket
 		if b.Le >= 0 {
@@ -365,30 +399,35 @@ func (m *Metrics) Merge(d Snapshot) {
 // Snapshot copies the current metric values.
 func (m *Metrics) Snapshot() Snapshot {
 	return Snapshot{
-		Executions:        m.Executions.Load(),
-		Steps:             m.Steps.Load(),
-		Choices:           m.Choices.Load(),
-		Candidates:        m.Candidates.Load(),
-		Yields:            m.Yields.Load(),
-		EdgeAdds:          m.EdgeAdds.Load(),
-		EdgeErases:        m.EdgeErases.Load(),
-		FairBlocked:       m.FairBlocked.Load(),
-		Terminations:      m.Terminations.Load(),
-		Deadlocks:         m.Deadlocks.Load(),
-		Violations:        m.Violations.Load(),
-		Diverged:          m.Diverged.Load(),
-		Aborts:            m.Aborts.Load(),
-		Wedges:            m.Wedges.Load(),
-		ReplayDivergences: m.ReplayDivergences.Load(),
-		Quarantined:       m.Quarantined.Load(),
-		WorkerRetries:     m.WorkerRetries.Load(),
-		InlineSteps:       m.InlineSteps.Load(),
-		Handoffs:          m.Handoffs.Load(),
-		EngineReuses:      m.EngineReuses.Load(),
-		PrefixHits:        m.PrefixHits.Load(),
-		PrefixMisses:      m.PrefixMisses.Load(),
-		Checkpoints:       m.Checkpoints.Load(),
-		Frontier:          m.Frontier.Load(),
-		ExecSteps:         m.ExecSteps.Buckets(),
+		Executions:         m.Executions.Load(),
+		Steps:              m.Steps.Load(),
+		Choices:            m.Choices.Load(),
+		Candidates:         m.Candidates.Load(),
+		Yields:             m.Yields.Load(),
+		EdgeAdds:           m.EdgeAdds.Load(),
+		EdgeErases:         m.EdgeErases.Load(),
+		FairBlocked:        m.FairBlocked.Load(),
+		Terminations:       m.Terminations.Load(),
+		Deadlocks:          m.Deadlocks.Load(),
+		Violations:         m.Violations.Load(),
+		Diverged:           m.Diverged.Load(),
+		Aborts:             m.Aborts.Load(),
+		Wedges:             m.Wedges.Load(),
+		ReplayDivergences:  m.ReplayDivergences.Load(),
+		Quarantined:        m.Quarantined.Load(),
+		WorkerRetries:      m.WorkerRetries.Load(),
+		InlineSteps:        m.InlineSteps.Load(),
+		Handoffs:           m.Handoffs.Load(),
+		EngineReuses:       m.EngineReuses.Load(),
+		PrefixHits:         m.PrefixHits.Load(),
+		PrefixMisses:       m.PrefixMisses.Load(),
+		Checkpoints:        m.Checkpoints.Load(),
+		DistRetries:        m.DistRetries.Load(),
+		DistFaultsInjected: m.DistFaultsInjected.Load(),
+		BreakerOpens:       m.BreakerOpens.Load(),
+		SpooledResults:     m.SpooledResults.Load(),
+		ShedRequests:       m.ShedRequests.Load(),
+		Frontier:           m.Frontier.Load(),
+		ExecSteps:          m.ExecSteps.Buckets(),
 	}
 }
