@@ -43,6 +43,14 @@
 // partitions) for resilience testing — the merged report stays
 // byte-identical under chaos.
 //
+// Service mode (docs/SERVICE.md): -serve ADDR -ledger DIR runs the
+// durable multi-job checking service — submissions, shard progress
+// and final reports are committed to a write-ahead ledger, so a
+// killed service restarts with the same artifacts and never re-runs
+// committed work. -submit/-status/-cancel (with -job) are its
+// clients; -worker pointed at a service URL automatically becomes a
+// pool worker shared across jobs.
+//
 // Exit status: codes 0–4, defined once on the fairmc facade
 // (fairmc.ExitStatusHelp, printed by -h) and summarized in the
 // README's "Exit status" section.
@@ -124,6 +132,13 @@ func main() {
 		retryMax   = flag.Duration("retry-max", 5*time.Second, "backoff ceiling for worker-to-coordinator retries (with -worker)")
 		retryTries = flag.Int("retry-attempts", 8, "attempts per worker-to-coordinator call before it counts as a failure (with -worker)")
 		joinWait   = flag.Duration("join-timeout", dist.DefaultJoinTimeout, "give up joining (or rejoining) the coordinator after this long (with -worker)")
+		ledgerDir  = flag.String("ledger", "", "service ledger directory: with -serve, run the durable multi-job checking service instead of a single-search coordinator (docs/SERVICE.md)")
+		maxJobs    = flag.Int("max-jobs", 0, "admission bound on queued+running jobs; excess submissions get 429 (with -serve -ledger); 0 = default")
+		maxActive  = flag.Int("max-active", 0, "how many jobs explore concurrently (with -serve -ledger); 0 = default")
+		submitURL  = flag.String("submit", "", "submit this search as a job to the service at this URL and exit; -p sets the local run the report mirrors")
+		statusURL  = flag.String("status", "", "print job status from the service at this URL and exit (-job selects one job; add -metrics-out to download its run report)")
+		cancelURL  = flag.String("cancel", "", "cancel -job at the service at this URL and exit")
+		jobID      = flag.String("job", "", "job id for -status and -cancel")
 	)
 	flag.Usage = func() {
 		out := flag.CommandLine.Output()
@@ -164,7 +179,9 @@ func main() {
 	// Worker mode: the coordinator supplies the program and every
 	// search option, so all search flags are ignored; only -p
 	// (capacity), -workdir, the retry/join tuning and the chaos flags
-	// apply.
+	// apply. The URL is probed once: a jobs service gets a pool worker
+	// that hops between jobs, a single-search coordinator gets the
+	// classic worker.
 	if *workerURL != "" {
 		if *serveAddr != "" {
 			fatalUsage("-worker and -serve are mutually exclusive")
@@ -175,8 +192,26 @@ func main() {
 			MaxDelay:    *retryMax,
 			Seed:        *chaosSeed,
 		}
-		runWorkerMode(*workerURL, *parallel, *workDir, retry, *joinWait,
-			chaosInjector(*chaosName, *chaosSeed))
+		if urlIsService(*workerURL) {
+			runPoolWorkerMode(*workerURL, *parallel, *workDir, retry, *joinWait)
+		} else {
+			runWorkerMode(*workerURL, *parallel, *workDir, retry, *joinWait,
+				chaosInjector(*chaosName, *chaosSeed))
+		}
+		return
+	}
+
+	// Service clients and the service itself need no local search setup.
+	if *statusURL != "" {
+		clientStatus(*statusURL, *jobID, *metricsOut)
+		return
+	}
+	if *cancelURL != "" {
+		clientCancel(*cancelURL, *jobID)
+		return
+	}
+	if *serveAddr != "" && *ledgerDir != "" {
+		runService(*serveAddr, *ledgerDir, *maxJobs, *maxActive, *leaseTTL)
 		return
 	}
 	// A checkpoint records the identity of the search it belongs to, so
@@ -257,6 +292,20 @@ func main() {
 		opts.CheckpointInterval = *ckptEvery
 	}
 	opts.Resume = resumeCkpt
+
+	// Submission client: ship the search flags to a service as one job.
+	// The program must exist in this build too — same-build is already
+	// the distributed-mode contract, and it catches typos locally.
+	if *submitURL != "" {
+		if *timeLimit != 0 {
+			fatalUsage("-submit needs a deterministic budget: use -maxexec (-timelimit cannot be sharded)")
+		}
+		if *ckptFile != "" || resumeCkpt != nil {
+			fatalUsage("-submit jobs persist in the service ledger, not -checkpoint/-resume")
+		}
+		clientSubmit(*submitURL, *prog, opts, *parallel)
+		return
+	}
 
 	// Coordinator mode: plan the search, serve the worker protocol,
 	// and report the merged result through the same path as a local

@@ -1,0 +1,273 @@
+// Service mode and its clients: -serve with -ledger runs the durable
+// multi-job checking service (internal/dist/jobs); -submit, -status
+// and -cancel talk to one; -worker autodetects whether its URL is a
+// service (pool mode) or a single-search coordinator (legacy mode).
+// See docs/SERVICE.md.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fairmc"
+	"fairmc/internal/dist"
+	"fairmc/internal/dist/jobs"
+	"fairmc/internal/dist/transport"
+	"fairmc/internal/engine"
+	"fairmc/progs"
+)
+
+// progLookup adapts the built-in program registry to the service's
+// Lookup signature.
+func progLookup(name string) (func(*engine.T), bool) {
+	p, ok := progs.Lookup(name)
+	if !ok {
+		return nil, false
+	}
+	return p.Body, true
+}
+
+// runService serves the durable checking service until SIGINT/SIGTERM
+// (first signal: graceful close — running jobs stay resumable in the
+// ledger; second signal: hard exit).
+func runService(addr, dir string, maxJobs, maxActive int, leaseTTL time.Duration) {
+	metrics := fairmc.NewMetrics()
+	s, err := jobs.New(jobs.Config{
+		Dir:       dir,
+		Lookup:    progLookup,
+		MaxActive: maxActive,
+		MaxJobs:   maxJobs,
+		LeaseTTL:  leaseTTL,
+		Metrics:   metrics,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fatalUsage(err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatalUsage(err)
+	}
+	fmt.Fprintf(os.Stderr, "service: serving jobs on http://%s (ledger %s)\n", ln.Addr(), dir)
+	srv := &http.Server{Handler: s.Handler()}
+	done := make(chan struct{})
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "service: shutting down (unfinished jobs resume on restart)")
+		srv.Close()
+		if cerr := s.Close(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "service: close: %v\n", cerr)
+		}
+		close(done)
+		<-sigs
+		os.Exit(130)
+	}()
+	if serr := srv.Serve(ln); serr != nil && serr != http.ErrServerClosed {
+		fmt.Fprintf(os.Stderr, "service: serve: %v\n", serr)
+		os.Exit(1)
+	}
+	<-done
+}
+
+// httpJSON performs one request and decodes the JSON reply into out
+// (skipped when out is nil), surfacing non-2xx replies as errors with
+// the body text.
+func httpJSON(method, url string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %d: %s", url, resp.StatusCode, bytes.TrimSpace(data))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// clientSubmit submits one job built from the search flags and prints
+// its id.
+func clientSubmit(url, program string, opts fairmc.Options, refParallelism int) {
+	if program == "" {
+		fatalUsage("-submit needs -prog (the service validates it against its own registry)")
+	}
+	body, err := json.Marshal(jobs.SubmitRequest{
+		Spec:           dist.SpecFromOptions(program, opts),
+		RefParallelism: refParallelism,
+		ConfirmRuns:    opts.ConfirmRuns,
+	})
+	if err != nil {
+		fatalUsage(err)
+	}
+	var sr jobs.SubmitResponse
+	if err := httpJSON(http.MethodPost, url+jobs.PathJobs, body, &sr); err != nil {
+		fmt.Fprintf(os.Stderr, "submit: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("submitted %s (program %s, report mirrors -p %d)\n", sr.JobID, program, refParallelism)
+}
+
+// clientStatus prints the job table, or one job's status; with -job
+// and -metrics-out it also downloads the artifact.
+func clientStatus(url, jobID, metricsOut string) {
+	if jobID == "" {
+		var list jobs.ListResponse
+		if err := httpJSON(http.MethodGet, url+jobs.PathJobs, nil, &list); err != nil {
+			fmt.Fprintf(os.Stderr, "status: %v\n", err)
+			os.Exit(1)
+		}
+		if len(list.Jobs) == 0 {
+			fmt.Println("no jobs")
+			return
+		}
+		for _, js := range list.Jobs {
+			printJob(js)
+		}
+		return
+	}
+	var js jobs.JobStatus
+	if err := httpJSON(http.MethodGet, url+jobs.PathJobs+"/"+jobID, nil, &js); err != nil {
+		fmt.Fprintf(os.Stderr, "status: %v\n", err)
+		os.Exit(1)
+	}
+	printJob(js)
+	if metricsOut != "" {
+		if !js.HasReport {
+			fmt.Fprintf(os.Stderr, "status: %s has no report yet\n", jobID)
+			os.Exit(1)
+		}
+		resp, err := http.Get(url + jobs.PathJobs + "/" + jobID + "/report")
+		if err == nil && resp.StatusCode != http.StatusOK {
+			err = fmt.Errorf("HTTP %d", resp.StatusCode)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "artifact: %v\n", err)
+			os.Exit(1)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err == nil {
+			err = os.WriteFile(metricsOut, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "artifact: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("run report written to %s\n", metricsOut)
+	}
+}
+
+func printJob(js jobs.JobStatus) {
+	extra := ""
+	if js.Shards > 0 {
+		extra = fmt.Sprintf(" %d/%d shards", js.Decided, js.Shards)
+	}
+	if js.Error != "" {
+		extra += " (" + js.Error + ")"
+	}
+	if js.HasReport {
+		extra += " [report]"
+	}
+	fmt.Printf("%-8s %-32s %-10s%s\n", js.JobID, js.Program, js.State, extra)
+}
+
+// clientCancel asks the service to cancel one job.
+func clientCancel(url, jobID string) {
+	if jobID == "" {
+		fatalUsage("-cancel needs -job ID")
+	}
+	var cr jobs.CancelResponse
+	if err := httpJSON(http.MethodPost, url+jobs.PathJobs+"/"+jobID+"/cancel", nil, &cr); err != nil {
+		fmt.Fprintf(os.Stderr, "cancel: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %s\n", cr.JobID, cr.State)
+}
+
+// urlIsService probes URL for the jobs-service assign endpoint; a
+// single-search coordinator answers it 404.
+func urlIsService(url string) bool {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url + jobs.PathAssign)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	var asn jobs.AssignResponse
+	return json.NewDecoder(resp.Body).Decode(&asn) == nil
+}
+
+// runPoolWorkerMode serves a jobs service with this process until
+// SIGINT/SIGTERM.
+func runPoolWorkerMode(url string, capacity int, workDir string,
+	retry transport.Policy, joinTimeout time.Duration) {
+	cleanup := func() {}
+	if workDir == "" {
+		d, err := os.MkdirTemp("", "fairmc-pool-")
+		if err != nil {
+			fatalUsage(err)
+		}
+		workDir = d
+		cleanup = func() { os.RemoveAll(d) }
+	}
+	stop := make(chan struct{})
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		close(stop)
+		<-sigs
+		os.Exit(130)
+	}()
+	fmt.Fprintf(os.Stderr, "worker: serving jobs service %s\n", url)
+	err := jobs.RunPoolWorker(jobs.PoolConfig{
+		URL:         url,
+		Capacity:    capacity,
+		WorkDir:     workDir,
+		Lookup:      progLookup,
+		Metrics:     fairmc.NewMetrics(),
+		Retry:       retry,
+		JoinTimeout: joinTimeout,
+		Stop:        stop,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "worker: "+format+"\n", args...)
+		},
+	})
+	cleanup()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "worker: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -69,6 +69,25 @@ type CoordinatorConfig struct {
 	// every request before it reaches the protocol handlers — the
 	// deterministic chaos harness's server half.
 	Chaos *faultinject.Injector
+	// Prior, when set (and no StatePath state file is adopted), seeds
+	// the coordinator with an existing plan and already-decided shards
+	// — how the jobs layer hands WAL-replayed progress to a restarted
+	// coordinator so ledger-completed shards are never re-explored.
+	// The caller is responsible for the plan matching Options (the
+	// jobs layer validates via OptionsHash before constructing it).
+	Prior *Prior
+	// OnShardGrant, when set, observes every lease grant (called under
+	// the coordinator lock). The jobs layer records grants in the
+	// ledger as an audit trail.
+	OnShardGrant func(shard int, worker string)
+	// OnShardDone, when set, is called under the coordinator lock
+	// BEFORE a decided shard (completed report, or nil = abandoned) is
+	// applied to the merge — the write-ahead point. If it returns an
+	// error the decision is NOT applied: the jobs layer returns an
+	// error when its ledger can no longer commit, and a shard decision
+	// that isn't durable must not reach the merger, or a restart would
+	// disagree with what this process reported.
+	OnShardDone func(shard int, rep *search.Report, abandonedReason string) error
 	// Metrics, when set, aggregates worker telemetry deltas and the
 	// coordinator's own confirmation-pass work.
 	Metrics *obs.Metrics
@@ -87,6 +106,20 @@ const (
 	shardCompleted
 	shardAbandoned
 )
+
+// Prior is pre-decided progress injected into a new coordinator (see
+// CoordinatorConfig.Prior).
+type Prior struct {
+	// Plan is the shard plan the progress belongs to.
+	Plan *search.Plan
+	// Completed maps shard index → report; a nil report marks a shard
+	// abandoned in a previous incarnation.
+	Completed map[int]*search.Report
+	// Failures carries forward prior worker failures (report context).
+	Failures []search.WorkerFailure
+	// Elapsed is exploration time already spent.
+	Elapsed time.Duration
+}
 
 type shardState struct {
 	status   shardStatus
@@ -187,11 +220,24 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 			return nil, err
 		}
 	}
-	if st != nil {
+	switch {
+	case st != nil:
 		if err := c.resumeFrom(st); err != nil {
 			return nil, err
 		}
-	} else {
+	case cfg.Prior != nil && cfg.Prior.Plan != nil:
+		// WAL-replayed progress from the jobs layer: adopt the recorded
+		// plan (never re-plan — the plan is part of what was committed)
+		// and the already-decided shards.
+		c.plan = cfg.Prior.Plan
+		for idx, rep := range cfg.Prior.Completed {
+			if idx >= 0 && idx < len(c.plan.Shards) {
+				c.completed[idx] = rep
+			}
+		}
+		c.failures = append(c.failures, cfg.Prior.Failures...)
+		c.prevElapsed = cfg.Prior.Elapsed
+	default:
 		plan, err := search.PlanShards(cfg.Prog, cfg.Options, cfg.RefParallelism)
 		if err != nil {
 			return nil, err
@@ -203,7 +249,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	for i := range c.shards {
 		c.shards[i].excluded = map[string]bool{}
 	}
-	if st != nil {
+	if len(c.completed) > 0 {
 		// Re-offer the persisted shard reports in index order; the
 		// merger reconstructs exactly the pre-crash merge state.
 		idxs := make([]int, 0, len(c.completed))
@@ -220,8 +266,12 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 			}
 			c.merger.Offer(idx, rep)
 		}
+		source := "prior progress"
+		if st != nil {
+			source = cfg.StatePath
+		}
 		c.cfg.Logf("dist: resumed from %s: %d/%d shards already decided",
-			cfg.StatePath, len(idxs), len(c.plan.Shards))
+			source, len(idxs), len(c.plan.Shards))
 	}
 	go c.sweep()
 	c.mu.Lock()
@@ -446,6 +496,17 @@ func (c *Coordinator) failShardLocked(idx int, worker, reason string) {
 		m.WorkerRetries.Inc()
 	}
 	if sh.attempts >= c.cfg.MaxShardAttempts {
+		if c.cfg.OnShardDone != nil {
+			if err := c.cfg.OnShardDone(idx, nil, reason); err != nil {
+				// The abandonment cannot be made durable; leave the shard
+				// pending rather than let memory outrun the ledger. (The
+				// jobs layer only fails the hook when its ledger is dead,
+				// at which point this coordinator is on its way out.)
+				c.cfg.Logf("dist: shard %d abandonment not committed: %v", idx, err)
+				sh.status = shardPending
+				return
+			}
+		}
 		sh.status = shardAbandoned
 		c.completed[idx] = nil
 		c.merger.Offer(idx, nil)
@@ -458,9 +519,19 @@ func (c *Coordinator) failShardLocked(idx int, worker, reason string) {
 }
 
 // completeShardLocked accepts a shard report, persists it, and feeds
-// the merger.
-func (c *Coordinator) completeShardLocked(idx int, rep *search.Report) {
+// the merger. It reports whether the completion was applied: the
+// write-ahead hook (OnShardDone) can veto it when the decision cannot
+// be made durable.
+func (c *Coordinator) completeShardLocked(idx int, rep *search.Report) bool {
 	sh := &c.shards[idx]
+	if c.cfg.OnShardDone != nil {
+		if err := c.cfg.OnShardDone(idx, rep, ""); err != nil {
+			c.cfg.Logf("dist: shard %d completion not committed: %v", idx, err)
+			sh.status = shardPending
+			sh.leaseID = ""
+			return false
+		}
+	}
 	sh.status = shardCompleted
 	sh.leaseID = ""
 	c.completed[idx] = rep
@@ -470,6 +541,7 @@ func (c *Coordinator) completeShardLocked(idx int, rep *search.Report) {
 	}
 	c.saveStateLocked()
 	c.checkDoneLocked()
+	return true
 }
 
 func (c *Coordinator) nextID(prefix string) string {
@@ -550,6 +622,9 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 			c.leases[l.id] = l
 			sh.status = shardLeased
 			sh.leaseID = l.id
+			if c.cfg.OnShardGrant != nil {
+				c.cfg.OnShardGrant(idx, req.WorkerID)
+			}
 			shard := c.plan.Shards[idx]
 			writeJSON(w, LeaseResponse{Status: LeaseWork, Shard: &shard, LeaseID: l.id})
 			return
@@ -644,6 +719,26 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	c.workers[req.WorkerID] = time.Now()
+	if req.LeaseID == "" && req.Failure != "" {
+		// Advisory failure: no lease, so nothing to requeue and nobody
+		// to blame — record it for the report without charging a shard
+		// attempt or excluding the worker. This is how corrupt spool
+		// entries are surfaced (failing the replay, or livelocking a
+		// single-worker search by self-exclusion, would punish the
+		// messenger).
+		c.failures = append(c.failures, search.WorkerFailure{
+			Mode:    "dist",
+			Unit:    int64(req.Shard),
+			Attempt: 0,
+			Panic:   req.Failure,
+		})
+		c.cfg.Logf("dist: advisory failure from worker %s: %.160s", req.WorkerID, req.Failure)
+		if c.finished {
+			c.noteDoneLocked(req.WorkerID)
+		}
+		c.writeIdemLocked(w, key, ResultResponse{Accepted: true, Done: c.finished})
+		return
+	}
 	if req.Shard < 0 || req.Shard >= len(c.shards) {
 		http.Error(w, "unknown shard", http.StatusBadRequest)
 		return
@@ -682,7 +777,13 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		c.writeIdemLocked(w, key, ResultResponse{Accepted: false, Done: c.finished})
 		return
 	}
-	c.completeShardLocked(req.Shard, req.Report)
+	if !c.completeShardLocked(req.Shard, req.Report) {
+		// The write-ahead hook refused (ledger can't commit). Not
+		// cached under the idempotency key: a retried upload may land
+		// after durability recovers.
+		http.Error(w, "shard completion not committed", http.StatusServiceUnavailable)
+		return
+	}
 	c.cfg.Logf("dist: shard %d completed by worker %s (%d/%d merged)",
 		req.Shard, req.WorkerID, c.merger.Merged(), len(c.plan.Shards))
 	c.writeIdemLocked(w, key, ResultResponse{Accepted: true, Done: c.finished})

@@ -13,6 +13,7 @@ import (
 
 	"fairmc/internal/dist/transport"
 	"fairmc/internal/engine"
+	"fairmc/internal/fsx"
 	"fairmc/internal/obs"
 	"fairmc/internal/search"
 )
@@ -76,6 +77,10 @@ type WorkerConfig struct {
 	// Transport, when set, replaces the underlying HTTP transport —
 	// the seam where faultinject.RoundTripper plugs in.
 	Transport http.RoundTripper
+	// FS, when set, replaces the filesystem used for the result spool —
+	// the seam where faultinject.FSInjector plugs in. Nil means the
+	// real filesystem.
+	FS fsx.FS
 }
 
 // hbState is heartbeat bookkeeping that must survive rejoins: the
@@ -133,6 +138,9 @@ func RunWorker(cfg WorkerConfig) error {
 	}
 	if cfg.Retry.MaxAttempts == 0 && cfg.Retry.BaseDelay == 0 {
 		cfg.Retry = transport.DefaultPolicy(1)
+	}
+	if cfg.FS == nil {
+		cfg.FS = fsx.OS
 	}
 
 	breaker := &transport.Breaker{}
@@ -304,13 +312,36 @@ func (wk *worker) replaySpool(optionsHash uint64) {
 	if wk.cfg.WorkDir == "" {
 		return
 	}
-	entries, skipped, err := spoolList(wk.cfg.WorkDir, optionsHash, wk.spec.Program)
+	entries, corrupt, skipped, err := spoolList(wk.cfg.FS, wk.cfg.WorkDir, optionsHash, wk.spec.Program)
 	if err != nil {
 		wk.cfg.Logf("dist: scanning spool: %v", err)
 		return
 	}
 	for _, msg := range skipped {
 		wk.cfg.Logf("dist: spool: skipping %s", msg)
+	}
+	// A corrupt entry (torn write or bit rot caught by the CRC footer)
+	// is not replayable and must not fail the whole replay: surface it
+	// to the coordinator as an advisory WorkerFailure — no lease, no
+	// attempt charged, no worker exclusion — then discard the file so
+	// it is reported once, not on every rejoin.
+	for _, bad := range corrupt {
+		wk.cfg.Logf("dist: spool: corrupt entry %s (%s)", bad.Name, bad.Reason)
+		req := ResultRequest{
+			WorkerID: wk.id,
+			Shard:    bad.Shard,
+			Failure:  fmt.Sprintf("corrupt spool entry %s: %s", bad.Name, bad.Reason),
+		}
+		key := fmt.Sprintf("res-%s-spoolbad-%s", wk.id, bad.Name)
+		if err := wk.tc.PostJSON(PathResult, req, &ResultResponse{}, transport.Call{Key: key}); err != nil {
+			wk.cfg.Logf("dist: reporting corrupt spool entry %s: %v", bad.Name, err)
+			continue // keep the file; a later session re-reports
+		}
+		if bad.Shard >= 0 {
+			if rerr := spoolRemove(wk.cfg.FS, wk.cfg.WorkDir, bad.Shard); rerr != nil {
+				wk.cfg.Logf("dist: removing corrupt spool entry %s: %v", bad.Name, rerr)
+			}
+		}
 	}
 	for _, e := range entries {
 		resp := &ResultResponse{}
@@ -320,7 +351,7 @@ func (wk *worker) replaySpool(optionsHash uint64) {
 			wk.cfg.Logf("dist: replaying spooled shard %d: %v", e.Shard, err)
 			continue // still spooled; a later session retries
 		}
-		if rerr := spoolRemove(wk.cfg.WorkDir, e.Shard); rerr != nil {
+		if rerr := spoolRemove(wk.cfg.FS, wk.cfg.WorkDir, e.Shard); rerr != nil {
 			wk.cfg.Logf("dist: removing spooled shard %d: %v", e.Shard, rerr)
 		}
 		wk.cfg.Logf("dist: replayed spooled shard %d (accepted=%v)", e.Shard, resp.Accepted)
@@ -607,7 +638,7 @@ func (wk *worker) runShard(leaseID string, sh search.Shard) {
 				Shard:       sh.Index,
 				Report:      rep,
 			}
-			if serr := spoolWrite(wk.cfg.WorkDir, e); serr != nil {
+			if serr := spoolWrite(wk.cfg.FS, wk.cfg.WorkDir, e); serr != nil {
 				wk.cfg.Logf("dist: spooling shard %d: %v", sh.Index, serr)
 			} else {
 				if wk.cfg.Metrics != nil {

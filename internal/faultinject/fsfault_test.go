@@ -1,0 +1,171 @@
+package faultinject
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fairmc/internal/fsx"
+)
+
+// writeSeq replays a fixed operation sequence and returns which ops failed,
+// so two runs with the same (seed, scenario) can be compared.
+func writeSeq(t *testing.T, in *FSInjector, dir string) []bool {
+	t.Helper()
+	var outcome []bool
+	for i := 0; i < 30; i++ {
+		err := fsx.WriteFileAtomic(in, filepath.Join(dir, "wal-seg"), []byte("record-payload"))
+		outcome = append(outcome, err != nil)
+	}
+	return outcome
+}
+
+func TestFSScheduleDeterministic(t *testing.T) {
+	sc := FSScenario{Name: "mixed", Rules: []FSRule{
+		{Path: "wal", ShortWrite: 0.2, SyncErr: 0.2, TornRename: 0.1},
+	}}
+	a := writeSeq(t, NewFS(7, sc, fsx.OS), t.TempDir())
+	b := writeSeq(t, NewFS(7, sc, fsx.OS), t.TempDir())
+	if len(a) != len(b) {
+		t.Fatalf("length mismatch: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d diverged: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := writeSeq(t, NewFS(8, sc, fsx.OS), t.TempDir())
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault schedules (suspicious)")
+	}
+}
+
+func TestFSShortWriteLeavesPrefix(t *testing.T) {
+	in := NewFS(1, FSScenario{Rules: []FSRule{{ShortWrite: 1}}}, fsx.OS)
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := in.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, werr := f.Write([]byte("0123456789"))
+	f.Close()
+	var fe *FSError
+	if !errors.As(werr, &fe) || fe.Kind != KindShortWrite {
+		t.Fatalf("want short-write FSError, got n=%d err=%v", n, werr)
+	}
+	if n != 5 {
+		t.Fatalf("short write reported n=%d, want 5", n)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "01234" {
+		t.Fatalf("persisted %q, want the 5-byte prefix", got)
+	}
+	if in.Counts()[KindShortWrite] != 1 {
+		t.Fatalf("counts = %v", in.Counts())
+	}
+}
+
+func TestFSSyncError(t *testing.T) {
+	in := NewFS(1, FSScenario{Rules: []FSRule{{SyncErr: 1}}}, fsx.OS)
+	f, err := in.OpenFile(filepath.Join(t.TempDir(), "f"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var fe *FSError
+	if err := f.Sync(); !errors.As(err, &fe) || fe.Kind != KindSyncErr {
+		t.Fatalf("want sync-error FSError, got %v", err)
+	}
+}
+
+func TestFSTornRenameKeepsOldTarget(t *testing.T) {
+	in := NewFS(1, FSScenario{Rules: []FSRule{{TornRename: 1}}}, fsx.OS)
+	dir := t.TempDir()
+	oldp := filepath.Join(dir, "tmp")
+	newp := filepath.Join(dir, "target")
+	os.WriteFile(oldp, []byte("new-contents"), 0o644)
+	os.WriteFile(newp, []byte("old-contents"), 0o644)
+	if err := in.Rename(oldp, newp); err != nil {
+		t.Fatalf("torn rename must report success, got %v", err)
+	}
+	got, _ := os.ReadFile(newp)
+	if string(got) != "old-contents" {
+		t.Fatalf("target = %q, want previous contents preserved", got)
+	}
+	if _, err := os.Stat(oldp); !os.IsNotExist(err) {
+		t.Fatalf("temp source should be consumed, stat err = %v", err)
+	}
+}
+
+func TestFSReadCorruptFlipsOneBit(t *testing.T) {
+	in := NewFS(3, FSScenario{Rules: []FSRule{{ReadCorrupt: 1}}}, fsx.OS)
+	path := filepath.Join(t.TempDir(), "f")
+	want := []byte("the quick brown fox jumps over the lazy dog")
+	os.WriteFile(path, want, 0o644)
+	got, err := in.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("length changed: %d vs %d", len(got), len(want))
+	}
+	diffBits := 0
+	for i := range got {
+		x := got[i] ^ want[i]
+		for ; x != 0; x &= x - 1 {
+			diffBits++
+		}
+	}
+	if diffBits != 1 {
+		t.Fatalf("flipped %d bits, want exactly 1", diffBits)
+	}
+	// The underlying file is untouched: corruption is a read-path fault.
+	onDisk, _ := os.ReadFile(path)
+	if string(onDisk) != string(want) {
+		t.Fatal("ReadFile corruption mutated the file on disk")
+	}
+}
+
+func TestFSPathFilter(t *testing.T) {
+	in := NewFS(1, FSScenario{Rules: []FSRule{{Path: "spool", SyncErr: 1}}}, fsx.OS)
+	dir := t.TempDir()
+	f, err := in.OpenFile(filepath.Join(dir, "ledger-seg"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("non-matching path must not fault: %v", err)
+	}
+	f.Close()
+	g, err := in.OpenFile(filepath.Join(dir, "spool-1"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Sync(); err == nil {
+		t.Fatal("matching path should fault")
+	}
+	g.Close()
+}
+
+func TestFSOnFaultHook(t *testing.T) {
+	in := NewFS(1, FSScenario{Rules: []FSRule{{SyncErr: 1}}}, fsx.OS)
+	var kinds []string
+	in.OnFault = func(kind string) { kinds = append(kinds, kind) }
+	f, _ := in.OpenFile(filepath.Join(t.TempDir(), "f"), os.O_WRONLY|os.O_CREATE, 0o644)
+	f.Sync()
+	f.Close()
+	if len(kinds) != 1 || kinds[0] != KindSyncErr {
+		t.Fatalf("OnFault saw %v", kinds)
+	}
+	if in.Total() != 1 {
+		t.Fatalf("Total = %d", in.Total())
+	}
+}

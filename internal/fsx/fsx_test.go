@@ -1,0 +1,72 @@
+package fsx
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileAtomicCreatesAndReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+
+	if err := WriteFileAtomic(OS, path, []byte("v1")); err != nil {
+		t.Fatalf("WriteFileAtomic: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("read after create: %q, %v", got, err)
+	}
+
+	if err := WriteFileAtomic(OS, path, []byte("v2-longer")); err != nil {
+		t.Fatalf("WriteFileAtomic replace: %v", err)
+	}
+	got, err = os.ReadFile(path)
+	if err != nil || string(got) != "v2-longer" {
+		t.Fatalf("read after replace: %q, %v", got, err)
+	}
+}
+
+func TestWriteFileAtomicLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 5; i++ {
+		if err := WriteFileAtomic(OS, filepath.Join(dir, "f"), []byte("x")); err != nil {
+			t.Fatalf("WriteFileAtomic: %v", err)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "f" {
+		names := make([]string, 0, len(ents))
+		for _, e := range ents {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("directory not clean after atomic writes: %v", names)
+	}
+}
+
+func TestWriteFileAtomicConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "shared")
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() { done <- WriteFileAtomic(OS, path, []byte("payload")) }()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("concurrent WriteFileAtomic: %v", err)
+		}
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("read: %q, %v", got, err)
+	}
+}
+
+func TestSyncDir(t *testing.T) {
+	if err := SyncDir(OS, t.TempDir()); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+}

@@ -203,6 +203,30 @@ type Metrics struct {
 	// ShedRequests counts requests the coordinator refused with 429 +
 	// Retry-After under load (graceful degradation, not failure).
 	ShedRequests Counter
+	// LedgerAppends counts records appended to the job ledger WAL.
+	LedgerAppends Counter
+	// LedgerReplayed counts records recovered from the ledger on open.
+	LedgerReplayed Counter
+	// LedgerTornTails counts partially-written tail records truncated
+	// during ledger recovery (the expected residue of a crash mid-append;
+	// repair, not data loss).
+	LedgerTornTails Counter
+	// LedgerQuarantines counts ledger segments sealed aside because a
+	// non-tail record failed its CRC (silent corruption; the segment is
+	// renamed *.quar and replay continues with later segments).
+	LedgerQuarantines Counter
+	// FSFaultsInjected counts filesystem faults the chaos layer injected
+	// (short writes, torn renames, fsync errors, read corruption —
+	// internal/faultinject's FSInjector).
+	FSFaultsInjected Counter
+	// Job lifecycle counters for the durable checking service
+	// (internal/dist/jobs): submissions accepted, jobs reaching a
+	// terminal state (done or failed), cancellations, and submissions
+	// refused with 429 because the job queue was full.
+	JobsSubmitted Counter
+	JobsDone      Counter
+	JobsCancelled Counter
+	JobsShed      Counter
 	// Frontier is the per-strategy frontier depth: the DFS stack depth
 	// (sequential systematic search), the number of unmerged frontier
 	// prefixes (prefix-parallel search), or the next unmerged execution
@@ -295,6 +319,15 @@ type Snapshot struct {
 	BreakerOpens       int64        `json:"breakerOpens"`
 	SpooledResults     int64        `json:"spooledResults"`
 	ShedRequests       int64        `json:"shedRequests"`
+	LedgerAppends      int64        `json:"ledgerAppends"`
+	LedgerReplayed     int64        `json:"ledgerReplayed"`
+	LedgerTornTails    int64        `json:"ledgerTornTails"`
+	LedgerQuarantines  int64        `json:"ledgerQuarantines"`
+	FSFaultsInjected   int64        `json:"fsFaultsInjected"`
+	JobsSubmitted      int64        `json:"jobsSubmitted"`
+	JobsDone           int64        `json:"jobsDone"`
+	JobsCancelled      int64        `json:"jobsCancelled"`
+	JobsShed           int64        `json:"jobsShed"`
 	Frontier           int64        `json:"frontier"`
 	ExecSteps          []HistBucket `json:"execSteps,omitempty"`
 }
@@ -334,6 +367,15 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		BreakerOpens:       s.BreakerOpens - prev.BreakerOpens,
 		SpooledResults:     s.SpooledResults - prev.SpooledResults,
 		ShedRequests:       s.ShedRequests - prev.ShedRequests,
+		LedgerAppends:      s.LedgerAppends - prev.LedgerAppends,
+		LedgerReplayed:     s.LedgerReplayed - prev.LedgerReplayed,
+		LedgerTornTails:    s.LedgerTornTails - prev.LedgerTornTails,
+		LedgerQuarantines:  s.LedgerQuarantines - prev.LedgerQuarantines,
+		FSFaultsInjected:   s.FSFaultsInjected - prev.FSFaultsInjected,
+		JobsSubmitted:      s.JobsSubmitted - prev.JobsSubmitted,
+		JobsDone:           s.JobsDone - prev.JobsDone,
+		JobsCancelled:      s.JobsCancelled - prev.JobsCancelled,
+		JobsShed:           s.JobsShed - prev.JobsShed,
 		Frontier:           s.Frontier,
 	}
 	prevAt := make(map[int64]int64, len(prev.ExecSteps))
@@ -381,6 +423,15 @@ func (m *Metrics) Merge(d Snapshot) {
 	m.BreakerOpens.Add(d.BreakerOpens)
 	m.SpooledResults.Add(d.SpooledResults)
 	m.ShedRequests.Add(d.ShedRequests)
+	m.LedgerAppends.Add(d.LedgerAppends)
+	m.LedgerReplayed.Add(d.LedgerReplayed)
+	m.LedgerTornTails.Add(d.LedgerTornTails)
+	m.LedgerQuarantines.Add(d.LedgerQuarantines)
+	m.FSFaultsInjected.Add(d.FSFaultsInjected)
+	m.JobsSubmitted.Add(d.JobsSubmitted)
+	m.JobsDone.Add(d.JobsDone)
+	m.JobsCancelled.Add(d.JobsCancelled)
+	m.JobsShed.Add(d.JobsShed)
 	for _, b := range d.ExecSteps {
 		idx := 63 // open-ended overflow bucket
 		if b.Le >= 0 {
@@ -427,6 +478,15 @@ func (m *Metrics) Snapshot() Snapshot {
 		BreakerOpens:       m.BreakerOpens.Load(),
 		SpooledResults:     m.SpooledResults.Load(),
 		ShedRequests:       m.ShedRequests.Load(),
+		LedgerAppends:      m.LedgerAppends.Load(),
+		LedgerReplayed:     m.LedgerReplayed.Load(),
+		LedgerTornTails:    m.LedgerTornTails.Load(),
+		LedgerQuarantines:  m.LedgerQuarantines.Load(),
+		FSFaultsInjected:   m.FSFaultsInjected.Load(),
+		JobsSubmitted:      m.JobsSubmitted.Load(),
+		JobsDone:           m.JobsDone.Load(),
+		JobsCancelled:      m.JobsCancelled.Load(),
+		JobsShed:           m.JobsShed.Load(),
 		Frontier:           m.Frontier.Load(),
 		ExecSteps:          m.ExecSteps.Buckets(),
 	}

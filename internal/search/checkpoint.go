@@ -5,10 +5,10 @@ import (
 	"fmt"
 	"hash/fnv"
 	"os"
-	"path/filepath"
 	"time"
 
 	"fairmc/internal/engine"
+	"fairmc/internal/fsx"
 )
 
 // This file implements checkpoint/resume: a long-running search
@@ -191,42 +191,13 @@ func (ck *Checkpoint) WriteFile(path string) error {
 }
 
 // AtomicWriteFile persists data at path so that a crash at any point
-// leaves either the previous file or the new one, never a mix: write
-// to a temp file in the destination directory, fsync it, rename over
-// the target, then fsync the parent directory — without the final
-// directory sync the rename itself can be lost on a crash, silently
-// rolling the file back to its previous contents. Shared by the
-// checkpoint writer and the distributed coordinator's state file.
+// leaves either the previous file or the new one, never a mix; it is
+// a thin wrapper over fsx.WriteFileAtomic (the single temp-write +
+// fsync + rename + parent-dir-fsync implementation shared with the
+// distributed coordinator's state file, the worker result spool, and
+// the job ledger).
 func AtomicWriteFile(path string, data []byte) error {
-	dir := filepath.Dir(path)
-	f, err := os.CreateTemp(dir, ".ckpt-*.tmp")
-	if err != nil {
-		return err
-	}
-	tmp := f.Name()
-	_, werr := f.Write(data)
-	if serr := f.Sync(); werr == nil {
-		werr = serr
-	}
-	if cerr := f.Close(); werr == nil {
-		werr = cerr
-	}
-	if werr == nil {
-		werr = os.Rename(tmp, path)
-	}
-	if werr != nil {
-		os.Remove(tmp)
-		return werr
-	}
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	serr := d.Sync()
-	if cerr := d.Close(); serr == nil {
-		serr = cerr
-	}
-	return serr
+	return fsx.WriteFileAtomic(fsx.OS, path, data)
 }
 
 // strategyOf names the enumeration strategy for checkpoint Meta.
