@@ -16,12 +16,15 @@ fairmc="$workdir/fairmc"
 port=$((20000 + RANDOM % 20000))
 url="http://127.0.0.1:$port"
 
-# finish_worker PID LOG: a worker that joined must exit 0 promptly
-# after the coordinator's drain. A worker that never joined — it lost
-# the startup race against a search that finished first — gives up on
-# its own once -join-timeout expires and exits nonzero; that is
-# correct behavior, not a smoke failure. Nothing gets killed: every
-# worker bounds its own lifetime through the transport deadlines.
+# finish_worker PID LOG: a worker that joined normally exits 0 after
+# the coordinator's drain. Two nonzero exits are correct behavior, not
+# smoke failures: a worker that never joined (it lost the startup race
+# against a search that finished first), and a worker that missed the
+# coordinator's bounded post-drain grace window — on a loaded host a
+# session can blip mid-search, and the rejoin loop then finds the
+# finished coordinator gone and gives up once its budget expires.
+# Both paths end with the worker bounding its own lifetime ("giving up
+# rejoin"); nothing gets killed. Anything else nonzero is a failure.
 finish_worker() {
     local pid=$1 log=$2 wrc=0
     for _ in $(seq 80); do
@@ -35,20 +38,22 @@ finish_worker() {
         exit 1
     fi
     wait "$pid" || wrc=$?
-    if [ "$wrc" -ne 0 ] && grep -q "joined" "$log"; then
+    if [ "$wrc" -ne 0 ] && grep -q "joined" "$log" \
+        && ! grep -q "giving up rejoin" "$log"; then
         echo "FAIL: joined worker exited $wrc"
         cat "$log"
         exit 1
     fi
 }
 
-# distrun PROG EXPECTED_EXIT OUT.json: coordinator + 2 workers.
-# Workers retry joining, so start order does not matter.
+# distrun PROG EXPECTED_EXIT OUT.json [EXTRA_FLAGS...]: coordinator +
+# 2 workers. Workers retry joining, so start order does not matter.
 distrun() {
     local prog=$1 want=$2 out=$3 rc=0
+    shift 3
     "$fairmc" -prog "$prog" -p 2 -serve "127.0.0.1:$port" \
         -dist-state "$workdir/state-$prog.json" \
-        -metrics-out "$out" > "$workdir/coord-$prog.txt" 2>&1 &
+        -metrics-out "$out" "$@" > "$workdir/coord-$prog.txt" 2>&1 &
     local coord=$!
     "$fairmc" -worker "$url" -p 1 -join-timeout 5s -retry-base 25ms -retry-max 400ms \
         > "$workdir/w1-$prog.txt" 2>&1 &
@@ -92,4 +97,23 @@ if ! cmp -s "$workdir/local-bug.json" "$workdir/dist-bug.json"; then
 fi
 go run ./ci/validate_report.go docs/run-report.schema.json "$workdir/dist-bug.json"
 
-echo "OK: distributed run reports are byte-identical to local -p 2 and validate"
+# DPOR search: the work-unit plan grows as units merge, and the merged
+# report must be byte-identical to the SEQUENTIAL DPOR run (docs/
+# DPOR.md's determinism contract — the distributed merge consumes units
+# in spawn order). msqueue-bug stops at a confirmed violation (exit 1).
+rc=0
+"$fairmc" -prog msqueue-bug -fair=false -dpor -maxsteps 5000 \
+    -metrics-out "$workdir/local-dpor.json" > /dev/null || rc=$?
+if [ "$rc" -ne 1 ]; then
+    echo "FAIL: local sequential DPOR msqueue-bug exited $rc, want 1"
+    exit 1
+fi
+distrun msqueue-bug 1 "$workdir/dist-dpor.json" -fair=false -dpor -maxsteps 5000
+if ! cmp -s "$workdir/local-dpor.json" "$workdir/dist-dpor.json"; then
+    echo "FAIL: msqueue-bug DPOR run report differs between sequential and distributed"
+    diff "$workdir/local-dpor.json" "$workdir/dist-dpor.json" || true
+    exit 1
+fi
+go run ./ci/validate_report.go docs/run-report.schema.json "$workdir/dist-dpor.json"
+
+echo "OK: distributed run reports are byte-identical to local runs and validate"

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Godoc coverage gate: the partial-order-reduction package (home of
+# the DPOR work-unit API) must document every exported identifier
+# including struct fields; the search package must document every
+# exported top-level identifier and method. Runs the stdlib-only
+# ci/godoclint checker — no network, no third-party tools.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+go run ./ci/godoclint -fields internal/por
+go run ./ci/godoclint internal/search
+
+echo "OK: godoc coverage holds for internal/por and internal/search"

@@ -3,13 +3,14 @@
 //
 // Usage:
 //
-//	experiments [-run fig2|table1|table2|fig56|table3|liveness|strategies|parallel|conformance|obs|dist|engine|all]
+//	experiments [-run fig2|table1|table2|fig56|table3|liveness|strategies|parallel|conformance|obs|dist|engine|dpor|all]
 //	            [-celltime 60s] [-dbounds 20,30,40,50,60] [-quick]
 //	            [-workers 1,2,4,8] [-parexecs 2000] [-json BENCH_parallel.json]
 //	            [-confexecs 2000] [-confreps 3] [-confjson BENCH_conformance.json]
 //	            [-obsexecs 5000] [-obsreps 5] [-obsjson BENCH_obs.json]
 //	            [-distworkers 1,2,4] [-distexecs 2000] [-distjson BENCH_dist.json]
 //	            [-engexecs 2000] [-engreps 5] [-engjson BENCH_engine.json]
+//	            [-dporworkers 1,2,4] [-dporjson BENCH_dpor.json]
 //
 // Absolute numbers differ from the paper's (different substrate,
 // different hardware); the shapes — exponential growth in Figure 2,
@@ -33,7 +34,7 @@ import (
 
 func main() {
 	var (
-		run       = flag.String("run", "all", "experiment to run: fig2|table1|table2|fig56|table3|liveness|strategies|parallel|conformance|obs|dist|engine|all")
+		run       = flag.String("run", "all", "experiment to run: fig2|table1|table2|fig56|table3|liveness|strategies|parallel|conformance|obs|dist|engine|dpor|all")
 		cellTime  = flag.Duration("celltime", 60*time.Second, "time budget per experiment cell")
 		dbounds   = flag.String("dbounds", "20,30,40,50,60", "depth bounds for the unfair Table 2 runs")
 		fig2b     = flag.String("fig2bounds", "8,10,12,14,16,18,20", "depth bounds for Figure 2")
@@ -54,6 +55,8 @@ func main() {
 		engExecs  = flag.Int64("engexecs", 2000, "executions per engine-speed cell")
 		engReps   = flag.Int("engreps", 5, "repetitions per engine-speed cell (best wall clock kept)")
 		engJSON   = flag.String("engjson", "BENCH_engine.json", "output file for the engine-speed sweep (\"\" = stdout only)")
+		dporWkrs  = flag.String("dporworkers", "1,2,4", "worker counts for the DPOR scaling sweep")
+		dporJSON  = flag.String("dporjson", "BENCH_dpor.json", "output file for the DPOR sweep (\"\" = stdout only)")
 	)
 	flag.Parse()
 	if *csvDir != "" {
@@ -133,6 +136,9 @@ func main() {
 			execs, reps = 200, 2
 		}
 		runEngine(execs, reps, *engJSON)
+	}
+	if want("dpor") {
+		runDpor(parseInts(*dporWkrs), *quick, *dporJSON)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
@@ -475,6 +481,53 @@ func runEngine(execs int64, reps int, jsonPath string) {
 	}
 	fmt.Printf("   speedup vs pre-PR baseline: %.2fx   reports identical (fastpath on/off): %v\n",
 		rep.SpeedupVsPrePR, rep.ReportsIdentical)
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("   wrote %s\n", jsonPath)
+	}
+	fmt.Println()
+}
+
+func runDpor(workers []int, quick bool, jsonPath string) {
+	fmt.Println("== Extension: DPOR work-unit reduction and scaling ==")
+	fmt.Println("   (unfair full-depth DFS vs DPOR vs DPOR+sleepsets; scaling drains the")
+	fmt.Println("    same unit frontier at each -p, reports byte-identical at every P)")
+	rep := experiments.DporSweep(workers, quick)
+	fmt.Printf("   gomaxprocs=%d numcpu=%d\n", rep.GOMAXPROCS, rep.NumCPU)
+	if rep.Warning != "" {
+		fmt.Fprintf(os.Stderr, "warning: %s\n", rep.Warning)
+	}
+	fmt.Printf("%-16s %12s %12s %12s %8s %8s %10s\n",
+		"program", "plain", "dpor", "dpor+sleep", "races", "pruned", "reduction")
+	csv := newCSV("dpor", "program", "plain_execs", "dpor_execs", "dpor_sleep_execs",
+		"races", "units_pruned", "reduction")
+	defer csv.close()
+	for _, r := range rep.Reduction {
+		fmt.Printf("%-16s %12d %12d %12d %8d %8d %9.1fx\n",
+			r.Program, r.PlainExecs, r.DporExecs, r.DporSleepExecs,
+			r.Races, r.UnitsPruned, r.Reduction)
+		csv.row(r.Program, fmt.Sprint(r.PlainExecs), fmt.Sprint(r.DporExecs),
+			fmt.Sprint(r.DporSleepExecs), fmt.Sprint(r.Races),
+			fmt.Sprint(r.UnitsPruned), fmt.Sprintf("%.3f", r.Reduction))
+	}
+	for _, r := range rep.Bug {
+		fmt.Printf("   first bug on %s: plain %d executions (found=%v), DPOR %d (found=%v)\n",
+			r.Program, r.PlainExecs, r.PlainFound, r.DporExecs, r.DporFound)
+	}
+	fmt.Printf("%-6s %12s %12s %12s %9s %10s   (scale: %s)\n",
+		"p", "executions", "elapsed", "execs/s", "speedup", "identical", rep.ScaleProgram)
+	for _, r := range rep.Scale {
+		fmt.Printf("%-6d %12d %12s %12.0f %8.2fx %10v\n",
+			r.Parallelism, r.Executions, fmtDur(r.Elapsed), r.ExecsPerSec, r.Speedup, r.Identical)
+	}
 	if jsonPath != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {

@@ -10,7 +10,9 @@
 //
 // -p sets the parallel worker count (default GOMAXPROCS) and applies
 // to both systematic and random searches; -p 1 is the sequential
-// searcher. -race, -sleepsets and -dpor force sequential search.
+// searcher. -race (and -sleepsets without -dpor) force sequential
+// search; -dpor parallelizes via serializable work units (docs/DPOR.md)
+// and produces the identical report at any -p.
 //
 // Long runs can be hardened with -watchdog (per-step wedge detector),
 // -checkpoint FILE (periodic resumable snapshots; also written on
@@ -151,7 +153,9 @@ func main() {
 	// Modes that share state across executions cannot shard; fall back
 	// to the sequential searcher unless the user asked for -p
 	// explicitly, in which case refuse rather than silently comply.
-	if *parallel > 1 && (*raceDetect || *sleepSets || *dpor) {
+	// DPOR is exempt: its state lives in serializable work units, so it
+	// shards at any -p (and -sleepsets rides inside the units).
+	if *parallel > 1 && (*raceDetect || (*sleepSets && !*dpor)) {
 		explicit := false
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "p" {
@@ -159,7 +163,7 @@ func main() {
 			}
 		})
 		if explicit {
-			fmt.Fprintln(os.Stderr, "-p > 1 is incompatible with -race, -sleepsets and -dpor")
+			fmt.Fprintln(os.Stderr, "-p > 1 is incompatible with -race and with -sleepsets without -dpor")
 			os.Exit(2)
 		}
 		*parallel = 1
@@ -313,8 +317,8 @@ func main() {
 	// the same -p, so everything downstream (run report, exit status)
 	// behaves as if the search had run in this process.
 	if *serveAddr != "" {
-		if *replayFile != "" || *iterative >= 0 || *raceDetect || *sleepSets || *dpor {
-			fatalUsage("-serve is incompatible with -replay, -iterative, -race, -sleepsets and -dpor (their state cannot be sharded)")
+		if *replayFile != "" || *iterative >= 0 || *raceDetect || (*sleepSets && !*dpor) {
+			fatalUsage("-serve is incompatible with -replay, -iterative, -race, and -sleepsets without -dpor (their state cannot be sharded)")
 		}
 		if *timeLimit != 0 {
 			fatalUsage("-serve needs a deterministic budget: use -maxexec (-timelimit cannot be sharded)")

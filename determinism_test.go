@@ -3,6 +3,7 @@ package fairmc_test
 import (
 	"bytes"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 
 	"fairmc"
@@ -27,6 +28,31 @@ func checkReport(t *testing.T, prog func(*conc.T), program string, opts fairmc.O
 		t.Fatalf("%s: %v", program, err)
 	}
 	return encodeReport(t, res, program, opts), res
+}
+
+// nondetRacySeq lives outside the conc API on purpose (like
+// progs.NondetCounter's counter): it survives across executions, so
+// the value each run stores differs and any replay of a recorded
+// prefix containing the store diverges from its digests.
+var nondetRacySeq int64
+
+// nondetRacy has a genuine store-store race — so DPOR spawns child
+// units that must replay a prefix — over a value that changes every
+// run, so those replays quarantine. It terminates without fair
+// scheduling (WaitGroup blocks instead of spinning), as DPOR requires.
+func nondetRacy(t *conc.T) {
+	x := conc.NewIntVar(t, "x", 0)
+	n := atomic.AddInt64(&nondetRacySeq, 1)
+	wg := conc.NewWaitGroup(t, "wg", 2)
+	t.Go("a", func(t *conc.T) {
+		x.Store(t, n)
+		wg.Done(t)
+	})
+	t.Go("b", func(t *conc.T) {
+		x.Store(t, 1)
+		wg.Done(t)
+	})
+	wg.Wait(t)
 }
 
 func lookupBody(t *testing.T, name string) func(*conc.T) {
@@ -65,15 +91,27 @@ func TestFastPathReportInvariance(t *testing.T) {
 			MaxSteps:      10000,
 			MaxExecutions: 300,
 		}, []int{1, 4}, false},
-		// DPOR is sequential-only, so this fixture varies just the fast
-		// path. racyConc gives it a real race to reduce around.
+		// DPOR runs as serializable work units merged in spawn order,
+		// so the report is identical at any worker count too. racyConc
+		// gives it a real race to reduce around.
 		{"dpor-racy", racyConc, fairmc.Options{
 			Fair:                   false,
 			ContextBound:           -1,
 			MaxSteps:               10000,
 			DPOR:                   true,
 			ContinueAfterViolation: true,
-		}, []int{1}, true},
+		}, []int{1, 4}, true},
+		// DPOR over a program that is not a deterministic function of
+		// its schedule: child units replay a recorded prefix, observe a
+		// conformance divergence, and quarantine. Each unit's verdict is
+		// independent of worker scheduling, so the report stays
+		// byte-identical across parallelism levels as well.
+		{"dpor-nondet", nondetRacy, fairmc.Options{
+			Fair:         false,
+			ContextBound: -1,
+			MaxSteps:     10000,
+			DPOR:         true,
+		}, []int{1, 4}, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -123,6 +161,15 @@ func TestFastPathCheckpointResume(t *testing.T) {
 			ContextBound:  -1,
 			MaxSteps:      10000,
 			MaxExecutions: 300,
+		}},
+		// DPOR checkpoints its unit frontier (format v4); a resumed run
+		// regenerates the same spawn order and merges identically.
+		{"dpor-racy", racyConc, fairmc.Options{
+			Fair:                   false,
+			ContextBound:           -1,
+			MaxSteps:               10000,
+			DPOR:                   true,
+			ContinueAfterViolation: true,
 		}},
 	}
 	for _, fx := range fixtures {

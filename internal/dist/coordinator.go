@@ -228,10 +228,13 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	case cfg.Prior != nil && cfg.Prior.Plan != nil:
 		// WAL-replayed progress from the jobs layer: adopt the recorded
 		// plan (never re-plan — the plan is part of what was committed)
-		// and the already-decided shards.
+		// and the already-decided shards. A DPOR plan is recorded at its
+		// single root shard and grows deterministically as decided
+		// reports are re-offered, so decided indices beyond the recorded
+		// plan are adopted too — the regrown plan will contain them.
 		c.plan = cfg.Prior.Plan
 		for idx, rep := range cfg.Prior.Completed {
-			if idx >= 0 && idx < len(c.plan.Shards) {
+			if idx >= 0 && (idx < len(c.plan.Shards) || cfg.Options.DPOR) {
 				c.completed[idx] = rep
 			}
 		}
@@ -258,6 +261,15 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		}
 		sort.Ints(idxs)
 		for _, idx := range idxs {
+			// Each re-offer may grow a DPOR plan; extend the lease state
+			// first so the next index is in range. A shard's children
+			// always spawn at higher indices, so index order re-offers
+			// every decided shard after the offer that planned it.
+			c.growShardsLocked()
+			if idx >= len(c.shards) {
+				delete(c.completed, idx) // not part of the (re)derived plan
+				continue
+			}
 			rep := c.completed[idx]
 			if rep == nil {
 				c.shards[idx].status = shardAbandoned
@@ -266,6 +278,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 			}
 			c.merger.Offer(idx, rep)
 		}
+		c.growShardsLocked()
 		source := "prior progress"
 		if st != nil {
 			source = cfg.StatePath
@@ -510,6 +523,7 @@ func (c *Coordinator) failShardLocked(idx int, worker, reason string) {
 		sh.status = shardAbandoned
 		c.completed[idx] = nil
 		c.merger.Offer(idx, nil)
+		c.growShardsLocked()
 		c.cfg.Logf("dist: shard %d abandoned after %d attempts", idx, sh.attempts)
 		c.saveStateLocked()
 		c.checkDoneLocked()
@@ -536,12 +550,22 @@ func (c *Coordinator) completeShardLocked(idx int, rep *search.Report) bool {
 	sh.leaseID = ""
 	c.completed[idx] = rep
 	c.merger.Offer(idx, rep)
+	c.growShardsLocked()
 	if m := c.cfg.Metrics; m != nil {
 		m.Frontier.Set(int64(len(c.plan.Shards) - c.merger.Merged()))
 	}
 	c.saveStateLocked()
 	c.checkDoneLocked()
 	return true
+}
+
+// growShardsLocked extends the per-shard lease state to cover shards
+// the merger appended to the plan (DPOR work-unit spawns). Must run
+// after every merger.Offer so newly planned shards become leasable.
+func (c *Coordinator) growShardsLocked() {
+	for len(c.shards) < len(c.plan.Shards) {
+		c.shards = append(c.shards, shardState{excluded: map[string]bool{}})
+	}
 }
 
 func (c *Coordinator) nextID(prefix string) string {
@@ -576,13 +600,16 @@ func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
 	c.mu.Lock()
 	id := c.nextID("w")
 	c.workers[id] = time.Now()
+	// DPOR plans grow under the lock as units spawn children; the count
+	// is a snapshot (informational — leases carry the actual work).
+	shardCount := len(c.plan.Shards)
 	c.mu.Unlock()
 	c.cfg.Logf("dist: worker %s joined (capacity %d)", id, req.Capacity)
 	writeJSON(w, JoinResponse{
 		WorkerID:    id,
 		Spec:        c.spec,
 		Strategy:    c.plan.Strategy,
-		ShardCount:  len(c.plan.Shards),
+		ShardCount:  shardCount,
 		OptionsHash: c.plan.OptionsHash,
 		LeaseTTLMS:  int64(c.cfg.LeaseTTL / time.Millisecond),
 		WantEvents:  c.cfg.EventWriter != nil,

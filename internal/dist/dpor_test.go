@@ -1,0 +1,149 @@
+package dist_test
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"fairmc/internal/dist"
+	"fairmc/internal/search"
+)
+
+// dporOpts is the DPOR configuration shared by the distributed DPOR
+// tests: an unfair full-depth DFS (DPOR's precondition) over the racy
+// increment, counting every violation so the merged counters carry
+// real weight.
+var dporOpts = search.Options{
+	Fair:                   false,
+	ContextBound:           -1,
+	MaxSteps:               10000,
+	DPOR:                   true,
+	ContinueAfterViolation: true,
+}
+
+// TestDistDPORMatchesSequential: DPOR's work-unit plan grows as units
+// merge, with the coordinator extending its lease state to match. Two
+// workers draining that growing frontier must reproduce the sequential
+// DPOR report field for field — and byte for byte as a run report.
+func TestDistDPORMatchesSequential(t *testing.T) {
+	coord, srv := startCoordinator(t, dist.CoordinatorConfig{
+		Prog:           racyIncrement,
+		Program:        "racy",
+		Options:        dporOpts,
+		RefParallelism: 2,
+	})
+	runWorkers(t, srv.URL, 2)
+	got := coord.Wait()
+
+	want := search.Explore(racyIncrement, dporOpts)
+	if !reflect.DeepEqual(normalize(want), normalize(got)) {
+		t.Fatalf("distributed DPOR report differs from sequential:\n%+v\nvs\n%+v", want, got)
+	}
+	if w, g := runReportBytes(t, want, "racy", dporOpts), runReportBytes(t, got, "racy", dporOpts); !bytes.Equal(w, g) {
+		t.Fatalf("run report not byte-identical:\n%s\nvs\n%s", w, g)
+	}
+	if want.Violations == 0 {
+		t.Fatal("fixture found no violations; test configuration is too weak")
+	}
+}
+
+// TestDistDPORCoordinatorResume: a coordinator with a state file is
+// killed after two DPOR units merged (so its plan has already grown
+// past the initial root unit); a new coordinator resumes from the
+// file, regrows the plan by re-offering the decided units in index
+// order, and the final report is byte-identical to the sequential run.
+func TestDistDPORCoordinatorResume(t *testing.T) {
+	statePath := t.TempDir() + "/coord-state.json"
+	cfg := dist.CoordinatorConfig{
+		Prog:           racyIncrement,
+		Program:        "racy",
+		Options:        dporOpts,
+		RefParallelism: 2,
+		StatePath:      statePath,
+	}
+	coordA, srvA := startCoordinator(t, cfg)
+
+	// Complete units 0 and 1 through the protocol, then kill A. Unit 1
+	// exists only because unit 0's merge grew the plan.
+	var join dist.JoinResponse
+	postJSON(t, srvA.URL+dist.PathJoin, dist.JoinRequest{Capacity: 1}, &join)
+	for i := 0; i < 2; i++ {
+		var lr dist.LeaseResponse
+		postJSON(t, srvA.URL+dist.PathLease, dist.LeaseRequest{WorkerID: join.WorkerID}, &lr)
+		if lr.Status != dist.LeaseWork {
+			t.Fatalf("lease %d: status %q", i, lr.Status)
+		}
+		rep := search.RunShard(racyIncrement, dporOpts, *lr.Shard, nil)
+		var rr dist.ResultResponse
+		postJSON(t, srvA.URL+dist.PathResult, dist.ResultRequest{
+			WorkerID: join.WorkerID, LeaseID: lr.LeaseID, Shard: lr.Shard.Index, Report: rep,
+		}, &rr)
+		if !rr.Accepted {
+			t.Fatalf("result %d not accepted", i)
+		}
+	}
+	coordA.Interrupt()
+	if rep := coordA.Wait(); !rep.Interrupted {
+		t.Fatalf("interrupted coordinator's report not marked Interrupted: %+v", rep)
+	}
+	srvA.Close()
+
+	coordB, srvB := startCoordinator(t, cfg)
+	runWorkers(t, srvB.URL, 1)
+	got := coordB.Wait()
+
+	want := search.Explore(racyIncrement, dporOpts)
+	if !reflect.DeepEqual(normalize(want), normalize(got)) {
+		t.Fatalf("resumed DPOR report differs from sequential:\n%+v\nvs\n%+v", want, got)
+	}
+	if w, g := runReportBytes(t, want, "racy", dporOpts), runReportBytes(t, got, "racy", dporOpts); !bytes.Equal(w, g) {
+		t.Fatalf("run report not byte-identical after coordinator resume:\n%s\nvs\n%s", w, g)
+	}
+}
+
+// TestDistDPORWorkerDeath: a worker leases a DPOR unit and goes
+// silent. The lease expires, the unit requeues, a healthy worker
+// finishes the search — and the report is still byte-identical to the
+// sequential DPOR run, with the crash recorded as a WorkerFailure.
+func TestDistDPORWorkerDeath(t *testing.T) {
+	coord, srv := startCoordinator(t, dist.CoordinatorConfig{
+		Prog:           racyIncrement,
+		Program:        "racy",
+		Options:        dporOpts,
+		RefParallelism: 2,
+		LeaseTTL:       500 * time.Millisecond,
+	})
+
+	// The doomed worker: joins, leases one unit, never speaks again.
+	var join dist.JoinResponse
+	postJSON(t, srv.URL+dist.PathJoin, dist.JoinRequest{Capacity: 1}, &join)
+	var lr dist.LeaseResponse
+	postJSON(t, srv.URL+dist.PathLease, dist.LeaseRequest{WorkerID: join.WorkerID}, &lr)
+	if lr.Status != dist.LeaseWork {
+		t.Fatalf("lease status %q, want %q", lr.Status, dist.LeaseWork)
+	}
+	if lr.Shard.Unit == nil {
+		t.Fatalf("leased shard %d carries no DPOR unit: %+v", lr.Shard.Index, lr.Shard)
+	}
+
+	runWorkers(t, srv.URL, 1)
+	got := coord.Wait()
+
+	var found bool
+	for _, wf := range got.WorkerFailures {
+		if wf.Mode == "dist" && wf.Unit == int64(lr.Shard.Index) &&
+			strings.Contains(wf.Panic, "lease expired") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no lease-expiry WorkerFailure for unit %d: %+v", lr.Shard.Index, got.WorkerFailures)
+	}
+
+	want := search.Explore(racyIncrement, dporOpts)
+	if w, g := runReportBytes(t, want, "racy", dporOpts), runReportBytes(t, got, "racy", dporOpts); !bytes.Equal(w, g) {
+		t.Fatalf("run report not byte-identical after worker death:\n%s\nvs\n%s", w, g)
+	}
+}

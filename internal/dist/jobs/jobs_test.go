@@ -67,6 +67,16 @@ func testLookup(name string) (func(*engine.T), bool) {
 
 var baseOpts = search.Options{Fair: true, ContextBound: -1, MaxSteps: 10000}
 
+// dporJobOpts submits a DPOR search: the job's shard plan starts as a
+// single root unit and grows as units merge.
+var dporJobOpts = search.Options{
+	Fair:                   false,
+	ContextBound:           -1,
+	MaxSteps:               10000,
+	DPOR:                   true,
+	ContinueAfterViolation: true,
+}
+
 // fastPolicy is an aggressive retry policy so tests converge quickly.
 func fastPolicy(seed uint64) transport.Policy {
 	return transport.Policy{
@@ -262,6 +272,7 @@ func TestJobsServiceEndToEnd(t *testing.T) {
 		{"fig3", baseOpts, 1},
 		{"fig3", baseOpts, 2},
 		{"racy", baseOpts, 2},
+		{"racy", dporJobOpts, 2},
 	}
 	var ids []string
 	for _, sb := range subs {
@@ -283,7 +294,7 @@ func TestJobsServiceEndToEnd(t *testing.T) {
 		}
 	}
 
-	// List shows all three, in submission order, done.
+	// List shows all submissions, in order, done.
 	resp, err := http.Get(srv.URL + PathJobs)
 	if err != nil {
 		t.Fatal(err)
@@ -291,7 +302,7 @@ func TestJobsServiceEndToEnd(t *testing.T) {
 	var list ListResponse
 	json.NewDecoder(resp.Body).Decode(&list)
 	resp.Body.Close()
-	if len(list.Jobs) != 3 {
+	if len(list.Jobs) != len(subs) {
 		t.Fatalf("list = %+v", list)
 	}
 	for i, js := range list.Jobs {
@@ -300,7 +311,7 @@ func TestJobsServiceEndToEnd(t *testing.T) {
 		}
 	}
 	snap := m.Snapshot()
-	if snap.JobsSubmitted != 3 || snap.JobsDone != 3 {
+	if snap.JobsSubmitted != int64(len(subs)) || snap.JobsDone != int64(len(subs)) {
 		t.Fatalf("metrics: %+v", snap)
 	}
 	if snap.LedgerAppends == 0 {
@@ -361,6 +372,94 @@ func TestJobsRestartResumesUnfinished(t *testing.T) {
 	got := fetchReport(t, srv2.URL, id)
 	if want := localReportBytes(t, "fig3", baseOpts, 2); !bytes.Equal(got, want) {
 		t.Fatalf("resumed artifact differs:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// postProto is a minimal protocol client for driving a job's
+// coordinator by hand.
+func postProto(t *testing.T, url string, in, out any) {
+	t.Helper()
+	body, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		t.Fatalf("POST %s: %s", url, resp.Status)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestJobsDPORRestartResumesMidSearch: a DPOR job's ledger records
+// completed units at indices beyond the recorded one-shard plan (the
+// plan grows as units merge). A restarted service must adopt those
+// records — re-offering them in index order regenerates the same
+// children — and finish with the artifact an uninterrupted run
+// produces. Two units are completed by hand so the crash point is
+// deterministic and strictly inside the grown region.
+func TestJobsDPORRestartResumesMidSearch(t *testing.T) {
+	dir := t.TempDir()
+	s1, srv1 := startService(t, Config{Dir: dir})
+	id := submitJob(t, srv1.URL, "racy", dporJobOpts, 2)
+	waitState(t, srv1.URL, id, StateRunning)
+
+	// Find the mounted coordinator and complete units 0 and 1 through
+	// the wire protocol (unit 1 exists only after unit 0's merge grew
+	// the plan).
+	var asn AssignResponse
+	resp, err := http.Get(srv1.URL + PathAssign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&asn); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if asn.Status != AssignWork || asn.JobID != id {
+		t.Fatalf("assign = %+v, want work on %s", asn, id)
+	}
+	base := srv1.URL + asn.Path
+	opts := dist.SpecFromOptions("racy", dporJobOpts).Options()
+	var join dist.JoinResponse
+	postProto(t, base+dist.PathJoin, dist.JoinRequest{Capacity: 1}, &join)
+	for i := 0; i < 2; i++ {
+		var lr dist.LeaseResponse
+		postProto(t, base+dist.PathLease, dist.LeaseRequest{WorkerID: join.WorkerID}, &lr)
+		if lr.Status != dist.LeaseWork {
+			t.Fatalf("lease %d: status %q", i, lr.Status)
+		}
+		if lr.Shard.Unit == nil {
+			t.Fatalf("lease %d: shard %d carries no DPOR unit", i, lr.Shard.Index)
+		}
+		rep := search.RunShard(testProgs["racy"], opts, *lr.Shard, nil)
+		var rr dist.ResultResponse
+		postProto(t, base+dist.PathResult, dist.ResultRequest{
+			WorkerID: join.WorkerID, LeaseID: lr.LeaseID, Shard: lr.Shard.Index, Report: rep,
+		}, &rr)
+		if !rr.Accepted {
+			t.Fatalf("result %d not accepted", i)
+		}
+	}
+	srv1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+
+	s2, srv2 := startService(t, Config{Dir: dir})
+	defer s2.Close()
+	startPool(t, srv2.URL, t.TempDir(), 2)
+	waitState(t, srv2.URL, id, StateDone)
+	got := fetchReport(t, srv2.URL, id)
+	if want := localReportBytes(t, "racy", dporJobOpts, 2); !bytes.Equal(got, want) {
+		t.Fatalf("resumed DPOR artifact differs:\n%s\nvs\n%s", got, want)
 	}
 }
 

@@ -584,10 +584,11 @@ func (wk *worker) runShard(leaseID string, sh search.Shard) {
 
 	opts := wk.opts
 	ckptPath := ""
-	if wk.cfg.WorkDir != "" && sh.Prefix == nil {
+	if wk.cfg.WorkDir != "" && sh.Prefix == nil && sh.Unit == nil {
 		// Per-shard checkpointing (stride shards only: a prefix
-		// subtree reruns from scratch). A stale or foreign checkpoint
-		// is discarded, never trusted.
+		// subtree reruns from scratch, and a DPOR unit is a single
+		// execution). A stale or foreign checkpoint is discarded,
+		// never trusted.
 		ckptPath = filepath.Join(wk.cfg.WorkDir, fmt.Sprintf("shard-%04d.ckpt", sh.Index))
 		opts.CheckpointPath = ckptPath
 		if ck, err := search.LoadCheckpoint(ckptPath); err == nil {

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"time"
+
+	"fairmc/conc"
+	"fairmc/internal/obs"
+	"fairmc/internal/search"
+	"fairmc/progs"
+)
+
+// DporReductionRow compares how many executions a full unfair DFS,
+// DPOR, and DPOR+sleep-sets explore to exhaust one subject's schedule
+// tree. Reduction is PlainExecs over DporSleepExecs — the combined
+// partial-order reduction factor.
+type DporReductionRow struct {
+	Program          string        `json:"program"`
+	PlainExecs       int64         `json:"plain_execs"`
+	PlainElapsed     time.Duration `json:"plain_elapsed_ns"`
+	DporExecs        int64         `json:"dpor_execs"`
+	DporElapsed      time.Duration `json:"dpor_elapsed_ns"`
+	DporSleepExecs   int64         `json:"dpor_sleep_execs"`
+	DporSleepElapsed time.Duration `json:"dpor_sleep_elapsed_ns"`
+	Races            int64         `json:"races"`
+	UnitsPruned      int64         `json:"units_pruned"`
+	Reduction        float64       `json:"reduction"`
+}
+
+// DporBugRow compares executions to the first finding on a buggy
+// subject: the plain DFS and DPOR stop at the same class of bug, DPOR
+// after exploring a fraction of the interleavings.
+type DporBugRow struct {
+	Program    string `json:"program"`
+	PlainExecs int64  `json:"plain_execs"`
+	PlainFound bool   `json:"plain_found"`
+	DporExecs  int64  `json:"dpor_execs"`
+	DporFound  bool   `json:"dpor_found"`
+}
+
+// DporScaleRow is one point of the DPOR parallel sweep: the same
+// work-unit frontier drained with a different worker count. Executions
+// is constant across rows (units are merged in spawn order regardless
+// of P) and Identical confirms the whole report matched the P=1 row.
+type DporScaleRow struct {
+	Parallelism int           `json:"parallelism"`
+	Executions  int64         `json:"executions"`
+	Elapsed     time.Duration `json:"elapsed_ns"`
+	ExecsPerSec float64       `json:"execs_per_sec"`
+	Speedup     float64       `json:"speedup"`
+	Identical   bool          `json:"identical"`
+}
+
+// DporReport bundles the DPOR evaluation: reduction vs the full DFS,
+// bug-finding economy, and scaling of the work-unit frontier at -p,
+// with the host facts a reader needs to interpret the scaling rows.
+type DporReport struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
+	// Warning is set when the host cannot actually exercise the sweep's
+	// parallelism (NumCPU below the largest worker count): the speedup
+	// column then measures scheduling overhead, not scaling.
+	Warning      string             `json:"warning,omitempty"`
+	Reduction    []DporReductionRow `json:"reduction"`
+	Bug          []DporBugRow       `json:"bug"`
+	ScaleProgram string             `json:"scale_program"`
+	Scale        []DporScaleRow     `json:"scale"`
+}
+
+// dporBase are the option shared by every cell: DPOR's precondition is
+// an unfair, terminating subject, so the fair scheduler stays off and
+// the step bound is the divergence backstop.
+func dporBase() search.Options {
+	return search.Options{Fair: false, ContextBound: -1, MaxSteps: 5000}
+}
+
+// dporSubject resolves a registered program or panics — a sweep over a
+// missing subject is a harness bug, not a measurement.
+func dporSubject(name string) func(*conc.T) {
+	p, ok := progs.Lookup(name)
+	if !ok {
+		panic(fmt.Sprintf("experiments: subject %q missing", name))
+	}
+	return p.Body
+}
+
+// DporSweep measures DPOR against the plain unfair DFS: executions to
+// exhaust clean subjects (with and without sleep sets on top), and
+// executions to the first finding on a buggy one, then drains one
+// subject's work-unit frontier at each worker count. quick shrinks the
+// subject list to the cheap cells.
+func DporSweep(workers []int, quick bool) DporReport {
+	out := DporReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	maxW := 0
+	for _, p := range workers {
+		if p > maxW {
+			maxW = p
+		}
+	}
+	if out.NumCPU < maxW {
+		out.Warning = fmt.Sprintf(
+			"host has %d CPU(s) but the sweep asks for up to %d workers: "+
+				"rows collapse toward single-thread throughput and speedup is not meaningful",
+			out.NumCPU, maxW)
+	}
+
+	cleans := []string{"barrier-bug", "boundedbuffer"}
+	if quick {
+		cleans = cleans[:1]
+	}
+	for _, name := range cleans {
+		body := dporSubject(name)
+		plain := search.Explore(body, dporBase())
+		dporOpts := dporBase()
+		dporOpts.DPOR = true
+		m := &obs.Metrics{}
+		dporOpts.Metrics = m
+		dpor := search.Explore(body, dporOpts)
+		dporOpts.Metrics = nil
+		bothOpts := dporOpts
+		bothOpts.SleepSets = true
+		both := search.Explore(body, bothOpts)
+		row := DporReductionRow{
+			Program:          name,
+			PlainExecs:       plain.Executions,
+			PlainElapsed:     plain.Elapsed,
+			DporExecs:        dpor.Executions,
+			DporElapsed:      dpor.Elapsed,
+			DporSleepExecs:   both.Executions,
+			DporSleepElapsed: both.Elapsed,
+			Races:            m.Snapshot().DporRaces,
+			UnitsPruned:      m.Snapshot().DporUnitsPruned,
+		}
+		if both.Executions > 0 {
+			row.Reduction = float64(plain.Executions) / float64(both.Executions)
+		}
+		out.Reduction = append(out.Reduction, row)
+	}
+
+	if !quick {
+		body := dporSubject("msqueue-bug")
+		plain := search.Explore(body, dporBase())
+		dporOpts := dporBase()
+		dporOpts.DPOR = true
+		dpor := search.Explore(body, dporOpts)
+		out.Bug = append(out.Bug, DporBugRow{
+			Program:    "msqueue-bug",
+			PlainExecs: plain.Executions,
+			PlainFound: plain.FirstBug != nil,
+			DporExecs:  dpor.Executions,
+			DporFound:  dpor.FirstBug != nil,
+		})
+	}
+
+	out.ScaleProgram = "boundedbuffer"
+	scaleOpts := dporBase()
+	scaleOpts.DPOR = true
+	if quick {
+		// The sleep-set frontier is two orders of magnitude smaller;
+		// quick mode trades measurement weight for wall clock.
+		scaleOpts.SleepSets = true
+	}
+	var ref *search.Report
+	var base float64
+	for _, p := range workers {
+		opts := scaleOpts
+		opts.Parallelism = p
+		rep := search.Explore(dporSubject(out.ScaleProgram), opts)
+		row := DporScaleRow{
+			Parallelism: p,
+			Executions:  rep.Executions,
+			Elapsed:     rep.Elapsed,
+			ExecsPerSec: float64(rep.Executions) / rep.Elapsed.Seconds(),
+		}
+		if ref == nil {
+			ref = rep
+			base = row.ExecsPerSec
+		}
+		row.Speedup = row.ExecsPerSec / base
+		norm := func(r *search.Report) search.Report {
+			c := *r
+			c.Elapsed = 0
+			return c
+		}
+		row.Identical = reflect.DeepEqual(norm(ref), norm(rep))
+		out.Scale = append(out.Scale, row)
+	}
+	return out
+}

@@ -227,10 +227,18 @@ type Metrics struct {
 	JobsDone      Counter
 	JobsCancelled Counter
 	JobsShed      Counter
+	// DPOR work-unit counters (internal/search/dpor.go): race-reversal
+	// proposals found by trace analysis, child units pruned because
+	// their path was already spawned or taken, and the instantaneous
+	// depth of the unmerged unit queue.
+	DporRaces       Counter
+	DporUnitsPruned Counter
+	DporUnitQueue   Gauge
 	// Frontier is the per-strategy frontier depth: the DFS stack depth
 	// (sequential systematic search), the number of unmerged frontier
-	// prefixes (prefix-parallel search), or the next unmerged execution
-	// index (random strategies).
+	// prefixes (prefix-parallel search), the number of unmerged work
+	// units (DPOR), or the next unmerged execution index (random
+	// strategies).
 	Frontier Gauge
 	// ExecSteps is the distribution of execution lengths in steps.
 	ExecSteps Hist
@@ -328,6 +336,9 @@ type Snapshot struct {
 	JobsDone           int64        `json:"jobsDone"`
 	JobsCancelled      int64        `json:"jobsCancelled"`
 	JobsShed           int64        `json:"jobsShed"`
+	DporRaces          int64        `json:"dporRaces"`
+	DporUnitsPruned    int64        `json:"dporUnitsPruned"`
+	DporUnitQueue      int64        `json:"dporUnitQueue"`
 	Frontier           int64        `json:"frontier"`
 	ExecSteps          []HistBucket `json:"execSteps,omitempty"`
 }
@@ -376,6 +387,9 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		JobsDone:           s.JobsDone - prev.JobsDone,
 		JobsCancelled:      s.JobsCancelled - prev.JobsCancelled,
 		JobsShed:           s.JobsShed - prev.JobsShed,
+		DporRaces:          s.DporRaces - prev.DporRaces,
+		DporUnitsPruned:    s.DporUnitsPruned - prev.DporUnitsPruned,
+		DporUnitQueue:      s.DporUnitQueue,
 		Frontier:           s.Frontier,
 	}
 	prevAt := make(map[int64]int64, len(prev.ExecSteps))
@@ -431,6 +445,9 @@ func (m *Metrics) Merge(d Snapshot) {
 	m.JobsSubmitted.Add(d.JobsSubmitted)
 	m.JobsDone.Add(d.JobsDone)
 	m.JobsCancelled.Add(d.JobsCancelled)
+	m.DporRaces.Add(d.DporRaces)
+	m.DporUnitsPruned.Add(d.DporUnitsPruned)
+	// DporUnitQueue is a gauge and is skipped like Frontier.
 	m.JobsShed.Add(d.JobsShed)
 	for _, b := range d.ExecSteps {
 		idx := 63 // open-ended overflow bucket
@@ -487,6 +504,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		JobsDone:           m.JobsDone.Load(),
 		JobsCancelled:      m.JobsCancelled.Load(),
 		JobsShed:           m.JobsShed.Load(),
+		DporRaces:          m.DporRaces.Load(),
+		DporUnitsPruned:    m.DporUnitsPruned.Load(),
+		DporUnitQueue:      m.DporUnitQueue.Load(),
 		Frontier:           m.Frontier.Load(),
 		ExecSteps:          m.ExecSteps.Buckets(),
 	}

@@ -25,8 +25,11 @@ import (
 // Move identifies one alternative at a state: a thread, its pending
 // operation, and (for data choices) the chosen value.
 type Move struct {
-	Tid  tidset.Tid
-	Arg  int
+	// Tid is the thread the move belongs to.
+	Tid tidset.Tid
+	// Arg is the data choice taken (0 for plain scheduling moves).
+	Arg int
+	// Info describes the thread's pending operation.
 	Info engine.OpInfo
 }
 

@@ -53,7 +53,12 @@ import (
 // EdgeErases, FairBlocked); resuming a version-2 checkpoint would
 // zero them and break run-report determinism across a resume, so old
 // checkpoints are rejected.
-const CheckpointVersion = 3
+// Version 4 added the DPOR work-unit frontier (Dpor: pending units in
+// spawn order plus consumed-unit trace records) and the pruning
+// counters (PrunedVisited, PrunedSleep). It is purely additive, so
+// version-3 checkpoints remain readable; this build always writes
+// version 4.
+const CheckpointVersion = 4
 
 // defaultCheckpointInterval is used when CheckpointPath is set but
 // CheckpointInterval is zero.
@@ -85,6 +90,8 @@ type CheckpointCounters struct {
 	EdgeErases     int64 `json:"edgeErases"`
 	FairBlocked    int64 `json:"fairBlocked"`
 	NonTerminating int64 `json:"nonTerminating"`
+	PrunedVisited  int64 `json:"prunedVisited,omitempty"`
+	PrunedSleep    int64 `json:"prunedSleep,omitempty"`
 	Deadlocks      int64 `json:"deadlocks"`
 	Violations     int64 `json:"violations"`
 	Wedges         int64 `json:"wedges"`
@@ -158,6 +165,7 @@ type Checkpoint struct {
 	Stride *StrideState `json:"stride,omitempty"`
 	Seq    *SeqState    `json:"seq,omitempty"`
 	Prefix *PrefixState `json:"prefix,omitempty"`
+	Dpor   *DporState   `json:"dpor,omitempty"`
 }
 
 // LoadCheckpoint reads and decodes a checkpoint file.
@@ -170,8 +178,8 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	if err := json.Unmarshal(data, ck); err != nil {
 		return nil, fmt.Errorf("search: decoding checkpoint %s: %w", path, err)
 	}
-	if ck.Version != CheckpointVersion {
-		return nil, fmt.Errorf("search: checkpoint %s has format version %d, this build reads version %d",
+	if ck.Version != CheckpointVersion && ck.Version != 3 {
+		return nil, fmt.Errorf("search: checkpoint %s has format version %d, this build reads versions 3 and %d",
 			path, ck.Version, CheckpointVersion)
 	}
 	return ck, nil
@@ -286,6 +294,8 @@ func buildCheckpoint(opts *Options, rep *Report, elapsed time.Duration, done boo
 			EdgeErases:     rep.EdgeErases,
 			FairBlocked:    rep.FairBlocked,
 			NonTerminating: rep.NonTerminating,
+			PrunedVisited:  rep.PrunedVisited,
+			PrunedSleep:    rep.PrunedSleep,
 			Deadlocks:      rep.Deadlocks,
 			Violations:     rep.Violations,
 			Wedges:         rep.Wedges,
@@ -315,6 +325,8 @@ func applyCheckpoint(rep *Report, ck *Checkpoint) {
 	rep.EdgeErases = ck.Counters.EdgeErases
 	rep.FairBlocked = ck.Counters.FairBlocked
 	rep.NonTerminating = ck.Counters.NonTerminating
+	rep.PrunedVisited = ck.Counters.PrunedVisited
+	rep.PrunedSleep = ck.Counters.PrunedSleep
 	rep.Deadlocks = ck.Counters.Deadlocks
 	rep.Violations = ck.Counters.Violations
 	rep.Wedges = ck.Counters.Wedges

@@ -1,68 +1,897 @@
 package search
 
+// This file implements dynamic partial-order reduction over explicit,
+// serializable work units (por.Unit), in the lineage of Flanagan &
+// Godefroid (POPL 2005) reformulated the parsimonious way: instead of
+// inserting backtrack points into shared DFS-stack state, every
+// detected race spawns one self-contained unit — a schedule prefix
+// ending in the race reversal, plus the sleep-set entries the reversal
+// inherits. Units are independent: a worker replays the prefix
+// (digest-verified, with the same retry/quarantine protocol as every
+// other replay in this package), extends it with leftmost-awake
+// choices to a complete execution, and reports the races found along
+// the trace; the merge turns unseen reversals into child units.
+//
+// The merge consumes unit reports strictly in spawn (FIFO) order, and
+// children are spawned in proposal-discovery order, so the explored
+// tree, every counter, and every finding are functions of the program
+// alone — independent of worker count and timing. That one property
+// buys everything downstream: exploreDpor runs the identical
+// enumeration at any Parallelism, the ShardMerger replays the identical
+// enumeration across distributed workers (Shard.Unit), and checkpoints
+// (DporState, format v4) capture the frontier as plain data.
+//
+// The race analysis itself (por.Analyze) is the conservative variant:
+// every dependent pair proposes a reversal at the earlier step, with
+// no happens-before filtering. Each pair is analyzed exactly once
+// globally — a unit analyzes only pairs whose later step is at or past
+// its branch point; earlier pairs occurred identically in the parent's
+// trace. Guarantee (as for classic DPOR): on programs that terminate
+// under every schedule, all deadlocks and assertion violations are
+// found. It requires the unfair scheduler and composes with sleep
+// sets, whose state rides inside the units (Unit.Sleep).
+
 import (
+	"fmt"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
 	"fairmc/internal/engine"
+	"fairmc/internal/obs"
 	"fairmc/internal/por"
 )
 
-// This file implements conservative dynamic partial-order reduction in
-// the lineage of Flanagan & Godefroid (POPL 2005), adapted to the
-// stateless re-execution stack: instead of expanding every alternative
-// at every choice point (full DFS), each frame starts with a single
-// alternative and the search *earns* alternatives dynamically — when a
-// step's transition conflicts with an earlier transition of another
-// thread, the earlier step's frame gains a backtrack point that will
-// reverse the pair.
-//
-// This variant is conservative: it inserts a backtrack point at every
-// earlier conflicting step (the classic algorithm prunes further using
-// happens-before clocks to keep only the last reversible race). That
-// sacrifices some reduction for a simpler soundness argument — every
-// reversal the clock-filtered algorithm performs is a subset of ours.
-//
-// Guarantee (as for classic DPOR): on programs that terminate under
-// every schedule, all deadlocks and all assertion violations are
-// found. Unlike sleep sets, DPOR does *not* visit every intermediate
-// state — it explores one representative per Mazurkiewicz trace — so
-// it is a bug-finding mode, not a state-coverage mode. It requires the
-// unfair scheduler (like sleep sets: priority state breaks
-// commutativity) and composes with sleep sets.
+// DporResult is the unit-exploration payload a DPOR work-unit report
+// carries back to the merge: how the unit's execution continued past
+// its prefix, and the race reversals its trace proposes. It rides on
+// Report only for unit runs (RunShard with Shard.Unit, the internal
+// workers of exploreDpor); merged reports never carry one.
+type DporResult struct {
+	// ContIdx are the filtered-candidate indices chosen at the steps
+	// past the unit's prefix, and Cont the corresponding alternatives;
+	// the unit's full path is Unit.Path + ContIdx.
+	ContIdx []int        `json:"contIdx,omitempty"`
+	Cont    []engine.Alt `json:"cont,omitempty"`
+	// ContDigs are the conformance digests of the continuation steps
+	// (empty when conformance is disabled).
+	ContDigs []engine.StepDigest `json:"contDigs,omitempty"`
+	// Nodes carries the candidate landscape of every step that received
+	// at least one proposal — what the merge needs to materialize child
+	// units.
+	Nodes []DporNodeRec `json:"nodes,omitempty"`
+	// Proposals are the race reversals the trace proposes, in
+	// discovery order.
+	Proposals []DporProposal `json:"proposals,omitempty"`
+}
 
-// dporAnalyze runs the backtrack-point insertion for the step about to
-// execute: frame index n (== s.pos-1 after the frame bookkeeping),
-// chosen alternative alt.
-func (s *searcher) dporAnalyze(ctx *engine.ChooseContext, n int, alt engine.Alt) {
-	m := por.MoveOf(ctx.Engine, alt)
-	for i := n - 1; i >= 0; i-- {
-		prev := s.executed[i]
-		if prev.Tid == m.Tid || por.Independent(prev, m) {
+// DporNodeRec is one step's recorded candidate landscape: the
+// context-bound-filtered alternatives, their moves, and the
+// conformance digest of the state.
+type DporNodeRec struct {
+	// Pos is the 0-based step index within the unit's full path.
+	Pos int `json:"pos"`
+	// Alts is the filtered candidate list at the step's state.
+	Alts []engine.Alt `json:"alts"`
+	// Moves[i] is the pending move of Alts[i] at that state.
+	Moves []por.Move `json:"moves"`
+	// Hash is the unfiltered candidate-set digest of the state (0 when
+	// conformance is disabled).
+	Hash uint64 `json:"hash,omitempty"`
+}
+
+// DporProposal mirrors por.Proposal with JSON tags for transport: take
+// alternative Idx at step Pos.
+type DporProposal struct {
+	Pos int `json:"pos"`
+	Idx int `json:"idx"`
+}
+
+// DporTraceRec is the compact history of one consumed work unit, kept
+// for checkpoint/resume: the unit's path, and the continuation indices
+// its run chose (empty for quarantined or skipped units). The merge's
+// dedup set is exactly the prefixes of Path+Cont over all consumed
+// units plus the paths of pending units, so a resume reconstructs it
+// from these records alone.
+type DporTraceRec struct {
+	Path []int `json:"path,omitempty"`
+	Cont []int `json:"cont,omitempty"`
+}
+
+// DporState is the DPOR frontier of a checkpoint (format v4): the
+// consumed-unit count, the pending units in spawn order, and the
+// consumed-unit trace records the dedup set is rebuilt from.
+type DporState struct {
+	// Merged counts work units consumed by the merge across all
+	// sessions of the search.
+	Merged int64 `json:"merged"`
+	// AllExhausted is false once any unit was skipped or quarantined.
+	AllExhausted bool `json:"allExhausted"`
+	// Units are the spawned-but-unmerged units in spawn order; resume
+	// re-runs exactly these (results in flight at checkpoint time are
+	// recomputed).
+	Units []por.Unit `json:"units,omitempty"`
+	// Traces records every consumed unit, in consumption order.
+	Traces []DporTraceRec `json:"traces,omitempty"`
+}
+
+// unitChooser executes one DPOR work unit: it replays the unit's
+// schedule under digest verification, then extends the execution with
+// leftmost-awake choices, recording the per-step candidate landscape
+// por.Analyze consumes.
+type unitChooser struct {
+	opts *Options
+	unit *por.Unit
+
+	pos         int
+	preemptUsed int
+	sleep       por.Set
+
+	steps    []por.ExecStep
+	hashes   []uint64 // unfiltered candidate-set digest per step (conformance on)
+	contIdx  []int
+	cont     []engine.Alt
+	contDigs []engine.StepDigest
+
+	div        *engine.DivergenceError
+	abortSleep bool
+}
+
+// Choose implements engine.Chooser for one unit execution.
+func (c *unitChooser) Choose(ctx *engine.ChooseContext) (engine.Alt, bool) {
+	e := ctx.Engine
+	step := c.pos
+	var hash uint64
+	haveDig := !c.opts.DisableConformance
+	if haveDig {
+		hash = e.CandsDigest(ctx.Cands)
+	}
+	replay := step < len(c.unit.Sched)
+	if replay {
+		want := c.unit.Sched[step]
+		if err := altIn(want, ctx.Cands); err != "" {
+			// The recorded alternative is not schedulable anymore: the
+			// program is nondeterministic outside the scheduler's
+			// control. Abort for retry/quarantine.
+			exp := engine.StepDigest{}
+			if step < len(c.unit.Digs) {
+				exp = c.unit.Digs[step]
+			}
+			c.div = &engine.DivergenceError{
+				Step:           step,
+				Want:           want,
+				Expected:       exp,
+				Observed:       e.StepDigest(ctx.Cands, want),
+				NumCands:       len(ctx.Cands),
+				NotSchedulable: true,
+			}
+			return engine.Alt{}, false
+		}
+		if haveDig && step < len(c.unit.Digs) {
+			obsOp := e.PendingOpInfo(want.Tid)
+			exp := c.unit.Digs[step]
+			if hash != exp.Hash || obsOp != exp.Op {
+				c.div = &engine.DivergenceError{
+					Step:     step,
+					Want:     want,
+					Expected: exp,
+					Observed: engine.StepDigest{Hash: hash, Tid: want.Tid, Op: obsOp},
+					NumCands: len(ctx.Cands),
+				}
+				return engine.Alt{}, false
+			}
+		}
+	}
+
+	// The same frontier filtering as the sequential searcher: the
+	// preemption budget first (Path indices are relative to this list),
+	// then the sleep mask. ctx.Cands is the engine's reused buffer, so
+	// the recorded list must be an owned copy.
+	alts := ctx.Cands
+	owned := false
+	if c.opts.ContextBound >= 0 && c.preemptUsed >= c.opts.ContextBound {
+		alts = nonPreempting(ctx)
+		if len(alts) == 0 {
+			panic("search: empty alternative set under context bound")
+		}
+		owned = true
+	}
+	if !owned {
+		alts = append([]engine.Alt(nil), alts...)
+	}
+	if c.opts.SleepSets && step < len(c.unit.Sleep) {
+		// Install the serialized sleep entries for this state — the
+		// siblings already covered when the unit was spawned — before
+		// computing the awake mask.
+		for _, m := range c.unit.Sleep[step] {
+			c.sleep.Add(m)
+		}
+	}
+	rec := por.ExecStep{
+		Alts:  alts,
+		Moves: make([]por.Move, len(alts)),
+		Awake: make([]bool, len(alts)),
+	}
+	for i, a := range alts {
+		rec.Moves[i] = por.MoveOf(e, a)
+		rec.Awake[i] = !c.opts.SleepSets || !c.sleep.Contains(e, a)
+	}
+
+	var chosen engine.Alt
+	if replay {
+		chosen = c.unit.Sched[step]
+	} else {
+		k := -1
+		for i := range alts {
+			if rec.Awake[i] {
+				k = i
+				break
+			}
+		}
+		if k < 0 {
+			// Every alternative is asleep: the state's successors are
+			// covered by sibling units. Prune.
+			c.abortSleep = true
+			return engine.Alt{}, false
+		}
+		chosen = alts[k]
+		c.contIdx = append(c.contIdx, k)
+		c.cont = append(c.cont, chosen)
+		if haveDig {
+			c.contDigs = append(c.contDigs, engine.StepDigest{
+				Hash: hash, Tid: chosen.Tid, Op: e.PendingOpInfo(chosen.Tid),
+			})
+		}
+	}
+	rec.Chosen = por.MoveOf(e, chosen)
+	c.steps = append(c.steps, rec)
+	if haveDig {
+		c.hashes = append(c.hashes, hash)
+	}
+	if ctx.IsPreemption(chosen) {
+		c.preemptUsed++
+	}
+	if c.opts.SleepSets {
+		c.sleep.Step(rec.Chosen)
+	}
+	c.pos++
+	return chosen, true
+}
+
+// runDporUnit executes one work unit to completion and returns its
+// report, ready for dporMerger.offer (or, distributed, for
+// ShardMerger.Offer). It mirrors the sequential execution loop
+// exactly: divergence retry then quarantine, unconditional counter
+// accounting, classify semantics per outcome.
+func runDporUnit(prog func(*engine.T), opts *Options, pool *engine.Pool, unit *por.Unit, deadline time.Time) *Report {
+	var r *engine.Result
+	var c *unitChooser
+	for attempt := 1; ; attempt++ {
+		c = &unitChooser{opts: opts, unit: unit}
+		cfg := engine.Config{
+			Fair:        opts.Fair,
+			FairK:       opts.FairK,
+			MaxSteps:    opts.MaxSteps,
+			RecordTrace: opts.RecordTrace,
+			Monitor:     opts.Monitor,
+			Watchdog:    opts.Watchdog,
+			Deadline:    deadline,
+			Metrics:     opts.Metrics,
+			EventSink:   opts.EventSink,
+			ExecIndex:   1,
+			NoFastPath:  opts.NoFastPath,
+		}
+		if opts.NoFastPath {
+			r = engine.Run(prog, c, cfg)
+		} else {
+			r = pool.Run(prog, c, cfg)
+		}
+		if c.div == nil {
+			break
+		}
+		if m := opts.Metrics; m != nil {
+			m.ReplayDivergences.Inc()
+		}
+		if attempt > opts.divergenceRetries() {
+			return quarantineUnitReport(opts, unit, c.div, attempt)
+		}
+	}
+
+	rep := &Report{
+		Executions:  1,
+		TotalSteps:  r.Steps,
+		MaxDepth:    r.Steps,
+		Yields:      r.Yields,
+		EdgeAdds:    r.EdgeAdds,
+		EdgeErases:  r.EdgeErases,
+		FairBlocked: r.FairBlocked,
+		Exhausted:   true,
+	}
+	switch r.Outcome {
+	case engine.Terminated:
+	case engine.Deadlock:
+		rep.Deadlocks = 1
+		rep.FirstBug = reproduceStandalone(prog, *opts, r)
+		rep.FirstBugExecution = 1
+		emitUnitFinding(opts, "deadlock", r)
+	case engine.Violation:
+		rep.Violations = 1
+		rep.FirstBug = reproduceStandalone(prog, *opts, r)
+		rep.FirstBugExecution = 1
+		emitUnitFinding(opts, "violation", r)
+	case engine.Diverged:
+		// DPOR requires the unfair scheduler, where exceeding the step
+		// bound is an ordinary nonterminating execution, not a finding.
+		rep.NonTerminating = 1
+	case engine.Wedged:
+		rep.Wedges = 1
+		rep.FirstWedge = r
+		rep.FirstWedgeExecution = 1
+		emitUnitFinding(opts, "wedge", r)
+	case engine.Aborted:
+		if r.DeadlineExceeded {
+			// The shared deadline cut this unit; the merge discards the
+			// partial work so a resume re-runs the unit in full.
+			rep.TimedOut = true
+			return rep
+		}
+		if !c.abortSleep {
+			panic("search: unexpected abort in DPOR unit run")
+		}
+		rep.PrunedSleep = 1
+	default:
+		panic("search: unknown outcome in DPOR unit run")
+	}
+	rep.Dpor = buildDporResult(opts, unit, c)
+	return rep
+}
+
+// quarantineUnitReport builds the report of a unit whose prefix replay
+// persistently stopped conforming, mirroring searcher.quarantine.
+func quarantineUnitReport(opts *Options, unit *por.Unit, div *engine.DivergenceError, attempts int) *Report {
+	k := div.Step + 1
+	if k > len(unit.Sched) {
+		k = len(unit.Sched)
+	}
+	prefix := append([]engine.Alt(nil), unit.Sched[:k]...)
+	rep := &Report{
+		Quarantined: 1,
+		Nondeterminism: []NondeterminismReport{{
+			Prefix:         prefix,
+			Step:           div.Step,
+			Want:           div.Want,
+			Expected:       div.Expected,
+			Observed:       div.Observed,
+			NotSchedulable: div.NotSchedulable,
+			Attempts:       attempts,
+		}},
+	}
+	if m := opts.Metrics; m != nil {
+		m.Quarantined.Inc()
+	}
+	if sink := opts.EventSink; sink != nil {
+		reason := "digest mismatch"
+		if div.NotSchedulable {
+			reason = "recorded alternative not schedulable"
+		}
+		sink.Emit(obs.Event{Type: "quarantine", Quarantine: &obs.QuarantineEvent{
+			PrefixLen: len(prefix),
+			Attempts:  attempts,
+			Reason:    reason,
+		}})
+	}
+	return rep
+}
+
+// emitUnitFinding publishes a finding classified by a unit run.
+func emitUnitFinding(opts *Options, kind string, r *engine.Result) {
+	sink := opts.EventSink
+	if sink == nil {
+		return
+	}
+	sink.Emit(obs.Event{Type: "finding", Exec: 1, Finding: &obs.FindingEvent{
+		Kind:    kind,
+		Steps:   int(r.Steps),
+		Message: findingMessage(kind, r),
+	}})
+}
+
+// buildDporResult runs the race analysis over the unit's trace and
+// packages the result for the merge.
+func buildDporResult(opts *Options, unit *por.Unit, c *unitChooser) *DporResult {
+	props := por.Analyze(len(unit.Sched)-1, c.steps)
+	if m := opts.Metrics; m != nil && len(props) > 0 {
+		m.DporRaces.Add(int64(len(props)))
+	}
+	d := &DporResult{ContIdx: c.contIdx, Cont: c.cont, ContDigs: c.contDigs}
+	if len(props) == 0 {
+		return d
+	}
+	d.Proposals = make([]DporProposal, len(props))
+	haveNode := make(map[int]bool)
+	for i, pr := range props {
+		d.Proposals[i] = DporProposal{Pos: pr.Pos, Idx: pr.Idx}
+		if haveNode[pr.Pos] {
 			continue
 		}
-		fr := &s.stack[i]
-		// Add the conflicting thread's alternatives at the earlier
-		// state; if it was not enabled there, conservatively add
-		// every alternative.
-		added := false
-		for _, a := range fr.full {
-			if a.Tid == m.Tid {
-				fr.addAlt(a)
-				added = true
-			}
+		haveNode[pr.Pos] = true
+		st := &c.steps[pr.Pos]
+		var hash uint64
+		if pr.Pos < len(c.hashes) {
+			hash = c.hashes[pr.Pos]
 		}
-		if !added {
-			for _, a := range fr.full {
-				fr.addAlt(a)
-			}
+		d.Nodes = append(d.Nodes, DporNodeRec{Pos: pr.Pos, Alts: st.Alts, Moves: st.Moves, Hash: hash})
+	}
+	return d
+}
+
+// pathKey encodes a unit path as the merge's dedup-set key.
+func pathKey(path []int) string {
+	var b strings.Builder
+	for i, v := range path {
+		if i > 0 {
+			b.WriteByte(',')
 		}
+		b.WriteString(strconv.Itoa(v))
+	}
+	return b.String()
+}
+
+// dporMerger folds unit reports into a merged report in spawn order
+// and materializes child units from unseen reversal proposals. It is
+// the single merge definition shared by the in-process driver
+// (exploreDpor) and the distributed coordinator (ShardMerger), which
+// is what makes local and distributed DPOR reports byte-identical.
+type dporMerger struct {
+	opts *Options
+	rep  *Report
+	// seen holds the path keys of every spawned unit and every prefix
+	// of every consumed unit's full path: the Mazurkiewicz-trace dedup
+	// set that keeps reversals from re-spawning explored subtrees.
+	seen         map[string]bool
+	traces       []DporTraceRec
+	allExhausted bool
+}
+
+func newDporMerger(opts *Options, rep *Report) *dporMerger {
+	return &dporMerger{
+		opts:         opts,
+		rep:          rep,
+		seen:         map[string]bool{"": true}, // the root unit's path mark
+		allExhausted: true,
 	}
 }
 
-// addAlt appends a to the frame's exploration list unless present.
-func (fr *frame) addAlt(a engine.Alt) {
-	for _, x := range fr.alts {
-		if x == a {
+// markPath marks every prefix of path as seen (resume reconstruction;
+// prefixes of a spawned unit's path are provably already seen in the
+// original run, so over-marking cannot change the enumeration).
+func (dm *dporMerger) markPath(path []int) {
+	for k := 1; k <= len(path); k++ {
+		dm.seen[pathKey(path[:k])] = true
+	}
+}
+
+// restore re-seeds the merger from checkpointed trace records.
+func (dm *dporMerger) restore(traces []DporTraceRec, allExhausted bool) {
+	dm.traces = append(dm.traces, traces...)
+	dm.allExhausted = allExhausted
+	for _, tr := range traces {
+		full := make([]int, 0, len(tr.Path)+len(tr.Cont))
+		full = append(full, tr.Path...)
+		full = append(full, tr.Cont...)
+		dm.markPath(full)
+	}
+}
+
+// offer folds one unit's report into the merged report and returns the
+// child units its proposals spawn, in canonical (proposal-discovery)
+// order.
+//
+// Returns:
+//   - children: new units to enqueue, nil on any stop.
+//   - counted: the unit was consumed and the merge index advances.
+//     False only for a budget-cut unit, which a resume re-runs.
+//   - stopped: no further unit may be merged.
+//   - done: the stop is terminal (a finding), not a budget cut.
+func (dm *dporMerger) offer(unit *por.Unit, r *Report) (children []*por.Unit, counted, stopped, done bool) {
+	counted, stopped, done = mergeSubtree(dm.opts, dm.rep, r, &dm.allExhausted)
+	if !counted {
+		return nil, false, stopped, done
+	}
+	if r == nil || r.Dpor == nil {
+		// Skipped after repeated crashes, or quarantined: the unit
+		// consumed its turn but spawns nothing. Record its path so a
+		// resume reconstructs the dedup set.
+		dm.traces = append(dm.traces, DporTraceRec{Path: append([]int(nil), unit.Path...)})
+		return nil, true, stopped, done
+	}
+	d := r.Dpor
+	fullPath := make([]int, 0, len(unit.Path)+len(d.ContIdx))
+	fullPath = append(fullPath, unit.Path...)
+	fullPath = append(fullPath, d.ContIdx...)
+	// Mark the taken path first: proposals matching a step the unit
+	// itself took (or any already-spawned sibling) are redundant.
+	dm.markPath(fullPath)
+	dm.traces = append(dm.traces, DporTraceRec{
+		Path: append([]int(nil), unit.Path...),
+		Cont: append([]int(nil), d.ContIdx...),
+	})
+	if stopped {
+		return nil, true, stopped, done
+	}
+	fullSched := make([]engine.Alt, 0, len(unit.Sched)+len(d.Cont))
+	fullSched = append(fullSched, unit.Sched...)
+	fullSched = append(fullSched, d.Cont...)
+	var fullDigs []engine.StepDigest
+	if !dm.opts.DisableConformance {
+		fullDigs = make([]engine.StepDigest, 0, len(unit.Digs)+len(d.ContDigs))
+		fullDigs = append(fullDigs, unit.Digs...)
+		fullDigs = append(fullDigs, d.ContDigs...)
+	}
+	nodeAt := make(map[int]*DporNodeRec, len(d.Nodes))
+	for i := range d.Nodes {
+		nodeAt[d.Nodes[i].Pos] = &d.Nodes[i]
+	}
+	for _, pr := range d.Proposals {
+		node := nodeAt[pr.Pos]
+		if node == nil || pr.Pos >= len(fullPath) || pr.Idx >= len(node.Alts) {
+			continue // malformed payload (defensive; never produced by runDporUnit)
+		}
+		childPath := make([]int, 0, pr.Pos+1)
+		childPath = append(childPath, fullPath[:pr.Pos]...)
+		childPath = append(childPath, pr.Idx)
+		key := pathKey(childPath)
+		if dm.seen[key] {
+			if m := dm.opts.Metrics; m != nil {
+				m.DporUnitsPruned.Inc()
+			}
+			continue
+		}
+		dm.seen[key] = true
+		child := &por.Unit{
+			Path:  childPath,
+			Sched: append(append(make([]engine.Alt, 0, pr.Pos+1), fullSched[:pr.Pos]...), node.Alts[pr.Idx]),
+		}
+		if fullDigs != nil && len(fullDigs) >= pr.Pos {
+			child.Digs = append(append(make([]engine.StepDigest, 0, pr.Pos+1), fullDigs[:pr.Pos]...),
+				engine.StepDigest{Hash: node.Hash, Tid: node.Alts[pr.Idx].Tid, Op: node.Moves[pr.Idx].Info})
+		}
+		if dm.opts.SleepSets {
+			// The child inherits the parent's installed sleep entries
+			// along the shared prefix, and at the branch point puts every
+			// already-covered sibling to sleep. Spawn order makes the
+			// covered-by relation acyclic, which is what keeps the
+			// reduction sound.
+			sleep := make([][]por.Move, pr.Pos+1)
+			for k := 0; k < pr.Pos && k < len(unit.Sleep); k++ {
+				sleep[k] = unit.Sleep[k]
+			}
+			var sl []por.Move
+			for j := range node.Alts {
+				if j == pr.Idx {
+					continue
+				}
+				sib := append(append(make([]int, 0, pr.Pos+1), fullPath[:pr.Pos]...), j)
+				if dm.seen[pathKey(sib)] {
+					sl = append(sl, node.Moves[j])
+				}
+			}
+			sleep[pr.Pos] = sl
+			child.Sleep = sleep
+		}
+		children = append(children, child)
+	}
+	return children, true, false, false
+}
+
+// dporQueue hands work units to workers: fresh units in spawn order,
+// crashed units requeued for one retry. Unlike the prefix queue, the
+// unit list grows while workers run (the merge enqueues children), so
+// idle workers block on the condition variable until more work arrives
+// or the queue is sealed.
+type dporQueue struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	units    []*por.Unit
+	next     int
+	requeued []int
+	attempts map[int]int
+	sealed   bool
+}
+
+func newDporQueue() *dporQueue {
+	q := &dporQueue{attempts: map[int]int{}}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// add enqueues units (spawn order = merge order).
+func (q *dporQueue) add(units []*por.Unit) {
+	q.mu.Lock()
+	q.units = append(q.units, units...)
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// get claims the next unit, retries first; ok=false means the queue is
+// sealed and drained.
+func (q *dporQueue) get() (idx int, unit *por.Unit, attempt int, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if len(q.requeued) > 0 {
+			i := q.requeued[0]
+			q.requeued = q.requeued[1:]
+			return i, q.units[i], q.attempts[i] + 1, true
+		}
+		if q.next < len(q.units) {
+			i := q.next
+			q.next++
+			return i, q.units[i], 1, true
+		}
+		if q.sealed {
+			return 0, nil, 0, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// fail records a crashed attempt; true means the unit was requeued.
+func (q *dporQueue) fail(i int) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.attempts[i]++
+	if q.attempts[i] >= workerAttempts {
+		return false
+	}
+	q.requeued = append(q.requeued, i)
+	q.cond.Broadcast()
+	return true
+}
+
+// seal marks the queue closed: blocked getters drain and exit.
+func (q *dporQueue) seal() {
+	q.mu.Lock()
+	q.sealed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// total is the number of units ever enqueued.
+func (q *dporQueue) total() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.units)
+}
+
+// unitAt returns the unit at spawn index i.
+func (q *dporQueue) unitAt(i int) *por.Unit {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.units[i]
+}
+
+// pendingUnits copies the unmerged units in spawn order (checkpoints).
+func (q *dporQueue) pendingUnits(merged int) []por.Unit {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]por.Unit, 0, len(q.units)-merged)
+	for _, u := range q.units[merged:] {
+		out = append(out, *u)
+	}
+	return out
+}
+
+// runDporUnitRecover executes one unit under recover: a crash anywhere
+// below becomes a recorded WorkerFailure, not a process abort.
+func runDporUnitRecover(prog func(*engine.T), opts Options, pool *engine.Pool,
+	unit *por.Unit, deadline time.Time, idx, attempt int, fails *failSink) (rep *Report, failed bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			fails.add(WorkerFailure{Mode: "dpor", Unit: int64(idx), Attempt: attempt,
+				Panic: fmt.Sprint(p), Stack: string(debug.Stack())})
+			observeWorkerRetry(&opts)
+			rep, failed = nil, true
+		}
+	}()
+	if h := workerFaultHook; h != nil {
+		h("dpor", int64(idx))
+	}
+	return runDporUnit(prog, &opts, pool, unit, deadline), false
+}
+
+// exploreDpor is the DPOR driver for every local Parallelism (1..N):
+// P workers execute units from a shared FIFO queue while the merge
+// consumes reports strictly in spawn order, enqueueing children as
+// proposals arrive. Because both the spawn order and the merge order
+// are functions of the unit reports alone, the merged report is
+// byte-identical at any P — and to a distributed run, which feeds the
+// same units through ShardMerger.
+func exploreDpor(prog func(*engine.T), opts Options) *Report {
+	p := opts.Parallelism
+	if p < 1 {
+		p = 1
+	}
+	start := time.Now()
+	var deadline time.Time
+	if opts.TimeLimit > 0 {
+		deadline = start.Add(opts.TimeLimit)
+	}
+
+	rep := &Report{}
+	dm := newDporMerger(&opts, rep)
+	q := newDporQueue()
+	var prevElapsed time.Duration
+	var consumed int64
+	if ck := opts.Resume; ck != nil {
+		applyCheckpoint(rep, ck)
+		prevElapsed = time.Duration(ck.Counters.ElapsedNS)
+		observeResume(&opts, ck)
+		st := ck.Dpor
+		consumed = st.Merged
+		dm.restore(st.Traces, st.AllExhausted)
+		units := make([]*por.Unit, len(st.Units))
+		for i := range st.Units {
+			u := st.Units[i]
+			units[i] = &u
+			dm.markPath(u.Path)
+		}
+		q.add(units)
+	} else {
+		q.add([]*por.Unit{{}}) // the root unit: the search's first execution
+	}
+	fails := &failSink{list: rep.WorkerFailures}
+
+	type dporRes struct {
+		idx int
+		rep *Report // nil: skipped after repeated worker crashes
+	}
+	results := make(chan dporRes, 64)
+	var wg sync.WaitGroup
+	subOpts := opts
+	subOpts.Parallelism = 1
+	subOpts.TimeLimit = 0       // the shared deadline is passed explicitly
+	subOpts.CheckpointPath = "" // the driver checkpoints at merge granularity
+	subOpts.Resume = nil
+	subOpts.Stop = nil
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var pool engine.Pool
+			defer pool.Close()
+			for {
+				i, unit, attempt, ok := q.get()
+				if !ok {
+					return
+				}
+				r, failed := runDporUnitRecover(prog, subOpts, &pool, unit, deadline, i, attempt, fails)
+				if failed {
+					if q.fail(i) {
+						continue // requeued for one retry
+					}
+					results <- dporRes{i, nil}
+					continue
+				}
+				results <- dporRes{i, r}
+			}
+		}()
+	}
+
+	lastCkpt := start
+	done := false
+	merged := 0
+	writeCkpt := func(d bool) {
+		if opts.CheckpointPath == "" {
 			return
 		}
+		rep.WorkerFailures = fails.sorted()
+		ck := buildCheckpoint(&opts, rep, prevElapsed+time.Since(start), d)
+		ck.Dpor = &DporState{
+			Merged:       consumed,
+			AllExhausted: dm.allExhausted,
+			Units:        q.pendingUnits(merged),
+			Traces:       dm.traces,
+		}
+		if err := ck.WriteFile(opts.CheckpointPath); err != nil {
+			if rep.CheckpointError == "" {
+				rep.CheckpointError = err.Error()
+			}
+			return
+		}
+		observeCheckpoint(&opts, rep.Executions)
 	}
-	fr.alts = append(fr.alts, a)
+
+	pending := make(map[int]*Report)
+	stopped := false
+merge:
+	for merged < q.total() {
+		// The same pre-execution budget checks the sequential loop makes:
+		// they run only while a next unit is pending, so the stop flags
+		// land on the identical execution boundary.
+		if opts.MaxExecutions > 0 && rep.Executions >= opts.MaxExecutions {
+			rep.ExecBounded = true
+			stopped = true
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			rep.TimedOut = true
+			stopped = true
+			break
+		}
+		if opts.Stop != nil {
+			select {
+			case <-opts.Stop:
+				rep.Interrupted = true
+				stopped = true
+				break merge
+			default:
+			}
+		}
+		r, ok := pending[merged]
+		if !ok {
+			if opts.Stop != nil {
+				select {
+				case pr := <-results:
+					pending[pr.idx] = pr.rep
+				case <-opts.Stop:
+					rep.Interrupted = true
+					stopped = true
+					break merge
+				}
+			} else {
+				pr := <-results
+				pending[pr.idx] = pr.rep
+			}
+			continue
+		}
+		delete(pending, merged)
+		children, counted, st, dn := dm.offer(q.unitAt(merged), r)
+		if counted {
+			if len(children) > 0 {
+				q.add(children)
+			}
+			merged++
+			consumed++
+			if m := opts.Metrics; m != nil {
+				n := int64(q.total() - merged)
+				m.DporUnitQueue.Set(n)
+				m.Frontier.Set(n) // unmerged units, like the prefix driver
+			}
+			if opts.CheckpointPath != "" {
+				iv := opts.CheckpointInterval
+				if iv <= 0 {
+					iv = defaultCheckpointInterval
+				}
+				if time.Since(lastCkpt) >= iv {
+					lastCkpt = time.Now()
+					writeCkpt(false)
+				}
+			}
+		}
+		if st {
+			stopped = true
+			done = done || dn
+			break
+		}
+	}
+	q.seal()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	for range results {
+		// Drain in-flight results so workers never block on send.
+	}
+
+	rep.Exhausted = !stopped && merged == q.total() && dm.allExhausted
+	if rep.Exhausted {
+		done = true
+	}
+	rep.WorkerFailures = fails.sorted()
+	rep.Elapsed = prevElapsed + time.Since(start)
+	writeCkpt(done)
+	return rep
 }

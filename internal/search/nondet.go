@@ -66,6 +66,8 @@ type NondeterminismReport struct {
 	Attempts int `json:"attempts"`
 }
 
+// String renders the divergence as the one-line summary the CLI and
+// logs print.
 func (n *NondeterminismReport) String() string {
 	kind := "digest mismatch"
 	if n.NotSchedulable {

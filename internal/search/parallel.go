@@ -236,6 +236,8 @@ func newStrideChooser(opts *Options, index int64) *strideChooser {
 	return c
 }
 
+// Choose implements engine.Chooser: PCT priorities when configured,
+// otherwise a uniform pick from the stride's seeded generator.
 func (c *strideChooser) Choose(ctx *engine.ChooseContext) (engine.Alt, bool) {
 	if c.pct != nil {
 		return c.pct.choose(ctx), true
@@ -563,6 +565,8 @@ type expandChooser struct {
 	div         *engine.DivergenceError
 }
 
+// Choose implements engine.Chooser: replay the prefix (verifying
+// conformance), then capture the first fresh choice point and stop.
 func (c *expandChooser) Choose(ctx *engine.ChooseContext) (engine.Alt, bool) {
 	if c.pos < len(c.sched) {
 		alt := c.sched[c.pos]
@@ -1024,6 +1028,8 @@ func mergeSubtree(opts *Options, rep *Report, r *Report, allExhausted *bool) (co
 		rep.MaxDepth = r.MaxDepth
 	}
 	rep.NonTerminating += r.NonTerminating
+	rep.PrunedVisited += r.PrunedVisited
+	rep.PrunedSleep += r.PrunedSleep
 	rep.Deadlocks += r.Deadlocks
 	rep.Violations += r.Violations
 	rep.Wedges += r.Wedges

@@ -24,9 +24,11 @@ func TestParallelOptionValidation(t *testing.T) {
 		opts search.Options
 	}{
 		{"StatefulPrune", search.Options{Parallelism: 4, StatefulPrune: true}},
-		{"DPOR", search.Options{Parallelism: 4, DPOR: true}},
 		{"SleepSets", search.Options{Parallelism: 4, SleepSets: true}},
 		{"Monitor", search.Options{Parallelism: 4, Monitor: state.NewCoverage()}},
+		// DPOR itself parallelizes (work units), but not with a Monitor:
+		// monitors observe executions from one goroutine.
+		{"DPOR+Monitor", search.Options{Parallelism: 4, DPOR: true, Monitor: state.NewCoverage()}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

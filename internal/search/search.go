@@ -77,14 +77,19 @@ type Options struct {
 	// requires Fair to be false.
 	StatefulPrune bool
 	// DPOR enables conservative dynamic partial-order reduction (see
-	// internal/search/dpor.go): choice points start with a single
-	// alternative and gain backtrack points only when a later
-	// transition conflicts with an earlier one. Finds all deadlocks
-	// and assertion violations of programs that terminate under every
-	// schedule, in far fewer executions than full DFS; it does NOT
-	// guarantee full state coverage (use SleepSets for that). Requires
-	// Fair to be false and a terminating program (no DepthBound /
-	// RandomTail / RandomWalk / PCT).
+	// internal/search/dpor.go and docs/DPOR.md): the search explores
+	// one schedule, and every pair of conflicting transitions it
+	// observes spawns a self-contained work unit — a schedule prefix
+	// ending in the race reversal — until no unexplored reversal
+	// remains. Finds all deadlocks and assertion violations of
+	// programs that terminate under every schedule, in far fewer
+	// executions than full DFS; it does NOT guarantee full state
+	// coverage (use SleepSets for that). Requires Fair to be false and
+	// a terminating program (no DepthBound / RandomTail / RandomWalk /
+	// PCT). Because the units are serializable and merged in a
+	// canonical order, DPOR runs at any Parallelism, distributed
+	// (Shard.Unit), and under checkpoint/resume (format v4), always
+	// with a byte-identical report.
 	DPOR bool
 	// SleepSets enables sleep-set partial-order reduction
 	// (internal/por): redundant interleavings of independent
@@ -105,9 +110,11 @@ type Options struct {
 	// Caveat: RandomTail seeds tails by subtree-local execution index,
 	// so a parallel depth-bounded search is deterministic for a given
 	// Parallelism but explores different tails than the sequential one.
-	// Incompatible with StatefulPrune, SleepSets, DPOR, and Monitor,
-	// whose state is shared across executions: those combinations
-	// panic rather than race (no silent unsoundness).
+	// Incompatible with StatefulPrune, Monitor, and SleepSets without
+	// DPOR, whose state is shared across executions: those
+	// combinations panic rather than race (no silent unsoundness).
+	// DPOR (with or without SleepSets) parallelizes: its state lives
+	// in self-contained work units, not the searcher.
 	Parallelism int
 	// DivergenceRetries is how many times a prefix replay that stops
 	// conforming to its recorded digests is re-executed before the
@@ -282,6 +289,11 @@ type Report struct {
 	// search itself continues (losing resumability is better than
 	// losing the run).
 	CheckpointError string
+	// Dpor carries a DPOR work unit's exploration payload (its
+	// continuation and race-reversal proposals) back to the merge. Set
+	// only on single-unit reports (RunShard with Shard.Unit); merged
+	// reports never carry it.
+	Dpor *DporResult `json:",omitempty"`
 	// Elapsed is the wall-clock search time; a resumed search
 	// accumulates the checkpointed elapsed time.
 	Elapsed time.Duration
@@ -295,15 +307,11 @@ type frame struct {
 	// when this choice point was first reached (hasDig gates it — a
 	// frame restored from an old checkpoint or with conformance
 	// disabled has none), and ops[i] is the pending op of alts[i] at
-	// that time. ops may be shorter than alts (DPOR inserts backtrack
-	// alternatives later); replay then verifies the digest only.
+	// that time. ops may be shorter than alts for frames restored from
+	// an old checkpoint; replay then verifies the digest only.
 	dig    uint64
 	hasDig bool
 	ops    []engine.OpInfo
-	// DPOR bookkeeping: the full candidate list at this state, and how
-	// many of this frame's alternatives have had backtrack analysis.
-	full     []engine.Alt
-	analyzed int
 	// Prefix memo: an owned snapshot of the full unfiltered candidate
 	// set and each candidate's pending op, captured when this choice
 	// point was first expanded. A replay that matches it structurally
@@ -348,7 +356,6 @@ type searcher struct {
 	divErr      *engine.DivergenceError // set when reason == abortDiverged
 	sleep       por.Set                 // current sleep set (when Options.SleepSets)
 	pct         *pctState               // per-execution PCT assignment (when Options.PCT)
-	executed    []por.Move              // this execution's transitions (when Options.DPOR)
 
 	visited map[visitKey]struct{}
 
@@ -398,7 +405,12 @@ func Explore(prog func(*engine.T), opts Options) *Report {
 		panic(err)
 	}
 	var rep *Report
-	if opts.Parallelism > 1 {
+	if opts.DPOR {
+		// DPOR has its own driver at every Parallelism: exploration is
+		// an expanding queue of serializable work units merged in spawn
+		// order, so the report is byte-identical at any worker count.
+		rep = exploreDpor(prog, opts)
+	} else if opts.Parallelism > 1 {
 		rep = exploreParallel(prog, opts)
 	} else {
 		rep = exploreSequential(prog, opts)
@@ -646,7 +658,6 @@ func (s *searcher) resetExec(exec int64) {
 	s.reason = abortNone
 	s.divErr = nil
 	s.sleep = por.Set{}
-	s.executed = s.executed[:0]
 	s.tailRand = rng.New(rng.Mix(s.opts.Seed, uint64(exec)))
 	if s.opts.PCT {
 		depth := s.opts.PCTDepth
@@ -897,7 +908,7 @@ func (s *searcher) Choose(ctx *engine.ChooseContext) (engine.Alt, bool) {
 				s.execMisses++
 				obsHash := ctx.Engine.CandsDigest(ctx.Cands)
 				obsOp := ctx.Engine.PendingOpInfo(alt.Tid)
-				expOp := obsOp // DPOR-inserted alternatives have no recorded op
+				expOp := obsOp // old-checkpoint frames may lack recorded ops
 				if fr.idx < len(fr.ops) {
 					expOp = fr.ops[fr.idx]
 				}
@@ -916,13 +927,6 @@ func (s *searcher) Choose(ctx *engine.ChooseContext) (engine.Alt, bool) {
 		}
 		if ctx.IsPreemption(alt) {
 			s.preemptUsed++
-		}
-		if s.opts.DPOR {
-			s.executed = append(s.executed[:s.pos-1], por.MoveOf(ctx.Engine, alt))
-			if fr.analyzed <= fr.idx {
-				s.dporAnalyze(ctx, s.pos-1, alt)
-				fr.analyzed = fr.idx + 1
-			}
 		}
 		s.advanceSleep(ctx, fr, alt)
 		return alt, true
@@ -986,20 +990,6 @@ func (s *searcher) Choose(ctx *engine.ChooseContext) (engine.Alt, bool) {
 	}
 	if !owned {
 		alts = append([]engine.Alt(nil), alts...)
-	}
-	if s.opts.DPOR {
-		// Lazy expansion: explore one alternative now; conflicts found
-		// later insert the others.
-		full := alts
-		alts = []engine.Alt{full[0]}
-		s.stack = append(s.stack, frame{alts: alts, full: full, analyzed: 1,
-			dig: dig, hasDig: haveDig, ops: s.frameOps(ctx, alts, haveDig),
-			memoCands: memoCands, memoOps: memoOps})
-		s.pos++
-		s.executed = append(s.executed[:s.pos-1], por.MoveOf(ctx.Engine, full[0]))
-		s.dporAnalyze(ctx, s.pos-1, full[0])
-		s.advanceSleep(ctx, &s.stack[len(s.stack)-1], full[0])
-		return full[0], true
 	}
 	s.stack = append(s.stack, frame{alts: alts,
 		dig: dig, hasDig: haveDig, ops: s.frameOps(ctx, alts, haveDig),

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"fairmc/internal/engine"
+	"fairmc/internal/por"
 )
 
 // Shard is one unit of distributable work.
@@ -25,7 +26,10 @@ import (
 // range of global execution indices [Lo, Hi]; executions are seeded by
 // index, so the range fully determines the work. For the systematic
 // strategies a shard is one frontier prefix: the worker explores
-// exactly the subtree below it.
+// exactly the subtree below it. For DPOR a shard is one work unit
+// (one execution); DPOR plans grow as the merge discovers race
+// reversals — the ShardMerger appends child shards in a deterministic
+// order, so every process derives the identical plan.
 type Shard struct {
 	// Index is the shard's position in the plan; reports are merged in
 	// Index order.
@@ -35,6 +39,8 @@ type Shard struct {
 	Hi int64 `json:"hi,omitempty"`
 	// Prefix is the frontier prefix (systematic strategies).
 	Prefix *SavedPrefix `json:"prefix,omitempty"`
+	// Unit is the DPOR work unit (DPOR searches).
+	Unit *por.Unit `json:"unit,omitempty"`
 }
 
 // Plan is the full, ordered shard list for one search. It is
@@ -76,6 +82,15 @@ func PlanShards(prog func(*engine.T), opts Options, refParallelism int) (*Plan, 
 		Strategy:       strategyOf(&opts),
 		RefParallelism: refParallelism,
 		OptionsHash:    optionsHash(&opts),
+	}
+	if opts.DPOR {
+		// DPOR plans start with the single root unit; the merge appends
+		// a child shard per undiscovered race reversal as unit reports
+		// come in (ShardMerger.drain), in an order that is a function
+		// of the reports alone — every coordinator derives the same
+		// grown plan.
+		plan.Shards = append(plan.Shards, Shard{Index: 0, Unit: &por.Unit{}})
+		return plan, nil
 	}
 	if opts.RandomWalk || opts.PCT {
 		m := opts.MaxExecutions
@@ -126,6 +141,21 @@ func RunShard(prog func(*engine.T), opts Options, sh Shard, stop <-chan struct{}
 	opts.Parallelism = 1
 	opts.TimeLimit = 0
 	opts.ConfirmRuns = 0 // the coordinator confirms the merged findings
+	if sh.Unit != nil {
+		opts.CheckpointPath = ""
+		opts.Resume = nil
+		opts.Stop = nil
+		if stop != nil {
+			select {
+			case <-stop:
+				return &Report{Interrupted: true}
+			default:
+			}
+		}
+		var pool engine.Pool
+		defer pool.Close()
+		return runDporUnit(prog, &opts, &pool, sh.Unit, time.Time{})
+	}
 	if sh.Prefix != nil {
 		opts.CheckpointPath = ""
 		opts.Resume = nil
@@ -180,6 +210,9 @@ func ValidateShardResume(opts *Options, sh Shard, ck *Checkpoint) error {
 	if sh.Prefix != nil {
 		return errors.New("search: prefix shards do not support checkpoint resume")
 	}
+	if sh.Unit != nil {
+		return errors.New("search: dpor unit shards do not support checkpoint resume")
+	}
 	if ck.Done {
 		return errors.New("search: shard checkpoint is terminal")
 	}
@@ -214,12 +247,20 @@ type ShardMerger struct {
 	stride       bool
 	stopped      bool
 	done         bool
+
+	// DPOR mode: dpor folds unit reports and materializes child units;
+	// spawnNext is the plan index the next spawned child receives.
+	// Because children regenerate deterministically from the reports,
+	// a resume that re-offers completed shards re-derives the already
+	// grown plan instead of appending duplicates.
+	dpor      *dporMerger
+	spawnNext int
 }
 
 // NewShardMerger prepares a merger for the given plan. opts must be
 // the same options the plan was built from.
 func NewShardMerger(opts Options, plan *Plan) *ShardMerger {
-	return &ShardMerger{
+	m := &ShardMerger{
 		opts:         opts,
 		plan:         plan,
 		rep:          &Report{},
@@ -227,6 +268,11 @@ func NewShardMerger(opts Options, plan *Plan) *ShardMerger {
 		allExhausted: true,
 		stride:       opts.RandomWalk || opts.PCT,
 	}
+	if opts.DPOR {
+		m.dpor = newDporMerger(&m.opts, m.rep)
+		m.spawnNext = 1 // DPOR plans start with the single root shard
+	}
+	return m
 }
 
 // Offer hands the merger shard idx's report; nil records a shard
@@ -266,6 +312,10 @@ func (m *ShardMerger) drain() {
 			}
 			continue
 		}
+		if m.dpor != nil {
+			m.mergeDporShard(r)
+			continue
+		}
 		counted, stopped, done := mergeSubtree(&m.opts, m.rep, r, &m.allExhausted)
 		if counted {
 			m.next++
@@ -274,6 +324,30 @@ func (m *ShardMerger) drain() {
 			m.stopped = true
 			m.done = m.done || done
 		}
+	}
+}
+
+// mergeDporShard folds one DPOR unit report in and grows the plan with
+// the child shards its race reversals spawn. The append order is the
+// proposal-discovery order of the reports merged so far — a pure
+// function of the reports — so a coordinator resume that re-offers the
+// completed shards regenerates the identical plan and skips the
+// already-present entries.
+func (m *ShardMerger) mergeDporShard(r *Report) {
+	sh := m.plan.Shards[m.next]
+	children, counted, stopped, done := m.dpor.offer(sh.Unit, r)
+	for _, child := range children {
+		if m.spawnNext >= len(m.plan.Shards) {
+			m.plan.Shards = append(m.plan.Shards, Shard{Index: m.spawnNext, Unit: child})
+		}
+		m.spawnNext++
+	}
+	if counted {
+		m.next++
+	}
+	if stopped {
+		m.stopped = true
+		m.done = m.done || done
 	}
 }
 
@@ -347,13 +421,16 @@ func (m *ShardMerger) Done() bool {
 // same end-of-search classification as the in-process drivers.
 // failures (in any order) become the report's sorted WorkerFailures.
 func (m *ShardMerger) Finish(elapsed time.Duration, failures []WorkerFailure) *Report {
-	if m.stride {
+	switch {
+	case m.stride:
 		if !m.stopped && m.next == len(m.plan.Shards) {
 			// Every index in [1, MaxExecutions] has been merged (or
 			// explicitly skipped): the execution budget is spent.
 			m.rep.ExecBounded = true
 		}
-	} else {
+	case m.dpor != nil:
+		m.rep.Exhausted = !m.stopped && m.next == len(m.plan.Shards) && m.dpor.allExhausted
+	default:
 		m.rep.Exhausted = !m.stopped && m.next == len(m.plan.Shards) && m.allExhausted
 	}
 	fs := &failSink{list: append([]WorkerFailure(nil), failures...)}

@@ -32,10 +32,9 @@ func (o *Options) Validate() error {
 		if o.StatefulPrune {
 			return errors.New("search: StatefulPrune requires Parallelism <= 1 (the visited map is shared across executions)")
 		}
-		if o.DPOR {
-			return errors.New("search: DPOR requires Parallelism <= 1 (backtrack points cross subtree boundaries)")
-		}
-		if o.SleepSets {
+		if o.SleepSets && !o.DPOR {
+			// Under DPOR the sleep state rides inside the serializable
+			// work units (por.Unit.Sleep) and parallelizes with them.
 			return errors.New("search: SleepSets requires Parallelism <= 1 (sleep sets depend on sibling exploration order)")
 		}
 		if o.Monitor != nil {
@@ -46,9 +45,7 @@ func (o *Options) Validate() error {
 		switch {
 		case o.StatefulPrune:
 			return errors.New("search: checkpointing is incompatible with StatefulPrune (the visited map is not serialized)")
-		case o.DPOR:
-			return errors.New("search: checkpointing is incompatible with DPOR (backtrack state is not serialized)")
-		case o.SleepSets:
+		case o.SleepSets && !o.DPOR:
 			return errors.New("search: checkpointing is incompatible with SleepSets (sleep state is not serialized)")
 		case o.Monitor != nil:
 			return errors.New("search: checkpointing is incompatible with Monitor (monitor state is not serialized)")
@@ -65,8 +62,10 @@ func (o *Options) Validate() error {
 // validateResume checks that a checkpoint belongs to this exact search
 // so a resume silently exploring the wrong tree is impossible.
 func (o *Options) validateResume(ck *Checkpoint) error {
-	if ck.Version != CheckpointVersion {
-		return fmt.Errorf("search: resume: checkpoint format version %d, this build reads version %d",
+	if ck.Version != CheckpointVersion && ck.Version != 3 {
+		// v3 checkpoints (pre-DPOR) remain readable: v4 only adds
+		// fields (Dpor, two pruning counters).
+		return fmt.Errorf("search: resume: checkpoint format version %d, this build reads versions 3 and %d",
 			ck.Version, CheckpointVersion)
 	}
 	if ck.Done {
@@ -99,6 +98,10 @@ func (o *Options) validateResume(ck *Checkpoint) error {
 	case o.RandomWalk || o.PCT:
 		if ck.Stride == nil {
 			return errors.New("search: resume: checkpoint is missing the random-strategy frontier")
+		}
+	case o.DPOR:
+		if ck.Dpor == nil {
+			return errors.New("search: resume: checkpoint is missing the DPOR unit frontier")
 		}
 	case o.Parallelism > 1:
 		if ck.Prefix == nil {
