@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-run fig2|table1|table2|fig56|table3|liveness|strategies|parallel|conformance|obs|dist|engine|dpor|all]
+//	experiments [-run fig2|table1|table2|fig56|table3|liveness|strategies|parallel|conformance|obs|dist|engine|dpor|tso|all]
 //	            [-celltime 60s] [-dbounds 20,30,40,50,60] [-quick]
 //	            [-workers 1,2,4,8] [-parexecs 2000] [-json BENCH_parallel.json]
 //	            [-confexecs 2000] [-confreps 3] [-confjson BENCH_conformance.json]
@@ -11,6 +11,7 @@
 //	            [-distworkers 1,2,4] [-distexecs 2000] [-distjson BENCH_dist.json]
 //	            [-engexecs 2000] [-engreps 5] [-engjson BENCH_engine.json]
 //	            [-dporworkers 1,2,4] [-dporjson BENCH_dpor.json]
+//	            [-tsojson BENCH_tso.json]
 //
 // Absolute numbers differ from the paper's (different substrate,
 // different hardware); the shapes — exponential growth in Figure 2,
@@ -34,7 +35,7 @@ import (
 
 func main() {
 	var (
-		run       = flag.String("run", "all", "experiment to run: fig2|table1|table2|fig56|table3|liveness|strategies|parallel|conformance|obs|dist|engine|dpor|all")
+		run       = flag.String("run", "all", "experiment to run: fig2|table1|table2|fig56|table3|liveness|strategies|parallel|conformance|obs|dist|engine|dpor|tso|all")
 		cellTime  = flag.Duration("celltime", 60*time.Second, "time budget per experiment cell")
 		dbounds   = flag.String("dbounds", "20,30,40,50,60", "depth bounds for the unfair Table 2 runs")
 		fig2b     = flag.String("fig2bounds", "8,10,12,14,16,18,20", "depth bounds for Figure 2")
@@ -57,6 +58,7 @@ func main() {
 		engJSON   = flag.String("engjson", "BENCH_engine.json", "output file for the engine-speed sweep (\"\" = stdout only)")
 		dporWkrs  = flag.String("dporworkers", "1,2,4", "worker counts for the DPOR scaling sweep")
 		dporJSON  = flag.String("dporjson", "BENCH_dpor.json", "output file for the DPOR sweep (\"\" = stdout only)")
+		tsoJSON   = flag.String("tsojson", "BENCH_tso.json", "output file for the weak-memory sweep (\"\" = stdout only)")
 	)
 	flag.Parse()
 	if *csvDir != "" {
@@ -139,6 +141,9 @@ func main() {
 	}
 	if want("dpor") {
 		runDpor(parseInts(*dporWkrs), *quick, *dporJSON)
+	}
+	if want("tso") {
+		runTso(*quick, *tsoJSON)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
@@ -528,6 +533,48 @@ func runDpor(workers []int, quick bool, jsonPath string) {
 		fmt.Printf("%-6d %12d %12s %12.0f %8.2fx %10v\n",
 			r.Parallelism, r.Executions, fmtDur(r.Elapsed), r.ExecsPerSec, r.Speedup, r.Identical)
 	}
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("   wrote %s\n", jsonPath)
+	}
+	fmt.Println()
+}
+
+func runTso(quick bool, jsonPath string) {
+	fmt.Println("== Extension: weak-memory verdict matrix (SC vs TSO) ==")
+	fmt.Println("   (each fixture searched under both models with its designated strategy;")
+	fmt.Println("    'find@' is the 1-based execution that produced the finding; clean* =")
+	fmt.Println("    randomized budget ran out with no finding)")
+	rep := experiments.TsoSweep(quick)
+	fmt.Printf("   gomaxprocs=%d numcpu=%d\n", rep.GOMAXPROCS, rep.NumCPU)
+	fmt.Printf("%-24s %-16s %-9s %9s %-10s %9s %9s %8s %6s\n",
+		"program", "strategy", "sc", "sc execs", "tso", "find@", "tso execs", "flushes", "match")
+	csv := newCSV("tso", "program", "strategy", "sc_verdict", "sc_executions",
+		"tso_verdict", "tso_finding_execution", "tso_executions",
+		"tso_buffered_stores", "tso_flushes", "tso_fences", "tso_forwards", "match")
+	defer csv.close()
+	for _, r := range rep.Rows {
+		find := "-"
+		if r.TSO.FindingExecution > 0 {
+			find = fmt.Sprint(r.TSO.FindingExecution)
+		}
+		fmt.Printf("%-24s %-16s %-9s %9d %-10s %9s %9d %8d %6v\n",
+			r.Program, r.Strategy, r.SC.Verdict, r.SC.Executions,
+			r.TSO.Verdict, find, r.TSO.Executions, r.TSO.Flushes, r.Match)
+		csv.row(r.Program, r.Strategy, r.SC.Verdict, fmt.Sprint(r.SC.Executions),
+			r.TSO.Verdict, fmt.Sprint(r.TSO.FindingExecution), fmt.Sprint(r.TSO.Executions),
+			fmt.Sprint(r.TSO.BufferedStores), fmt.Sprint(r.TSO.Flushes),
+			fmt.Sprint(r.TSO.Fences), fmt.Sprint(r.TSO.Forwards), fmt.Sprint(r.Match))
+	}
+	fmt.Printf("   all verdicts match the fixtures' documented matrix: %v\n", rep.AllMatch)
 	if jsonPath != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {

@@ -97,6 +97,8 @@ func main() {
 		depthBound = flag.Int("depthbound", 0, "stop branching after this many steps (unfair searches)")
 		randomTail = flag.Bool("randomtail", false, "finish depth-bounded executions with random scheduling")
 		maxSteps   = flag.Int64("maxsteps", 100000, "per-execution step bound (divergence detector)")
+		memModel   = flag.String("mm", "sc", "memory model for conc.Memory programs: sc (sequential consistency) or tso (store buffers with searched flush scheduling)")
+		tsoBufCap  = flag.Int("tso-buf", 0, "per-thread store-buffer capacity under -mm=tso; 0 = unbounded")
 		maxExec    = flag.Int64("maxexec", 0, "execution budget; 0 = unbounded")
 		timeLimit  = flag.Duration("timelimit", 0, "wall-clock budget; 0 = unbounded")
 		seed       = flag.Uint64("seed", 1, "seed for random tails and random walks")
@@ -275,6 +277,8 @@ func main() {
 		SleepSets:     *sleepSets,
 		DPOR:          *dpor,
 		MaxSteps:      *maxSteps,
+		MemModel:      *memModel,
+		TSOBufCap:     *tsoBufCap,
 		MaxExecutions: *maxExec,
 		TimeLimit:     *timeLimit,
 		Seed:          *seed,
@@ -401,6 +405,10 @@ func main() {
 		}
 		if meta.MaxSteps > 0 {
 			opts.MaxSteps = meta.MaxSteps
+		}
+		if meta.MemModel != "" {
+			opts.MemModel = meta.MemModel
+			opts.TSOBufCap = meta.TSOBufCap
 		}
 		r, err := fairmc.Replay(p.Body, sched, opts)
 		if err != nil {
@@ -552,11 +560,13 @@ func finishSearch(res *fairmc.Result, program string, opts fairmc.Options, start
 			return
 		}
 		data, err := trace.Marshal(trace.Meta{
-			Program:  program,
-			Fair:     opts.Fair,
-			FairK:    opts.FairK,
-			MaxSteps: opts.MaxSteps,
-			Outcome:  r.Outcome.String(),
+			Program:   program,
+			Fair:      opts.Fair,
+			FairK:     opts.FairK,
+			MaxSteps:  opts.MaxSteps,
+			MemModel:  opts.MemModel,
+			TSOBufCap: opts.TSOBufCap,
+			Outcome:   r.Outcome.String(),
 		}, r.Schedule)
 		if err == nil {
 			err = os.WriteFile(out.saveFile, data, 0o644)

@@ -21,6 +21,7 @@ package conc
 import (
 	"fairmc/internal/engine"
 	"fairmc/internal/syncmodel"
+	"fairmc/internal/wm"
 )
 
 // T is the per-thread handle passed to every thread body. See
@@ -110,6 +111,24 @@ func NewIntArray(t *T, name string, n int) *IntArray {
 // NewAnyVar creates a shared variable holding initial.
 func NewAnyVar(t *T, name string, initial any) *AnyVar {
 	return syncmodel.NewAnyVar(t, name, initial)
+}
+
+// Memory is a block of shared variables governed by the memory model
+// the check runs under (-mm): sequentially consistent by default, or
+// TSO with per-thread store buffers, store-to-load forwarding, and
+// engine-scheduled flush steps (internal/wm). Unlike IntVar — which is
+// always sequentially consistent, modeling an interlocked/volatile
+// variable — a Memory models plain racy memory whose weak behaviors
+// the search enumerates. Memory.Fence is the store-barrier; the other
+// conc objects (Mutex, Channel, …) are checker primitives and are NOT
+// memory fences: they do not drain store buffers.
+type Memory = wm.Memory
+
+// NewMemory creates a Memory of n int64 variables, all zero, governed
+// by the configured memory model (Options.MemModel / -mm, with
+// Options.TSOBufCap / -tso-buf bounding each thread's store buffer).
+func NewMemory(t *T, name string, n int) *Memory {
+	return wm.New(t, name, n)
 }
 
 // Once is a one-time initialization gate with blocking semantics.

@@ -91,6 +91,17 @@ func TestFastPathReportInvariance(t *testing.T) {
 			MaxSteps:      10000,
 			MaxExecutions: 300,
 		}, []int{1, 4}, false},
+		// TSO turns flush delay into schedulable steps: the digests,
+		// schedules, and wm counters those steps produce must be
+		// byte-identical across parallelism and fast-path settings like
+		// any other transition.
+		{"litmus-sb-tso", lookupBody(t, "litmus-sb"), fairmc.Options{
+			Fair:                   true,
+			ContextBound:           -1,
+			MaxSteps:               10000,
+			MemModel:               "tso",
+			ContinueAfterViolation: true,
+		}, []int{1, 4}, true},
 		// DPOR runs as serializable work units merged in spawn order,
 		// so the report is identical at any worker count too. racyConc
 		// gives it a real race to reduce around.
@@ -161,6 +172,16 @@ func TestFastPathCheckpointResume(t *testing.T) {
 			ContextBound:  -1,
 			MaxSteps:      10000,
 			MaxExecutions: 300,
+		}},
+		// TSO searches checkpoint like any other: the options hash folds
+		// the memory model in, frontier alternatives include flush
+		// steps, and the v5 wm counters ride the counter block.
+		{"litmus-sb-tso", lookupBody(t, "litmus-sb"), fairmc.Options{
+			Fair:                   true,
+			ContextBound:           -1,
+			MaxSteps:               10000,
+			MemModel:               "tso",
+			ContinueAfterViolation: true,
 		}},
 		// DPOR checkpoints its unit frontier (format v4); a resumed run
 		// regenerates the same spawn order and merges identically.

@@ -46,6 +46,7 @@ import (
 	"io"
 
 	"fairmc/conc"
+	"fairmc/internal/core"
 	"fairmc/internal/engine"
 	"fairmc/internal/liveness"
 	"fairmc/internal/obs"
@@ -219,6 +220,11 @@ func (r *Result) RunReport(program string, opts Options) *RunReport {
 	if maxSteps <= 0 {
 		maxSteps = engine.DefaultMaxSteps
 	}
+	mm, _ := core.ParseMemModel(opts.MemModel) // validated by Check
+	bufCap := 0
+	if mm == core.MemTSO {
+		bufCap = opts.TSOBufCap
+	}
 	rep := r.Report
 	out := &RunReport{
 		Schema:   obs.ReportSchema,
@@ -234,6 +240,8 @@ func (r *Result) RunReport(program string, opts Options) *RunReport {
 			PCTDepth:     opts.PCTDepth,
 			MaxSteps:     maxSteps,
 			Conformance:  !opts.DisableConformance,
+			MemModel:     mm.String(),
+			TSOBufCap:    bufCap,
 		},
 		Counters: obs.RunCounters{
 			Executions:     rep.Executions,
@@ -252,6 +260,10 @@ func (r *Result) RunReport(program string, opts Options) *RunReport {
 			Quarantined:    rep.Quarantined,
 			Skipped:        rep.Skipped,
 			Races:          int64(len(r.Races)),
+			BufferedStores: rep.BufferedStores,
+			Flushes:        rep.Flushes,
+			Fences:         rep.Fences,
+			Forwards:       rep.Forwards,
 		},
 		Outcome: obs.RunOutcome{
 			Exhausted:   rep.Exhausted,
@@ -398,11 +410,17 @@ func Replay(prog func(*conc.T), schedule []engine.Alt, opts Options) (*ExecResul
 // the scheduled thread runnable — but changes what it is about to do —
 // is still detected and pinpointed.
 func ReplayVerified(prog func(*conc.T), schedule []engine.Alt, digests []StepDigest, opts Options) (*ExecResult, error) {
+	mm, err := core.ParseMemModel(opts.MemModel)
+	if err != nil {
+		return nil, err
+	}
 	ch := &engine.ReplayChooser{Schedule: schedule, Digests: digests, Strict: true}
 	r := engine.Run(prog, ch, engine.Config{
 		Fair:          opts.Fair,
 		FairK:         opts.FairK,
 		MaxSteps:      opts.MaxSteps,
+		MemModel:      mm,
+		TSOBufCap:     opts.TSOBufCap,
 		RecordTrace:   true,
 		RecordDigests: true,
 		NoFastPath:    opts.NoFastPath,
@@ -426,10 +444,16 @@ func ReplayVerified(prog func(*conc.T), schedule []engine.Alt, digests []StepDig
 // run-to-completion policy — the quickest way to smoke-test a model
 // program before a full check.
 func RunOnce(prog func(*conc.T), opts Options) *ExecResult {
+	mm, err := core.ParseMemModel(opts.MemModel)
+	if err != nil {
+		panic(err) // Check surfaces this as an error; RunOnce has no error path
+	}
 	return engine.Run(prog, engine.RunToCompletionChooser{}, engine.Config{
 		Fair:        opts.Fair,
 		FairK:       opts.FairK,
 		MaxSteps:    opts.MaxSteps,
+		MemModel:    mm,
+		TSOBufCap:   opts.TSOBufCap,
 		RecordTrace: true,
 		NoFastPath:  opts.NoFastPath,
 	})

@@ -1,0 +1,54 @@
+package core
+
+import "fmt"
+
+// MemModel selects the memory model an execution runs under. The model
+// is a searched dimension of the checker, not a property of the
+// program: the same model program can be explored under sequential
+// consistency and under TSO, and the search enumerates the extra
+// nondeterminism (store-buffer flush interleavings) the weaker model
+// introduces.
+//
+// The enum lives in core so that the engine, the weak-memory subsystem
+// (internal/wm), and the search can all name the model without import
+// cycles, the same way the fair-scheduler state does.
+type MemModel int8
+
+const (
+	// MemSC is sequential consistency: every store is globally visible
+	// the moment it executes. The default, and the model the paper's
+	// CHESS assumes.
+	MemSC MemModel = iota
+	// MemTSO is total store order (x86-style): stores enter a per-thread
+	// FIFO buffer and become globally visible only when a separately
+	// scheduled flush step drains them; loads forward from the issuing
+	// thread's own buffer first. Flush steps are schedulable transitions
+	// subject to the fair scheduler's priority relation P, following
+	// "Making Weak Memory Models Fair" (Lahav et al.) and "Unified
+	// Fairness for Weak Memory Verification" (Abdulla et al.).
+	MemTSO
+)
+
+func (m MemModel) String() string {
+	switch m {
+	case MemSC:
+		return "sc"
+	case MemTSO:
+		return "tso"
+	default:
+		return fmt.Sprintf("memmodel(%d)", int(m))
+	}
+}
+
+// ParseMemModel resolves the user-facing model name ("sc", "tso"; ""
+// means sc).
+func ParseMemModel(s string) (MemModel, error) {
+	switch s {
+	case "", "sc":
+		return MemSC, nil
+	case "tso":
+		return MemTSO, nil
+	default:
+		return MemSC, fmt.Errorf("unknown memory model %q (have: sc, tso)", s)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"fairmc/internal/obs"
 	"fairmc/internal/search"
 	"fairmc/internal/syncmodel"
+	"fairmc/internal/wm"
 )
 
 // fig3 is the paper's Figure 3 spin-loop program.
@@ -55,9 +56,35 @@ func racyIncrement(t *engine.T) {
 	t.Assert(x.Load(t) == 2, "lost update")
 }
 
+// sbWeak is the store-buffering litmus shape over the weak-memory
+// subsystem: it follows the search's memory-model option, so a job
+// submitted with MemModel "tso" explores flush delay (and finds the
+// weak outcome), exercising memory-model plumbing through the wire
+// protocol and the ledger.
+func sbWeak(t *engine.T) {
+	m := wm.New(t, "m", 2)
+	r0 := syncmodel.NewIntVar(t, "r0", -1)
+	r1 := syncmodel.NewIntVar(t, "r1", -1)
+	wg := syncmodel.NewWaitGroup(t, "wg", 2)
+	t.Go("a", func(t *engine.T) {
+		m.Store(t, 0, 1)
+		r0.Store(t, m.Load(t, 1))
+		wg.Done(t)
+	})
+	t.Go("b", func(t *engine.T) {
+		m.Store(t, 1, 1)
+		r1.Store(t, m.Load(t, 0))
+		wg.Done(t)
+	})
+	wg.Wait(t)
+	t.Assert(r0.Load(t) == 1 || r1.Load(t) == 1, "sb weak outcome")
+	m.Drain(t)
+}
+
 var testProgs = map[string]func(*engine.T){
-	"fig3": fig3,
-	"racy": racyIncrement,
+	"fig3":   fig3,
+	"racy":   racyIncrement,
+	"sbweak": sbWeak,
 }
 
 func testLookup(name string) (func(*engine.T), bool) {
@@ -74,6 +101,16 @@ var dporJobOpts = search.Options{
 	ContextBound:           -1,
 	MaxSteps:               10000,
 	DPOR:                   true,
+	ContinueAfterViolation: true,
+}
+
+// tsoJobOpts submits a TSO search: schedules and digests include
+// flush-agent steps, and the spec carries the memory model.
+var tsoJobOpts = search.Options{
+	Fair:                   true,
+	ContextBound:           -1,
+	MaxSteps:               10000,
+	MemModel:               "tso",
 	ContinueAfterViolation: true,
 }
 
@@ -273,6 +310,7 @@ func TestJobsServiceEndToEnd(t *testing.T) {
 		{"fig3", baseOpts, 2},
 		{"racy", baseOpts, 2},
 		{"racy", dporJobOpts, 2},
+		{"sbweak", tsoJobOpts, 2},
 	}
 	var ids []string
 	for _, sb := range subs {

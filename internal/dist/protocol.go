@@ -67,6 +67,8 @@ type SearchSpec struct {
 	PCTDepth                int    `json:"pctDepth,omitempty"`
 	MaxSteps                int64  `json:"maxSteps,omitempty"`
 	MaxExecutions           int64  `json:"maxExecutions,omitempty"`
+	MemModel                string `json:"memModel,omitempty"`
+	TSOBufCap               int    `json:"tsoBufCap,omitempty"`
 	Seed                    uint64 `json:"seed"`
 	StatefulPrune           bool   `json:"statefulPrune,omitempty"`
 	DPOR                    bool   `json:"dpor,omitempty"`
@@ -94,6 +96,8 @@ func SpecFromOptions(program string, o search.Options) SearchSpec {
 		PCTDepth:                o.PCTDepth,
 		MaxSteps:                o.MaxSteps,
 		MaxExecutions:           o.MaxExecutions,
+		MemModel:                o.MemModel,
+		TSOBufCap:               o.TSOBufCap,
 		Seed:                    o.Seed,
 		StatefulPrune:           o.StatefulPrune,
 		DPOR:                    o.DPOR,
@@ -122,6 +126,8 @@ func (s SearchSpec) Options() search.Options {
 		PCTDepth:                s.PCTDepth,
 		MaxSteps:                s.MaxSteps,
 		MaxExecutions:           s.MaxExecutions,
+		MemModel:                s.MemModel,
+		TSOBufCap:               s.TSOBufCap,
 		Seed:                    s.Seed,
 		StatefulPrune:           s.StatefulPrune,
 		DPOR:                    s.DPOR,

@@ -63,8 +63,16 @@ func (c *ChooseContext) PrevInCands() bool {
 // IsPreemption reports whether choosing alt at this point constitutes
 // a preemption in the CHESS sense: a forced context switch away from a
 // thread that could have continued. Fairness-forced switches and
-// switches after voluntary yields are not preemptions.
+// switches after voluntary yields are not preemptions, and scheduler
+// agents (flush steps) are exempt in both directions: delaying a flush
+// or interleaving one is weak-memory nondeterminism, not a context
+// switch of program code, so it never consumes a context bound.
 func (c *ChooseContext) IsPreemption(alt Alt) bool {
+	if c.Engine != nil &&
+		(c.Engine.IsAgent(alt.Tid) ||
+			(c.PrevTid != tidset.None && c.Engine.IsAgent(c.PrevTid))) {
+		return false
+	}
 	return c.PrevTid != tidset.None &&
 		alt.Tid != c.PrevTid &&
 		c.PrevEnabled &&
@@ -134,6 +142,17 @@ type Config struct {
 	// identical order, so results are byte-for-byte the same; the flag
 	// exists as a bisection escape hatch and for the determinism suite.
 	NoFastPath bool
+	// MemModel selects the memory model (internal/wm) this execution
+	// runs under: core.MemSC (the default) or core.MemTSO. Under TSO
+	// each thread's wm stores drain through a flush agent (AddAgent)
+	// whose steps the search schedules like any thread's, so flush
+	// nondeterminism is part of the explored tree and the fair
+	// scheduler's priority relation P covers flush delay.
+	MemModel core.MemModel
+	// TSOBufCap bounds each thread's store buffer under TSO: a thread
+	// storing into a full buffer blocks until a flush drains an entry.
+	// 0 means unbounded.
+	TSOBufCap int
 }
 
 // DefaultMaxSteps bounds executions when Config.MaxSteps is zero. The
@@ -194,6 +213,9 @@ type Engine struct {
 	choiceCnt      int64
 	candCnt        int64
 	fairBlockedCnt int64
+	// wm accumulates the weak-memory subsystem's per-execution telemetry
+	// (internal/wm increments it through WM()).
+	wm WMCounters
 
 	prevTid     tidset.Tid
 	prevYielded bool
@@ -280,10 +302,11 @@ func (e *Engine) run(body func(*T)) *Result {
 	return r
 }
 
-// newThread allocates a thread record in embryo state, recycling a
-// record from a previous pooled run when one is free. parent is nil
-// for the main thread.
-func (e *Engine) newThread(name string, body func(*T), parent *thread) *thread {
+// allocThread allocates a thread record with the next dense id,
+// recycling a record from a previous pooled run when one is free, and
+// registers it with the fair scheduler. Shared by newThread and
+// AddAgent; the caller fills in the role-specific fields.
+func (e *Engine) allocThread(name string) *thread {
 	var th *thread
 	if n := len(e.thFree); n > 0 {
 		th = e.thFree[n-1]
@@ -298,9 +321,20 @@ func (e *Engine) newThread(name string, body func(*T), parent *thread) *thread {
 	}
 	th.id = tidset.Tid(len(e.threads))
 	th.name = name
+	th.parent = tidset.None
+	e.threads = append(e.threads, th)
+	if e.fair != nil {
+		e.fair.AddThread(th.id)
+	}
+	return th
+}
+
+// newThread allocates a thread record in embryo state. parent is nil
+// for the main thread.
+func (e *Engine) newThread(name string, body func(*T), parent *thread) *thread {
+	th := e.allocThread(name)
 	th.body = body
 	th.status = statusEmbryo
-	th.parent = tidset.None
 	th.armed = parent == nil // the main thread starts immediately
 	th.pending = startOp{th: th}
 	if parent != nil {
@@ -308,12 +342,48 @@ func (e *Engine) newThread(name string, body func(*T), parent *thread) *thread {
 		th.spawnSeq = parent.childCount
 		parent.childCount++
 	}
-	e.threads = append(e.threads, th)
-	if e.fair != nil {
-		e.fair.AddThread(th.id)
-	}
 	return th
 }
+
+// AddAgent registers a scheduler agent: a thread record with no
+// goroutine whose pending op the engine executes inline (decideLoop)
+// when the search schedules it. The weak-memory subsystem registers
+// one agent per store buffer, which makes buffer flushes schedulable
+// transitions: they appear in the candidate set, in schedules and
+// digests, and in the fair scheduler's priority relation exactly like
+// thread steps. op stays the agent's pending op for the whole
+// execution (Enabled gates when it is schedulable); a non-nil Execute
+// continuation replaces it.
+//
+// Agents do not count as live threads (the execution terminates when
+// every real thread has exited, buffered or not), never appear in a
+// deadlock's blocked list, and are exempt from preemption accounting —
+// delaying a flush is the nondeterminism under search, not a context
+// switch. Must be called from model code (an Op.Execute or a thread
+// body), which is serialized with the scheduler.
+func (e *Engine) AddAgent(name string, op Op) tidset.Tid {
+	th := e.allocThread(name)
+	th.status = statusAgent
+	th.pending = op
+	return th.id
+}
+
+// IsAgent reports whether tid names a scheduler agent rather than a
+// program thread.
+func (e *Engine) IsAgent(t tidset.Tid) bool {
+	return e.threads[t].status == statusAgent
+}
+
+// MemModel returns the memory model this execution runs under.
+func (e *Engine) MemModel() core.MemModel { return e.cfg.MemModel }
+
+// TSOBufCap returns the configured per-thread store-buffer capacity
+// under TSO (0 = unbounded).
+func (e *Engine) TSOBufCap() int { return e.cfg.TSOBufCap }
+
+// WM returns the engine's weak-memory counters for internal/wm to
+// increment from op Execute bodies (serialized with the scheduler).
+func (e *Engine) WM() *WMCounters { return &e.wm }
 
 // enabledSet computes ES over live threads by querying pending ops,
 // rebuilding into buf so the per-step sets reuse their storage.
@@ -330,11 +400,14 @@ func (e *Engine) enabledSet(buf tidset.Set) tidset.Set {
 	return buf
 }
 
-// liveCount returns the number of threads not yet exited.
+// liveCount returns the number of program threads not yet exited.
+// Agents do not count: when every real thread is done no observer
+// remains, so the execution terminates even with stores still
+// buffered.
 func (e *Engine) liveCount() int {
 	n := 0
 	for _, th := range e.threads {
-		if th.status != statusExited {
+		if th.status != statusExited && th.status != statusAgent {
 			n++
 		}
 	}
@@ -347,7 +420,7 @@ func (e *Engine) liveCount() int {
 // drives it differs.
 func (e *Engine) loop() Outcome {
 	for {
-		alt, out, terminal := e.decide()
+		alt, out, terminal := e.decideLoop()
 		if terminal {
 			return out
 		}
@@ -361,6 +434,35 @@ func (e *Engine) loop() Outcome {
 		}
 		if out, done := e.commit(alt, wasYield); done {
 			return out
+		}
+	}
+}
+
+// decideLoop wraps decide, running agent steps inline: when the
+// chooser grants an agent (a flush step), there is no goroutine to
+// hand the baton to, so the engine executes the step on the spot —
+// the same prepare/Execute/commit sequence a thread step runs, just
+// without the handoff — and decides again, until a real thread is
+// granted or the execution ends. Every decide call site on both
+// scheduler paths goes through decideLoop, so agent steps land in
+// schedules, digests, traces, and fair-scheduler bookkeeping
+// identically with the fast path on or off.
+func (e *Engine) decideLoop() (alt Alt, out Outcome, terminal bool) {
+	for {
+		alt, out, terminal = e.decide()
+		if terminal {
+			return alt, out, true
+		}
+		th := e.threads[alt.Tid]
+		if th.status != statusAgent {
+			return alt, out, false
+		}
+		_, wasYield := e.prepare(alt)
+		if cont := th.pending.Execute(); cont != nil {
+			th.pending = cont
+		}
+		if out, done := e.commit(alt, wasYield); done {
+			return alt, out, true
 		}
 	}
 }
@@ -744,7 +846,7 @@ func (e *Engine) abort() {
 			th.resume <- struct{}{}
 			e.drainUntilExit(th)
 			th.status = statusExited
-		case statusEmbryo:
+		case statusEmbryo, statusAgent:
 			th.status = statusExited
 		case statusRunning:
 			if e.wedge != nil && th.id == e.wedge.Tid {
@@ -802,18 +904,23 @@ func (e *Engine) result(outcome Outcome) *Result {
 	if e.fair != nil {
 		r.EdgeAdds, r.EdgeErases = e.fair.EdgeStats()
 	}
+	r.WM = e.wm
 	if m := e.cfg.Metrics; m != nil {
 		m.FlushExec(obs.ExecFlush{
-			Steps:       e.stepCount,
-			Yields:      e.yieldCnt,
-			Choices:     e.choiceCnt,
-			Candidates:  e.candCnt,
-			FairBlocked: e.fairBlockedCnt,
-			EdgeAdds:    r.EdgeAdds,
-			EdgeErases:  r.EdgeErases,
-			InlineSteps: e.inlineCnt,
-			Handoffs:    e.handoffs,
-			Outcome:     outcome.String(),
+			Steps:          e.stepCount,
+			Yields:         e.yieldCnt,
+			Choices:        e.choiceCnt,
+			Candidates:     e.candCnt,
+			FairBlocked:    e.fairBlockedCnt,
+			EdgeAdds:       r.EdgeAdds,
+			EdgeErases:     r.EdgeErases,
+			InlineSteps:    e.inlineCnt,
+			Handoffs:       e.handoffs,
+			BufferedStores: e.wm.BufferedStores,
+			Flushes:        e.wm.Flushes,
+			Fences:         e.wm.Fences,
+			Forwards:       e.wm.Forwards,
+			Outcome:        outcome.String(),
 		})
 	}
 	if sink := e.cfg.EventSink; sink != nil {
@@ -834,6 +941,7 @@ func (e *Engine) result(outcome Outcome) *Result {
 			Steps:  th.steps,
 			Yields: th.yields,
 			Exited: th.status == statusExited,
+			Agent:  th.status == statusAgent,
 		})
 	}
 	if outcome == Violation {
@@ -844,8 +952,11 @@ func (e *Engine) result(outcome Outcome) *Result {
 	}
 	r.DeadlineExceeded = e.deadlineHit
 	if outcome == Deadlock {
+		// Agents are omitted: a deadlock means no agent was enabled
+		// either (drained buffers), and an agent is never "blocked" in
+		// the program's sense.
 		for _, th := range e.threads {
-			if th.status != statusExited {
+			if th.status != statusExited && th.status != statusAgent {
 				r.Blocked = append(r.Blocked, BlockedInfo{
 					Tid:  th.id,
 					Name: th.name,

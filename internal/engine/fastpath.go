@@ -71,7 +71,7 @@ func (e *Engine) parkFast(th *thread) {
 		if !done {
 			var alt Alt
 			var terminal bool
-			alt, out, terminal = e.decide()
+			alt, out, terminal = e.decideLoop()
 			if !terminal {
 				target, wasYield := e.prepare(alt)
 				e.setPending(target, alt, wasYield)
@@ -149,7 +149,7 @@ func (e *Engine) exitFast(th *thread) bool {
 	if !done {
 		var alt Alt
 		var terminal bool
-		alt, out, terminal = e.decide()
+		alt, out, terminal = e.decideLoop()
 		if !terminal {
 			// th is exited and never a candidate, so target != th.
 			target, wasYield := e.prepare(alt)
@@ -212,7 +212,7 @@ func (e *Engine) setPending(th *thread, alt Alt, wasYield bool) {
 // first step, then absorb thread exits and stashed terminal outcomes
 // while the threads schedule each other.
 func (e *Engine) loopFast() Outcome {
-	alt, out, terminal := e.decide()
+	alt, out, terminal := e.decideLoop()
 	if terminal {
 		return out
 	}
@@ -239,7 +239,7 @@ func (e *Engine) loopFast() Outcome {
 			if out, done := e.commit(e.pendAlt, e.pendYield); done {
 				return out
 			}
-			alt, out, terminal := e.decide()
+			alt, out, terminal := e.decideLoop()
 			if terminal {
 				return out
 			}

@@ -101,6 +101,7 @@ func (e *Engine) reset(chooser Chooser, cfg Config) {
 	e.choiceCnt = 0
 	e.candCnt = 0
 	e.fairBlockedCnt = 0
+	e.wm = WMCounters{}
 	e.prevTid = tidset.None
 	e.prevYielded = false
 	e.lastInfo = OpInfo{}

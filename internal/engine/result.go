@@ -113,6 +113,23 @@ type ThreadStat struct {
 	Steps  int64 // transitions taken
 	Yields int64 // yielding transitions among them
 	Exited bool
+	// Agent marks a scheduler agent (a store-buffer flush owner, see
+	// Engine.AddAgent) rather than a program thread. Liveness
+	// classification keys on it: agents never yield by design, so the
+	// good-samaritan judgment must not apply to them.
+	Agent bool
+}
+
+// WMCounters aggregates the weak-memory subsystem's per-execution
+// telemetry (internal/wm): stores buffered instead of hitting memory,
+// flush steps executed, fences completed, and loads served by
+// store-to-load forwarding from the issuing thread's own buffer. All
+// four are deterministic functions of the schedule.
+type WMCounters struct {
+	BufferedStores int64
+	Flushes        int64
+	Fences         int64
+	Forwards       int64
 }
 
 // Result reports one complete execution.
@@ -144,6 +161,9 @@ type Result struct {
 	EdgeAdds    int64
 	EdgeErases  int64
 	FairBlocked int64
+	// WM is the weak-memory telemetry (all zero under SC with no
+	// explicit wm.Memory use).
+	WM WMCounters
 	// PerThread breaks Steps/Yields down by thread, in id order. The
 	// good-samaritan discipline is visible here: a thread with many
 	// steps and no yields in a diverging execution is the §4.3.1 bug.

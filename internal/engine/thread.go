@@ -13,6 +13,13 @@ const (
 	statusParked                      // goroutine parked at a scheduling point
 	statusRunning                     // goroutine executing between scheduling points
 	statusExited                      // body returned (or was killed during abort)
+	// statusAgent marks a scheduler agent (Engine.AddAgent): a thread
+	// record with no goroutine whose pending op the engine executes
+	// inline when the search schedules it. Agents hold this status for
+	// the whole execution (abort retires them to statusExited). The
+	// value comes after statusExited so the status bytes of ordinary
+	// threads — which fingerprints encode — are unchanged.
+	statusAgent
 )
 
 func (s threadStatus) String() string {
@@ -25,6 +32,8 @@ func (s threadStatus) String() string {
 		return "running"
 	case statusExited:
 		return "exited"
+	case statusAgent:
+		return "agent"
 	default:
 		return fmt.Sprintf("status(%d)", int(s))
 	}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"runtime"
+	"time"
+
+	"fairmc/internal/search"
+)
+
+// TsoCell is one (program, memory model) measurement of the weak-memory
+// sweep: the search verdict, how many executions it took to reach it,
+// and the weak-memory counters that show how much buffer machinery the
+// run exercised (all zero under SC).
+type TsoCell struct {
+	// Verdict is "violation" (safety bug found), "livelock" (fair
+	// nontermination found), "pass" (exhausted clean), or "clean*"
+	// (budget ran out with no finding — the randomized strategies never
+	// exhaust, so their clean cells are always starred).
+	Verdict    string `json:"verdict"`
+	Executions int64  `json:"executions"`
+	// FindingExecution is the 1-based index of the execution that
+	// produced the finding (0 when Verdict is pass/clean*): the
+	// "executions to first bug" column of the litmus table.
+	FindingExecution int64         `json:"finding_execution"`
+	Elapsed          time.Duration `json:"elapsed_ns"`
+	BufferedStores   int64         `json:"buffered_stores"`
+	Flushes          int64         `json:"flushes"`
+	Fences           int64         `json:"fences"`
+	Forwards         int64         `json:"forwards"`
+}
+
+// TsoRow is one fixture of the weak-memory verdict matrix: the same
+// program and search strategy run under SC and under TSO, with the
+// expected TSO verdict so the table is self-checking.
+type TsoRow struct {
+	Program  string `json:"program"`
+	Strategy string `json:"strategy"`
+	// ExpectedTSO is the verdict the fixture's doc comment promises
+	// under -mm=tso; Match reports whether the measured cell agrees
+	// (treating clean* as pass for the randomized strategies).
+	ExpectedTSO string  `json:"expected_tso"`
+	Match       bool    `json:"match"`
+	SC          TsoCell `json:"sc"`
+	TSO         TsoCell `json:"tso"`
+}
+
+// TsoReport bundles the weak-memory sweep: the litmus/fixture verdict
+// matrix under SC vs TSO, one row per fixture (fenced variants are
+// separate rows, so each unfenced/fenced pair reads as the paper-style
+// "bug under TSO / fixed by fences" comparison).
+type TsoReport struct {
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
+	AllMatch   bool     `json:"all_match"`
+	Rows       []TsoRow `json:"rows"`
+}
+
+// tsoSubjects pairs each weak-memory fixture with the search strategy
+// its verdict test uses (progs/weakmem_test.go): the litmus shapes and
+// the livelock are exhaustible by fair DFS, Peterson needs preemption
+// bound 0 to keep the flush-tail subtrees tractable, and the seqlock's
+// torn read is a deep needle only the randomized strategies find.
+type tsoSubject struct {
+	name     string
+	strategy string
+	expected string
+	opts     search.Options
+}
+
+func tsoSubjects(quick bool) []tsoSubject {
+	fairDFS := search.Options{
+		Fair: true, ContextBound: -1, MaxSteps: 5000,
+		TimeLimit: 60 * time.Second,
+	}
+	petersonDFS := search.Options{
+		Fair: true, ContextBound: 0, MaxSteps: 5000,
+		TimeLimit: 60 * time.Second,
+	}
+	randomWalk := search.Options{
+		Fair: true, RandomWalk: true, Seed: 3,
+		MaxExecutions: 20000, MaxSteps: 5000,
+		TimeLimit: 60 * time.Second,
+	}
+	livelockDFS := search.Options{
+		Fair: true, ContextBound: -1, MaxSteps: 400,
+		TimeLimit: 60 * time.Second,
+	}
+	subjects := []tsoSubject{
+		{"litmus-sb", "fair dfs", "violation", fairDFS},
+		{"litmus-sb-fenced", "fair dfs", "pass", fairDFS},
+		{"litmus-mp", "fair dfs", "pass", fairDFS},
+		{"litmus-lb", "fair dfs", "pass", fairDFS},
+		{"wm-tso-livelock", "fair dfs ms=400", "livelock", livelockDFS},
+		{"wm-tso-livelock-fenced", "fair dfs ms=400", "pass", livelockDFS},
+		{"seqlock-tso", "random walk", "violation", randomWalk},
+		{"seqlock-tso-fenced", "random walk", "pass", randomWalk},
+		{"peterson-tso", "fair dfs cb=0", "violation", petersonDFS},
+		{"peterson-tso-fenced", "fair dfs cb=0", "pass", petersonDFS},
+	}
+	if quick {
+		// The Peterson cells are the expensive ones (hundreds of
+		// thousands of executions to exhaust the fenced space).
+		subjects = subjects[:8]
+	}
+	return subjects
+}
+
+func tsoCell(name string, opts search.Options) TsoCell {
+	rep := search.Explore(dporSubject(name), opts)
+	cell := TsoCell{
+		Executions:     rep.Executions,
+		Elapsed:        rep.Elapsed,
+		BufferedStores: rep.BufferedStores,
+		Flushes:        rep.Flushes,
+		Fences:         rep.Fences,
+		Forwards:       rep.Forwards,
+	}
+	switch {
+	case rep.FirstBug != nil:
+		cell.Verdict = "violation"
+		cell.FindingExecution = rep.FirstBugExecution
+	case rep.Divergence != nil:
+		cell.Verdict = "livelock"
+		cell.FindingExecution = rep.DivergenceExecution
+	case rep.Exhausted:
+		cell.Verdict = "pass"
+	default:
+		cell.Verdict = "clean*"
+	}
+	return cell
+}
+
+// TsoSweep runs the weak-memory verdict matrix: every fixture under SC
+// and under TSO with its designated strategy. quick drops the two
+// Peterson cells, the only ones that take more than a couple of
+// seconds.
+func TsoSweep(quick bool) TsoReport {
+	out := TsoReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		AllMatch:   true,
+	}
+	for _, s := range tsoSubjects(quick) {
+		scOpts := s.opts
+		scOpts.MemModel = "sc"
+		tsoOpts := s.opts
+		tsoOpts.MemModel = "tso"
+		row := TsoRow{
+			Program:     s.name,
+			Strategy:    s.strategy,
+			ExpectedTSO: s.expected,
+			SC:          tsoCell(s.name, scOpts),
+			TSO:         tsoCell(s.name, tsoOpts),
+		}
+		got := row.TSO.Verdict
+		if got == "clean*" {
+			got = "pass"
+		}
+		row.Match = got == s.expected
+		if !row.Match {
+			out.AllMatch = false
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}

@@ -60,6 +60,10 @@ type ThreadStat struct {
 	Tid    tidset.Tid
 	Sched  int // transitions taken in the tail
 	Yields int // yielding transitions among them
+	// Agent marks a scheduler agent (e.g. a TSO flush agent): it takes
+	// steps but is not a program thread, so the good-samaritan contract
+	// does not apply to it and it is never a culprit.
+	Agent bool
 }
 
 // Report is the result of classifying a diverging execution.
@@ -80,7 +84,11 @@ func (r *Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s (tail window %d steps)\n", r.Kind, r.Window)
 	for _, s := range r.TailStats {
-		fmt.Fprintf(&b, "  thread %d: %d steps, %d yields\n", s.Tid, s.Sched, s.Yields)
+		agent := ""
+		if s.Agent {
+			agent = " (agent)"
+		}
+		fmt.Fprintf(&b, "  thread %d: %d steps, %d yields%s\n", s.Tid, s.Sched, s.Yields, agent)
 	}
 	if len(r.Culprits) > 0 {
 		fmt.Fprintf(&b, "  culprits: %v\n", r.Culprits)
@@ -124,11 +132,22 @@ func Classify(r *engine.Result, opts Options) *Report {
 	}
 	tail := r.Trace[len(r.Trace)-window:]
 
+	// Agents (store-buffer flush owners, engine.AddAgent) take steps but
+	// are not program threads: they never yield by design, so judging
+	// them against GS would misreport every diverging TSO execution as a
+	// good-samaritan violation.
+	agents := map[tidset.Tid]bool{}
+	for _, ts := range r.PerThread {
+		if ts.Agent {
+			agents[ts.Tid] = true
+		}
+	}
+
 	stats := map[tidset.Tid]*ThreadStat{}
 	for _, s := range tail {
 		st := stats[s.Alt.Tid]
 		if st == nil {
-			st = &ThreadStat{Tid: s.Alt.Tid}
+			st = &ThreadStat{Tid: s.Alt.Tid, Agent: agents[s.Alt.Tid]}
 			stats[s.Alt.Tid] = st
 		}
 		st.Sched++
@@ -150,7 +169,7 @@ func Classify(r *engine.Result, opts Options) *Report {
 	// generated by the fair scheduler (Theorem 1: GS ⇒ SF) — is a
 	// fair nontermination.
 	for _, st := range rep.TailStats {
-		if st.Sched >= minSched && st.Yields == 0 {
+		if !st.Agent && st.Sched >= minSched && st.Yields == 0 {
 			rep.Kind = GoodSamaritanViolation
 			rep.Culprits = append(rep.Culprits, st.Tid)
 		}
@@ -160,7 +179,7 @@ func Classify(r *engine.Result, opts Options) *Report {
 	}
 	rep.Kind = FairNontermination
 	for _, st := range rep.TailStats {
-		if st.Sched >= minSched {
+		if !st.Agent && st.Sched >= minSched {
 			rep.Culprits = append(rep.Culprits, st.Tid)
 		}
 	}

@@ -176,6 +176,14 @@ type Metrics struct {
 	// EngineReuses counts executions that drew a recycled engine from a
 	// pool instead of allocating one (engine.Pool).
 	EngineReuses Counter
+	// Weak-memory counters (internal/wm, -mm=tso): stores buffered
+	// instead of written to memory, flush-agent steps draining them,
+	// fences completed, and loads served by store-to-load forwarding
+	// from the issuing thread's own buffer.
+	WMBufferedStores Counter
+	WMFlushes        Counter
+	WMFences         Counter
+	WMForwards       Counter
 	// PrefixHits counts replayed scheduling points validated against a
 	// memoized candidate snapshot (internal/search prefix memoization);
 	// PrefixMisses counts replayed points that fell back to recomputing
@@ -260,6 +268,11 @@ type ExecFlush struct {
 	EdgeErases  int64
 	InlineSteps int64
 	Handoffs    int64
+	// Weak-memory accumulation (engine.WMCounters).
+	BufferedStores int64
+	Flushes        int64
+	Fences         int64
+	Forwards       int64
 	// Outcome is the engine outcome's string form ("terminated",
 	// "deadlock", "violation", "diverged", "aborted", "wedged").
 	Outcome string
@@ -277,6 +290,10 @@ func (m *Metrics) FlushExec(f ExecFlush) {
 	m.EdgeErases.Add(f.EdgeErases)
 	m.InlineSteps.Add(f.InlineSteps)
 	m.Handoffs.Add(f.Handoffs)
+	m.WMBufferedStores.Add(f.BufferedStores)
+	m.WMFlushes.Add(f.Flushes)
+	m.WMFences.Add(f.Fences)
+	m.WMForwards.Add(f.Forwards)
 	m.ExecSteps.Observe(f.Steps)
 	switch f.Outcome {
 	case "terminated":
@@ -319,6 +336,10 @@ type Snapshot struct {
 	InlineSteps        int64        `json:"inlineSteps"`
 	Handoffs           int64        `json:"handoffs"`
 	EngineReuses       int64        `json:"engineReuses"`
+	WMBufferedStores   int64        `json:"wmBufferedStores"`
+	WMFlushes          int64        `json:"wmFlushes"`
+	WMFences           int64        `json:"wmFences"`
+	WMForwards         int64        `json:"wmForwards"`
 	PrefixHits         int64        `json:"prefixHits"`
 	PrefixMisses       int64        `json:"prefixMisses"`
 	Checkpoints        int64        `json:"checkpoints"`
@@ -370,6 +391,10 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		InlineSteps:        s.InlineSteps - prev.InlineSteps,
 		Handoffs:           s.Handoffs - prev.Handoffs,
 		EngineReuses:       s.EngineReuses - prev.EngineReuses,
+		WMBufferedStores:   s.WMBufferedStores - prev.WMBufferedStores,
+		WMFlushes:          s.WMFlushes - prev.WMFlushes,
+		WMFences:           s.WMFences - prev.WMFences,
+		WMForwards:         s.WMForwards - prev.WMForwards,
 		PrefixHits:         s.PrefixHits - prev.PrefixHits,
 		PrefixMisses:       s.PrefixMisses - prev.PrefixMisses,
 		Checkpoints:        s.Checkpoints - prev.Checkpoints,
@@ -429,6 +454,10 @@ func (m *Metrics) Merge(d Snapshot) {
 	m.InlineSteps.Add(d.InlineSteps)
 	m.Handoffs.Add(d.Handoffs)
 	m.EngineReuses.Add(d.EngineReuses)
+	m.WMBufferedStores.Add(d.WMBufferedStores)
+	m.WMFlushes.Add(d.WMFlushes)
+	m.WMFences.Add(d.WMFences)
+	m.WMForwards.Add(d.WMForwards)
 	m.PrefixHits.Add(d.PrefixHits)
 	m.PrefixMisses.Add(d.PrefixMisses)
 	m.Checkpoints.Add(d.Checkpoints)
@@ -487,6 +516,10 @@ func (m *Metrics) Snapshot() Snapshot {
 		InlineSteps:        m.InlineSteps.Load(),
 		Handoffs:           m.Handoffs.Load(),
 		EngineReuses:       m.EngineReuses.Load(),
+		WMBufferedStores:   m.WMBufferedStores.Load(),
+		WMFlushes:          m.WMFlushes.Load(),
+		WMFences:           m.WMFences.Load(),
+		WMForwards:         m.WMForwards.Load(),
 		PrefixHits:         m.PrefixHits.Load(),
 		PrefixMisses:       m.PrefixMisses.Load(),
 		Checkpoints:        m.Checkpoints.Load(),

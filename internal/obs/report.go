@@ -4,8 +4,9 @@ import "encoding/json"
 
 // ReportSchema identifies the run-report JSON layout; bump it on any
 // field change. docs/run-report.schema.json (checked by the CI smoke
-// step) must match.
-const ReportSchema = "fairmc/run-report/v1"
+// step) must match. v2 added the memory-model options (memModel,
+// tsoBufCap) and the weak-memory counters.
+const ReportSchema = "fairmc/run-report/v2"
 
 // RunReport is the final machine-readable summary of a search,
 // assembled by the fairmc facade from the merged search report.
@@ -46,6 +47,11 @@ type RunOptions struct {
 	PCTDepth     int   `json:"pctDepth,omitempty"`
 	MaxSteps     int64 `json:"maxSteps"`
 	Conformance  bool  `json:"conformance"`
+	// MemModel is the memory model searched under ("sc" or "tso");
+	// TSOBufCap the per-thread store-buffer capacity (0 = unbounded,
+	// meaningful only under TSO).
+	MemModel  string `json:"memModel"`
+	TSOBufCap int    `json:"tsoBufCap,omitempty"`
 }
 
 // RunCounters are the merged, deterministic search counters.
@@ -66,6 +72,13 @@ type RunCounters struct {
 	Quarantined    int64 `json:"quarantined"`
 	Skipped        int64 `json:"skipped"`
 	Races          int64 `json:"races"`
+	// Weak-memory counters (zero under SC with no wm.Memory use):
+	// stores buffered, flush steps scheduled, fences completed, and
+	// loads served by store-to-load forwarding.
+	BufferedStores int64 `json:"bufferedStores"`
+	Flushes        int64 `json:"flushes"`
+	Fences         int64 `json:"fences"`
+	Forwards       int64 `json:"forwards"`
 }
 
 // RunOutcome describes how the search stopped.

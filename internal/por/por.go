@@ -20,6 +20,7 @@ package por
 import (
 	"fairmc/internal/engine"
 	"fairmc/internal/tidset"
+	"fairmc/internal/wm"
 )
 
 // Move identifies one alternative at a state: a thread, its pending
@@ -72,6 +73,118 @@ func lifecycleTarget(m Move) (tidset.Tid, bool) {
 	return tidset.None, false
 }
 
+// tidAlloc reports moves that allocate a thread id as a side effect: a
+// thread's first TSO store creates its store buffer and registers the
+// buffer's flush agent. Like the lifecycle operations, two of these
+// never commute (ids are assigned in execution order), and neither do
+// a tid-allocating move and a lifecycle move.
+func tidAlloc(kind string) bool { return kind == "wm.buf1" }
+
+// isWM reports operations of the weak-memory subsystem (internal/wm).
+// All wm ops on one Memory share its ObjID; variable- and buffer-level
+// granularity lives in wmIndependent.
+func isWM(kind string) bool {
+	switch kind {
+	case "wm.read", "wm.write", "wm.buf", "wm.buf1", "wm.flush", "wm.fence", "wm.drain":
+		return true
+	}
+	return false
+}
+
+// wmVar returns the variable a wm memory access concerns.
+func wmVar(m Move) int64 { return m.Info.Aux }
+
+// flushParts decodes a "wm.flush" move: the buffer's owning thread and
+// the variable the next flush writes (ok = false for an empty buffer,
+// which cannot be scheduled but can linger as a stale sleep-set entry).
+func flushParts(m Move) (owner tidset.Tid, v int64, ok bool) {
+	owner = tidset.Tid(m.Info.Aux >> wm.AuxOwnerShift)
+	hv := m.Info.Aux & (1<<wm.AuxOwnerShift - 1)
+	return owner, hv - 1, hv != 0
+}
+
+// wmIndependent is the independence oracle for two wm moves on the
+// same Memory (different threads). The TSO structure gives finer
+// commutativity than plain shared variables: a buffered store touches
+// only the issuing thread's private buffer, so it is invisible to — and
+// independent of — everything except its own buffer's flushes, while a
+// flush writes memory on the owner's behalf and so conflicts like a
+// store by the owner would. Conservative: dependent when unsure.
+func wmIndependent(a, b Move) bool {
+	ka, kb := a.Info.Kind, b.Info.Kind
+	// Drain observes every buffer: conservatively dependent with all
+	// wm moves.
+	if ka == "wm.drain" || kb == "wm.drain" {
+		return false
+	}
+	if ka == "wm.flush" {
+		return flushIndependent(a, b)
+	}
+	if kb == "wm.flush" {
+		return flushIndependent(b, a)
+	}
+	switch {
+	case ka == "wm.read" && kb == "wm.read":
+		return true
+	case ka == "wm.fence" || kb == "wm.fence":
+		// A fence waits on its own buffer only; the moves that change
+		// that buffer are the owner's stores (same tid, already
+		// dependent) and its flushes (handled above).
+		return true
+	case ka == "wm.buf" || ka == "wm.buf1":
+		// A buffered store is invisible outside its own buffer; the
+		// other move is by a different thread (same-tid pairs never get
+		// here) and is not this buffer's flush.
+		return kb == "wm.buf" || kb == "wm.buf1" || kb == "wm.read" || kb == "wm.write"
+	case kb == "wm.buf" || kb == "wm.buf1":
+		return wmIndependent(b, a)
+	case ka == "wm.write" && kb == "wm.write":
+		return wmVar(a) != wmVar(b)
+	case ka == "wm.write" || kb == "wm.write":
+		// write vs read: conflict on the same variable.
+		return wmVar(a) != wmVar(b)
+	}
+	return false
+}
+
+// flushIndependent reports whether flush move f commutes with wm move
+// o (f is "wm.flush"; o is any wm move except drain).
+func flushIndependent(f, o Move) bool {
+	owner, v, ok := flushParts(f)
+	if !ok {
+		// Empty-buffer flush: stale, schedulable never; treat as
+		// dependent so it wakes (and is dropped) promptly.
+		return false
+	}
+	// The owner's own moves reorder buffer content, enable fences, and
+	// race the head entry: dependent.
+	if o.Tid == owner {
+		return false
+	}
+	switch o.Info.Kind {
+	case "wm.flush":
+		oOwner, ov, oOK := flushParts(o)
+		if !oOK {
+			return false
+		}
+		// Two flushes of different buffers commute unless both write
+		// the same variable next.
+		return oOwner != owner && ov != v
+	case "wm.read", "wm.write":
+		// The flush writes v to memory: memory accesses to other
+		// variables commute.
+		return wmVar(o) != v
+	case "wm.buf", "wm.buf1":
+		// Another thread's buffered store touches only that thread's
+		// private buffer.
+		return true
+	case "wm.fence":
+		// A fence waits on its own buffer; this flush drains another's.
+		return true
+	}
+	return false
+}
+
 // Independent reports whether the two moves commute: executing them in
 // either order reaches a behaviorally identical state, and neither
 // enables or disables the other.
@@ -89,11 +202,17 @@ func Independent(a, b Move) bool {
 	if a.Tid == b.Tid {
 		return false
 	}
+	aAlloc := tidAlloc(a.Info.Kind)
+	bAlloc := tidAlloc(b.Info.Kind)
 	ta, la := lifecycleTarget(a)
 	tb, lb := lifecycleTarget(b)
-	switch {
-	case la && lb:
+	// Any two id-allocating transitions (lifecycle ops and first TSO
+	// stores) are mutually dependent: reordering them permutes thread
+	// ids.
+	if (la || aAlloc) && (lb || bAlloc) {
 		return false
+	}
+	switch {
 	case la:
 		return b.Tid != ta
 	case lb:
@@ -106,12 +225,16 @@ func Independent(a, b Move) bool {
 		return true
 	}
 	// Same object: reads commute; array accesses to different
-	// elements commute (Aux carries the element index).
+	// elements commute (Aux carries the element index); weak-memory
+	// moves get the store/flush/load race semantics of wmIndependent.
 	if readOnly(a.Info.Kind) && readOnly(b.Info.Kind) {
 		return true
 	}
 	if isArrayOp(a.Info.Kind) && isArrayOp(b.Info.Kind) && a.Info.Aux != b.Info.Aux {
 		return true
+	}
+	if isWM(a.Info.Kind) && isWM(b.Info.Kind) {
+		return wmIndependent(a, b)
 	}
 	return false
 }

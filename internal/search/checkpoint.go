@@ -7,6 +7,7 @@ import (
 	"os"
 	"time"
 
+	"fairmc/internal/core"
 	"fairmc/internal/engine"
 	"fairmc/internal/fsx"
 )
@@ -56,9 +57,19 @@ import (
 // Version 4 added the DPOR work-unit frontier (Dpor: pending units in
 // spawn order plus consumed-unit trace records) and the pruning
 // counters (PrunedVisited, PrunedSleep). It is purely additive, so
-// version-3 checkpoints remain readable; this build always writes
-// version 4.
-const CheckpointVersion = 4
+// version-3 checkpoints remain readable.
+// Version 5 added the weak-memory counters (BufferedStores, Flushes,
+// Fences, Forwards). Also purely additive — versions 3 and 4 remain
+// readable (their wm counters resume as zero, which is exact: those
+// searches could not have run under TSO, whose options fold into the
+// options hash) — and this build always writes version 5.
+const CheckpointVersion = 5
+
+// checkpointVersionReadable reports the on-disk format versions this
+// build can resume from.
+func checkpointVersionReadable(v int) bool {
+	return v >= 3 && v <= CheckpointVersion
+}
 
 // defaultCheckpointInterval is used when CheckpointPath is set but
 // CheckpointInterval is zero.
@@ -97,6 +108,10 @@ type CheckpointCounters struct {
 	Wedges         int64 `json:"wedges"`
 	Skipped        int64 `json:"skipped"`
 	Quarantined    int64 `json:"quarantined,omitempty"`
+	BufferedStores int64 `json:"bufferedStores,omitempty"`
+	Flushes        int64 `json:"flushes,omitempty"`
+	Fences         int64 `json:"fences,omitempty"`
+	Forwards       int64 `json:"forwards,omitempty"`
 	ElapsedNS      int64 `json:"elapsedNs"`
 }
 
@@ -178,8 +193,8 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	if err := json.Unmarshal(data, ck); err != nil {
 		return nil, fmt.Errorf("search: decoding checkpoint %s: %w", path, err)
 	}
-	if ck.Version != CheckpointVersion && ck.Version != 3 {
-		return nil, fmt.Errorf("search: checkpoint %s has format version %d, this build reads versions 3 and %d",
+	if !checkpointVersionReadable(ck.Version) {
+		return nil, fmt.Errorf("search: checkpoint %s has format version %d, this build reads versions 3 through %d",
 			path, ck.Version, CheckpointVersion)
 	}
 	return ck, nil
@@ -269,6 +284,13 @@ func optionsHash(o *Options) uint64 {
 	// change across a resume — as is NoFastPath, which by construction
 	// does not change any explored schedule or report byte.
 	b(o.DisableConformance)
+	// The memory model folds in only when it is not the default, so
+	// every pre-weak-memory checkpoint (necessarily an SC search) keeps
+	// its hash and stays resumable.
+	if m := o.memModel(); m != core.MemSC {
+		i(int64(m))
+		i(int64(o.TSOBufCap))
+	}
 	return h.Sum64()
 }
 
@@ -301,6 +323,10 @@ func buildCheckpoint(opts *Options, rep *Report, elapsed time.Duration, done boo
 			Wedges:         rep.Wedges,
 			Skipped:        rep.Skipped,
 			Quarantined:    rep.Quarantined,
+			BufferedStores: rep.BufferedStores,
+			Flushes:        rep.Flushes,
+			Fences:         rep.Fences,
+			Forwards:       rep.Forwards,
 			ElapsedNS:      int64(elapsed),
 		},
 		FirstBug:            rep.FirstBug,
@@ -332,6 +358,10 @@ func applyCheckpoint(rep *Report, ck *Checkpoint) {
 	rep.Wedges = ck.Counters.Wedges
 	rep.Skipped = ck.Counters.Skipped
 	rep.Quarantined = ck.Counters.Quarantined
+	rep.BufferedStores = ck.Counters.BufferedStores
+	rep.Flushes = ck.Counters.Flushes
+	rep.Fences = ck.Counters.Fences
+	rep.Forwards = ck.Counters.Forwards
 	rep.Nondeterminism = ck.Nondeterminism
 	rep.FirstBug = ck.FirstBug
 	rep.FirstBugExecution = ck.FirstBugExecution

@@ -274,6 +274,8 @@ func runDporUnit(prog func(*engine.T), opts *Options, pool *engine.Pool, unit *p
 			Fair:        opts.Fair,
 			FairK:       opts.FairK,
 			MaxSteps:    opts.MaxSteps,
+			MemModel:    opts.memModel(),
+			TSOBufCap:   opts.TSOBufCap,
 			RecordTrace: opts.RecordTrace,
 			Monitor:     opts.Monitor,
 			Watchdog:    opts.Watchdog,
@@ -300,14 +302,18 @@ func runDporUnit(prog func(*engine.T), opts *Options, pool *engine.Pool, unit *p
 	}
 
 	rep := &Report{
-		Executions:  1,
-		TotalSteps:  r.Steps,
-		MaxDepth:    r.Steps,
-		Yields:      r.Yields,
-		EdgeAdds:    r.EdgeAdds,
-		EdgeErases:  r.EdgeErases,
-		FairBlocked: r.FairBlocked,
-		Exhausted:   true,
+		Executions:     1,
+		TotalSteps:     r.Steps,
+		MaxDepth:       r.Steps,
+		Yields:         r.Yields,
+		EdgeAdds:       r.EdgeAdds,
+		EdgeErases:     r.EdgeErases,
+		FairBlocked:    r.FairBlocked,
+		BufferedStores: r.WM.BufferedStores,
+		Flushes:        r.WM.Flushes,
+		Fences:         r.WM.Fences,
+		Forwards:       r.WM.Forwards,
+		Exhausted:      true,
 	}
 	switch r.Outcome {
 	case engine.Terminated:

@@ -115,6 +115,8 @@ func reproduceResult(prog func(*engine.T), opts *Options, r *engine.Result) (*en
 		Fair:          opts.Fair,
 		FairK:         opts.FairK,
 		MaxSteps:      opts.MaxSteps,
+		MemModel:      opts.memModel(),
+		TSOBufCap:     opts.TSOBufCap,
 		RecordTrace:   true,
 		RecordDigests: true,
 		Watchdog:      opts.Watchdog,
@@ -156,6 +158,8 @@ func confirmResult(prog func(*engine.T), opts *Options, r *engine.Result, n int)
 			Fair:       opts.Fair,
 			FairK:      opts.FairK,
 			MaxSteps:   opts.MaxSteps,
+			MemModel:   opts.memModel(),
+			TSOBufCap:  opts.TSOBufCap,
 			Watchdog:   opts.Watchdog,
 			NoFastPath: opts.NoFastPath,
 		})

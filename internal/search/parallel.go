@@ -205,12 +205,13 @@ type strideRec struct {
 	deadline bool           // the engine-level deadline cut this execution
 	skipped  bool           // abandoned after repeated worker crashes
 	repro    *engine.Result // full repro for the worker's first notable event, when still wanted
-	// Fair-scheduler statistics of the execution, merged into the
-	// report's deterministic counters in index order.
+	// Fair-scheduler and weak-memory statistics of the execution, merged
+	// into the report's deterministic counters in index order.
 	yields      int64
 	edgeAdds    int64
 	edgeErases  int64
 	fairBlocked int64
+	wm          engine.WMCounters
 }
 
 // strideChooser replays the sequential searcher's random-mode choice
@@ -276,6 +277,8 @@ func exploreStride(prog func(*engine.T), opts Options) *Report {
 		Fair:        opts.Fair,
 		FairK:       opts.FairK,
 		MaxSteps:    opts.MaxSteps,
+		MemModel:    opts.memModel(),
+		TSOBufCap:   opts.TSOBufCap,
 		RecordTrace: opts.RecordTrace,
 		Watchdog:    opts.Watchdog,
 		Deadline:    deadline,
@@ -373,6 +376,10 @@ loop:
 			rep.EdgeAdds += r.edgeAdds
 			rep.EdgeErases += r.edgeErases
 			rep.FairBlocked += r.fairBlocked
+			rep.BufferedStores += r.wm.BufferedStores
+			rep.Flushes += r.wm.Flushes
+			rep.Fences += r.wm.Fences
+			rep.Forwards += r.wm.Forwards
 			if r.steps > rep.MaxDepth {
 				rep.MaxDepth = r.steps
 			}
@@ -504,7 +511,7 @@ func runStrideIndex(prog func(*engine.T), opts *Options, cfg engine.Config,
 	}
 	rec = strideRec{steps: r.Steps, outcome: r.Outcome, deadline: r.DeadlineExceeded,
 		yields: r.Yields, edgeAdds: r.EdgeAdds, edgeErases: r.EdgeErases,
-		fairBlocked: r.FairBlocked}
+		fairBlocked: r.FairBlocked, wm: r.WM}
 	switch r.Outcome {
 	case engine.Deadlock, engine.Violation:
 		if needBug {
@@ -657,6 +664,8 @@ func splitFrontier(prog func(*engine.T), opts Options, target int) []*prefixNode
 			Fair:       opts.Fair,
 			FairK:      opts.FairK,
 			MaxSteps:   opts.MaxSteps,
+			MemModel:   opts.memModel(),
+			TSOBufCap:  opts.TSOBufCap,
 			Watchdog:   opts.Watchdog,
 			NoFastPath: opts.NoFastPath,
 		}
@@ -1024,6 +1033,10 @@ func mergeSubtree(opts *Options, rep *Report, r *Report, allExhausted *bool) (co
 	rep.EdgeAdds += r.EdgeAdds
 	rep.EdgeErases += r.EdgeErases
 	rep.FairBlocked += r.FairBlocked
+	rep.BufferedStores += r.BufferedStores
+	rep.Flushes += r.Flushes
+	rep.Fences += r.Fences
+	rep.Forwards += r.Forwards
 	if r.MaxDepth > rep.MaxDepth {
 		rep.MaxDepth = r.MaxDepth
 	}

@@ -61,6 +61,19 @@ type Options struct {
 	// MaxSteps caps a single execution; exceeding it is a divergence.
 	// 0 means engine.DefaultMaxSteps.
 	MaxSteps int64
+	// MemModel selects the memory model programs using conc.Memory run
+	// under: "" or "sc" (sequential consistency, the default) or "tso"
+	// (total store order: per-thread store buffers with store-to-load
+	// forwarding, drained by engine-scheduled flush steps). The model is
+	// a searched axis — flush nondeterminism enters the candidate set
+	// like any thread, so every strategy (DFS, PCT, DPOR, …) and the
+	// fair scheduler cover it. Semantic: part of the checkpoint options
+	// hash whenever it is not the default.
+	MemModel string
+	// TSOBufCap bounds each thread's store buffer under MemModel "tso";
+	// a store into a full buffer blocks until a flush drains an entry.
+	// 0 means unbounded. Ignored under "sc".
+	TSOBufCap int
 	// MaxExecutions caps the number of executions; 0 means unbounded.
 	MaxExecutions int64
 	// TimeLimit caps the wall-clock duration; 0 means unbounded.
@@ -221,6 +234,16 @@ type Report struct {
 	EdgeAdds    int64
 	EdgeErases  int64
 	FairBlocked int64
+	// BufferedStores / Flushes / Fences / Forwards are the summed
+	// weak-memory counters of every counted execution (engine.Result.WM):
+	// stores buffered, flush steps scheduled, fences completed, and loads
+	// served by store-to-load forwarding. All zero under SC with no
+	// wm.Memory use; merged in execution order like the fields above, so
+	// deterministic at any Parallelism and across checkpoint/resume.
+	BufferedStores int64
+	Flushes        int64
+	Fences         int64
+	Forwards       int64
 	// NonTerminating counts executions cut at the depth bound or the
 	// step cap (Figure 2's y-axis).
 	NonTerminating int64
@@ -570,6 +593,8 @@ func (s *searcher) run() {
 				Fair:        s.opts.Fair,
 				FairK:       s.opts.FairK,
 				MaxSteps:    s.opts.MaxSteps,
+				MemModel:    s.opts.memModel(),
+				TSOBufCap:   s.opts.TSOBufCap,
 				RecordTrace: s.opts.RecordTrace,
 				Monitor:     s.opts.Monitor,
 				Watchdog:    s.opts.Watchdog,
@@ -612,6 +637,10 @@ func (s *searcher) run() {
 		s.report.EdgeAdds += r.EdgeAdds
 		s.report.EdgeErases += r.EdgeErases
 		s.report.FairBlocked += r.FairBlocked
+		s.report.BufferedStores += r.WM.BufferedStores
+		s.report.Flushes += r.WM.Flushes
+		s.report.Fences += r.WM.Fences
+		s.report.Forwards += r.WM.Forwards
 		if r.Steps > s.report.MaxDepth {
 			s.report.MaxDepth = r.Steps
 		}

@@ -379,6 +379,10 @@ func (m *ShardMerger) mergeStride(sh Shard, r *Report) {
 	m.rep.EdgeAdds += r.EdgeAdds
 	m.rep.EdgeErases += r.EdgeErases
 	m.rep.FairBlocked += r.FairBlocked
+	m.rep.BufferedStores += r.BufferedStores
+	m.rep.Flushes += r.Flushes
+	m.rep.Fences += r.Fences
+	m.rep.Forwards += r.Forwards
 	if r.MaxDepth > m.rep.MaxDepth {
 		m.rep.MaxDepth = r.MaxDepth
 	}

@@ -3,6 +3,8 @@ package search
 import (
 	"errors"
 	"fmt"
+
+	"fairmc/internal/core"
 )
 
 // Validate reports whether the option combination is usable. It is the
@@ -12,6 +14,12 @@ import (
 // that bypass validation. Panics remain only for internal invariant
 // violations (e.g. a chooser returning a non-candidate).
 func (o *Options) Validate() error {
+	if _, err := core.ParseMemModel(o.MemModel); err != nil {
+		return fmt.Errorf("search: %w", err)
+	}
+	if o.TSOBufCap < 0 {
+		return fmt.Errorf("search: TSOBufCap must be >= 0 (0 = unbounded), got %d", o.TSOBufCap)
+	}
 	if o.StatefulPrune && o.Fair {
 		return errors.New("search: StatefulPrune is unsound with Fair (the fair scheduler's state is path-dependent)")
 	}
@@ -59,13 +67,24 @@ func (o *Options) Validate() error {
 	return nil
 }
 
+// memModel returns the parsed memory model the options select. Unknown
+// names have been rejected by Validate; internal callers reaching this
+// with an unvalidated string get the backstop panic.
+func (o *Options) memModel() core.MemModel {
+	m, err := core.ParseMemModel(o.MemModel)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
 // validateResume checks that a checkpoint belongs to this exact search
 // so a resume silently exploring the wrong tree is impossible.
 func (o *Options) validateResume(ck *Checkpoint) error {
-	if ck.Version != CheckpointVersion && ck.Version != 3 {
-		// v3 checkpoints (pre-DPOR) remain readable: v4 only adds
-		// fields (Dpor, two pruning counters).
-		return fmt.Errorf("search: resume: checkpoint format version %d, this build reads versions 3 and %d",
+	if !checkpointVersionReadable(ck.Version) {
+		// v3 (pre-DPOR) and v4 (pre-weak-memory) checkpoints remain
+		// readable: each later version only adds fields.
+		return fmt.Errorf("search: resume: checkpoint format version %d, this build reads versions 3 through %d",
 			ck.Version, CheckpointVersion)
 	}
 	if ck.Done {

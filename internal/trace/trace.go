@@ -25,6 +25,11 @@ type Meta struct {
 	FairK int  `json:"fairK,omitempty"`
 	// MaxSteps is the step bound of the run.
 	MaxSteps int64 `json:"maxSteps,omitempty"`
+	// MemModel and TSOBufCap are the memory-model parameters of the run
+	// (empty means "sc"): a schedule recorded under TSO includes flush
+	// steps and only replays under the same model and buffer capacity.
+	MemModel  string `json:"memModel,omitempty"`
+	TSOBufCap int    `json:"tsoBufCap,omitempty"`
 	// Outcome is the expected replay outcome (informational).
 	Outcome string `json:"outcome,omitempty"`
 	// Note is a free-form description.

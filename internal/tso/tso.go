@@ -1,141 +1,77 @@
-// Package tso models total-store-order (x86-style) relaxed memory on
-// top of the checker — the direction the CHESS project itself took
-// next (Sober, the store-buffer-based relaxed-memory checker, came
-// from the same group in the same year).
+// Package tso is the forced-TSO compatibility adapter over the
+// weak-memory subsystem (internal/wm).
 //
-// Each client thread owns a FIFO store buffer. A store appends to the
-// owner's buffer; a load first searches the owner's own buffer
-// (store-to-load forwarding, newest entry wins) and falls back to
-// global memory. Crucially, draining a buffer entry into global
-// memory is performed by a dedicated *pump* model thread per client —
-// so the flush delay is ordinary scheduler nondeterminism and the
-// checker explores every TSO-admissible reordering with no engine
-// changes at all. A Fence spin-waits (yielding, good-samaritan style)
-// until the caller's buffer is empty.
+// Historically this package modeled total store order with one *pump*
+// model thread per client draining a hand-rolled ring buffer — flush
+// delay was ordinary scheduler nondeterminism, at the cost of fake
+// threads whose yield subtrees drowned systematic search. The engine
+// now owns that machinery: wm registers one flush *agent* per storing
+// thread (engine.AddAgent), so flushes are first-class schedulable
+// steps with no goroutines behind them, covered by digests, DPOR, and
+// the fair scheduler's priority relation. This adapter pins the model
+// to TSO regardless of the search's -mm setting (its callers are TSO
+// tests by construction); programs that should follow the searched
+// memory-model axis use conc.NewMemory instead.
 //
-// The classic demonstration lives in progs: Peterson's algorithm is
-// correct under sequential consistency but broken under TSO unless a
-// fence separates the intent-flag store from the rival-flag load.
+// API changes from the pump era, kept deliberately small:
+//
+//   - Store buffers are keyed by the *calling thread*, as on real
+//     hardware; the client index c is retained in the signatures for
+//     compatibility but no longer selects the buffer.
+//   - Fence no longer spin-yields: the fence transition is enabled
+//     only once the caller's buffer is empty, so a fence is a blocked
+//     (then yielding) step that cannot trip the livelock detector.
+//   - Close drains every buffer instead of stopping pump threads.
 package tso
 
 import (
-	"fmt"
-
 	"fairmc/conc"
+	"fairmc/internal/core"
+	"fairmc/internal/wm"
 )
 
-// Memory is a TSO memory of nvars cells shared by nclients client
-// threads (client slots are assigned by the program, not thread ids).
+// Memory is a TSO memory of nvars cells. Client slots are historical:
+// buffers belong to calling threads.
 type Memory struct {
-	global *conc.IntArray
-	// Per-client ring buffers of (var, val) pairs.
-	bufVar []*conc.IntArray
-	bufVal []*conc.IntArray
-	head   []*conc.IntVar // next entry to drain
-	tail   []*conc.IntVar // next free slot
-	cap    int
-	done   *conc.IntVar
-	pumps  []*conc.Handle
+	m *wm.Memory
 }
 
-// New creates a TSO memory and spawns one pump thread per client.
-// bufCap bounds each store buffer; a store into a full buffer blocks
-// the storer until the pump drains (as real store buffers stall).
+// New creates a TSO-pinned memory. bufCap bounds each thread's store
+// buffer; a store into a full buffer blocks the storer until a flush
+// drains an entry (as real store buffers stall). nclients is accepted
+// for compatibility and validated but otherwise unused — buffers are
+// created per storing thread, on first store.
 func New(t *conc.T, name string, nclients, nvars, bufCap int) *Memory {
 	if nclients < 1 || nvars < 1 || bufCap < 1 {
 		t.Failf("tso %q: bad shape (%d clients, %d vars, cap %d)", name, nclients, nvars, bufCap)
 	}
-	m := &Memory{
-		global: conc.NewIntArray(t, name+".mem", nvars),
-		cap:    bufCap,
-		done:   conc.NewIntVar(t, name+".done", 0),
-	}
-	for c := 0; c < nclients; c++ {
-		m.bufVar = append(m.bufVar, conc.NewIntArray(t, fmt.Sprintf("%s.bv%d", name, c), bufCap))
-		m.bufVal = append(m.bufVal, conc.NewIntArray(t, fmt.Sprintf("%s.bd%d", name, c), bufCap))
-		m.head = append(m.head, conc.NewIntVar(t, fmt.Sprintf("%s.h%d", name, c), 0))
-		m.tail = append(m.tail, conc.NewIntVar(t, fmt.Sprintf("%s.t%d", name, c), 0))
-	}
-	for c := 0; c < nclients; c++ {
-		c := c
-		m.pumps = append(m.pumps, t.Go(fmt.Sprintf("%s.pump%d", name, c), func(t *conc.T) {
-			m.pump(t, c)
-		}))
-	}
-	return m
+	return &Memory{m: wm.NewWithModel(t, name, nvars, core.MemTSO, bufCap)}
 }
 
-// pump drains client c's buffer into global memory, one entry per
-// transition, at scheduler-chosen moments — the flush nondeterminism.
-func (m *Memory) pump(t *conc.T, c int) {
-	for {
-		t.Label(1)
-		h := m.head[c].Load(t)
-		tl := m.tail[c].Load(t)
-		if h < tl {
-			slot := int(h) % m.cap
-			v := m.bufVar[c].Get(t, slot)
-			val := m.bufVal[c].Get(t, slot)
-			m.global.Set(t, int(v), val)
-			m.head[c].Store(t, h+1)
-			continue
-		}
-		if m.done.Load(t) == 1 {
-			return
-		}
-		t.Yield() // empty buffer: be a good samaritan
-	}
-}
-
-// Store appends (v = val) to client c's store buffer; it blocks
-// (spin-yield) while the buffer is full.
+// Store appends (v = val) to the calling thread's store buffer,
+// blocking while the buffer is full.
 func (m *Memory) Store(t *conc.T, c int, v int, val int64) {
-	for {
-		t.Label(2)
-		h := m.head[c].Load(t)
-		tl := m.tail[c].Load(t)
-		if tl-h < int64(m.cap) {
-			slot := int(tl) % m.cap
-			m.bufVar[c].Set(t, slot, int64(v))
-			m.bufVal[c].Set(t, slot, val)
-			m.tail[c].Store(t, tl+1)
-			return
-		}
-		t.Yield() // buffer stall
-	}
+	m.m.Store(t, v, val)
 }
 
-// Load reads v as client c: newest matching entry of c's own buffer
-// (store-to-load forwarding), else global memory.
+// Load reads v: newest matching entry of the calling thread's own
+// buffer (store-to-load forwarding), else global memory.
 func (m *Memory) Load(t *conc.T, c int, v int) int64 {
-	h := m.head[c].Load(t)
-	tl := m.tail[c].Load(t)
-	for i := tl - 1; i >= h; i-- {
-		slot := int(i) % m.cap
-		if m.bufVar[c].Get(t, slot) == int64(v) {
-			return m.bufVal[c].Get(t, slot)
-		}
-	}
-	return m.global.Get(t, v)
+	return m.m.Load(t, v)
 }
 
-// Fence blocks client c (spin-yield) until its store buffer has
-// drained — an MFENCE.
+// Fence blocks the calling thread until its store buffer has drained —
+// an MFENCE. The wait is a disabled transition, not a spin.
 func (m *Memory) Fence(t *conc.T, c int) {
-	for {
-		t.Label(3)
-		if m.head[c].Load(t) == m.tail[c].Load(t) {
-			return
-		}
-		t.Yield()
-	}
+	m.m.Fence(t)
 }
 
-// Close tells the pumps to exit once drained and joins them; call it
+// Close blocks until every thread's store buffer has drained; call it
 // when the clients are done, before asserting on final memory.
 func (m *Memory) Close(t *conc.T) {
-	m.done.Store(t, 1)
-	for _, h := range m.pumps {
-		h.Join(t)
-	}
+	m.m.Drain(t)
 }
+
+// WM returns the underlying weak-memory object, for tests that assert
+// on buffer state.
+func (m *Memory) WM() *wm.Memory { return m.m }

@@ -146,7 +146,7 @@ func TestRunReportShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	rr := res.RunReport("racy-increment", opts)
-	if rr.Schema != "fairmc/run-report/v1" {
+	if rr.Schema != "fairmc/run-report/v2" {
 		t.Fatalf("schema = %q", rr.Schema)
 	}
 	if rr.Program != "racy-increment" || rr.Strategy != "dfs" {

@@ -1,0 +1,150 @@
+// Litmus tests: the classic two-thread weak-memory shapes, expressed
+// over conc.Memory so that the checked memory model (-mm) decides their
+// verdicts. Each fixture documents its expected verdict matrix; the
+// assertions encode the forbidden outcome, so "fail" means the checker
+// reports an assertion violation for some schedule.
+//
+//	fixture            -mm=sc   -mm=tso   -mm=tso fenced
+//	litmus-sb          pass     FAIL      pass (litmus-sb-fenced)
+//	litmus-mp          pass     pass      —
+//	litmus-lb          pass     pass      —
+//
+// SB (store buffering) is the one shape TSO distinguishes from SC:
+// both stores can hide in their owners' buffers while both loads read
+// the initial values from memory. MP (message passing) stays correct
+// under TSO because store buffers drain in FIFO order, and LB (load
+// buffering) stays correct because TSO never reorders a load with a
+// later store — both serve as controls that the TSO implementation is
+// not weaker than TSO.
+package progs
+
+import "fairmc/conc"
+
+// LitmusSB is the store-buffering litmus test: two threads each store
+// to their own variable and then load the other's. Under SC the
+// outcome r0 == 0 && r1 == 0 is impossible (whichever load executes
+// last must see the other thread's completed store); under TSO both
+// stores can still be buffered when the loads run, so both loads read
+// 0. An MFENCE between each thread's store and load (fenced = true)
+// forbids the weak outcome again.
+func LitmusSB(fenced bool) func(*conc.T) {
+	const (
+		x = 0
+		y = 1
+	)
+	return func(t *conc.T) {
+		mem := conc.NewMemory(t, "mem", 2)
+		r0 := conc.NewIntVar(t, "r0", -1)
+		r1 := conc.NewIntVar(t, "r1", -1)
+		wg := conc.NewWaitGroup(t, "wg", 2)
+		t.Go("a", func(t *conc.T) {
+			mem.Store(t, x, 1)
+			if fenced {
+				mem.Fence(t)
+			}
+			r0.Store(t, mem.Load(t, y))
+			wg.Done(t)
+		})
+		t.Go("b", func(t *conc.T) {
+			mem.Store(t, y, 1)
+			if fenced {
+				mem.Fence(t)
+			}
+			r1.Store(t, mem.Load(t, x))
+			wg.Done(t)
+		})
+		wg.Wait(t)
+		t.Assert(r0.Load(t) == 1 || r1.Load(t) == 1,
+			"store buffering: at least one load observes the other store")
+		mem.Drain(t)
+	}
+}
+
+// LitmusMP is the message-passing litmus test: a producer writes data
+// and then raises a flag; a consumer spins on the flag and then reads
+// the data. TSO keeps this correct — each store buffer drains in FIFO
+// order, so the data store is globally visible before the flag store.
+// The consumer's spin also exercises memory fairness: the flag store
+// only becomes visible when the producer's flush agent runs, and the
+// fair scheduler's priority relation guarantees that it eventually
+// does, so the spin terminates in every fair execution.
+func LitmusMP(t *conc.T) {
+	const (
+		data = 0
+		flag = 1
+	)
+	mem := conc.NewMemory(t, "mem", 2)
+	wg := conc.NewWaitGroup(t, "wg", 2)
+	t.Go("producer", func(t *conc.T) {
+		mem.Store(t, data, 42)
+		mem.Store(t, flag, 1)
+		wg.Done(t)
+	})
+	t.Go("consumer", func(t *conc.T) {
+		for {
+			t.Label(1)
+			if mem.Load(t, flag) == 1 {
+				break
+			}
+			t.Yield()
+		}
+		t.Assert(mem.Load(t, data) == 42,
+			"message passing: flag implies data (FIFO store buffers)")
+		wg.Done(t)
+	})
+	wg.Wait(t)
+	mem.Drain(t)
+}
+
+// LitmusLB is the load-buffering litmus test: each thread loads the
+// other's variable and then stores to its own. The outcome
+// r0 == 1 && r1 == 1 requires a load to read from a program-order
+// later store — a load/store reordering that TSO (like SC) forbids.
+func LitmusLB(t *conc.T) {
+	const (
+		x = 0
+		y = 1
+	)
+	mem := conc.NewMemory(t, "mem", 2)
+	r0 := conc.NewIntVar(t, "r0", -1)
+	r1 := conc.NewIntVar(t, "r1", -1)
+	wg := conc.NewWaitGroup(t, "wg", 2)
+	t.Go("a", func(t *conc.T) {
+		r0.Store(t, mem.Load(t, y))
+		mem.Store(t, x, 1)
+		wg.Done(t)
+	})
+	t.Go("b", func(t *conc.T) {
+		r1.Store(t, mem.Load(t, x))
+		mem.Store(t, y, 1)
+		wg.Done(t)
+	})
+	wg.Wait(t)
+	t.Assert(!(r0.Load(t) == 1 && r1.Load(t) == 1),
+		"load buffering: loads do not read from program-order later stores")
+	mem.Drain(t)
+}
+
+func init() {
+	register(Program{
+		Name:        "litmus-sb",
+		Description: "store-buffering litmus (passes under -mm=sc, weak outcome reachable under -mm=tso)",
+		ExpectBug:   "r0 == 0 && r1 == 0 under -mm=tso",
+		Body:        LitmusSB(false),
+	})
+	register(Program{
+		Name:        "litmus-sb-fenced",
+		Description: "store-buffering litmus with MFENCEs (passes under every memory model)",
+		Body:        LitmusSB(true),
+	})
+	register(Program{
+		Name:        "litmus-mp",
+		Description: "message-passing litmus (passes under sc and tso: FIFO store buffers)",
+		Body:        LitmusMP,
+	})
+	register(Program{
+		Name:        "litmus-lb",
+		Description: "load-buffering litmus (passes under sc and tso: no load/store reordering)",
+		Body:        LitmusLB,
+	})
+}

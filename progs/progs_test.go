@@ -43,6 +43,9 @@ func TestRegistryComplete(t *testing.T) {
 		"treiber", "treiber-aba", "ticketlock",
 		"msqueue", "msqueue-bug", "seqlock", "seqlock-torn",
 		"peterson-tso", "peterson-tso-fenced", "singularity-disk",
+		"litmus-sb", "litmus-sb-fenced", "litmus-mp", "litmus-lb",
+		"seqlock-tso", "seqlock-tso-fenced",
+		"wm-tso-livelock", "wm-tso-livelock-fenced",
 		"nondet-counter",
 	}
 	all := progs.All()

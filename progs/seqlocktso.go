@@ -1,0 +1,99 @@
+package progs
+
+import (
+	"fmt"
+
+	"fairmc/conc"
+)
+
+// SeqlockTSO is a seqlock whose writers coordinate with a Dekker-style
+// flag handshake over plain memory: each writer raises its flag, checks
+// the rival's flag, and only enters the write section if the rival is
+// absent (otherwise it skips its round). The write section is the usual
+// seqlock protocol — bump the sequence to odd, write both data words,
+// bump back to even — and the reader takes the usual optimistic
+// snapshot: read seq, read data, re-read seq, and trust the data only
+// if the sequence was even and unchanged.
+//
+// Under SC the flag handshake excludes concurrent writers (the classic
+// store-buffering argument: two concurrent entrants would each need
+// their load to precede the other's program-order-earlier store, a
+// cycle), so the sequence increases monotonically and every
+// even-and-stable snapshot is consistent. Under TSO the flag stores can
+// hide in the writers' buffers, both writers pass the check, both read
+// the same starting sequence — so their seq stores carry identical
+// values and the reader's re-check can no longer distinguish "one
+// writer finished" from "a second writer is mid-flight": interleaved
+// flushes let it observe an even, stable sequence with torn data
+// (d0 != d1). A fence
+// between each writer's flag store and flag load (fenced = true)
+// restores writer exclusion and with it reader consistency — the write
+// section itself needs no fences because each buffer drains in FIFO
+// order.
+func SeqlockTSO(fenced bool) func(*conc.T) {
+	const (
+		seq   = 0
+		d0    = 1
+		d1    = 2
+		flagA = 3
+		flagB = 4
+	)
+	return func(t *conc.T) {
+		mem := conc.NewMemory(t, "mem", 5)
+		wg := conc.NewWaitGroup(t, "wg", 3)
+		for w := 0; w < 2; w++ {
+			myFlag, rivalFlag, val := flagA, flagB, int64(w+1)
+			if w == 1 {
+				myFlag, rivalFlag = flagB, flagA
+			}
+			t.Go(fmt.Sprintf("writer%d", w), func(t *conc.T) {
+				mem.Store(t, myFlag, 1)
+				if fenced {
+					mem.Fence(t)
+				}
+				if mem.Load(t, rivalFlag) == 0 {
+					s := mem.Load(t, seq)
+					mem.Store(t, seq, s+1)
+					mem.Store(t, d0, val)
+					mem.Store(t, d1, val)
+					mem.Store(t, seq, s+2)
+				}
+				mem.Store(t, myFlag, 0)
+				wg.Done(t)
+			})
+		}
+		t.Go("reader", func(t *conc.T) {
+			for attempt := 0; attempt < 2; attempt++ {
+				s1 := mem.Load(t, seq)
+				if s1%2 != 0 {
+					t.Yield()
+					continue
+				}
+				v0 := mem.Load(t, d0)
+				v1 := mem.Load(t, d1)
+				if mem.Load(t, seq) != s1 {
+					t.Yield()
+					continue
+				}
+				t.Assert(v0 == v1, "seqlock: stable even sequence implies untorn data")
+			}
+			wg.Done(t)
+		})
+		wg.Wait(t)
+		mem.Drain(t)
+	}
+}
+
+func init() {
+	register(Program{
+		Name:        "seqlock-tso",
+		Description: "seqlock with Dekker-flag writer exclusion (consistent under -mm=sc, torn reads under -mm=tso)",
+		ExpectBug:   "torn read under -mm=tso: writers both pass the flag check",
+		Body:        SeqlockTSO(false),
+	})
+	register(Program{
+		Name:        "seqlock-tso-fenced",
+		Description: "seqlock with fenced Dekker-flag writer exclusion (consistent under every memory model)",
+		Body:        SeqlockTSO(true),
+	})
+}

@@ -4,21 +4,23 @@ import (
 	"fmt"
 
 	"fairmc/conc"
-	"fairmc/internal/tso"
 )
 
-// PetersonTSO is Peterson's algorithm running over the TSO store-
-// buffer memory of internal/tso — the canonical relaxed-memory
-// demonstration. Under sequential consistency the algorithm is
-// correct (see progs/classic.go); under TSO the intent-flag store can
-// still sit in the writer's buffer when the rival loads the flag from
-// global memory, both threads see "no rival", and mutual exclusion
-// breaks. An MFENCE between the store and the load (fenced = true)
-// restores correctness.
+// PetersonTSO is Peterson's algorithm over conc.Memory — plain racy
+// memory governed by the checked memory model (-mm), the canonical
+// relaxed-memory demonstration. Under sequential consistency (the
+// default) the algorithm is correct; under -mm=tso the intent-flag and
+// turn stores can still sit in the writer's store buffer when the
+// rival loads them from global memory (the writer's own loads are
+// served by store-to-load forwarding, which makes it worse: it sees
+// its turn store, the rival does not), both threads see "no rival",
+// and mutual exclusion breaks. An MFENCE between the stores and the
+// loads (fenced = true) restores correctness under TSO.
 //
-// The checker needs no relaxed-memory support: the buffers and their
-// pump threads are ordinary model code, so TSO reorderings are just
-// thread interleavings.
+// Flush delay is first-class scheduler nondeterminism here: each
+// thread's store buffer registers a flush agent whose steps the search
+// enumerates like any thread, so DFS, PCT, and DPOR all find the
+// unfenced violation under -mm=tso.
 func PetersonTSO(fenced bool) func(*conc.T) {
 	const (
 		flag0 = 0
@@ -26,51 +28,50 @@ func PetersonTSO(fenced bool) func(*conc.T) {
 		turn  = 2
 	)
 	return func(t *conc.T) {
-		mem := tso.New(t, "tso", 2, 3, 2)
+		mem := conc.NewMemory(t, "mem", 3)
 		occupancy := conc.NewIntVar(t, "cs", 0)
 		wg := conc.NewWaitGroup(t, "wg", 2)
 		for me := 0; me < 2; me++ {
-			me := me
 			other := 1 - me
 			myFlag, rivalFlag := flag0, flag1
 			if me == 1 {
 				myFlag, rivalFlag = flag1, flag0
 			}
 			t.Go(fmt.Sprintf("p%d", me), func(t *conc.T) {
-				mem.Store(t, me, myFlag, 1)
-				mem.Store(t, me, turn, int64(other))
+				mem.Store(t, myFlag, 1)
+				mem.Store(t, turn, int64(other))
 				if fenced {
-					mem.Fence(t, me) // drain before inspecting the rival
+					mem.Fence(t) // drain before inspecting the rival
 				}
 				for {
 					t.Label(1)
-					if mem.Load(t, me, rivalFlag) != 1 ||
-						mem.Load(t, me, turn) != int64(other) {
+					if mem.Load(t, rivalFlag) != 1 ||
+						mem.Load(t, turn) != int64(other) {
 						break
 					}
 					t.Yield()
 				}
-				t.Assert(occupancy.Add(t, 1) == 1, "mutual exclusion under TSO")
+				t.Assert(occupancy.Add(t, 1) == 1, "mutual exclusion under the checked memory model")
 				occupancy.Add(t, -1)
-				mem.Store(t, me, myFlag, 0)
+				mem.Store(t, myFlag, 0)
 				wg.Done(t)
 			})
 		}
 		wg.Wait(t)
-		mem.Close(t)
+		mem.Drain(t)
 	}
 }
 
 func init() {
 	register(Program{
 		Name:        "peterson-tso",
-		Description: "Peterson's over TSO store buffers, no fence (mutual exclusion breaks)",
-		ExpectBug:   "mutual exclusion violation under TSO",
+		Description: "Peterson's over conc.Memory, no fence (correct under -mm=sc, mutual exclusion breaks under -mm=tso)",
+		ExpectBug:   "mutual exclusion violation under -mm=tso",
 		Body:        PetersonTSO(false),
 	})
 	register(Program{
 		Name:        "peterson-tso-fenced",
-		Description: "Peterson's over TSO store buffers with an MFENCE (correct)",
+		Description: "Peterson's over conc.Memory with an MFENCE (correct under every memory model)",
 		Body:        PetersonTSO(true),
 	})
 }

@@ -1,0 +1,93 @@
+package progs
+
+import "fairmc/conc"
+
+// WMLivelock is a fixture that livelocks under TSO and fair-terminates
+// under SC — the fixture that shows the fair scheduler and the weak
+// memory subsystem composing rather than merely coexisting.
+//
+// Two threads run rounds of the store-buffering shape with a round
+// counter: in round k each thread stores k to its own variable, loads
+// the other's variable, and the threads exchange the loaded values
+// over rendezvous channels. They stop — jointly, since both evaluate
+// the same predicate on the same pair — as soon as either thread
+// observed the other's CURRENT round value; a stale value (any lag at
+// all) means another round.
+//
+// Under SC the usual store-buffering cycle argument applies round by
+// round: both loads reading stale values would require each load to
+// precede the other thread's program-order-earlier store of k, a
+// cycle, so every execution exits in round 1 and the state space is
+// tiny. Under TSO the buffers lag: each round buffers one more store,
+// and as long as flushing trails by at least one entry both loads
+// read stale rounds forever. Crucially the diverging executions are
+// FAIR — both threads yield every round, and the flush agents the
+// fair scheduler's priority relation forces to run do run, every
+// round; the flushes just never catch up. Memory fairness alone
+// cannot rescue the program: the checker must classify this as a fair
+// nontermination (livelock), not a good-samaritan violation. A fence
+// between each round's store and load (fenced = true) restores the SC
+// argument — the store of k is globally visible before the load — and
+// with it round-1 termination.
+func WMLivelock(fenced bool) func(*conc.T) {
+	const (
+		x = 0
+		y = 1
+	)
+	return func(t *conc.T) {
+		mem := conc.NewMemory(t, "mem", 2)
+		chA := conc.NewChannel(t, "chA", 0)
+		chB := conc.NewChannel(t, "chB", 0)
+		wg := conc.NewWaitGroup(t, "wg", 2)
+		t.Go("a", func(t *conc.T) {
+			for k := int64(1); ; k++ {
+				t.Label(1)
+				mem.Store(t, x, k)
+				if fenced {
+					mem.Fence(t)
+				}
+				ra := mem.Load(t, y)
+				chA.Send(t, ra)
+				rb, _ := chB.Recv(t)
+				if ra == k || rb == k {
+					break
+				}
+				t.Yield()
+			}
+			wg.Done(t)
+		})
+		t.Go("b", func(t *conc.T) {
+			for k := int64(1); ; k++ {
+				t.Label(1)
+				mem.Store(t, y, k)
+				if fenced {
+					mem.Fence(t)
+				}
+				rb := mem.Load(t, x)
+				ra, _ := chA.Recv(t)
+				chB.Send(t, rb)
+				if ra == k || rb == k {
+					break
+				}
+				t.Yield()
+			}
+			wg.Done(t)
+		})
+		wg.Wait(t)
+		mem.Drain(t)
+	}
+}
+
+func init() {
+	register(Program{
+		Name:        "wm-tso-livelock",
+		Description: "round-counter store buffering with rendezvous exchange (fair-terminates under -mm=sc, livelocks under -mm=tso)",
+		ExpectBug:   "fair nontermination under -mm=tso",
+		Body:        WMLivelock(false),
+	})
+	register(Program{
+		Name:        "wm-tso-livelock-fenced",
+		Description: "round-counter store buffering with fences (fair-terminates under every memory model)",
+		Body:        WMLivelock(true),
+	})
+}
